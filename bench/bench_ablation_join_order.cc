@@ -1,0 +1,70 @@
+// Ablation for greedy size-based join ordering: G5/G7-style chain
+// patterns join four stars; starting from the smallest relation (drug
+// metadata) instead of the query's textual order (bioassays first)
+// shrinks the intermediate materializations. Cycle counts are identical —
+// only bytes move.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void Run(const std::string& engine_name, const std::string& query,
+         benchmark::State& state, bool greedy) {
+  rapida::engine::EngineOptions options;
+  options.greedy_join_order = greedy;
+  options.map_join_threshold_bytes = 8 * 1024;
+  auto eng = rapida::bench::MakeEngine(engine_name, options);
+  rapida::engine::Dataset* dataset =
+      rapida::bench::GetDataset("chem", rapida::bench::Scale::kSmall);
+  rapida::bench::RunResult r;
+  for (auto _ : state) {
+    r = rapida::bench::RunOne(
+        eng.get(), query, dataset,
+        rapida::bench::ClusterModel("chem", rapida::bench::Scale::kSmall,
+                                    10));
+    if (!r.ok) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+  }
+  state.counters["SimSeconds"] = r.sim_seconds;
+  state.counters["WriteMB"] =
+      static_cast<double>(r.write_bytes) / (1024.0 * 1024.0);
+  state.counters["Cycles"] = r.cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* e : {"Hive (Naive)", "RAPIDAnalytics"}) {
+    for (const char* q : {"G5", "G7", "MG6"}) {
+      std::string engine_name = e, query = q;
+      benchmark::RegisterBenchmark(
+          ("ablation/join_order/" + engine_name + "/" + query + "/textual")
+              .c_str(),
+          [engine_name, query](benchmark::State& s) {
+            Run(engine_name, query, s, false);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("ablation/join_order/" + engine_name + "/" + query + "/greedy")
+              .c_str(),
+          [engine_name, query](benchmark::State& s) {
+            Run(engine_name, query, s, true);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nGreedy join ordering keeps cycle counts but reduces "
+              "intermediate materialization (WriteMB) on chain-shaped "
+              "patterns.\n");
+  benchmark::Shutdown();
+  return 0;
+}

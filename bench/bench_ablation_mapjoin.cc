@@ -1,0 +1,59 @@
+// Ablation for Hive's map-join optimization (§5.2 "Real-world RDF
+// Analytics"): queries over small VP tables (Chem2Bio2RDF G5-G8) run as
+// chains of map-only cycles when map-joins are on; disabling them forces
+// full shuffles per join. This is the effect that lets Hive approach (and
+// once beat) RAPIDAnalytics on G6/G7.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void Run(const std::string& query, benchmark::State& state,
+         bool map_joins) {
+  rapida::engine::EngineOptions options;
+  options.enable_map_joins = map_joins;
+  options.map_join_threshold_bytes = 8 * 1024;
+  auto eng = rapida::bench::MakeEngine("Hive (Naive)", options);
+  rapida::engine::Dataset* dataset =
+      rapida::bench::GetDataset("chem", rapida::bench::Scale::kSmall);
+  rapida::bench::RunResult r;
+  for (auto _ : state) {
+    r = rapida::bench::RunOne(eng.get(), query, dataset,
+                              rapida::bench::ClusterModel("chem", rapida::bench::Scale::kSmall, 10));
+    if (!r.ok) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+  }
+  state.counters["SimSeconds"] = r.sim_seconds;
+  state.counters["MapOnlyCycles"] = r.map_only_cycles;
+  state.counters["ShuffleMB"] =
+      static_cast<double>(r.shuffle_bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const char* q : {"G5", "G6", "G7", "G8", "G9"}) {
+    std::string query = q;
+    benchmark::RegisterBenchmark(
+        ("ablation/mapjoin/" + query + "/on").c_str(),
+        [query](benchmark::State& s) { Run(query, s, true); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("ablation/mapjoin/" + query + "/off").c_str(),
+        [query](benchmark::State& s) { Run(query, s, false); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nMap-joins convert small-table join cycles to map-only "
+              "cycles (MapOnlyCycles counter) and remove their shuffle.\n");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,269 @@
+#include "bench/bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "analytics/analytical_query.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+#include "workload/bsbm.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+namespace rapida::bench {
+
+using engine::Dataset;
+using engine::EngineOptions;
+using engine::ExecStats;
+
+namespace {
+
+rdf::Graph BuildGraph(const std::string& workload, Scale scale) {
+  if (workload == "bsbm") {
+    workload::BsbmConfig cfg;
+    cfg.num_products = scale == Scale::kSmall ? 2000 : 8000;
+    cfg.offers_per_product = 3.0;
+    return workload::GenerateBsbm(cfg);
+  }
+  if (workload == "chem") {
+    workload::ChemConfig cfg;
+    // Medline dominates the warehouse (as in the real 60 GB dataset), so
+    // the G5-G8 dimension tables are a small fraction of the total — the
+    // premise of the paper's map-join observations.
+    cfg.num_publications = scale == Scale::kSmall ? 20000 : 60000;
+    if (scale == Scale::kLarge) cfg.num_assays = 5000;
+    return workload::GenerateChem2Bio(cfg);
+  }
+  workload::PubmedConfig cfg;
+  cfg.num_publications = scale == Scale::kSmall ? 1500 : 5000;
+  return workload::GeneratePubmed(cfg);
+}
+
+}  // namespace
+
+Dataset* GetDataset(const std::string& workload, Scale scale, bool orc) {
+  static auto* cache =
+      new std::map<std::string, std::unique_ptr<Dataset>>();
+  std::string key = workload + (scale == Scale::kSmall ? ":s" : ":l") +
+                    (orc ? ":orc" : ":plain");
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Dataset::Options opts;
+    opts.vp_compressed = orc;
+    it = cache
+             ->emplace(key, std::make_unique<Dataset>(
+                                BuildGraph(workload, scale), opts))
+             .first;
+  }
+  return it->second.get();
+}
+
+mr::ClusterConfig ClusterFor(int num_nodes) {
+  mr::ClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  return cfg;
+}
+
+mr::ClusterConfig ClusterModel(const std::string& workload, Scale scale,
+                               int num_nodes) {
+  mr::ClusterConfig cfg = ClusterFor(num_nodes);
+  double target_gb = 43.0;  // BSBM-500K
+  if (workload == "bsbm" && scale == Scale::kLarge) target_gb = 172.0;
+  if (workload == "chem") target_gb = 60.0;
+  if (workload == "pubmed") target_gb = 230.0;
+  uint64_t sample_bytes =
+      GetDataset(workload, scale)->graph().EstimateSerializedBytes();
+  if (sample_bytes > 0) {
+    cfg.bytes_scale =
+        target_gb * 1024.0 * 1024.0 * 1024.0 / static_cast<double>(sample_bytes);
+  }
+  return cfg;
+}
+
+std::unique_ptr<engine::Engine> MakeEngine(const std::string& name,
+                                           const EngineOptions& options) {
+  if (name == "Hive (Naive)") {
+    return std::make_unique<engine::HiveNaiveEngine>(options);
+  }
+  if (name == "Hive (MQO)") {
+    return std::make_unique<engine::HiveMqoEngine>(options);
+  }
+  if (name == "RAPID+ (Naive)") {
+    return std::make_unique<engine::RapidPlusEngine>(options);
+  }
+  return std::make_unique<engine::RapidAnalyticsEngine>(options);
+}
+
+std::vector<std::string> AllEngineNames() {
+  return {"Hive (Naive)", "Hive (MQO)", "RAPID+ (Naive)", "RAPIDAnalytics"};
+}
+
+std::vector<std::string> HiveVsRapidAnalytics() {
+  return {"Hive (Naive)", "RAPIDAnalytics"};
+}
+
+RunResult RunOne(engine::Engine* eng, const std::string& query_id,
+                 Dataset* dataset, const mr::ClusterConfig& cluster_cfg) {
+  RunResult out;
+  out.query = query_id;
+  out.engine = eng->name();
+
+  auto cq = workload::FindQuery(query_id);
+  if (!cq.ok()) {
+    out.error = cq.status().ToString();
+    return out;
+  }
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  if (!parsed.ok()) {
+    out.error = parsed.status().ToString();
+    return out;
+  }
+  auto query = analytics::AnalyzeQuery(**parsed);
+  if (!query.ok()) {
+    out.error = query.status().ToString();
+    return out;
+  }
+
+  mr::Cluster cluster(cluster_cfg, &dataset->dfs());
+  dataset->dfs().ResetPeak();
+  ExecStats stats;
+  auto result = eng->Execute(*query, dataset, &cluster, &stats);
+  out.peak_dfs_bytes = dataset->dfs().PeakStoredBytes();
+  if (!result.ok()) {
+    out.error = result.status().ToString();
+    out.cycles = static_cast<int>(cluster.history().size());
+    return out;
+  }
+  out.ok = true;
+  out.result_rows = result->NumRows();
+  out.sim_seconds = stats.workflow.TotalSimSeconds();
+  out.wall_seconds = stats.wall_seconds;
+  out.cycles = stats.workflow.NumCycles();
+  out.map_only_cycles = stats.workflow.NumMapOnlyCycles();
+  out.scan_bytes = stats.workflow.TotalInputBytes();
+  out.shuffle_bytes = stats.workflow.TotalShuffleBytes();
+  out.write_bytes = stats.workflow.TotalOutputBytes();
+  return out;
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& engine_order,
+                const std::vector<RunResult>& results) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(cells: simulated seconds | MR cycles; engine/cluster model"
+              " — compare shapes, not absolutes)\n");
+  std::printf("%-8s", "Query");
+  for (const std::string& e : engine_order) std::printf(" | %20s", e.c_str());
+  std::printf("\n");
+
+  // Preserve first-seen query order.
+  std::vector<std::string> queries;
+  for (const RunResult& r : results) {
+    bool seen = false;
+    for (const std::string& q : queries) seen = seen || q == r.query;
+    if (!seen) queries.push_back(r.query);
+  }
+  for (const std::string& q : queries) {
+    std::printf("%-8s", q.c_str());
+    for (const std::string& e : engine_order) {
+      const RunResult* found = nullptr;
+      for (const RunResult& r : results) {
+        if (r.query == q && r.engine == e) found = &r;
+      }
+      if (found == nullptr) {
+        std::printf(" | %20s", "-");
+      } else if (!found->ok) {
+        std::printf(" | %20s", "FAILED*");
+      } else {
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%9.1fs | %2d cyc",
+                      found->sim_seconds, found->cycles);
+        std::printf(" | %20s", cell);
+      }
+    }
+    std::printf("\n");
+  }
+  // Footnotes for failures.
+  for (const RunResult& r : results) {
+    if (!r.ok) {
+      std::printf("  * %s on %s: %s\n", r.engine.c_str(), r.query.c_str(),
+                  r.error.c_str());
+    }
+  }
+  std::fflush(stdout);
+
+  // Optional machine-readable dump for plotting.
+  const char* csv_dir = std::getenv("RAPIDA_BENCH_CSV");
+  if (csv_dir != nullptr && *csv_dir != '\0') {
+    std::string file_name = title;
+    for (char& c : file_name) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    std::string path = std::string(csv_dir) + "/" + file_name + ".csv";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "query,engine,ok,sim_seconds,cycles,map_only_cycles,"
+                   "scan_bytes,shuffle_bytes,write_bytes,result_rows\n");
+      for (const RunResult& r : results) {
+        std::fprintf(f, "%s,%s,%d,%.3f,%d,%d,%llu,%llu,%llu,%zu\n",
+                     r.query.c_str(), r.engine.c_str(), r.ok ? 1 : 0,
+                     r.sim_seconds, r.cycles, r.map_only_cycles,
+                     static_cast<unsigned long long>(r.scan_bytes),
+                     static_cast<unsigned long long>(r.shuffle_bytes),
+                     static_cast<unsigned long long>(r.write_bytes),
+                     r.result_rows);
+      }
+      std::fclose(f);
+      std::printf("  (csv written to %s)\n", path.c_str());
+    }
+  }
+}
+
+void RegisterQueryBenchmarks(const std::string& prefix,
+                             const std::vector<std::string>& query_ids,
+                             const std::vector<std::string>& engine_names,
+                             const std::string& workload, Scale scale,
+                             int num_nodes,
+                             std::vector<RunResult>* sink) {
+  for (const std::string& query : query_ids) {
+    for (const std::string& engine_name : engine_names) {
+      std::string bench_name = prefix + "/" + query + "/" + engine_name;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [query, engine_name, workload, scale, num_nodes,
+           sink](benchmark::State& state) {
+            Dataset* dataset = GetDataset(workload, scale);
+            // Map-join threshold sized for the sample scale: dimension
+            // tables (drugs, types, pathways) stay broadcastable, fact
+            // tables (offers, assays, medline) do not — mirroring Hive's
+            // behaviour on the full-size datasets.
+            EngineOptions options;
+            options.map_join_threshold_bytes = 8 * 1024;
+            auto eng = MakeEngine(engine_name, options);
+            RunResult last;
+            for (auto _ : state) {
+              last = RunOne(eng.get(), query, dataset,
+                            ClusterModel(workload, scale, num_nodes));
+              if (!last.ok) {
+                state.SkipWithError(last.error.c_str());
+                break;
+              }
+            }
+            state.counters["SimSeconds"] = last.sim_seconds;
+            state.counters["Cycles"] = last.cycles;
+            state.counters["ShuffleMB"] =
+                static_cast<double>(last.shuffle_bytes) / (1024.0 * 1024.0);
+            if (sink != nullptr) sink->push_back(last);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace rapida::bench

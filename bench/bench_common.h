@@ -1,0 +1,83 @@
+#ifndef RAPIDA_BENCH_BENCH_COMMON_H_
+#define RAPIDA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/engines.h"
+#include "mapreduce/cluster.h"
+#include "workload/catalog.h"
+
+namespace rapida::bench {
+
+/// Scale of the shared bench datasets.
+enum class Scale { kSmall, kLarge };
+
+/// Cached dataset for a workload (built once per process). `orc` toggles
+/// compressed VP tables (the ORC ablation uses both variants).
+engine::Dataset* GetDataset(const std::string& workload, Scale scale,
+                            bool orc = true);
+
+/// Cluster config matching the paper's setups: 10 nodes for BSBM-500K and
+/// Chem2Bio2RDF, 50 for BSBM-2M, 60 for PubMed (§5.1).
+mr::ClusterConfig ClusterFor(int num_nodes);
+
+/// Cluster config whose cost model scales the in-process sample up to the
+/// paper's dataset sizes (BSBM 43 GB / 172 GB, Chem2Bio2RDF 60 GB, PubMed
+/// 230 GB) so byte-bound costs dominate like they did on the testbed.
+mr::ClusterConfig ClusterModel(const std::string& workload, Scale scale,
+                               int num_nodes);
+
+/// Outcome of one engine × query run.
+struct RunResult {
+  std::string query;
+  std::string engine;
+  bool ok = false;
+  std::string error;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  int cycles = 0;
+  int map_only_cycles = 0;
+  uint64_t scan_bytes = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t peak_dfs_bytes = 0;
+  size_t result_rows = 0;
+};
+
+/// Executes one catalog query on one engine; never throws, failures are
+/// reported in the result.
+RunResult RunOne(engine::Engine* eng, const std::string& query_id,
+                 engine::Dataset* dataset, const mr::ClusterConfig& cluster);
+
+/// Prints a paper-style table: rows = queries, columns = engines, cells =
+/// simulated seconds (with cycle counts). When the RAPIDA_BENCH_CSV
+/// environment variable names a directory, the raw results are also
+/// appended as CSV there (one file per table, plot-ready).
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& engine_order,
+                const std::vector<RunResult>& results);
+
+/// Registers a google-benchmark per (engine, query) that runs the full
+/// workflow once per iteration and reports SimSeconds / Cycles counters.
+/// Collected results land in `sink` for the summary table.
+void RegisterQueryBenchmarks(const std::string& prefix,
+                             const std::vector<std::string>& query_ids,
+                             const std::vector<std::string>& engine_names,
+                             const std::string& workload, Scale scale,
+                             int num_nodes,
+                             std::vector<RunResult>* sink);
+
+/// Makes an engine by its display name ("Hive (Naive)", ...).
+std::unique_ptr<engine::Engine> MakeEngine(
+    const std::string& name,
+    const engine::EngineOptions& options = engine::EngineOptions());
+
+/// Standard engine name lists.
+std::vector<std::string> AllEngineNames();
+std::vector<std::string> HiveVsRapidAnalytics();
+
+}  // namespace rapida::bench
+
+#endif  // RAPIDA_BENCH_BENCH_COMMON_H_

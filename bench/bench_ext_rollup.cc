@@ -1,0 +1,32 @@
+// Extension bench (the paper's §6 future work, "more complex OLAP
+// queries"): ROLLUP-style queries with THREE related groupings. The N-ary
+// composite rewriting evaluates the whole rollup lattice level set as one
+// composite pattern + one parallel Agg-Join cycle; the baselines pay per
+// level.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<rapida::bench::RunResult> bsbm_results;
+  std::vector<rapida::bench::RunResult> pubmed_results;
+  rapida::bench::RegisterQueryBenchmarks(
+      "ext_rollup/bsbm", {"R1"}, rapida::bench::AllEngineNames(), "bsbm",
+      rapida::bench::Scale::kSmall, /*num_nodes=*/10, &bsbm_results);
+  rapida::bench::RegisterQueryBenchmarks(
+      "ext_rollup/pubmed", {"R2"}, rapida::bench::AllEngineNames(),
+      "pubmed", rapida::bench::Scale::kSmall, /*num_nodes=*/60,
+      &pubmed_results);
+
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable(
+      "Extension — R1 rollup (feature,country)/(country)/() on BSBM",
+      rapida::bench::AllEngineNames(), bsbm_results);
+  rapida::bench::PrintTable(
+      "Extension — R2 rollup (country,agency)/(country)/() on PubMed",
+      rapida::bench::AllEngineNames(), pubmed_results);
+  benchmark::Shutdown();
+  return 0;
+}

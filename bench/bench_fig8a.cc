@@ -1,0 +1,23 @@
+// Reproduces Figure 8(a): multi-grouping queries MG1-MG4 on BSBM-small,
+// all four systems. Paper shape: cycle counts 9 / ~7 / 5 / 3 for MG1-MG2
+// and 11 / ~8 / 7 / 4 for MG3-MG4; RAPIDAnalytics fastest throughout.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<rapida::bench::RunResult> results;
+  rapida::bench::RegisterQueryBenchmarks(
+      "fig8a", {"MG1", "MG2", "MG3", "MG4"},
+      rapida::bench::AllEngineNames(), "bsbm",
+      rapida::bench::Scale::kSmall, /*num_nodes=*/10, &results);
+
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable(
+      "Figure 8(a) — MG1-MG4 on BSBM-small (10-node model)",
+      rapida::bench::AllEngineNames(), results);
+  benchmark::Shutdown();
+  return 0;
+}

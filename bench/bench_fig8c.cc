@@ -1,0 +1,24 @@
+// Reproduces Figure 8(c): MG6-MG10 on the Chem2Bio2RDF-like dataset.
+// Paper shape: MG6-MG8 (small VP tables, Hive map-joins) show moderate
+// RAPIDAnalytics gains (40-60%); MG9-MG10 (large Medline relations) show
+// ~90% gains.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<rapida::bench::RunResult> results;
+  rapida::bench::RegisterQueryBenchmarks(
+      "fig8c", {"MG6", "MG7", "MG8", "MG9", "MG10"},
+      rapida::bench::AllEngineNames(), "chem",
+      rapida::bench::Scale::kSmall, /*num_nodes=*/10, &results);
+
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable(
+      "Figure 8(c) — MG6-MG10 on Chem2Bio2RDF (10-node model)",
+      rapida::bench::AllEngineNames(), results);
+  benchmark::Shutdown();
+  return 0;
+}

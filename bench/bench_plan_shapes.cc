@@ -1,0 +1,61 @@
+// Reproduces the plan-shape narrative of Figures 2 and 6: the running
+// example AQ1 compiled by each system, with the per-cycle breakdown
+// (what each MR cycle scans, shuffles, and writes). The relational plan
+// (Fig. 2) costs 10 joins / 2 groupings across many cycles; the
+// RAPIDAnalytics plan (Fig. 6b) is 1 α-join cycle + 1 parallel Agg-Join
+// cycle + 1 map-only join.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analytics/analytical_query.h"
+#include "bench/bench_common.h"
+#include "sparql/parser.h"
+#include "workload/catalog.h"
+
+namespace {
+
+void PrintWorkflows() {
+  using rapida::bench::GetDataset;
+  using rapida::bench::MakeEngine;
+
+  auto cq = rapida::workload::FindQuery("AQ1");
+  if (!cq.ok()) return;
+  auto parsed = rapida::sparql::ParseQuery((*cq)->sparql);
+  if (!parsed.ok()) return;
+  auto query = rapida::analytics::AnalyzeQuery(**parsed);
+  if (!query.ok()) return;
+  rapida::engine::Dataset* dataset =
+      GetDataset("bsbm", rapida::bench::Scale::kSmall);
+
+  std::printf("\n=== AQ1 execution workflows (Figures 2 / 6) ===\n");
+  for (const std::string& name : rapida::bench::AllEngineNames()) {
+    auto eng = MakeEngine(name);
+    rapida::mr::Cluster cluster(rapida::bench::ClusterModel("bsbm", rapida::bench::Scale::kSmall, 10), &dataset->dfs());
+    rapida::engine::ExecStats stats;
+    auto result = eng->Execute(*query, dataset, &cluster, &stats);
+    std::printf("\n--- %s ---\n", name.c_str());
+    if (!result.ok()) {
+      std::printf("failed: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", stats.workflow.ToString().c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::vector<rapida::bench::RunResult> results;
+  rapida::bench::RegisterQueryBenchmarks(
+      "plan_shapes", {"AQ1"}, rapida::bench::AllEngineNames(), "bsbm",
+      rapida::bench::Scale::kSmall, /*num_nodes=*/10, &results);
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable("AQ1 (running example, Fig. 1)",
+                            rapida::bench::AllEngineNames(), results);
+  PrintWorkflows();
+  benchmark::Shutdown();
+  return 0;
+}

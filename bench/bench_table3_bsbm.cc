@@ -1,0 +1,33 @@
+// Reproduces Table 3 (left): single-grouping queries G1-G4 on the
+// BSBM-like datasets at two scales, Hive (Naive) vs RAPIDAnalytics.
+// Paper shape: Hive needs 4 MR cycles, RAPIDAnalytics 2, with a consistent
+// ~80% gain that persists (or grows) at the larger scale.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<rapida::bench::RunResult> small_results;
+  std::vector<rapida::bench::RunResult> large_results;
+  const std::vector<std::string> queries = {"G1", "G2", "G3", "G4"};
+  rapida::bench::RegisterQueryBenchmarks(
+      "table3/bsbm_small", queries,
+      rapida::bench::HiveVsRapidAnalytics(), "bsbm",
+      rapida::bench::Scale::kSmall, /*num_nodes=*/10, &small_results);
+  rapida::bench::RegisterQueryBenchmarks(
+      "table3/bsbm_large", queries,
+      rapida::bench::HiveVsRapidAnalytics(), "bsbm",
+      rapida::bench::Scale::kLarge, /*num_nodes=*/50, &large_results);
+
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable(
+      "Table 3 (left) — G1-G4 on BSBM-small (10-node model)",
+      rapida::bench::HiveVsRapidAnalytics(), small_results);
+  rapida::bench::PrintTable(
+      "Table 3 (left) — G1-G4 on BSBM-large (50-node model)",
+      rapida::bench::HiveVsRapidAnalytics(), large_results);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+#ifndef RAPIDA_ANALYTICS_AGGREGATES_H_
+#define RAPIDA_ANALYTICS_AGGREGATES_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::analytics {
+
+/// Incremental state for one aggregate function over one group.
+///
+/// The state is *algebraic* for COUNT/SUM/AVG/MIN/MAX without DISTINCT:
+/// partial states can be merged, which is what the MapReduce engines'
+/// map-side pre-aggregation (paper Alg. 3, `multiAggMap`) relies on.
+/// DISTINCT aggregates keep the seen-set and are only supported by the
+/// reference evaluator.
+class Aggregator {
+ public:
+  /// `separator` is only meaningful for GROUP_CONCAT.
+  Aggregator(sparql::AggFunc func, bool distinct,
+             std::string separator = " ")
+      : func_(func), distinct_(distinct),
+        separator_(std::move(separator)) {}
+
+  /// Adds one bound term (skips kInvalidTermId, matching SPARQL semantics
+  /// where unbound values do not contribute).
+  void AddTerm(rdf::TermId value, const rdf::Dictionary& dict);
+
+  /// Adds one COUNT(*) row.
+  void AddRow();
+
+  /// Merges another partial state (same func; no DISTINCT).
+  void Merge(const Aggregator& other, const rdf::Dictionary& dict);
+
+  /// Final value as a canonical interned term (numbers via InternNumber,
+  /// MIN/MAX as the winning term id). Empty-group results follow SPARQL:
+  /// COUNT -> 0, SUM -> 0, AVG -> 0, MIN/MAX -> unbound.
+  rdf::TermId Finalize(rdf::Dictionary* dict) const;
+
+  /// Serialized partial state for shuffle
+  /// ("count,sum,has,min,max,sample,concat-ids").
+  std::string SerializePartial() const;
+  static StatusOr<Aggregator> DeserializePartial(sparql::AggFunc func,
+                                                 const std::string& data,
+                                                 std::string separator = " ");
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  sparql::AggFunc func_;
+  bool distinct_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  bool has_minmax_ = false;
+  rdf::TermId min_term_ = rdf::kInvalidTermId;
+  rdf::TermId max_term_ = rdf::kInvalidTermId;
+  /// SAMPLE witness: the smallest term id seen (deterministic across
+  /// engines and partitionings).
+  rdf::TermId sample_ = rdf::kInvalidTermId;
+  /// GROUP_CONCAT values (term ids; sorted lexically at Finalize).
+  std::vector<rdf::TermId> concat_values_;
+  std::string separator_;
+  std::set<rdf::TermId> seen_;  // DISTINCT only
+};
+
+}  // namespace rapida::analytics
+
+#endif  // RAPIDA_ANALYTICS_AGGREGATES_H_

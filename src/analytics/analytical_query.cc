@@ -1,0 +1,204 @@
+#include "analytics/analytical_query.h"
+
+#include <algorithm>
+
+namespace rapida::analytics {
+
+using sparql::Expr;
+using sparql::SelectItem;
+using sparql::SelectQuery;
+
+namespace {
+
+/// Converts one single-grouping SELECT (the whole query or one subquery)
+/// into a GroupingSubquery. `nested` marks true subqueries, where ORDER
+/// BY / LIMIT are rejected (the engines cannot honor per-subquery
+/// solution orderings inside a join).
+StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
+                                           bool nested) {
+  if (nested && (!q.order_by.empty() || q.limit >= 0 || q.offset > 0)) {
+    return Status::Unimplemented(
+        "ORDER BY / LIMIT / OFFSET inside grouping subqueries is not "
+        "supported by the MapReduce engines");
+  }
+  if (!q.where.subqueries.empty()) {
+    return Status::InvalidArgument(
+        "grouping subqueries must not nest further subqueries");
+  }
+  if (!q.where.optionals.empty()) {
+    return Status::InvalidArgument(
+        "OPTIONAL is outside the analytical subset (use the reference "
+        "evaluator)");
+  }
+  if (q.select_all) {
+    return Status::InvalidArgument(
+        "SELECT * is not a grouping subquery shape");
+  }
+
+  GroupingSubquery out;
+  RAPIDA_ASSIGN_OR_RETURN(out.pattern,
+                          ntga::DecomposeToStars(q.where.triples));
+  for (const auto& f : q.where.filters) out.filters.push_back(f->Clone());
+  out.group_by = q.group_by;
+  if (q.having != nullptr) {
+    if (q.having->HasAggregate()) {
+      return Status::Unimplemented(
+          "HAVING must reference aggregate aliases, not aggregate "
+          "expressions (write HAVING(?cnt > 3) with (COUNT(?x) AS ?cnt))");
+    }
+    out.having = q.having->Clone();
+  }
+
+  for (const SelectItem& item : q.items) {
+    out.columns.push_back(item.name);
+    if (item.expr == nullptr) {
+      if (std::find(q.group_by.begin(), q.group_by.end(), item.name) ==
+          q.group_by.end()) {
+        return Status::InvalidArgument("projected variable ?" + item.name +
+                                       " is not in GROUP BY");
+      }
+      continue;
+    }
+    if (item.expr->kind != Expr::Kind::kAggregate) {
+      return Status::InvalidArgument(
+          "grouping subquery select expressions must be simple aggregates, "
+          "got: " + item.expr->ToString());
+    }
+    ntga::AggSpec agg;
+    agg.func = item.expr->agg_func;
+    agg.output_name = item.name;
+    if (!item.expr->regex_pattern.empty()) {
+      agg.separator = item.expr->regex_pattern;
+    }
+    if (item.expr->agg_distinct) {
+      return Status::Unimplemented(
+          "DISTINCT aggregates are not supported by the MapReduce engines "
+          "(non-algebraic); use the reference evaluator");
+    }
+    if (item.expr->count_star) {
+      agg.count_star = true;
+    } else {
+      const Expr& arg = *item.expr->children[0];
+      if (arg.kind != Expr::Kind::kVar) {
+        return Status::InvalidArgument(
+            "aggregate arguments must be variables, got: " + arg.ToString());
+      }
+      agg.var = arg.var;
+    }
+    out.aggs.push_back(std::move(agg));
+  }
+  if (out.aggs.empty()) {
+    return Status::InvalidArgument(
+        "a grouping subquery needs at least one aggregate");
+  }
+  // Grouping variables must be bound by the pattern.
+  for (const std::string& v : q.group_by) {
+    bool bound = false;
+    for (const ntga::StarPattern& s : out.pattern.stars) {
+      if (s.subject_var == v) bound = true;
+      for (const ntga::StarTriple& t : s.triples) {
+        if (t.ObjectVar() == v) bound = true;
+      }
+    }
+    if (!bound) {
+      return Status::InvalidArgument("GROUP BY variable ?" + v +
+                                     " is not bound by the graph pattern");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ApplySolutionModifiers(const AnalyticalQuery& query,
+                            const rdf::Dictionary& dict,
+                            BindingTable* table) {
+  if (query.top_distinct) table->Distinct();
+  ApplyOrderLimit(table, query.order_by, query.limit, query.offset, dict);
+}
+
+std::vector<std::string> AnalyticalQuery::TopColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(top_items.size());
+  for (const SelectItem& item : top_items) out.push_back(item.name);
+  return out;
+}
+
+StatusOr<AnalyticalQuery> AnalyzeQuery(const SelectQuery& query) {
+  AnalyticalQuery out;
+  out.top_distinct = query.distinct;
+
+  out.order_by = query.order_by;
+  out.limit = query.limit;
+  out.offset = query.offset;
+
+  if (query.where.subqueries.empty()) {
+    // Single-grouping query: the query itself is the one grouping and the
+    // top level is the identity projection of its columns.
+    RAPIDA_ASSIGN_OR_RETURN(GroupingSubquery g,
+                            AnalyzeGrouping(query, /*nested=*/false));
+    for (const std::string& col : g.columns) {
+      out.top_items.emplace_back(col, nullptr);
+    }
+    out.groupings.push_back(std::move(g));
+    return out;
+  }
+
+  // Multi-grouping query.
+  if (!query.where.triples.empty() || !query.where.optionals.empty()) {
+    return Status::InvalidArgument(
+        "multi-grouping analytical queries must contain only sub-SELECTs at "
+        "the top level");
+  }
+  if (query.having != nullptr) {
+    return Status::Unimplemented(
+        "top-level HAVING over joined groupings is not supported; attach "
+        "HAVING to the grouping subqueries");
+  }
+  for (const auto& sub : query.where.subqueries) {
+    RAPIDA_ASSIGN_OR_RETURN(GroupingSubquery g,
+                            AnalyzeGrouping(*sub, /*nested=*/true));
+    out.groupings.push_back(std::move(g));
+  }
+  if (query.select_all) {
+    return Status::InvalidArgument(
+        "SELECT * at the top level of an analytical query is not supported");
+  }
+  // Validate top items reference grouping columns only.
+  auto column_exists = [&out](const std::string& name) {
+    for (const GroupingSubquery& g : out.groupings) {
+      if (std::find(g.columns.begin(), g.columns.end(), name) !=
+          g.columns.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const SelectItem& item : query.items) {
+    if (item.expr == nullptr) {
+      if (!column_exists(item.name)) {
+        return Status::InvalidArgument("top-level variable ?" + item.name +
+                                       " is not produced by any grouping");
+      }
+    } else {
+      if (item.expr->HasAggregate()) {
+        return Status::InvalidArgument(
+            "top-level expressions must not aggregate (aggregates belong in "
+            "the grouping subqueries)");
+      }
+      std::vector<std::string> vars;
+      item.expr->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        if (!column_exists(v)) {
+          return Status::InvalidArgument(
+              "top-level expression references unknown column ?" + v);
+        }
+      }
+    }
+    out.top_items.emplace_back(item.name,
+                               item.expr ? item.expr->Clone() : nullptr);
+  }
+  return out;
+}
+
+}  // namespace rapida::analytics

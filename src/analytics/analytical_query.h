@@ -1,0 +1,77 @@
+#ifndef RAPIDA_ANALYTICS_ANALYTICAL_QUERY_H_
+#define RAPIDA_ANALYTICS_ANALYTICAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/binding.h"
+#include "ntga/operators.h"
+#include "ntga/star_pattern.h"
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::analytics {
+
+/// One grouping-aggregation constraint of an analytical query: a graph
+/// pattern (decomposed into stars), its filters, the grouping variables
+/// (θ; empty = GROUP BY ALL) and the aggregation list (l). This is the
+/// decoupled form of §3: grouping definition separated from the
+/// aggregation computation.
+struct GroupingSubquery {
+  ntga::StarGraph pattern;
+  std::vector<sparql::ExprPtr> filters;
+  std::vector<std::string> group_by;
+  std::vector<ntga::AggSpec> aggs;
+  /// HAVING condition over this grouping's output columns (group vars and
+  /// aggregate aliases); null if absent.
+  sparql::ExprPtr having;
+  /// Output column names in SELECT order (group vars and agg names).
+  std::vector<std::string> columns;
+
+  GroupingSubquery() = default;
+  GroupingSubquery(GroupingSubquery&&) = default;
+  GroupingSubquery& operator=(GroupingSubquery&&) = default;
+};
+
+/// A SPARQL analytical query in engine form: one or more grouping
+/// subqueries whose results are joined and projected by the top-level
+/// SELECT (e.g. AQ1's price ratio).
+struct AnalyticalQuery {
+  std::vector<GroupingSubquery> groupings;
+  /// Top-level select items over the union of grouping output columns
+  /// (plain columns or arithmetic expressions — no aggregates here).
+  std::vector<sparql::SelectItem> top_items;
+  bool top_distinct = false;
+  /// Top-level solution modifiers, applied after the final join.
+  std::vector<sparql::OrderKey> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  AnalyticalQuery() = default;
+  AnalyticalQuery(AnalyticalQuery&&) = default;
+  AnalyticalQuery& operator=(AnalyticalQuery&&) = default;
+
+  std::vector<std::string> TopColumnNames() const;
+};
+
+/// Applies the top-level solution modifiers (DISTINCT, ORDER BY,
+/// OFFSET/LIMIT) to an engine's final result. Every engine calls this as
+/// its last (driver-side) step.
+void ApplySolutionModifiers(const AnalyticalQuery& query,
+                            const rdf::Dictionary& dict,
+                            BindingTable* table);
+
+/// Converts a parsed SELECT query into engine form. Accepted shapes:
+///  * a single grouping query — BGP + FILTERs with aggregates and
+///    optional GROUP BY at the top level (paper's G1–G9), or
+///  * a multi-grouping query — top level WHERE contains only sub-SELECTs
+///    (each a single grouping query); top items project their columns
+///    (paper's MG1–MG18, AQ1).
+/// Anything else (OPTIONAL blocks, unbound properties, nested nesting)
+/// returns InvalidArgument: those shapes fall outside the paper's
+/// optimization scope and should be run on the reference evaluator.
+StatusOr<AnalyticalQuery> AnalyzeQuery(const sparql::SelectQuery& query);
+
+}  // namespace rapida::analytics
+
+#endif  // RAPIDA_ANALYTICS_ANALYTICAL_QUERY_H_

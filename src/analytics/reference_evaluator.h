@@ -1,0 +1,53 @@
+#ifndef RAPIDA_ANALYTICS_REFERENCE_EVALUATOR_H_
+#define RAPIDA_ANALYTICS_REFERENCE_EVALUATOR_H_
+
+#include "analytics/binding.h"
+#include "rdf/graph.h"
+#include "rdf/graph_index.h"
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::analytics {
+
+/// Direct in-memory evaluator for the supported SPARQL subset. It is the
+/// correctness oracle: every MapReduce engine's output must match it row for
+/// row. It runs hash/index joins with no cost accounting; do not benchmark
+/// it against the engines (it answers "what", the engines answer "how").
+///
+/// The graph is non-const because computed values (aggregates, arithmetic)
+/// are interned into its dictionary.
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(rdf::Graph* graph);
+
+  ReferenceEvaluator(const ReferenceEvaluator&) = delete;
+  ReferenceEvaluator& operator=(const ReferenceEvaluator&) = delete;
+
+  /// Evaluates a full (possibly nested / aggregated) SELECT query.
+  StatusOr<BindingTable> Evaluate(const sparql::SelectQuery& query);
+
+  /// Evaluates just a group graph pattern to its solution mappings
+  /// (exposed for tests of pattern semantics).
+  StatusOr<BindingTable> EvaluatePattern(
+      const sparql::GroupGraphPattern& pattern);
+
+ private:
+  StatusOr<BindingTable> EvaluateBgp(
+      const std::vector<sparql::TriplePattern>& triples);
+  Status ExtendByTriplePattern(const sparql::TriplePattern& tp,
+                               BindingTable* table);
+
+  /// Resolves a constant term to its dictionary id (kInvalidTermId if the
+  /// term never occurs in the data — pattern can't match).
+  rdf::TermId ResolveConst(const rdf::Term& term) const;
+
+  StatusOr<BindingTable> ApplyGroupingAndSelect(
+      const sparql::SelectQuery& query, const BindingTable& input);
+
+  rdf::Graph* graph_;
+  rdf::GraphIndex index_;
+};
+
+}  // namespace rapida::analytics
+
+#endif  // RAPIDA_ANALYTICS_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,127 @@
+#include "engines/dataset.h"
+
+#include <algorithm>
+
+#include "mapreduce/record.h"
+
+namespace rapida::engine {
+
+Dataset::Dataset(rdf::Graph graph, const Options& options)
+    : graph_(std::move(graph)), options_(options) {
+  type_id_ = graph_.TypeIdOrInvalid();
+  if (options_.dfs_capacity > 0) dfs_.SetCapacityLimit(options_.dfs_capacity);
+}
+
+Status Dataset::EnsureVpTables() {
+  if (vp_loaded_) return Status::OK();
+
+  std::map<rdf::TermId, std::vector<mr::Record>> tables;
+  std::map<rdf::TermId, std::vector<mr::Record>> type_tables;
+  for (const rdf::Triple& t : graph_.triples()) {
+    // Rows are dictionary-encoded (subject id, object id) — the same
+    // uniform encoding the triplegroup layout uses, so byte accounting
+    // compares layouts, not term-encoding choices.
+    mr::Record r;
+    r.key = std::to_string(t.s);
+    r.value = std::to_string(t.o);
+    if (t.p == type_id_) {
+      type_tables[t.o].push_back(std::move(r));
+    } else {
+      tables[t.p].push_back(std::move(r));
+    }
+  }
+
+  mr::FileOptions fo;
+  fo.compressed = options_.vp_compressed;
+  fo.compression_ratio = options_.orc_ratio;
+  for (auto& [p, rows] : tables) {
+    std::string name = "vp:p:" + std::to_string(p);
+    RAPIDA_RETURN_IF_ERROR(dfs_.Write(name, std::move(rows), fo));
+    vp_files_[p] = name;
+  }
+  for (auto& [o, rows] : type_tables) {
+    std::string name = "vp:t:" + std::to_string(o);
+    RAPIDA_RETURN_IF_ERROR(dfs_.Write(name, std::move(rows), fo));
+    vp_type_files_[o] = name;
+  }
+  vp_loaded_ = true;
+  return Status::OK();
+}
+
+Status Dataset::EnsureTripleGroups() {
+  if (tg_loaded_) return Status::OK();
+
+  // Group subjects by equivalence class (their property set). With the
+  // ablation knob off, everything shares one catch-all class (its EC is
+  // empty, so it "covers" only empty requirements — TgFilesCovering then
+  // must return it for every request, handled below).
+  std::map<std::set<rdf::TermId>, std::vector<mr::Record>> classes;
+  std::set<rdf::TermId> all_props;
+  for (const rdf::Graph::SubjectGroup& sg : graph_.SubjectGroups()) {
+    std::set<rdf::TermId> ec;
+    ntga::TripleGroup tg;
+    tg.subject = sg.subject;
+    for (const rdf::Triple& t : sg.triples) {
+      ec.insert(t.p);
+      all_props.insert(t.p);
+      tg.triples.push_back(t);
+    }
+    mr::Record r;
+    r.key = std::to_string(sg.subject);
+    r.value = ntga::SerializeTripleGroup(tg);
+    if (!options_.tg_partition_by_ec) ec.clear();
+    classes[std::move(ec)].push_back(std::move(r));
+  }
+  if (!options_.tg_partition_by_ec && !classes.empty()) {
+    // The single file must cover every property request.
+    auto records = std::move(classes.begin()->second);
+    classes.clear();
+    classes[all_props] = std::move(records);
+  }
+
+  int n = 0;
+  for (auto& [ec, rows] : classes) {
+    std::string name = "tg:ec:" + std::to_string(n++);
+    RAPIDA_RETURN_IF_ERROR(dfs_.Write(name, std::move(rows)));
+    tg_files_[name] = ec;
+  }
+  tg_loaded_ = true;
+  return Status::OK();
+}
+
+std::string Dataset::VpFile(rdf::TermId property) const {
+  auto it = vp_files_.find(property);
+  return it == vp_files_.end() ? std::string() : it->second;
+}
+
+std::string Dataset::VpTypeFile(rdf::TermId type_object) const {
+  auto it = vp_type_files_.find(type_object);
+  return it == vp_type_files_.end() ? std::string() : it->second;
+}
+
+uint64_t Dataset::VpFileBytes(const std::string& file) const {
+  if (file.empty()) return 0;
+  auto f = dfs_.Open(file);
+  return f.ok() ? (*f)->stored_bytes : 0;
+}
+
+std::vector<std::string> Dataset::TgFilesCovering(
+    const std::set<rdf::TermId>& properties) const {
+  std::vector<std::string> out;
+  for (const auto& [name, ec] : tg_files_) {
+    if (std::includes(ec.begin(), ec.end(), properties.begin(),
+                      properties.end())) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Dataset::AllTgFiles() const {
+  std::vector<std::string> out;
+  out.reserve(tg_files_.size());
+  for (const auto& [name, ec] : tg_files_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rapida::engine

@@ -1,0 +1,62 @@
+#ifndef RAPIDA_ENGINES_ENGINE_H_
+#define RAPIDA_ENGINES_ENGINE_H_
+
+#include <string>
+
+#include "analytics/analytical_query.h"
+#include "analytics/binding.h"
+#include "engines/dataset.h"
+#include "mapreduce/cluster.h"
+#include "util/statusor.h"
+
+namespace rapida::engine {
+
+/// Execution report for one engine run: the MapReduce workflow (cycle
+/// count, bytes, simulated time) plus the host wall time of the in-process
+/// execution.
+struct ExecStats {
+  std::string engine;
+  mr::WorkflowStats workflow;
+  double wall_seconds = 0;
+};
+
+/// Per-engine tuning knobs (the ablation benches flip these).
+struct EngineOptions {
+  /// Tables at or below this stored size can be broadcast for map-joins
+  /// (Hive's hive.mapjoin.smalltable.filesize analogue).
+  uint64_t map_join_threshold_bytes = 256 * 1024;
+  /// Enable map-joins at all (Hive engines).
+  bool enable_map_joins = true;
+  /// Map-side partial aggregation (Hive engines) / hash-based pre-
+  /// aggregation in TG_AggJoin (NTGA engines, Alg. 3).
+  bool partial_aggregation = true;
+  /// RAPIDAnalytics only: evaluate independent Agg-Joins in one parallel
+  /// cycle (Fig. 6b) vs sequentially (Fig. 6a).
+  bool parallel_agg_join = true;
+  /// Greedy size-based join ordering: start the inter-star join chain at
+  /// the smallest star and always join the smallest available neighbor
+  /// next, instead of the query's textual order. Cycle counts are
+  /// unchanged; intermediate sizes shrink on chain-shaped patterns.
+  bool greedy_join_order = false;
+};
+
+/// Common interface of the four compared systems. Execute runs the full
+/// workflow on the dataset's DFS through `cluster`, returns the final
+/// result table, and reports per-job statistics in `stats`.
+///
+/// Engines delete their intermediate DFS files before returning (also on
+/// error, best effort), so consecutive runs see a clean DFS.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual StatusOr<analytics::BindingTable> Execute(
+      const analytics::AnalyticalQuery& query, Dataset* dataset,
+      mr::Cluster* cluster, ExecStats* stats) = 0;
+};
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_ENGINE_H_

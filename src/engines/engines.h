@@ -1,0 +1,28 @@
+#ifndef RAPIDA_ENGINES_ENGINES_H_
+#define RAPIDA_ENGINES_ENGINES_H_
+
+#include <memory>
+#include <vector>
+
+#include "engines/engine.h"
+#include "engines/hive_mqo.h"
+#include "engines/hive_naive.h"
+#include "engines/rapid_analytics.h"
+#include "engines/rapid_plus.h"
+
+namespace rapida::engine {
+
+/// The four systems of the paper's evaluation, in its presentation order.
+inline std::vector<std::unique_ptr<Engine>> MakeAllEngines(
+    const EngineOptions& options = EngineOptions()) {
+  std::vector<std::unique_ptr<Engine>> out;
+  out.push_back(std::make_unique<HiveNaiveEngine>(options));
+  out.push_back(std::make_unique<HiveMqoEngine>(options));
+  out.push_back(std::make_unique<RapidPlusEngine>(options));
+  out.push_back(std::make_unique<RapidAnalyticsEngine>(options));
+  return out;
+}
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_ENGINES_H_

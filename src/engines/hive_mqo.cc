@@ -1,0 +1,223 @@
+#include "engines/hive_mqo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "engines/var_translate.h"
+#include "ntga/overlap.h"
+#include "util/logging.h"
+
+namespace rapida::engine {
+
+namespace {
+
+/// Converts a CompositePattern into a StarGraph the relational compiler
+/// understands (composite stars are ordinary star patterns whose secondary
+/// triples will be outer-joined).
+ntga::StarGraph CompositeToStarGraph(const ntga::CompositePattern& comp) {
+  ntga::StarGraph out;
+  for (const ntga::CompositeStar& cs : comp.stars) {
+    ntga::StarPattern sp;
+    sp.subject_var = cs.subject_var;
+    sp.triples = cs.triples;
+    out.stars.push_back(std::move(sp));
+  }
+  out.joins = comp.joins;
+  return out;
+}
+
+/// Object variables of secondary triples, per pattern.
+std::set<std::string> SecondaryVars(const ntga::CompositePattern& comp,
+                                    size_t pattern_index) {
+  std::set<std::string> out;
+  for (size_t s = 0; s < comp.stars.size(); ++s) {
+    const ntga::CompositeStar& cs = comp.stars[s];
+    auto it = comp.pattern_secondary[pattern_index].find(static_cast<int>(s));
+    if (it == comp.pattern_secondary[pattern_index].end()) continue;
+    for (const ntga::StarTriple& t : cs.triples) {
+      if (it->second.count(t.prop) == 0) continue;
+      std::string v = t.ObjectVar();
+      if (!v.empty()) out.insert(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<analytics::BindingTable> HiveMqoEngine::Execute(
+    const analytics::AnalyticalQuery& query, Dataset* dataset,
+    mr::Cluster* cluster, ExecStats* stats) {
+  // MQO rewriting applies to exactly two overlapping graph patterns.
+  if (query.groupings.size() != 2) {
+    auto result = fallback_.Execute(query, dataset, cluster, stats);
+    if (result.ok() && stats != nullptr) stats->engine = name();
+    return result;
+  }
+  ntga::OverlapResult overlap = ntga::FindOverlap(query.groupings[0].pattern,
+                                                  query.groupings[1].pattern);
+  if (!overlap.overlaps) {
+    RAPIDA_LOG(Info) << "MQO fallback (no overlap): " << overlap.explanation;
+    auto result = fallback_.Execute(query, dataset, cluster, stats);
+    if (result.ok() && stats != nullptr) stats->engine = name();
+    return result;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  RAPIDA_ASSIGN_OR_RETURN(
+      ntga::CompositePattern comp,
+      ntga::BuildComposite(query.groupings[0].pattern,
+                           query.groupings[1].pattern, overlap));
+
+  RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+  cluster->ResetHistory();
+  RelationalOps ops(cluster, dataset, options_, "tmp:mqo");
+  const rdf::Dictionary& dict = dataset->graph().dict();
+
+  // ---- step 1: composite pattern with LEFT OUTER secondary joins ----
+  ntga::StarGraph composite_graph = CompositeToStarGraph(comp);
+  std::set<ntga::PropKey> outer_props;
+  for (const ntga::CompositeStar& cs : comp.stars) {
+    outer_props.insert(cs.secondary.begin(), cs.secondary.end());
+  }
+
+  // Shared (primary-variable) filters can be evaluated on the composite;
+  // per-pattern secondary filters must wait for extraction (dropping a
+  // composite row would wrongly remove it from the *other* pattern too).
+  std::vector<std::set<std::string>> pattern_sec_vars = {
+      SecondaryVars(comp, 0), SecondaryVars(comp, 1)};
+  std::vector<sparql::ExprPtr> composite_filters;
+  std::vector<std::vector<sparql::ExprPtr>> extraction_filters(2);
+  std::set<std::string> seen_composite;
+  for (size_t p = 0; p < 2; ++p) {
+    for (const auto& f : query.groupings[p].filters) {
+      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[p]);
+      std::vector<std::string> vars;
+      translated->CollectVars(&vars);
+      bool touches_secondary = false;
+      for (const std::string& v : vars) {
+        if (pattern_sec_vars[p].count(v) > 0) touches_secondary = true;
+      }
+      if (touches_secondary) {
+        extraction_filters[p].push_back(std::move(translated));
+      } else {
+        // Shared filter: both patterns carry it (same-filter scope);
+        // evaluate once.
+        std::string sig = translated->ToString();
+        if (seen_composite.insert(sig).second) {
+          composite_filters.push_back(std::move(translated));
+        }
+      }
+    }
+  }
+  std::vector<const sparql::Expr*> composite_filter_ptrs;
+  for (const auto& f : composite_filters) {
+    composite_filter_ptrs.push_back(f.get());
+  }
+
+  auto q_opt = CompileHivePattern(&ops, dataset, composite_graph,
+                                  composite_filter_ptrs, &outer_props,
+                                  "qopt");
+  if (!q_opt.ok()) {
+    ops.Cleanup();
+    return q_opt.status();
+  }
+
+  // ---- steps 2+3 per original pattern ----
+  std::vector<TableRef> grouping_tables;
+  for (size_t p = 0; p < 2; ++p) {
+    const analytics::GroupingSubquery& grouping = query.groupings[p];
+    // Extraction: rows where every pattern-p secondary variable is bound,
+    // plus the pattern's secondary filters; DISTINCT over the pattern's
+    // full (translated) variable set restores the pattern's multiplicity.
+    std::vector<std::string> pattern_vars;
+    for (const auto& [orig, composite_var] : comp.var_map[p]) {
+      if (std::find(pattern_vars.begin(), pattern_vars.end(),
+                    composite_var) == pattern_vars.end()) {
+        pattern_vars.push_back(composite_var);
+      }
+    }
+    std::vector<std::string> sec_vars(pattern_sec_vars[p].begin(),
+                                      pattern_sec_vars[p].end());
+    std::vector<const sparql::Expr*> extr_filters;
+    for (const auto& f : extraction_filters[p]) extr_filters.push_back(f.get());
+    RowPredicate filter_pred =
+        CompilePredicate(extr_filters, q_opt->columns, &dict);
+    std::vector<int> sec_idx;
+    for (const std::string& v : sec_vars) {
+      int i = q_opt->ColumnIndex(v);
+      if (i >= 0) sec_idx.push_back(i);
+    }
+    RowPredicate keep = [sec_idx, filter_pred](
+                            const std::vector<rdf::TermId>& row) {
+      for (int i : sec_idx) {
+        if (row[i] == rdf::kInvalidTermId) return false;
+      }
+      return filter_pred == nullptr || filter_pred(row);
+    };
+    std::string label = "p" + std::to_string(p);
+    auto extracted = ops.DistinctProject(label + ":extract", *q_opt,
+                                         pattern_vars, keep);
+    if (!extracted.ok()) {
+      ops.Cleanup();
+      return extracted.status();
+    }
+
+    // Aggregation on the extracted pattern table (translated variables),
+    // then rename the output columns back to the subquery's names.
+    std::vector<std::string> translated_keys =
+        MapVars(grouping.group_by, comp.var_map[p]);
+    std::vector<RelationalOps::AggColumn> aggs;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      aggs.push_back(RelationalOps::AggColumn{
+          a.func, MapVar(a.var, comp.var_map[p]), a.count_star,
+          a.output_name, a.separator});
+    }
+    std::vector<std::string> grouped_columns = translated_keys;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      grouped_columns.push_back(a.output_name);
+    }
+    RowPredicate having;
+    sparql::ExprPtr translated_having;
+    if (grouping.having != nullptr) {
+      translated_having = MapExprVars(*grouping.having, comp.var_map[p]);
+      having = CompilePredicate({translated_having.get()}, grouped_columns,
+                                &dict);
+    }
+    auto grouped = ops.GroupBy(label + ":groupby", *extracted,
+                               translated_keys, aggs, having);
+    if (!grouped.ok()) {
+      ops.Cleanup();
+      return grouped.status();
+    }
+    TableRef renamed = *grouped;
+    for (size_t k = 0; k < grouping.group_by.size(); ++k) {
+      renamed.columns[k] = grouping.group_by[k];
+    }
+    grouping_tables.push_back(std::move(renamed));
+  }
+
+  auto final_table =
+      ops.FinalJoinProject("final", grouping_tables, query.top_items);
+  if (!final_table.ok()) {
+    ops.Cleanup();
+    return final_table.status();
+  }
+  auto result = ops.ReadTable(*final_table);
+  ops.Cleanup();
+  if (result.ok()) {
+    analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
+  }
+  if (stats != nullptr) {
+    stats->engine = name();
+    stats->workflow.jobs = cluster->history();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace rapida::engine

@@ -1,0 +1,46 @@
+#ifndef RAPIDA_ENGINES_HIVE_MQO_H_
+#define RAPIDA_ENGINES_HIVE_MQO_H_
+
+#include <string>
+
+#include "engines/engine.h"
+#include "engines/hive_naive.h"
+
+namespace rapida::engine {
+
+/// The paper's "Hive (MQO)" baseline — the multi-query-optimization
+/// rewriting of Le et al. (ICDE'12) applied before a relational plan:
+///
+///  1. the two overlapping graph patterns are rewritten into one composite
+///     query whose non-shared (secondary) properties are LEFT OUTER
+///     joined (the relational rendering of OPTIONAL), evaluated with the
+///     same star/join cycles as naive Hive, and **materialized** as an
+///     intermediate table (Hive has no materialized views, §2.2);
+///  2. per original pattern, one DISTINCT-extraction cycle selects the
+///     rows whose pattern-specific columns are non-NULL and projects the
+///     pattern's variables;
+///  3. one GROUP BY cycle per pattern, then the final map-only join.
+///
+/// Because of the materialization boundary, early projection and partial
+/// aggregation cannot cross step 1→2 — the weakness the paper observes.
+/// Queries whose patterns do not overlap (or that have a single grouping)
+/// fall back to the naive plan.
+class HiveMqoEngine : public Engine {
+ public:
+  explicit HiveMqoEngine(const EngineOptions& options = EngineOptions())
+      : options_(options), fallback_(options) {}
+
+  std::string name() const override { return "Hive (MQO)"; }
+
+  StatusOr<analytics::BindingTable> Execute(
+      const analytics::AnalyticalQuery& query, Dataset* dataset,
+      mr::Cluster* cluster, ExecStats* stats) override;
+
+ private:
+  EngineOptions options_;
+  HiveNaiveEngine fallback_;
+};
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_HIVE_MQO_H_

@@ -1,0 +1,323 @@
+#include "engines/hive_naive.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "util/logging.h"
+
+namespace rapida::engine {
+
+namespace {
+
+/// A star's compiled form: either a materialized table (>= 2 triple
+/// patterns -> one star-join cycle) or a direct VP input (single triple
+/// pattern — Hive folds the scan into the next join).
+struct StarOut {
+  JoinInput input;  // how the next join consumes this star
+};
+
+/// Collects the variables of an expression.
+std::vector<std::string> VarsOf(const sparql::Expr& e) {
+  std::vector<std::string> vars;
+  e.CollectVars(&vars);
+  return vars;
+}
+
+}  // namespace
+
+StatusOr<TableRef> CompileHivePattern(
+    RelationalOps* ops, Dataset* dataset, const ntga::StarGraph& pattern,
+    const std::vector<const sparql::Expr*>& filters,
+    const std::set<ntga::PropKey>* outer_secondary,
+    const std::string& label) {
+  const rdf::Dictionary& dict = dataset->graph().dict();
+
+  // Filter assignment: single-variable filters are pushed to the VP input
+  // binding that variable; the rest run after the joins.
+  std::vector<bool> filter_used(filters.size(), false);
+
+  auto single_var_filters_for = [&](const std::string& var) {
+    std::vector<const sparql::Expr*> out;
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (filter_used[i]) continue;
+      std::vector<std::string> vars = VarsOf(*filters[i]);
+      if (vars.size() == 1 && vars[0] == var) {
+        out.push_back(filters[i]);
+        filter_used[i] = true;
+      }
+    }
+    return out;
+  };
+
+  // ---- compile each star ----
+  std::vector<StarOut> stars;
+  int synth = 0;
+  for (size_t s = 0; s < pattern.stars.size(); ++s) {
+    const ntga::StarPattern& star = pattern.stars[s];
+    std::vector<JoinInput> inputs;
+    for (const ntga::StarTriple& t : star.triples) {
+      JoinInput in;
+      in.is_vp = true;
+      in.join_column = star.subject_var;
+      bool outer = outer_secondary != nullptr &&
+                   outer_secondary->count(t.prop) > 0;
+      in.outer = outer;
+      if (t.prop.is_type()) {
+        rdf::TermId obj = dict.LookupIri(t.prop.type_object);
+        in.file = dataset->VpTypeFile(obj);
+        in.columns = {star.subject_var};
+      } else {
+        rdf::TermId p = dict.LookupIri(t.prop.property);
+        in.file = dataset->VpFile(p);
+        std::string ov = t.ObjectVar();
+        if (ov.empty()) ov = "_c" + std::to_string(synth++);
+        in.columns = {star.subject_var, ov};
+        std::vector<const sparql::Expr*> pushed;
+        if (t.object.is_var) {
+          pushed = single_var_filters_for(t.object.var);
+          in.predicate = CompilePredicate(pushed, in.columns, &dict);
+        } else {
+          // Constant object: compile an equality check.
+          rdf::TermId c = dict.Lookup(t.object.term);
+          in.predicate = [c](const std::vector<rdf::TermId>& row) {
+            return row.size() > 1 && row[1] == c &&
+                   c != rdf::kInvalidTermId;
+          };
+        }
+      }
+      if (in.file.empty()) {
+        if (outer) continue;  // absent optional partition: all-NULL column
+        // An absent required partition means zero matches; short-circuit
+        // to an empty pattern table with the full schema (no cycles run —
+        // Hive's metastore prunes empty partitions similarly).
+        std::vector<std::string> cols;
+        for (const ntga::StarPattern& sp : pattern.stars) {
+          cols.push_back(sp.subject_var);
+          for (const ntga::StarTriple& st : sp.triples) {
+            std::string ov = st.ObjectVar();
+            if (!ov.empty() &&
+                std::find(cols.begin(), cols.end(), ov) == cols.end()) {
+              cols.push_back(ov);
+            }
+          }
+        }
+        std::string empty_file = ops->NextTmp(label + ":empty");
+        RAPIDA_RETURN_IF_ERROR(
+            dataset->dfs().Write(empty_file, {}));
+        return TableRef{empty_file, cols};
+      }
+      inputs.push_back(std::move(in));
+    }
+    // Order: inner (primary) inputs first; the first input must be inner.
+    std::stable_sort(inputs.begin(), inputs.end(),
+                     [](const JoinInput& a, const JoinInput& b) {
+                       return !a.outer && b.outer;
+                     });
+
+    StarOut out;
+    if (inputs.size() == 1) {
+      out.input = inputs[0];  // scan folds into the next join cycle
+    } else {
+      RAPIDA_ASSIGN_OR_RETURN(
+          TableRef t,
+          ops->Join(label + ":star" + std::to_string(s), inputs, nullptr));
+      out.input.file = t.file;
+      out.input.columns = t.columns;
+      out.input.is_vp = false;
+      out.input.join_column = star.subject_var;
+    }
+    stars.push_back(std::move(out));
+  }
+
+  if (pattern.stars.size() == 1) {
+    // No inter-star joins. A single-input star was never materialized;
+    // run one projection cycle so downstream stages have a table.
+    if (stars[0].input.is_vp) {
+      RAPIDA_ASSIGN_OR_RETURN(
+          TableRef t,
+          ops->Join(label + ":scan", {stars[0].input}, nullptr));
+      return t;
+    }
+    return TableRef{stars[0].input.file, stars[0].input.columns};
+  }
+
+  // ---- inter-star joins along the edges ----
+  // Default: BFS from star 0, query order. With greedy_join_order, start
+  // at the smallest star (by stored input bytes) and always pull in the
+  // smallest available neighbor — chain patterns shrink intermediates.
+  const bool greedy = ops->options().greedy_join_order;
+  std::vector<uint64_t> star_bytes(pattern.stars.size(), 0);
+  if (greedy) {
+    for (size_t s = 0; s < pattern.stars.size(); ++s) {
+      star_bytes[s] = dataset->VpFileBytes(stars[s].input.file);
+    }
+  }
+  std::vector<bool> joined(pattern.stars.size(), false);
+  std::vector<bool> edge_done(pattern.joins.size(), false);
+  size_t anchor = 0;
+  if (greedy) {
+    for (size_t s = 1; s < pattern.stars.size(); ++s) {
+      if (star_bytes[s] < star_bytes[anchor]) anchor = s;
+    }
+  }
+  JoinInput acc = stars[anchor].input;
+  joined[anchor] = true;
+  size_t remaining = pattern.stars.size() - 1;
+  int cycle = 0;
+  while (remaining > 0) {
+    // Find an edge connecting the joined set to a new star (the smallest
+    // such star, when greedy).
+    int pick = -1;
+    int new_star = -1;
+    for (size_t e = 0; e < pattern.joins.size(); ++e) {
+      if (edge_done[e]) continue;
+      const ntga::JoinEdge& edge = pattern.joins[e];
+      int candidate = -1;
+      if (joined[edge.star_a] && !joined[edge.star_b]) {
+        candidate = edge.star_b;
+      } else if (joined[edge.star_b] && !joined[edge.star_a]) {
+        candidate = edge.star_a;
+      }
+      if (candidate < 0) continue;
+      if (pick < 0 ||
+          (greedy && star_bytes[candidate] < star_bytes[new_star])) {
+        pick = static_cast<int>(e);
+        new_star = candidate;
+      }
+      if (!greedy) break;
+    }
+    if (pick < 0) {
+      return Status::InvalidArgument(
+          "graph pattern is not connected by join variables");
+    }
+    edge_done[pick] = true;
+    const ntga::JoinEdge& edge = pattern.joins[pick];
+
+    JoinInput left = acc;
+    left.join_column = edge.var;
+    JoinInput right = stars[new_star].input;
+    right.join_column = edge.var;
+
+    // Is this the last join? If so, attach the residual filters.
+    RowPredicate post;
+    bool last = remaining == 1;
+    std::vector<std::string> post_cols;
+    if (last) {
+      std::vector<const sparql::Expr*> residual;
+      for (size_t i = 0; i < filters.size(); ++i) {
+        if (!filter_used[i]) residual.push_back(filters[i]);
+      }
+      if (!residual.empty()) {
+        post_cols = left.columns;
+        for (const std::string& c : right.columns) {
+          if (std::find(post_cols.begin(), post_cols.end(), c) ==
+              post_cols.end()) {
+            post_cols.push_back(c);
+          }
+        }
+        post = CompilePredicate(residual, post_cols, &dict);
+      }
+    }
+
+    RAPIDA_ASSIGN_OR_RETURN(
+        TableRef t, ops->Join(label + ":join" + std::to_string(cycle++),
+                              {left, right}, post));
+    acc.file = t.file;
+    acc.columns = t.columns;
+    acc.is_vp = false;
+    joined[new_star] = true;
+    --remaining;
+  }
+  return TableRef{acc.file, acc.columns};
+}
+
+StatusOr<analytics::BindingTable> HiveNaiveEngine::Execute(
+    const analytics::AnalyticalQuery& query, Dataset* dataset,
+    mr::Cluster* cluster, ExecStats* stats) {
+  auto start = std::chrono::steady_clock::now();
+  RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+  cluster->ResetHistory();
+  RelationalOps ops(cluster, dataset, options_, "tmp:hive");
+
+  std::vector<TableRef> grouping_tables;
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    const analytics::GroupingSubquery& grouping = query.groupings[g];
+    std::vector<const sparql::Expr*> filters;
+    for (const auto& f : grouping.filters) filters.push_back(f.get());
+    std::string label = "g" + std::to_string(g);
+    auto pattern_table = CompileHivePattern(&ops, dataset, grouping.pattern,
+                                            filters, nullptr, label);
+    if (!pattern_table.ok()) {
+      ops.Cleanup();
+      return pattern_table.status();
+    }
+    std::vector<RelationalOps::AggColumn> aggs;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      aggs.push_back(RelationalOps::AggColumn{a.func, a.var, a.count_star,
+                                              a.output_name, a.separator});
+    }
+    std::vector<std::string> grouped_columns = grouping.group_by;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      grouped_columns.push_back(a.output_name);
+    }
+    RowPredicate having;
+    if (grouping.having != nullptr) {
+      having = CompilePredicate({grouping.having.get()}, grouped_columns,
+                                &dataset->graph().dict());
+    }
+    auto grouped = ops.GroupBy(label + ":groupby", *pattern_table,
+                               grouping.group_by, aggs, having);
+    if (!grouped.ok()) {
+      ops.Cleanup();
+      return grouped.status();
+    }
+    grouping_tables.push_back(std::move(*grouped));
+  }
+
+  StatusOr<analytics::BindingTable> result = Status::Internal("unset");
+  if (query.groupings.size() == 1) {
+    // Single grouping: the GROUP BY output is the answer (paper Table 3:
+    // 4 cycles); project it driver-side without another cycle.
+    auto table = ops.ReadTable(grouping_tables[0]);
+    if (table.ok()) {
+      rdf::Dictionary* dict = &dataset->dict();
+      ProjectedResult projected = JoinAndProject(
+          {std::move(*table)}, query.top_items, dict);
+      analytics::BindingTable out(projected.columns);
+      for (const mr::Record& r : projected.rows) {
+        std::vector<rdf::TermId> row = DecodeRow(r.value);
+        row.resize(projected.columns.size(), rdf::kInvalidTermId);
+        out.AddRow(std::move(row));
+      }
+      result = std::move(out);
+    } else {
+      result = table.status();
+    }
+  } else {
+    auto final_table =
+        ops.FinalJoinProject("final", grouping_tables, query.top_items);
+    if (final_table.ok()) {
+      result = ops.ReadTable(*final_table);
+    } else {
+      result = final_table.status();
+    }
+  }
+  if (!result.ok()) {
+    ops.Cleanup();
+    return result.status();
+  }
+  ops.Cleanup();
+  analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
+  if (stats != nullptr) {
+    stats->engine = name();
+    stats->workflow.jobs = cluster->history();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace rapida::engine

@@ -1,0 +1,49 @@
+#ifndef RAPIDA_ENGINES_HIVE_NAIVE_H_
+#define RAPIDA_ENGINES_HIVE_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "engines/engine.h"
+#include "engines/relational_ops.h"
+
+namespace rapida::engine {
+
+/// The paper's "Hive (Naive)" baseline: each grouping subquery is compiled
+/// independently to a relational plan over the vertically-partitioned
+/// tables —
+///   one multi-way same-subject join cycle per star pattern (>= 2 triple
+///   patterns), one join cycle per inter-star edge, one GROUP BY cycle per
+///   grouping — then a final map-only cycle joins the per-grouping results
+/// (AQ1's plan in Fig. 2). Hive optimizations are modeled: map-joins when
+/// all but one input is small, predicate pushdown into the star cycles,
+/// early projection, and map-side partial aggregation.
+class HiveNaiveEngine : public Engine {
+ public:
+  explicit HiveNaiveEngine(const EngineOptions& options = EngineOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "Hive (Naive)"; }
+
+  StatusOr<analytics::BindingTable> Execute(
+      const analytics::AnalyticalQuery& query, Dataset* dataset,
+      mr::Cluster* cluster, ExecStats* stats) override;
+
+ private:
+  EngineOptions options_;
+};
+
+/// Shared by HiveNaive and HiveMqo: compiles one grouping subquery's graph
+/// pattern into star-join + inter-star-join cycles and returns the flat
+/// pattern table. `outer_secondary` (MQO) joins the given secondary
+/// PropKeys with LEFT OUTER semantics instead of inner.
+StatusOr<TableRef> CompileHivePattern(
+    RelationalOps* ops, Dataset* dataset,
+    const ntga::StarGraph& pattern,
+    const std::vector<const sparql::Expr*>& filters,
+    const std::set<ntga::PropKey>* outer_secondary,
+    const std::string& label);
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_HIVE_NAIVE_H_

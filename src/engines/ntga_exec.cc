@@ -1,0 +1,559 @@
+#include "engines/ntga_exec.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analytics/aggregates.h"
+#include "sparql/expr_eval.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rapida::engine {
+
+using analytics::Aggregator;
+using ntga::NestedTripleGroup;
+using ntga::ResolvedPattern;
+using ntga::ResolvedStar;
+using ntga::TripleGroup;
+
+namespace {
+
+/// TG_OptGrpFilter with triple-level filter pushdown: after the star
+/// projection, triples whose object fails a pushed single-variable filter
+/// are removed; losing every triple of a *primary* property rejects the
+/// whole group (secondary properties just end up absent — exactly the
+/// per-pattern semantics the α conditions test later).
+std::optional<TripleGroup> FilterStarWithFilters(
+    const TripleGroup& tg, const ResolvedStar& star, rdf::TermId type_id,
+    const PushedFilters& pushed, const rdf::Dictionary& dict) {
+  std::optional<TripleGroup> base = ntga::FilterStar(tg, star, type_id);
+  if (!base.has_value()) return std::nullopt;
+  for (const ntga::ResolvedStarTriple& pt : star.triples) {
+    if (pt.object_var.empty()) continue;
+    auto it = pushed.find(pt.object_var);
+    if (it == pushed.end() || it->second.empty()) continue;
+    auto fails = [&](const rdf::Triple& t) {
+      if (!(ntga::DataPropKey{t.p, t.p == type_id ? t.o : rdf::kInvalidTermId} ==
+            pt.key)) {
+        return false;  // triple belongs to another property
+      }
+      auto resolve = [&pt, &t](const std::string& v) {
+        return v == pt.object_var ? t.o : rdf::kInvalidTermId;
+      };
+      for (const sparql::Expr* f : it->second) {
+        if (!sparql::EffectiveBool(sparql::EvaluateExpr(*f, resolve, dict))) {
+          return true;
+        }
+      }
+      return false;
+    };
+    auto& triples = base->triples;
+    triples.erase(std::remove_if(triples.begin(), triples.end(), fails),
+                  triples.end());
+    if (star.primary.count(pt.key) > 0 &&
+        !base->HasProp(pt.key, type_id, pt.const_object)) {
+      return std::nullopt;
+    }
+  }
+  return base;
+}
+
+/// Per-input-tag role in a TG_AlphaJoin cycle.
+struct TagRole {
+  bool is_nested = false;  // accumulated nested input vs raw star file
+  int star = -1;           // star to filter (raw inputs)
+  bool left_side = true;
+  ntga::JoinRole role = ntga::JoinRole::kSubject;
+  ntga::DataPropKey prop;
+};
+
+}  // namespace
+
+NtgaExec::NtgaExec(mr::Cluster* cluster, Dataset* dataset,
+                   const EngineOptions& options, std::string tmp_prefix)
+    : cluster_(cluster),
+      dataset_(dataset),
+      options_(options),
+      tmp_prefix_(std::move(tmp_prefix)) {}
+
+std::string NtgaExec::NextTmp(const std::string& hint) {
+  std::string name =
+      tmp_prefix_ + ":" + std::to_string(counter_++) + ":" + hint;
+  temp_files_.push_back(name);
+  return name;
+}
+
+void NtgaExec::Cleanup() {
+  for (const std::string& f : temp_files_) {
+    if (dataset_->dfs().Exists(f)) (void)dataset_->dfs().Delete(f);
+  }
+  temp_files_.clear();
+}
+
+StatusOr<PatternMatches> NtgaExec::ComputePatternMatches(
+    const ResolvedPattern& pattern,
+    const std::vector<ntga::AlphaCondition>& final_alphas,
+    const PushedFilters& pushed_filters, const std::string& label) {
+  RAPIDA_RETURN_IF_ERROR(dataset_->EnsureTripleGroups());
+  const int num_stars = static_cast<int>(pattern.stars.size());
+
+  auto star_files = [this, &pattern](int star) {
+    std::set<rdf::TermId> props;
+    for (const ntga::DataPropKey& k : pattern.stars[star].primary) {
+      props.insert(k.property);
+    }
+    return dataset_->TgFilesCovering(props);
+  };
+
+  if (num_stars == 1) {
+    PatternMatches out;
+    out.star_files = star_files(0);
+    return out;
+  }
+
+  auto shared_pattern = std::make_shared<ResolvedPattern>(pattern);
+  auto shared_filters = std::make_shared<PushedFilters>(pushed_filters);
+  const rdf::Dictionary* dict = &dataset_->dict();
+  rdf::TermId type_id = pattern.type_id;
+
+  std::vector<bool> joined(num_stars, false);
+  std::vector<bool> edge_done(pattern.joins.size(), false);
+  std::string acc_file;  // empty until the first cycle completes
+  int acc_anchor = -1;   // star the accumulated side started from
+  int cycle = 0;
+  int remaining = num_stars;
+
+  // Greedy size-based ordering: estimate each star's input volume as the
+  // stored bytes of its covering triplegroup files.
+  const bool greedy = options_.greedy_join_order;
+  std::vector<uint64_t> star_bytes(num_stars, 0);
+  if (greedy) {
+    for (int s = 0; s < num_stars; ++s) {
+      for (const std::string& f : star_files(s)) {
+        auto file = dataset_->dfs().Open(f);
+        if (file.ok()) star_bytes[s] += (*file)->stored_bytes;
+      }
+    }
+  }
+
+  while (remaining > 0 || acc_file.empty()) {
+    // Pick the next edge: one endpoint joined (or, for the first cycle,
+    // any edge). Greedy mode minimizes the estimated size of the stars
+    // the cycle pulls in.
+    int pick = -1;
+    bool first_cycle = acc_file.empty();
+    uint64_t best_cost = 0;
+    for (size_t e = 0; e < pattern.joins.size(); ++e) {
+      if (edge_done[e]) continue;
+      const ntga::ResolvedJoin& edge = pattern.joins[e];
+      bool eligible =
+          first_cycle || joined[edge.star_a] != joined[edge.star_b];
+      if (!eligible) continue;
+      if (!greedy) {
+        pick = static_cast<int>(e);
+        break;
+      }
+      uint64_t cost = 0;
+      if (first_cycle) {
+        cost = star_bytes[edge.star_a] + star_bytes[edge.star_b];
+      } else {
+        cost = star_bytes[joined[edge.star_a] ? edge.star_b : edge.star_a];
+      }
+      if (pick < 0 || cost < best_cost) {
+        pick = static_cast<int>(e);
+        best_cost = cost;
+      }
+    }
+    if (pick < 0) {
+      return Status::InvalidArgument(
+          "graph pattern is not connected by join variables");
+    }
+    edge_done[pick] = true;
+    const ntga::ResolvedJoin& edge = pattern.joins[pick];
+
+    // Which endpoint is already in the accumulated side?
+    int left_star, right_star;
+    ntga::JoinRole left_role, right_role;
+    ntga::DataPropKey left_prop, right_prop;
+    if (first_cycle || joined[edge.star_a]) {
+      left_star = edge.star_a;
+      left_role = edge.role_a;
+      left_prop = edge.prop_a;
+      right_star = edge.star_b;
+      right_role = edge.role_b;
+      right_prop = edge.prop_b;
+    } else {
+      left_star = edge.star_b;
+      left_role = edge.role_b;
+      left_prop = edge.prop_b;
+      right_star = edge.star_a;
+      right_role = edge.role_a;
+      right_prop = edge.prop_a;
+    }
+
+    mr::JobConfig job;
+    job.name = label + ":alphajoin" + std::to_string(cycle);
+    std::vector<TagRole> roles;
+    if (first_cycle) {
+      for (const std::string& f : star_files(left_star)) {
+        job.inputs.push_back(f);
+        roles.push_back(TagRole{false, left_star, true, left_role, left_prop});
+      }
+      joined[left_star] = true;
+      acc_anchor = left_star;
+      --remaining;  // the anchor star joins the accumulated set
+    } else {
+      job.inputs.push_back(acc_file);
+      roles.push_back(TagRole{true, -1, true, left_role, left_prop});
+    }
+    for (const std::string& f : star_files(right_star)) {
+      job.inputs.push_back(f);
+      roles.push_back(
+          TagRole{false, right_star, false, right_role, right_prop});
+    }
+    joined[right_star] = true;
+    --remaining;
+    bool last_cycle = remaining == 0;
+
+    std::string out_file = NextTmp(label + ":aj" + std::to_string(cycle));
+    job.output = out_file;
+
+    auto shared_roles = std::make_shared<std::vector<TagRole>>(roles);
+    // The accumulated (nested) side's join endpoint is the left star of
+    // the current edge.
+    int nested_endpoint_star = left_star;
+    job.map = [shared_roles, shared_pattern, shared_filters, dict, type_id,
+               num_stars, nested_endpoint_star](
+                  const mr::Record& r, int tag, mr::MapContext* ctx) {
+      const TagRole& role = (*shared_roles)[tag];
+      NestedTripleGroup ntg;
+      if (role.is_nested) {
+        auto parsed = ntga::ParseNested(r.value, num_stars);
+        if (!parsed.ok()) return;
+        ntg = std::move(*parsed);
+      } else {
+        auto tg = ntga::ParseTripleGroup(r.value);
+        if (!tg.ok()) return;
+        auto filtered =
+            FilterStarWithFilters(*tg, shared_pattern->stars[role.star],
+                                  type_id, *shared_filters, *dict);
+        if (!filtered.has_value()) return;
+        ntg.stars.resize(num_stars);
+        ntg.stars[role.star] = std::move(*filtered);
+      }
+      int endpoint_star = role.is_nested ? nested_endpoint_star : role.star;
+      std::vector<rdf::TermId> keys =
+          ntga::JoinKeys(ntg, endpoint_star, role.role, role.prop, type_id);
+      std::string serialized = ntga::SerializeNested(ntg);
+      for (rdf::TermId key : keys) {
+        ctx->Emit(std::to_string(key),
+                  (role.left_side ? "L|" : "R|") + serialized);
+      }
+    };
+
+    auto alphas = std::make_shared<std::vector<ntga::AlphaCondition>>(
+        last_cycle ? final_alphas : std::vector<ntga::AlphaCondition>{});
+    job.reduce = [alphas, type_id, num_stars](
+                     const std::string& /*key*/,
+                     const std::vector<std::string>& values,
+                     mr::ReduceContext* ctx) {
+      std::vector<NestedTripleGroup> left, right;
+      for (const std::string& v : values) {
+        if (v.size() < 2) continue;
+        auto parsed = ntga::ParseNested(v.substr(2), num_stars);
+        if (!parsed.ok()) continue;
+        (v[0] == 'L' ? left : right).push_back(std::move(*parsed));
+      }
+      for (const NestedTripleGroup& l : left) {
+        for (const NestedTripleGroup& r : right) {
+          NestedTripleGroup merged = l;
+          for (int s = 0; s < num_stars; ++s) {
+            if (r.IsFilled(s)) merged.stars[s] = r.stars[s];
+          }
+          if (!ntga::SatisfiesAnyAlpha(merged, *alphas, type_id)) continue;
+          ctx->Emit("", ntga::SerializeNested(merged));
+        }
+      }
+    };
+
+    RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+    (void)stats;
+    acc_file = out_file;
+    ++cycle;
+    (void)acc_anchor;
+  }
+
+  PatternMatches out;
+  out.nested_file = acc_file;
+  return out;
+}
+
+StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
+    const ResolvedPattern& pattern, const PatternMatches& matches,
+    const PushedFilters& pushed_filters,
+    const std::vector<NtgaGrouping>& groupings, bool parallel,
+    const std::string& label, std::vector<std::string>* out_files) {
+  const int num_stars = static_cast<int>(pattern.stars.size());
+  const bool star_mode = matches.nested_file.empty();
+  rdf::Dictionary* dict = &dataset_->dict();
+  rdf::TermId type_id = pattern.type_id;
+  auto shared_pattern = std::make_shared<ResolvedPattern>(pattern);
+  auto shared_filters = std::make_shared<PushedFilters>(pushed_filters);
+
+  // Job batches: all groupings in one cycle (parallel Agg-Join, Fig. 6b)
+  // or one cycle each (Fig. 6a).
+  std::vector<std::vector<int>> batches;
+  if (parallel) {
+    std::vector<int> all(groupings.size());
+    for (size_t i = 0; i < groupings.size(); ++i) all[i] = static_cast<int>(i);
+    batches.push_back(all);
+  } else {
+    for (size_t i = 0; i < groupings.size(); ++i) {
+      batches.push_back({static_cast<int>(i)});
+    }
+  }
+
+  std::vector<std::string> out_file_of(groupings.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    mr::JobConfig job;
+    job.name = label + ":aggjoin" + (parallel ? "(parallel)" : "") +
+               (batches.size() > 1 ? std::to_string(b) : "");
+    if (star_mode) {
+      job.inputs = matches.star_files;
+    } else {
+      job.inputs = {matches.nested_file};
+    }
+    std::string out_file =
+        NextTmp(label + ":agg" + std::to_string(b));
+    job.output = out_file;
+    for (int g : batches[b]) out_file_of[g] = out_file;
+
+    auto batch = std::make_shared<std::vector<int>>(batches[b]);
+    auto shared_groupings =
+        std::make_shared<std::vector<NtgaGrouping>>();
+    for (const NtgaGrouping& g : groupings) {
+      NtgaGrouping copy;
+      copy.spec = g.spec;
+      copy.pattern_vars = g.pattern_vars;
+      copy.output_columns = g.output_columns;
+      copy.mapping_predicate = g.mapping_predicate;
+      copy.having = g.having;
+      shared_groupings->push_back(std::move(copy));
+    }
+
+    // Per-mapper multiAggMap (Alg. 3): key "gid#grpkey" -> aggregators.
+    auto multi_agg_map = std::make_shared<
+        std::map<std::string, std::vector<Aggregator>>>();
+    bool partial = options_.partial_aggregation;
+
+    auto process = [shared_groupings, batch, shared_pattern, dict, type_id,
+                    multi_agg_map, partial](const NestedTripleGroup& ntg,
+                                            mr::MapContext* ctx) {
+      for (int g : *batch) {
+        const NtgaGrouping& grouping = (*shared_groupings)[g];
+        if (!ntga::SatisfiesAlpha(ntg, grouping.spec.alpha, type_id)) {
+          continue;
+        }
+        const size_t n_group = grouping.spec.group_vars.size();
+        // Positions of group / agg vars within pattern_vars.
+        // (Recomputed per call; pattern_vars is tiny.)
+        auto pos_of = [&grouping](const std::string& v) {
+          for (size_t i = 0; i < grouping.pattern_vars.size(); ++i) {
+            if (grouping.pattern_vars[i] == v) return static_cast<int>(i);
+          }
+          return -1;
+        };
+        for (const std::vector<rdf::TermId>& mapping : ntga::ExpandBindings(
+                 ntg, *shared_pattern, grouping.pattern_vars,
+                 /*skip_unbound=*/true)) {
+          if (grouping.mapping_predicate &&
+              !grouping.mapping_predicate(mapping)) {
+            continue;
+          }
+          std::vector<rdf::TermId> key;
+          key.reserve(n_group);
+          for (const std::string& v : grouping.spec.group_vars) {
+            int i = pos_of(v);
+            key.push_back(i < 0 ? rdf::kInvalidTermId : mapping[i]);
+          }
+          std::string map_key =
+              std::to_string(g) + "#" + EncodeRow(key);
+          if (partial) {
+            auto [it, inserted] = multi_agg_map->emplace(
+                map_key, std::vector<Aggregator>());
+            if (inserted) {
+              for (const ntga::AggSpec& a : grouping.spec.aggs) {
+                it->second.emplace_back(a.func, false, a.separator);
+              }
+            }
+            for (size_t a = 0; a < grouping.spec.aggs.size(); ++a) {
+              const ntga::AggSpec& spec = grouping.spec.aggs[a];
+              if (spec.count_star) {
+                it->second[a].AddRow();
+              } else {
+                int i = pos_of(spec.var);
+                it->second[a].AddTerm(
+                    i < 0 ? rdf::kInvalidTermId : mapping[i], *dict);
+              }
+            }
+          } else {
+            std::vector<rdf::TermId> args;
+            for (const ntga::AggSpec& spec : grouping.spec.aggs) {
+              int i = pos_of(spec.var);
+              args.push_back(spec.count_star || i < 0 ? rdf::kInvalidTermId
+                                                      : mapping[i]);
+            }
+            ctx->Emit(map_key, "R|" + EncodeRow(args));
+          }
+        }
+      }
+    };
+
+    if (star_mode) {
+      job.map = [shared_pattern, shared_filters, dict, type_id, num_stars,
+                 process](const mr::Record& r, int, mr::MapContext* ctx) {
+        auto tg = ntga::ParseTripleGroup(r.value);
+        if (!tg.ok()) return;
+        auto filtered = FilterStarWithFilters(
+            *tg, shared_pattern->stars[0], type_id, *shared_filters, *dict);
+        if (!filtered.has_value()) return;
+        NestedTripleGroup ntg;
+        ntg.stars.resize(num_stars);
+        ntg.stars[0] = std::move(*filtered);
+        process(ntg, ctx);
+      };
+    } else {
+      job.map = [num_stars, process](const mr::Record& r, int,
+                                     mr::MapContext* ctx) {
+        auto parsed = ntga::ParseNested(r.value, num_stars);
+        if (!parsed.ok()) return;
+        process(*parsed, ctx);
+      };
+    }
+    if (partial) {
+      job.map_finish = [multi_agg_map](mr::MapContext* ctx) {
+        for (auto& [key, aggs] : *multi_agg_map) {
+          std::string value = "P";
+          for (const Aggregator& a : aggs) {
+            value += '|';
+            value += a.SerializePartial();
+          }
+          ctx->Emit(key, value);
+        }
+        multi_agg_map->clear();
+      };
+    }
+
+    job.reduce = [shared_groupings, dict](
+                     const std::string& key,
+                     const std::vector<std::string>& values,
+                     mr::ReduceContext* ctx) {
+      size_t hash_pos = key.find('#');
+      if (hash_pos == std::string::npos) return;
+      int64_t gid = 0;
+      ParseInt64(key.substr(0, hash_pos), &gid);
+      const NtgaGrouping& grouping = (*shared_groupings)[gid];
+      std::vector<Aggregator> aggs;
+      for (const ntga::AggSpec& a : grouping.spec.aggs) {
+        aggs.emplace_back(a.func, false, a.separator);
+      }
+      for (const std::string& v : values) {
+        if (v.empty()) continue;
+        if (v[0] == 'P') {
+          std::vector<std::string> parts = SplitString(v, '|');
+          for (size_t a = 0; a + 1 < parts.size() && a < aggs.size(); ++a) {
+            auto partial = Aggregator::DeserializePartial(
+                grouping.spec.aggs[a].func, parts[a + 1],
+                grouping.spec.aggs[a].separator);
+            if (partial.ok()) aggs[a].Merge(*partial, *dict);
+          }
+        } else if (v[0] == 'R') {
+          std::vector<rdf::TermId> args =
+              DecodeRow(std::string_view(v).substr(2));
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            if (grouping.spec.aggs[a].count_star) {
+              aggs[a].AddRow();
+            } else if (a < args.size()) {
+              aggs[a].AddTerm(args[a], *dict);
+            }
+          }
+        }
+      }
+      std::vector<rdf::TermId> row =
+          DecodeRow(key.substr(hash_pos + 1));
+      for (Aggregator& a : aggs) row.push_back(a.Finalize(dict));
+      ctx->Emit(key.substr(0, hash_pos), EncodeRow(row));
+    };
+
+    RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+    (void)stats;
+  }
+
+  // Collect per-grouping tables.
+  std::vector<analytics::BindingTable> out;
+  for (size_t g = 0; g < groupings.size(); ++g) {
+    analytics::BindingTable table(groupings[g].output_columns);
+    RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                            dataset_->dfs().Open(out_file_of[g]));
+    std::string gid = std::to_string(g);
+    for (const mr::Record& r : f->records) {
+      if (r.key != gid) continue;
+      std::vector<rdf::TermId> row = DecodeRow(r.value);
+      row.resize(groupings[g].output_columns.size(), rdf::kInvalidTermId);
+      table.AddRow(std::move(row));
+    }
+    // GROUP BY ALL over no qualifying detail still yields the default row.
+    if (groupings[g].spec.group_vars.empty() && table.NumRows() == 0) {
+      std::vector<rdf::TermId> row;
+      for (const ntga::AggSpec& a : groupings[g].spec.aggs) {
+        Aggregator empty(a.func, false, a.separator);
+        row.push_back(empty.Finalize(dict));
+      }
+      table.AddRow(std::move(row));
+    }
+    if (groupings[g].having != nullptr) {
+      analytics::FilterRowsByExpr(&table, *groupings[g].having, *dict);
+    }
+    out.push_back(std::move(table));
+  }
+  if (out_files != nullptr) *out_files = out_file_of;
+  return out;
+}
+
+StatusOr<analytics::BindingTable> NtgaExec::FinalJoinProject(
+    std::vector<analytics::BindingTable> agg_tables,
+    const std::vector<sparql::SelectItem>& items,
+    const std::vector<std::string>& agg_files, const std::string& label) {
+  rdf::Dictionary* dict = &dataset_->dict();
+  ProjectedResult projected =
+      JoinAndProject(std::move(agg_tables), items, dict);
+
+  // One map-only cycle: scan the aggregated outputs, emit the joined
+  // projection once.
+  mr::JobConfig job;
+  job.name = label + ":finaljoin (map-only)";
+  std::set<std::string> distinct_inputs(agg_files.begin(), agg_files.end());
+  job.inputs.assign(distinct_inputs.begin(), distinct_inputs.end());
+  std::string out_file = NextTmp(label + ":result");
+  job.output = out_file;
+  auto rows = std::make_shared<std::vector<mr::Record>>(projected.rows);
+  auto emitted = std::make_shared<bool>(false);
+  job.map = [](const mr::Record&, int, mr::MapContext*) {};
+  job.map_finish = [rows, emitted](mr::MapContext* ctx) {
+    if (*emitted) return;
+    *emitted = true;
+    for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
+  };
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+
+  analytics::BindingTable result(projected.columns);
+  for (const mr::Record& r : projected.rows) {
+    std::vector<rdf::TermId> row = DecodeRow(r.value);
+    row.resize(projected.columns.size(), rdf::kInvalidTermId);
+    result.AddRow(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace rapida::engine

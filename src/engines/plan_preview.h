@@ -1,0 +1,38 @@
+#ifndef RAPIDA_ENGINES_PLAN_PREVIEW_H_
+#define RAPIDA_ENGINES_PLAN_PREVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+
+namespace rapida::engine {
+
+/// A predicted execution plan: the MR cycle count an engine will compile
+/// the query to, with a per-cycle description. Computed purely from the
+/// query's shape (star counts, overlap structure) — no dataset needed.
+///
+/// PreviewPlan mirrors each engine's plan compiler; the invariant
+/// "preview cycles == executed cycles" is enforced by tests for the whole
+/// catalog, so the preview is trustworthy for capacity planning and for
+/// the CLI's --plan flag.
+struct PlanPreview {
+  std::string engine;
+  int cycles = 0;
+  std::vector<std::string> steps;  // one line per cycle
+
+  std::string ToString() const;
+};
+
+/// Engine display names as accepted by MakeAllEngines()/benches:
+/// "Hive (Naive)", "Hive (MQO)", "RAPID+ (Naive)", "RAPIDAnalytics".
+PlanPreview PreviewPlan(const std::string& engine_name,
+                        const analytics::AnalyticalQuery& query);
+
+/// Previews for all four systems.
+std::vector<PlanPreview> PreviewAllPlans(
+    const analytics::AnalyticalQuery& query);
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_PLAN_PREVIEW_H_

@@ -1,0 +1,46 @@
+#ifndef RAPIDA_ENGINES_RAPID_PLUS_H_
+#define RAPIDA_ENGINES_RAPID_PLUS_H_
+
+#include <string>
+
+#include "engines/engine.h"
+#include "engines/ntga_exec.h"
+
+namespace rapida::engine {
+
+/// The paper's "RAPID+ (Naive)" baseline: NTGA evaluation of each graph
+/// pattern *sequentially* — per grouping subquery, (k−1) α-join cycles for
+/// its k stars (one-star patterns fold matching into the aggregation map)
+/// followed by one TG Agg-Join cycle; then a map-only cycle joins the
+/// aggregated triplegroups. No composite pattern, no shared execution
+/// across groupings.
+class RapidPlusEngine : public Engine {
+ public:
+  explicit RapidPlusEngine(const EngineOptions& options = EngineOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "RAPID+ (Naive)"; }
+
+  StatusOr<analytics::BindingTable> Execute(
+      const analytics::AnalyticalQuery& query, Dataset* dataset,
+      mr::Cluster* cluster, ExecStats* stats) override;
+
+ private:
+  EngineOptions options_;
+};
+
+/// Splits a grouping's filters into map-side pushable single-variable
+/// filters (keyed by composite variable) and a residual mapping-level
+/// predicate over `pattern_vars`. `owned` receives the translated
+/// expression clones (must outlive the returned structures).
+void SplitNtgaFilters(
+    const analytics::GroupingSubquery& grouping,
+    const std::map<std::string, std::string>& var_map,
+    const std::vector<std::string>& pattern_vars,
+    const rdf::Dictionary* dict,
+    std::vector<sparql::ExprPtr>* owned, PushedFilters* pushed,
+    RowPredicate* mapping_predicate);
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_RAPID_PLUS_H_

@@ -1,0 +1,587 @@
+#include "engines/relational_ops.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "analytics/aggregates.h"
+#include "analytics/value.h"
+#include "sparql/expr_eval.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rapida::engine {
+
+using analytics::Aggregator;
+
+std::string EncodeRow(const std::vector<rdf::TermId>& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(row[i]);
+  }
+  return out;
+}
+
+std::vector<rdf::TermId> DecodeRow(std::string_view data) {
+  std::vector<rdf::TermId> out;
+  if (data.empty()) return out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = data.find(',', start);
+    std::string_view part = data.substr(
+        start, pos == std::string_view::npos ? std::string_view::npos
+                                             : pos - start);
+    int64_t v = 0;
+    ParseInt64(part, &v);
+    out.push_back(static_cast<rdf::TermId>(v));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+int TableRef::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RowPredicate CompilePredicate(
+    const std::vector<const sparql::Expr*>& filters,
+    const std::vector<std::string>& columns, const rdf::Dictionary* dict) {
+  if (filters.empty()) return nullptr;
+  std::vector<sparql::ExprPtr> cloned;
+  cloned.reserve(filters.size());
+  for (const sparql::Expr* f : filters) cloned.push_back(f->Clone());
+  auto shared =
+      std::make_shared<std::vector<sparql::ExprPtr>>(std::move(cloned));
+  std::vector<std::string> cols = columns;
+  return [shared, cols, dict](const std::vector<rdf::TermId>& row) {
+    auto resolve = [&cols, &row](const std::string& v) -> rdf::TermId {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == v) return i < row.size() ? row[i] : rdf::kInvalidTermId;
+      }
+      return rdf::kInvalidTermId;
+    };
+    for (const sparql::ExprPtr& f : *shared) {
+      if (!sparql::EffectiveBool(sparql::EvaluateExpr(*f, resolve, *dict))) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+RelationalOps::RelationalOps(mr::Cluster* cluster, Dataset* dataset,
+                             const EngineOptions& options,
+                             std::string tmp_prefix)
+    : cluster_(cluster),
+      dataset_(dataset),
+      options_(options),
+      tmp_prefix_(std::move(tmp_prefix)) {}
+
+std::string RelationalOps::NextTmp(const std::string& hint) {
+  std::string name =
+      tmp_prefix_ + ":" + std::to_string(counter_++) + ":" + hint;
+  temp_files_.push_back(name);
+  return name;
+}
+
+void RelationalOps::Cleanup() {
+  for (const std::string& f : temp_files_) {
+    if (dataset_->dfs().Exists(f)) {
+      (void)dataset_->dfs().Delete(f);
+    }
+  }
+  temp_files_.clear();
+}
+
+namespace {
+
+/// Decodes an input record according to its JoinInput layout.
+std::vector<rdf::TermId> DecodeInputRow(const JoinInput& input,
+                                        const mr::Record& r) {
+  if (!input.is_vp) return DecodeRow(r.value);
+  int64_t s = 0, o = 0;
+  ParseInt64(r.key, &s);
+  if (input.columns.size() == 1) {
+    return {static_cast<rdf::TermId>(s)};
+  }
+  ParseInt64(r.value, &o);
+  return {static_cast<rdf::TermId>(s), static_cast<rdf::TermId>(o)};
+}
+
+}  // namespace
+
+StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
+                                       const std::vector<JoinInput>& inputs,
+                                       RowPredicate post_predicate) {
+  RAPIDA_CHECK(!inputs.empty());
+  // Output layout: first input's columns, then the unseen columns of each
+  // later input. Per input: mapping from its columns to output positions,
+  // and the index of its join column.
+  std::vector<std::string> out_columns = inputs[0].columns;
+  std::vector<std::vector<int>> out_pos(inputs.size());
+  std::vector<int> join_idx(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    join_idx[i] = -1;
+    for (size_t c = 0; c < inputs[i].columns.size(); ++c) {
+      const std::string& name = inputs[i].columns[c];
+      if (name == inputs[i].join_column) join_idx[i] = static_cast<int>(c);
+      auto it = std::find(out_columns.begin(), out_columns.end(), name);
+      int pos;
+      if (it == out_columns.end()) {
+        pos = static_cast<int>(out_columns.size());
+        out_columns.push_back(name);
+      } else {
+        pos = static_cast<int>(it - out_columns.begin());
+      }
+      out_pos[i].push_back(pos);
+    }
+    if (join_idx[i] < 0) {
+      return Status::InvalidArgument("join column '" + inputs[i].join_column +
+                                     "' not among input columns");
+    }
+    if (i == 0 && inputs[i].outer) {
+      return Status::InvalidArgument("first join input cannot be outer");
+    }
+  }
+  const size_t width = out_columns.size();
+
+  // Map-join eligibility: every input but the largest fits the threshold,
+  // and the largest is not an outer input.
+  int big = 0;
+  uint64_t big_bytes = 0;
+  std::vector<uint64_t> sizes(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    sizes[i] = dataset_->VpFileBytes(inputs[i].file);
+    if (sizes[i] > big_bytes) {
+      big_bytes = sizes[i];
+      big = static_cast<int>(i);
+    }
+  }
+  bool map_join = options_.enable_map_joins && inputs.size() > 1;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (static_cast<int>(i) == big) continue;
+    if (sizes[i] > options_.map_join_threshold_bytes) map_join = false;
+  }
+  if (inputs[big].outer) map_join = false;
+
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = out_columns;
+
+  mr::JobConfig job;
+  job.name = name_hint + (map_join ? " (map-join)" : "");
+  for (const JoinInput& in : inputs) job.inputs.push_back(in.file);
+  job.output = out.file;
+
+  // Shared copies for the closures.
+  auto ins = std::make_shared<std::vector<JoinInput>>(inputs);
+
+  if (map_join) {
+    // Broadcast hash tables for every small input.
+    auto hashes = std::make_shared<
+        std::vector<std::unordered_map<rdf::TermId,
+                                       std::vector<std::vector<rdf::TermId>>>>>();
+    hashes->resize(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (static_cast<int>(i) == big) continue;
+      RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                              dataset_->dfs().Open(inputs[i].file));
+      for (const mr::Record& r : f->records) {
+        std::vector<rdf::TermId> row = DecodeInputRow(inputs[i], r);
+        if (inputs[i].predicate && !inputs[i].predicate(row)) continue;
+        (*hashes)[i][row[join_idx[i]]].push_back(std::move(row));
+      }
+    }
+    job.map = [ins, hashes, big, out_pos, join_idx, width, post_predicate](
+                  const mr::Record& r, int tag, mr::MapContext* ctx) {
+      if (tag != big) return;  // broadcast copies: scanned, not re-emitted
+      const JoinInput& input = (*ins)[tag];
+      std::vector<rdf::TermId> row = DecodeInputRow(input, r);
+      if (input.predicate && !input.predicate(row)) return;
+      rdf::TermId key = row[join_idx[tag]];
+      // Start from the big row, fold in each small side.
+      std::vector<std::vector<rdf::TermId>> results;
+      {
+        std::vector<rdf::TermId> base(width, rdf::kInvalidTermId);
+        for (size_t c = 0; c < row.size(); ++c) base[out_pos[tag][c]] = row[c];
+        results.push_back(std::move(base));
+      }
+      for (size_t i = 0; i < ins->size(); ++i) {
+        if (i == static_cast<size_t>(big)) continue;
+        auto it = (*hashes)[i].find(key);
+        bool empty = it == (*hashes)[i].end() || it->second.empty();
+        if (empty) {
+          if (!(*ins)[i].outer) return;  // inner input missing: no output
+          continue;                      // outer: leave columns NULL
+        }
+        std::vector<std::vector<rdf::TermId>> next;
+        for (const auto& partial : results) {
+          for (const auto& srow : it->second) {
+            std::vector<rdf::TermId> merged = partial;
+            for (size_t c = 0; c < srow.size(); ++c) {
+              merged[out_pos[i][c]] = srow[c];
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        results = std::move(next);
+      }
+      for (const auto& merged : results) {
+        if (post_predicate && !post_predicate(merged)) continue;
+        ctx->Emit("", EncodeRow(merged));
+      }
+    };
+  } else {
+    // Repartition join.
+    job.map = [ins, join_idx](const mr::Record& r, int tag,
+                              mr::MapContext* ctx) {
+      const JoinInput& input = (*ins)[tag];
+      std::vector<rdf::TermId> row = DecodeInputRow(input, r);
+      if (input.predicate && !input.predicate(row)) return;
+      rdf::TermId key = row[join_idx[tag]];
+      ctx->Emit(std::to_string(key),
+                std::to_string(tag) + "|" + EncodeRow(row));
+    };
+    job.reduce = [ins, out_pos, width, post_predicate](
+                     const std::string& /*key*/,
+                     const std::vector<std::string>& values,
+                     mr::ReduceContext* ctx) {
+      std::vector<std::vector<std::vector<rdf::TermId>>> sides(ins->size());
+      for (const std::string& v : values) {
+        size_t bar = v.find('|');
+        if (bar == std::string::npos) continue;
+        int64_t tag = 0;
+        ParseInt64(v.substr(0, bar), &tag);
+        sides[tag].push_back(DecodeRow(std::string_view(v).substr(bar + 1)));
+      }
+      if (sides[0].empty()) return;
+      std::vector<std::vector<rdf::TermId>> results;
+      for (const auto& row : sides[0]) {
+        std::vector<rdf::TermId> base(width, rdf::kInvalidTermId);
+        for (size_t c = 0; c < row.size(); ++c) base[out_pos[0][c]] = row[c];
+        results.push_back(std::move(base));
+      }
+      for (size_t i = 1; i < ins->size(); ++i) {
+        if (sides[i].empty()) {
+          if (!(*ins)[i].outer) return;
+          continue;
+        }
+        std::vector<std::vector<rdf::TermId>> next;
+        for (const auto& partial : results) {
+          for (const auto& srow : sides[i]) {
+            std::vector<rdf::TermId> merged = partial;
+            for (size_t c = 0; c < srow.size(); ++c) {
+              merged[out_pos[i][c]] = srow[c];
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        results = std::move(next);
+      }
+      for (const auto& merged : results) {
+        if (post_predicate && !post_predicate(merged)) continue;
+        ctx->Emit("", EncodeRow(merged));
+      }
+    };
+  }
+
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats ignored, cluster_->Run(job));
+  (void)ignored;
+  return out;
+}
+
+StatusOr<TableRef> RelationalOps::GroupBy(
+    const std::string& name_hint, const TableRef& input,
+    const std::vector<std::string>& key_columns,
+    const std::vector<AggColumn>& aggs, RowPredicate having) {
+  std::vector<int> key_idx;
+  for (const std::string& k : key_columns) {
+    int i = input.ColumnIndex(k);
+    if (i < 0) {
+      return Status::InvalidArgument("group key column '" + k +
+                                     "' not in input");
+    }
+    key_idx.push_back(i);
+  }
+  std::vector<int> agg_idx;
+  for (const AggColumn& a : aggs) {
+    if (a.count_star) {
+      agg_idx.push_back(-1);
+      continue;
+    }
+    int i = input.ColumnIndex(a.column);
+    if (i < 0) {
+      return Status::InvalidArgument("aggregate column '" + a.column +
+                                     "' not in input");
+    }
+    agg_idx.push_back(i);
+  }
+
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = key_columns;
+  for (const AggColumn& a : aggs) out.columns.push_back(a.output_name);
+
+  rdf::Dictionary* dict = &dataset_->dict();
+  auto agg_specs = std::make_shared<std::vector<AggColumn>>(aggs);
+
+  mr::JobConfig job;
+  job.name = name_hint;
+  job.inputs = {input.file};
+  job.output = out.file;
+
+  auto make_aggs = [agg_specs]() {
+    std::vector<Aggregator> out_aggs;
+    for (const AggColumn& a : *agg_specs) {
+      out_aggs.emplace_back(a.func, /*distinct=*/false, a.separator);
+    }
+    return out_aggs;
+  };
+
+  if (options_.partial_aggregation) {
+    // Hash-based map-side pre-aggregation (the relational analogue of
+    // Alg. 3's multiAggMap).
+    auto partials =
+        std::make_shared<std::map<std::string, std::vector<Aggregator>>>();
+    job.map = [key_idx, agg_idx, agg_specs, partials, dict, make_aggs](
+                  const mr::Record& r, int, mr::MapContext*) {
+      std::vector<rdf::TermId> row = DecodeRow(r.value);
+      std::vector<rdf::TermId> key;
+      for (int i : key_idx) key.push_back(row[i]);
+      auto [it, inserted] = partials->emplace(EncodeRow(key), make_aggs());
+      for (size_t a = 0; a < agg_idx.size(); ++a) {
+        if (agg_idx[a] < 0) {
+          it->second[a].AddRow();
+        } else {
+          it->second[a].AddTerm(row[agg_idx[a]], *dict);
+        }
+      }
+    };
+    job.map_finish = [partials](mr::MapContext* ctx) {
+      for (auto& [key, agg_list] : *partials) {
+        std::string value = "P";
+        for (const Aggregator& a : agg_list) {
+          value += '|';
+          value += a.SerializePartial();
+        }
+        ctx->Emit(key, value);
+      }
+      partials->clear();
+    };
+  } else {
+    job.map = [key_idx, agg_idx](const mr::Record& r, int,
+                                 mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row = DecodeRow(r.value);
+      std::vector<rdf::TermId> key;
+      for (int i : key_idx) key.push_back(row[i]);
+      std::vector<rdf::TermId> args;
+      for (int i : agg_idx) {
+        args.push_back(i < 0 ? rdf::kInvalidTermId : row[i]);
+      }
+      ctx->Emit(EncodeRow(key), "R|" + EncodeRow(args));
+    };
+  }
+
+  job.reduce = [agg_specs, dict, make_aggs, having](
+                   const std::string& key,
+                   const std::vector<std::string>& values,
+                   mr::ReduceContext* ctx) {
+    std::vector<Aggregator> agg_list = make_aggs();
+    for (const std::string& v : values) {
+      if (v.empty()) continue;
+      if (v[0] == 'P') {
+        std::vector<std::string> parts = SplitString(v, '|');
+        for (size_t a = 0; a + 1 < parts.size() && a < agg_list.size(); ++a) {
+          auto partial = Aggregator::DeserializePartial(
+              (*agg_specs)[a].func, parts[a + 1],
+              (*agg_specs)[a].separator);
+          if (partial.ok()) agg_list[a].Merge(*partial, *dict);
+        }
+      } else if (v[0] == 'R') {
+        std::vector<rdf::TermId> args =
+            DecodeRow(std::string_view(v).substr(2));
+        for (size_t a = 0; a < agg_list.size() && a < args.size(); ++a) {
+          if ((*agg_specs)[a].count_star) {
+            agg_list[a].AddRow();
+          } else {
+            agg_list[a].AddTerm(args[a], *dict);
+          }
+        }
+      }
+    }
+    std::vector<rdf::TermId> out_row = DecodeRow(key);
+    for (Aggregator& a : agg_list) out_row.push_back(a.Finalize(dict));
+    if (having != nullptr && !having(out_row)) return;
+    ctx->Emit("", EncodeRow(out_row));
+  };
+
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+
+  // GROUP BY ALL over an empty input still produces one default row
+  // (SPARQL: COUNT over the empty group is 0). Only when the *input* was
+  // empty — an empty output over non-empty input means HAVING filtered
+  // the single ALL-group, which must stay filtered.
+  if (key_columns.empty()) {
+    RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* in_f,
+                            dataset_->dfs().Open(input.file));
+    RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                            dataset_->dfs().Open(out.file));
+    if (f->records.empty() && in_f->records.empty()) {
+      std::vector<rdf::TermId> row;
+      for (const AggColumn& a : aggs) {
+        Aggregator empty(a.func, false, a.separator);
+        row.push_back(empty.Finalize(dict));
+      }
+      if (having == nullptr || having(row)) {
+        RAPIDA_RETURN_IF_ERROR(dataset_->dfs().Write(
+            out.file, {mr::Record{"", EncodeRow(row)}}));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<TableRef> RelationalOps::DistinctProject(
+    const std::string& name_hint, const TableRef& input,
+    const std::vector<std::string>& columns, RowPredicate keep_predicate) {
+  std::vector<int> idx;
+  for (const std::string& c : columns) {
+    int i = input.ColumnIndex(c);
+    if (i < 0) {
+      return Status::InvalidArgument("projection column '" + c +
+                                     "' not in input");
+    }
+    idx.push_back(i);
+  }
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = columns;
+
+  mr::JobConfig job;
+  job.name = name_hint;
+  job.inputs = {input.file};
+  job.output = out.file;
+  job.map = [idx, keep_predicate](const mr::Record& r, int,
+                                  mr::MapContext* ctx) {
+    std::vector<rdf::TermId> row = DecodeRow(r.value);
+    if (keep_predicate && !keep_predicate(row)) return;
+    std::vector<rdf::TermId> projected;
+    for (int i : idx) projected.push_back(row[i]);
+    ctx->Emit(EncodeRow(projected), "");
+  };
+  // Combiner dedups map-side; reduce emits one row per distinct key.
+  job.combine = [](const std::string& key,
+                   const std::vector<std::string>&, mr::ReduceContext* ctx) {
+    ctx->Emit(key, "");
+  };
+  job.reduce = [](const std::string& key, const std::vector<std::string>&,
+                  mr::ReduceContext* ctx) { ctx->Emit("", key); };
+
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+  return out;
+}
+
+ProjectedResult JoinAndProject(std::vector<analytics::BindingTable> tables,
+                               const std::vector<sparql::SelectItem>& items,
+                               rdf::Dictionary* dict) {
+  RAPIDA_CHECK(!tables.empty());
+  analytics::BindingTable joined = std::move(tables[0]);
+  for (size_t i = 1; i < tables.size(); ++i) joined = joined.Join(tables[i]);
+
+  ProjectedResult out;
+  for (const sparql::SelectItem& item : items) out.columns.push_back(item.name);
+  for (const auto& row : joined.rows()) {
+    auto resolve = [&joined, &row](const std::string& v) {
+      int i = joined.VarIndex(v);
+      return i < 0 ? rdf::kInvalidTermId : row[i];
+    };
+    std::vector<rdf::TermId> out_row;
+    for (const sparql::SelectItem& item : items) {
+      if (item.expr == nullptr) {
+        out_row.push_back(resolve(item.name));
+        continue;
+      }
+      sparql::EvalValue v = sparql::EvaluateExpr(*item.expr, resolve, *dict);
+      switch (v.kind) {
+        case sparql::EvalValue::Kind::kNum:
+          out_row.push_back(analytics::InternNumber(dict, v.num));
+          break;
+        case sparql::EvalValue::Kind::kTerm:
+          out_row.push_back(v.term != rdf::kInvalidTermId
+                                ? v.term
+                                : dict->Intern(*v.term_ptr));
+          break;
+        case sparql::EvalValue::Kind::kBool:
+          out_row.push_back(dict->InternLiteral(v.b ? "true" : "false"));
+          break;
+        default:
+          out_row.push_back(rdf::kInvalidTermId);
+      }
+    }
+    out.rows.push_back(mr::Record{"", EncodeRow(out_row)});
+  }
+  return out;
+}
+
+StatusOr<TableRef> RelationalOps::FinalJoinProject(
+    const std::string& name_hint, const std::vector<TableRef>& inputs,
+    const std::vector<sparql::SelectItem>& items) {
+  RAPIDA_CHECK(!inputs.empty());
+  rdf::Dictionary* dict = &dataset_->dict();
+
+  // Load every input locally (they are small aggregated tables) and join
+  // them with the well-tested BindingTable logic.
+  std::vector<analytics::BindingTable> tables;
+  for (const TableRef& in : inputs) {
+    RAPIDA_ASSIGN_OR_RETURN(analytics::BindingTable t, ReadTable(in));
+    tables.push_back(std::move(t));
+  }
+  ProjectedResult projected = JoinAndProject(std::move(tables), items, dict);
+  std::vector<mr::Record> result_rows = std::move(projected.rows);
+
+  // Model the work as one map-only broadcast-join cycle: the job scans all
+  // inputs (honest byte accounting) and one mapper emits the result.
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = std::move(projected.columns);
+
+  mr::JobConfig job;
+  job.name = name_hint + " (map-only)";
+  for (const TableRef& t : inputs) job.inputs.push_back(t.file);
+  job.output = out.file;
+  auto rows = std::make_shared<std::vector<mr::Record>>(
+      std::move(result_rows));
+  auto emitted = std::make_shared<bool>(false);
+  job.map = [](const mr::Record&, int, mr::MapContext*) {};
+  job.map_finish = [rows, emitted](mr::MapContext* ctx) {
+    if (*emitted) return;
+    *emitted = true;
+    for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
+  };
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+  return out;
+}
+
+StatusOr<analytics::BindingTable> RelationalOps::ReadTable(
+    const TableRef& table) {
+  RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                          dataset_->dfs().Open(table.file));
+  analytics::BindingTable out(table.columns);
+  for (const mr::Record& r : f->records) {
+    std::vector<rdf::TermId> row = DecodeRow(r.value);
+    row.resize(table.columns.size(), rdf::kInvalidTermId);
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace rapida::engine

@@ -1,0 +1,143 @@
+#ifndef RAPIDA_ENGINES_RELATIONAL_OPS_H_
+#define RAPIDA_ENGINES_RELATIONAL_OPS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analytics/binding.h"
+#include "engines/dataset.h"
+#include "engines/engine.h"
+#include "mapreduce/cluster.h"
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::engine {
+
+/// Row codec for relational intermediates: TermIds joined by ','
+/// (kInvalidTermId encodes SQL NULL).
+std::string EncodeRow(const std::vector<rdf::TermId>& row);
+std::vector<rdf::TermId> DecodeRow(std::string_view data);
+
+/// A named intermediate table: a DFS file whose records hold EncodeRow'd
+/// values, plus its column names.
+struct TableRef {
+  std::string file;
+  std::vector<std::string> columns;
+
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Predicate over a decoded row (compiled FILTER).
+using RowPredicate = std::function<bool(const std::vector<rdf::TermId>&)>;
+
+/// Compiles a conjunction of FILTER expressions into a RowPredicate over
+/// the given column layout. Expressions referencing columns outside the
+/// layout evaluate to error (row rejected). `dict` must outlive the
+/// predicate.
+RowPredicate CompilePredicate(
+    const std::vector<const sparql::Expr*>& filters,
+    const std::vector<std::string>& columns, const rdf::Dictionary* dict);
+
+/// Joins the given (small, in-memory) tables on shared column names and
+/// evaluates the top-level select items per joined row. Shared by the
+/// final map-only cycle of every engine.
+struct ProjectedResult {
+  std::vector<std::string> columns;
+  std::vector<mr::Record> rows;  // EncodeRow'd values
+};
+ProjectedResult JoinAndProject(std::vector<analytics::BindingTable> tables,
+                               const std::vector<sparql::SelectItem>& items,
+                               rdf::Dictionary* dict);
+
+/// One input of a relational join.
+struct JoinInput {
+  std::string file;
+  /// Column names this input provides. For a VP input: 1 name (type
+  /// tables — subject only) or 2 names (subject, object).
+  std::vector<std::string> columns;
+  /// VP record layout (key=subject id, value=object id) vs intermediate
+  /// layout (value=EncodeRow).
+  bool is_vp = false;
+  /// Column to join on (must be in `columns`).
+  std::string join_column;
+  /// LEFT OUTER semantics for this input (never the first input).
+  bool outer = false;
+  /// Optional map-side filter on this input's rows.
+  RowPredicate predicate;
+};
+
+/// Builder for the Hive-style relational MR plans. Tracks the temp files
+/// it creates so the engine can clean up.
+class RelationalOps {
+ public:
+  RelationalOps(mr::Cluster* cluster, Dataset* dataset,
+                const EngineOptions& options, std::string tmp_prefix);
+
+  /// Equi-joins any number of inputs on their join columns in ONE MR cycle
+  /// (Hive merges same-key multi-way joins). Becomes a map-only map-join
+  /// cycle when every input but the largest is under the threshold and
+  /// map-joins are enabled. `post_predicate` filters joined rows before
+  /// the output is written.
+  StatusOr<TableRef> Join(const std::string& name_hint,
+                          const std::vector<JoinInput>& inputs,
+                          RowPredicate post_predicate = nullptr);
+
+  /// GROUP BY cycle with optional map-side partial aggregation.
+  struct AggColumn {
+    sparql::AggFunc func = sparql::AggFunc::kCount;
+    std::string column;  // empty for COUNT(*)
+    bool count_star = false;
+    std::string output_name;
+    std::string separator = " ";  // GROUP_CONCAT only
+  };
+  /// `having` (optional) filters aggregated rows in the reduce phase; it
+  /// sees the output layout (key columns then aggregate columns).
+  StatusOr<TableRef> GroupBy(const std::string& name_hint,
+                             const TableRef& input,
+                             const std::vector<std::string>& key_columns,
+                             const std::vector<AggColumn>& aggs,
+                             RowPredicate having = nullptr);
+
+  /// DISTINCT projection cycle (reduce-side dedup) — the MQO extraction
+  /// step. `keep_predicate` selects qualifying rows in the map phase.
+  StatusOr<TableRef> DistinctProject(const std::string& name_hint,
+                                     const TableRef& input,
+                                     const std::vector<std::string>& columns,
+                                     RowPredicate keep_predicate);
+
+  /// Final map-only cycle: joins the (small) grouping outputs on shared
+  /// column names via broadcast hash joins, evaluates the top-level select
+  /// items, and writes the result table.
+  StatusOr<TableRef> FinalJoinProject(
+      const std::string& name_hint, const std::vector<TableRef>& inputs,
+      const std::vector<sparql::SelectItem>& items);
+
+  /// Reads a result table into a BindingTable.
+  StatusOr<analytics::BindingTable> ReadTable(const TableRef& table);
+
+  /// Deletes every temp file created so far (best effort).
+  void Cleanup();
+
+  mr::Cluster* cluster() { return cluster_; }
+  Dataset* dataset() { return dataset_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Reserves a fresh temp file name (cleaned up by Cleanup()).
+  std::string NextTmp(const std::string& hint);
+
+ private:
+
+  mr::Cluster* cluster_;
+  Dataset* dataset_;
+  EngineOptions options_;
+  std::string tmp_prefix_;
+  int counter_ = 0;
+  std::vector<std::string> temp_files_;
+};
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_RELATIONAL_OPS_H_

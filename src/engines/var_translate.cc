@@ -1,0 +1,37 @@
+#include "engines/var_translate.h"
+
+namespace rapida::engine {
+
+std::string MapVar(const std::string& var,
+                   const std::map<std::string, std::string>& var_map) {
+  auto it = var_map.find(var);
+  return it == var_map.end() ? var : it->second;
+}
+
+std::vector<std::string> MapVars(
+    const std::vector<std::string>& vars,
+    const std::map<std::string, std::string>& var_map) {
+  std::vector<std::string> out;
+  out.reserve(vars.size());
+  for (const std::string& v : vars) out.push_back(MapVar(v, var_map));
+  return out;
+}
+
+sparql::ExprPtr MapExprVars(
+    const sparql::Expr& expr,
+    const std::map<std::string, std::string>& var_map) {
+  sparql::ExprPtr out = expr.Clone();
+  // Walk the cloned tree in place.
+  std::vector<sparql::Expr*> stack = {out.get()};
+  while (!stack.empty()) {
+    sparql::Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == sparql::Expr::Kind::kVar) {
+      e->var = MapVar(e->var, var_map);
+    }
+    for (const sparql::ExprPtr& c : e->children) stack.push_back(c.get());
+  }
+  return out;
+}
+
+}  // namespace rapida::engine

@@ -1,0 +1,27 @@
+#ifndef RAPIDA_ENGINES_VAR_TRANSLATE_H_
+#define RAPIDA_ENGINES_VAR_TRANSLATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace rapida::engine {
+
+/// Renames variables through a composite-pattern var_map. Names absent
+/// from the map pass through unchanged.
+std::vector<std::string> MapVars(
+    const std::vector<std::string>& vars,
+    const std::map<std::string, std::string>& var_map);
+
+std::string MapVar(const std::string& var,
+                   const std::map<std::string, std::string>& var_map);
+
+/// Deep-copies an expression with every variable renamed through the map.
+sparql::ExprPtr MapExprVars(const sparql::Expr& expr,
+                            const std::map<std::string, std::string>& var_map);
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_VAR_TRANSLATE_H_

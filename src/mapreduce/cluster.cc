@@ -1,0 +1,191 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace rapida::mr {
+
+namespace {
+
+class VectorMapContext : public MapContext {
+ public:
+  explicit VectorMapContext(std::vector<Record>* out) : out_(out) {}
+  void Emit(std::string key, std::string value) override {
+    out_->push_back(Record{std::move(key), std::move(value)});
+  }
+
+ private:
+  std::vector<Record>* out_;
+};
+
+class VectorReduceContext : public ReduceContext {
+ public:
+  explicit VectorReduceContext(std::vector<Record>* out) : out_(out) {}
+  void Emit(std::string key, std::string value) override {
+    out_->push_back(Record{std::move(key), std::move(value)});
+  }
+
+ private:
+  std::vector<Record>* out_;
+};
+
+/// Groups records by key preserving a deterministic key order.
+std::map<std::string, std::vector<std::string>> GroupByKey(
+    std::vector<Record> records) {
+  std::map<std::string, std::vector<std::string>> groups;
+  for (Record& r : records) {
+    groups[r.key].push_back(std::move(r.value));
+  }
+  return groups;
+}
+
+}  // namespace
+
+StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
+  RAPIDA_CHECK(job.map != nullptr) << "job '" << job.name << "' has no map fn";
+  JobStats stats;
+  stats.name = job.name;
+  stats.map_only = job.reduce == nullptr;
+
+  // ---- read inputs & form splits ----
+  // Each input file contributes ceil(stored/block) splits; records are
+  // assigned to splits round-robin within their file, which matches the
+  // "many mappers scan disjoint blocks" behaviour closely enough for cost
+  // purposes while keeping execution deterministic.
+  struct Split {
+    std::vector<std::pair<const Record*, int>> records;  // (record, tag)
+  };
+  std::vector<Split> splits;
+  for (size_t tag = 0; tag < job.inputs.size(); ++tag) {
+    RAPIDA_ASSIGN_OR_RETURN(const Dfs::File* file, dfs_->Open(job.inputs[tag]));
+    stats.input_records += file->records.size();
+    stats.input_bytes += file->stored_bytes;
+    int n_splits = static_cast<int>(
+        (file->stored_bytes + config_.exec_split_bytes - 1) /
+        config_.exec_split_bytes);
+    n_splits = std::max(n_splits, 1);
+    size_t base = splits.size();
+    splits.resize(base + n_splits);
+    size_t per_split =
+        (file->records.size() + n_splits - 1) / std::max(n_splits, 1);
+    per_split = std::max<size_t>(per_split, 1);
+    for (size_t i = 0; i < file->records.size(); ++i) {
+      splits[base + i / per_split].records.emplace_back(&file->records[i],
+                                                        static_cast<int>(tag));
+    }
+  }
+  if (splits.empty()) splits.resize(1);
+  stats.num_mappers = static_cast<int>(splits.size());
+
+  // ---- map phase (+ optional combine per mapper) ----
+  std::vector<Record> shuffle_input;
+  for (Split& split : splits) {
+    std::vector<Record> map_out;
+    VectorMapContext ctx(&map_out);
+    for (const auto& [rec, tag] : split.records) {
+      job.map(*rec, tag, &ctx);
+    }
+    if (job.map_finish) job.map_finish(&ctx);
+    stats.map_output_records += map_out.size();
+    for (const Record& r : map_out) stats.map_output_bytes += r.Bytes();
+
+    if (job.combine && job.reduce) {
+      std::vector<Record> combined;
+      VectorReduceContext cctx(&combined);
+      for (auto& [key, values] : GroupByKey(std::move(map_out))) {
+        job.combine(key, values, &cctx);
+      }
+      map_out = std::move(combined);
+    }
+    for (Record& r : map_out) shuffle_input.push_back(std::move(r));
+  }
+
+  std::vector<Record> output;
+  if (stats.map_only) {
+    // Map-only job: mapper output goes straight to the output file.
+    stats.shuffle_records = 0;
+    stats.shuffle_bytes = 0;
+    stats.num_reducers = 0;
+    output = std::move(shuffle_input);
+  } else {
+    stats.shuffle_records = shuffle_input.size();
+    for (const Record& r : shuffle_input) stats.shuffle_bytes += r.Bytes();
+
+    auto groups = GroupByKey(std::move(shuffle_input));
+    stats.num_reducers =
+        std::min<int>(config_.reduce_slots(),
+                      std::max<int>(1, static_cast<int>(groups.size())));
+    VectorReduceContext rctx(&output);
+    for (auto& [key, values] : groups) {
+      job.reduce(key, values, &rctx);
+    }
+  }
+
+  stats.output_records = output.size();
+  for (const Record& r : output) stats.output_bytes += r.Bytes();
+  if (job.output_options.compressed) {
+    stats.output_bytes = static_cast<uint64_t>(
+        static_cast<double>(stats.output_bytes) *
+        job.output_options.compression_ratio);
+  }
+
+  if (!job.output.empty()) {
+    RAPIDA_RETURN_IF_ERROR(
+        dfs_->Write(job.output, std::move(output), job.output_options));
+  }
+
+  stats.sim_seconds = EstimateSimSeconds(stats);
+  history_.push_back(stats);
+  return stats;
+}
+
+double Cluster::EstimateSimSeconds(const JobStats& stats) const {
+  const double mb = 1024.0 * 1024.0;
+  const double scale = config_.bytes_scale;
+
+  // Scaled quantities: the executed dataset is a 1/scale sample of the
+  // modeled one.
+  double input_bytes = static_cast<double>(stats.input_bytes) * scale;
+  double input_records = static_cast<double>(stats.input_records) * scale;
+  double shuffle_bytes = static_cast<double>(stats.shuffle_bytes) * scale;
+  double shuffle_records = static_cast<double>(stats.shuffle_records) * scale;
+  double output_bytes = static_cast<double>(stats.output_bytes) * scale;
+
+  // Map phase: one mapper per (scaled) block; mappers run in waves over
+  // the available slots. Compressed inputs produce fewer mappers — the
+  // paper's ORC parallelism effect.
+  int eff_mappers = static_cast<int>(
+      (input_bytes + static_cast<double>(config_.block_size) - 1) /
+      static_cast<double>(config_.block_size));
+  eff_mappers = std::max(eff_mappers, 1);
+  int parallel_maps = std::max(std::min(eff_mappers, config_.map_slots()), 1);
+  double map_read_s =
+      (input_bytes / mb) / (config_.io_mb_per_s * parallel_maps);
+  double map_cpu_s =
+      input_records * config_.cpu_us_per_record * 1e-6 / parallel_maps;
+
+  double shuffle_s = 0;
+  double reduce_cpu_s = 0;
+  int parallel_reds = 1;
+  if (!stats.map_only) {
+    // A single reduce group (GROUP BY ALL) cannot parallelize; otherwise
+    // the scaled key space fills the reduce slots.
+    parallel_reds = stats.num_reducers <= 1
+                        ? 1
+                        : std::max(config_.reduce_slots(), 1);
+    shuffle_s = (shuffle_bytes / mb) * config_.sort_factor /
+                (config_.net_mb_per_s * parallel_reds);
+    reduce_cpu_s =
+        shuffle_records * config_.cpu_us_per_record * 1e-6 / parallel_reds;
+  }
+
+  double write_s = (output_bytes / mb) / (config_.io_mb_per_s * parallel_reds);
+
+  return config_.per_job_overhead_s + map_read_s + map_cpu_s + shuffle_s +
+         reduce_cpu_s + write_s;
+}
+
+}  // namespace rapida::mr

@@ -1,0 +1,30 @@
+#include "mapreduce/counters.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rapida::mr {
+
+std::string WorkflowStats::ToString() const {
+  std::ostringstream os;
+  os << "workflow: " << NumCycles() << " cycles ("
+     << NumMapOnlyCycles() << " map-only), scan "
+     << FormatBytes(TotalInputBytes()) << ", shuffle "
+     << FormatBytes(TotalShuffleBytes()) << ", write "
+     << FormatBytes(TotalOutputBytes());
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), ", sim %.1fs", TotalSimSeconds());
+  os << buf << "\n";
+  for (const JobStats& j : jobs) {
+    std::snprintf(buf, sizeof(buf), "%8.1fs", j.sim_seconds);
+    os << "  " << (j.map_only ? "[map]    " : "[map+red]") << " " << j.name
+       << ": in=" << FormatBytes(j.input_bytes)
+       << " shuffle=" << FormatBytes(j.shuffle_bytes)
+       << " out=" << FormatBytes(j.output_bytes) << buf << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rapida::mr

@@ -1,0 +1,68 @@
+#ifndef RAPIDA_MAPREDUCE_COUNTERS_H_
+#define RAPIDA_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rapida::mr {
+
+/// Per-job execution statistics, filled by Cluster::Run. These are the
+/// quantities the paper's evaluation reasons about: number of MR cycles,
+/// bytes scanned / shuffled / materialized, and the derived simulated time.
+struct JobStats {
+  std::string name;
+  bool map_only = false;
+
+  uint64_t input_records = 0;
+  uint64_t input_bytes = 0;         // stored bytes scanned (post-compression)
+  uint64_t map_output_records = 0;  // before combine
+  uint64_t map_output_bytes = 0;
+  uint64_t shuffle_records = 0;     // after combine (what crosses the net)
+  uint64_t shuffle_bytes = 0;
+  uint64_t output_records = 0;
+  uint64_t output_bytes = 0;        // stored bytes materialized
+
+  int num_mappers = 0;
+  int num_reducers = 0;
+
+  double sim_seconds = 0;  // simulated wall time from the cost model
+};
+
+/// Aggregate over a workflow (one engine executing one query).
+struct WorkflowStats {
+  std::vector<JobStats> jobs;
+
+  int NumCycles() const { return static_cast<int>(jobs.size()); }
+  int NumMapOnlyCycles() const {
+    int n = 0;
+    for (const JobStats& j : jobs) n += j.map_only ? 1 : 0;
+    return n;
+  }
+  uint64_t TotalInputBytes() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.input_bytes;
+    return n;
+  }
+  uint64_t TotalShuffleBytes() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.shuffle_bytes;
+    return n;
+  }
+  uint64_t TotalOutputBytes() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.output_bytes;
+    return n;
+  }
+  double TotalSimSeconds() const {
+    double s = 0;
+    for (const JobStats& j : jobs) s += j.sim_seconds;
+    return s;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace rapida::mr
+
+#endif  // RAPIDA_MAPREDUCE_COUNTERS_H_

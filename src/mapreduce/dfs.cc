@@ -1,0 +1,74 @@
+#include "mapreduce/dfs.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace rapida::mr {
+
+Status Dfs::Write(const std::string& name, std::vector<Record> records,
+                  const FileOptions& options) {
+  uint64_t logical = 0;
+  for (const Record& r : records) logical += r.Bytes();
+  uint64_t stored =
+      options.compressed
+          ? static_cast<uint64_t>(static_cast<double>(logical) *
+                                  options.compression_ratio)
+          : logical;
+
+  uint64_t existing = 0;
+  auto it = files_.find(name);
+  if (it != files_.end()) existing = it->second.stored_bytes;
+
+  if (capacity_limit_ > 0 &&
+      total_stored_bytes_ - existing + stored > capacity_limit_) {
+    return Status::ResourceExhausted(
+        "DFS capacity exceeded writing '" + name + "': need " +
+        FormatBytes(total_stored_bytes_ - existing + stored) + " of " +
+        FormatBytes(capacity_limit_));
+  }
+
+  total_stored_bytes_ = total_stored_bytes_ - existing + stored;
+  if (total_stored_bytes_ > peak_stored_bytes_) {
+    peak_stored_bytes_ = total_stored_bytes_;
+  }
+  lifetime_bytes_written_ += stored;
+  File& f = files_[name];
+  f.records = std::move(records);
+  f.logical_bytes = logical;
+  f.stored_bytes = stored;
+  f.options = options;
+  return Status::OK();
+}
+
+StatusOr<const Dfs::File*> Dfs::Open(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("DFS file not found: " + name);
+  }
+  return &it->second;
+}
+
+bool Dfs::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status Dfs::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("DFS file not found: " + name);
+  }
+  total_stored_bytes_ -= it->second.stored_bytes;
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Dfs::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rapida::mr

@@ -1,0 +1,61 @@
+#ifndef RAPIDA_MAPREDUCE_JOB_H_
+#define RAPIDA_MAPREDUCE_JOB_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mapreduce/dfs.h"
+#include "mapreduce/record.h"
+
+namespace rapida::mr {
+
+/// Sink for map-side emissions.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// Sink for reduce-side emissions.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// Per-record map function. `input_tag` identifies which input file the
+/// record came from (0-based index into JobConfig::inputs) so joins can
+/// tag their sides — real MapReduce gets this from the input split path.
+using MapFn =
+    std::function<void(const Record& record, int input_tag, MapContext*)>;
+
+/// Called once per mapper after its split is exhausted; used for map-side
+/// state flush (e.g. the paper's `multiAggMap` hash pre-aggregation,
+/// Alg. 3 Map.clean()). The default no-op is fine for stateless mappers.
+using MapFinishFn = std::function<void(MapContext*)>;
+
+/// Reduce (and combine) function: one distinct key with all its values.
+using ReduceFn = std::function<void(const std::string& key,
+                                    const std::vector<std::string>& values,
+                                    ReduceContext*)>;
+
+/// Declarative description of one MapReduce job.
+struct JobConfig {
+  std::string name;
+  std::vector<std::string> inputs;  // DFS file names
+  std::string output;               // DFS file name
+
+  MapFn map;                 // required
+  MapFinishFn map_finish;    // optional
+  ReduceFn combine;          // optional (map-side, per mapper)
+  ReduceFn reduce;           // null => map-only job (no shuffle)
+
+  /// Storage options for the output file (e.g. Hive writes ORC-compressed
+  /// intermediates).
+  FileOptions output_options;
+};
+
+}  // namespace rapida::mr
+
+#endif  // RAPIDA_MAPREDUCE_JOB_H_

@@ -1,0 +1,23 @@
+#ifndef RAPIDA_MAPREDUCE_RECORD_H_
+#define RAPIDA_MAPREDUCE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rapida::mr {
+
+/// One key/value record flowing through the simulated MapReduce runtime.
+/// Keys and values are serialized strings so every byte that would cross
+/// disk or network in a real deployment is measurable here.
+struct Record {
+  std::string key;
+  std::string value;
+
+  /// Serialized footprint used for all byte accounting (key + value +
+  /// separators).
+  uint64_t Bytes() const { return key.size() + value.size() + 2; }
+};
+
+}  // namespace rapida::mr
+
+#endif  // RAPIDA_MAPREDUCE_RECORD_H_

@@ -1,0 +1,318 @@
+#include "ntga/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "analytics/value.h"
+#include "util/logging.h"
+
+namespace rapida::ntga {
+
+namespace {
+
+DataPropKey KeyOfTriple(const rdf::Triple& t, rdf::TermId type_id) {
+  DataPropKey key;
+  key.property = t.p;
+  if (t.p == type_id) key.type_object = t.o;
+  return key;
+}
+
+}  // namespace
+
+std::vector<TripleGroup> OptionalGroupFilter(
+    const std::vector<TripleGroup>& input, const std::set<DataPropKey>& prim,
+    const std::set<DataPropKey>& opt, rdf::TermId type_id) {
+  std::vector<TripleGroup> out;
+  for (const TripleGroup& tg : input) {
+    TripleGroup projected;
+    projected.subject = tg.subject;
+    for (const rdf::Triple& t : tg.triples) {
+      DataPropKey k = KeyOfTriple(t, type_id);
+      if (prim.count(k) > 0 || opt.count(k) > 0) {
+        projected.triples.push_back(t);
+      }
+    }
+    std::set<DataPropKey> props = projected.Props(type_id);
+    bool has_all_primary = std::includes(props.begin(), props.end(),
+                                         prim.begin(), prim.end());
+    if (has_all_primary) out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::optional<TripleGroup> FilterStar(const TripleGroup& tg,
+                                      const ResolvedStar& star,
+                                      rdf::TermId type_id) {
+  if (!star.satisfiable) return std::nullopt;
+  // Primary constraints: every primary pattern triple needs a match
+  // (property + type object + constant object where given).
+  for (const ResolvedStarTriple& pt : star.triples) {
+    if (star.primary.count(pt.key) == 0) continue;
+    if (!tg.HasProp(pt.key, type_id, pt.const_object)) return std::nullopt;
+  }
+  // Projection: keep pattern-relevant triples only. For a constant-object
+  // pattern triple only the matching triples are relevant.
+  TripleGroup out;
+  out.subject = tg.subject;
+  for (const rdf::Triple& t : tg.triples) {
+    DataPropKey k = KeyOfTriple(t, type_id);
+    for (const ResolvedStarTriple& pt : star.triples) {
+      if (pt.key == k &&
+          (pt.const_object == rdf::kInvalidTermId || pt.const_object == t.o)) {
+        out.triples.push_back(t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<TripleGroup>> NSplit(
+    const TripleGroup& tg, const std::set<DataPropKey>& prim,
+    const std::vector<std::set<DataPropKey>>& secs, rdf::TermId type_id) {
+  std::set<DataPropKey> props = tg.Props(type_id);
+  std::vector<std::optional<TripleGroup>> out;
+  out.reserve(secs.size());
+  for (const std::set<DataPropKey>& sec : secs) {
+    bool has_all = std::includes(props.begin(), props.end(), sec.begin(),
+                                 sec.end());
+    if (!has_all) {
+      out.push_back(std::nullopt);
+      continue;
+    }
+    TripleGroup split;
+    split.subject = tg.subject;
+    for (const rdf::Triple& t : tg.triples) {
+      DataPropKey k = KeyOfTriple(t, type_id);
+      if (prim.count(k) > 0 || sec.count(k) > 0) split.triples.push_back(t);
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+bool SatisfiesAlpha(const NestedTripleGroup& ntg, const AlphaCondition& cond,
+                    rdf::TermId type_id) {
+  for (const AlphaConstraint& c : cond) {
+    bool present = ntg.IsFilled(c.star) &&
+                   c.key.property != rdf::kInvalidTermId &&
+                   ntg.stars[c.star].HasProp(c.key, type_id);
+    if (present != c.present) return false;
+  }
+  return true;
+}
+
+bool SatisfiesAnyAlpha(const NestedTripleGroup& ntg,
+                       const std::vector<AlphaCondition>& conds,
+                       rdf::TermId type_id) {
+  if (conds.empty()) return true;
+  for (const AlphaCondition& cond : conds) {
+    if (SatisfiesAlpha(ntg, cond, type_id)) return true;
+  }
+  return false;
+}
+
+std::vector<rdf::TermId> JoinKeys(const NestedTripleGroup& ntg, int star,
+                                  JoinRole role, const DataPropKey& prop,
+                                  rdf::TermId type_id) {
+  if (!ntg.IsFilled(star)) return {};
+  if (role == JoinRole::kSubject) return {ntg.stars[star].subject};
+  return ntg.stars[star].ObjectsOf(prop, type_id);
+}
+
+std::vector<NestedTripleGroup> AlphaJoin(
+    const std::vector<NestedTripleGroup>& left,
+    const std::vector<NestedTripleGroup>& right, const ResolvedJoin& join,
+    const std::vector<AlphaCondition>& alphas, rdf::TermId type_id) {
+  // Hash the right side by its join keys.
+  std::unordered_map<rdf::TermId, std::vector<size_t>> index;
+  for (size_t r = 0; r < right.size(); ++r) {
+    for (rdf::TermId key :
+         JoinKeys(right[r], join.star_b, join.role_b, join.prop_b, type_id)) {
+      index[key].push_back(r);
+    }
+  }
+
+  std::vector<NestedTripleGroup> out;
+  for (const NestedTripleGroup& l : left) {
+    std::vector<rdf::TermId> keys =
+        JoinKeys(l, join.star_a, join.role_a, join.prop_a, type_id);
+    // A pair may share several keys (multi-valued join property on both
+    // sides); emit it once — binding expansion recovers the per-key
+    // solutions.
+    std::set<size_t> matched;
+    for (rdf::TermId key : keys) {
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (size_t r : it->second) matched.insert(r);
+    }
+    for (size_t r : matched) {
+      NestedTripleGroup joined = l;
+      size_t n = std::max(joined.stars.size(), right[r].stars.size());
+      joined.stars.resize(n);
+      for (size_t s = 0; s < right[r].stars.size(); ++s) {
+        if (right[r].stars[s].subject != rdf::kInvalidTermId) {
+          RAPIDA_DCHECK(joined.stars[s].subject == rdf::kInvalidTermId)
+              << "α-join sides overlap on star " << s;
+          joined.stars[s] = right[r].stars[s];
+        }
+      }
+      if (SatisfiesAnyAlpha(joined, alphas, type_id)) {
+        out.push_back(std::move(joined));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<rdf::TermId>> ExpandBindings(
+    const NestedTripleGroup& ntg, const ResolvedPattern& pattern,
+    const std::vector<std::string>& vars, bool skip_unbound) {
+  // Candidate values per variable: the intersection across every place the
+  // variable occurs (subject positions pin it to one value; object
+  // positions contribute their object lists).
+  std::vector<std::vector<rdf::TermId>> candidates;
+  candidates.reserve(vars.size());
+  for (const std::string& var : vars) {
+    std::vector<rdf::TermId> values;
+    bool first_source = true;
+    for (size_t s = 0; s < pattern.stars.size(); ++s) {
+      const ResolvedStar& star = pattern.stars[s];
+      bool filled = ntg.IsFilled(static_cast<int>(s));
+      if (star.subject_var == var) {
+        std::vector<rdf::TermId> vals;
+        if (filled) vals.push_back(ntg.stars[s].subject);
+        if (first_source) {
+          values = std::move(vals);
+          first_source = false;
+        } else {
+          std::vector<rdf::TermId> merged;
+          for (rdf::TermId v : values) {
+            if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
+              merged.push_back(v);
+            }
+          }
+          values = std::move(merged);
+        }
+      }
+      for (const ResolvedStarTriple& t : star.triples) {
+        if (t.object_var != var) continue;
+        std::vector<rdf::TermId> vals;
+        if (filled) {
+          vals = ntg.stars[s].ObjectsOf(t.key, pattern.type_id);
+        }
+        if (first_source) {
+          values = std::move(vals);
+          first_source = false;
+        } else {
+          std::vector<rdf::TermId> merged;
+          for (rdf::TermId v : values) {
+            if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
+              merged.push_back(v);
+            }
+          }
+          values = std::move(merged);
+        }
+      }
+    }
+    if (values.empty()) {
+      if (skip_unbound) return {};
+      values.push_back(rdf::kInvalidTermId);
+    }
+    // Duplicate triples would inflate multiplicity; keep one per value.
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    candidates.push_back(std::move(values));
+  }
+
+  // Cross product.
+  std::vector<std::vector<rdf::TermId>> out;
+  std::vector<size_t> idx(vars.size(), 0);
+  while (true) {
+    std::vector<rdf::TermId> row;
+    row.reserve(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) row.push_back(candidates[i][idx[i]]);
+    out.push_back(std::move(row));
+    size_t i = 0;
+    while (i < vars.size() && ++idx[i] == candidates[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == vars.size()) break;
+    if (vars.empty()) break;
+  }
+  if (vars.empty()) out.resize(1);
+  return out;
+}
+
+std::vector<AggregatedGroup> AggJoin(
+    const std::vector<NestedTripleGroup>& detail,
+    const ResolvedPattern& pattern, const AggJoinSpec& spec,
+    const std::vector<std::vector<rdf::TermId>>* explicit_base,
+    rdf::Dictionary* dict) {
+  // Variables to expand: θ plus every aggregation variable.
+  std::vector<std::string> vars = spec.group_vars;
+  std::vector<int> agg_var_index(spec.aggs.size(), -1);
+  for (size_t a = 0; a < spec.aggs.size(); ++a) {
+    if (spec.aggs[a].count_star) continue;
+    auto it = std::find(vars.begin(), vars.end(), spec.aggs[a].var);
+    if (it == vars.end()) {
+      agg_var_index[a] = static_cast<int>(vars.size());
+      vars.push_back(spec.aggs[a].var);
+    } else {
+      agg_var_index[a] = static_cast<int>(it - vars.begin());
+    }
+  }
+  const size_t n_group = spec.group_vars.size();
+
+  std::map<std::vector<rdf::TermId>, std::vector<analytics::Aggregator>>
+      groups;
+  auto make_aggs = [&spec]() {
+    std::vector<analytics::Aggregator> aggs;
+    aggs.reserve(spec.aggs.size());
+    for (const AggSpec& a : spec.aggs) {
+      aggs.emplace_back(a.func, /*distinct=*/false, a.separator);
+    }
+    return aggs;
+  };
+  if (explicit_base != nullptr) {
+    for (const auto& key : *explicit_base) groups.emplace(key, make_aggs());
+  }
+  if (n_group == 0) groups.emplace(std::vector<rdf::TermId>{}, make_aggs());
+
+  for (const NestedTripleGroup& ntg : detail) {
+    // RNG membership: the detail group must satisfy the α condition.
+    if (!SatisfiesAlpha(ntg, spec.alpha, pattern.type_id)) continue;
+    for (const std::vector<rdf::TermId>& mapping :
+         ExpandBindings(ntg, pattern, vars, /*skip_unbound=*/true)) {
+      std::vector<rdf::TermId> key(mapping.begin(),
+                                   mapping.begin() + n_group);
+      if (explicit_base != nullptr && groups.count(key) == 0) {
+        continue;  // base-driven: unknown keys don't create groups
+      }
+      auto [it, inserted] = groups.emplace(std::move(key), make_aggs());
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        if (spec.aggs[a].count_star) {
+          it->second[a].AddRow();
+        } else {
+          it->second[a].AddTerm(mapping[agg_var_index[a]], *dict);
+        }
+      }
+    }
+  }
+
+  std::vector<AggregatedGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, aggs] : groups) {
+    AggregatedGroup g;
+    g.key = key;
+    for (const analytics::Aggregator& a : aggs) {
+      g.values.push_back(a.Finalize(dict));
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace rapida::ntga

@@ -1,0 +1,149 @@
+#ifndef RAPIDA_NTGA_OPERATORS_H_
+#define RAPIDA_NTGA_OPERATORS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/aggregates.h"
+#include "ntga/resolved_pattern.h"
+#include "ntga/triplegroup.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace rapida::ntga {
+
+// ---------------------------------------------------------------------------
+// σ^γopt — Optional Group Filter (Def. 3.3)
+// ---------------------------------------------------------------------------
+
+/// Set-level operator exactly as defined: keeps triplegroups whose property
+/// set contains all of P_prim and is contained in P_prim ∪ P_opt; member
+/// triples outside those properties are projected away (the physical
+/// operator's projection of irrelevant triples).
+std::vector<TripleGroup> OptionalGroupFilter(
+    const std::vector<TripleGroup>& input, const std::set<DataPropKey>& prim,
+    const std::set<DataPropKey>& opt, rdf::TermId type_id);
+
+/// Engine-level variant against a resolved star pattern: additionally
+/// enforces constant objects (e.g. pub_type "News") and keeps only the
+/// pattern-relevant triples. Returns nullopt when the group fails a
+/// primary constraint.
+std::optional<TripleGroup> FilterStar(const TripleGroup& tg,
+                                      const ResolvedStar& star,
+                                      rdf::TermId type_id);
+
+// ---------------------------------------------------------------------------
+// χ — n-split (Def. 3.4)
+// ---------------------------------------------------------------------------
+
+/// Extracts the n per-pattern subsets of a composite-star triplegroup.
+/// Result i is present iff the group has matches for every property in
+/// secs[i]; it contains the primary triples plus the secs[i] triples.
+std::vector<std::optional<TripleGroup>> NSplit(
+    const TripleGroup& tg, const std::set<DataPropKey>& prim,
+    const std::vector<std::set<DataPropKey>>& secs, rdf::TermId type_id);
+
+// ---------------------------------------------------------------------------
+// ⋈^γ_α — α-Join (Def. 3.5, Table 2)
+// ---------------------------------------------------------------------------
+
+/// One conjunct of an α condition: the property `key` of star `star` must
+/// be present (present=true) or absent (present=false). The planner emits
+/// presence-only conditions (see DESIGN.md on Table 2); absence conditions
+/// are supported for the operator's full generality.
+struct AlphaConstraint {
+  int star = 0;
+  DataPropKey key;
+  bool present = true;
+};
+
+/// A conjunction of constraints; a list of AlphaConditions is a
+/// disjunction (one per original graph pattern).
+using AlphaCondition = std::vector<AlphaConstraint>;
+
+bool SatisfiesAlpha(const NestedTripleGroup& ntg, const AlphaCondition& cond,
+                    rdf::TermId type_id);
+bool SatisfiesAnyAlpha(const NestedTripleGroup& ntg,
+                       const std::vector<AlphaCondition>& conds,
+                       rdf::TermId type_id);
+
+/// Join keys of a nested triplegroup at a join endpoint: the star's
+/// subject (one key) or the objects of the joining property (possibly
+/// several — multi-valued join properties fan out, as in Alg. 2's map).
+std::vector<rdf::TermId> JoinKeys(const NestedTripleGroup& ntg, int star,
+                                  JoinRole role, const DataPropKey& prop,
+                                  rdf::TermId type_id);
+
+/// In-memory α-Join of two classes of nested triplegroups along `join`.
+/// A joined group is emitted only if it satisfies at least one of `alphas`
+/// (empty `alphas` = no α filtering, used for intermediate joins of
+/// 3+-star patterns where the condition is only decidable at the end).
+std::vector<NestedTripleGroup> AlphaJoin(
+    const std::vector<NestedTripleGroup>& left,
+    const std::vector<NestedTripleGroup>& right, const ResolvedJoin& join,
+    const std::vector<AlphaCondition>& alphas, rdf::TermId type_id);
+
+// ---------------------------------------------------------------------------
+// Binding expansion (shared by Agg-Join and result extraction)
+// ---------------------------------------------------------------------------
+
+/// Enumerates the solution mappings a pattern match induces for the given
+/// composite variables: the cross product over multi-valued properties,
+/// matching SPARQL multiplicity semantics. A variable bound to a star the
+/// match did not fill (or to an absent optional property) yields
+/// kInvalidTermId in that position; if `skip_unbound` is true such
+/// mappings are dropped instead.
+std::vector<std::vector<rdf::TermId>> ExpandBindings(
+    const NestedTripleGroup& ntg, const ResolvedPattern& pattern,
+    const std::vector<std::string>& vars, bool skip_unbound);
+
+// ---------------------------------------------------------------------------
+// γ^AgJ — TG Agg-Join (Def. 3.6, Alg. 3)
+// ---------------------------------------------------------------------------
+
+/// One aggregation f_k(a_k) with its output column name.
+struct AggSpec {
+  sparql::AggFunc func = sparql::AggFunc::kCount;
+  std::string var;          // aggregation variable (composite namespace)
+  bool count_star = false;  // COUNT(*) over solution mappings
+  std::string output_name;
+  std::string separator = " ";  // GROUP_CONCAT only
+};
+
+/// One decoupled grouping-aggregation over the composite pattern: θ is the
+/// grouping variable list (empty = GROUP BY ALL), l the aggregate list,
+/// α the pattern's secondary-presence condition.
+struct AggJoinSpec {
+  std::vector<std::string> group_vars;  // θ
+  std::vector<AggSpec> aggs;            // l
+  AlphaCondition alpha;                 // α
+};
+
+/// An aggregated triplegroup: the grouping key (bindings of θ, in order)
+/// and the aggregate values (aligned with spec.aggs).
+struct AggregatedGroup {
+  std::vector<rdf::TermId> key;
+  std::vector<rdf::TermId> values;
+
+  friend bool operator==(const AggregatedGroup& a, const AggregatedGroup& b) {
+    return a.key == b.key && a.values == b.values;
+  }
+};
+
+/// In-memory TG Agg-Join: groups the α-qualifying detail matches by θ and
+/// aggregates. When `explicit_base` is non-null, one output group is
+/// produced per base key (keys whose RNG is empty get default aggregate
+/// values — Def. 3.6's btg with empty RNG); otherwise groups are derived
+/// from the detail side, and with empty θ the single ALL-group is always
+/// produced.
+std::vector<AggregatedGroup> AggJoin(
+    const std::vector<NestedTripleGroup>& detail,
+    const ResolvedPattern& pattern, const AggJoinSpec& spec,
+    const std::vector<std::vector<rdf::TermId>>* explicit_base,
+    rdf::Dictionary* dict);
+
+}  // namespace rapida::ntga
+
+#endif  // RAPIDA_NTGA_OPERATORS_H_

@@ -1,0 +1,427 @@
+#include "ntga/overlap.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace rapida::ntga {
+
+namespace {
+
+/// True when the objects of a shared (primary) property are compatible for
+/// shared execution: both variables, or equal constants. A constant on one
+/// side only (or differing constants) means the two stars ask different
+/// questions about that property, so we refuse the overlap conservatively.
+bool SharedPropObjectsCompatible(const StarPattern& a, const StarPattern& b,
+                                 const PropKey& key) {
+  if (key.is_type()) return true;  // type object identity is in the key
+  const StarTriple& ta = a.triples[a.FindProp(key)];
+  const StarTriple& tb = b.triples[b.FindProp(key)];
+  if (ta.object.is_var && tb.object.is_var) return true;
+  if (!ta.object.is_var && !tb.object.is_var) {
+    return ta.object.term == tb.object.term;
+  }
+  return false;
+}
+
+/// Checks role-equivalence of the join structures of gp1 and gp2 under the
+/// star mapping m (gp1 star i <-> gp2 star m[i]). Every edge must have a
+/// role-equivalent counterpart and vice versa.
+bool JoinsRoleEquivalent(const StarGraph& gp1, const StarGraph& gp2,
+                         const std::vector<int>& m, std::string* why) {
+  if (gp1.joins.size() != gp2.joins.size()) {
+    *why = "different number of join edges";
+    return false;
+  }
+  // Endpoint signature: (mapped star, role, joining property if object).
+  struct Endpoint {
+    int star;
+    JoinRole role;
+    PropKey prop;
+    bool operator==(const Endpoint& o) const {
+      return star == o.star && role == o.role &&
+             (role == JoinRole::kSubject || prop == o.prop);
+    }
+  };
+  auto edge_matches = [](const Endpoint& a1, const Endpoint& a2,
+                         const Endpoint& b1, const Endpoint& b2) {
+    return (a1 == b1 && a2 == b2) || (a1 == b2 && a2 == b1);
+  };
+
+  std::vector<bool> used(gp2.joins.size(), false);
+  for (const JoinEdge& e1 : gp1.joins) {
+    Endpoint a1{m[e1.star_a], e1.role_a, e1.prop_a};
+    Endpoint a2{m[e1.star_b], e1.role_b, e1.prop_b};
+    bool found = false;
+    for (size_t j = 0; j < gp2.joins.size(); ++j) {
+      if (used[j]) continue;
+      const JoinEdge& e2 = gp2.joins[j];
+      Endpoint b1{e2.star_a, e2.role_a, e2.prop_a};
+      Endpoint b2{e2.star_b, e2.role_b, e2.prop_b};
+      if (edge_matches(a1, a2, b1, b2)) {
+        used[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      *why = "join on ?" + e1.var +
+             " has no role-equivalent counterpart (subject/object roles or "
+             "joining property differ)";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StarsOverlap(const StarPattern& a, const StarPattern& b) {
+  std::set<PropKey> pa = a.Props();
+  std::set<PropKey> pb = b.Props();
+  std::vector<PropKey> shared;
+  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                        std::back_inserter(shared));
+  if (shared.empty()) return false;
+  // rdf:type restrictions must agree in both directions.
+  for (const PropKey& k : pa) {
+    if (k.is_type() && pb.count(k) == 0) return false;
+  }
+  for (const PropKey& k : pb) {
+    if (k.is_type() && pa.count(k) == 0) return false;
+  }
+  for (const PropKey& k : shared) {
+    if (!SharedPropObjectsCompatible(a, b, k)) return false;
+  }
+  return true;
+}
+
+OverlapResult FindOverlap(const StarGraph& gp1, const StarGraph& gp2) {
+  OverlapResult result;
+  if (gp1.stars.size() != gp2.stars.size()) {
+    result.explanation = "different number of star patterns (" +
+                         std::to_string(gp1.stars.size()) + " vs " +
+                         std::to_string(gp2.stars.size()) + ")";
+    return result;
+  }
+  const size_t n = gp1.stars.size();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::string last_reason = "no star-to-star matching overlaps";
+  do {
+    bool stars_ok = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (!StarsOverlap(gp1.stars[i], gp2.stars[perm[i]])) {
+        stars_ok = false;
+        break;
+      }
+    }
+    if (!stars_ok) continue;
+    std::string why;
+    if (!JoinsRoleEquivalent(gp1, gp2, perm, &why)) {
+      last_reason = why;
+      continue;
+    }
+    result.overlaps = true;
+    result.mapping = perm;
+    std::ostringstream os;
+    for (size_t i = 0; i < n; ++i) {
+      os << "Stp" << i << " (GP1) overlaps Stp" << perm[i] << " (GP2); ";
+    }
+    os << "join structures are role-equivalent; hence GP1 overlaps GP2";
+    result.explanation = os.str();
+    return result;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  result.explanation = last_reason;
+  return result;
+}
+
+std::string CompositePattern::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    os << "Stp'" << i << " = ?" << stars[i].subject_var << "{";
+    bool first = true;
+    for (const StarTriple& t : stars[i].triples) {
+      if (!first) os << ", ";
+      first = false;
+      os << t.prop.ToString();
+      if (stars[i].secondary.count(t.prop) > 0) os << " (sec)";
+    }
+    os << "}\n";
+  }
+  for (size_t p = 0; p < pattern_secondary.size(); ++p) {
+    os << "alpha[" << p << "]: ";
+    bool any = false;
+    for (const auto& [star, keys] : pattern_secondary[p]) {
+      for (const PropKey& k : keys) {
+        if (any) os << " && ";
+        any = true;
+        os << "Stp'" << star << "." << k.ToString() << " != {}";
+      }
+    }
+    if (!any) os << "true";
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<CompositePattern> BuildComposite(const StarGraph& gp1,
+                                          const StarGraph& gp2,
+                                          const OverlapResult& overlap) {
+  if (!overlap.overlaps) {
+    return Status::InvalidArgument(
+        "BuildComposite called on non-overlapping patterns: " +
+        overlap.explanation);
+  }
+  CompositePattern out;
+  out.pattern_secondary.resize(2);
+  out.var_map.resize(2);
+
+  // Collect every composite variable name to detect collisions when
+  // importing GP2-only variables.
+  std::set<std::string> taken;
+  for (const StarPattern& s : gp1.stars) {
+    taken.insert(s.subject_var);
+    for (const StarTriple& t : s.triples) {
+      std::string v = t.ObjectVar();
+      if (!v.empty()) taken.insert(v);
+    }
+  }
+  auto fresh_name = [&taken](const std::string& base) {
+    std::string name = base;
+    while (taken.count(name) > 0) name += "_g2";
+    taken.insert(name);
+    return name;
+  };
+
+  for (size_t i = 0; i < gp1.stars.size(); ++i) {
+    const StarPattern& s1 = gp1.stars[i];
+    const StarPattern& s2 = gp2.stars[overlap.mapping[i]];
+    CompositeStar cs;
+    cs.subject_var = s1.subject_var;
+    out.var_map[0][s1.subject_var] = s1.subject_var;
+    out.var_map[1][s2.subject_var] = s1.subject_var;
+
+    std::set<PropKey> p1 = s1.Props();
+    std::set<PropKey> p2 = s2.Props();
+
+    // Primary properties: GP1's triple is canonical; GP2's object variable
+    // (if any) maps onto GP1's.
+    for (const StarTriple& t : s1.triples) {
+      if (p2.count(t.prop) == 0) continue;
+      cs.primary.insert(t.prop);
+      cs.triples.push_back(t);
+      std::string v1 = t.ObjectVar();
+      const StarTriple& t2 = s2.triples[s2.FindProp(t.prop)];
+      std::string v2 = t2.ObjectVar();
+      if (!v1.empty()) out.var_map[0][v1] = v1;
+      if (!v2.empty() && !v1.empty()) out.var_map[1][v2] = v1;
+    }
+    // GP1-only secondary properties.
+    for (const StarTriple& t : s1.triples) {
+      if (p2.count(t.prop) > 0) continue;
+      cs.secondary.insert(t.prop);
+      cs.triples.push_back(t);
+      out.pattern_secondary[0][static_cast<int>(i)].insert(t.prop);
+      std::string v = t.ObjectVar();
+      if (!v.empty()) out.var_map[0][v] = v;
+    }
+    // GP2-only secondary properties, renamed into the composite namespace
+    // if they collide with GP1 names.
+    for (const StarTriple& t : s2.triples) {
+      if (p1.count(t.prop) > 0) continue;
+      StarTriple imported = t;
+      std::string v = t.ObjectVar();
+      if (!v.empty()) {
+        std::string renamed = fresh_name(v);
+        out.var_map[1][v] = renamed;
+        imported.object = sparql::TermOrVar::Var(renamed);
+      }
+      cs.secondary.insert(imported.prop);
+      cs.triples.push_back(std::move(imported));
+      out.pattern_secondary[1][static_cast<int>(i)].insert(t.prop);
+    }
+    out.stars.push_back(std::move(cs));
+  }
+  out.joins = gp1.joins;
+  return out;
+}
+
+FamilyOverlapResult FindOverlapFamily(
+    const std::vector<const StarGraph*>& patterns) {
+  FamilyOverlapResult result;
+  if (patterns.size() < 2) {
+    result.explanation = "a pattern family needs at least two patterns";
+    return result;
+  }
+  const size_t n_stars = patterns[0]->stars.size();
+  result.mapping.resize(patterns.size());
+  result.mapping[0].resize(n_stars);
+  for (size_t i = 0; i < n_stars; ++i) {
+    result.mapping[0][i] = static_cast<int>(i);
+  }
+
+  // Match every pattern against the anchor.
+  for (size_t p = 1; p < patterns.size(); ++p) {
+    OverlapResult pair = FindOverlap(*patterns[0], *patterns[p]);
+    if (!pair.overlaps) {
+      result.explanation = "pattern " + std::to_string(p) +
+                           " does not overlap the anchor: " +
+                           pair.explanation;
+      return result;
+    }
+    result.mapping[p] = pair.mapping;
+  }
+
+  // Pairwise verification under the composed mappings.
+  for (size_t p = 1; p < patterns.size(); ++p) {
+    for (size_t q = p + 1; q < patterns.size(); ++q) {
+      std::vector<int> composed(n_stars);  // star of p -> star of q
+      for (size_t a = 0; a < n_stars; ++a) {
+        composed[result.mapping[p][a]] = result.mapping[q][a];
+      }
+      for (size_t a = 0; a < n_stars; ++a) {
+        const StarPattern& sp = patterns[p]->stars[result.mapping[p][a]];
+        const StarPattern& sq = patterns[q]->stars[result.mapping[q][a]];
+        if (!StarsOverlap(sp, sq)) {
+          result.explanation = "patterns " + std::to_string(p) + " and " +
+                               std::to_string(q) +
+                               " have non-overlapping stars";
+          return result;
+        }
+      }
+      std::string why;
+      if (!JoinsRoleEquivalent(*patterns[p], *patterns[q], composed, &why)) {
+        result.explanation = "patterns " + std::to_string(p) + " and " +
+                             std::to_string(q) + ": " + why;
+        return result;
+      }
+    }
+  }
+  result.overlaps = true;
+  result.explanation = "all " + std::to_string(patterns.size()) +
+                       " patterns pairwise overlap with role-equivalent "
+                       "join structures";
+  return result;
+}
+
+StatusOr<CompositePattern> BuildCompositeFamily(
+    const std::vector<const StarGraph*>& patterns,
+    const FamilyOverlapResult& overlap) {
+  if (!overlap.overlaps) {
+    return Status::InvalidArgument(
+        "BuildCompositeFamily called on a non-overlapping family: " +
+        overlap.explanation);
+  }
+  const size_t n_patterns = patterns.size();
+  const size_t n_stars = patterns[0]->stars.size();
+  CompositePattern out;
+  out.pattern_secondary.resize(n_patterns);
+  out.var_map.resize(n_patterns);
+
+  // Names already claimed by the anchor pattern.
+  std::set<std::string> taken;
+  for (const StarPattern& s : patterns[0]->stars) {
+    taken.insert(s.subject_var);
+    for (const StarTriple& t : s.triples) {
+      std::string v = t.ObjectVar();
+      if (!v.empty()) taken.insert(v);
+    }
+  }
+  auto fresh_name = [&taken](const std::string& base) {
+    std::string name = base;
+    int suffix = 2;
+    while (taken.count(name) > 0) {
+      name = base + "_g" + std::to_string(suffix++);
+    }
+    taken.insert(name);
+    return name;
+  };
+
+  for (size_t i = 0; i < n_stars; ++i) {
+    // The matched stars, one per pattern.
+    std::vector<const StarPattern*> stars;
+    stars.reserve(n_patterns);
+    for (size_t p = 0; p < n_patterns; ++p) {
+      stars.push_back(&patterns[p]->stars[overlap.mapping[p][i]]);
+    }
+    CompositeStar cs;
+    cs.subject_var = stars[0]->subject_var;
+    for (size_t p = 0; p < n_patterns; ++p) {
+      out.var_map[p][stars[p]->subject_var] = cs.subject_var;
+    }
+
+    // Primary = intersection of all property sets.
+    std::set<PropKey> prim = stars[0]->Props();
+    for (size_t p = 1; p < n_patterns; ++p) {
+      std::set<PropKey> sp = stars[p]->Props();
+      std::set<PropKey> kept;
+      std::set_intersection(prim.begin(), prim.end(), sp.begin(), sp.end(),
+                            std::inserter(kept, kept.begin()));
+      prim = std::move(kept);
+    }
+
+    // Emit composite triples property by property, lowest-indexed owner
+    // first so canonical variable names are deterministic.
+    std::set<PropKey> emitted;
+    for (size_t owner = 0; owner < n_patterns; ++owner) {
+      for (const StarTriple& t : stars[owner]->triples) {
+        if (emitted.count(t.prop) > 0) continue;
+        emitted.insert(t.prop);
+        bool is_primary = prim.count(t.prop) > 0;
+
+        StarTriple canonical = t;
+        std::string canonical_var = t.ObjectVar();
+        if (!canonical_var.empty() && owner > 0) {
+          canonical_var = fresh_name(canonical_var);
+          canonical.object = sparql::TermOrVar::Var(canonical_var);
+        }
+        if (is_primary) {
+          cs.primary.insert(t.prop);
+        } else {
+          cs.secondary.insert(t.prop);
+        }
+        cs.triples.push_back(canonical);
+
+        // Map every pattern that carries this property onto the
+        // canonical variable; record α requirements for secondary ones.
+        for (size_t p = owner; p < n_patterns; ++p) {
+          int idx = stars[p]->FindProp(t.prop);
+          if (idx < 0) continue;
+          std::string pv = stars[p]->triples[idx].ObjectVar();
+          if (!pv.empty() && !canonical_var.empty()) {
+            out.var_map[p][pv] = canonical_var;
+          }
+          if (!is_primary) {
+            out.pattern_secondary[p][static_cast<int>(i)].insert(t.prop);
+          }
+        }
+      }
+    }
+    out.stars.push_back(std::move(cs));
+  }
+  out.joins = patterns[0]->joins;
+  return out;
+}
+
+CompositePattern SinglePatternComposite(const StarGraph& gp) {
+  CompositePattern out;
+  out.pattern_secondary.resize(1);
+  out.var_map.resize(1);
+  for (const StarPattern& s : gp.stars) {
+    CompositeStar cs;
+    cs.subject_var = s.subject_var;
+    out.var_map[0][s.subject_var] = s.subject_var;
+    for (const StarTriple& t : s.triples) {
+      cs.primary.insert(t.prop);
+      cs.triples.push_back(t);
+      std::string v = t.ObjectVar();
+      if (!v.empty()) out.var_map[0][v] = v;
+    }
+    out.stars.push_back(std::move(cs));
+  }
+  out.joins = gp.joins;
+  return out;
+}
+
+}  // namespace rapida::ntga

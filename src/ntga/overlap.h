@@ -1,0 +1,112 @@
+#ifndef RAPIDA_NTGA_OVERLAP_H_
+#define RAPIDA_NTGA_OVERLAP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ntga/star_pattern.h"
+#include "util/statusor.h"
+
+namespace rapida::ntga {
+
+/// Def. 3.1: two subject-rooted stars overlap when their property sets
+/// intersect and their rdf:type restrictions agree (every type triple in
+/// one has a matching type object in the other).
+bool StarsOverlap(const StarPattern& a, const StarPattern& b);
+
+/// Result of testing Def. 3.2 on two graph patterns.
+struct OverlapResult {
+  bool overlaps = false;
+  /// mapping[i] = index of the GP2 star matched to GP1 star i.
+  std::vector<int> mapping;
+  /// Human-readable explanation (mirrors the Fig. 3 walkthrough), useful
+  /// for the overlap_explorer example and diagnostics.
+  std::string explanation;
+};
+
+/// Def. 3.2: graph patterns overlap when there is a 1:1 matching of their
+/// stars such that matched stars overlap (Def. 3.1) and every join edge is
+/// role-equivalent (same joining property, same variable roles).
+OverlapResult FindOverlap(const StarGraph& gp1, const StarGraph& gp2);
+
+/// One composite star pattern Stp' (§3 "Construction of a Composite Graph
+/// Pattern"): P_prim = intersection, P_sec = symmetric difference.
+struct CompositeStar {
+  std::string subject_var;  // canonical variable (GP1's)
+  std::vector<StarTriple> triples;
+  std::set<PropKey> primary;
+  std::set<PropKey> secondary;
+};
+
+/// The composite graph pattern GP' for two overlapping patterns, plus the
+/// bookkeeping needed to interpret GP' results as answers to the original
+/// patterns:
+///  * per-pattern α condition — the secondary properties that must be
+///    present for a composite match to contain a match of that pattern
+///    (the planner emits presence-only conditions; see the Table 2 note in
+///    DESIGN.md), and
+///  * per-pattern variable renaming into the composite namespace, used to
+///    translate each original pattern's grouping / aggregation / filter
+///    variables.
+struct CompositePattern {
+  std::vector<CompositeStar> stars;
+  std::vector<JoinEdge> joins;  // canonical join structure (GP1's)
+
+  /// pattern_secondary[p] = secondary PropKeys pattern p requires, per
+  /// star: map star index -> set of PropKeys. Pattern p's α condition is
+  /// the conjunction "all of these are non-empty".
+  std::vector<std::map<int, std::set<PropKey>>> pattern_secondary;
+
+  /// var_map[p]: original variable name in pattern p -> composite variable.
+  std::vector<std::map<std::string, std::string>> var_map;
+
+  std::string ToString() const;
+};
+
+/// Builds GP' from two graph patterns known to overlap (`overlap` from
+/// FindOverlap must have overlaps == true).
+StatusOr<CompositePattern> BuildComposite(const StarGraph& gp1,
+                                          const StarGraph& gp2,
+                                          const OverlapResult& overlap);
+
+/// Builds a trivial "composite" from a single pattern (used when a query
+/// has one grouping, or as the per-pattern fallback when patterns do not
+/// overlap): every property is primary and the α condition is empty.
+CompositePattern SinglePatternComposite(const StarGraph& gp);
+
+// ---------------------------------------------------------------------------
+// N-ary extension (the paper's §6 future work: "more complex OLAP
+// queries"). A ROLLUP-style analytical query has three or more *related*
+// groupings — e.g. (feature, country) / (country) / () — whose graph
+// patterns all overlap. Generalizing Def. 3.2 to a pattern family lets
+// RAPIDAnalytics evaluate one composite pattern and all N aggregations in
+// a single parallel Agg-Join cycle.
+// ---------------------------------------------------------------------------
+
+/// Result of matching a family of patterns: per pattern p, mapping[p][i]
+/// is the star of pattern p matched to star i of the anchor (pattern 0).
+struct FamilyOverlapResult {
+  bool overlaps = false;
+  std::vector<std::vector<int>> mapping;
+  std::string explanation;
+};
+
+/// Generalized Def. 3.2: every pattern must overlap the anchor pattern
+/// (pattern 0), and every *pair* of patterns must satisfy the star-overlap
+/// and role-equivalence conditions under the composed mappings.
+FamilyOverlapResult FindOverlapFamily(
+    const std::vector<const StarGraph*>& patterns);
+
+/// Generalized composite: per matched star group, P_prim is the
+/// intersection of all patterns' property sets and P_sec the rest, with
+/// pattern_secondary[p] holding what pattern p requires. Variables take
+/// the lowest-indexed pattern's names; var_map has one entry per pattern.
+StatusOr<CompositePattern> BuildCompositeFamily(
+    const std::vector<const StarGraph*>& patterns,
+    const FamilyOverlapResult& overlap);
+
+}  // namespace rapida::ntga
+
+#endif  // RAPIDA_NTGA_OVERLAP_H_

@@ -1,0 +1,34 @@
+#ifndef RAPIDA_NTGA_PROP_KEY_H_
+#define RAPIDA_NTGA_PROP_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rapida::ntga {
+
+/// Identity of one "property" in the NTGA sense. The paper treats a typed
+/// rdf:type triple as a distinct property (ty18 = "rdf:type PT18"), because
+/// two stars only overlap when their type restrictions agree (Def. 3.1).
+/// So a PropKey is either a plain property IRI or (rdf:type, object IRI).
+struct PropKey {
+  std::string property;     // property IRI
+  std::string type_object;  // non-empty only for rdf:type triples
+
+  bool is_type() const { return !type_object.empty(); }
+
+  friend bool operator==(const PropKey& a, const PropKey& b) {
+    return a.property == b.property && a.type_object == b.type_object;
+  }
+  friend bool operator<(const PropKey& a, const PropKey& b) {
+    if (a.property != b.property) return a.property < b.property;
+    return a.type_object < b.type_object;
+  }
+
+  std::string ToString() const {
+    return is_type() ? "type=" + type_object : property;
+  }
+};
+
+}  // namespace rapida::ntga
+
+#endif  // RAPIDA_NTGA_PROP_KEY_H_

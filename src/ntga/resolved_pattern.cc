@@ -1,0 +1,96 @@
+#include "ntga/resolved_pattern.h"
+
+#include "rdf/term.h"
+
+namespace rapida::ntga {
+
+ResolvedPattern::VarSource ResolvedPattern::SourceOf(
+    const std::string& var) const {
+  VarSource src;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    if (stars[i].subject_var == var) {
+      src.star = static_cast<int>(i);
+      src.is_subject = true;
+      return src;
+    }
+    for (const ResolvedStarTriple& t : stars[i].triples) {
+      if (t.object_var == var) {
+        src.star = static_cast<int>(i);
+        src.is_subject = false;
+        src.key = t.key;
+        return src;
+      }
+    }
+  }
+  return src;
+}
+
+ResolvedPattern ResolvePattern(const CompositePattern& pattern,
+                               const rdf::Dictionary& dict) {
+  ResolvedPattern out;
+  out.pattern_secondary.resize(pattern.pattern_secondary.size());
+  out.var_map = pattern.var_map;
+  out.type_id = dict.LookupIri(rdf::kRdfType);
+
+  // PropKey -> DataPropKey resolution shared by stars and join edges.
+  auto resolve_key = [&dict](const PropKey& key, bool* ok) {
+    DataPropKey dk;
+    dk.property = dict.LookupIri(key.property);
+    if (dk.property == rdf::kInvalidTermId) *ok = false;
+    if (key.is_type()) {
+      dk.type_object = dict.LookupIri(key.type_object);
+      if (dk.type_object == rdf::kInvalidTermId) *ok = false;
+    }
+    return dk;
+  };
+
+  for (const CompositeStar& cs : pattern.stars) {
+    ResolvedStar rs;
+    rs.subject_var = cs.subject_var;
+    for (const StarTriple& t : cs.triples) {
+      bool ok = true;
+      ResolvedStarTriple rt;
+      rt.key = resolve_key(t.prop, &ok);
+      if (!t.prop.is_type() && !t.object.is_var) {
+        rt.const_object = dict.Lookup(t.object.term);
+        if (rt.const_object == rdf::kInvalidTermId) ok = false;
+      }
+      if (!t.prop.is_type() && t.object.is_var) rt.object_var = t.object.var;
+      bool is_primary = cs.primary.count(t.prop) > 0;
+      if (!ok && is_primary) rs.satisfiable = false;
+      (is_primary ? rs.primary : rs.secondary).insert(rt.key);
+      rs.triples.push_back(std::move(rt));
+    }
+    if (!rs.satisfiable) out.satisfiable = false;
+    out.stars.push_back(std::move(rs));
+  }
+
+  for (const JoinEdge& e : pattern.joins) {
+    bool ok = true;
+    ResolvedJoin rj;
+    rj.star_a = e.star_a;
+    rj.role_a = e.role_a;
+    if (e.role_a == JoinRole::kObject) rj.prop_a = resolve_key(e.prop_a, &ok);
+    rj.star_b = e.star_b;
+    rj.role_b = e.role_b;
+    if (e.role_b == JoinRole::kObject) rj.prop_b = resolve_key(e.prop_b, &ok);
+    if (!ok) out.satisfiable = false;
+    out.joins.push_back(rj);
+  }
+
+  for (size_t p = 0; p < pattern.pattern_secondary.size(); ++p) {
+    for (const auto& [star, keys] : pattern.pattern_secondary[p]) {
+      for (const PropKey& k : keys) {
+        bool ok = true;
+        DataPropKey dk = resolve_key(k, &ok);
+        // A secondary property absent from the data simply never matches;
+        // record it with an invalid id so the α check fails for it.
+        out.pattern_secondary[p][star].insert(dk);
+        (void)ok;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rapida::ntga

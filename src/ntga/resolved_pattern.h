@@ -1,0 +1,75 @@
+#ifndef RAPIDA_NTGA_RESOLVED_PATTERN_H_
+#define RAPIDA_NTGA_RESOLVED_PATTERN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ntga/overlap.h"
+#include "ntga/triplegroup.h"
+#include "rdf/dictionary.h"
+
+namespace rapida::ntga {
+
+/// A star-pattern triple resolved against a concrete dictionary.
+struct ResolvedStarTriple {
+  DataPropKey key;
+  std::string object_var;  // empty when the object is constant / type
+  rdf::TermId const_object = rdf::kInvalidTermId;  // non-type constant
+};
+
+/// A (composite) star pattern with all constants resolved to term ids.
+struct ResolvedStar {
+  std::string subject_var;
+  std::vector<ResolvedStarTriple> triples;
+  std::set<DataPropKey> primary;
+  std::set<DataPropKey> secondary;
+  /// False when a constant in a *primary* position is absent from the
+  /// dictionary — the star can never match.
+  bool satisfiable = true;
+};
+
+struct ResolvedJoin {
+  int star_a = 0;
+  JoinRole role_a = JoinRole::kSubject;
+  DataPropKey prop_a;
+  int star_b = 0;
+  JoinRole role_b = JoinRole::kObject;
+  DataPropKey prop_b;
+};
+
+/// A composite pattern bound to a dataset's dictionary: what the NTGA
+/// physical operators execute against.
+struct ResolvedPattern {
+  std::vector<ResolvedStar> stars;
+  std::vector<ResolvedJoin> joins;
+  /// Per original pattern: star index -> secondary props that must be
+  /// present (the pattern's α condition).
+  std::vector<std::map<int, std::set<DataPropKey>>> pattern_secondary;
+  /// Per original pattern: original var -> composite var.
+  std::vector<std::map<std::string, std::string>> var_map;
+  rdf::TermId type_id = rdf::kInvalidTermId;
+  bool satisfiable = true;
+
+  /// Where a composite variable is bound: the subject of a star, or the
+  /// object of a property within a star.
+  struct VarSource {
+    int star = -1;
+    bool is_subject = false;
+    DataPropKey key;  // valid when !is_subject
+  };
+  /// Source of `var`, or star = -1 if the pattern does not bind it.
+  VarSource SourceOf(const std::string& var) const;
+};
+
+/// Binds a CompositePattern's IRIs/constants to dictionary ids. Constants
+/// missing from the dictionary make the affected star (and the whole
+/// pattern, if primary) unsatisfiable rather than erroring — an absent
+/// constant just means zero matches.
+ResolvedPattern ResolvePattern(const CompositePattern& pattern,
+                               const rdf::Dictionary& dict);
+
+}  // namespace rapida::ntga
+
+#endif  // RAPIDA_NTGA_RESOLVED_PATTERN_H_

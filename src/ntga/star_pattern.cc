@@ -1,0 +1,133 @@
+#include "ntga/star_pattern.h"
+
+#include <map>
+
+#include "rdf/term.h"
+
+namespace rapida::ntga {
+
+std::set<PropKey> StarPattern::Props() const {
+  std::set<PropKey> out;
+  for (const StarTriple& t : triples) out.insert(t.prop);
+  return out;
+}
+
+int StarPattern::FindProp(const PropKey& key) const {
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (triples[i].prop == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string StarPattern::ToString() const {
+  std::string out = "?" + subject_var + "{";
+  bool first = true;
+  for (const StarTriple& t : triples) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.prop.ToString();
+    std::string ov = t.ObjectVar();
+    if (!ov.empty()) out += "->?" + ov;
+  }
+  out += "}";
+  return out;
+}
+
+const char* JoinRoleName(JoinRole role) {
+  return role == JoinRole::kSubject ? "subject" : "object";
+}
+
+std::string JoinEdge::ToString() const {
+  return "?" + var + ": star" + std::to_string(star_a) + "/" +
+         JoinRoleName(role_a) +
+         (role_a == JoinRole::kObject ? "(" + prop_a.ToString() + ")" : "") +
+         " -- star" + std::to_string(star_b) + "/" + JoinRoleName(role_b) +
+         (role_b == JoinRole::kObject ? "(" + prop_b.ToString() + ")" : "");
+}
+
+int StarGraph::StarOfSubject(const std::string& var) const {
+  for (size_t i = 0; i < stars.size(); ++i) {
+    if (stars[i].subject_var == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string StarGraph::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    out += "Stp" + std::to_string(i) + " = " + stars[i].ToString() + "\n";
+  }
+  for (const JoinEdge& j : joins) out += "join " + j.ToString() + "\n";
+  return out;
+}
+
+StatusOr<StarGraph> DecomposeToStars(
+    const std::vector<sparql::TriplePattern>& triples) {
+  StarGraph graph;
+  std::map<std::string, int> star_of_subject;
+
+  for (const sparql::TriplePattern& tp : triples) {
+    if (!tp.s.is_var) {
+      return Status::InvalidArgument(
+          "analytical subset requires variable subjects: " + tp.ToString());
+    }
+    if (tp.p.is_var) {
+      return Status::InvalidArgument(
+          "analytical subset requires bound properties: " + tp.ToString());
+    }
+    auto [it, inserted] =
+        star_of_subject.emplace(tp.s.var, static_cast<int>(graph.stars.size()));
+    if (inserted) {
+      graph.stars.push_back(StarPattern{tp.s.var, {}});
+    }
+    StarTriple st;
+    st.prop.property = tp.p.term.text;
+    if (tp.p.term.text == rdf::kRdfType && !tp.o.is_var) {
+      st.prop.type_object = tp.o.term.text;
+    }
+    st.object = tp.o;
+    graph.stars[it->second].triples.push_back(std::move(st));
+  }
+
+  // Join edges: a variable that is the subject of star B and an object in
+  // star A (subject-object join), or an object in two different stars
+  // (object-object join). Subject-subject can't happen (same var = same
+  // star).
+  for (size_t a = 0; a < graph.stars.size(); ++a) {
+    for (const StarTriple& t : graph.stars[a].triples) {
+      std::string ov = t.ObjectVar();
+      if (ov.empty()) continue;
+      // subject-object join.
+      int b = graph.StarOfSubject(ov);
+      if (b >= 0 && b != static_cast<int>(a)) {
+        JoinEdge e;
+        e.star_a = static_cast<int>(a);
+        e.role_a = JoinRole::kObject;
+        e.prop_a = t.prop;
+        e.star_b = b;
+        e.role_b = JoinRole::kSubject;
+        e.var = ov;
+        graph.joins.push_back(std::move(e));
+      }
+      // object-object joins with later stars (each unordered pair once).
+      for (size_t b2 = a + 1; b2 < graph.stars.size(); ++b2) {
+        for (const StarTriple& t2 : graph.stars[b2].triples) {
+          if (t2.ObjectVar() == ov) {
+            JoinEdge e;
+            e.star_a = static_cast<int>(a);
+            e.role_a = JoinRole::kObject;
+            e.prop_a = t.prop;
+            e.star_b = static_cast<int>(b2);
+            e.role_b = JoinRole::kObject;
+            e.prop_b = t2.prop;
+            e.var = ov;
+            graph.joins.push_back(std::move(e));
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace rapida::ntga

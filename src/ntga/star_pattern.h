@@ -1,0 +1,83 @@
+#ifndef RAPIDA_NTGA_STAR_PATTERN_H_
+#define RAPIDA_NTGA_STAR_PATTERN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ntga/prop_key.h"
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::ntga {
+
+/// One triple pattern inside a subject-rooted star.
+struct StarTriple {
+  PropKey prop;            // property identity (plain or typed)
+  sparql::TermOrVar object;  // the object position (ignored for type triples
+                             // — the type constant lives in prop.type_object)
+
+  /// Object variable name, or empty if the object is a constant / this is
+  /// a type triple.
+  std::string ObjectVar() const {
+    return (!prop.is_type() && object.is_var) ? object.var : std::string();
+  }
+};
+
+/// A subject-rooted star subpattern Stp: all triple patterns sharing one
+/// subject variable.
+struct StarPattern {
+  std::string subject_var;
+  std::vector<StarTriple> triples;
+
+  /// props(Stp) per Table 1.
+  std::set<PropKey> Props() const;
+
+  /// Index of the triple with property `key`, or -1.
+  int FindProp(const PropKey& key) const;
+
+  std::string ToString() const;
+};
+
+/// Role a join variable plays inside a triple pattern (Table 1: role(?v)).
+enum class JoinRole { kSubject, kObject };
+
+const char* JoinRoleName(JoinRole role);
+
+/// One join edge between two stars of a graph pattern: the shared variable,
+/// which stars it connects and in which roles, and the property of the
+/// joining triple pattern on the object side(s).
+struct JoinEdge {
+  int star_a = 0;
+  JoinRole role_a = JoinRole::kSubject;
+  PropKey prop_a;  // property of the joining tp in star_a (if role kObject)
+
+  int star_b = 0;
+  JoinRole role_b = JoinRole::kObject;
+  PropKey prop_b;  // property of the joining tp in star_b (if role kObject)
+
+  std::string var;
+
+  std::string ToString() const;
+};
+
+/// A graph pattern decomposed into subject-rooted stars plus the join
+/// edges connecting them — the structure overlap detection (Def. 3.2) and
+/// both NTGA engines plan from.
+struct StarGraph {
+  std::vector<StarPattern> stars;
+  std::vector<JoinEdge> joins;
+
+  int StarOfSubject(const std::string& var) const;
+  std::string ToString() const;
+};
+
+/// Decomposes a BGP into a StarGraph. Requirements for the analytical
+/// subset: subjects are variables, properties are bound (IRIs), and the
+/// stars form a connected pattern. Violations return InvalidArgument.
+StatusOr<StarGraph> DecomposeToStars(
+    const std::vector<sparql::TriplePattern>& triples);
+
+}  // namespace rapida::ntga
+
+#endif  // RAPIDA_NTGA_STAR_PATTERN_H_

@@ -1,0 +1,116 @@
+#include "ntga/triplegroup.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace rapida::ntga {
+
+namespace {
+
+DataPropKey KeyOfTriple(const rdf::Triple& t, rdf::TermId type_id) {
+  DataPropKey key;
+  key.property = t.p;
+  if (t.p == type_id) key.type_object = t.o;
+  return key;
+}
+
+}  // namespace
+
+std::set<DataPropKey> TripleGroup::Props(rdf::TermId type_id) const {
+  std::set<DataPropKey> out;
+  for (const rdf::Triple& t : triples) out.insert(KeyOfTriple(t, type_id));
+  return out;
+}
+
+std::vector<rdf::TermId> TripleGroup::ObjectsOf(const DataPropKey& key,
+                                                rdf::TermId type_id) const {
+  std::vector<rdf::TermId> out;
+  for (const rdf::Triple& t : triples) {
+    if (KeyOfTriple(t, type_id) == key) out.push_back(t.o);
+  }
+  return out;
+}
+
+bool TripleGroup::HasProp(const DataPropKey& key, rdf::TermId type_id,
+                          rdf::TermId required_object) const {
+  for (const rdf::Triple& t : triples) {
+    if (KeyOfTriple(t, type_id) == key &&
+        (required_object == rdf::kInvalidTermId || t.o == required_object)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SerializeTripleGroup(const TripleGroup& tg) {
+  std::string out = std::to_string(tg.subject);
+  for (const rdf::Triple& t : tg.triples) {
+    out += ';';
+    out += std::to_string(t.p);
+    out += ',';
+    out += std::to_string(t.o);
+  }
+  return out;
+}
+
+StatusOr<TripleGroup> ParseTripleGroup(const std::string& data) {
+  TripleGroup tg;
+  std::vector<std::string> parts = SplitString(data, ';');
+  if (parts.empty()) return Status::ParseError("empty triplegroup");
+  int64_t subj = 0;
+  if (!ParseInt64(parts[0], &subj)) {
+    return Status::ParseError("bad triplegroup subject: " + data);
+  }
+  tg.subject = static_cast<rdf::TermId>(subj);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    size_t comma = parts[i].find(',');
+    if (comma == std::string::npos) {
+      return Status::ParseError("bad triplegroup triple: " + parts[i]);
+    }
+    int64_t p = 0, o = 0;
+    if (!ParseInt64(parts[i].substr(0, comma), &p) ||
+        !ParseInt64(parts[i].substr(comma + 1), &o)) {
+      return Status::ParseError("bad triplegroup triple: " + parts[i]);
+    }
+    tg.triples.push_back(rdf::Triple{tg.subject, static_cast<rdf::TermId>(p),
+                                     static_cast<rdf::TermId>(o)});
+  }
+  return tg;
+}
+
+std::string SerializeNested(const NestedTripleGroup& ntg) {
+  std::string out;
+  for (size_t i = 0; i < ntg.stars.size(); ++i) {
+    if (ntg.stars[i].subject == rdf::kInvalidTermId) continue;
+    if (!out.empty()) out += '#';
+    out += std::to_string(i);
+    out += ':';
+    out += SerializeTripleGroup(ntg.stars[i]);
+  }
+  return out;
+}
+
+StatusOr<NestedTripleGroup> ParseNested(const std::string& data,
+                                        int num_stars) {
+  NestedTripleGroup ntg;
+  ntg.stars.resize(num_stars);
+  if (data.empty()) return ntg;
+  for (const std::string& part : SplitString(data, '#')) {
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("bad nested triplegroup part: " + part);
+    }
+    int64_t star = 0;
+    if (!ParseInt64(part.substr(0, colon), &star) || star < 0 ||
+        star >= num_stars) {
+      return Status::ParseError("bad star index in: " + part);
+    }
+    RAPIDA_ASSIGN_OR_RETURN(TripleGroup tg,
+                            ParseTripleGroup(part.substr(colon + 1)));
+    ntg.stars[star] = std::move(tg);
+  }
+  return ntg;
+}
+
+}  // namespace rapida::ntga

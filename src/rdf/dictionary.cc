@@ -1,0 +1,79 @@
+#include "rdf/dictionary.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rapida::rdf {
+
+Dictionary::Dictionary() { terms_.reserve(1024); }
+
+std::string Dictionary::MakeKey(const Term& term) {
+  std::string key;
+  key.reserve(term.text.size() + term.datatype.size() + 2);
+  key.push_back(static_cast<char>('0' + static_cast<int>(term.kind)));
+  key.append(term.text);
+  if (!term.datatype.empty()) {
+    key.push_back('\x01');
+    key.append(term.datatype);
+  }
+  return key;
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = MakeKey(term);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  terms_.push_back(term);
+  TermId id = static_cast<TermId>(terms_.size());
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::InternIri(std::string_view iri) {
+  return Intern(Term::Iri(std::string(iri)));
+}
+
+TermId Dictionary::InternLiteral(std::string_view value,
+                                 std::string_view datatype) {
+  return Intern(Term::Literal(std::string(value), std::string(datatype)));
+}
+
+TermId Dictionary::InternInt(int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return InternLiteral(buf, kXsdInteger);
+}
+
+TermId Dictionary::InternDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return InternLiteral(buf, kXsdDouble);
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(MakeKey(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+TermId Dictionary::LookupIri(std::string_view iri) const {
+  return Lookup(Term::Iri(std::string(iri)));
+}
+
+const Term& Dictionary::Get(TermId id) const {
+  RAPIDA_CHECK(id != kInvalidTermId && id <= terms_.size())
+      << "bad term id " << id;
+  return terms_[id - 1];
+}
+
+std::optional<double> Dictionary::AsNumber(TermId id) const {
+  if (id == kInvalidTermId || id > terms_.size()) return std::nullopt;
+  const Term& t = terms_[id - 1];
+  if (!t.is_literal()) return std::nullopt;
+  double v = 0;
+  if (!ParseDouble(t.text, &v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace rapida::rdf

@@ -1,0 +1,60 @@
+#ifndef RAPIDA_RDF_DICTIONARY_H_
+#define RAPIDA_RDF_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rapida::rdf {
+
+/// Bidirectional term <-> id mapping. All triples in a Graph reference terms
+/// through TermIds; joins and grouping compare 32-bit ids instead of
+/// strings. Not thread-safe for concurrent interning (loads are
+/// single-threaded; lookups after loading are safe).
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `term`, interning it if new. Ids are dense and
+  /// start at 1 (0 is kInvalidTermId).
+  TermId Intern(const Term& term);
+
+  /// Convenience interners.
+  TermId InternIri(std::string_view iri);
+  TermId InternLiteral(std::string_view value, std::string_view datatype = {});
+  TermId InternInt(int64_t value);
+  TermId InternDouble(double value);
+
+  /// Returns the id of `term`, or kInvalidTermId if not present.
+  TermId Lookup(const Term& term) const;
+  TermId LookupIri(std::string_view iri) const;
+
+  /// Term for a valid id. Id must be in [1, size()].
+  const Term& Get(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Parses the literal at `id` as a number. Returns nullopt for IRIs,
+  /// blanks, and non-numeric literals.
+  std::optional<double> AsNumber(TermId id) const;
+
+ private:
+  static std::string MakeKey(const Term& term);
+
+  std::vector<Term> terms_;  // terms_[id-1] is the term for id.
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_DICTIONARY_H_

@@ -1,0 +1,64 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+namespace rapida::rdf {
+
+void Graph::Add(TermId s, TermId p, TermId o) {
+  Triple t{s, p, o};
+  if (triple_set_.insert(t).second) triples_.push_back(t);
+}
+
+void Graph::Add(const Term& s, const Term& p, const Term& o) {
+  Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void Graph::AddIri(std::string_view s, std::string_view p,
+                   std::string_view o) {
+  Add(dict_.InternIri(s), dict_.InternIri(p), dict_.InternIri(o));
+}
+
+void Graph::AddLit(std::string_view s, std::string_view p,
+                   std::string_view o) {
+  Add(dict_.InternIri(s), dict_.InternIri(p), dict_.InternLiteral(o));
+}
+
+void Graph::AddInt(std::string_view s, std::string_view p, int64_t value) {
+  Add(dict_.InternIri(s), dict_.InternIri(p), dict_.InternInt(value));
+}
+
+TermId Graph::TypeId() { return dict_.InternIri(kRdfType); }
+
+TermId Graph::TypeIdOrInvalid() const { return dict_.LookupIri(kRdfType); }
+
+std::unordered_map<TermId, uint64_t> Graph::PropertyCounts() const {
+  std::unordered_map<TermId, uint64_t> counts;
+  for (const Triple& t : triples_) ++counts[t.p];
+  return counts;
+}
+
+const std::vector<Graph::SubjectGroup>& Graph::SubjectGroups() const {
+  if (subject_groups_built_at_ == triples_.size()) return subject_groups_;
+  std::vector<Triple> sorted = triples_;
+  std::sort(sorted.begin(), sorted.end());
+  subject_groups_.clear();
+  for (const Triple& t : sorted) {
+    if (subject_groups_.empty() || subject_groups_.back().subject != t.s) {
+      subject_groups_.push_back(SubjectGroup{t.s, {}});
+    }
+    subject_groups_.back().triples.push_back(t);
+  }
+  subject_groups_built_at_ = triples_.size();
+  return subject_groups_;
+}
+
+uint64_t Graph::EstimateSerializedBytes() const {
+  uint64_t total = 0;
+  for (const Triple& t : triples_) {
+    total += dict_.Get(t.s).text.size() + dict_.Get(t.p).text.size() +
+             dict_.Get(t.o).text.size() + 8;  // separators + " .\n"
+  }
+  return total;
+}
+
+}  // namespace rapida::rdf

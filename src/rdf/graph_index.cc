@@ -1,0 +1,36 @@
+#include "rdf/graph_index.h"
+
+#include <algorithm>
+
+namespace rapida::rdf {
+
+GraphIndex::GraphIndex(const Graph& graph) : graph_(&graph) {
+  for (const Triple& t : graph.triples()) {
+    by_p_[t.p].emplace_back(t.s, t.o);
+    by_ps_[PairKey(t.p, t.s)].push_back(t.o);
+    by_po_[PairKey(t.p, t.o)].push_back(t.s);
+  }
+}
+
+const std::vector<std::pair<TermId, TermId>>& GraphIndex::ByProperty(
+    TermId p) const {
+  auto it = by_p_.find(p);
+  return it == by_p_.end() ? empty_pairs_ : it->second;
+}
+
+const std::vector<TermId>& GraphIndex::Objects(TermId p, TermId s) const {
+  auto it = by_ps_.find(PairKey(p, s));
+  return it == by_ps_.end() ? empty_ids_ : it->second;
+}
+
+const std::vector<TermId>& GraphIndex::Subjects(TermId p, TermId o) const {
+  auto it = by_po_.find(PairKey(p, o));
+  return it == by_po_.end() ? empty_ids_ : it->second;
+}
+
+bool GraphIndex::Contains(TermId s, TermId p, TermId o) const {
+  const std::vector<TermId>& objs = Objects(p, s);
+  return std::find(objs.begin(), objs.end(), o) != objs.end();
+}
+
+}  // namespace rapida::rdf

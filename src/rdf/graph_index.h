@@ -1,0 +1,48 @@
+#ifndef RAPIDA_RDF_GRAPH_INDEX_H_
+#define RAPIDA_RDF_GRAPH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rapida::rdf {
+
+/// Secondary access paths over a Graph used by the in-memory reference
+/// evaluator: by property, by (property, subject) and by (property, object).
+/// Build once per graph; lookups return id vectors by reference.
+class GraphIndex {
+ public:
+  explicit GraphIndex(const Graph& graph);
+
+  GraphIndex(const GraphIndex&) = delete;
+  GraphIndex& operator=(const GraphIndex&) = delete;
+
+  /// All (s, o) pairs with property p.
+  const std::vector<std::pair<TermId, TermId>>& ByProperty(TermId p) const;
+  /// Objects o with (s, p, o) present.
+  const std::vector<TermId>& Objects(TermId p, TermId s) const;
+  /// Subjects s with (s, p, o) present.
+  const std::vector<TermId>& Subjects(TermId p, TermId o) const;
+  /// True if the exact triple exists.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  static uint64_t PairKey(TermId a, TermId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  const Graph* graph_;
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>> by_p_;
+  std::unordered_map<uint64_t, std::vector<TermId>> by_ps_;
+  std::unordered_map<uint64_t, std::vector<TermId>> by_po_;
+  std::vector<std::pair<TermId, TermId>> empty_pairs_;
+  std::vector<TermId> empty_ids_;
+};
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_GRAPH_INDEX_H_

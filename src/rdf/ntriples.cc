@@ -1,0 +1,185 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace rapida::rdf {
+
+namespace {
+
+/// Cursor over one N-Triples line.
+class LineParser {
+ public:
+  LineParser(std::string_view line, int line_no)
+      : line_(line), line_no_(line_no) {}
+
+  Status ParseTriple(Term* s, Term* p, Term* o) {
+    RAPIDA_RETURN_IF_ERROR(ParseTerm(s));
+    if (s->is_literal()) return Error("subject must not be a literal");
+    RAPIDA_RETURN_IF_ERROR(ParseTerm(p));
+    if (!p->is_iri()) return Error("property must be an IRI");
+    RAPIDA_RETURN_IF_ERROR(ParseTerm(o));
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '.') {
+      return Error("expected terminating '.'");
+    }
+    ++pos_;
+    SkipSpace();
+    if (pos_ != line_.size()) return Error("trailing characters after '.'");
+    return Status::OK();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& what) {
+    return Status::ParseError("N-Triples line " + std::to_string(line_no_) +
+                              ": " + what);
+  }
+
+  Status ParseTerm(Term* out) {
+    SkipSpace();
+    if (pos_ >= line_.size()) return Error("unexpected end of line");
+    char c = line_[pos_];
+    if (c == '<') return ParseIri(out);
+    if (c == '_') return ParseBlank(out);
+    if (c == '"') return ParseLiteral(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseIri(Term* out) {
+    ++pos_;  // consume '<'
+    size_t end = line_.find('>', pos_);
+    if (end == std::string_view::npos) return Error("unterminated IRI");
+    *out = Term::Iri(std::string(line_.substr(pos_, end - pos_)));
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  Status ParseBlank(Term* out) {
+    if (pos_ + 1 >= line_.size() || line_[pos_ + 1] != ':') {
+      return Error("malformed blank node");
+    }
+    pos_ += 2;
+    size_t start = pos_;
+    while (pos_ < line_.size() && !std::isspace(static_cast<unsigned char>(
+                                      line_[pos_]))) {
+      ++pos_;
+    }
+    *out = Term::Blank(std::string(line_.substr(start, pos_ - start)));
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Term* out) {
+    ++pos_;  // consume opening quote
+    std::string value;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= line_.size()) return Error("dangling escape");
+        char e = line_[pos_ + 1];
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          default:
+            return Error("unsupported escape");
+        }
+        pos_ += 2;
+      } else {
+        value += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= line_.size()) return Error("unterminated literal");
+    ++pos_;  // closing quote
+    std::string datatype;
+    if (pos_ + 1 < line_.size() && line_[pos_] == '^' &&
+        line_[pos_ + 1] == '^') {
+      pos_ += 2;
+      if (pos_ >= line_.size() || line_[pos_] != '<') {
+        return Error("expected datatype IRI after '^^'");
+      }
+      Term dt;
+      RAPIDA_RETURN_IF_ERROR(ParseIri(&dt));
+      datatype = dt.text;
+    } else if (pos_ < line_.size() && line_[pos_] == '@') {
+      // Language tags are accepted and folded into the datatype slot with
+      // an '@' marker so round-tripping keeps terms distinct.
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '-')) {
+        ++pos_;
+      }
+      datatype = std::string(line_.substr(start, pos_ - start));
+    }
+    *out = Term::Literal(std::move(value), std::move(datatype));
+    return Status::OK();
+  }
+
+  std::string_view line_;
+  int line_no_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, Graph* graph) {
+  int line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    start = end + 1;
+    std::string trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    Term s, p, o;
+    LineParser parser(trimmed, line_no);
+    RAPIDA_RETURN_IF_ERROR(parser.ParseTriple(&s, &p, &o));
+    graph->Add(s, p, o);
+    if (end == text.size()) break;
+  }
+  return Status::OK();
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  std::string out;
+  const Dictionary& dict = graph.dict();
+  for (const Triple& t : graph.triples()) {
+    out += dict.Get(t.s).ToNTriples();
+    out += ' ';
+    out += dict.Get(t.p).ToNTriples();
+    out += ' ';
+    out += dict.Get(t.o).ToNTriples();
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rapida::rdf

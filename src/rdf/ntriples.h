@@ -1,0 +1,22 @@
+#ifndef RAPIDA_RDF_NTRIPLES_H_
+#define RAPIDA_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rapida::rdf {
+
+/// Parses N-Triples text into `graph`. Supports IRIs, blank nodes, plain /
+/// typed / language-tagged literals, comments ('#'), and blank lines.
+/// Returns ParseError with a line number on malformed input.
+Status ParseNTriples(std::string_view text, Graph* graph);
+
+/// Serializes the whole graph as N-Triples text.
+std::string WriteNTriples(const Graph& graph);
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_NTRIPLES_H_

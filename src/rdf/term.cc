@@ -1,0 +1,50 @@
+#include "rdf/term.h"
+
+namespace rapida::rdf {
+
+namespace {
+// Escapes characters that N-Triples requires escaping inside literals.
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + text + ">";
+    case TermKind::kBlank:
+      return "_:" + text;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(text) + "\"";
+      if (!datatype.empty()) out += "^^<" + datatype + ">";
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace rapida::rdf

@@ -1,0 +1,62 @@
+#ifndef RAPIDA_RDF_TERM_H_
+#define RAPIDA_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace rapida::rdf {
+
+/// Dictionary-encoded identifier for an RDF term. Id 0 is reserved as
+/// "invalid / unbound".
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// An RDF term: IRI, literal, or blank node.
+///
+/// IRIs are stored without angle brackets; literals store their lexical form
+/// in `text` and an optional datatype IRI in `datatype` (empty for plain
+/// literals). Blank node labels are stored without the "_:" prefix.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string text;
+  std::string datatype;
+
+  static Term Iri(std::string iri) {
+    return Term{TermKind::kIri, std::move(iri), {}};
+  }
+  static Term Literal(std::string value, std::string datatype = {}) {
+    return Term{TermKind::kLiteral, std::move(value), std::move(datatype)};
+  }
+  static Term Blank(std::string label) {
+    return Term{TermKind::kBlank, std::move(label), {}};
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.text == b.text && a.datatype == b.datatype;
+  }
+
+  /// N-Triples surface form: <iri>, "literal"^^<dt>, or _:label.
+  std::string ToNTriples() const;
+};
+
+/// Well-known IRIs.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_TERM_H_

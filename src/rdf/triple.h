@@ -1,0 +1,38 @@
+#ifndef RAPIDA_RDF_TRIPLE_H_
+#define RAPIDA_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "rdf/term.h"
+
+namespace rapida::rdf {
+
+/// A dictionary-encoded RDF triple (subject, property, object).
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9e3779b97f4a7c15ULL + t.p;
+    h = h * 0x9e3779b97f4a7c15ULL + t.o;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_TRIPLE_H_

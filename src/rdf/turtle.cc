@@ -1,0 +1,389 @@
+#include "rdf/turtle.h"
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace rapida::rdf {
+
+namespace {
+
+/// Character-level parser over the whole document (Turtle is not
+/// line-oriented).
+class TurtleParser {
+ public:
+  TurtleParser(std::string_view text, Graph* graph)
+      : text_(text), graph_(graph) {}
+
+  Status Parse() {
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Status::OK();
+      if (PeekWord("@prefix") || PeekWordCi("PREFIX")) {
+        RAPIDA_RETURN_IF_ERROR(ParsePrefixDirective());
+        continue;
+      }
+      if (PeekWord("@base") || PeekWordCi("BASE")) {
+        RAPIDA_RETURN_IF_ERROR(ParseBaseDirective());
+        continue;
+      }
+      RAPIDA_RETURN_IF_ERROR(ParseTriples());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool PeekWord(const char* word) const {
+    std::string_view rest = text_.substr(pos_);
+    return StartsWith(rest, word);
+  }
+  bool PeekWordCi(const char* word) const {
+    std::string_view rest = text_.substr(pos_);
+    size_t n = std::strlen(word);
+    if (rest.size() < n) return false;
+    for (size_t i = 0; i < n; ++i) {
+      if (std::toupper(static_cast<unsigned char>(rest[i])) != word[i]) {
+        return false;
+      }
+    }
+    // Must be followed by whitespace (avoid matching a prefixed name).
+    return rest.size() == n ||
+           std::isspace(static_cast<unsigned char>(rest[n]));
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("Turtle line " + std::to_string(line_) + ": " +
+                              what);
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // --- directives ---
+
+  Status ParsePrefixDirective() {
+    bool at_form = Peek() == '@';
+    pos_ += at_form ? 7 : 6;  // "@prefix" / "PREFIX"
+    SkipWs();
+    // Prefix label up to ':'.
+    size_t start = pos_;
+    while (!AtEnd() && text_[pos_] != ':') ++pos_;
+    if (AtEnd()) return Error("unterminated prefix label");
+    std::string label(text_.substr(start, pos_ - start));
+    ++pos_;  // ':'
+    SkipWs();
+    Term iri;
+    RAPIDA_RETURN_IF_ERROR(ParseIriRef(&iri));
+    prefixes_[TrimString(label)] = iri.text;
+    if (at_form) RAPIDA_RETURN_IF_ERROR(Expect('.'));
+    return Status::OK();
+  }
+
+  Status ParseBaseDirective() {
+    bool at_form = Peek() == '@';
+    pos_ += at_form ? 5 : 4;  // "@base" / "BASE"
+    SkipWs();
+    Term iri;
+    RAPIDA_RETURN_IF_ERROR(ParseIriRef(&iri));
+    base_ = iri.text;
+    if (at_form) RAPIDA_RETURN_IF_ERROR(Expect('.'));
+    return Status::OK();
+  }
+
+  // --- triples ---
+
+  Status ParseTriples() {
+    Term subject;
+    RAPIDA_RETURN_IF_ERROR(ParseTerm(&subject, /*as_object=*/false));
+    if (subject.is_literal()) return Error("subject must not be a literal");
+    while (true) {
+      SkipWs();
+      Term predicate;
+      if (Peek() == 'a' &&
+          (pos_ + 1 >= text_.size() ||
+           std::isspace(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        ++pos_;
+        predicate = Term::Iri(kRdfType);
+      } else {
+        RAPIDA_RETURN_IF_ERROR(ParseTerm(&predicate, /*as_object=*/false));
+        if (!predicate.is_iri()) return Error("predicate must be an IRI");
+      }
+      while (true) {
+        Term object;
+        RAPIDA_RETURN_IF_ERROR(ParseTerm(&object, /*as_object=*/true));
+        graph_->Add(subject, predicate, object);
+        SkipWs();
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipWs();
+      if (Peek() == ';') {
+        ++pos_;
+        SkipWs();
+        // Dangling ';' before '.' is legal.
+        if (Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    return Expect('.');
+  }
+
+  // --- terms ---
+
+  Status ParseIriRef(Term* out) {
+    SkipWs();
+    if (Peek() != '<') return Error("expected IRI");
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && text_[pos_] != '>' && text_[pos_] != '\n') ++pos_;
+    if (Peek() != '>') return Error("unterminated IRI");
+    std::string iri(text_.substr(start, pos_ - start));
+    ++pos_;
+    // Relative IRI resolution: simple concatenation to the base.
+    if (!base_.empty() && iri.find("://") == std::string::npos &&
+        !StartsWith(iri, "urn:") && !StartsWith(iri, "mailto:")) {
+      iri = base_ + iri;
+    }
+    *out = Term::Iri(std::move(iri));
+    return Status::OK();
+  }
+
+  Status ParseTerm(Term* out, bool as_object) {
+    SkipWs();
+    char c = Peek();
+    if (c == '<') return ParseIriRef(out);
+    if (c == '_') return ParseBlank(out);
+    if (c == '"' || c == '\'') return ParseStringLiteral(out);
+    if (c == '[' || c == '(') {
+      return Error("blank-node property lists / collections are not "
+                   "supported");
+    }
+    if (as_object &&
+        (std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+         c == '-' ||
+         (c == '.' && pos_ + 1 < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))))) {
+      return ParseNumber(out);
+    }
+    if (as_object && (PeekWord("true") || PeekWord("false"))) {
+      bool v = PeekWord("true");
+      pos_ += v ? 4 : 5;
+      *out = Term::Literal(v ? "true" : "false",
+                           "http://www.w3.org/2001/XMLSchema#boolean");
+      return Status::OK();
+    }
+    return ParsePrefixedName(out);
+  }
+
+  Status ParseBlank(Term* out) {
+    if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != ':') {
+      return Error("malformed blank node");
+    }
+    pos_ += 2;
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(
+                            text_[pos_])) ||
+                        text_[pos_] == '_' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("empty blank node label");
+    *out = Term::Blank(std::string(text_.substr(start, pos_ - start)));
+    return Status::OK();
+  }
+
+  Status ParseStringLiteral(Term* out) {
+    char quote = Peek();
+    // Long strings ("""...""" / '''...''').
+    bool long_form = text_.substr(pos_).size() >= 3 &&
+                     text_[pos_ + 1] == quote && text_[pos_ + 2] == quote;
+    pos_ += long_form ? 3 : 1;
+    std::string value;
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Error("dangling escape");
+        char e = text_[pos_ + 1];
+        switch (e) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          case '"': value += '"'; break;
+          case '\'': value += '\''; break;
+          case '\\': value += '\\'; break;
+          default: return Error("unsupported escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == quote) {
+        if (!long_form) {
+          ++pos_;
+          break;
+        }
+        if (text_.substr(pos_).size() >= 3 && text_[pos_ + 1] == quote &&
+            text_[pos_ + 2] == quote) {
+          pos_ += 3;
+          break;
+        }
+        value += c;
+        ++pos_;
+        continue;
+      }
+      if (c == '\n') {
+        if (!long_form) return Error("newline in string literal");
+        ++line_;
+      }
+      value += c;
+      ++pos_;
+      if (AtEnd()) return Error("unterminated string literal");
+    }
+    // Datatype or language tag.
+    std::string datatype;
+    if (!AtEnd() && Peek() == '^') {
+      if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '^') {
+        return Error("expected '^^'");
+      }
+      pos_ += 2;
+      SkipWs();
+      Term dt;
+      if (Peek() == '<') {
+        RAPIDA_RETURN_IF_ERROR(ParseIriRef(&dt));
+      } else {
+        RAPIDA_RETURN_IF_ERROR(ParsePrefixedName(&dt));
+      }
+      datatype = dt.text;
+    } else if (!AtEnd() && Peek() == '@') {
+      size_t start = pos_;
+      ++pos_;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(
+                              text_[pos_])) ||
+                          text_[pos_] == '-')) {
+        ++pos_;
+      }
+      datatype = std::string(text_.substr(start, pos_ - start));
+    }
+    *out = Term::Literal(std::move(value), std::move(datatype));
+    return Status::OK();
+  }
+
+  Status ParseNumber(Term* out) {
+    size_t start = pos_;
+    if (Peek() == '+' || Peek() == '-') ++pos_;
+    bool has_dot = false, has_exp = false;
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !has_dot && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        has_dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && !has_exp) {
+        has_exp = true;
+        ++pos_;
+        if (!AtEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string lex(text_.substr(start, pos_ - start));
+    if (lex.empty() || lex == "+" || lex == "-") {
+      return Error("malformed number");
+    }
+    const char* dt = has_exp
+                         ? "http://www.w3.org/2001/XMLSchema#double"
+                         : (has_dot ? "http://www.w3.org/2001/XMLSchema#decimal"
+                                    : kXsdInteger);
+    *out = Term::Literal(std::move(lex), dt);
+    return Status::OK();
+  }
+
+  Status ParsePrefixedName(Term* out) {
+    size_t start = pos_;
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.') {
+        // A trailing '.' terminates the statement, not the name.
+        if (c == '.' && (pos_ + 1 >= text_.size() ||
+                         !(std::isalnum(static_cast<unsigned char>(
+                               text_[pos_ + 1])) ||
+                           text_[pos_ + 1] == '_'))) {
+          break;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string prefix(text_.substr(start, pos_ - start));
+    if (AtEnd() || Peek() != ':') {
+      return Error("expected a prefixed name near '" + prefix + "'");
+    }
+    ++pos_;
+    size_t lstart = pos_;
+    while (!AtEnd()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' ||
+          (c == '.' && pos_ + 1 < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])) ||
+            text_[pos_ + 1] == '_'))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string local(text_.substr(lstart, pos_ - lstart));
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("undeclared prefix '" + prefix + ":'");
+    }
+    *out = Term::Iri(it->second + local);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  Graph* graph_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::string base_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Status ParseTurtle(std::string_view text, Graph* graph) {
+  return TurtleParser(text, graph).Parse();
+}
+
+}  // namespace rapida::rdf

@@ -1,0 +1,27 @@
+#ifndef RAPIDA_RDF_TURTLE_H_
+#define RAPIDA_RDF_TURTLE_H_
+
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rapida::rdf {
+
+/// Parses a Turtle document into `graph`. Supported subset (what real
+/// analytical datasets use):
+///   * `@prefix` / SPARQL-style `PREFIX` directives and prefixed names,
+///   * `@base` / `BASE` (relative IRIs are concatenated to the base),
+///   * predicate lists with ';' and object lists with ',',
+///   * the `a` keyword for rdf:type,
+///   * IRIs, blank node labels (`_:b`), string literals with `^^` datatype
+///     or `@lang`, bare integers / decimals / doubles (typed as xsd), and
+///     `true` / `false` (xsd:boolean),
+///   * '#' comments.
+/// Collections `( ... )` and anonymous blank-node property lists `[ ... ]`
+/// return ParseError (they do not appear in the targeted datasets).
+Status ParseTurtle(std::string_view text, Graph* graph);
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_TURTLE_H_

@@ -1,0 +1,48 @@
+#include "rdf/vp_store.h"
+
+namespace rapida::rdf {
+
+VpStore::VpStore(const Graph& graph) : graph_(&graph) {
+  const Dictionary& dict = graph.dict();
+  TermId type_id = graph.TypeIdOrInvalid();
+  for (const Triple& t : graph.triples()) {
+    uint64_t row_bytes =
+        dict.Get(t.s).text.size() + dict.Get(t.o).text.size() + 2;
+    if (t.p == type_id) {
+      type_tables_[t.o].push_back(VpRow{t.s, t.o});
+      type_table_bytes_[t.o] += row_bytes;
+    } else {
+      tables_[t.p].push_back(VpRow{t.s, t.o});
+      table_bytes_[t.p] += row_bytes;
+    }
+  }
+}
+
+const std::vector<VpRow>& VpStore::Table(TermId property) const {
+  auto it = tables_.find(property);
+  return it == tables_.end() ? empty_ : it->second;
+}
+
+const std::vector<VpRow>& VpStore::TypeTable(TermId type_object) const {
+  auto it = type_tables_.find(type_object);
+  return it == type_tables_.end() ? empty_ : it->second;
+}
+
+uint64_t VpStore::TableBytes(TermId property) const {
+  auto it = table_bytes_.find(property);
+  return it == table_bytes_.end() ? 0 : it->second;
+}
+
+uint64_t VpStore::TypeTableBytes(TermId type_object) const {
+  auto it = type_table_bytes_.find(type_object);
+  return it == type_table_bytes_.end() ? 0 : it->second;
+}
+
+std::vector<TermId> VpStore::Properties() const {
+  std::vector<TermId> out;
+  out.reserve(tables_.size());
+  for (const auto& [p, rows] : tables_) out.push_back(p);
+  return out;
+}
+
+}  // namespace rapida::rdf

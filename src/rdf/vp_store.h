@@ -1,0 +1,65 @@
+#ifndef RAPIDA_RDF_VP_STORE_H_
+#define RAPIDA_RDF_VP_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rapida::rdf {
+
+/// A (subject, object) pair in a vertical partition.
+struct VpRow {
+  TermId subject;
+  TermId object;
+};
+
+/// Vertically-partitioned layout of an RDF graph (Abadi et al., VLDB'07),
+/// the physical organization the paper's Hive baselines query:
+///
+///  * one two-column table per property, and
+///  * for rdf:type, one table per (type, object) pair — "property-object
+///    partitions for rdf:type triples" (paper §5.1 Pre-processing) — so a
+///    type-restriction triple pattern becomes a single small table scan.
+///
+/// Each partition records its estimated plain and ORC-compressed byte sizes
+/// so the MapReduce cost model can size scans either way.
+class VpStore {
+ public:
+  /// Builds the partitioning from `graph`. The graph must outlive the store
+  /// (rows reference its dictionary ids).
+  explicit VpStore(const Graph& graph);
+
+  VpStore(const VpStore&) = delete;
+  VpStore& operator=(const VpStore&) = delete;
+
+  /// Table for property `p`, excluding rdf:type. Empty if absent.
+  const std::vector<VpRow>& Table(TermId property) const;
+
+  /// Table of subjects with triple (s, rdf:type, `type_object`).
+  /// Objects in the returned rows are the type object itself.
+  const std::vector<VpRow>& TypeTable(TermId type_object) const;
+
+  /// Estimated on-disk bytes for a table, plain text encoding.
+  uint64_t TableBytes(TermId property) const;
+  uint64_t TypeTableBytes(TermId type_object) const;
+
+  /// Distinct non-type properties present.
+  std::vector<TermId> Properties() const;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<TermId, std::vector<VpRow>> tables_;
+  std::unordered_map<TermId, std::vector<VpRow>> type_tables_;
+  std::unordered_map<TermId, uint64_t> table_bytes_;
+  std::unordered_map<TermId, uint64_t> type_table_bytes_;
+  std::vector<VpRow> empty_;
+};
+
+}  // namespace rapida::rdf
+
+#endif  // RAPIDA_RDF_VP_STORE_H_

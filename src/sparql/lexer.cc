@@ -1,0 +1,239 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace rapida::sparql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "WHERE",  "FILTER", "OPTIONAL", "GROUP",  "BY",
+      "AS",     "PREFIX", "DISTINCT", "COUNT",  "SUM",    "AVG",
+      "MIN",    "MAX",    "REGEX",  "BOUND",    "UNION",  "ORDER",
+      "LIMIT",  "OFFSET", "ASC",    "DESC",     "HAVING", "BASE",
+      "SAMPLE", "GROUP_CONCAT", "SEPARATOR",
+  };
+  return *kKeywords;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto error = [&line](const std::string& what) {
+    return Status::ParseError("SPARQL lex error at line " +
+                              std::to_string(line) + ": " + what);
+  };
+  auto push = [&out, &line](TokenType type, std::string payload = {}) {
+    out.push_back(Token{type, std::move(payload), line});
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '<') {
+      // Either an IRIREF or a comparison. IRIREF has no spaces before '>'.
+      size_t end = i + 1;
+      bool iri = false;
+      while (end < text.size() && text[end] != '\n') {
+        if (text[end] == '>') {
+          iri = true;
+          break;
+        }
+        if (text[end] == ' ' || text[end] == '<') break;
+        ++end;
+      }
+      if (iri && end > i + 1) {
+        push(TokenType::kIriRef, std::string(text.substr(i + 1, end - i - 1)));
+        i = end + 1;
+        continue;
+      }
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        push(TokenType::kLe);
+        i += 2;
+      } else {
+        push(TokenType::kLt);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      if (i == start) return error("empty variable name");
+      push(TokenType::kVar, std::string(text.substr(start, i - start)));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\') {
+          if (i + 1 >= text.size()) return error("dangling escape");
+          char e = text[i + 1];
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '"': value += '"'; break;
+            case '\\': value += '\\'; break;
+            default: return error("unsupported escape in string");
+          }
+          i += 2;
+        } else {
+          if (text[i] == '\n') ++line;
+          value += text[i++];
+        }
+      }
+      if (i >= text.size()) return error("unterminated string literal");
+      ++i;  // closing quote
+      push(TokenType::kString, std::move(value));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_decimal = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+              ((text[i] == '+' || text[i] == '-') && i > start &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        if (text[i] == '.' || text[i] == 'e' || text[i] == 'E') {
+          // "12." followed by non-digit is INTEGER then DOT (triple end).
+          if (text[i] == '.' &&
+              (i + 1 >= text.size() ||
+               !std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+            break;
+          }
+          is_decimal = true;
+        }
+        ++i;
+      }
+      push(is_decimal ? TokenType::kDecimal : TokenType::kInteger,
+           std::string(text.substr(start, i - start)));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() && (IsNameChar(text[i]) || text[i] == ':' ||
+                                 text[i] == '.')) {
+        // A trailing '.' is a triple terminator, not part of the name.
+        if (text[i] == '.' &&
+            (i + 1 >= text.size() || !IsNameChar(text[i + 1]))) {
+          break;
+        }
+        ++i;
+      }
+      std::string word(text.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (word == "a") {
+        push(TokenType::kA);
+      } else if (Keywords().count(upper) > 0 &&
+                 word.find(':') == std::string::npos) {
+        push(TokenType::kKeyword, upper);
+      } else {
+        push(TokenType::kPName, word);
+      }
+      continue;
+    }
+    if (c == ':') {
+      // Prefixed name with empty prefix, e.g. ":Product".
+      size_t start = i;
+      ++i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      push(TokenType::kPName, std::string(text.substr(start, i - start)));
+      continue;
+    }
+    switch (c) {
+      case '{': push(TokenType::kLBrace); ++i; break;
+      case '}': push(TokenType::kRBrace); ++i; break;
+      case '(': push(TokenType::kLParen); ++i; break;
+      case ')': push(TokenType::kRParen); ++i; break;
+      case '.': push(TokenType::kDot); ++i; break;
+      case ';': push(TokenType::kSemicolon); ++i; break;
+      case ',': push(TokenType::kComma); ++i; break;
+      case '*': push(TokenType::kStar); ++i; break;
+      case '+': push(TokenType::kPlus); ++i; break;
+      case '-': push(TokenType::kMinus); ++i; break;
+      case '/': push(TokenType::kSlash); ++i; break;
+      case '=': push(TokenType::kEq); ++i; break;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenType::kGe);
+          i += 2;
+        } else {
+          push(TokenType::kGt);
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenType::kNeq);
+          i += 2;
+        } else {
+          push(TokenType::kBang);
+          ++i;
+        }
+        break;
+      case '&':
+        if (i + 1 < text.size() && text[i + 1] == '&') {
+          push(TokenType::kAnd);
+          i += 2;
+        } else {
+          return error("single '&'");
+        }
+        break;
+      case '|':
+        if (i + 1 < text.size() && text[i + 1] == '|') {
+          push(TokenType::kOr);
+          i += 2;
+        } else {
+          return error("single '|'");
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  out.push_back(Token{TokenType::kEof, "", line});
+  return out;
+}
+
+std::string TokenToString(const Token& t) {
+  switch (t.type) {
+    case TokenType::kEof: return "<eof>";
+    case TokenType::kIriRef: return "<" + t.text + ">";
+    case TokenType::kVar: return "?" + t.text;
+    case TokenType::kString: return "\"" + t.text + "\"";
+    default:
+      return t.text.empty() ? std::string("token") : t.text;
+  }
+}
+
+}  // namespace rapida::sparql

@@ -1,0 +1,61 @@
+#ifndef RAPIDA_SPARQL_LEXER_H_
+#define RAPIDA_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rapida::sparql {
+
+enum class TokenType {
+  kEof,
+  kIriRef,    // <http://...>   (text without brackets)
+  kPName,     // prefixed name "bsbm:Product" or bare "type" / keyword-ish
+  kVar,       // ?x             (text without '?')
+  kString,    // "..."          (unescaped text)
+  kInteger,   // 123
+  kDecimal,   // 1.5 / 1e3
+  kKeyword,   // upper-cased reserved word (SELECT, WHERE, FILTER, ...)
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kDot,
+  kSemicolon,
+  kComma,
+  kStar,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,    // &&
+  kOr,     // ||
+  kBang,   // !
+  kPlus,
+  kMinus,
+  kSlash,
+  kA,      // the 'a' keyword (rdf:type)
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // payload (IRI body, name, literal value, keyword)
+  int line = 0;
+};
+
+/// Tokenizes SPARQL text. Keywords are recognized case-insensitively and
+/// reported upper-cased in Token::text; anything identifier-like that is not
+/// a keyword becomes a kPName token.
+StatusOr<std::vector<Token>> Tokenize(std::string_view text);
+
+/// Printable token description for error messages.
+std::string TokenToString(const Token& t);
+
+}  // namespace rapida::sparql
+
+#endif  // RAPIDA_SPARQL_LEXER_H_

@@ -1,0 +1,536 @@
+#include "sparql/parser.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/lexer.h"
+#include "util/string_util.h"
+
+namespace rapida::sparql {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const ParseOptions& options)
+      : tokens_(std::move(tokens)), options_(options) {}
+
+  StatusOr<std::unique_ptr<SelectQuery>> Parse() {
+    RAPIDA_RETURN_IF_ERROR(ParsePrologue());
+    auto query = std::make_unique<SelectQuery>();
+    RAPIDA_RETURN_IF_ERROR(ParseSelectQuery(query.get()));
+    if (!Check(TokenType::kEof)) {
+      return Error("trailing tokens after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool CheckKeyword(const char* kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError("SPARQL parse error at line " +
+                              std::to_string(Peek().line) + " near '" +
+                              TokenToString(Peek()) + "': " + what);
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (Match(t)) return Status::OK();
+    return Error(std::string("expected ") + what);
+  }
+
+  // --- prologue ---
+
+  Status ParsePrologue() {
+    while (MatchKeyword("PREFIX")) {
+      if (!Check(TokenType::kPName)) return Error("expected prefix name");
+      std::string prefix = Advance().text;
+      if (!prefix.empty() && prefix.back() == ':') prefix.pop_back();
+      if (!Check(TokenType::kIriRef)) return Error("expected namespace IRI");
+      prefixes_[prefix] = Advance().text;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<rdf::Term> ResolvePName(const std::string& pname) {
+    size_t colon = pname.find(':');
+    if (colon == std::string::npos) {
+      if (!options_.default_namespace.empty()) {
+        return rdf::Term::Iri(options_.default_namespace + pname);
+      }
+      auto it = prefixes_.find("");
+      if (it != prefixes_.end()) return rdf::Term::Iri(it->second + pname);
+      // Bare name with no declared namespace: treat as a relative IRI.
+      return rdf::Term::Iri(pname);
+    }
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("undeclared prefix '" + prefix + ":'");
+    }
+    return rdf::Term::Iri(it->second + local);
+  }
+
+  // --- SELECT ---
+
+  Status ParseSelectQuery(SelectQuery* out) {
+    if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+    out->distinct = MatchKeyword("DISTINCT");
+    RAPIDA_RETURN_IF_ERROR(ParseSelectItems(out));
+    MatchKeyword("WHERE");  // WHERE keyword is optional in SPARQL
+    RAPIDA_RETURN_IF_ERROR(ParseGroupGraphPattern(&out->where));
+    if (MatchKeyword("GROUP")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+      while (Check(TokenType::kVar)) {
+        out->group_by.push_back(Advance().text);
+      }
+      if (out->group_by.empty()) {
+        return Error("expected grouping variables after GROUP BY");
+      }
+    }
+    if (MatchKeyword("HAVING")) {
+      bool parens = Match(TokenType::kLParen);
+      RAPIDA_RETURN_IF_ERROR(ParseExpr(&out->having));
+      if (parens) RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    }
+    if (MatchKeyword("ORDER")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after ORDER");
+      while (true) {
+        OrderKey key;
+        if (MatchKeyword("ASC")) {
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          if (!Check(TokenType::kVar)) return Error("expected variable");
+          key.var = Advance().text;
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        } else if (MatchKeyword("DESC")) {
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          if (!Check(TokenType::kVar)) return Error("expected variable");
+          key.var = Advance().text;
+          key.descending = true;
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        } else if (Check(TokenType::kVar)) {
+          key.var = Advance().text;
+        } else {
+          break;
+        }
+        out->order_by.push_back(std::move(key));
+      }
+      if (out->order_by.empty()) {
+        return Error("expected sort keys after ORDER BY");
+      }
+    }
+    // LIMIT and OFFSET in either order.
+    for (int i = 0; i < 2; ++i) {
+      if (MatchKeyword("LIMIT")) {
+        if (!Check(TokenType::kInteger)) return Error("expected LIMIT count");
+        out->limit = std::stoll(Advance().text);
+      } else if (MatchKeyword("OFFSET")) {
+        if (!Check(TokenType::kInteger)) {
+          return Error("expected OFFSET count");
+        }
+        out->offset = std::stoll(Advance().text);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItems(SelectQuery* out) {
+    if (Match(TokenType::kStar)) {
+      out->select_all = true;
+      return Status::OK();
+    }
+    while (true) {
+      if (Check(TokenType::kVar)) {
+        std::string name = Advance().text;
+        out->items.emplace_back(name, nullptr);
+      } else if (Check(TokenType::kLParen)) {
+        Advance();
+        ExprPtr expr;
+        RAPIDA_RETURN_IF_ERROR(ParseExpr(&expr));
+        MatchKeyword("AS");  // the paper's appendix sometimes omits AS
+        if (!Check(TokenType::kVar)) {
+          return Error("expected output variable in (expr AS ?v)");
+        }
+        std::string name = Advance().text;
+        RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        out->items.emplace_back(std::move(name), std::move(expr));
+      } else {
+        break;
+      }
+    }
+    if (out->items.empty()) return Error("empty SELECT clause");
+    return Status::OK();
+  }
+
+  // --- group graph pattern ---
+
+  Status ParseGroupGraphPattern(GroupGraphPattern* out) {
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLBrace, "'{'"));
+    while (!Check(TokenType::kRBrace)) {
+      if (Check(TokenType::kEof)) return Error("unterminated '{'");
+      if (MatchKeyword("FILTER")) {
+        ExprPtr expr;
+        bool parens = Match(TokenType::kLParen);
+        if (parens) {
+          RAPIDA_RETURN_IF_ERROR(ParseExpr(&expr));
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        } else {
+          // FILTER regex(...) without outer parens.
+          RAPIDA_RETURN_IF_ERROR(ParseExpr(&expr));
+        }
+        out->filters.push_back(std::move(expr));
+        Match(TokenType::kDot);
+        continue;
+      }
+      if (MatchKeyword("OPTIONAL")) {
+        GroupGraphPattern opt;
+        RAPIDA_RETURN_IF_ERROR(ParseGroupGraphPattern(&opt));
+        out->optionals.push_back(std::move(opt));
+        Match(TokenType::kDot);
+        continue;
+      }
+      if (Check(TokenType::kLBrace)) {
+        // Either a nested sub-SELECT or a plain grouping block.
+        if (Peek(1).type == TokenType::kKeyword && Peek(1).text == "SELECT") {
+          Advance();  // '{'
+          auto sub = std::make_unique<SelectQuery>();
+          RAPIDA_RETURN_IF_ERROR(ParseSelectQuery(sub.get()));
+          RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRBrace, "'}'"));
+          out->subqueries.push_back(std::move(sub));
+        } else {
+          GroupGraphPattern inner;
+          RAPIDA_RETURN_IF_ERROR(ParseGroupGraphPattern(&inner));
+          MergeInto(out, std::move(inner));
+        }
+        Match(TokenType::kDot);
+        continue;
+      }
+      RAPIDA_RETURN_IF_ERROR(ParseTriplesBlock(out));
+    }
+    Advance();  // '}'
+    return Status::OK();
+  }
+
+  static void MergeInto(GroupGraphPattern* dst, GroupGraphPattern src) {
+    for (auto& tp : src.triples) dst->triples.push_back(std::move(tp));
+    for (auto& f : src.filters) dst->filters.push_back(std::move(f));
+    for (auto& o : src.optionals) dst->optionals.push_back(std::move(o));
+    for (auto& sq : src.subqueries) dst->subqueries.push_back(std::move(sq));
+  }
+
+  Status ParseTriplesBlock(GroupGraphPattern* out) {
+    TermOrVar subject;
+    RAPIDA_RETURN_IF_ERROR(ParseVarOrTerm(&subject, /*allow_literal=*/false));
+    while (true) {
+      TermOrVar verb;
+      RAPIDA_RETURN_IF_ERROR(ParseVerb(&verb));
+      // Object list: o1, o2, ...
+      while (true) {
+        TermOrVar object;
+        RAPIDA_RETURN_IF_ERROR(ParseVarOrTerm(&object,
+                                              /*allow_literal=*/true));
+        out->triples.push_back(TriplePattern{subject, verb, object});
+        if (!Match(TokenType::kComma)) break;
+      }
+      if (Match(TokenType::kSemicolon)) {
+        // Allow a dangling ';' before '.' or '}'.
+        if (Check(TokenType::kDot) || Check(TokenType::kRBrace)) break;
+        continue;
+      }
+      break;
+    }
+    Match(TokenType::kDot);
+    return Status::OK();
+  }
+
+  Status ParseVerb(TermOrVar* out) {
+    if (Match(TokenType::kA)) {
+      *out = TermOrVar::Const(rdf::Term::Iri(rdf::kRdfType));
+      return Status::OK();
+    }
+    return ParseVarOrTerm(out, /*allow_literal=*/false);
+  }
+
+  Status ParseVarOrTerm(TermOrVar* out, bool allow_literal) {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kVar:
+        *out = TermOrVar::Var(Advance().text);
+        return Status::OK();
+      case TokenType::kIriRef:
+        *out = TermOrVar::Const(rdf::Term::Iri(Advance().text));
+        return Status::OK();
+      case TokenType::kPName: {
+        RAPIDA_ASSIGN_OR_RETURN(rdf::Term term, ResolvePName(Advance().text));
+        *out = TermOrVar::Const(std::move(term));
+        return Status::OK();
+      }
+      case TokenType::kString:
+        if (!allow_literal) return Error("literal not allowed here");
+        *out = TermOrVar::Const(rdf::Term::Literal(Advance().text));
+        return Status::OK();
+      case TokenType::kInteger:
+        if (!allow_literal) return Error("literal not allowed here");
+        *out = TermOrVar::Const(
+            rdf::Term::Literal(Advance().text, rdf::kXsdInteger));
+        return Status::OK();
+      case TokenType::kDecimal:
+        if (!allow_literal) return Error("literal not allowed here");
+        *out = TermOrVar::Const(
+            rdf::Term::Literal(Advance().text, rdf::kXsdDouble));
+        return Status::OK();
+      default:
+        return Error("expected variable, IRI, or literal");
+    }
+  }
+
+  // --- expressions ---
+
+  Status ParseExpr(ExprPtr* out) { return ParseOrExpr(out); }
+
+  Status ParseOrExpr(ExprPtr* out) {
+    ExprPtr lhs;
+    RAPIDA_RETURN_IF_ERROR(ParseAndExpr(&lhs));
+    while (Match(TokenType::kOr)) {
+      ExprPtr rhs;
+      RAPIDA_RETURN_IF_ERROR(ParseAndExpr(&rhs));
+      lhs = Expr::MakeBinary(Expr::Kind::kOr, std::move(lhs), std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseAndExpr(ExprPtr* out) {
+    ExprPtr lhs;
+    RAPIDA_RETURN_IF_ERROR(ParseRelExpr(&lhs));
+    while (Match(TokenType::kAnd)) {
+      ExprPtr rhs;
+      RAPIDA_RETURN_IF_ERROR(ParseRelExpr(&rhs));
+      lhs = Expr::MakeBinary(Expr::Kind::kAnd, std::move(lhs),
+                             std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseRelExpr(ExprPtr* out) {
+    ExprPtr lhs;
+    RAPIDA_RETURN_IF_ERROR(ParseAddExpr(&lhs));
+    std::string op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = "="; break;
+      case TokenType::kNeq: op = "!="; break;
+      case TokenType::kLt: op = "<"; break;
+      case TokenType::kLe: op = "<="; break;
+      case TokenType::kGt: op = ">"; break;
+      case TokenType::kGe: op = ">="; break;
+      default:
+        *out = std::move(lhs);
+        return Status::OK();
+    }
+    Advance();
+    ExprPtr rhs;
+    RAPIDA_RETURN_IF_ERROR(ParseAddExpr(&rhs));
+    *out = Expr::MakeCompare(op, std::move(lhs), std::move(rhs));
+    return Status::OK();
+  }
+
+  Status ParseAddExpr(ExprPtr* out) {
+    ExprPtr lhs;
+    RAPIDA_RETURN_IF_ERROR(ParseMulExpr(&lhs));
+    while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+      std::string op = Check(TokenType::kPlus) ? "+" : "-";
+      Advance();
+      ExprPtr rhs;
+      RAPIDA_RETURN_IF_ERROR(ParseMulExpr(&rhs));
+      lhs = Expr::MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseMulExpr(ExprPtr* out) {
+    ExprPtr lhs;
+    RAPIDA_RETURN_IF_ERROR(ParseUnary(&lhs));
+    while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+      std::string op = Check(TokenType::kStar) ? "*" : "/";
+      Advance();
+      ExprPtr rhs;
+      RAPIDA_RETURN_IF_ERROR(ParseUnary(&rhs));
+      lhs = Expr::MakeArith(op, std::move(lhs), std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return Status::OK();
+  }
+
+  Status ParseUnary(ExprPtr* out) {
+    if (Match(TokenType::kMinus)) {
+      // Unary minus: fold literals, otherwise compile 0 - operand.
+      ExprPtr operand;
+      RAPIDA_RETURN_IF_ERROR(ParseUnary(&operand));
+      if (operand->kind == Expr::Kind::kLiteral &&
+          operand->literal.is_literal()) {
+        operand->literal.text = "-" + operand->literal.text;
+        *out = std::move(operand);
+        return Status::OK();
+      }
+      *out = Expr::MakeArith(
+          "-", Expr::MakeLiteral(rdf::Term::Literal("0", rdf::kXsdInteger)),
+          std::move(operand));
+      return Status::OK();
+    }
+    if (Match(TokenType::kBang)) {
+      ExprPtr operand;
+      RAPIDA_RETURN_IF_ERROR(ParseUnary(&operand));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNot;
+      e->children.push_back(std::move(operand));
+      *out = std::move(e);
+      return Status::OK();
+    }
+    return ParsePrimary(out);
+  }
+
+  Status ParsePrimary(ExprPtr* out) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kLParen) {
+      Advance();
+      RAPIDA_RETURN_IF_ERROR(ParseExpr(out));
+      return Expect(TokenType::kRParen, "')'");
+    }
+    if (t.type == TokenType::kVar) {
+      *out = Expr::MakeVar(Advance().text);
+      return Status::OK();
+    }
+    if (t.type == TokenType::kString) {
+      *out = Expr::MakeLiteral(rdf::Term::Literal(Advance().text));
+      return Status::OK();
+    }
+    if (t.type == TokenType::kInteger) {
+      *out = Expr::MakeLiteral(
+          rdf::Term::Literal(Advance().text, rdf::kXsdInteger));
+      return Status::OK();
+    }
+    if (t.type == TokenType::kDecimal) {
+      *out = Expr::MakeLiteral(
+          rdf::Term::Literal(Advance().text, rdf::kXsdDouble));
+      return Status::OK();
+    }
+    if (t.type == TokenType::kIriRef) {
+      *out = Expr::MakeLiteral(rdf::Term::Iri(Advance().text));
+      return Status::OK();
+    }
+    if (t.type == TokenType::kPName) {
+      RAPIDA_ASSIGN_OR_RETURN(rdf::Term term, ResolvePName(Advance().text));
+      *out = Expr::MakeLiteral(std::move(term));
+      return Status::OK();
+    }
+    if (t.type == TokenType::kKeyword) {
+      if (t.text == "REGEX") return ParseRegex(out);
+      if (t.text == "BOUND") return ParseBound(out);
+      AggFunc func;
+      if (t.text == "COUNT") func = AggFunc::kCount;
+      else if (t.text == "SUM") func = AggFunc::kSum;
+      else if (t.text == "AVG") func = AggFunc::kAvg;
+      else if (t.text == "MIN") func = AggFunc::kMin;
+      else if (t.text == "MAX") func = AggFunc::kMax;
+      else if (t.text == "SAMPLE") func = AggFunc::kSample;
+      else if (t.text == "GROUP_CONCAT") func = AggFunc::kGroupConcat;
+      else return Error("unexpected keyword in expression");
+      Advance();
+      RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      bool distinct = MatchKeyword("DISTINCT");
+      ExprPtr arg;
+      if (Match(TokenType::kStar)) {
+        arg = nullptr;  // COUNT(*)
+      } else {
+        RAPIDA_RETURN_IF_ERROR(ParseExpr(&arg));
+      }
+      std::string separator = " ";
+      if (Match(TokenType::kSemicolon)) {
+        if (!MatchKeyword("SEPARATOR")) return Error("expected SEPARATOR");
+        RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+        if (!Check(TokenType::kString)) {
+          return Error("SEPARATOR value must be a string");
+        }
+        separator = Advance().text;
+      }
+      RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      ExprPtr agg = Expr::MakeAggregate(func, std::move(arg), distinct);
+      agg->regex_pattern = separator;  // reused slot: GROUP_CONCAT separator
+      *out = std::move(agg);
+      return Status::OK();
+    }
+    return Error("expected expression");
+  }
+
+  Status ParseRegex(ExprPtr* out) {
+    Advance();  // REGEX
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    ExprPtr text;
+    RAPIDA_RETURN_IF_ERROR(ParseExpr(&text));
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+    if (!Check(TokenType::kString)) return Error("regex pattern must be a string");
+    std::string pattern = Advance().text;
+    std::string flags;
+    if (Match(TokenType::kComma)) {
+      if (!Check(TokenType::kString)) return Error("regex flags must be a string");
+      flags = Advance().text;
+    }
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kRegex;
+    e->regex_pattern = std::move(pattern);
+    e->regex_flags = std::move(flags);
+    e->children.push_back(std::move(text));
+    *out = std::move(e);
+    return Status::OK();
+  }
+
+  Status ParseBound(ExprPtr* out) {
+    Advance();  // BOUND
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kVar)) return Error("bound() takes a variable");
+    ExprPtr v = Expr::MakeVar(Advance().text);
+    RAPIDA_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBound;
+    e->children.push_back(std::move(v));
+    *out = std::move(e);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  ParseOptions options_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SelectQuery>> ParseQuery(
+    std::string_view text, const ParseOptions& options) {
+  RAPIDA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), options);
+  return parser.Parse();
+}
+
+}  // namespace rapida::sparql

@@ -1,0 +1,31 @@
+#ifndef RAPIDA_SPARQL_PARSER_H_
+#define RAPIDA_SPARQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/statusor.h"
+
+namespace rapida::sparql {
+
+struct ParseOptions {
+  /// Namespace used to expand bare (prefix-less) names such as `type` or
+  /// `price` when the query does not declare `PREFIX :`. The paper's
+  /// appendix queries use bare property names; catalogs set this to the
+  /// workload namespace.
+  std::string default_namespace;
+};
+
+/// Parses the SPARQL 1.1 analytical subset used by the paper's query
+/// catalog: PREFIX, SELECT (with aggregate expressions and optional AS),
+/// basic graph patterns with ';' / ',' abbreviations, FILTER (comparisons,
+/// boolean connectives, regex, bound), OPTIONAL, nested sub-SELECTs, and
+/// GROUP BY.
+StatusOr<std::unique_ptr<SelectQuery>> ParseQuery(
+    std::string_view text, const ParseOptions& options = {});
+
+}  // namespace rapida::sparql
+
+#endif  // RAPIDA_SPARQL_PARSER_H_

@@ -1,0 +1,77 @@
+#ifndef RAPIDA_UTIL_LOGGING_H_
+#define RAPIDA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rapida {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for emitted log lines; defaults to kWarning so
+/// library users are not spammed. Benchmarks raise it to kInfo with -v.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. For kFatal-style usage see RAPIDA_CHECK below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing. Used by
+/// RAPIDA_CHECK for invariant violations (programming errors, not data
+/// errors — data errors go through Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define RAPIDA_LOG(level)                                              \
+  if (::rapida::LogLevel::k##level >= ::rapida::GetLogLevel())         \
+  ::rapida::internal_logging::LogMessage(::rapida::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Use only for internal
+/// invariants; user-visible failures must return Status.
+#define RAPIDA_CHECK(condition)                                       \
+  if (!(condition))                                                   \
+  ::rapida::internal_logging::FatalLogMessage(__FILE__, __LINE__,     \
+                                              #condition)
+
+#define RAPIDA_DCHECK(condition) RAPIDA_CHECK(condition)
+
+}  // namespace rapida
+
+#endif  // RAPIDA_UTIL_LOGGING_H_

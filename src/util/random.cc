@@ -1,0 +1,60 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace rapida {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 to expand the seed into two non-zero state words.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  state0_ = splitmix(x);
+  state1_ = splitmix(x);
+  if (state0_ == 0 && state1_ == 0) state1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t s1 = state0_;
+  const uint64_t s0 = state1_;
+  state0_ = s0;
+  s1 ^= s1 << 23;
+  state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return state1_ + s0;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over the truncated zeta distribution. The
+  // normalization constant is computed on the fly; n is small (tens to a
+  // few thousand categories) in all generators, so this stays cheap.
+  double norm = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+  double u = NextDouble() * norm;
+  double cum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    cum += 1.0 / std::pow(i, s);
+    if (u <= cum) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace rapida

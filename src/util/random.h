@@ -1,0 +1,42 @@
+#ifndef RAPIDA_UTIL_RANDOM_H_
+#define RAPIDA_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace rapida {
+
+/// Deterministic 64-bit RNG (xorshift128+). All workload generators use this
+/// so that datasets are reproducible across runs and platforms; std::mt19937
+/// is avoided because its distribution adapters are not cross-stdlib stable.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform value in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n): rank r chosen with probability
+  /// proportional to 1/(r+1)^s. Used to produce the skewed entity
+  /// popularity typical of RDF datasets (few hot product types / journals).
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace rapida
+
+#endif  // RAPIDA_UTIL_RANDOM_H_

@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace rapida {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kUnimplemented:
+      return "Unimplemented";
+    case Code::kInternal:
+      return "Internal";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rapida

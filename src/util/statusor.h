@@ -1,0 +1,71 @@
+#ifndef RAPIDA_UTIL_STATUSOR_H_
+#define RAPIDA_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rapida {
+
+/// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+/// why the value is absent. Accessing the value of a non-OK StatusOr aborts
+/// in debug builds (assert) — callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Constructs from a value; status() is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression), propagating the error to the
+/// caller, otherwise assigning the value into `lhs`.
+#define RAPIDA_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  RAPIDA_ASSIGN_OR_RETURN_IMPL_(                       \
+      RAPIDA_STATUS_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define RAPIDA_STATUS_CONCAT_INNER_(a, b) a##b
+#define RAPIDA_STATUS_CONCAT_(a, b) RAPIDA_STATUS_CONCAT_INNER_(a, b)
+#define RAPIDA_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value()
+
+}  // namespace rapida
+
+#endif  // RAPIDA_UTIL_STATUSOR_H_

@@ -1,0 +1,42 @@
+#ifndef RAPIDA_UTIL_STRING_UTIL_H_
+#define RAPIDA_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rapida {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Whitespace-trimmed copy of `s` (trims ' ', '\t', '\r', '\n').
+std::string TrimString(std::string_view s);
+
+/// True if `s` begins with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string AsciiToLower(std::string_view s);
+
+/// Case-insensitive ASCII substring test; `needle` must be non-empty.
+/// Mirrors SPARQL's regex(?x, "pattern", "i") usage in the paper's queries.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Parses a decimal integer / floating-point literal. Returns false on any
+/// trailing garbage or empty input.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Human-readable byte count ("1.5 MB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace rapida
+
+#endif  // RAPIDA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#ifndef RAPIDA_WORKLOAD_BSBM_H_
+#define RAPIDA_WORKLOAD_BSBM_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rapida::workload {
+
+/// Vocabulary namespace used by the BSBM-like generator and queries.
+inline constexpr char kBsbmNs[] = "http://bsbm.example/";
+
+/// Configuration of the BSBM-BI-like e-commerce generator (paper §5.1:
+/// BSBM-500K and BSBM-2M, scaled down). Entity population mirrors the
+/// benchmark: products with a type and 1–4 features, offers with price and
+/// vendor, vendors with a country. Product types are Zipf-popular, so
+/// ProductType1 is low-selectivity (many products) and the last type is
+/// high-selectivity — the paper's lo/hi query variants.
+struct BsbmConfig {
+  int num_products = 1000;
+  int num_product_types = 10;
+  int num_features = 40;
+  int num_vendors = 25;
+  int num_countries = 8;
+  double offers_per_product = 3.0;
+  /// Probability that an offer carries the optional validFrom / validTo
+  /// dates (structural irregularity typical of RDF).
+  double optional_date_probability = 0.4;
+  uint64_t seed = 20160315;
+};
+
+/// Generates the dataset deterministically from the config.
+rdf::Graph GenerateBsbm(const BsbmConfig& config);
+
+}  // namespace rapida::workload
+
+#endif  // RAPIDA_WORKLOAD_BSBM_H_

@@ -1,0 +1,391 @@
+#include "workload/catalog.h"
+
+namespace rapida::workload {
+
+namespace {
+
+constexpr char kBsbmPrefix[] = "PREFIX : <http://bsbm.example/>\n";
+constexpr char kChemPrefix[] = "PREFIX : <http://chem2bio2rdf.example/>\n";
+constexpr char kPubPrefix[] = "PREFIX : <http://pubmed.example/>\n";
+
+std::vector<CatalogQuery> BuildCatalog() {
+  std::vector<CatalogQuery> q;
+
+  // -------------------------------------------------------------------
+  // BSBM single-grouping queries (Table 3 left).
+  // G1/G3 use ProductType1 (low selectivity / many products), G2/G4 the
+  // last type (high selectivity); G1/G2 GROUP BY ALL, G3/G4 BY feature.
+  // -------------------------------------------------------------------
+  auto bsbm_single = [](const std::string& type, bool by_feature) {
+    std::string s = kBsbmPrefix;
+    s += "SELECT ";
+    if (by_feature) s += "?f ";
+    s += "(COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {\n";
+    s += "  ?p a :" + type + " . ?p :label ?l .\n";
+    if (by_feature) s += "  ?p :productFeature ?f .\n";
+    s += "  ?o :product ?p . ?o :price ?pr .\n}";
+    if (by_feature) s += " GROUP BY ?f";
+    return s;
+  };
+  q.push_back({"G1", "bsbm", "price stats, ProductType1 (lo), GROUP BY ALL",
+               bsbm_single("ProductType1", false)});
+  q.push_back({"G2", "bsbm", "price stats, ProductType10 (hi), GROUP BY ALL",
+               bsbm_single("ProductType10", false)});
+  q.push_back({"G3", "bsbm", "price stats, ProductType1 (lo), BY feature",
+               bsbm_single("ProductType1", true)});
+  q.push_back({"G4", "bsbm", "price stats, ProductType10 (hi), BY feature",
+               bsbm_single("ProductType10", true)});
+
+  // -------------------------------------------------------------------
+  // BSBM multi-grouping queries MG1-MG4 (Fig. 8a/8b) + AQ1.
+  // -------------------------------------------------------------------
+  auto mg12 = [](const std::string& type) {
+    std::string s = kBsbmPrefix;
+    s += R"(SELECT ?f ?cntF ?sumF ?cntT ?sumT {
+  { SELECT ?f (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+      ?p2 a :)" + type + R"( . ?p2 :label ?l2 . ?p2 :productFeature ?f .
+      ?off2 :product ?p2 . ?off2 :price ?pr2 .
+    } GROUP BY ?f }
+  { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+      ?p1 a :)" + type + R"( . ?p1 :label ?l1 .
+      ?off1 :product ?p1 . ?off1 :price ?pr .
+    } }
+})";
+    return s;
+  };
+  q.push_back({"MG1", "bsbm",
+               "avg price per feature vs across ALL features (lo)",
+               mg12("ProductType1")});
+  q.push_back({"MG2", "bsbm",
+               "avg price per feature vs across ALL features (hi)",
+               mg12("ProductType10")});
+
+  auto mg34 = [](const std::string& type) {
+    std::string s = kBsbmPrefix;
+    s += R"(SELECT ?f ?c ?cntF ?sumF ?cntT ?sumT {
+  { SELECT ?f ?c (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+      ?p2 a :)" + type + R"( . ?p2 :label ?l2 . ?p2 :productFeature ?f .
+      ?off2 :product ?p2 . ?off2 :price ?pr2 . ?off2 :vendor ?v2 .
+      ?v2 :country ?c .
+    } GROUP BY ?f ?c }
+  { SELECT ?c (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+      ?p1 a :)" + type + R"( . ?p1 :label ?l1 .
+      ?off1 :product ?p1 . ?off1 :price ?pr . ?off1 :vendor ?v1 .
+      ?v1 :country ?c .
+    } GROUP BY ?c }
+})";
+    return s;
+  };
+  q.push_back({"MG3", "bsbm",
+               "avg price per country-feature vs per country (lo)",
+               mg34("ProductType1")});
+  q.push_back({"MG4", "bsbm",
+               "avg price per country-feature vs per country (hi)",
+               mg34("ProductType10")});
+
+  q.push_back(
+      {"AQ1", "bsbm",
+       "per country, feature price ratio vs price across features (Fig. 1)",
+       std::string(kBsbmPrefix) + R"(SELECT ?f ?c ((?sumF / ?cntF) / (?sumT / ?cntT) AS ?ratio) {
+  { SELECT ?f ?c (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+      ?p2 a :ProductType2 . ?p2 :productFeature ?f .
+      ?off2 :product ?p2 . ?off2 :price ?pr2 . ?off2 :vendor ?v2 .
+      ?v2 :country ?c .
+    } GROUP BY ?f ?c }
+  { SELECT ?c (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+      ?p1 a :ProductType2 .
+      ?off1 :product ?p1 . ?off1 :price ?pr . ?off1 :vendor ?v1 .
+      ?v1 :country ?c .
+    } GROUP BY ?c }
+})"});
+
+  // -------------------------------------------------------------------
+  // Chem2Bio2RDF single-grouping queries G5-G9 (Table 3 right).
+  // -------------------------------------------------------------------
+  q.push_back({"G5", "chem",
+               "assays per compound sharing targets with Dexamethasone",
+               std::string(kChemPrefix) + R"(SELECT ?cid (COUNT(?b) AS ?active_assays) {
+  ?b :CID ?cid . ?b :outcome ?a . ?b :Score ?s1 . ?b :assay_gi ?gi .
+  ?u :gi ?gi . ?u :geneSymbol ?g .
+  ?di :gene ?g . ?di :DBID ?dr .
+  ?dr :Generic_Name "Dexamethasone" .
+} GROUP BY ?cid)"});
+
+  q.push_back({"G6", "chem",
+               "compounds active towards MAPK-pathway targets",
+               std::string(kChemPrefix) + R"(SELECT ?cid (COUNT(?b) AS ?active_assays) {
+  ?b :CID ?cid . ?b :outcome ?a . ?b :Score ?s1 . ?b :assay_gi ?gi .
+  ?u :gi ?gi .
+  ?pathway :protein ?u . ?pathway :Pathway_name ?pname .
+  FILTER regex(?pname, "MAPK signaling pathway", "i")
+} GROUP BY ?cid)"});
+
+  q.push_back({"G7", "chem",
+               "pathways with targets of hepatomegaly-associated drugs",
+               std::string(kChemPrefix) + R"(SELECT ?pid (COUNT(?pathway) AS ?count) {
+  ?sider :side_effect ?se . ?sider :cid ?cid .
+  FILTER regex(?se, "hepatomegaly", "i")
+  ?dr :CID ?cid .
+  ?target :DBID ?dr . ?target :SwissProt_ID ?u .
+  ?pathway :protein ?u . ?pathway :pathwayid ?pid .
+} GROUP BY ?pid)"});
+
+  q.push_back({"G8", "chem", "targets per drug with known gene symbols",
+               std::string(kChemPrefix) + R"(SELECT ?dr (COUNT(?t) AS ?n) {
+  ?t :DBID ?dr . ?t :SwissProt_ID ?u .
+  ?u :geneSymbol ?g . ?u :gi ?gi .
+} GROUP BY ?dr)"});
+
+  q.push_back({"G9", "chem",
+               "medline publications per gene symbol (large VP tables)",
+               std::string(kChemPrefix) + R"(SELECT ?gs (COUNT(?pmid) AS ?n) {
+  ?g :geneSymbol ?gs . ?g :gi ?gi .
+  ?pmid :medline_gene ?g . ?pmid :side_effect ?se .
+} GROUP BY ?gs)"});
+
+  // -------------------------------------------------------------------
+  // Chem2Bio2RDF multi-grouping queries MG6-MG10 (Fig. 8c).
+  // -------------------------------------------------------------------
+  q.push_back({"MG6", "chem",
+               "targets per compound-gene vs per compound",
+               std::string(kChemPrefix) + R"(SELECT ?cid ?g1 ?aPerCG ?aPerC {
+  { SELECT ?cid ?g1 (COUNT(?b1) AS ?aPerCG) {
+      ?b1 :CID ?cid . ?b1 :outcome ?a1 . ?b1 :Score ?s1 . ?b1 :assay_gi ?gi1 .
+      ?u1 :gi ?gi1 . ?u1 :geneSymbol ?g1 .
+      ?di1 :gene ?g1 . ?di1 :DBID ?dr1 .
+    } GROUP BY ?cid ?g1 }
+  { SELECT ?cid (COUNT(?b) AS ?aPerC) {
+      ?b :CID ?cid . ?b :outcome ?a . ?b :Score ?s . ?b :assay_gi ?gi .
+      ?u :gi ?gi . ?u :geneSymbol ?g .
+      ?di :gene ?g . ?di :DBID ?dr .
+    } GROUP BY ?cid }
+})"});
+
+  q.push_back({"MG7", "chem",
+               "targets per compound-drug vs per compound",
+               std::string(kChemPrefix) + R"(SELECT ?cid ?dr1 ?aPerCD ?aPerC {
+  { SELECT ?cid ?dr1 (COUNT(?b1) AS ?aPerCD) {
+      ?b1 :CID ?cid . ?b1 :outcome ?a1 . ?b1 :Score ?s1 . ?b1 :assay_gi ?gi1 .
+      ?u1 :gi ?gi1 . ?u1 :geneSymbol ?g1 .
+      ?di1 :gene ?g1 . ?di1 :DBID ?dr1 .
+    } GROUP BY ?cid ?dr1 }
+  { SELECT ?cid (COUNT(?b) AS ?aPerC) {
+      ?b :CID ?cid . ?b :outcome ?a . ?b :Score ?s . ?b :assay_gi ?gi .
+      ?u :gi ?gi . ?u :geneSymbol ?g .
+      ?di :gene ?g . ?di :DBID ?dr .
+    } GROUP BY ?cid }
+})"});
+
+  q.push_back({"MG8", "chem",
+               "targets per compound-gene vs overall",
+               std::string(kChemPrefix) + R"(SELECT ?cid ?g1 ?aPerCG ?aT {
+  { SELECT ?cid ?g1 (COUNT(?b1) AS ?aPerCG) {
+      ?b1 :CID ?cid . ?b1 :outcome ?a1 . ?b1 :Score ?s1 . ?b1 :assay_gi ?gi1 .
+      ?u1 :gi ?gi1 . ?u1 :geneSymbol ?g1 .
+      ?di1 :gene ?g1 . ?di1 :DBID ?dr1 .
+    } GROUP BY ?cid ?g1 }
+  { SELECT (COUNT(?b) AS ?aT) {
+      ?b :CID ?cid2 . ?b :outcome ?a . ?b :Score ?s . ?b :assay_gi ?gi .
+      ?u :gi ?gi . ?u :geneSymbol ?g .
+      ?di :gene ?g . ?di :DBID ?dr .
+    } }
+})"});
+
+  q.push_back({"MG9", "chem",
+               "medline publications per gene vs total",
+               std::string(kChemPrefix) + R"(SELECT ?gs ?pPerGene ?pT {
+  { SELECT ?gs (COUNT(?pmid) AS ?pPerGene) {
+      ?g :geneSymbol ?gs .
+      ?pmid :medline_gene ?g . ?pmid :side_effect ?se .
+    } GROUP BY ?gs }
+  { SELECT (COUNT(?pmid1) AS ?pT) {
+      ?g1 :geneSymbol ?gs1 .
+      ?pmid1 :medline_gene ?g1 . ?pmid1 :side_effect ?se1 .
+    } }
+})"});
+
+  q.push_back({"MG10", "chem",
+               "publications per disease-gene vs per gene",
+               std::string(kChemPrefix) + R"(SELECT ?d ?gs ?pPerDG ?pPerG {
+  { SELECT ?d ?gs (COUNT(?pmid) AS ?pPerDG) {
+      ?pmid :medline_gene ?g . ?pmid :side_effect ?se . ?pmid :disease ?d .
+      ?g :geneSymbol ?gs .
+    } GROUP BY ?d ?gs }
+  { SELECT ?gs (COUNT(?pmid1) AS ?pPerG) {
+      ?pmid1 :medline_gene ?g1 . ?pmid1 :side_effect ?se1 .
+      ?g1 :geneSymbol ?gs .
+    } GROUP BY ?gs }
+})"});
+
+  // -------------------------------------------------------------------
+  // PubMed multi-grouping queries MG11-MG18 (Table 4).
+  // -------------------------------------------------------------------
+  q.push_back({"MG11", "pubmed",
+               "grant-funded journals per country vs total",
+               std::string(kPubPrefix) + R"(SELECT ?c ?cntC ?cntT {
+  { SELECT ?c (COUNT(?g) AS ?cntC) {
+      ?pub :journal ?j . ?pub :grant ?g .
+      ?g :grant_agency ?ga . ?g :grant_country ?c .
+    } GROUP BY ?c }
+  { SELECT (COUNT(?g1) AS ?cntT) {
+      ?pub1 :journal ?j1 . ?pub1 :grant ?g1 .
+      ?g1 :grant_agency ?ga1 .
+    } }
+})"});
+
+  q.push_back({"MG12", "pubmed",
+               "grants per country-pubType vs per country",
+               std::string(kPubPrefix) + R"(SELECT ?c ?pt ?perCT ?perC {
+  { SELECT ?c ?pt (COUNT(?g) AS ?perCT) {
+      ?pub :pub_type ?pt . ?pub :grant ?g .
+      ?g :grant_agency ?ga . ?g :grant_country ?c .
+    } GROUP BY ?c ?pt }
+  { SELECT ?c (COUNT(?g1) AS ?perC) {
+      ?pub1 :journal ?j1 . ?pub1 :grant ?g1 .
+      ?g1 :grant_country ?c .
+    } GROUP BY ?c }
+})"});
+
+  q.push_back({"MG13", "pubmed",
+               "MeSH headings per author-pubType vs per pubType",
+               std::string(kPubPrefix) + R"(SELECT ?a ?pty ?perAPT ?perPT {
+  { SELECT ?a ?pty (COUNT(?m) AS ?perAPT) {
+      ?p :pub_type ?pty . ?p :mesh_heading ?m . ?p :author ?a .
+      ?a :last_name ?ln .
+    } GROUP BY ?a ?pty }
+  { SELECT ?pty (COUNT(?m1) AS ?perPT) {
+      ?p1 :pub_type ?pty . ?p1 :mesh_heading ?m1 . ?p1 :author ?a1 .
+      ?a1 :last_name ?ln1 .
+    } GROUP BY ?pty }
+})"});
+
+  q.push_back({"MG14", "pubmed",
+               "chemicals per author-pubType vs per pubType",
+               std::string(kPubPrefix) + R"(SELECT ?a ?pty ?perAPT ?perPT {
+  { SELECT ?a ?pty (COUNT(?ch) AS ?perAPT) {
+      ?p :pub_type ?pty . ?p :chemical ?ch . ?p :author ?a .
+      ?a :last_name ?ln .
+    } GROUP BY ?a ?pty }
+  { SELECT ?pty (COUNT(?ch1) AS ?perPT) {
+      ?p1 :pub_type ?pty . ?p1 :chemical ?ch1 . ?p1 :author ?a1 .
+      ?a1 :last_name ?ln1 .
+    } GROUP BY ?pty }
+})"});
+
+  auto mg1516 = [](const std::string& pub_type) {
+    std::string s = kPubPrefix;
+    s += R"(SELECT ?ln ?perA ?allA {
+  { SELECT ?ln (COUNT(?ch) AS ?perA) {
+      ?pub :pub_type ")" + pub_type + R"(" . ?pub :chemical ?ch . ?pub :author ?a .
+      ?a :last_name ?ln .
+    } GROUP BY ?ln }
+  { SELECT (COUNT(?ch1) AS ?allA) {
+      ?pub1 :pub_type ")" + pub_type + R"(" . ?pub1 :chemical ?ch1 . ?pub1 :author ?a1 .
+      ?a1 :last_name ?ln1 .
+    } }
+})";
+    return s;
+  };
+  q.push_back({"MG15", "pubmed",
+               "chemicals per author last name, Journal Articles (lo)",
+               mg1516("Journal Article")});
+  q.push_back({"MG16", "pubmed",
+               "chemicals per author last name, News (hi selectivity)",
+               mg1516("News")});
+
+  q.push_back({"MG17", "pubmed",
+               "journal articles per grant country vs total",
+               std::string(kPubPrefix) + R"(SELECT ?c ?perC ?total {
+  { SELECT ?c (COUNT(?g) AS ?perC) {
+      ?pub :pub_type "Journal Article" . ?pub :journal ?j . ?pub :grant ?g .
+      ?g :grant_agency ?ga . ?g :grant_country ?c .
+    } GROUP BY ?c }
+  { SELECT (COUNT(?g1) AS ?total) {
+      ?pub1 :pub_type "Journal Article" . ?pub1 :journal ?j1 . ?pub1 :grant ?g1 .
+      ?g1 :grant_agency ?ga1 .
+    } }
+})"});
+
+  q.push_back({"MG18", "pubmed",
+               "journal articles per author-country vs per country",
+               std::string(kPubPrefix) + R"(SELECT ?c ?a ?perAC ?perC {
+  { SELECT ?c ?a (COUNT(?g) AS ?perAC) {
+      ?p :pub_type "Journal Article" . ?p :author ?a . ?p :grant ?g .
+      ?g :grant_agency ?ga . ?g :grant_country ?c .
+    } GROUP BY ?c ?a }
+  { SELECT ?c (COUNT(?g1) AS ?perC) {
+      ?pub1 :pub_type "Journal Article" . ?pub1 :grant ?g1 .
+      ?g1 :grant_agency ?ga1 . ?g1 :grant_country ?c .
+    } GROUP BY ?c }
+})"});
+
+  // -------------------------------------------------------------------
+  // ROLLUP-style extension queries (the paper's §6 future work): three
+  // related groupings — the full ROLLUP lattice level-by-level —
+  // evaluated by RAPIDAnalytics as ONE composite pattern + ONE parallel
+  // Agg-Join cycle via the N-ary family rewriting.
+  // -------------------------------------------------------------------
+  q.push_back({"R1", "bsbm",
+               "[extension] price rollup: (feature,country) / (country) / ()",
+               std::string(kBsbmPrefix) + R"(SELECT ?f ?c ?sumFC ?sumC ?sumT {
+  { SELECT ?f ?c (SUM(?pr2) AS ?sumFC) {
+      ?p2 a :ProductType1 . ?p2 :label ?l2 . ?p2 :productFeature ?f .
+      ?off2 :product ?p2 . ?off2 :price ?pr2 . ?off2 :vendor ?v2 .
+      ?v2 :country ?c .
+    } GROUP BY ?f ?c }
+  { SELECT ?c (SUM(?pr1) AS ?sumC) {
+      ?p1 a :ProductType1 . ?p1 :label ?l1 .
+      ?off1 :product ?p1 . ?off1 :price ?pr1 . ?off1 :vendor ?v1 .
+      ?v1 :country ?c .
+    } GROUP BY ?c }
+  { SELECT (SUM(?pr3) AS ?sumT) {
+      ?p3 a :ProductType1 . ?p3 :label ?l3 .
+      ?off3 :product ?p3 . ?off3 :price ?pr3 . ?off3 :vendor ?v3 .
+      ?v3 :country ?c3 .
+    } }
+})"});
+
+  q.push_back({"R2", "pubmed",
+               "[extension] grant rollup: (country,agency) / (country) / ()",
+               std::string(kPubPrefix) + R"(SELECT ?c ?ga ?perCA ?perC ?total {
+  { SELECT ?c ?ga (COUNT(?g) AS ?perCA) {
+      ?pub :journal ?j . ?pub :grant ?g .
+      ?g :grant_agency ?ga . ?g :grant_country ?c .
+    } GROUP BY ?c ?ga }
+  { SELECT ?c (COUNT(?g1) AS ?perC) {
+      ?pub1 :journal ?j1 . ?pub1 :grant ?g1 .
+      ?g1 :grant_agency ?ga1 . ?g1 :grant_country ?c .
+    } GROUP BY ?c }
+  { SELECT (COUNT(?g2) AS ?total) {
+      ?pub2 :journal ?j2 . ?pub2 :grant ?g2 .
+      ?g2 :grant_agency ?ga2 . ?g2 :grant_country ?c2 .
+    } }
+})"});
+
+  return q;
+}
+
+}  // namespace
+
+const std::vector<CatalogQuery>& Catalog() {
+  static const std::vector<CatalogQuery>* kCatalog =
+      new std::vector<CatalogQuery>(BuildCatalog());
+  return *kCatalog;
+}
+
+StatusOr<const CatalogQuery*> FindQuery(const std::string& id) {
+  for (const CatalogQuery& q : Catalog()) {
+    if (q.id == id) return &q;
+  }
+  return Status::NotFound("no catalog query with id '" + id + "'");
+}
+
+std::vector<std::string> QueriesForDataset(const std::string& dataset) {
+  std::vector<std::string> out;
+  for (const CatalogQuery& q : Catalog()) {
+    if (q.dataset == dataset) out.push_back(q.id);
+  }
+  return out;
+}
+
+}  // namespace rapida::workload

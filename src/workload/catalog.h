@@ -1,0 +1,33 @@
+#ifndef RAPIDA_WORKLOAD_CATALOG_H_
+#define RAPIDA_WORKLOAD_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace rapida::workload {
+
+/// One catalog query: the paper's G1–G9 (single grouping), MG1–MG18
+/// (multi grouping) and AQ1 (the running ratio example), adapted to the
+/// synthetic generators' schemas. `dataset` names the generator:
+/// "bsbm", "chem", or "pubmed".
+struct CatalogQuery {
+  std::string id;
+  std::string dataset;
+  std::string description;
+  std::string sparql;
+};
+
+/// All catalog queries in paper order.
+const std::vector<CatalogQuery>& Catalog();
+
+/// Lookup by id ("G1", "MG13", "AQ1", ...).
+StatusOr<const CatalogQuery*> FindQuery(const std::string& id);
+
+/// Ids of the queries belonging to one dataset, in catalog order.
+std::vector<std::string> QueriesForDataset(const std::string& dataset);
+
+}  // namespace rapida::workload
+
+#endif  // RAPIDA_WORKLOAD_CATALOG_H_

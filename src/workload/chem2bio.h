@@ -1,0 +1,38 @@
+#ifndef RAPIDA_WORKLOAD_CHEM2BIO_H_
+#define RAPIDA_WORKLOAD_CHEM2BIO_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rapida::workload {
+
+/// Vocabulary namespace of the Chem2Bio2RDF-like generator and queries.
+inline constexpr char kChemNs[] = "http://chem2bio2rdf.example/";
+
+/// Synthetic chemogenomics warehouse modeled on Chem2Bio2RDF (paper §5.1,
+/// Chen et al., BMC Bioinformatics'10): PubChem bioassays linking
+/// compounds to genes, gene entries, drug-gene interactions, DrugBank
+/// drugs, KEGG pathways over proteins, SIDER side-effect records, drug
+/// targets, and a *large* Medline publication table — the size skew behind
+/// the paper's G5–G8 (small VP tables, map-join friendly) vs G9/MG9–MG10
+/// (large VP tables) split.
+struct ChemConfig {
+  int num_compounds = 300;
+  int num_genes = 120;
+  int num_drugs = 60;
+  int num_pathways = 25;
+  int num_side_effects = 40;
+  int num_diseases = 30;
+  int num_assays = 1500;       // bioassay records
+  int num_sider_records = 400;
+  int num_targets = 150;
+  int num_publications = 6000;  // Medline: the large relation
+  uint64_t seed = 20160316;
+};
+
+rdf::Graph GenerateChem2Bio(const ChemConfig& config);
+
+}  // namespace rapida::workload
+
+#endif  // RAPIDA_WORKLOAD_CHEM2BIO_H_

@@ -1,0 +1,44 @@
+#ifndef RAPIDA_WORKLOAD_PUBMED_H_
+#define RAPIDA_WORKLOAD_PUBMED_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rapida::workload {
+
+/// Vocabulary namespace of the PubMed-like generator and queries.
+inline constexpr char kPubmedNs[] = "http://pubmed.example/";
+
+/// Synthetic publication warehouse modeled on the Bio2RDF PubMed release
+/// (paper §5.1, 230 GB / 1.7 B triples, scaled down). Publications carry a
+/// journal, a publication type ("Journal Article" common, "News" rare —
+/// the MG15/MG16 selectivity pair), grants (agency + country), authors
+/// (last names), and *heavily multi-valued* MeSH headings and chemicals —
+/// the properties whose star-join blowup makes naive Hive materialize a
+/// huge intermediate and run out of disk on MG13 (Table 4 footnote).
+struct PubmedConfig {
+  int num_publications = 2000;
+  int num_journals = 40;
+  int num_grants = 300;
+  int num_agencies = 25;
+  int num_countries = 12;
+  int num_authors = 400;
+  int num_mesh_terms = 200;
+  int num_chemicals = 150;
+  /// Mean multi-valued fanouts.
+  double mesh_per_publication = 6.0;
+  double chemicals_per_publication = 4.0;
+  double authors_per_publication = 2.5;
+  double grants_per_publication = 1.2;
+  /// Fraction of publications typed "News" (the rest are Journal
+  /// Articles).
+  double news_fraction = 0.05;
+  uint64_t seed = 20160317;
+};
+
+rdf::Graph GeneratePubmed(const PubmedConfig& config);
+
+}  // namespace rapida::workload
+
+#endif  // RAPIDA_WORKLOAD_PUBMED_H_

@@ -1,0 +1,144 @@
+#include "analytics/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/value.h"
+
+namespace rapida::analytics {
+namespace {
+
+using sparql::AggFunc;
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  double Num(rdf::TermId id) { return *dict_.AsNumber(id); }
+  rdf::Dictionary dict_;
+};
+
+TEST_F(AggregatesTest, CountSumAvg) {
+  Aggregator count(AggFunc::kCount, false);
+  Aggregator sum(AggFunc::kSum, false);
+  Aggregator avg(AggFunc::kAvg, false);
+  for (int v : {10, 20, 30}) {
+    rdf::TermId id = dict_.InternInt(v);
+    count.AddTerm(id, dict_);
+    sum.AddTerm(id, dict_);
+    avg.AddTerm(id, dict_);
+  }
+  EXPECT_DOUBLE_EQ(Num(count.Finalize(&dict_)), 3);
+  EXPECT_DOUBLE_EQ(Num(sum.Finalize(&dict_)), 60);
+  EXPECT_DOUBLE_EQ(Num(avg.Finalize(&dict_)), 20);
+}
+
+TEST_F(AggregatesTest, MinMaxNumeric) {
+  Aggregator mn(AggFunc::kMin, false);
+  Aggregator mx(AggFunc::kMax, false);
+  for (int v : {7, 2, 9, 4}) {
+    mn.AddTerm(dict_.InternInt(v), dict_);
+    mx.AddTerm(dict_.InternInt(v), dict_);
+  }
+  EXPECT_DOUBLE_EQ(Num(mn.Finalize(&dict_)), 2);
+  EXPECT_DOUBLE_EQ(Num(mx.Finalize(&dict_)), 9);
+}
+
+TEST_F(AggregatesTest, MinMaxLexicalForStrings) {
+  Aggregator mn(AggFunc::kMin, false);
+  for (const char* s : {"banana", "apple", "cherry"}) {
+    mn.AddTerm(dict_.InternLiteral(s), dict_);
+  }
+  EXPECT_EQ(dict_.Get(mn.Finalize(&dict_)).text, "apple");
+}
+
+TEST_F(AggregatesTest, UnboundTermsSkipped) {
+  Aggregator count(AggFunc::kCount, false);
+  count.AddTerm(rdf::kInvalidTermId, dict_);
+  count.AddTerm(dict_.InternInt(1), dict_);
+  EXPECT_DOUBLE_EQ(Num(count.Finalize(&dict_)), 1);
+}
+
+TEST_F(AggregatesTest, EmptyGroupSemantics) {
+  EXPECT_DOUBLE_EQ(Num(Aggregator(AggFunc::kCount, false).Finalize(&dict_)),
+                   0);
+  EXPECT_DOUBLE_EQ(Num(Aggregator(AggFunc::kSum, false).Finalize(&dict_)), 0);
+  EXPECT_DOUBLE_EQ(Num(Aggregator(AggFunc::kAvg, false).Finalize(&dict_)), 0);
+  EXPECT_EQ(Aggregator(AggFunc::kMin, false).Finalize(&dict_),
+            rdf::kInvalidTermId);
+}
+
+TEST_F(AggregatesTest, Distinct) {
+  Aggregator count(AggFunc::kCount, true);
+  Aggregator sum(AggFunc::kSum, true);
+  rdf::TermId five = dict_.InternInt(5);
+  rdf::TermId six = dict_.InternInt(6);
+  for (rdf::TermId id : {five, five, six, five}) {
+    count.AddTerm(id, dict_);
+    sum.AddTerm(id, dict_);
+  }
+  EXPECT_DOUBLE_EQ(Num(count.Finalize(&dict_)), 2);
+  EXPECT_DOUBLE_EQ(Num(sum.Finalize(&dict_)), 11);
+}
+
+TEST_F(AggregatesTest, CountStarRows) {
+  Aggregator count(AggFunc::kCount, false);
+  count.AddRow();
+  count.AddRow();
+  EXPECT_DOUBLE_EQ(Num(count.Finalize(&dict_)), 2);
+}
+
+TEST_F(AggregatesTest, MergeEqualsSingleAccumulation) {
+  // Algebraic property behind map-side pre-aggregation (paper Alg. 3):
+  // splitting the input across partial aggregators and merging must give
+  // the same result as one aggregator.
+  std::vector<int> values = {5, 1, 9, 3, 7, 7, 2};
+  for (AggFunc f : {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                    AggFunc::kMin, AggFunc::kMax}) {
+    Aggregator whole(f, false);
+    Aggregator part1(f, false), part2(f, false);
+    for (size_t i = 0; i < values.size(); ++i) {
+      rdf::TermId id = dict_.InternInt(values[i]);
+      whole.AddTerm(id, dict_);
+      (i % 2 == 0 ? part1 : part2).AddTerm(id, dict_);
+    }
+    part1.Merge(part2, dict_);
+    EXPECT_EQ(whole.Finalize(&dict_), part1.Finalize(&dict_))
+        << "func " << static_cast<int>(f);
+  }
+}
+
+TEST_F(AggregatesTest, SerializePartialRoundTrip) {
+  Aggregator agg(AggFunc::kSum, false);
+  agg.AddTerm(dict_.InternInt(4), dict_);
+  agg.AddTerm(dict_.InternInt(8), dict_);
+  std::string data = agg.SerializePartial();
+  auto restored = Aggregator::DeserializePartial(AggFunc::kSum, data);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->count(), 2u);
+  EXPECT_DOUBLE_EQ(restored->sum(), 12.0);
+  EXPECT_EQ(restored->Finalize(&dict_), agg.Finalize(&dict_));
+}
+
+TEST_F(AggregatesTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Aggregator::DeserializePartial(AggFunc::kSum, "junk").ok());
+  EXPECT_FALSE(Aggregator::DeserializePartial(AggFunc::kSum, "1,2").ok());
+  EXPECT_FALSE(
+      Aggregator::DeserializePartial(AggFunc::kSum, "a,b,c,d,e").ok());
+}
+
+TEST_F(AggregatesTest, InternNumberCanonicalization) {
+  // Integral doubles intern as integers; equal values intern identically.
+  EXPECT_EQ(InternNumber(&dict_, 5.0), InternNumber(&dict_, 5.0));
+  EXPECT_EQ(dict_.Get(InternNumber(&dict_, 5.0)).text, "5");
+  EXPECT_EQ(dict_.Get(InternNumber(&dict_, 2.5)).text, "2.5");
+}
+
+TEST_F(AggregatesTest, CompareTermsNumericAware) {
+  rdf::TermId five_int = dict_.InternInt(5);
+  rdf::TermId five_plain = dict_.InternLiteral("5.0");
+  rdf::TermId six = dict_.InternInt(6);
+  EXPECT_EQ(CompareTerms(dict_, five_int, five_plain), 0);
+  EXPECT_LT(CompareTerms(dict_, five_int, six), 0);
+  EXPECT_GT(CompareTerms(dict_, six, five_plain), 0);
+}
+
+}  // namespace
+}  // namespace rapida::analytics

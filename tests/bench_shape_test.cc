@@ -1,0 +1,99 @@
+// Regression guard for the paper's headline *shapes*: the relative
+// ordering of the four systems (simulated time and cycle counts) on the
+// key query classes must hold at test scale. If a cost-model or planner
+// change breaks who-beats-whom, this fails before the benches do.
+#include <gtest/gtest.h>
+
+#include "analytics/analytical_query.h"
+#include "engines/engines.h"
+#include "sparql/parser.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+#include "workload/pubmed.h"
+
+namespace rapida {
+namespace {
+
+struct EngineRun {
+  double sim_seconds = 0;
+  int cycles = 0;
+  uint64_t peak_dfs = 0;
+};
+
+std::map<std::string, EngineRun> RunAll(engine::Dataset* dataset,
+                                        const std::string& query_id,
+                                        int nodes) {
+  std::map<std::string, EngineRun> out;
+  auto cq = workload::FindQuery(query_id);
+  EXPECT_TRUE(cq.ok());
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  EXPECT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  EXPECT_TRUE(query.ok());
+  mr::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  // Scale bytes so data costs matter relative to per-cycle overhead, as
+  // in the benches.
+  cfg.bytes_scale = 10000.0;
+  for (const auto& eng : engine::MakeAllEngines()) {
+    mr::Cluster cluster(cfg, &dataset->dfs());
+    dataset->dfs().ResetPeak();
+    engine::ExecStats stats;
+    auto result = eng->Execute(*query, dataset, &cluster, &stats);
+    EXPECT_TRUE(result.ok()) << eng->name() << ": " << result.status();
+    out[eng->name()] = EngineRun{stats.workflow.TotalSimSeconds(),
+                                 stats.workflow.NumCycles(),
+                                 dataset->dfs().PeakStoredBytes()};
+  }
+  return out;
+}
+
+TEST(BenchShapeTest, Mg1OrderingHoldsEndToEnd) {
+  workload::BsbmConfig cfg;
+  cfg.num_products = 600;
+  engine::Dataset dataset(workload::GenerateBsbm(cfg));
+  auto runs = RunAll(&dataset, "MG1", 10);
+
+  // Paper Fig. 8(a): R.A. < RAPID+ < Hive(MQO) < Hive(Naive).
+  EXPECT_LT(runs["RAPIDAnalytics"].sim_seconds,
+            runs["RAPID+ (Naive)"].sim_seconds);
+  EXPECT_LT(runs["RAPID+ (Naive)"].sim_seconds,
+            runs["Hive (MQO)"].sim_seconds);
+  EXPECT_LT(runs["Hive (MQO)"].sim_seconds,
+            runs["Hive (Naive)"].sim_seconds);
+  // Cycle counts (§5.2).
+  EXPECT_EQ(runs["RAPIDAnalytics"].cycles, 3);
+  EXPECT_EQ(runs["RAPID+ (Naive)"].cycles, 5);
+  EXPECT_EQ(runs["Hive (Naive)"].cycles, 9);
+  // Headline factor: "up to 10X" — at least 3x here.
+  EXPECT_GT(runs["Hive (Naive)"].sim_seconds,
+            3 * runs["RAPIDAnalytics"].sim_seconds);
+}
+
+TEST(BenchShapeTest, Mg13PeakDiskOrderingHolds) {
+  // Table 4 footnote: naive Hive's peak DFS demand on the MeSH blowup
+  // query exceeds RAPIDAnalytics' by a wide margin.
+  workload::PubmedConfig cfg;
+  cfg.num_publications = 600;
+  engine::Dataset dataset(workload::GeneratePubmed(cfg));
+  auto runs = RunAll(&dataset, "MG13", 60);
+  EXPECT_GT(runs["Hive (Naive)"].peak_dfs,
+            2 * runs["RAPIDAnalytics"].peak_dfs);
+}
+
+TEST(BenchShapeTest, LowSelectivityCostsMoreThanHigh) {
+  // Table 3: ProductType1 (lo) queries scan and aggregate more than the
+  // rare-type (hi) twins on the same engine.
+  workload::BsbmConfig cfg;
+  cfg.num_products = 800;
+  engine::Dataset dataset(workload::GenerateBsbm(cfg));
+  auto lo = RunAll(&dataset, "MG1", 10);
+  auto hi = RunAll(&dataset, "MG2", 10);
+  EXPECT_GE(lo["Hive (Naive)"].sim_seconds,
+            hi["Hive (Naive)"].sim_seconds);
+  EXPECT_GE(lo["RAPIDAnalytics"].sim_seconds,
+            hi["RAPIDAnalytics"].sim_seconds);
+}
+
+}  // namespace
+}  // namespace rapida

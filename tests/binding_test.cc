@@ -1,0 +1,141 @@
+#include "analytics/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace rapida::analytics {
+namespace {
+
+class BindingTest : public ::testing::Test {
+ protected:
+  rdf::TermId T(const std::string& iri) { return dict_.InternIri(iri); }
+  rdf::Dictionary dict_;
+};
+
+TEST_F(BindingTest, VarIndexAndAddRow) {
+  BindingTable t({"a", "b"});
+  EXPECT_EQ(t.VarIndex("a"), 0);
+  EXPECT_EQ(t.VarIndex("b"), 1);
+  EXPECT_EQ(t.VarIndex("c"), -1);
+  t.AddRow({T("x"), T("y")});
+  EXPECT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.NumCols(), 2u);
+}
+
+TEST_F(BindingTest, JoinOnSharedVar) {
+  BindingTable l({"a", "b"});
+  l.AddRow({T("a1"), T("b1")});
+  l.AddRow({T("a2"), T("b2")});
+  BindingTable r({"b", "c"});
+  r.AddRow({T("b1"), T("c1")});
+  r.AddRow({T("b1"), T("c2")});
+  r.AddRow({T("b3"), T("c3")});
+
+  BindingTable j = l.Join(r);
+  EXPECT_EQ(j.vars(), (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(j.NumRows(), 2u);  // a1-b1-c1, a1-b1-c2
+  for (const auto& row : j.rows()) {
+    EXPECT_EQ(row[0], T("a1"));
+    EXPECT_EQ(row[1], T("b1"));
+  }
+}
+
+TEST_F(BindingTest, JoinWithNoSharedVarsIsCrossProduct) {
+  BindingTable l({"a"});
+  l.AddRow({T("a1")});
+  l.AddRow({T("a2")});
+  BindingTable r({"b"});
+  r.AddRow({T("b1")});
+  r.AddRow({T("b2")});
+  r.AddRow({T("b3")});
+  EXPECT_EQ(l.Join(r).NumRows(), 6u);
+}
+
+TEST_F(BindingTest, JoinOnMultipleSharedVars) {
+  BindingTable l({"a", "b"});
+  l.AddRow({T("a1"), T("b1")});
+  l.AddRow({T("a1"), T("b2")});
+  BindingTable r({"a", "b", "c"});
+  r.AddRow({T("a1"), T("b1"), T("c1")});
+  r.AddRow({T("a1"), T("b9"), T("c2")});
+  BindingTable j = l.Join(r);
+  ASSERT_EQ(j.NumRows(), 1u);
+  EXPECT_EQ(j.rows()[0][2], T("c1"));
+}
+
+TEST_F(BindingTest, LeftJoinKeepsUnmatchedRows) {
+  BindingTable l({"a"});
+  l.AddRow({T("a1")});
+  l.AddRow({T("a2")});
+  BindingTable r({"a", "b"});
+  r.AddRow({T("a1"), T("b1")});
+
+  BindingTable j = l.LeftJoin(r);
+  ASSERT_EQ(j.NumRows(), 2u);
+  // a1 matched, a2 padded with unbound.
+  bool saw_unbound = false;
+  for (const auto& row : j.rows()) {
+    if (row[0] == T("a2")) {
+      EXPECT_EQ(row[1], rdf::kInvalidTermId);
+      saw_unbound = true;
+    }
+  }
+  EXPECT_TRUE(saw_unbound);
+}
+
+TEST_F(BindingTest, LeftJoinUnboundLeftCellIsCompatible) {
+  BindingTable l({"a", "b"});
+  l.AddRow({T("a1"), rdf::kInvalidTermId});
+  BindingTable r({"b", "c"});
+  r.AddRow({T("b1"), T("c1")});
+  BindingTable j = l.LeftJoin(r);
+  ASSERT_EQ(j.NumRows(), 1u);
+  // The unbound b cell gets filled from the right side.
+  EXPECT_EQ(j.rows()[0][1], T("b1"));
+  EXPECT_EQ(j.rows()[0][2], T("c1"));
+}
+
+TEST_F(BindingTest, Project) {
+  BindingTable t({"a", "b", "c"});
+  t.AddRow({T("a1"), T("b1"), T("c1")});
+  auto p = t.Project({"c", "a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->vars(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(p->rows()[0][0], T("c1"));
+  EXPECT_EQ(p->rows()[0][1], T("a1"));
+  EXPECT_FALSE(t.Project({"nope"}).ok());
+}
+
+TEST_F(BindingTest, Distinct) {
+  BindingTable t({"a"});
+  t.AddRow({T("x")});
+  t.AddRow({T("x")});
+  t.AddRow({T("y")});
+  t.Distinct();
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(BindingTest, ToSortedStringsIsCanonical) {
+  // Same logical rows added in different orders with different column
+  // orders must produce identical normalized output.
+  BindingTable t1({"a", "b"});
+  t1.AddRow({T("x"), dict_.InternInt(5)});
+  t1.AddRow({T("y"), dict_.InternInt(6)});
+
+  BindingTable t2({"b", "a"});
+  t2.AddRow({dict_.InternInt(6), T("y")});
+  t2.AddRow({dict_.InternLiteral("5.0"), T("x")});  // same number, diff form
+
+  EXPECT_EQ(t1.ToSortedStrings(dict_), t2.ToSortedStrings(dict_));
+}
+
+TEST_F(BindingTest, ToStringTruncates) {
+  BindingTable t({"a"});
+  for (int i = 0; i < 30; ++i) t.AddRow({T("v" + std::to_string(i))});
+  std::string s = t.ToString(dict_, 5);
+  EXPECT_NE(s.find("30 rows total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapida::analytics

@@ -1,0 +1,325 @@
+#include "engines/engines.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/reference_evaluator.h"
+#include "sparql/parser.h"
+
+namespace rapida::engine {
+namespace {
+
+/// Builds the small BSBM-flavoured graph shared by the engine tests:
+/// products of two types with labels and (multi-valued) features, offers
+/// with prices and vendors, vendors with countries.
+rdf::Graph BuildMiniGraph() {
+  rdf::Graph g;
+  auto add = [&g](const char* s, const char* p, const char* o) {
+    g.AddIri(s, p, o);
+  };
+  const char* products[] = {"p1", "p2", "p3", "p4", "p5"};
+  const char* types[] = {"PT1", "PT1", "PT1", "PT2", "PT2"};
+  for (int i = 0; i < 5; ++i) {
+    add(products[i], rdf::kRdfType, types[i]);
+    g.AddLit(products[i], "label", std::string("label") + products[i]);
+  }
+  add("p1", "feature", "f1");
+  add("p1", "feature", "f2");
+  add("p2", "feature", "f1");
+  add("p3", "feature", "f3");
+  add("p4", "feature", "f2");
+  // p5 has no feature.
+  struct Offer {
+    const char* id;
+    const char* product;
+    int price;
+    const char* vendor;
+  };
+  Offer offers[] = {
+      {"o1", "p1", 100, "v1"}, {"o2", "p1", 250, "v2"},
+      {"o3", "p2", 80, "v1"},  {"o4", "p3", 300, "v3"},
+      {"o5", "p4", 120, "v2"}, {"o6", "p5", 500, "v3"},
+      {"o7", "p2", 90, "v2"},
+  };
+  for (const Offer& o : offers) {
+    add(o.id, "product", o.product);
+    g.AddInt(o.id, "price", o.price);
+    add(o.id, "vendor", o.vendor);
+  }
+  add("v1", "country", "DE");
+  add("v2", "country", "US");
+  add("v3", "country", "DE");
+  return g;
+}
+
+class EnginesTest : public ::testing::Test {
+ protected:
+  EnginesTest()
+      : dataset_(BuildMiniGraph()),
+        cluster_(mr::ClusterConfig{}, &dataset_.dfs()) {}
+
+  /// Runs `query_text` on every engine and checks all results equal the
+  /// reference evaluator's. Returns cycle counts by engine name.
+  std::map<std::string, int> RunAllAndCompare(const std::string& query_text) {
+    auto parsed = sparql::ParseQuery(query_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto query = analytics::AnalyzeQuery(**parsed);
+    EXPECT_TRUE(query.ok()) << query.status();
+
+    analytics::ReferenceEvaluator ref(&dataset_.graph());
+    auto expected = ref.Evaluate(**parsed);
+    EXPECT_TRUE(expected.ok()) << expected.status();
+    std::vector<std::string> expected_rows =
+        expected->ToSortedStrings(dataset_.dict());
+
+    std::map<std::string, int> cycles;
+    for (const auto& engine : MakeAllEngines()) {
+      ExecStats stats;
+      auto result = engine->Execute(*query, &dataset_, &cluster_, &stats);
+      if (!result.ok()) {
+        ADD_FAILURE() << engine->name() << ": " << result.status();
+        continue;
+      }
+      EXPECT_EQ(result->ToSortedStrings(dataset_.dict()), expected_rows)
+          << engine->name() << " result mismatch on:\n"
+          << query_text;
+      cycles[engine->name()] = stats.workflow.NumCycles();
+      EXPECT_GT(stats.workflow.TotalSimSeconds(), 0) << engine->name();
+    }
+    return cycles;
+  }
+
+  Dataset dataset_;
+  mr::Cluster cluster_;
+};
+
+// MG1-shaped query: per-feature price stats vs overall stats (overlapping
+// patterns; GP1 3:2 triple patterns, GP2 2:2).
+constexpr char kMg1Style[] = R"(
+  SELECT ?f ?cntF ?sumF ?cntT ?sumT {
+    { SELECT ?f (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+        ?p2 a <PT1> . ?p2 <label> ?l2 . ?p2 <feature> ?f .
+        ?off2 <product> ?p2 . ?off2 <price> ?pr2 .
+      } GROUP BY ?f }
+    { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+        ?p1 a <PT1> . ?p1 <label> ?l1 .
+        ?off1 <product> ?p1 . ?off1 <price> ?pr .
+      } }
+  }
+)";
+
+TEST_F(EnginesTest, Mg1StyleAllEnginesAgree) {
+  std::map<std::string, int> cycles = RunAllAndCompare(kMg1Style);
+  // Plan shapes from the paper (§5.2, MG1–MG2): naive Hive 9 cycles,
+  // RAPID+ 5, RAPIDAnalytics 3. Our MQO accounting lands at 8 (the paper
+  // reports 7; see EXPERIMENTS.md).
+  EXPECT_EQ(cycles["Hive (Naive)"], 9);
+  EXPECT_EQ(cycles["RAPID+ (Naive)"], 5);
+  EXPECT_EQ(cycles["RAPIDAnalytics"], 3);
+  EXPECT_EQ(cycles["Hive (MQO)"], 8);
+}
+
+// MG3-shaped query: three stars per pattern (adds vendor->country).
+constexpr char kMg3Style[] = R"(
+  SELECT ?f ?c ?cntF ?sumF ?cntT ?sumT {
+    { SELECT ?f ?c (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+        ?p2 a <PT1> . ?p2 <label> ?l2 . ?p2 <feature> ?f .
+        ?off2 <product> ?p2 . ?off2 <price> ?pr2 . ?off2 <vendor> ?v2 .
+        ?v2 <country> ?c .
+      } GROUP BY ?f ?c }
+    { SELECT ?c (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+        ?p1 a <PT1> . ?p1 <label> ?l1 .
+        ?off1 <product> ?p1 . ?off1 <price> ?pr . ?off1 <vendor> ?v1 .
+        ?v1 <country> ?c .
+      } GROUP BY ?c }
+  }
+)";
+
+TEST_F(EnginesTest, Mg3StyleAllEnginesAgree) {
+  std::map<std::string, int> cycles = RunAllAndCompare(kMg3Style);
+  // Paper: naive Hive 11, RAPID+ 7, RAPIDAnalytics 4.
+  EXPECT_EQ(cycles["Hive (Naive)"], 11);
+  EXPECT_EQ(cycles["RAPID+ (Naive)"], 7);
+  EXPECT_EQ(cycles["RAPIDAnalytics"], 4);
+}
+
+// Single-grouping query (G3/G4 shape): GROUP BY feature.
+constexpr char kG3Style[] = R"(
+  SELECT ?f (COUNT(?pr) AS ?cnt) (SUM(?pr) AS ?sum) {
+    ?p a <PT1> . ?p <label> ?l . ?p <feature> ?f .
+    ?o <product> ?p . ?o <price> ?pr .
+  } GROUP BY ?f
+)";
+
+TEST_F(EnginesTest, SingleGroupingShapes) {
+  std::map<std::string, int> cycles = RunAllAndCompare(kG3Style);
+  // Paper Table 3: Hive 4 cycles, RAPIDAnalytics 2.
+  EXPECT_EQ(cycles["Hive (Naive)"], 4);
+  EXPECT_EQ(cycles["RAPIDAnalytics"], 2);
+  EXPECT_EQ(cycles["RAPID+ (Naive)"], 2);
+}
+
+// GROUP BY ALL (G1/G2 shape).
+constexpr char kG1Style[] = R"(
+  SELECT (COUNT(?pr) AS ?cnt) (AVG(?pr) AS ?avg) {
+    ?p a <PT2> . ?p <label> ?l .
+    ?o <product> ?p . ?o <price> ?pr .
+  }
+)";
+
+TEST_F(EnginesTest, GroupByAll) { RunAllAndCompare(kG1Style); }
+
+TEST_F(EnginesTest, GroupByAllOverEmptyData) {
+  // No products of this type: COUNT must still be 0, on every engine.
+  RunAllAndCompare(R"(
+    SELECT (COUNT(?pr) AS ?cnt) {
+      ?p a <PT1> . ?p <nosuchprop> ?x .
+      ?o <product> ?p . ?o <price> ?pr .
+    }
+  )");
+}
+
+TEST_F(EnginesTest, FilterOnSharedPrimaryVariable) {
+  RunAllAndCompare(R"(
+    SELECT ?f ?cntF ?cntT {
+      { SELECT ?f (COUNT(?pr2) AS ?cntF) {
+          ?p2 a <PT1> . ?p2 <feature> ?f .
+          ?off2 <product> ?p2 . ?off2 <price> ?pr2 .
+          FILTER(?pr2 > 90)
+        } GROUP BY ?f }
+      { SELECT (COUNT(?pr) AS ?cntT) {
+          ?p1 a <PT1> .
+          ?off1 <product> ?p1 . ?off1 <price> ?pr .
+          FILTER(?pr > 90)
+        } }
+    }
+  )");
+}
+
+TEST_F(EnginesTest, NonOverlappingPatternsFallBack) {
+  // GP1 over products, GP2 over vendors only — no overlap; MQO and
+  // RAPIDAnalytics must fall back and still be correct.
+  std::map<std::string, int> cycles = RunAllAndCompare(R"(
+    SELECT ?cntP ?cntV {
+      { SELECT (COUNT(?l) AS ?cntP) {
+          ?p a <PT1> . ?p <label> ?l .
+        } }
+      { SELECT (COUNT(?c) AS ?cntV) {
+          ?o <vendor> ?v . ?o <price> ?pc .
+          ?v <country> ?c .
+        } }
+    }
+  )");
+  // Fallbacks take the naive plans.
+  EXPECT_EQ(cycles["Hive (MQO)"], cycles["Hive (Naive)"]);
+  EXPECT_EQ(cycles["RAPIDAnalytics"], cycles["RAPID+ (Naive)"]);
+}
+
+TEST_F(EnginesTest, TopLevelRatioExpression) {
+  // AQ1-style final arithmetic over the two groupings' aggregates.
+  RunAllAndCompare(R"(
+    SELECT ?f ((?sumF / ?cntF) / (?sumT / ?cntT) AS ?ratio) {
+      { SELECT ?f (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+          ?p2 a <PT1> . ?p2 <feature> ?f .
+          ?off2 <product> ?p2 . ?off2 <price> ?pr2 .
+        } GROUP BY ?f }
+      { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+          ?p1 a <PT1> .
+          ?off1 <product> ?p1 . ?off1 <price> ?pr .
+        } }
+    }
+  )");
+}
+
+TEST_F(EnginesTest, MinMaxAggregates) {
+  RunAllAndCompare(R"(
+    SELECT ?f (MIN(?pr) AS ?mn) (MAX(?pr) AS ?mx) {
+      ?p a <PT1> . ?p <feature> ?f .
+      ?o <product> ?p . ?o <price> ?pr .
+    } GROUP BY ?f
+  )");
+}
+
+TEST_F(EnginesTest, CountStar) {
+  RunAllAndCompare(R"(
+    SELECT ?c (COUNT(*) AS ?n) {
+      ?o <vendor> ?v . ?o <price> ?pr .
+      ?v <country> ?c .
+    } GROUP BY ?c
+  )");
+}
+
+TEST_F(EnginesTest, GroupByJoinVariable) {
+  // Grouping on the product itself (a join variable).
+  RunAllAndCompare(R"(
+    SELECT ?p (COUNT(?pr) AS ?cnt) {
+      ?p a <PT1> .
+      ?o <product> ?p . ?o <price> ?pr .
+    } GROUP BY ?p
+  )");
+}
+
+TEST_F(EnginesTest, MapJoinProducesMapOnlyCycles) {
+  auto parsed = sparql::ParseQuery(kG3Style);
+  ASSERT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+
+  EngineOptions with;
+  with.map_join_threshold_bytes = 10 * 1024 * 1024;  // everything is small
+  EngineOptions without;
+  without.enable_map_joins = false;
+
+  ExecStats s_with, s_without;
+  HiveNaiveEngine e_with(with), e_without(without);
+  auto r1 = e_with.Execute(*query, &dataset_, &cluster_, &s_with);
+  auto r2 = e_without.Execute(*query, &dataset_, &cluster_, &s_without);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r1->ToSortedStrings(dataset_.dict()),
+            r2->ToSortedStrings(dataset_.dict()));
+  EXPECT_GT(s_with.workflow.NumMapOnlyCycles(),
+            s_without.workflow.NumMapOnlyCycles());
+  // Map-joins avoid shuffle: strictly fewer bytes cross the network.
+  EXPECT_LT(s_with.workflow.TotalShuffleBytes(),
+            s_without.workflow.TotalShuffleBytes());
+}
+
+TEST_F(EnginesTest, SequentialVsParallelAggJoin) {
+  auto parsed = sparql::ParseQuery(kMg1Style);
+  ASSERT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+
+  EngineOptions sequential;
+  sequential.parallel_agg_join = false;
+  ExecStats s_par, s_seq;
+  RapidAnalyticsEngine par, seq(sequential);
+  auto r1 = par.Execute(*query, &dataset_, &cluster_, &s_par);
+  auto r2 = seq.Execute(*query, &dataset_, &cluster_, &s_seq);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r1->ToSortedStrings(dataset_.dict()),
+            r2->ToSortedStrings(dataset_.dict()));
+  // Fig. 6: parallel evaluation saves one full MR cycle.
+  EXPECT_EQ(s_par.workflow.NumCycles() + 1, s_seq.workflow.NumCycles());
+}
+
+TEST_F(EnginesTest, DfsCleanAfterRuns) {
+  auto parsed = sparql::ParseQuery(kMg1Style);
+  ASSERT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+  for (const auto& engine : MakeAllEngines()) {
+    ExecStats stats;
+    ASSERT_TRUE(
+        engine->Execute(*query, &dataset_, &cluster_, &stats).ok());
+  }
+  // Only the base layouts (vp:*, tg:*) remain.
+  for (const std::string& f : dataset_.dfs().ListFiles()) {
+    EXPECT_TRUE(f.rfind("vp:", 0) == 0 || f.rfind("tg:", 0) == 0)
+        << "leftover temp file: " << f;
+  }
+}
+
+}  // namespace
+}  // namespace rapida::engine

@@ -1,0 +1,146 @@
+#include "sparql/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace rapida::sparql {
+namespace {
+
+/// Parses a FILTER expression by wrapping it in a dummy query.
+ExprPtr ParseExpr(const std::string& expr_text) {
+  std::string q = "SELECT ?x { ?x <p> ?y . FILTER(" + expr_text + ") }";
+  auto query = ParseQuery(q);
+  EXPECT_TRUE(query.ok()) << query.status();
+  return std::move((*query)->where.filters[0]);
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  rdf::TermId Bind(const std::string& var, rdf::TermId id) {
+    bindings_[var] = id;
+    return id;
+  }
+  EvalValue Eval(const std::string& expr_text) {
+    ExprPtr e = ParseExpr(expr_text);
+    auto resolve = [this](const std::string& v) {
+      auto it = bindings_.find(v);
+      return it == bindings_.end() ? rdf::kInvalidTermId : it->second;
+    };
+    return EvaluateExpr(*e, resolve, dict_);
+  }
+  bool EvalBool(const std::string& expr_text) {
+    return EffectiveBool(Eval(expr_text));
+  }
+
+  rdf::Dictionary dict_;
+  std::map<std::string, rdf::TermId> bindings_;
+};
+
+TEST_F(ExprEvalTest, NumericComparisons) {
+  Bind("x", dict_.InternInt(10));
+  EXPECT_TRUE(EvalBool("?x > 5"));
+  EXPECT_FALSE(EvalBool("?x > 15"));
+  EXPECT_TRUE(EvalBool("?x >= 10"));
+  EXPECT_TRUE(EvalBool("?x <= 10"));
+  EXPECT_TRUE(EvalBool("?x = 10"));
+  EXPECT_TRUE(EvalBool("?x != 11"));
+  EXPECT_FALSE(EvalBool("?x < 10"));
+}
+
+TEST_F(ExprEvalTest, NumericLiteralsCompareNumericallyAcrossForms) {
+  Bind("x", dict_.InternLiteral("10"));   // plain literal "10"
+  EXPECT_TRUE(EvalBool("?x = 10.0"));
+  EXPECT_TRUE(EvalBool("?x > 9.5"));
+}
+
+TEST_F(ExprEvalTest, StringEquality) {
+  Bind("x", dict_.InternLiteral("News"));
+  EXPECT_TRUE(EvalBool("?x = \"News\""));
+  EXPECT_FALSE(EvalBool("?x = \"Journal Article\""));
+  EXPECT_TRUE(EvalBool("?x != \"Journal Article\""));
+}
+
+TEST_F(ExprEvalTest, UnboundVariableIsError) {
+  EvalValue v = Eval("?missing > 5");
+  EXPECT_TRUE(v.is_error());
+  EXPECT_FALSE(EffectiveBool(v));
+}
+
+TEST_F(ExprEvalTest, BoundFunction) {
+  Bind("x", dict_.InternLiteral("v"));
+  EXPECT_TRUE(EvalBool("bound(?x)"));
+  EXPECT_FALSE(EvalBool("bound(?nope)"));
+  EXPECT_TRUE(EvalBool("!bound(?nope)"));
+}
+
+TEST_F(ExprEvalTest, ThreeValuedAndOr) {
+  Bind("x", dict_.InternInt(1));
+  // error && false = false; error || true = true; error && true = error.
+  EXPECT_FALSE(EvalBool("?missing > 0 && ?x > 5"));   // err && false = false
+  EXPECT_TRUE(EvalBool("?missing > 0 || ?x = 1"));    // err || true = true
+  EXPECT_FALSE(EvalBool("?missing > 0 && ?x = 1"));   // err && true = error->false
+  EXPECT_FALSE(EvalBool("?missing > 0 || ?x > 5"));   // err || false = error->false
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  Bind("x", dict_.InternInt(10));
+  Bind("y", dict_.InternInt(4));
+  EvalValue v = Eval("?x + ?y = 14");
+  EXPECT_TRUE(EffectiveBool(v));
+  EXPECT_TRUE(EvalBool("?x - ?y = 6"));
+  EXPECT_TRUE(EvalBool("?x * ?y = 40"));
+  EXPECT_TRUE(EvalBool("?x / ?y = 2.5"));
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsError) {
+  Bind("x", dict_.InternInt(10));
+  Bind("z", dict_.InternInt(0));
+  EXPECT_TRUE(Eval("?x / ?z = 1").is_error());
+}
+
+TEST_F(ExprEvalTest, ArithmeticOnNonNumericIsError) {
+  Bind("x", dict_.InternLiteral("abc"));
+  EXPECT_TRUE(Eval("?x + 1 > 0").is_error());
+}
+
+TEST_F(ExprEvalTest, RegexCaseInsensitive) {
+  Bind("x", dict_.InternLiteral("MAPK signaling pathway - human"));
+  EXPECT_TRUE(EvalBool("regex(?x, \"mapk signaling\", \"i\")"));
+  EXPECT_FALSE(EvalBool("regex(?x, \"mapk signaling\")"));  // case-sensitive
+  EXPECT_TRUE(EvalBool("regex(?x, \"MAPK\")"));
+}
+
+TEST_F(ExprEvalTest, RegexOnIriUsesText) {
+  Bind("x", dict_.InternIri("http://x/hepatomegaly"));
+  EXPECT_TRUE(EvalBool("regex(?x, \"hepatomegaly\", \"i\")"));
+}
+
+TEST_F(ExprEvalTest, IriEqualityIsExact) {
+  Bind("x", dict_.InternIri("http://x/a"));
+  EXPECT_TRUE(EvalBool("?x = <http://x/a>"));
+  EXPECT_FALSE(EvalBool("?x = <http://x/b>"));
+}
+
+TEST_F(ExprEvalTest, IriNeverEqualsLiteral) {
+  Bind("x", dict_.InternIri("v"));
+  EXPECT_FALSE(EvalBool("?x = \"v\""));
+  EXPECT_TRUE(EvalBool("?x != \"v\""));
+}
+
+TEST_F(ExprEvalTest, OrderingIncomparableIsError) {
+  Bind("x", dict_.InternIri("v"));
+  EXPECT_TRUE(Eval("?x < 5").is_error());
+}
+
+TEST_F(ExprEvalTest, ToNumberHelper) {
+  rdf::TermId n = dict_.InternLiteral("2.5");
+  EXPECT_DOUBLE_EQ(*ToNumber(EvalValue::TermRef(n), dict_), 2.5);
+  EXPECT_DOUBLE_EQ(*ToNumber(EvalValue::Number(7), dict_), 7.0);
+  EXPECT_FALSE(ToNumber(EvalValue::Bool(true), dict_).has_value());
+  rdf::TermId s = dict_.InternLiteral("abc");
+  EXPECT_FALSE(ToNumber(EvalValue::TermRef(s), dict_).has_value());
+}
+
+}  // namespace
+}  // namespace rapida::sparql

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "analytics/analytical_query.h"
+#include "analytics/reference_evaluator.h"
+#include "engines/engines.h"
+#include "ntga/overlap.h"
+#include "sparql/parser.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+
+namespace rapida::ntga {
+namespace {
+
+StarGraph Decompose(const std::string& bgp_query) {
+  auto q = sparql::ParseQuery(bgp_query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto sg = DecomposeToStars((*q)->where.triples);
+  EXPECT_TRUE(sg.ok()) << sg.status();
+  return sg.ok() ? *sg : StarGraph{};
+}
+
+// Three rollup-related patterns over the same product/offer core.
+StarGraph LevelFC() {  // (feature, country) level — has productFeature
+  return Decompose(
+      "SELECT ?f { ?p a <PT1> ; <label> ?l ; <feature> ?f . "
+      "?o <product> ?p ; <price> ?pr ; <vendor> ?v . ?v <country> ?c . }");
+}
+StarGraph LevelC() {  // (country) level
+  return Decompose(
+      "SELECT ?c { ?p1 a <PT1> ; <label> ?l1 . "
+      "?o1 <product> ?p1 ; <price> ?pr1 ; <vendor> ?v1 . "
+      "?v1 <country> ?c . }");
+}
+StarGraph LevelAll() {  // () level
+  return Decompose(
+      "SELECT ?pr2 { ?p2 a <PT1> ; <label> ?l2 . "
+      "?o2 <product> ?p2 ; <price> ?pr2 ; <vendor> ?v2 . "
+      "?v2 <country> ?c2 . }");
+}
+
+TEST(FamilyOverlapTest, ThreePatternRollupOverlaps) {
+  StarGraph a = LevelFC(), b = LevelC(), c = LevelAll();
+  FamilyOverlapResult r = FindOverlapFamily({&a, &b, &c});
+  ASSERT_TRUE(r.overlaps) << r.explanation;
+  ASSERT_EQ(r.mapping.size(), 3u);
+  // The anchor maps identically.
+  EXPECT_EQ(r.mapping[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FamilyOverlapTest, CompositeHasSharedPrimaryAndOneSecondary) {
+  StarGraph a = LevelFC(), b = LevelC(), c = LevelAll();
+  FamilyOverlapResult r = FindOverlapFamily({&a, &b, &c});
+  ASSERT_TRUE(r.overlaps);
+  auto comp = BuildCompositeFamily({&a, &b, &c}, r);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+  ASSERT_EQ(comp->stars.size(), 3u);
+  // Product star: {type, label} primary; feature secondary (pattern 0
+  // only).
+  EXPECT_EQ(comp->stars[0].primary.size(), 2u);
+  ASSERT_EQ(comp->stars[0].secondary.size(), 1u);
+  EXPECT_EQ(comp->stars[0].secondary.begin()->property, "feature");
+  // α: only pattern 0 requires the feature.
+  EXPECT_EQ(comp->pattern_secondary[0].at(0).size(), 1u);
+  EXPECT_TRUE(comp->pattern_secondary[1].empty());
+  EXPECT_TRUE(comp->pattern_secondary[2].empty());
+  // Var maps: each pattern's price var lands on the canonical ?pr.
+  EXPECT_EQ(comp->var_map[0].at("pr"), "pr");
+  EXPECT_EQ(comp->var_map[1].at("pr1"), "pr");
+  EXPECT_EQ(comp->var_map[2].at("pr2"), "pr");
+  // Country vars unify too (pattern 2 calls it ?c2).
+  EXPECT_EQ(comp->var_map[2].at("c2"), "c");
+}
+
+TEST(FamilyOverlapTest, RejectsFamilyWithOneNonOverlappingMember) {
+  StarGraph a = LevelFC(), b = LevelC();
+  StarGraph alien = Decompose(
+      "SELECT ?x { ?x <totally> ?y ; <different> ?z . "
+      "?w <unrelated> ?x . }");
+  FamilyOverlapResult r = FindOverlapFamily({&a, &b, &alien});
+  EXPECT_FALSE(r.overlaps);
+  EXPECT_NE(r.explanation.find("2"), std::string::npos);
+}
+
+TEST(FamilyOverlapTest, SecondaryPropSharedByTwoOfThreePatterns) {
+  // 'feature' appears in patterns 0 and 1 (not 2): it is secondary (not
+  // in the full intersection), required by both 0 and 1, and their
+  // variables unify onto one canonical name.
+  StarGraph a = Decompose(
+      "SELECT ?f { ?p a <PT1> ; <feature> ?f . ?o <product> ?p . }");
+  StarGraph b = Decompose(
+      "SELECT ?g { ?p1 a <PT1> ; <feature> ?g . ?o1 <product> ?p1 . }");
+  StarGraph c = Decompose(
+      "SELECT ?p2 { ?p2 a <PT1> . ?o2 <product> ?p2 . }");
+  FamilyOverlapResult r = FindOverlapFamily({&a, &b, &c});
+  ASSERT_TRUE(r.overlaps) << r.explanation;
+  auto comp = BuildCompositeFamily({&a, &b, &c}, r);
+  ASSERT_TRUE(comp.ok());
+  PropKey feature{"feature", ""};
+  EXPECT_TRUE(comp->stars[0].secondary.count(feature) > 0);
+  EXPECT_EQ(comp->pattern_secondary[0].at(0).count(feature), 1u);
+  EXPECT_EQ(comp->pattern_secondary[1].at(0).count(feature), 1u);
+  EXPECT_TRUE(comp->pattern_secondary[2].empty());
+  EXPECT_EQ(comp->var_map[1].at("g"), comp->var_map[0].at("f"));
+}
+
+TEST(FamilyOverlapTest, TooFewPatternsRejected) {
+  StarGraph a = LevelFC();
+  FamilyOverlapResult r = FindOverlapFamily({&a});
+  EXPECT_FALSE(r.overlaps);
+}
+
+// End-to-end: the R1 rollup query runs as ONE composite on
+// RAPIDAnalytics: 2 α-join cycles (3 composite stars) + 1 parallel
+// Agg-Join for all THREE groupings + 1 map-only final join = 4 cycles.
+TEST(FamilyOverlapTest, RollupQueryRunsInFourCycles) {
+  workload::BsbmConfig cfg;
+  cfg.num_products = 200;
+  engine::Dataset dataset(workload::GenerateBsbm(cfg));
+  mr::Cluster cluster(mr::ClusterConfig{}, &dataset.dfs());
+
+  auto cq = workload::FindQuery("R1");
+  ASSERT_TRUE(cq.ok());
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->groupings.size(), 3u);
+
+  analytics::ReferenceEvaluator ref(&dataset.graph());
+  auto expected = ref.Evaluate(**parsed);
+  ASSERT_TRUE(expected.ok());
+
+  engine::RapidAnalyticsEngine ra;
+  engine::ExecStats ra_stats;
+  auto ra_result = ra.Execute(*query, &dataset, &cluster, &ra_stats);
+  ASSERT_TRUE(ra_result.ok()) << ra_result.status();
+  EXPECT_EQ(ra_result->ToSortedStrings(dataset.dict()),
+            expected->ToSortedStrings(dataset.dict()));
+  EXPECT_EQ(ra_stats.workflow.NumCycles(), 4);
+
+  // The sequential NTGA baseline needs 3 cycles per grouping + final.
+  engine::RapidPlusEngine rp;
+  engine::ExecStats rp_stats;
+  auto rp_result = rp.Execute(*query, &dataset, &cluster, &rp_stats);
+  ASSERT_TRUE(rp_result.ok());
+  EXPECT_EQ(rp_stats.workflow.NumCycles(), 10);
+}
+
+}  // namespace
+}  // namespace rapida::ntga

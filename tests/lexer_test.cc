@@ -1,0 +1,121 @@
+#include "sparql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace rapida::sparql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view text) {
+  auto result = Tokenize(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = MustTokenize("select Where FILTER gRoUp by");
+  ASSERT_EQ(toks.size(), 6u);  // 5 + EOF
+  EXPECT_EQ(toks[0].type, TokenType::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].text, "WHERE");
+  EXPECT_EQ(toks[2].text, "FILTER");
+  EXPECT_EQ(toks[3].text, "GROUP");
+  EXPECT_EQ(toks[4].text, "BY");
+}
+
+TEST(LexerTest, Variables) {
+  auto toks = MustTokenize("?x ?long_name $y");
+  EXPECT_EQ(toks[0].type, TokenType::kVar);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "long_name");
+  EXPECT_EQ(toks[2].text, "y");
+}
+
+TEST(LexerTest, IriVsLessThan) {
+  auto toks = MustTokenize("<http://x/p> ?a < ?b ?c <= 5");
+  EXPECT_EQ(toks[0].type, TokenType::kIriRef);
+  EXPECT_EQ(toks[0].text, "http://x/p");
+  EXPECT_EQ(toks[2].type, TokenType::kLt);
+  EXPECT_EQ(toks[5].type, TokenType::kLe);
+}
+
+TEST(LexerTest, PrefixedAndBareNames) {
+  auto toks = MustTokenize("bsbm:Product type :Local");
+  EXPECT_EQ(toks[0].type, TokenType::kPName);
+  EXPECT_EQ(toks[0].text, "bsbm:Product");
+  EXPECT_EQ(toks[1].type, TokenType::kPName);
+  EXPECT_EQ(toks[1].text, "type");
+  EXPECT_EQ(toks[2].type, TokenType::kPName);
+  EXPECT_EQ(toks[2].text, ":Local");
+}
+
+TEST(LexerTest, TrailingDotSeparatedFromName) {
+  auto toks = MustTokenize("?s ex:price ?o .");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1].type, TokenType::kPName);
+  EXPECT_EQ(toks[1].text, "ex:price");
+  EXPECT_EQ(toks[3].type, TokenType::kDot);
+}
+
+TEST(LexerTest, NumbersIncludingDecimalAndExponent) {
+  auto toks = MustTokenize("5 3.14 2e3 10.");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[1].type, TokenType::kDecimal);
+  EXPECT_EQ(toks[1].text, "3.14");
+  EXPECT_EQ(toks[2].type, TokenType::kDecimal);
+  // "10." is an integer followed by a dot terminator.
+  EXPECT_EQ(toks[3].type, TokenType::kInteger);
+  EXPECT_EQ(toks[3].text, "10");
+  EXPECT_EQ(toks[4].type, TokenType::kDot);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto toks = MustTokenize(R"("hello \"world\"" "tab\t")");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "hello \"world\"");
+  EXPECT_EQ(toks[1].text, "tab\t");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto toks = MustTokenize("{ } ( ) . ; , * != = > >= && || ! + - /");
+  std::vector<TokenType> expected = {
+      TokenType::kLBrace, TokenType::kRBrace, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kDot,    TokenType::kSemicolon,
+      TokenType::kComma,  TokenType::kStar,   TokenType::kNeq,
+      TokenType::kEq,     TokenType::kGt,     TokenType::kGe,
+      TokenType::kAnd,    TokenType::kOr,     TokenType::kBang,
+      TokenType::kPlus,   TokenType::kMinus,  TokenType::kSlash,
+      TokenType::kEof};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, AKeyword) {
+  auto toks = MustTokenize("?s a bsbm:Product");
+  EXPECT_EQ(toks[1].type, TokenType::kA);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = MustTokenize("?x # comment ?y\n?z");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "z");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto toks = MustTokenize("?a\n?b\n\n?c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a & b").ok());
+  EXPECT_FALSE(Tokenize("a | b").ok());
+  EXPECT_FALSE(Tokenize("@@").ok());
+}
+
+}  // namespace
+}  // namespace rapida::sparql

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+#include "util/string_util.h"
+
+namespace rapida::mr {
+namespace {
+
+std::vector<Record> MakeRecords(std::initializer_list<
+                                std::pair<const char*, const char*>> kvs) {
+  std::vector<Record> out;
+  for (const auto& [k, v] : kvs) out.push_back(Record{k, v});
+  return out;
+}
+
+TEST(DfsTest, WriteOpenDelete) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("f1", MakeRecords({{"a", "1"}, {"b", "2"}})).ok());
+  auto file = dfs.Open("f1");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->records.size(), 2u);
+  EXPECT_GT((*file)->stored_bytes, 0u);
+  EXPECT_TRUE(dfs.Exists("f1"));
+  ASSERT_TRUE(dfs.Delete("f1").ok());
+  EXPECT_FALSE(dfs.Exists("f1"));
+  EXPECT_EQ(dfs.TotalStoredBytes(), 0u);
+  EXPECT_FALSE(dfs.Open("f1").ok());
+  EXPECT_FALSE(dfs.Delete("f1").ok());
+}
+
+TEST(DfsTest, CompressionShrinksStoredBytes) {
+  Dfs dfs;
+  std::vector<Record> recs;
+  for (int i = 0; i < 100; ++i) recs.push_back(Record{"key", "valuevalue"});
+  FileOptions orc;
+  orc.compressed = true;
+  orc.compression_ratio = 0.2;
+  ASSERT_TRUE(dfs.Write("plain", recs).ok());
+  ASSERT_TRUE(dfs.Write("orc", recs, orc).ok());
+  auto plain = dfs.Open("plain");
+  auto compressed = dfs.Open("orc");
+  EXPECT_EQ((*compressed)->logical_bytes, (*plain)->logical_bytes);
+  EXPECT_LT((*compressed)->stored_bytes, (*plain)->stored_bytes / 4);
+}
+
+TEST(DfsTest, CapacityLimitReproducesDiskFull) {
+  Dfs dfs;
+  dfs.SetCapacityLimit(100);
+  std::vector<Record> big(20, Record{"0123456789", "0123456789"});
+  Status s = dfs.Write("big", big);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kResourceExhausted);
+  // Small write still fits.
+  EXPECT_TRUE(dfs.Write("small", MakeRecords({{"a", "b"}})).ok());
+}
+
+TEST(DfsTest, OverwriteReplacesAccounting) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("f", MakeRecords({{"aaaa", "bbbb"}})).ok());
+  uint64_t after_first = dfs.TotalStoredBytes();
+  ASSERT_TRUE(dfs.Write("f", MakeRecords({{"a", "b"}})).ok());
+  EXPECT_LT(dfs.TotalStoredBytes(), after_first);
+  EXPECT_GT(dfs.LifetimeBytesWritten(), dfs.TotalStoredBytes());
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : cluster_(ClusterConfig{}, &dfs_) {}
+  Dfs dfs_;
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, WordCount) {
+  std::vector<Record> lines;
+  lines.push_back(Record{"", "a b a"});
+  lines.push_back(Record{"", "b a"});
+  ASSERT_TRUE(dfs_.Write("input", lines).ok());
+
+  JobConfig job;
+  job.name = "wordcount";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    for (const std::string& w : SplitString(r.value, ' ')) {
+      ctx->Emit(w, "1");
+    }
+  };
+  job.reduce = [](const std::string& key,
+                  const std::vector<std::string>& values, ReduceContext* ctx) {
+    ctx->Emit(key, std::to_string(values.size()));
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_FALSE(stats->map_only);
+  EXPECT_EQ(stats->input_records, 2u);
+  EXPECT_EQ(stats->map_output_records, 5u);
+  EXPECT_EQ(stats->output_records, 2u);
+
+  auto out = dfs_.Open("out");
+  ASSERT_TRUE(out.ok());
+  // Keys arrive in sorted order from the reduce phase.
+  EXPECT_EQ((*out)->records[0].key, "a");
+  EXPECT_EQ((*out)->records[0].value, "3");
+  EXPECT_EQ((*out)->records[1].key, "b");
+  EXPECT_EQ((*out)->records[1].value, "2");
+}
+
+TEST_F(ClusterTest, CombinerShrinksShuffle) {
+  std::vector<Record> lines(50, Record{"", "x x x x"});
+  ASSERT_TRUE(dfs_.Write("input", lines).ok());
+
+  JobConfig job;
+  job.name = "combined";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    for (const std::string& w : SplitString(r.value, ' ')) ctx->Emit(w, "1");
+  };
+  ReduceFn sum = [](const std::string& key,
+                    const std::vector<std::string>& values,
+                    ReduceContext* ctx) {
+    int64_t total = 0;
+    for (const std::string& v : values) {
+      int64_t n = 0;
+      ParseInt64(v, &n);
+      total += n;
+    }
+    ctx->Emit(key, std::to_string(total));
+  };
+  job.reduce = sum;
+
+  auto no_combine = cluster_.Run(job);
+  ASSERT_TRUE(no_combine.ok());
+
+  job.combine = sum;
+  auto with_combine = cluster_.Run(job);
+  ASSERT_TRUE(with_combine.ok());
+
+  EXPECT_LT(with_combine->shuffle_records, no_combine->shuffle_records);
+  // Same final answer either way.
+  auto out = dfs_.Open("out");
+  EXPECT_EQ((*out)->records[0].value, "200");
+}
+
+TEST_F(ClusterTest, MapOnlyJobSkipsShuffle) {
+  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  JobConfig job;
+  job.name = "identity";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    ctx->Emit(r.key, r.value);
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->map_only);
+  EXPECT_EQ(stats->shuffle_bytes, 0u);
+  EXPECT_EQ(stats->num_reducers, 0);
+  EXPECT_EQ((*dfs_.Open("out"))->records.size(), 1u);
+}
+
+TEST_F(ClusterTest, InputTagsDistinguishSides) {
+  ASSERT_TRUE(dfs_.Write("left", MakeRecords({{"k1", "l"}})).ok());
+  ASSERT_TRUE(dfs_.Write("right", MakeRecords({{"k1", "r"}})).ok());
+  JobConfig job;
+  job.name = "tagjoin";
+  job.inputs = {"left", "right"};
+  job.output = "out";
+  job.map = [](const Record& r, int tag, MapContext* ctx) {
+    ctx->Emit(r.key, (tag == 0 ? "L:" : "R:") + r.value);
+  };
+  job.reduce = [](const std::string& key,
+                  const std::vector<std::string>& values, ReduceContext* ctx) {
+    std::string joined;
+    for (const std::string& v : values) joined += v;
+    ctx->Emit(key, joined);
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_TRUE(stats.ok());
+  auto out = dfs_.Open("out");
+  EXPECT_NE((*out)->records[0].value.find("L:l"), std::string::npos);
+  EXPECT_NE((*out)->records[0].value.find("R:r"), std::string::npos);
+}
+
+TEST_F(ClusterTest, MapFinishFlushesPerMapperState) {
+  std::vector<Record> input(10, Record{"k", "1"});
+  ASSERT_TRUE(dfs_.Write("input", input).ok());
+  JobConfig job;
+  job.name = "stateful";
+  job.inputs = {"input"};
+  job.output = "out";
+  auto counter = std::make_shared<int>(0);
+  job.map = [counter](const Record&, int, MapContext*) { ++*counter; };
+  job.map_finish = [counter](MapContext* ctx) {
+    ctx->Emit("total", std::to_string(*counter));
+    *counter = 0;
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_TRUE(stats.ok());
+  // One flush per mapper; with a small input there is a single mapper.
+  auto out = dfs_.Open("out");
+  ASSERT_EQ((*out)->records.size(), 1u);
+  EXPECT_EQ((*out)->records[0].value, "10");
+}
+
+TEST_F(ClusterTest, MissingInputFails) {
+  JobConfig job;
+  job.name = "missing";
+  job.inputs = {"nope"};
+  job.output = "out";
+  job.map = [](const Record&, int, MapContext*) {};
+  EXPECT_FALSE(cluster_.Run(job).ok());
+}
+
+TEST_F(ClusterTest, CapacityFailurePropagates) {
+  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  dfs_.SetCapacityLimit(dfs_.TotalStoredBytes() + 1);
+  JobConfig job;
+  job.name = "blowup";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    for (int i = 0; i < 100; ++i) ctx->Emit(r.key, "xxxxxxxxxxxxxxxx");
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), Code::kResourceExhausted);
+}
+
+TEST_F(ClusterTest, CostModelShape) {
+  ClusterConfig cfg;
+  Cluster c(cfg, &dfs_);
+  JobStats small;
+  small.input_bytes = 1 << 20;
+  small.num_mappers = 1;
+  small.map_only = true;
+  JobStats big = small;
+  big.input_bytes = 200 << 20;
+  big.num_mappers = 50;
+  // More data costs more time even with more mappers (slots saturate).
+  EXPECT_GT(c.EstimateSimSeconds(big), c.EstimateSimSeconds(small));
+
+  // A shuffle-heavy job costs more than a map-only job of the same size.
+  JobStats shuffled = big;
+  shuffled.map_only = false;
+  shuffled.shuffle_bytes = big.input_bytes;
+  shuffled.num_reducers = 10;
+  EXPECT_GT(c.EstimateSimSeconds(shuffled), c.EstimateSimSeconds(big));
+
+  // More nodes make the same job faster.
+  ClusterConfig big_cfg = cfg;
+  big_cfg.num_nodes = 60;
+  Cluster c60(big_cfg, &dfs_);
+  EXPECT_LT(c60.EstimateSimSeconds(shuffled), c.EstimateSimSeconds(shuffled));
+}
+
+TEST_F(ClusterTest, HistoryAccumulates) {
+  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  JobConfig job;
+  job.name = "j";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    ctx->Emit(r.key, r.value);
+  };
+  ASSERT_TRUE(cluster_.Run(job).ok());
+  ASSERT_TRUE(cluster_.Run(job).ok());
+  EXPECT_EQ(cluster_.history().size(), 2u);
+  cluster_.ResetHistory();
+  EXPECT_TRUE(cluster_.history().empty());
+}
+
+}  // namespace
+}  // namespace rapida::mr

@@ -1,0 +1,98 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace rapida::rdf {
+namespace {
+
+TEST(NTriplesTest, ParseBasic) {
+  Graph g;
+  Status s = ParseNTriples(
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/q> \"hello\" .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(NTriplesTest, ParseTypedLiteralAndBlank) {
+  Graph g;
+  Status s = ParseNTriples(
+      "_:b0 <http://x/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s;
+  const Triple& t = g.triples()[0];
+  EXPECT_TRUE(g.dict().Get(t.s).is_blank());
+  EXPECT_EQ(g.dict().Get(t.o).datatype,
+            "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(NTriplesTest, CommentsAndBlankLines) {
+  Graph g;
+  Status s = ParseNTriples(
+      "# a comment\n"
+      "\n"
+      "<s> <p> <o> .\n"
+      "   # indented comment\n",
+      &g);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(NTriplesTest, EscapesRoundTrip) {
+  Graph g;
+  g.AddLit("s", "p", "line1\nline2\t\"quoted\"");
+  std::string text = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok());
+  ASSERT_EQ(g2.size(), 1u);
+  EXPECT_EQ(g2.dict().Get(g2.triples()[0].o).text,
+            "line1\nline2\t\"quoted\"");
+}
+
+TEST(NTriplesTest, RoundTripWholeGraph) {
+  Graph g;
+  g.AddIri("s1", "p", "o1");
+  g.AddLit("s1", "q", "val");
+  g.AddInt("s2", "r", 99);
+  std::string text = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok());
+  EXPECT_EQ(WriteNTriples(g2), text);
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  Graph g;
+  Status s = ParseNTriples("<s> <p> <o> .\n<s> <p> .\n", &g);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kParseError);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s;
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  Graph g;
+  EXPECT_FALSE(ParseNTriples("\"lit\" <p> <o> .\n", &g).ok());
+}
+
+TEST(NTriplesTest, RejectsNonIriProperty) {
+  Graph g;
+  EXPECT_FALSE(ParseNTriples("<s> \"p\" <o> .\n", &g).ok());
+  EXPECT_FALSE(ParseNTriples("<s> _:b <o> .\n", &g).ok());
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  Graph g;
+  EXPECT_FALSE(ParseNTriples("<s> <p> <o>\n", &g).ok());
+}
+
+TEST(NTriplesTest, LanguageTagKeptDistinct) {
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("<s> <p> \"chat\"@en .\n<s> <p> \"chat\"@fr .\n",
+                            &g)
+                  .ok());
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_NE(g.triples()[0].o, g.triples()[1].o);
+}
+
+}  // namespace
+}  // namespace rapida::rdf

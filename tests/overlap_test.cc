@@ -1,0 +1,201 @@
+#include "ntga/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace rapida::ntga {
+namespace {
+
+StarGraph Decompose(const std::string& bgp_query) {
+  auto q = sparql::ParseQuery(bgp_query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto sg = DecomposeToStars((*q)->where.triples);
+  EXPECT_TRUE(sg.ok()) << sg.status();
+  return sg.ok() ? *sg : StarGraph{};
+}
+
+// --- Figure 3, query AQ2: GP1 overlaps GP2 ---
+//
+// GP1: ?s1 ty PT18 . ?s2 pr ?s1 ; pc ?o1 ; ve ?o2 .
+// GP2: ?s1 ty PT18 ; pf ?o3 . ?s2 pr ?s1 ; pc ?o4 .
+StarGraph Aq2Gp1() {
+  return Decompose(
+      "SELECT ?s1 { ?s1 a <PT18> . ?s2 <pr> ?s1 ; <pc> ?o1 ; <ve> ?o2 . }");
+}
+StarGraph Aq2Gp2() {
+  return Decompose(
+      "SELECT ?s1 { ?s1 a <PT18> ; <pf> ?o3 . ?s2 <pr> ?s1 ; <pc> ?o4 . }");
+}
+
+TEST(OverlapTest, Fig3Aq2StarsOverlap) {
+  StarGraph gp1 = Aq2Gp1();
+  StarGraph gp2 = Aq2Gp2();
+  // { ty } in overlap of Stp_a and Stp_alpha.
+  EXPECT_TRUE(StarsOverlap(gp1.stars[0], gp2.stars[0]));
+  // { pr, pc } in overlap of Stp_b and Stp_beta.
+  EXPECT_TRUE(StarsOverlap(gp1.stars[1], gp2.stars[1]));
+  // Cross pairs share nothing.
+  EXPECT_FALSE(StarsOverlap(gp1.stars[0], gp2.stars[1]));
+}
+
+TEST(OverlapTest, Fig3Aq2GraphPatternsOverlap) {
+  OverlapResult r = FindOverlap(Aq2Gp1(), Aq2Gp2());
+  EXPECT_TRUE(r.overlaps) << r.explanation;
+  ASSERT_EQ(r.mapping.size(), 2u);
+  EXPECT_EQ(r.mapping[0], 0);
+  EXPECT_EQ(r.mapping[1], 1);
+}
+
+// --- Figure 3, query AQ3: GP1 does NOT overlap GP2 ---
+//
+// GP1: ?s3 pr ?s1 ; pc ?o5 ; ve ?s4 . ?s4 cn ?o6 .   (object-subject join)
+// GP2: ?s3 pr ?s1 ; pc ?o5 ; ve ?o6 . ?s4 cn ?o6 .   (object-object join)
+StarGraph Aq3Gp1() {
+  return Decompose(
+      "SELECT ?s3 { ?s3 <pr> ?s1 ; <pc> ?o5 ; <ve> ?s4 . ?s4 <cn> ?o6 . }");
+}
+StarGraph Aq3Gp2() {
+  return Decompose(
+      "SELECT ?s3 { ?s3 <pr> ?s1 ; <pc> ?o5 ; <ve> ?o6 . ?s4 <cn> ?o6 . }");
+}
+
+TEST(OverlapTest, Fig3Aq3StarsOverlapButJoinsDiffer) {
+  StarGraph gp1 = Aq3Gp1();
+  StarGraph gp2 = Aq3Gp2();
+  // Both star pairs overlap (props {pr,pc,ve} and {cn})...
+  EXPECT_TRUE(StarsOverlap(gp1.stars[0], gp2.stars[0]));
+  EXPECT_TRUE(StarsOverlap(gp1.stars[1], gp2.stars[1]));
+  // ...but the join roles are not equivalent, so the graphs don't overlap.
+  OverlapResult r = FindOverlap(gp1, gp2);
+  EXPECT_FALSE(r.overlaps);
+  EXPECT_FALSE(r.explanation.empty());
+}
+
+TEST(OverlapTest, TypeMismatchBlocksStarOverlap) {
+  StarGraph a = Decompose("SELECT ?s { ?s a <PT18> ; <pc> ?x . }");
+  StarGraph b = Decompose("SELECT ?s { ?s a <PT9> ; <pc> ?x . }");
+  EXPECT_FALSE(StarsOverlap(a.stars[0], b.stars[0]));
+}
+
+TEST(OverlapTest, MissingTypeOnOneSideBlocksOverlap) {
+  StarGraph a = Decompose("SELECT ?s { ?s a <PT18> ; <pc> ?x . }");
+  StarGraph b = Decompose("SELECT ?s { ?s <pc> ?x ; <ve> ?y . }");
+  EXPECT_FALSE(StarsOverlap(a.stars[0], b.stars[0]));
+}
+
+TEST(OverlapTest, DisjointPropsNoOverlap) {
+  StarGraph a = Decompose("SELECT ?s { ?s <a> ?x ; <b> ?y . }");
+  StarGraph b = Decompose("SELECT ?s { ?s <c> ?x ; <d> ?y . }");
+  EXPECT_FALSE(StarsOverlap(a.stars[0], b.stars[0]));
+}
+
+TEST(OverlapTest, ConflictingConstantsBlockOverlap) {
+  StarGraph a = Decompose("SELECT ?s { ?s <pub_type> \"News\" ; <au> ?x . }");
+  StarGraph b =
+      Decompose("SELECT ?s { ?s <pub_type> \"Journal\" ; <au> ?x . }");
+  EXPECT_FALSE(StarsOverlap(a.stars[0], b.stars[0]));
+  StarGraph c = Decompose("SELECT ?s { ?s <pub_type> \"News\" ; <au> ?y . }");
+  EXPECT_TRUE(StarsOverlap(a.stars[0], c.stars[0]));
+}
+
+TEST(OverlapTest, DifferentStarCountsDoNotOverlap) {
+  StarGraph a = Decompose(
+      "SELECT ?s { ?s <pr> ?p . ?p <pc> ?x . ?x <cn> ?y . }");
+  StarGraph b = Decompose("SELECT ?s { ?s <pr> ?p . ?p <pc> ?x . }");
+  OverlapResult r = FindOverlap(a, b);
+  EXPECT_FALSE(r.overlaps);
+}
+
+TEST(OverlapTest, MappingFoundForPermutedStars) {
+  // GP2 lists its stars in the opposite order; matching must still find
+  // the permutation.
+  StarGraph gp1 = Decompose(
+      "SELECT ?p { ?p a <PT1> . ?o <product> ?p ; <price> ?x . }");
+  StarGraph gp2 = Decompose(
+      "SELECT ?p { ?o <product> ?p ; <price> ?x ; <vendor> ?v . "
+      "?p a <PT1> . }");
+  OverlapResult r = FindOverlap(gp1, gp2);
+  ASSERT_TRUE(r.overlaps) << r.explanation;
+  EXPECT_EQ(r.mapping[0], 1);  // gp1 star0 (product) = gp2 star1
+  EXPECT_EQ(r.mapping[1], 0);
+}
+
+// --- Composite construction (AQ1/AQ2 style) ---
+
+TEST(OverlapTest, BuildCompositeAq2) {
+  StarGraph gp1 = Aq2Gp1();
+  StarGraph gp2 = Aq2Gp2();
+  OverlapResult r = FindOverlap(gp1, gp2);
+  ASSERT_TRUE(r.overlaps);
+  auto comp = BuildComposite(gp1, gp2, r);
+  ASSERT_TRUE(comp.ok()) << comp.status();
+
+  ASSERT_EQ(comp->stars.size(), 2u);
+  // Stp'_a: primary { ty18 }, secondary { pf }.
+  EXPECT_EQ(comp->stars[0].primary.size(), 1u);
+  EXPECT_EQ(comp->stars[0].secondary.size(), 1u);
+  EXPECT_EQ(comp->stars[0].secondary.begin()->property, "pf");
+  // Stp'_b: primary { pr, pc }, secondary { ve } (from GP1).
+  EXPECT_EQ(comp->stars[1].primary.size(), 2u);
+  ASSERT_EQ(comp->stars[1].secondary.size(), 1u);
+  EXPECT_EQ(comp->stars[1].secondary.begin()->property, "ve");
+
+  // α conditions: GP1 requires ve; GP2 requires pf.
+  ASSERT_EQ(comp->pattern_secondary.size(), 2u);
+  EXPECT_EQ(comp->pattern_secondary[0].at(1).begin()->property, "ve");
+  EXPECT_EQ(comp->pattern_secondary[1].at(0).begin()->property, "pf");
+
+  // Var maps: GP2's ?o4 (pc object) maps onto GP1's ?o1.
+  EXPECT_EQ(comp->var_map[1].at("o4"), "o1");
+  EXPECT_EQ(comp->var_map[1].at("s1"), "s1");
+  EXPECT_EQ(comp->var_map[0].at("o2"), "o2");
+}
+
+TEST(OverlapTest, CompositeRenamesCollidingSecondaryVars) {
+  // Both patterns use ?x for *different* (secondary) properties.
+  StarGraph gp1 = Decompose("SELECT ?s { ?s <a> ?k ; <b> ?x . }");
+  StarGraph gp2 = Decompose("SELECT ?s { ?s <a> ?k2 ; <c> ?x . }");
+  OverlapResult r = FindOverlap(gp1, gp2);
+  ASSERT_TRUE(r.overlaps) << r.explanation;
+  auto comp = BuildComposite(gp1, gp2, r);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_EQ(comp->var_map[0].at("x"), "x");
+  EXPECT_NE(comp->var_map[1].at("x"), "x");  // renamed
+}
+
+TEST(OverlapTest, BuildCompositeRejectsNonOverlap) {
+  OverlapResult r = FindOverlap(Aq3Gp1(), Aq3Gp2());
+  ASSERT_FALSE(r.overlaps);
+  EXPECT_FALSE(BuildComposite(Aq3Gp1(), Aq3Gp2(), r).ok());
+}
+
+TEST(OverlapTest, SinglePatternCompositeIsAllPrimary) {
+  StarGraph gp = Aq2Gp1();
+  CompositePattern comp = SinglePatternComposite(gp);
+  ASSERT_EQ(comp.stars.size(), 2u);
+  for (const CompositeStar& s : comp.stars) {
+    EXPECT_TRUE(s.secondary.empty());
+    EXPECT_EQ(s.primary.size(), s.triples.size());
+  }
+  EXPECT_EQ(comp.pattern_secondary.size(), 1u);
+  EXPECT_TRUE(comp.pattern_secondary[0].empty());
+}
+
+TEST(OverlapTest, IdenticalPatternsProduceNoSecondary) {
+  StarGraph gp1 = Aq2Gp1();
+  StarGraph gp2 = Aq2Gp1();
+  OverlapResult r = FindOverlap(gp1, gp2);
+  ASSERT_TRUE(r.overlaps);
+  auto comp = BuildComposite(gp1, gp2, r);
+  ASSERT_TRUE(comp.ok());
+  for (const CompositeStar& s : comp->stars) {
+    EXPECT_TRUE(s.secondary.empty());
+  }
+  // Both α conditions are empty (trivially true).
+  EXPECT_TRUE(comp->pattern_secondary[0].empty());
+  EXPECT_TRUE(comp->pattern_secondary[1].empty());
+}
+
+}  // namespace
+}  // namespace rapida::ntga

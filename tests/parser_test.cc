@@ -1,0 +1,212 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rapida::sparql {
+namespace {
+
+std::unique_ptr<SelectQuery> MustParse(std::string_view text,
+                                       const ParseOptions& opts = {}) {
+  auto result = ParseQuery(text, opts);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = MustParse(
+      "PREFIX ex: <http://x/> "
+      "SELECT ?s WHERE { ?s ex:p ?o . }");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].name, "s");
+  ASSERT_EQ(q->where.triples.size(), 1u);
+  EXPECT_EQ(q->where.triples[0].p.term.text, "http://x/p");
+}
+
+TEST(ParserTest, SemicolonPropertyList) {
+  auto q = MustParse(
+      "PREFIX ex: <http://x/> "
+      "SELECT ?s { ?s ex:a ?x ; ex:b ?y ; ex:c ?z . }");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->where.triples.size(), 3u);
+  for (const auto& tp : q->where.triples) {
+    EXPECT_TRUE(tp.s.is_var);
+    EXPECT_EQ(tp.s.var, "s");
+  }
+}
+
+TEST(ParserTest, ObjectList) {
+  auto q = MustParse("SELECT ?s { ?s <p> ?a, ?b . }");
+  ASSERT_EQ(q->where.triples.size(), 2u);
+  EXPECT_EQ(q->where.triples[0].o.var, "a");
+  EXPECT_EQ(q->where.triples[1].o.var, "b");
+}
+
+TEST(ParserTest, AKeywordExpandsToRdfType) {
+  auto q = MustParse("SELECT ?s { ?s a <http://x/T> . }");
+  ASSERT_EQ(q->where.triples.size(), 1u);
+  EXPECT_EQ(q->where.triples[0].p.term.text, rdf::kRdfType);
+}
+
+TEST(ParserTest, AggregatesWithAndWithoutAs) {
+  auto q = MustParse(
+      "SELECT ?f (COUNT(?pr) AS ?cnt) (SUM(?pr) ?sum) "
+      "{ ?o <price> ?pr ; <feature> ?f . } GROUP BY ?f");
+  ASSERT_EQ(q->items.size(), 3u);
+  EXPECT_EQ(q->items[0].name, "f");
+  EXPECT_EQ(q->items[1].name, "cnt");
+  ASSERT_NE(q->items[1].expr, nullptr);
+  EXPECT_EQ(q->items[1].expr->kind, Expr::Kind::kAggregate);
+  EXPECT_EQ(q->items[1].expr->agg_func, AggFunc::kCount);
+  EXPECT_EQ(q->items[2].name, "sum");
+  EXPECT_EQ(q->items[2].expr->agg_func, AggFunc::kSum);
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->group_by[0], "f");
+  EXPECT_TRUE(q->HasAggregates());
+}
+
+TEST(ParserTest, CountStarAndDistinct) {
+  auto q = MustParse("SELECT (COUNT(*) AS ?n) (COUNT(DISTINCT ?x) AS ?d) "
+                     "{ ?s <p> ?x . }");
+  EXPECT_TRUE(q->items[0].expr->count_star);
+  EXPECT_TRUE(q->items[1].expr->agg_distinct);
+}
+
+TEST(ParserTest, FilterComparison) {
+  auto q = MustParse("SELECT ?s { ?s <price> ?p . FILTER(?p > 5000) }");
+  ASSERT_EQ(q->where.filters.size(), 1u);
+  const Expr& f = *q->where.filters[0];
+  EXPECT_EQ(f.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(f.op, ">");
+}
+
+TEST(ParserTest, FilterRegexWithoutOuterParens) {
+  auto q = MustParse(
+      "SELECT ?s { ?s <name> ?n . FILTER regex(?n, \"MAPK\", \"i\") }");
+  ASSERT_EQ(q->where.filters.size(), 1u);
+  EXPECT_EQ(q->where.filters[0]->kind, Expr::Kind::kRegex);
+  EXPECT_EQ(q->where.filters[0]->regex_pattern, "MAPK");
+  EXPECT_EQ(q->where.filters[0]->regex_flags, "i");
+}
+
+TEST(ParserTest, BooleanConnectives) {
+  auto q = MustParse(
+      "SELECT ?s { ?s <p> ?x . FILTER(?x > 1 && ?x < 9 || !(?x = 5)) }");
+  ASSERT_EQ(q->where.filters.size(), 1u);
+  EXPECT_EQ(q->where.filters[0]->kind, Expr::Kind::kOr);
+}
+
+TEST(ParserTest, Optional) {
+  auto q = MustParse(
+      "SELECT ?s { ?s <p> ?x . OPTIONAL { ?s <q> ?y . } }");
+  ASSERT_EQ(q->where.optionals.size(), 1u);
+  EXPECT_EQ(q->where.optionals[0].triples.size(), 1u);
+}
+
+TEST(ParserTest, NestedSubqueries) {
+  auto q = MustParse(
+      "SELECT ?f ?cntF ?cntT { "
+      " { SELECT ?f (COUNT(?p2) AS ?cntF) { ?o2 <product> ?p2 ; <f> ?f . } "
+      "   GROUP BY ?f } "
+      " { SELECT (COUNT(?p1) AS ?cntT) { ?o1 <product> ?p1 . } } "
+      "}");
+  ASSERT_EQ(q->where.subqueries.size(), 2u);
+  EXPECT_EQ(q->where.subqueries[0]->group_by.size(), 1u);
+  EXPECT_TRUE(q->where.subqueries[1]->group_by.empty());
+  EXPECT_TRUE(q->where.subqueries[1]->HasAggregates());
+}
+
+TEST(ParserTest, PlainNestedGroupMergesIntoParent) {
+  auto q = MustParse("SELECT ?s { { ?s <p> ?x . } ?s <q> ?y . }");
+  EXPECT_EQ(q->where.triples.size(), 2u);
+  EXPECT_TRUE(q->where.subqueries.empty());
+}
+
+TEST(ParserTest, DefaultNamespaceExpandsBareNames) {
+  ParseOptions opts;
+  opts.default_namespace = "http://bsbm/";
+  auto q = MustParse("SELECT ?s { ?s type ?t . }", opts);
+  EXPECT_EQ(q->where.triples[0].p.term.text, "http://bsbm/type");
+}
+
+TEST(ParserTest, EmptyPrefixDeclaration) {
+  auto q = MustParse(
+      "PREFIX : <http://d/> SELECT ?s { ?s :p :O . }");
+  EXPECT_EQ(q->where.triples[0].p.term.text, "http://d/p");
+  EXPECT_EQ(q->where.triples[0].o.term.text, "http://d/O");
+}
+
+TEST(ParserTest, StringAndNumericLiteralObjects) {
+  auto q = MustParse(
+      "SELECT ?s { ?s <pub_type> \"News\" . ?s <year> 2015 . }");
+  EXPECT_TRUE(q->where.triples[0].o.term.is_literal());
+  EXPECT_EQ(q->where.triples[0].o.term.text, "News");
+  EXPECT_EQ(q->where.triples[1].o.term.datatype, rdf::kXsdInteger);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = MustParse("SELECT * { ?s <p> ?o . }");
+  EXPECT_TRUE(q->select_all);
+  auto cols = q->ColumnNames();
+  EXPECT_EQ(cols.size(), 2u);
+}
+
+TEST(ParserTest, GroupByMultipleVars) {
+  auto q = MustParse(
+      "SELECT ?a ?b (COUNT(?x) AS ?n) { ?s <p> ?a ; <q> ?b ; <r> ?x . } "
+      "GROUP BY ?a ?b");
+  ASSERT_EQ(q->group_by.size(), 2u);
+}
+
+TEST(ParserTest, ArithmeticInSelect) {
+  auto q = MustParse(
+      "SELECT ((?sumF / ?cntF) / (?sumT / ?cntT) AS ?ratio) "
+      "{ ?s <a> ?sumF ; <b> ?cntF ; <c> ?sumT ; <d> ?cntT . }");
+  ASSERT_EQ(q->items.size(), 1u);
+  EXPECT_EQ(q->items[0].expr->kind, Expr::Kind::kArith);
+  EXPECT_EQ(q->items[0].expr->op, "/");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT { ?s <p> ?o . }").ok());        // no items
+  EXPECT_FALSE(ParseQuery("SELECT ?s { ?s <p> ?o . ").ok());      // no '}'
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { ?s ex:p ?o . }").ok());  // prefix
+  EXPECT_FALSE(ParseQuery("SELECT ?s { ?s <p> ?o . } GROUP ?s").ok());
+  EXPECT_FALSE(ParseQuery("FOO ?s { }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s { \"lit\" <p> ?o . }").ok());
+}
+
+TEST(ParserTest, PaperAq1Parses) {
+  // The running example from Figure 1, written against the BSBM-ish
+  // vocabulary with explicit prefixes.
+  const char* kAq1 = R"(
+    PREFIX bsbm: <http://bsbm.example/>
+    SELECT ?country ?feature ?ratio
+    WHERE {
+      { SELECT ?country ?feature (SUM(?price2) AS ?sumF)
+               (COUNT(?price2) AS ?cntF) {
+          ?product2 a bsbm:ProductType18 .
+          ?product2 bsbm:productFeature ?feature .
+          ?offer2 bsbm:product ?product2 .
+          ?offer2 bsbm:price ?price2 .
+          ?offer2 bsbm:vendor ?vendor2 .
+          ?vendor2 bsbm:country ?country .
+        } GROUP BY ?country ?feature }
+      { SELECT ?country (SUM(?price1) AS ?sumT) (COUNT(?price1) AS ?cntT) {
+          ?product1 a bsbm:ProductType18 .
+          ?offer1 bsbm:product ?product1 .
+          ?offer1 bsbm:price ?price1 .
+          ?offer1 bsbm:vendor ?vendor1 .
+          ?vendor1 bsbm:country ?country .
+        } GROUP BY ?country }
+    }
+  )";
+  auto q = MustParse(kAq1);
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->where.subqueries.size(), 2u);
+  EXPECT_EQ(q->where.subqueries[0]->where.triples.size(), 6u);
+  EXPECT_EQ(q->where.subqueries[1]->where.triples.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rapida::sparql

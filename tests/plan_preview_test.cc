@@ -1,0 +1,103 @@
+// PlanPreview must agree with the engines' actual compiled plans: for
+// EVERY catalog query and EVERY engine, preview cycle count == executed
+// cycle count. This welds the documentation/preview layer to the planner.
+#include "engines/plan_preview.h"
+
+#include <gtest/gtest.h>
+
+#include "engines/engines.h"
+#include "sparql/parser.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+namespace rapida::engine {
+namespace {
+
+Dataset* DatasetFor(const std::string& name) {
+  static auto* cache = new std::map<std::string, std::unique_ptr<Dataset>>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second.get();
+  rdf::Graph g;
+  if (name == "bsbm") {
+    workload::BsbmConfig cfg;
+    cfg.num_products = 200;
+    g = workload::GenerateBsbm(cfg);
+  } else if (name == "chem") {
+    workload::ChemConfig cfg;
+    cfg.num_assays = 300;
+    cfg.num_publications = 800;
+    g = workload::GenerateChem2Bio(cfg);
+  } else {
+    workload::PubmedConfig cfg;
+    cfg.num_publications = 300;
+    g = workload::GeneratePubmed(cfg);
+  }
+  return cache->emplace(name, std::make_unique<Dataset>(std::move(g)))
+      .first->second.get();
+}
+
+class PlanPreviewMatchesExecution
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlanPreviewMatchesExecution, CyclesAgree) {
+  auto cq = workload::FindQuery(GetParam());
+  ASSERT_TRUE(cq.ok());
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  ASSERT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+  Dataset* dataset = DatasetFor((*cq)->dataset);
+  mr::Cluster cluster(mr::ClusterConfig{}, &dataset->dfs());
+
+  for (const auto& eng : MakeAllEngines()) {
+    PlanPreview preview = PreviewPlan(eng->name(), *query);
+    ExecStats stats;
+    auto result = eng->Execute(*query, dataset, &cluster, &stats);
+    ASSERT_TRUE(result.ok()) << eng->name() << ": " << result.status();
+    EXPECT_EQ(preview.cycles, stats.workflow.NumCycles())
+        << GetParam() << " on " << eng->name() << "\npreview:\n"
+        << preview.ToString();
+  }
+}
+
+std::vector<std::string> AllIds() {
+  std::vector<std::string> out;
+  for (const auto& q : workload::Catalog()) out.push_back(q.id);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PlanPreviewMatchesExecution,
+                         ::testing::ValuesIn(AllIds()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(PlanPreviewTest, ToStringListsSteps) {
+  auto cq = workload::FindQuery("MG1");
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+  PlanPreview p = PreviewPlan("RAPIDAnalytics", *query);
+  EXPECT_EQ(p.cycles, 3);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("MR1"), std::string::npos);
+  EXPECT_NE(s.find("parallel TG Agg-Join"), std::string::npos);
+  EXPECT_NE(s.find("2 grouping-aggregations"), std::string::npos);
+}
+
+TEST(PlanPreviewTest, PreviewAllCoversFourEngines) {
+  auto cq = workload::FindQuery("MG3");
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+  auto all = PreviewAllPlans(*query);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].cycles, 11);  // Hive (Naive)
+  EXPECT_EQ(all[2].cycles, 7);   // RAPID+
+  EXPECT_EQ(all[3].cycles, 4);   // RAPIDAnalytics
+}
+
+}  // namespace
+}  // namespace rapida::engine

@@ -1,0 +1,61 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rapida {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, ZipfSkewsTowardsLowRanks) {
+  Random r(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[r.Zipf(10, 1.0)];
+  // Rank 0 must be the most frequent; last rank far less frequent.
+  for (int i = 1; i < 10; ++i) EXPECT_GE(counts[0], counts[i]);
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(RandomTest, ZipfBoundaries) {
+  Random r(5);
+  EXPECT_EQ(r.Zipf(1, 1.0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(r.Zipf(5, 0.5), 5u);
+}
+
+}  // namespace
+}  // namespace rapida

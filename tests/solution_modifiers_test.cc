@@ -1,0 +1,224 @@
+// HAVING / ORDER BY / LIMIT / OFFSET coverage: parser shapes, reference
+// semantics, and engine agreement (every engine must honor the grouping
+// HAVING and the top-level modifiers).
+#include <gtest/gtest.h>
+
+#include "analytics/analytical_query.h"
+#include "analytics/reference_evaluator.h"
+#include "engines/engines.h"
+#include "sparql/parser.h"
+
+namespace rapida {
+namespace {
+
+// --- parser ---
+
+TEST(ModifierParsingTest, HavingOrderLimitOffset) {
+  auto q = sparql::ParseQuery(
+      "SELECT ?f (COUNT(?x) AS ?n) { ?s <f> ?f ; <x> ?x . } "
+      "GROUP BY ?f HAVING(?n > 2) ORDER BY DESC(?n) ?f LIMIT 10 OFFSET 5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_NE((*q)->having, nullptr);
+  ASSERT_EQ((*q)->order_by.size(), 2u);
+  EXPECT_TRUE((*q)->order_by[0].descending);
+  EXPECT_EQ((*q)->order_by[0].var, "n");
+  EXPECT_FALSE((*q)->order_by[1].descending);
+  EXPECT_EQ((*q)->limit, 10);
+  EXPECT_EQ((*q)->offset, 5);
+}
+
+TEST(ModifierParsingTest, AscAndOffsetBeforeLimit) {
+  auto q = sparql::ParseQuery(
+      "SELECT ?s { ?s <p> ?x . } ORDER BY ASC(?s) OFFSET 2 LIMIT 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_FALSE((*q)->order_by[0].descending);
+  EXPECT_EQ((*q)->limit, 3);
+  EXPECT_EQ((*q)->offset, 2);
+}
+
+TEST(ModifierParsingTest, Errors) {
+  EXPECT_FALSE(sparql::ParseQuery(
+                   "SELECT ?s { ?s <p> ?x . } ORDER BY").ok());
+  EXPECT_FALSE(sparql::ParseQuery(
+                   "SELECT ?s { ?s <p> ?x . } LIMIT ?x").ok());
+  EXPECT_FALSE(sparql::ParseQuery(
+                   "SELECT ?s { ?s <p> ?x . } ORDER BY DESC ?x").ok());
+}
+
+// --- reference semantics ---
+
+class ModifierSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Counts: a=3, b=2, c=1.
+    g_.AddIri("s1", "f", "a");
+    g_.AddIri("s2", "f", "a");
+    g_.AddIri("s3", "f", "a");
+    g_.AddIri("s4", "f", "b");
+    g_.AddIri("s5", "f", "b");
+    g_.AddIri("s6", "f", "c");
+  }
+  analytics::BindingTable Run(const std::string& text) {
+    auto q = sparql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    analytics::ReferenceEvaluator ref(&g_);
+    auto r = ref.Evaluate(**q);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : analytics::BindingTable{};
+  }
+  rdf::Graph g_;
+};
+
+TEST_F(ModifierSemanticsTest, HavingFiltersGroups) {
+  auto t = Run(
+      "SELECT ?f (COUNT(?s) AS ?n) { ?s <f> ?f . } GROUP BY ?f "
+      "HAVING(?n >= 2)");
+  EXPECT_EQ(t.NumRows(), 2u);  // a and b
+}
+
+TEST_F(ModifierSemanticsTest, OrderByDescendingCount) {
+  auto t = Run(
+      "SELECT ?f (COUNT(?s) AS ?n) { ?s <f> ?f . } GROUP BY ?f "
+      "ORDER BY DESC(?n)");
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(g_.dict().Get(t.rows()[0][0]).text, "a");
+  EXPECT_EQ(g_.dict().Get(t.rows()[2][0]).text, "c");
+}
+
+TEST_F(ModifierSemanticsTest, LimitOffsetWindow) {
+  auto t = Run(
+      "SELECT ?f (COUNT(?s) AS ?n) { ?s <f> ?f . } GROUP BY ?f "
+      "ORDER BY DESC(?n) OFFSET 1 LIMIT 1");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(g_.dict().Get(t.rows()[0][0]).text, "b");
+}
+
+TEST_F(ModifierSemanticsTest, OffsetBeyondEndEmpty) {
+  auto t = Run("SELECT ?f (COUNT(?s) AS ?n) { ?s <f> ?f . } GROUP BY ?f "
+               "OFFSET 99");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(ModifierSemanticsTest, HavingOnGroupByAllTrueAndFalse) {
+  EXPECT_EQ(Run("SELECT (COUNT(?s) AS ?n) { ?s <f> ?x . } HAVING(?n > 3)")
+                .NumRows(),
+            1u);
+  EXPECT_EQ(Run("SELECT (COUNT(?s) AS ?n) { ?s <f> ?x . } HAVING(?n > 30)")
+                .NumRows(),
+            0u);
+}
+
+// --- engines agree with the reference ---
+
+class ModifierEngineTest : public ::testing::Test {
+ protected:
+  ModifierEngineTest() {
+    rdf::Graph g;
+    for (int p = 0; p < 30; ++p) {
+      std::string prod = "p" + std::to_string(p);
+      g.AddIri(prod, rdf::kRdfType, "T1");
+      g.AddIri(prod, "feature", "f" + std::to_string(p % 4));
+    }
+    for (int o = 0; o < 90; ++o) {
+      std::string off = "o" + std::to_string(o);
+      g.AddIri(off, "product", "p" + std::to_string(o % 30));
+      g.AddInt(off, "price", 10 * (o % 13 + 1));
+    }
+    dataset_ = std::make_unique<engine::Dataset>(std::move(g));
+  }
+
+  void CompareAll(const std::string& text) {
+    auto parsed = sparql::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto query = analytics::AnalyzeQuery(**parsed);
+    ASSERT_TRUE(query.ok()) << query.status();
+    analytics::ReferenceEvaluator ref(&dataset_->graph());
+    auto expected = ref.Evaluate(**parsed);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    auto expected_rows = expected->ToSortedStrings(dataset_->dict());
+
+    mr::Cluster cluster(mr::ClusterConfig{}, &dataset_->dfs());
+    for (const auto& eng : engine::MakeAllEngines()) {
+      engine::ExecStats stats;
+      auto result = eng->Execute(*query, dataset_.get(), &cluster, &stats);
+      ASSERT_TRUE(result.ok()) << eng->name() << ": " << result.status();
+      EXPECT_EQ(result->ToSortedStrings(dataset_->dict()), expected_rows)
+          << eng->name() << " on:\n" << text;
+    }
+  }
+
+  std::unique_ptr<engine::Dataset> dataset_;
+};
+
+TEST_F(ModifierEngineTest, HavingOnSingleGrouping) {
+  CompareAll(
+      "SELECT ?f (COUNT(?pr) AS ?n) (SUM(?pr) AS ?sum) { "
+      "?p a <T1> ; <feature> ?f . ?o <product> ?p ; <price> ?pr . } "
+      "GROUP BY ?f HAVING(?n > 20)");
+}
+
+TEST_F(ModifierEngineTest, HavingInsideMultiGroupingSubqueries) {
+  CompareAll(
+      "SELECT ?f ?nF ?nT { "
+      "{ SELECT ?f (COUNT(?pr2) AS ?nF) { "
+      "    ?p2 a <T1> ; <feature> ?f . ?o2 <product> ?p2 ; <price> ?pr2 . "
+      "  } GROUP BY ?f HAVING(?nF >= 20) } "
+      "{ SELECT (COUNT(?pr) AS ?nT) { "
+      "    ?p1 a <T1> . ?o1 <product> ?p1 ; <price> ?pr . } } }");
+}
+
+TEST_F(ModifierEngineTest, TopLevelOrderLimit) {
+  CompareAll(
+      "SELECT ?f (SUM(?pr) AS ?sum) { "
+      "?p a <T1> ; <feature> ?f . ?o <product> ?p ; <price> ?pr . } "
+      "GROUP BY ?f ORDER BY DESC(?sum) LIMIT 2");
+}
+
+TEST_F(ModifierEngineTest, HavingThatEliminatesAllGroups) {
+  CompareAll(
+      "SELECT ?f (COUNT(?pr) AS ?n) { "
+      "?p a <T1> ; <feature> ?f . ?o <product> ?p ; <price> ?pr . } "
+      "GROUP BY ?f HAVING(?n > 100000)");
+}
+
+TEST(ModifierScopeTest, SubqueryLimitRejected) {
+  auto parsed = sparql::ParseQuery(
+      "SELECT ?f ?n { { SELECT ?f (COUNT(?x) AS ?n) { ?s <f> ?f ; <x> ?x . }"
+      " GROUP BY ?f LIMIT 5 } }");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto q = analytics::AnalyzeQuery(**parsed);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), Code::kUnimplemented);
+}
+
+
+TEST_F(ModifierEngineTest, SampleAggregate) {
+  CompareAll(
+      "SELECT ?f (SAMPLE(?p) AS ?witness) (COUNT(?p) AS ?n) { "
+      "?p a <T1> ; <feature> ?f . } GROUP BY ?f");
+}
+
+TEST_F(ModifierEngineTest, GroupConcatAggregate) {
+  CompareAll(
+      "SELECT ?f (GROUP_CONCAT(?pr ; SEPARATOR=\"|\") AS ?prices) { "
+      "?p a <T1> ; <feature> ?f . ?o <product> ?p ; <price> ?pr . } "
+      "GROUP BY ?f");
+}
+
+TEST_F(ModifierEngineTest, GroupConcatDefaultSeparator) {
+  CompareAll(
+      "SELECT (GROUP_CONCAT(?f) AS ?all) { ?p a <T1> ; <feature> ?f . }");
+}
+
+TEST(AggregateParsingTest, SampleAndGroupConcat) {
+  auto q = sparql::ParseQuery(
+      "SELECT (SAMPLE(?x) AS ?s) (GROUP_CONCAT(?x ; SEPARATOR=\", \") AS ?g)"
+      " { ?a <p> ?x . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->items[0].expr->agg_func, sparql::AggFunc::kSample);
+  EXPECT_EQ((*q)->items[1].expr->agg_func, sparql::AggFunc::kGroupConcat);
+  EXPECT_EQ((*q)->items[1].expr->regex_pattern, ", ");
+}
+
+}  // namespace
+}  // namespace rapida

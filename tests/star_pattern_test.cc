@@ -1,0 +1,106 @@
+#include "ntga/star_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace rapida::ntga {
+namespace {
+
+StarGraph Decompose(const std::string& bgp_query) {
+  auto q = sparql::ParseQuery(bgp_query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  auto sg = DecomposeToStars((*q)->where.triples);
+  EXPECT_TRUE(sg.ok()) << sg.status();
+  return sg.ok() ? *sg : StarGraph{};
+}
+
+TEST(StarPatternTest, SingleStar) {
+  StarGraph sg = Decompose(
+      "SELECT ?o { ?o <product> ?p ; <price> ?pr ; <vendor> ?v . }");
+  ASSERT_EQ(sg.stars.size(), 1u);
+  EXPECT_EQ(sg.stars[0].subject_var, "o");
+  EXPECT_EQ(sg.stars[0].triples.size(), 3u);
+  EXPECT_TRUE(sg.joins.empty());
+}
+
+TEST(StarPatternTest, TypeTripleBecomesTypedPropKey) {
+  StarGraph sg = Decompose("SELECT ?p { ?p a <PT18> ; <label> ?l . }");
+  ASSERT_EQ(sg.stars.size(), 1u);
+  std::set<PropKey> props = sg.stars[0].Props();
+  bool found_typed = false;
+  for (const PropKey& k : props) {
+    if (k.is_type()) {
+      EXPECT_EQ(k.type_object, "PT18");
+      found_typed = true;
+    }
+  }
+  EXPECT_TRUE(found_typed);
+}
+
+TEST(StarPatternTest, SubjectObjectJoin) {
+  // AQ1-style: offer star joins product star on ?p (object of product tp,
+  // subject of the product star).
+  StarGraph sg = Decompose(
+      "SELECT ?p { ?p a <PT18> . ?o <product> ?p ; <price> ?pr . }");
+  ASSERT_EQ(sg.stars.size(), 2u);
+  ASSERT_EQ(sg.joins.size(), 1u);
+  const JoinEdge& e = sg.joins[0];
+  EXPECT_EQ(e.var, "p");
+  EXPECT_EQ(e.role_a, JoinRole::kObject);
+  EXPECT_EQ(e.prop_a.property, "product");
+  EXPECT_EQ(e.role_b, JoinRole::kSubject);
+}
+
+TEST(StarPatternTest, ObjectObjectJoin) {
+  // AQ3 GP2-style: ?s3 ve ?o6 . ?s4 cn ?o6 — object-object join on ?o6.
+  StarGraph sg = Decompose(
+      "SELECT ?s3 { ?s3 <pr> ?s1 ; <ve> ?o6 . ?s4 <cn> ?o6 . }");
+  ASSERT_EQ(sg.stars.size(), 2u);
+  ASSERT_EQ(sg.joins.size(), 1u);
+  const JoinEdge& e = sg.joins[0];
+  EXPECT_EQ(e.var, "o6");
+  EXPECT_EQ(e.role_a, JoinRole::kObject);
+  EXPECT_EQ(e.role_b, JoinRole::kObject);
+  EXPECT_EQ(e.prop_a.property, "ve");
+  EXPECT_EQ(e.prop_b.property, "cn");
+}
+
+TEST(StarPatternTest, ThreeStarChain) {
+  StarGraph sg = Decompose(
+      "SELECT ?c { ?p a <PT1> . ?o <product> ?p ; <vendor> ?v . "
+      "?v <country> ?c . }");
+  EXPECT_EQ(sg.stars.size(), 3u);
+  ASSERT_EQ(sg.joins.size(), 2u);
+}
+
+TEST(StarPatternTest, StarOfSubject) {
+  StarGraph sg = Decompose(
+      "SELECT ?p { ?p a <PT1> . ?o <product> ?p . }");
+  EXPECT_EQ(sg.StarOfSubject("p"), 0);
+  EXPECT_EQ(sg.StarOfSubject("o"), 1);
+  EXPECT_EQ(sg.StarOfSubject("zzz"), -1);
+}
+
+TEST(StarPatternTest, RejectsConstantSubject) {
+  auto q = sparql::ParseQuery("SELECT ?o { <s1> <p> ?o . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(DecomposeToStars((*q)->where.triples).ok());
+}
+
+TEST(StarPatternTest, RejectsUnboundProperty) {
+  auto q = sparql::ParseQuery("SELECT ?o { ?s ?p ?o . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(DecomposeToStars((*q)->where.triples).ok());
+}
+
+TEST(StarPatternTest, FindProp) {
+  StarGraph sg = Decompose("SELECT ?o { ?o <price> ?pr ; <vendor> ?v . }");
+  PropKey price{"price", ""};
+  PropKey nope{"nope", ""};
+  EXPECT_GE(sg.stars[0].FindProp(price), 0);
+  EXPECT_EQ(sg.stars[0].FindProp(nope), -1);
+}
+
+}  // namespace
+}  // namespace rapida::ntga

@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace rapida {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), Code::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), Code::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Code::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), Code::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), Code::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), Code::kResourceExhausted);
+  EXPECT_EQ(Status::ParseError("x").code(), Code::kParseError);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  RAPIDA_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), Code::kInternal);
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return Status::NotFound("no int");
+  return 42;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = MaybeInt(false);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = MaybeInt(true);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Code::kNotFound);
+}
+
+StatusOr<int> UseAssignOrReturn(bool fail) {
+  RAPIDA_ASSIGN_OR_RETURN(int x, MaybeInt(fail));
+  return x + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  StatusOr<int> ok = UseAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 43);
+  EXPECT_FALSE(UseAssignOrReturn(true).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace rapida
