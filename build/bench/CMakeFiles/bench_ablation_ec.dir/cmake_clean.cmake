@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ec.dir/bench_ablation_ec.cc.o"
+  "CMakeFiles/bench_ablation_ec.dir/bench_ablation_ec.cc.o.d"
+  "bench_ablation_ec"
+  "bench_ablation_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

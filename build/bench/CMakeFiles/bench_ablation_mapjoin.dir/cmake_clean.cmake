@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mapjoin.dir/bench_ablation_mapjoin.cc.o"
+  "CMakeFiles/bench_ablation_mapjoin.dir/bench_ablation_mapjoin.cc.o.d"
+  "bench_ablation_mapjoin"
+  "bench_ablation_mapjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mapjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orc.dir/bench_ablation_orc.cc.o"
+  "CMakeFiles/bench_ablation_orc.dir/bench_ablation_orc.cc.o.d"
+  "bench_ablation_orc"
+  "bench_ablation_orc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel_agg.dir/bench_ablation_parallel_agg.cc.o"
+  "CMakeFiles/bench_ablation_parallel_agg.dir/bench_ablation_parallel_agg.cc.o.d"
+  "bench_ablation_parallel_agg"
+  "bench_ablation_parallel_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

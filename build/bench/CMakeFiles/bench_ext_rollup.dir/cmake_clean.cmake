@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rollup.dir/bench_ext_rollup.cc.o"
+  "CMakeFiles/bench_ext_rollup.dir/bench_ext_rollup.cc.o.d"
+  "bench_ext_rollup"
+  "bench_ext_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

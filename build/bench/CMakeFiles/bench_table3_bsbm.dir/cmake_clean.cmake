@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bsbm.dir/bench_table3_bsbm.cc.o"
+  "CMakeFiles/bench_table3_bsbm.dir/bench_table3_bsbm.cc.o.d"
+  "bench_table3_bsbm"
+  "bench_table3_bsbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bsbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_chem.dir/bench_table3_chem.cc.o"
+  "CMakeFiles/bench_table3_chem.dir/bench_table3_chem.cc.o.d"
+  "bench_table3_chem"
+  "bench_table3_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

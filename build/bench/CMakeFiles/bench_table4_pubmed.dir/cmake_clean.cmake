@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pubmed.dir/bench_table4_pubmed.cc.o"
+  "CMakeFiles/bench_table4_pubmed.dir/bench_table4_pubmed.cc.o.d"
+  "bench_table4_pubmed"
+  "bench_table4_pubmed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pubmed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_analytics.dir/clinical_analytics.cpp.o"
+  "CMakeFiles/clinical_analytics.dir/clinical_analytics.cpp.o.d"
+  "clinical_analytics"
+  "clinical_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

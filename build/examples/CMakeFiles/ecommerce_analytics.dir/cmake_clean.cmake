@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_analytics.dir/ecommerce_analytics.cpp.o"
+  "CMakeFiles/ecommerce_analytics.dir/ecommerce_analytics.cpp.o.d"
+  "ecommerce_analytics"
+  "ecommerce_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

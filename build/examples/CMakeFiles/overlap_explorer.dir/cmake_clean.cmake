@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_explorer.dir/overlap_explorer.cpp.o"
+  "CMakeFiles/overlap_explorer.dir/overlap_explorer.cpp.o.d"
+  "overlap_explorer"
+  "overlap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

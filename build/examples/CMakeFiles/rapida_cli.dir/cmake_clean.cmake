@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapida_cli.dir/rapida_cli.cpp.o"
+  "CMakeFiles/rapida_cli.dir/rapida_cli.cpp.o.d"
+  "rapida_cli"
+  "rapida_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapida_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/aggregates.cc" "src/CMakeFiles/rapida.dir/analytics/aggregates.cc.o" "gcc" "src/CMakeFiles/rapida.dir/analytics/aggregates.cc.o.d"
+  "/root/repo/src/analytics/analytical_query.cc" "src/CMakeFiles/rapida.dir/analytics/analytical_query.cc.o" "gcc" "src/CMakeFiles/rapida.dir/analytics/analytical_query.cc.o.d"
+  "/root/repo/src/analytics/binding.cc" "src/CMakeFiles/rapida.dir/analytics/binding.cc.o" "gcc" "src/CMakeFiles/rapida.dir/analytics/binding.cc.o.d"
+  "/root/repo/src/analytics/reference_evaluator.cc" "src/CMakeFiles/rapida.dir/analytics/reference_evaluator.cc.o" "gcc" "src/CMakeFiles/rapida.dir/analytics/reference_evaluator.cc.o.d"
+  "/root/repo/src/analytics/value.cc" "src/CMakeFiles/rapida.dir/analytics/value.cc.o" "gcc" "src/CMakeFiles/rapida.dir/analytics/value.cc.o.d"
+  "/root/repo/src/engines/dataset.cc" "src/CMakeFiles/rapida.dir/engines/dataset.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/dataset.cc.o.d"
+  "/root/repo/src/engines/hive_mqo.cc" "src/CMakeFiles/rapida.dir/engines/hive_mqo.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/hive_mqo.cc.o.d"
+  "/root/repo/src/engines/hive_naive.cc" "src/CMakeFiles/rapida.dir/engines/hive_naive.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/hive_naive.cc.o.d"
+  "/root/repo/src/engines/ntga_exec.cc" "src/CMakeFiles/rapida.dir/engines/ntga_exec.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/ntga_exec.cc.o.d"
+  "/root/repo/src/engines/plan_preview.cc" "src/CMakeFiles/rapida.dir/engines/plan_preview.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/plan_preview.cc.o.d"
+  "/root/repo/src/engines/rapid_analytics.cc" "src/CMakeFiles/rapida.dir/engines/rapid_analytics.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/rapid_analytics.cc.o.d"
+  "/root/repo/src/engines/rapid_plus.cc" "src/CMakeFiles/rapida.dir/engines/rapid_plus.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/rapid_plus.cc.o.d"
+  "/root/repo/src/engines/relational_ops.cc" "src/CMakeFiles/rapida.dir/engines/relational_ops.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/relational_ops.cc.o.d"
+  "/root/repo/src/engines/var_translate.cc" "src/CMakeFiles/rapida.dir/engines/var_translate.cc.o" "gcc" "src/CMakeFiles/rapida.dir/engines/var_translate.cc.o.d"
+  "/root/repo/src/mapreduce/cluster.cc" "src/CMakeFiles/rapida.dir/mapreduce/cluster.cc.o" "gcc" "src/CMakeFiles/rapida.dir/mapreduce/cluster.cc.o.d"
+  "/root/repo/src/mapreduce/counters.cc" "src/CMakeFiles/rapida.dir/mapreduce/counters.cc.o" "gcc" "src/CMakeFiles/rapida.dir/mapreduce/counters.cc.o.d"
+  "/root/repo/src/mapreduce/dfs.cc" "src/CMakeFiles/rapida.dir/mapreduce/dfs.cc.o" "gcc" "src/CMakeFiles/rapida.dir/mapreduce/dfs.cc.o.d"
+  "/root/repo/src/ntga/operators.cc" "src/CMakeFiles/rapida.dir/ntga/operators.cc.o" "gcc" "src/CMakeFiles/rapida.dir/ntga/operators.cc.o.d"
+  "/root/repo/src/ntga/overlap.cc" "src/CMakeFiles/rapida.dir/ntga/overlap.cc.o" "gcc" "src/CMakeFiles/rapida.dir/ntga/overlap.cc.o.d"
+  "/root/repo/src/ntga/resolved_pattern.cc" "src/CMakeFiles/rapida.dir/ntga/resolved_pattern.cc.o" "gcc" "src/CMakeFiles/rapida.dir/ntga/resolved_pattern.cc.o.d"
+  "/root/repo/src/ntga/star_pattern.cc" "src/CMakeFiles/rapida.dir/ntga/star_pattern.cc.o" "gcc" "src/CMakeFiles/rapida.dir/ntga/star_pattern.cc.o.d"
+  "/root/repo/src/ntga/triplegroup.cc" "src/CMakeFiles/rapida.dir/ntga/triplegroup.cc.o" "gcc" "src/CMakeFiles/rapida.dir/ntga/triplegroup.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/rapida.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/graph.cc" "src/CMakeFiles/rapida.dir/rdf/graph.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/graph.cc.o.d"
+  "/root/repo/src/rdf/graph_index.cc" "src/CMakeFiles/rapida.dir/rdf/graph_index.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/graph_index.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/rapida.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/rapida.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/turtle.cc" "src/CMakeFiles/rapida.dir/rdf/turtle.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/turtle.cc.o.d"
+  "/root/repo/src/rdf/vp_store.cc" "src/CMakeFiles/rapida.dir/rdf/vp_store.cc.o" "gcc" "src/CMakeFiles/rapida.dir/rdf/vp_store.cc.o.d"
+  "/root/repo/src/sparql/ast.cc" "src/CMakeFiles/rapida.dir/sparql/ast.cc.o" "gcc" "src/CMakeFiles/rapida.dir/sparql/ast.cc.o.d"
+  "/root/repo/src/sparql/expr_eval.cc" "src/CMakeFiles/rapida.dir/sparql/expr_eval.cc.o" "gcc" "src/CMakeFiles/rapida.dir/sparql/expr_eval.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/CMakeFiles/rapida.dir/sparql/lexer.cc.o" "gcc" "src/CMakeFiles/rapida.dir/sparql/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/rapida.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/rapida.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/rapida.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/rapida.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/rapida.dir/util/random.cc.o" "gcc" "src/CMakeFiles/rapida.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rapida.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rapida.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/rapida.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/rapida.dir/util/string_util.cc.o.d"
+  "/root/repo/src/workload/bsbm.cc" "src/CMakeFiles/rapida.dir/workload/bsbm.cc.o" "gcc" "src/CMakeFiles/rapida.dir/workload/bsbm.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/CMakeFiles/rapida.dir/workload/catalog.cc.o" "gcc" "src/CMakeFiles/rapida.dir/workload/catalog.cc.o.d"
+  "/root/repo/src/workload/chem2bio.cc" "src/CMakeFiles/rapida.dir/workload/chem2bio.cc.o" "gcc" "src/CMakeFiles/rapida.dir/workload/chem2bio.cc.o.d"
+  "/root/repo/src/workload/pubmed.cc" "src/CMakeFiles/rapida.dir/workload/pubmed.cc.o" "gcc" "src/CMakeFiles/rapida.dir/workload/pubmed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

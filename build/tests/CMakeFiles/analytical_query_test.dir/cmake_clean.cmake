@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytical_query_test.dir/analytical_query_test.cc.o"
+  "CMakeFiles/analytical_query_test.dir/analytical_query_test.cc.o.d"
+  "analytical_query_test"
+  "analytical_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytical_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

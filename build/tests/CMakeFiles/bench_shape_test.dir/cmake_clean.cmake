@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape_test.dir/bench_shape_test.cc.o"
+  "CMakeFiles/bench_shape_test.dir/bench_shape_test.cc.o.d"
+  "bench_shape_test"
+  "bench_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_overlap_test.dir/family_overlap_test.cc.o"
+  "CMakeFiles/family_overlap_test.dir/family_overlap_test.cc.o.d"
+  "family_overlap_test"
+  "family_overlap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_shapes_test.dir/figure7_shapes_test.cc.o"
+  "CMakeFiles/figure7_shapes_test.dir/figure7_shapes_test.cc.o.d"
+  "figure7_shapes_test"
+  "figure7_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_preview_test.dir/plan_preview_test.cc.o"
+  "CMakeFiles/plan_preview_test.dir/plan_preview_test.cc.o.d"
+  "plan_preview_test"
+  "plan_preview_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_preview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

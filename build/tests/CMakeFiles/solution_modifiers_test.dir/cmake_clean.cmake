@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_modifiers_test.dir/solution_modifiers_test.cc.o"
+  "CMakeFiles/solution_modifiers_test.dir/solution_modifiers_test.cc.o.d"
+  "solution_modifiers_test"
+  "solution_modifiers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_modifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_pattern_test.dir/star_pattern_test.cc.o"
+  "CMakeFiles/star_pattern_test.dir/star_pattern_test.cc.o.d"
+  "star_pattern_test"
+  "star_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
