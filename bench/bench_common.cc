@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "analytics/analytical_query.h"
 #include "sparql/parser.h"
@@ -62,9 +63,19 @@ Dataset* GetDataset(const std::string& workload, Scale scale, bool orc) {
   return it->second.get();
 }
 
+int BenchExecThreads() {
+  const char* env = std::getenv("RAPIDA_EXEC_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 0;  // ClusterConfig: 0 = hardware concurrency
+}
+
 mr::ClusterConfig ClusterFor(int num_nodes) {
   mr::ClusterConfig cfg;
   cfg.num_nodes = num_nodes;
+  cfg.exec_threads = BenchExecThreads();
   return cfg;
 }
 
@@ -142,6 +153,7 @@ RunResult RunOne(engine::Engine* eng, const std::string& query_id,
   out.result_rows = result->NumRows();
   out.sim_seconds = stats.workflow.TotalSimSeconds();
   out.wall_seconds = stats.wall_seconds;
+  out.mr_wall_seconds = stats.workflow.TotalWallSeconds();
   out.cycles = stats.workflow.NumCycles();
   out.map_only_cycles = stats.workflow.NumMapOnlyCycles();
   out.scan_bytes = stats.workflow.TotalInputBytes();
@@ -222,6 +234,67 @@ void PrintTable(const std::string& title,
       std::printf("  (csv written to %s)\n", path.c_str());
     }
   }
+
+  AppendBenchTrajectory(title, results);
+}
+
+namespace {
+
+std::string GitRevision() {
+  static std::string* rev = [] {
+    auto* out = new std::string("unknown");
+    FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (p != nullptr) {
+      char buf[64] = {0};
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        std::string s(buf);
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+          s.pop_back();
+        }
+        if (!s.empty()) *out = s;
+      }
+      ::pclose(p);
+    }
+    return out;
+  }();
+  return *rev;
+}
+
+}  // namespace
+
+void AppendBenchTrajectory(const std::string& title,
+                           const std::vector<RunResult>& results) {
+  const char* path = std::getenv("RAPIDA_BENCH_JSON");
+  if (path != nullptr && *path == '\0') return;  // explicitly disabled
+  std::string file = path != nullptr ? path : "BENCH_mapreduce.json";
+
+  double wall = 0, mr_wall = 0, sim = 0;
+  int failures = 0;
+  for (const RunResult& r : results) {
+    wall += r.wall_seconds;
+    mr_wall += r.mr_wall_seconds;
+    sim += r.sim_seconds;
+    failures += r.ok ? 0 : 1;
+  }
+  int threads = BenchExecThreads();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  FILE* f = std::fopen(file.c_str(), "a");
+  if (f == nullptr) return;
+  std::string name = title;
+  for (char& c : name) {
+    if (c == '"' || c == '\\') c = '\'';
+  }
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"git_rev\":\"%s\",\"exec_threads\":%d,"
+               "\"wall_seconds\":%.4f,\"mr_wall_seconds\":%.4f,"
+               "\"sim_seconds\":%.2f,\"queries\":%zu,\"failures\":%d}\n",
+               name.c_str(), GitRevision().c_str(), threads, wall, mr_wall,
+               sim, results.size(), failures);
+  std::fclose(f);
 }
 
 void RegisterQueryBenchmarks(const std::string& prefix,

@@ -20,8 +20,15 @@ engine::Dataset* GetDataset(const std::string& workload, Scale scale,
                             bool orc = true);
 
 /// Cluster config matching the paper's setups: 10 nodes for BSBM-500K and
-/// Chem2Bio2RDF, 50 for BSBM-2M, 60 for PubMed (§5.1).
+/// Chem2Bio2RDF, 50 for BSBM-2M, 60 for PubMed (§5.1). Executor threads
+/// come from BenchExecThreads().
 mr::ClusterConfig ClusterFor(int num_nodes);
+
+/// Host threads the benches execute MR tasks with: the RAPIDA_EXEC_THREADS
+/// environment variable when set, otherwise 0 (= hardware concurrency).
+/// Results and simulated seconds are identical for any value; only real
+/// wall time changes.
+int BenchExecThreads();
 
 /// Cluster config whose cost model scales the in-process sample up to the
 /// paper's dataset sizes (BSBM 43 GB / 172 GB, Chem2Bio2RDF 60 GB, PubMed
@@ -36,7 +43,8 @@ struct RunResult {
   bool ok = false;
   std::string error;
   double sim_seconds = 0;
-  double wall_seconds = 0;
+  double wall_seconds = 0;     // host time for the whole engine run
+  double mr_wall_seconds = 0;  // host time inside Cluster::Run only
   int cycles = 0;
   int map_only_cycles = 0;
   uint64_t scan_bytes = 0;
@@ -54,10 +62,19 @@ RunResult RunOne(engine::Engine* eng, const std::string& query_id,
 /// Prints a paper-style table: rows = queries, columns = engines, cells =
 /// simulated seconds (with cycle counts). When the RAPIDA_BENCH_CSV
 /// environment variable names a directory, the raw results are also
-/// appended as CSV there (one file per table, plot-ready).
+/// appended as CSV there (one file per table, plot-ready). Additionally
+/// appends one real-time trajectory entry via AppendBenchTrajectory.
 void PrintTable(const std::string& title,
                 const std::vector<std::string>& engine_order,
                 const std::vector<RunResult>& results);
+
+/// Appends one JSON line for this bench run to BENCH_mapreduce.json (path
+/// overridable via RAPIDA_BENCH_JSON; empty value disables): bench title,
+/// git revision, exec_threads, total host wall seconds (whole run and
+/// MR-runtime-only), total simulated seconds. Lets successive PRs track
+/// real-time speedup alongside the simulated numbers.
+void AppendBenchTrajectory(const std::string& title,
+                           const std::vector<RunResult>& results);
 
 /// Registers a google-benchmark per (engine, query) that runs the full
 /// workflow once per iteration and reports SimSeconds / Cycles counters.

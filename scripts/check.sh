@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full check: regular build + all tests, then a ThreadSanitizer build
+# running the concurrency-sensitive suites (the parallel MapReduce runtime
+# and the engines on top of it).
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== regular build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+      thread_pool_test mapreduce_test engines_test
+
+echo "== TSan: thread_pool_test =="
+./build-tsan/tests/thread_pool_test
+echo "== TSan: mapreduce_test =="
+./build-tsan/tests/mapreduce_test
+echo "== TSan: engines_test =="
+./build-tsan/tests/engines_test
+
+echo "All checks passed."

@@ -1,6 +1,7 @@
 #include "engines/ntga_exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "analytics/aggregates.h"
@@ -275,6 +276,8 @@ StatusOr<PatternMatches> NtgaExec::ComputePatternMatches(
         }
       }
     };
+    // Pure function of (key, values): reducers may run concurrently.
+    job.reduce_parallel_safe = true;
 
     RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
     (void)stats;
@@ -342,13 +345,16 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
     }
 
     // Per-mapper multiAggMap (Alg. 3): key "gid#grpkey" -> aggregators.
-    auto multi_agg_map = std::make_shared<
-        std::map<std::string, std::vector<Aggregator>>>();
+    // Lives in MapContext::TaskState so concurrent map tasks accumulate
+    // into independent tables (flushed by map_finish below).
+    using MultiAggMap = std::map<std::string, std::vector<Aggregator>>;
     bool partial = options_.partial_aggregation;
 
     auto process = [shared_groupings, batch, shared_pattern, dict, type_id,
-                    multi_agg_map, partial](const NestedTripleGroup& ntg,
-                                            mr::MapContext* ctx) {
+                    partial](const NestedTripleGroup& ntg,
+                             mr::MapContext* ctx) {
+      MultiAggMap* multi_agg_map =
+          partial ? ctx->TaskState<MultiAggMap>() : nullptr;
       for (int g : *batch) {
         const NtgaGrouping& grouping = (*shared_groupings)[g];
         if (!ntga::SatisfiesAlpha(ntg, grouping.spec.alpha, type_id)) {
@@ -431,7 +437,8 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
       };
     }
     if (partial) {
-      job.map_finish = [multi_agg_map](mr::MapContext* ctx) {
+      job.map_finish = [](mr::MapContext* ctx) {
+        MultiAggMap* multi_agg_map = ctx->TaskState<MultiAggMap>();
         for (auto& [key, aggs] : *multi_agg_map) {
           std::string value = "P";
           for (const Aggregator& a : aggs) {
@@ -537,11 +544,11 @@ StatusOr<analytics::BindingTable> NtgaExec::FinalJoinProject(
   std::string out_file = NextTmp(label + ":result");
   job.output = out_file;
   auto rows = std::make_shared<std::vector<mr::Record>>(projected.rows);
-  auto emitted = std::make_shared<bool>(false);
+  // Exactly one of the (possibly concurrent) mappers emits the rows.
+  auto emitted = std::make_shared<std::atomic<bool>>(false);
   job.map = [](const mr::Record&, int, mr::MapContext*) {};
   job.map_finish = [rows, emitted](mr::MapContext* ctx) {
-    if (*emitted) return;
-    *emitted = true;
+    if (emitted->exchange(true)) return;
     for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
   };
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));

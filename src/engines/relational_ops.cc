@@ -1,6 +1,7 @@
 #include "engines/relational_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -289,6 +290,8 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
         ctx->Emit("", EncodeRow(merged));
       }
     };
+    // Pure function of (key, values): reducers may run concurrently.
+    job.reduce_parallel_safe = true;
   }
 
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats ignored, cluster_->Run(job));
@@ -346,11 +349,12 @@ StatusOr<TableRef> RelationalOps::GroupBy(
 
   if (options_.partial_aggregation) {
     // Hash-based map-side pre-aggregation (the relational analogue of
-    // Alg. 3's multiAggMap).
-    auto partials =
-        std::make_shared<std::map<std::string, std::vector<Aggregator>>>();
-    job.map = [key_idx, agg_idx, agg_specs, partials, dict, make_aggs](
-                  const mr::Record& r, int, mr::MapContext*) {
+    // Alg. 3's multiAggMap). The table lives in per-task state so
+    // concurrent map tasks accumulate independently.
+    using PartialMap = std::map<std::string, std::vector<Aggregator>>;
+    job.map = [key_idx, agg_idx, dict, make_aggs](
+                  const mr::Record& r, int, mr::MapContext* ctx) {
+      PartialMap* partials = ctx->TaskState<PartialMap>();
       std::vector<rdf::TermId> row = DecodeRow(r.value);
       std::vector<rdf::TermId> key;
       for (int i : key_idx) key.push_back(row[i]);
@@ -363,7 +367,8 @@ StatusOr<TableRef> RelationalOps::GroupBy(
         }
       }
     };
-    job.map_finish = [partials](mr::MapContext* ctx) {
+    job.map_finish = [](mr::MapContext* ctx) {
+      PartialMap* partials = ctx->TaskState<PartialMap>();
       for (auto& [key, agg_list] : *partials) {
         std::string value = "P";
         for (const Aggregator& a : agg_list) {
@@ -483,6 +488,7 @@ StatusOr<TableRef> RelationalOps::DistinctProject(
   };
   job.reduce = [](const std::string& key, const std::vector<std::string>&,
                   mr::ReduceContext* ctx) { ctx->Emit("", key); };
+  job.reduce_parallel_safe = true;
 
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
   (void)stats;
@@ -559,11 +565,11 @@ StatusOr<TableRef> RelationalOps::FinalJoinProject(
   job.output = out.file;
   auto rows = std::make_shared<std::vector<mr::Record>>(
       std::move(result_rows));
-  auto emitted = std::make_shared<bool>(false);
+  // Exactly one of the (possibly concurrent) mappers emits the rows.
+  auto emitted = std::make_shared<std::atomic<bool>>(false);
   job.map = [](const mr::Record&, int, mr::MapContext*) {};
   job.map_finish = [rows, emitted](mr::MapContext* ctx) {
-    if (*emitted) return;
-    *emitted = true;
+    if (emitted->exchange(true)) return;
     for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
   };
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));

@@ -1,24 +1,33 @@
 #include "mapreduce/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <map>
+#include <functional>
+#include <mutex>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rapida::mr {
 
 namespace {
 
+/// Map-side sink: collects records and accounts their serialized bytes in
+/// the emit loop (cheaper than a second pass over the buffer).
 class VectorMapContext : public MapContext {
  public:
   explicit VectorMapContext(std::vector<Record>* out) : out_(out) {}
   void Emit(std::string key, std::string value) override {
+    bytes_ += key.size() + value.size() + 2;  // == Record::Bytes()
     out_->push_back(Record{std::move(key), std::move(value)});
   }
+  uint64_t bytes() const { return bytes_; }
 
  private:
   std::vector<Record>* out_;
+  uint64_t bytes_ = 0;
 };
 
 class VectorReduceContext : public ReduceContext {
@@ -32,20 +41,83 @@ class VectorReduceContext : public ReduceContext {
   std::vector<Record>* out_;
 };
 
-/// Groups records by key preserving a deterministic key order.
-std::map<std::string, std::vector<std::string>> GroupByKey(
-    std::vector<Record> records) {
-  std::map<std::string, std::vector<std::string>> groups;
-  for (Record& r : records) {
-    groups[r.key].push_back(std::move(r.value));
+/// Half-open range of same-key records inside a sorted partition.
+struct GroupSpan {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Stable-sorts `records` by key in place and returns the group spans in
+/// ascending key order. Stability keeps each group's values in arrival
+/// order, so the result is exactly what the old std::map-based grouping
+/// produced — without any per-node allocations.
+std::vector<GroupSpan> SortAndGroup(std::vector<Record>* records) {
+  std::stable_sort(
+      records->begin(), records->end(),
+      [](const Record& a, const Record& b) { return a.key < b.key; });
+  std::vector<GroupSpan> groups;
+  size_t i = 0;
+  while (i < records->size()) {
+    size_t j = i + 1;
+    while (j < records->size() && (*records)[j].key == (*records)[i].key) ++j;
+    groups.push_back(GroupSpan{i, j});
+    i = j;
   }
   return groups;
 }
 
+/// Moves the values of one group span out into a flat vector (keys stay
+/// valid in the records).
+std::vector<std::string> TakeGroupValues(std::vector<Record>* records,
+                                         const GroupSpan& span) {
+  std::vector<std::string> values;
+  values.reserve(span.end - span.begin);
+  for (size_t i = span.begin; i < span.end; ++i) {
+    values.push_back(std::move((*records)[i].value));
+  }
+  return values;
+}
+
+/// One mapper's private results, merged into JobStats at the map barrier.
+struct MapTaskResult {
+  std::vector<Record> output;  // map-only jobs: this task's final records
+  uint64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+  uint64_t shuffle_records = 0;  // post-combine
+  uint64_t shuffle_bytes = 0;
+};
+
+/// One shuffle partition while mappers are filling it: chunks of records
+/// tagged with the producing task index, appended under the partition's
+/// own mutex (mappers touching different partitions never contend).
+struct ShufflePartition {
+  std::mutex mu;
+  std::vector<std::pair<size_t, std::vector<Record>>> chunks;
+  uint64_t num_records = 0;
+};
+
 }  // namespace
+
+Cluster::Cluster(const ClusterConfig& config, Dfs* dfs)
+    : config_(config), dfs_(dfs) {}
+
+Cluster::~Cluster() = default;
+
+util::ThreadPool* Cluster::pool() {
+  int threads = config_.exec_threads;
+  if (threads <= 0) threads = util::ThreadPool::HardwareThreads();
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    // The calling thread joins every ParallelFor, so exec_threads = N
+    // means N-way concurrency from N-1 workers plus the caller.
+    pool_ = std::make_unique<util::ThreadPool>(threads - 1);
+  }
+  return pool_.get();
+}
 
 StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   RAPIDA_CHECK(job.map != nullptr) << "job '" << job.name << "' has no map fn";
+  const auto wall_start = std::chrono::steady_clock::now();
   JobStats stats;
   stats.name = job.name;
   stats.map_only = job.reduce == nullptr;
@@ -80,47 +152,191 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   if (splits.empty()) splits.resize(1);
   stats.num_mappers = static_cast<int>(splits.size());
 
-  // ---- map phase (+ optional combine per mapper) ----
-  std::vector<Record> shuffle_input;
-  for (Split& split : splits) {
+  util::ThreadPool* workers = pool();
+  // Shuffle partition count: one per executor so the reduce side can use
+  // the full pool. hash(key) % R only decides which partition groups a
+  // key; outputs are re-merged into global key order below, so R never
+  // affects results or counters.
+  const size_t num_partitions =
+      stats.map_only ? 0
+                     : static_cast<size_t>(workers ? workers->num_threads() + 1
+                                                   : 1);
+
+  // ---- map phase (+ optional combine, partitioning per mapper) ----
+  // Mappers run concurrently. Each emits into a task-local buffer,
+  // combines locally, then scatters its output into the shared shuffle
+  // partitions; only that last append takes a (per-partition) lock.
+  std::vector<MapTaskResult> task_results(splits.size());
+  std::vector<ShufflePartition> partitions(num_partitions);
+  auto run_tasks = [workers](size_t n,
+                             const std::function<void(size_t)>& fn) {
+    if (workers != nullptr && n > 1) {
+      workers->ParallelFor(n, fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+
+  run_tasks(splits.size(), [&](size_t task) {
+    Split& split = splits[task];
+    MapTaskResult& result = task_results[task];
     std::vector<Record> map_out;
+    map_out.reserve(split.records.size());
     VectorMapContext ctx(&map_out);
     for (const auto& [rec, tag] : split.records) {
       job.map(*rec, tag, &ctx);
     }
     if (job.map_finish) job.map_finish(&ctx);
-    stats.map_output_records += map_out.size();
-    for (const Record& r : map_out) stats.map_output_bytes += r.Bytes();
+    result.map_output_records = map_out.size();
+    result.map_output_bytes = ctx.bytes();
 
-    if (job.combine && job.reduce) {
+    if (stats.map_only) {
+      result.output = std::move(map_out);
+      return;
+    }
+
+    if (job.combine) {
       std::vector<Record> combined;
+      combined.reserve(map_out.size());
       VectorReduceContext cctx(&combined);
-      for (auto& [key, values] : GroupByKey(std::move(map_out))) {
-        job.combine(key, values, &cctx);
+      std::vector<GroupSpan> groups = SortAndGroup(&map_out);
+      for (const GroupSpan& span : groups) {
+        std::vector<std::string> values = TakeGroupValues(&map_out, span);
+        job.combine(map_out[span.begin].key, values, &cctx);
       }
       map_out = std::move(combined);
     }
-    for (Record& r : map_out) shuffle_input.push_back(std::move(r));
+
+    // Scatter into per-partition buckets, then one locked append each.
+    std::vector<std::vector<Record>> buckets(num_partitions);
+    for (Record& r : map_out) {
+      result.shuffle_records += 1;
+      result.shuffle_bytes += r.Bytes();
+      size_t p = num_partitions == 1
+                     ? 0
+                     : std::hash<std::string>{}(r.key) % num_partitions;
+      buckets[p].push_back(std::move(r));
+    }
+    for (size_t p = 0; p < num_partitions; ++p) {
+      if (buckets[p].empty()) continue;
+      std::lock_guard<std::mutex> lock(partitions[p].mu);
+      partitions[p].num_records += buckets[p].size();
+      partitions[p].chunks.emplace_back(task, std::move(buckets[p]));
+    }
+  });
+
+  // ---- map barrier: merge per-task accumulators ----
+  for (const MapTaskResult& r : task_results) {
+    stats.map_output_records += r.map_output_records;
+    stats.map_output_bytes += r.map_output_bytes;
+    stats.shuffle_records += r.shuffle_records;
+    stats.shuffle_bytes += r.shuffle_bytes;
   }
 
   std::vector<Record> output;
   if (stats.map_only) {
-    // Map-only job: mapper output goes straight to the output file.
+    // Map-only job: mapper outputs concatenate in split order.
     stats.shuffle_records = 0;
     stats.shuffle_bytes = 0;
     stats.num_reducers = 0;
-    output = std::move(shuffle_input);
+    size_t total = 0;
+    for (const MapTaskResult& r : task_results) total += r.output.size();
+    output.reserve(total);
+    for (MapTaskResult& r : task_results) {
+      for (Record& rec : r.output) output.push_back(std::move(rec));
+    }
   } else {
-    stats.shuffle_records = shuffle_input.size();
-    for (const Record& r : shuffle_input) stats.shuffle_bytes += r.Bytes();
+    // ---- group phase: per partition, flatten in task order, sort,
+    // group-adjacent. Runs one task per partition. ----
+    std::vector<std::vector<Record>> part_records(num_partitions);
+    std::vector<std::vector<GroupSpan>> part_groups(num_partitions);
+    run_tasks(num_partitions, [&](size_t p) {
+      ShufflePartition& part = partitions[p];
+      std::sort(part.chunks.begin(), part.chunks.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<Record>& flat = part_records[p];
+      flat.reserve(part.num_records);
+      for (auto& [task, chunk] : part.chunks) {
+        for (Record& r : chunk) flat.push_back(std::move(r));
+      }
+      part.chunks.clear();
+      part_groups[p] = SortAndGroup(&flat);
+    });
 
-    auto groups = GroupByKey(std::move(shuffle_input));
+    size_t distinct_keys = 0;
+    for (const auto& groups : part_groups) distinct_keys += groups.size();
     stats.num_reducers =
         std::min<int>(config_.reduce_slots(),
-                      std::max<int>(1, static_cast<int>(groups.size())));
-    VectorReduceContext rctx(&output);
-    for (auto& [key, values] : groups) {
-      job.reduce(key, values, &rctx);
+                      std::max<int>(1, static_cast<int>(distinct_keys)));
+
+    if (job.reduce_parallel_safe && workers != nullptr &&
+        num_partitions > 1) {
+      // ---- parallel reduce: each partition reduces its own key groups,
+      // recording the output span per group; spans are then concatenated
+      // in ascending input-key order, which reproduces the serial path's
+      // output byte-for-byte. ----
+      struct ReducedGroup {
+        const std::string* key;  // points into part_records (stable)
+        size_t part;
+        size_t begin, end;  // span in part_out[part]
+      };
+      std::vector<std::vector<Record>> part_out(num_partitions);
+      std::vector<std::vector<ReducedGroup>> part_spans(num_partitions);
+      run_tasks(num_partitions, [&](size_t p) {
+        std::vector<Record>& records = part_records[p];
+        VectorReduceContext rctx(&part_out[p]);
+        part_spans[p].reserve(part_groups[p].size());
+        for (const GroupSpan& span : part_groups[p]) {
+          std::vector<std::string> values = TakeGroupValues(&records, span);
+          size_t before = part_out[p].size();
+          job.reduce(records[span.begin].key, values, &rctx);
+          part_spans[p].push_back(ReducedGroup{&records[span.begin].key, p,
+                                               before, part_out[p].size()});
+        }
+      });
+      std::vector<ReducedGroup> all_groups;
+      all_groups.reserve(distinct_keys);
+      for (const auto& spans : part_spans) {
+        all_groups.insert(all_groups.end(), spans.begin(), spans.end());
+      }
+      std::sort(all_groups.begin(), all_groups.end(),
+                [](const ReducedGroup& a, const ReducedGroup& b) {
+                  return *a.key < *b.key;
+                });
+      size_t total = 0;
+      for (const auto& out : part_out) total += out.size();
+      output.reserve(total);
+      for (const ReducedGroup& g : all_groups) {
+        for (size_t i = g.begin; i < g.end; ++i) {
+          output.push_back(std::move(part_out[g.part][i]));
+        }
+      }
+    } else {
+      // ---- serial reduce: k-way merge of the sorted partitions invokes
+      // the reduce fn once per key in *global* key order — identical to
+      // the single-threaded runtime, so reduce fns that mutate shared
+      // state (e.g. dictionary interning in aggregation finalizers) see
+      // the exact same sequence of calls. ----
+      VectorReduceContext rctx(&output);
+      std::vector<size_t> next(num_partitions, 0);
+      for (;;) {
+        size_t best = num_partitions;
+        const std::string* best_key = nullptr;
+        for (size_t p = 0; p < num_partitions; ++p) {
+          if (next[p] >= part_groups[p].size()) continue;
+          const std::string& key =
+              part_records[p][part_groups[p][next[p]].begin].key;
+          if (best_key == nullptr || key < *best_key) {
+            best = p;
+            best_key = &key;
+          }
+        }
+        if (best == num_partitions) break;
+        const GroupSpan& span = part_groups[best][next[best]++];
+        std::vector<std::string> values =
+            TakeGroupValues(&part_records[best], span);
+        job.reduce(part_records[best][span.begin].key, values, &rctx);
+      }
     }
   }
 
@@ -138,6 +354,10 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   }
 
   stats.sim_seconds = EstimateSimSeconds(stats);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   history_.push_back(stats);
   return stats;
 }

@@ -1,6 +1,7 @@
 #ifndef RAPIDA_MAPREDUCE_CLUSTER_H_
 #define RAPIDA_MAPREDUCE_CLUSTER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,10 @@
 #include "mapreduce/dfs.h"
 #include "mapreduce/job.h"
 #include "util/statusor.h"
+
+namespace rapida::util {
+class ThreadPool;
+}  // namespace rapida::util
 
 namespace rapida::mr {
 
@@ -36,6 +41,12 @@ struct ClusterConfig {
   /// (affects per-mapper combiner/state granularity, not the cost model).
   uint64_t exec_split_bytes = 1024 * 1024;
 
+  /// Host threads executing map/reduce tasks. 0 = hardware_concurrency;
+  /// 1 = the serial path. Any value produces byte-identical outputs and
+  /// identical counters/simulated seconds — this knob only changes real
+  /// wall time, which Cluster::Run reports in JobStats::wall_seconds.
+  int exec_threads = 0;
+
   /// Fixed per-job cost: JVM spin-up, scheduling, commit (seconds).
   double per_job_overhead_s = 20.0;
 
@@ -59,8 +70,8 @@ struct ClusterConfig {
 /// that turns the measured byte/record counters into simulated wall time.
 class Cluster {
  public:
-  Cluster(const ClusterConfig& config, Dfs* dfs)
-      : config_(config), dfs_(dfs) {}
+  Cluster(const ClusterConfig& config, Dfs* dfs);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -81,9 +92,14 @@ class Cluster {
   void ResetHistory() { history_.clear(); }
 
  private:
+  /// Worker threads beyond the calling thread (which always participates);
+  /// created lazily on the first job that can use them.
+  util::ThreadPool* pool();
+
   ClusterConfig config_;
   Dfs* dfs_;
   std::vector<JobStats> history_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace rapida::mr

@@ -14,8 +14,9 @@ std::string WorkflowStats::ToString() const {
      << FormatBytes(TotalInputBytes()) << ", shuffle "
      << FormatBytes(TotalShuffleBytes()) << ", write "
      << FormatBytes(TotalOutputBytes());
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), ", sim %.1fs", TotalSimSeconds());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", sim %.1fs (host %.3fs)",
+                TotalSimSeconds(), TotalWallSeconds());
   os << buf << "\n";
   for (const JobStats& j : jobs) {
     std::snprintf(buf, sizeof(buf), "%8.1fs", j.sim_seconds);

@@ -26,7 +26,8 @@ struct JobStats {
   int num_mappers = 0;
   int num_reducers = 0;
 
-  double sim_seconds = 0;  // simulated wall time from the cost model
+  double sim_seconds = 0;   // simulated wall time from the cost model
+  double wall_seconds = 0;  // real host time spent in Cluster::Run
 };
 
 /// Aggregate over a workflow (one engine executing one query).
@@ -57,6 +58,11 @@ struct WorkflowStats {
   double TotalSimSeconds() const {
     double s = 0;
     for (const JobStats& j : jobs) s += j.sim_seconds;
+    return s;
+  }
+  double TotalWallSeconds() const {
+    double s = 0;
+    for (const JobStats& j : jobs) s += j.wall_seconds;
     return s;
   }
 

@@ -2,6 +2,7 @@
 #define RAPIDA_MAPREDUCE_JOB_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,11 +11,37 @@
 
 namespace rapida::mr {
 
-/// Sink for map-side emissions.
+/// Sink for map-side emissions. Each map task (one input split) gets its
+/// own context, and map tasks may run on different threads concurrently
+/// (ClusterConfig::exec_threads). A map function must therefore keep any
+/// cross-record mutable state in TaskState() — never in shared captures —
+/// and may only read from shared captured structures.
 class MapContext {
  public:
   virtual ~MapContext() = default;
   virtual void Emit(std::string key, std::string value) = 0;
+
+  /// Lazily-created state scoped to this map task: the first call
+  /// value-initializes a T, later calls return the same object, and it is
+  /// destroyed after the task's map_finish. This is how per-mapper
+  /// accumulators (e.g. the paper's multiAggMap hash pre-aggregation,
+  /// Alg. 3) stay correct when map tasks run concurrently: capture the
+  /// immutable specs in the lambda, keep the mutable table here.
+  template <typename T>
+  T* TaskState() {
+    if (state_ == nullptr) state_ = std::make_unique<StateHolder<T>>();
+    return &static_cast<StateHolder<T>*>(state_.get())->value;
+  }
+
+ private:
+  struct StateHolderBase {
+    virtual ~StateHolderBase() = default;
+  };
+  template <typename T>
+  struct StateHolder : StateHolderBase {
+    T value{};
+  };
+  std::unique_ptr<StateHolderBase> state_;
 };
 
 /// Sink for reduce-side emissions.
@@ -27,6 +54,7 @@ class ReduceContext {
 /// Per-record map function. `input_tag` identifies which input file the
 /// record came from (0-based index into JobConfig::inputs) so joins can
 /// tag their sides — real MapReduce gets this from the input split path.
+/// May run concurrently with other map tasks; see MapContext.
 using MapFn =
     std::function<void(const Record& record, int input_tag, MapContext*)>;
 
@@ -50,6 +78,15 @@ struct JobConfig {
   MapFinishFn map_finish;    // optional
   ReduceFn combine;          // optional (map-side, per mapper)
   ReduceFn reduce;           // null => map-only job (no shuffle)
+
+  /// Whether `reduce` may be invoked from several threads at once (for
+  /// different keys). Safe only for pure functions of (key, values) —
+  /// joins, distinct-projections. Leave false (the default) when reduce
+  /// touches shared mutable state; the runtime then calls it serially in
+  /// global key order, exactly like the single-threaded path, which in
+  /// particular keeps rdf::Dictionary interning deterministic for
+  /// aggregation finalizers.
+  bool reduce_parallel_safe = false;
 
   /// Storage options for the output file (e.g. Hive writes ORC-compressed
   /// intermediates).

@@ -1,0 +1,56 @@
+#ifndef RAPIDA_UTIL_THREAD_POOL_H_
+#define RAPIDA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rapida::util {
+
+/// Fixed-size worker pool. Tasks run FIFO on the worker threads; an
+/// exception escaping a task is captured in the task's future and rethrown
+/// from get() (ParallelFor rethrows the first one in index order). The
+/// destructor drains queued tasks before joining the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. The returned future becomes ready when the task
+  /// completes (get() rethrows anything the task threw).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until every call
+  /// has completed. The calling thread participates, so a pool of k
+  /// workers gives k+1-way concurrency and n == 1 never leaves this
+  /// thread idle.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// hardware_concurrency(), floored at 1 (the standard allows 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one queued task; returns false when the queue is empty.
+  bool RunOneTask();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rapida::util
+
+#endif  // RAPIDA_UTIL_THREAD_POOL_H_

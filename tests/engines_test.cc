@@ -304,6 +304,44 @@ TEST_F(EnginesTest, SequentialVsParallelAggJoin) {
   EXPECT_EQ(s_par.workflow.NumCycles() + 1, s_seq.workflow.NumCycles());
 }
 
+TEST_F(EnginesTest, ExecThreadsDoNotChangeEngineResults) {
+  // Full-stack determinism: every engine, run over a fresh dataset with a
+  // serial cluster and an 8-thread cluster, must produce identical rows
+  // and identical counters (dictionary interning inside aggregation
+  // reduces stays in global key order, so even TermId assignment agrees).
+  auto parsed = sparql::ParseQuery(kMg3Style);
+  ASSERT_TRUE(parsed.ok());
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok());
+
+  Dataset ds1(BuildMiniGraph()), ds8(BuildMiniGraph());
+  mr::ClusterConfig cfg;
+  cfg.exec_split_bytes = 256;  // force several map tasks per job
+  cfg.exec_threads = 1;
+  mr::Cluster c1(cfg, &ds1.dfs());
+  cfg.exec_threads = 8;
+  mr::Cluster c8(cfg, &ds8.dfs());
+
+  for (const auto& engine : MakeAllEngines()) {
+    ExecStats s1, s8;
+    auto r1 = engine->Execute(*query, &ds1, &c1, &s1);
+    auto r8 = engine->Execute(*query, &ds8, &c8, &s8);
+    ASSERT_TRUE(r1.ok()) << engine->name() << ": " << r1.status();
+    ASSERT_TRUE(r8.ok()) << engine->name() << ": " << r8.status();
+    EXPECT_EQ(r1->ToSortedStrings(ds1.dict()), r8->ToSortedStrings(ds8.dict()))
+        << engine->name();
+    EXPECT_EQ(s1.workflow.NumCycles(), s8.workflow.NumCycles())
+        << engine->name();
+    EXPECT_EQ(s1.workflow.TotalShuffleBytes(), s8.workflow.TotalShuffleBytes())
+        << engine->name();
+    EXPECT_EQ(s1.workflow.TotalOutputBytes(), s8.workflow.TotalOutputBytes())
+        << engine->name();
+    EXPECT_DOUBLE_EQ(s1.workflow.TotalSimSeconds(),
+                     s8.workflow.TotalSimSeconds())
+        << engine->name();
+  }
+}
+
 TEST_F(EnginesTest, DfsCleanAfterRuns) {
   auto parsed = sparql::ParseQuery(kMg1Style);
   ASSERT_TRUE(parsed.ok());

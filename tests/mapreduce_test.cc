@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "mapreduce/cluster.h"
 #include "mapreduce/dfs.h"
 #include "util/string_util.h"
@@ -253,6 +255,201 @@ TEST_F(ClusterTest, CostModelShape) {
   big_cfg.num_nodes = 60;
   Cluster c60(big_cfg, &dfs_);
   EXPECT_LT(c60.EstimateSimSeconds(shuffled), c.EstimateSimSeconds(shuffled));
+}
+
+// The multi-input combiner job used by the determinism tests: word counts
+// tagged by input side, with enough records and a small split size that
+// the parallel run gets many map tasks.
+JobConfig DeterminismJob(ReduceFn* sum_out = nullptr) {
+  JobConfig job;
+  job.name = "determinism";
+  job.inputs = {"left", "right"};
+  job.output = "out";
+  job.map = [](const Record& r, int tag, MapContext* ctx) {
+    for (const std::string& w : SplitString(r.value, ' ')) {
+      ctx->Emit((tag == 0 ? "L" : "R") + w, "1");
+    }
+  };
+  ReduceFn sum = [](const std::string& key,
+                    const std::vector<std::string>& values,
+                    ReduceContext* ctx) {
+    int64_t total = 0;
+    for (const std::string& v : values) {
+      int64_t n = 0;
+      ParseInt64(v, &n);
+      total += n;
+    }
+    ctx->Emit(key, std::to_string(total));
+  };
+  job.combine = sum;
+  job.reduce = sum;
+  if (sum_out != nullptr) *sum_out = sum;
+  return job;
+}
+
+void WriteDeterminismInputs(Dfs* dfs) {
+  std::vector<Record> left, right;
+  for (int i = 0; i < 400; ++i) {
+    std::string line;
+    for (int w = 0; w < 6; ++w) {
+      if (w > 0) line += ' ';
+      line += "w" + std::to_string((i * 7 + w * 13) % 50);
+    }
+    (i % 2 == 0 ? left : right).push_back(Record{"", line});
+  }
+  ASSERT_TRUE(dfs->Write("left", left).ok());
+  ASSERT_TRUE(dfs->Write("right", right).ok());
+}
+
+void ExpectSameStats(const JobStats& a, const JobStats& b) {
+  EXPECT_EQ(a.input_records, b.input_records);
+  EXPECT_EQ(a.input_bytes, b.input_bytes);
+  EXPECT_EQ(a.map_output_records, b.map_output_records);
+  EXPECT_EQ(a.map_output_bytes, b.map_output_bytes);
+  EXPECT_EQ(a.shuffle_records, b.shuffle_records);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.output_records, b.output_records);
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_EQ(a.num_mappers, b.num_mappers);
+  EXPECT_EQ(a.num_reducers, b.num_reducers);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+// One thread vs eight must agree byte-for-byte: same output records in the
+// same order, same counters, same simulated seconds. Exercised both for
+// the serial (key-order-merge) reduce and the parallel-safe reduce path.
+TEST(ParallelClusterTest, ThreadCountDoesNotChangeResults) {
+  for (bool parallel_safe_reduce : {false, true}) {
+    Dfs dfs1, dfs8;
+    WriteDeterminismInputs(&dfs1);
+    WriteDeterminismInputs(&dfs8);
+
+    ClusterConfig cfg1;
+    cfg1.exec_split_bytes = 256;  // many map tasks even on tiny inputs
+    cfg1.exec_threads = 1;
+    ClusterConfig cfg8 = cfg1;
+    cfg8.exec_threads = 8;
+    Cluster c1(cfg1, &dfs1);
+    Cluster c8(cfg8, &dfs8);
+
+    JobConfig job = DeterminismJob();
+    job.reduce_parallel_safe = parallel_safe_reduce;
+
+    auto s1 = c1.Run(job);
+    auto s8 = c8.Run(job);
+    ASSERT_TRUE(s1.ok()) << s1.status();
+    ASSERT_TRUE(s8.ok()) << s8.status();
+    EXPECT_GT(s1->num_mappers, 4);
+    ExpectSameStats(*s1, *s8);
+    EXPECT_DOUBLE_EQ(c1.EstimateSimSeconds(*s1), c8.EstimateSimSeconds(*s8));
+
+    auto out1 = dfs1.Open("out");
+    auto out8 = dfs8.Open("out");
+    ASSERT_TRUE(out1.ok() && out8.ok());
+    ASSERT_EQ((*out1)->records.size(), (*out8)->records.size());
+    // Byte-identical in original emission order...
+    for (size_t i = 0; i < (*out1)->records.size(); ++i) {
+      EXPECT_EQ((*out1)->records[i].key, (*out8)->records[i].key);
+      EXPECT_EQ((*out1)->records[i].value, (*out8)->records[i].value);
+    }
+    // ...and (a fortiori) after a canonical sort.
+    auto canon = [](const std::vector<Record>& recs) {
+      std::vector<std::string> out;
+      for (const Record& r : recs) out.push_back(r.key + "\t" + r.value);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(canon((*out1)->records), canon((*out8)->records));
+  }
+}
+
+// Map-only jobs concatenate task outputs in split order regardless of the
+// execution interleaving.
+TEST(ParallelClusterTest, MapOnlyOutputOrderIsSplitOrder) {
+  Dfs dfs1, dfs8;
+  WriteDeterminismInputs(&dfs1);
+  WriteDeterminismInputs(&dfs8);
+  ClusterConfig cfg;
+  cfg.exec_split_bytes = 256;
+  cfg.exec_threads = 1;
+  Cluster c1(cfg, &dfs1);
+  cfg.exec_threads = 8;
+  Cluster c8(cfg, &dfs8);
+
+  JobConfig job;
+  job.name = "identity";
+  job.inputs = {"left", "right"};
+  job.output = "out";
+  job.map = [](const Record& r, int tag, MapContext* ctx) {
+    ctx->Emit(std::to_string(tag), r.value);
+  };
+  auto s1 = c1.Run(job);
+  auto s8 = c8.Run(job);
+  ASSERT_TRUE(s1.ok() && s8.ok());
+  ExpectSameStats(*s1, *s8);
+  auto out1 = dfs1.Open("out");
+  auto out8 = dfs8.Open("out");
+  ASSERT_EQ((*out1)->records.size(), (*out8)->records.size());
+  for (size_t i = 0; i < (*out1)->records.size(); ++i) {
+    EXPECT_EQ((*out1)->records[i].value, (*out8)->records[i].value);
+  }
+}
+
+// Per-task state: a stateful mapper that counts records through
+// MapContext::TaskState and flushes in map_finish must see every record
+// exactly once across concurrent map tasks.
+TEST(ParallelClusterTest, TaskStateIsPerMapTask) {
+  Dfs dfs;
+  std::vector<Record> input(300, Record{"k", "1"});
+  ASSERT_TRUE(dfs.Write("input", input).ok());
+  ClusterConfig cfg;
+  cfg.exec_split_bytes = 128;
+  cfg.exec_threads = 8;
+  Cluster cluster(cfg, &dfs);
+
+  JobConfig job;
+  job.name = "stateful";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record&, int, MapContext* ctx) {
+    ++*ctx->TaskState<int>();
+  };
+  job.map_finish = [](MapContext* ctx) {
+    ctx->Emit("total", std::to_string(*ctx->TaskState<int>()));
+  };
+  job.reduce = [](const std::string& key,
+                  const std::vector<std::string>& values, ReduceContext* ctx) {
+    int64_t total = 0;
+    for (const std::string& v : values) {
+      int64_t n = 0;
+      ParseInt64(v, &n);
+      total += n;
+    }
+    ctx->Emit(key, std::to_string(total));
+  };
+  auto stats = cluster.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->num_mappers, 1);
+  auto out = dfs.Open("out");
+  ASSERT_EQ((*out)->records.size(), 1u);
+  EXPECT_EQ((*out)->records[0].value, "300");
+}
+
+// wall_seconds is recorded for every job.
+TEST(ParallelClusterTest, WallSecondsRecorded) {
+  Dfs dfs;
+  ASSERT_TRUE(dfs.Write("input", MakeRecords({{"k", "v"}})).ok());
+  Cluster cluster(ClusterConfig{}, &dfs);
+  JobConfig job;
+  job.name = "j";
+  job.inputs = {"input"};
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    ctx->Emit(r.key, r.value);
+  };
+  auto stats = cluster.Run(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->wall_seconds, 0.0);
+  EXPECT_LT(stats->wall_seconds, 60.0);
 }
 
 TEST_F(ClusterTest, HistoryAccumulates) {

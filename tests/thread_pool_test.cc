@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace rapida::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksRun) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+  pool.ParallelFor(1, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&ran](size_t i) {
+                                  ++ran;
+                                  if (i % 7 == 3) {
+                                    throw std::runtime_error("bad index");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFloorsAtOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+  pool.Submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace rapida::util
