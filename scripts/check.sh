@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full check: regular build + all tests, then a ThreadSanitizer build
+# Full check: regular build + all tests, the 200-seed differential fuzz
+# corpus, an AddressSanitizer fuzz smoke run, and a ThreadSanitizer build
 # running the concurrency-sensitive suites (the parallel MapReduce runtime
 # and the engines on top of it).
 #
@@ -13,6 +14,15 @@ echo "== regular build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== differential fuzz corpus (200 seeds, 4 engines x 2 thread cfgs) =="
+ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
+
+echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
+cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build-asan -j "$JOBS" --target rapida_fuzz
+./build-asan/examples/rapida_fuzz --seeds=50
 
 echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \

@@ -38,7 +38,44 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
   GroupingSubquery out;
   RAPIDA_ASSIGN_OR_RETURN(out.pattern,
                           ntga::DecomposeToStars(q.where.triples));
-  for (const auto& f : q.where.filters) out.filters.push_back(f->Clone());
+  // Disconnected patterns would need a cross product no engine implements;
+  // rejecting here keeps all engines (and the reference) consistent instead
+  // of some erroring at runtime while others shortcut to empty results.
+  if (out.pattern.stars.size() > 1) {
+    std::vector<bool> reach(out.pattern.stars.size(), false);
+    reach[0] = true;
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (const ntga::JoinEdge& e : out.pattern.joins) {
+        if (reach[e.star_a] != reach[e.star_b]) {
+          reach[e.star_a] = reach[e.star_b] = true;
+          grew = true;
+        }
+      }
+    }
+    for (bool r : reach) {
+      if (!r) {
+        return Status::InvalidArgument(
+            "graph pattern is not connected by join variables");
+      }
+    }
+  }
+  std::vector<std::string> bound;
+  q.where.CollectBoundVars(&bound);
+  auto is_bound = [&bound](const std::string& v) {
+    return std::find(bound.begin(), bound.end(), v) != bound.end();
+  };
+  for (const auto& f : q.where.filters) {
+    std::vector<std::string> vars;
+    f->CollectVars(&vars);
+    for (const std::string& v : vars) {
+      if (!is_bound(v)) {
+        return Status::InvalidArgument(
+            "FILTER variable ?" + v + " is not bound by the graph pattern");
+      }
+    }
+    out.filters.push_back(f->Clone());
+  }
   out.group_by = q.group_by;
   if (q.having != nullptr) {
     if (q.having->HasAggregate()) {
@@ -82,6 +119,11 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
       if (arg.kind != Expr::Kind::kVar) {
         return Status::InvalidArgument(
             "aggregate arguments must be variables, got: " + arg.ToString());
+      }
+      if (!is_bound(arg.var)) {
+        return Status::InvalidArgument(
+            "aggregate argument ?" + arg.var +
+            " is not bound by the graph pattern");
       }
       agg.var = arg.var;
     }

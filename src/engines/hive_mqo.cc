@@ -14,28 +14,55 @@ namespace {
 
 /// Converts a CompositePattern into a StarGraph the relational compiler
 /// understands (composite stars are ordinary star patterns whose secondary
-/// triples will be outer-joined).
-ntga::StarGraph CompositeToStarGraph(const ntga::CompositePattern& comp) {
+/// triples will be outer-joined). Secondary triples with a CONSTANT object
+/// are rewritten to fresh marker variables: compiled as-is, the equality
+/// would fold into the VP scan and a value mismatch would look exactly
+/// like the property being absent — unobservable by the extraction step,
+/// which would then over-match (found by differential fuzzing). The
+/// equality itself is returned in `sec_const_filters` as an extraction
+/// filter for the owning pattern.
+ntga::StarGraph CompositeToStarGraph(
+    const ntga::CompositePattern& comp,
+    std::vector<std::vector<sparql::ExprPtr>>* sec_const_filters) {
   ntga::StarGraph out;
-  for (const ntga::CompositeStar& cs : comp.stars) {
+  int marker = 0;
+  for (size_t s = 0; s < comp.stars.size(); ++s) {
+    const ntga::CompositeStar& cs = comp.stars[s];
     ntga::StarPattern sp;
     sp.subject_var = cs.subject_var;
-    sp.triples = cs.triples;
+    for (ntga::StarTriple t : cs.triples) {
+      if (cs.secondary.count(t.prop) > 0 && !t.prop.is_type() &&
+          !t.object.is_var) {
+        std::string var = "_sec" + std::to_string(marker++);
+        for (size_t p = 0; p < comp.pattern_secondary.size(); ++p) {
+          auto it = comp.pattern_secondary[p].find(static_cast<int>(s));
+          if (it != comp.pattern_secondary[p].end() &&
+              it->second.count(t.prop) > 0) {
+            (*sec_const_filters)[p].push_back(sparql::Expr::MakeCompare(
+                "=", sparql::Expr::MakeVar(var),
+                sparql::Expr::MakeLiteral(t.object.term)));
+          }
+        }
+        t.object = sparql::TermOrVar::Var(var);
+      }
+      sp.triples.push_back(std::move(t));
+    }
     out.stars.push_back(std::move(sp));
   }
   out.joins = comp.joins;
   return out;
 }
 
-/// Object variables of secondary triples, per pattern.
+/// Object variables of secondary triples, per pattern, read off the
+/// rewritten composite graph so constant-object markers are included.
 std::set<std::string> SecondaryVars(const ntga::CompositePattern& comp,
+                                    const ntga::StarGraph& graph,
                                     size_t pattern_index) {
   std::set<std::string> out;
-  for (size_t s = 0; s < comp.stars.size(); ++s) {
-    const ntga::CompositeStar& cs = comp.stars[s];
+  for (size_t s = 0; s < graph.stars.size(); ++s) {
     auto it = comp.pattern_secondary[pattern_index].find(static_cast<int>(s));
     if (it == comp.pattern_secondary[pattern_index].end()) continue;
-    for (const ntga::StarTriple& t : cs.triples) {
+    for (const ntga::StarTriple& t : graph.stars[s].triples) {
       if (it->second.count(t.prop) == 0) continue;
       std::string v = t.ObjectVar();
       if (!v.empty()) out.insert(v);
@@ -76,39 +103,57 @@ StatusOr<analytics::BindingTable> HiveMqoEngine::Execute(
   const rdf::Dictionary& dict = dataset->graph().dict();
 
   // ---- step 1: composite pattern with LEFT OUTER secondary joins ----
-  ntga::StarGraph composite_graph = CompositeToStarGraph(comp);
+  std::vector<std::vector<sparql::ExprPtr>> sec_const_filters(2);
+  ntga::StarGraph composite_graph =
+      CompositeToStarGraph(comp, &sec_const_filters);
   std::set<ntga::PropKey> outer_props;
   for (const ntga::CompositeStar& cs : comp.stars) {
     outer_props.insert(cs.secondary.begin(), cs.secondary.end());
   }
 
-  // Shared (primary-variable) filters can be evaluated on the composite;
-  // per-pattern secondary filters must wait for extraction (dropping a
-  // composite row would wrongly remove it from the *other* pattern too).
+  // A filter may only be evaluated on the composite when BOTH patterns
+  // carry the identical (translated) filter — then dropping the composite
+  // row is what each pattern would have done anyway, and it is evaluated
+  // once. Everything else (secondary-variable filters, and filters only
+  // one pattern has, even over shared variables) must wait for that
+  // pattern's extraction: dropping a composite row would wrongly remove it
+  // from the *other* pattern too.
   std::vector<std::set<std::string>> pattern_sec_vars = {
-      SecondaryVars(comp, 0), SecondaryVars(comp, 1)};
+      SecondaryVars(comp, composite_graph, 0),
+      SecondaryVars(comp, composite_graph, 1)};
+  std::vector<std::vector<sparql::ExprPtr>> translated_filters(2);
+  std::vector<std::set<std::string>> filter_sigs(2);
+  for (size_t p = 0; p < 2; ++p) {
+    for (const auto& f : query.groupings[p].filters) {
+      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[p]);
+      filter_sigs[p].insert(translated->ToString());
+      translated_filters[p].push_back(std::move(translated));
+    }
+  }
   std::vector<sparql::ExprPtr> composite_filters;
   std::vector<std::vector<sparql::ExprPtr>> extraction_filters(2);
   std::set<std::string> seen_composite;
   for (size_t p = 0; p < 2; ++p) {
-    for (const auto& f : query.groupings[p].filters) {
-      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[p]);
+    for (sparql::ExprPtr& translated : translated_filters[p]) {
       std::vector<std::string> vars;
       translated->CollectVars(&vars);
       bool touches_secondary = false;
       for (const std::string& v : vars) {
         if (pattern_sec_vars[p].count(v) > 0) touches_secondary = true;
       }
-      if (touches_secondary) {
-        extraction_filters[p].push_back(std::move(translated));
-      } else {
-        // Shared filter: both patterns carry it (same-filter scope);
-        // evaluate once.
-        std::string sig = translated->ToString();
+      std::string sig = translated->ToString();
+      if (!touches_secondary && filter_sigs[1 - p].count(sig) > 0) {
         if (seen_composite.insert(sig).second) {
           composite_filters.push_back(std::move(translated));
         }
+        continue;  // the other pattern's copy is deduped by seen_composite
       }
+      extraction_filters[p].push_back(std::move(translated));
+    }
+    // Constant-object secondary triples: the marker variable must carry
+    // the pattern's constant (presence alone is checked via sec_idx).
+    for (sparql::ExprPtr& eq : sec_const_filters[p]) {
+      extraction_filters[p].push_back(std::move(eq));
     }
   }
   std::vector<const sparql::Expr*> composite_filter_ptrs;

@@ -70,11 +70,39 @@ StatusOr<analytics::BindingTable> RapidAnalyticsEngine::Execute(
     alphas.push_back(std::move(cond));
   }
 
-  // Filters: translate per pattern; single-variable filters push into star
-  // matching at triple level (correct for both patterns — removing a
-  // failing secondary triple only affects the pattern that needs it);
-  // multi-variable filters become per-grouping mapping predicates.
+  // Filters: a single-variable filter may be pushed into the shared
+  // composite scan only when the identical translated filter appears in
+  // EVERY grouping — then dropping the triple at match time is what each
+  // pattern would have done anyway, and it is evaluated once. A filter
+  // only some groupings carry (and any multi-variable filter) must stay a
+  // per-grouping mapping predicate: pushing it into the shared scan would
+  // wrongly starve the groupings that do not have it.
+  struct TranslatedFilter {
+    std::string var;  // set iff single-variable
+    std::string sig;  // var + "|" + ToString(), for cross-grouping matching
+    const sparql::Expr* raw = nullptr;
+  };
   std::vector<sparql::ExprPtr> owned_filters;
+  std::vector<std::vector<TranslatedFilter>> grouping_filters(
+      query.groupings.size());
+  std::vector<std::set<std::string>> grouping_sigs(query.groupings.size());
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    for (const auto& f : query.groupings[g].filters) {
+      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[g]);
+      std::vector<std::string> vars;
+      translated->CollectVars(&vars);
+      TranslatedFilter tf;
+      tf.raw = translated.get();
+      if (vars.size() == 1) {
+        tf.var = vars[0];
+        tf.sig = tf.var + "|" + translated->ToString();
+        grouping_sigs[g].insert(tf.sig);
+      }
+      owned_filters.push_back(std::move(translated));
+      grouping_filters[g].push_back(std::move(tf));
+    }
+  }
+
   PushedFilters pushed;
   std::vector<NtgaGrouping> work(query.groupings.size());
   std::set<std::string> pushed_signatures;
@@ -90,18 +118,23 @@ StatusOr<analytics::BindingTable> RapidAnalyticsEngine::Execute(
       }
     }
 
-    PushedFilters local_pushed;
-    RowPredicate mapping_pred;
-    SplitNtgaFilters(grouping, var_map, pattern_vars, &dict, &owned_filters,
-                     &local_pushed, &mapping_pred);
-    for (auto& [var, exprs] : local_pushed) {
-      for (const sparql::Expr* e : exprs) {
-        // Shared filters appear identically in both patterns; push once.
-        if (pushed_signatures.insert(var + "|" + e->ToString()).second) {
-          pushed[var].push_back(e);
+    std::vector<const sparql::Expr*> residual;
+    for (const TranslatedFilter& tf : grouping_filters[g]) {
+      bool shared_by_all = !tf.var.empty();
+      for (size_t o = 0; shared_by_all && o < grouping_sigs.size(); ++o) {
+        if (grouping_sigs[o].count(tf.sig) == 0) shared_by_all = false;
+      }
+      if (shared_by_all) {
+        if (pushed_signatures.insert(tf.sig).second) {
+          pushed[tf.var].push_back(tf.raw);
         }
+      } else {
+        residual.push_back(tf.raw);
       }
     }
+    RowPredicate mapping_pred =
+        residual.empty() ? nullptr
+                         : CompilePredicate(residual, pattern_vars, &dict);
 
     NtgaGrouping& w = work[g];
     w.spec.group_vars = MapVars(grouping.group_by, var_map);

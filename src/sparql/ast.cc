@@ -24,9 +24,34 @@ const char* AggFuncName(AggFunc f) {
   return "?";
 }
 
+std::string ToSparqlText(const rdf::Term& term) {
+  if (term.is_iri()) return "<" + term.text + ">";
+  if (term.is_blank()) return "_:" + term.text;
+  if (term.datatype == rdf::kXsdInteger) return term.text;
+  if (term.datatype == rdf::kXsdDouble) {
+    // The lexer only reads a decimal if it sees '.' or an exponent.
+    if (term.text.find_first_of(".eE") == std::string::npos) {
+      return term.text + ".0";
+    }
+    return term.text;
+  }
+  std::string out = "\"";
+  for (char c : term.text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::string TriplePattern::ToString() const {
   auto one = [](const TermOrVar& tv) {
-    return tv.is_var ? "?" + tv.var : tv.term.ToNTriples();
+    return tv.is_var ? "?" + tv.var : ToSparqlText(tv.term);
   };
   return one(s) + " " + one(p) + " " + one(o);
 }
@@ -68,7 +93,7 @@ std::string Expr::ToString() const {
     case Kind::kVar:
       return "?" + var;
     case Kind::kLiteral:
-      return literal.ToNTriples();
+      return ToSparqlText(literal);
     case Kind::kCompare:
     case Kind::kArith:
       return "(" + children[0]->ToString() + " " + op + " " +
@@ -82,14 +107,20 @@ std::string Expr::ToString() const {
     case Kind::kNot:
       return "!(" + children[0]->ToString() + ")";
     case Kind::kRegex:
-      return "regex(" + children[0]->ToString() + ", \"" + regex_pattern +
-             "\", \"" + regex_flags + "\")";
+      return "regex(" + children[0]->ToString() + ", " +
+             ToSparqlText(rdf::Term::Literal(regex_pattern)) + ", " +
+             ToSparqlText(rdf::Term::Literal(regex_flags)) + ")";
     case Kind::kBound:
       return "bound(" + children[0]->ToString() + ")";
     case Kind::kAggregate: {
       std::string arg = count_star ? "*" : children[0]->ToString();
       std::string d = agg_distinct ? "DISTINCT " : "";
-      return std::string(AggFuncName(agg_func)) + "(" + d + arg + ")";
+      std::string sep;  // regex_pattern doubles as the GROUP_CONCAT separator
+      if (agg_func == AggFunc::kGroupConcat && regex_pattern != " ") {
+        sep = "; SEPARATOR = " +
+              ToSparqlText(rdf::Term::Literal(regex_pattern));
+      }
+      return std::string(AggFuncName(agg_func)) + "(" + d + arg + sep + ")";
     }
   }
   return "?expr?";

@@ -9,6 +9,12 @@
 
 namespace rapida::sparql {
 
+/// Renders a constant term the way the SPARQL lexer can read it back:
+/// IRIs as <...>, xsd numeric literals bare, other literals quoted (with
+/// \" \\ \n \t escapes). Datatypes beyond the numeric ones have no surface
+/// syntax in this subset and print as plain quoted strings.
+std::string ToSparqlText(const rdf::Term& term);
+
 /// A node in a triple pattern: either a variable ("?x") or a constant term.
 struct TermOrVar {
   bool is_var = false;
@@ -170,7 +176,20 @@ struct SelectQuery {
   bool HasAggregates() const;
   /// Output column names in order.
   std::vector<std::string> ColumnNames() const;
+
+  /// Renders the query as parseable SPARQL text: for every query in the
+  /// supported subset, ParseQuery(q.ToString()) yields a query that is
+  /// Equals() to q (the round-trip property robustness_test enforces).
+  /// IRIs print in full <...> form; typed numeric literals print bare.
+  std::string ToString() const;
 };
+
+/// Structural AST equality (order-sensitive, null-aware for optional
+/// expressions). Used by the printer round-trip property and the fuzz
+/// shrinker's clone-via-reparse.
+bool Equals(const Expr* a, const Expr* b);
+bool Equals(const GroupGraphPattern& a, const GroupGraphPattern& b);
+bool Equals(const SelectQuery& a, const SelectQuery& b);
 
 }  // namespace rapida::sparql
 

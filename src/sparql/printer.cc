@@ -1,0 +1,153 @@
+// SelectQuery::ToString and structural AST equality. The printer is the
+// inverse of parser.cc over the supported subset: ParseQuery(q.ToString())
+// must yield a query Equals() to q (robustness_test's round-trip property,
+// and the basis of the fuzz shrinker's clone-via-reparse).
+#include <string>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace rapida::sparql {
+
+namespace {
+
+std::string RenderTermOrVar(const TermOrVar& tv) {
+  return tv.is_var ? "?" + tv.var : ToSparqlText(tv.term);
+}
+
+void PrintSelect(const SelectQuery& q, const std::string& indent,
+                 std::string* out);
+
+void PrintGroupGraphPattern(const GroupGraphPattern& ggp,
+                            const std::string& indent, std::string* out) {
+  for (const TriplePattern& tp : ggp.triples) {
+    *out += indent + RenderTermOrVar(tp.s) + " ";
+    if (!tp.p.is_var && tp.p.term.is_iri() && tp.p.term.text == rdf::kRdfType) {
+      *out += "a";
+    } else {
+      *out += RenderTermOrVar(tp.p);
+    }
+    *out += " " + RenderTermOrVar(tp.o) + " .\n";
+  }
+  for (const ExprPtr& f : ggp.filters) {
+    *out += indent + "FILTER " + f->ToString() + "\n";
+  }
+  for (const GroupGraphPattern& opt : ggp.optionals) {
+    *out += indent + "OPTIONAL {\n";
+    PrintGroupGraphPattern(opt, indent + "  ", out);
+    *out += indent + "}\n";
+  }
+  for (const auto& sub : ggp.subqueries) {
+    *out += indent + "{\n";
+    PrintSelect(*sub, indent + "  ", out);
+    *out += "\n" + indent + "}\n";
+  }
+}
+
+void PrintSelect(const SelectQuery& q, const std::string& indent,
+                 std::string* out) {
+  *out += indent + "SELECT";
+  if (q.distinct) *out += " DISTINCT";
+  if (q.select_all) {
+    *out += " *";
+  } else {
+    for (const SelectItem& item : q.items) {
+      if (item.expr == nullptr) {
+        *out += " ?" + item.name;
+      } else {
+        *out += " (" + item.expr->ToString() + " AS ?" + item.name + ")";
+      }
+    }
+  }
+  *out += " {\n";
+  PrintGroupGraphPattern(q.where, indent + "  ", out);
+  *out += indent + "}";
+  if (!q.group_by.empty()) {
+    *out += " GROUP BY";
+    for (const std::string& v : q.group_by) *out += " ?" + v;
+  }
+  if (q.having != nullptr) *out += " HAVING " + q.having->ToString();
+  if (!q.order_by.empty()) {
+    *out += " ORDER BY";
+    for (const OrderKey& k : q.order_by) {
+      *out += k.descending ? " DESC(?" + k.var + ")" : " ?" + k.var;
+    }
+  }
+  if (q.limit >= 0) *out += " LIMIT " + std::to_string(q.limit);
+  if (q.offset > 0) *out += " OFFSET " + std::to_string(q.offset);
+}
+
+}  // namespace
+
+std::string SelectQuery::ToString() const {
+  std::string out;
+  PrintSelect(*this, "", &out);
+  return out;
+}
+
+bool Equals(const Expr* a, const Expr* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  if (a->kind != b->kind || a->var != b->var || a->op != b->op ||
+      !(a->literal == b->literal) || a->agg_func != b->agg_func ||
+      a->agg_distinct != b->agg_distinct || a->count_star != b->count_star ||
+      a->regex_pattern != b->regex_pattern ||
+      a->regex_flags != b->regex_flags ||
+      a->children.size() != b->children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!Equals(a->children[i].get(), b->children[i].get())) return false;
+  }
+  return true;
+}
+
+bool Equals(const GroupGraphPattern& a, const GroupGraphPattern& b) {
+  if (a.triples.size() != b.triples.size() ||
+      a.filters.size() != b.filters.size() ||
+      a.optionals.size() != b.optionals.size() ||
+      a.subqueries.size() != b.subqueries.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.triples.size(); ++i) {
+    if (!(a.triples[i].s == b.triples[i].s &&
+          a.triples[i].p == b.triples[i].p &&
+          a.triples[i].o == b.triples[i].o)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    if (!Equals(a.filters[i].get(), b.filters[i].get())) return false;
+  }
+  for (size_t i = 0; i < a.optionals.size(); ++i) {
+    if (!Equals(a.optionals[i], b.optionals[i])) return false;
+  }
+  for (size_t i = 0; i < a.subqueries.size(); ++i) {
+    if (!Equals(*a.subqueries[i], *b.subqueries[i])) return false;
+  }
+  return true;
+}
+
+bool Equals(const SelectQuery& a, const SelectQuery& b) {
+  if (a.distinct != b.distinct || a.select_all != b.select_all ||
+      a.items.size() != b.items.size() || a.group_by != b.group_by ||
+      a.order_by.size() != b.order_by.size() || a.limit != b.limit ||
+      a.offset != b.offset) {
+    return false;
+  }
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].name != b.items[i].name ||
+        !Equals(a.items[i].expr.get(), b.items[i].expr.get())) {
+      return false;
+    }
+  }
+  if (!Equals(a.having.get(), b.having.get())) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].var != b.order_by[i].var ||
+        a.order_by[i].descending != b.order_by[i].descending) {
+      return false;
+    }
+  }
+  return Equals(a.where, b.where);
+}
+
+}  // namespace rapida::sparql

@@ -1,0 +1,77 @@
+#ifndef RAPIDA_TESTING_DIFFERENTIAL_H_
+#define RAPIDA_TESTING_DIFFERENTIAL_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace rapida::difftest {
+
+/// One decoded triple. Fuzz datasets are carried in this form (not as
+/// rdf::Graph) because a Graph is move-only and the shrinker needs to
+/// rebuild bisected subsets of the data cheaply.
+using TripleSpec = std::array<rdf::Term, 3>;
+
+std::vector<TripleSpec> DecodeGraph(const rdf::Graph& graph);
+rdf::Graph BuildGraph(const std::vector<TripleSpec>& triples);
+
+/// A reproducible fuzz case: everything below is a pure function of the
+/// seed (dataset choice, generated data, and generated query come from
+/// independent Random::Split streams, so the shrinker can vary one without
+/// disturbing the other).
+struct FuzzCase {
+  uint64_t seed = 0;
+  std::string dataset;
+  std::unique_ptr<sparql::SelectQuery> query;
+  std::vector<TripleSpec> triples;
+};
+
+FuzzCase MakeFuzzCase(uint64_t seed);
+
+/// Artificial engine bugs for exercising the harness itself (the shrinker
+/// acceptance test, and `rapida_fuzz --inject`).
+enum class FaultKind {
+  kNone,
+  kDropRow,            // silently drop the last result row
+  kPerturbAggregate,   // add 1 to the first numeric cell of the first row
+};
+
+struct DiffOptions {
+  std::vector<int> thread_counts = {1, 8};
+  /// Cap on exec split size, so even tiny fuzz datasets are divided across
+  /// several in-process mappers (otherwise exec_threads never matters).
+  uint64_t exec_split_bytes = 4 * 1024;
+  FaultKind fault = FaultKind::kNone;
+  std::string fault_engine;  // engine name() to sabotage, e.g. "RAPIDAnalytics"
+  /// Also assert the paper's cost-model invariants (RAPIDAnalytics never
+  /// takes more MR cycles than RAPID+; cycle counts independent of
+  /// exec_threads).
+  bool check_cost_invariants = true;
+};
+
+/// The first divergence found, or failed == false if all engines agree
+/// with the reference evaluator everywhere.
+struct DiffFailure {
+  bool failed = false;
+  std::string kind;    // analyze | reference | engine-error | mismatch |
+                       // cost-invariant
+  std::string engine;  // offending engine name ("" for analyze/reference)
+  int threads = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Runs `c.query` over `c.triples` on all four engines at every requested
+/// thread count and cross-checks each normalized result multiset against
+/// the in-memory reference evaluator.
+DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts = {});
+
+}  // namespace rapida::difftest
+
+#endif  // RAPIDA_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,54 @@
+#ifndef RAPIDA_TESTING_NORMALIZE_H_
+#define RAPIDA_TESTING_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/binding.h"
+#include "rdf/dictionary.h"
+
+namespace rapida::difftest {
+
+/// Tolerant float equality: |a-b| <= abs_tol or <= rel_tol * max(|a|,|b|).
+/// The differential harness compares AVG / arithmetic outputs with this so
+/// a different (but algebraically equal) summation order never reports a
+/// false engine mismatch.
+bool ApproxEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-9);
+
+/// One result cell, decoded out of an engine-specific dictionary. Numeric
+/// literals carry their parsed value (so 5 == 5.0 across datatypes); all
+/// other terms carry their canonical SPARQL text (<iri> or "literal").
+struct NormalizedCell {
+  bool is_number = false;
+  double number = 0;
+  std::string text;
+};
+
+/// An engine result in canonical form: columns sorted by name, every row
+/// permuted to that column order, rows sorted. Two engines agree iff their
+/// NormalizedTables compare equal under the tolerant cell comparison —
+/// row order, dictionary ids, and float representation are all factored
+/// out (result *multisets* are compared; duplicate rows must match too).
+struct NormalizedTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<NormalizedCell>> rows;
+};
+
+NormalizedTable Normalize(const analytics::BindingTable& table,
+                          const rdf::Dictionary& dict);
+
+/// Empty string if equal; otherwise a human-readable description of the
+/// first difference (column sets, row counts, or the first divergent row).
+std::string CompareNormalized(const NormalizedTable& expected,
+                              const NormalizedTable& actual);
+
+/// Stable text form for golden-result fixtures. Round-trips through
+/// ParseNormalized with enough precision that CompareNormalized on the
+/// parsed table reports equality.
+std::string SerializeNormalized(const NormalizedTable& table);
+bool ParseNormalized(const std::string& text, NormalizedTable* out);
+
+}  // namespace rapida::difftest
+
+#endif  // RAPIDA_TESTING_NORMALIZE_H_

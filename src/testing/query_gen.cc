@@ -1,0 +1,542 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "rdf/term.h"
+
+namespace rapida::difftest {
+
+namespace sparql = rapida::sparql;
+
+namespace {
+
+using sparql::AggFunc;
+using sparql::Expr;
+using sparql::ExprPtr;
+using sparql::GroupGraphPattern;
+using sparql::SelectItem;
+using sparql::SelectQuery;
+using sparql::TermOrVar;
+using sparql::TriplePattern;
+
+std::string LocalName(const std::string& iri) {
+  size_t pos = iri.find_last_of('/');
+  return pos == std::string::npos ? iri : iri.substr(pos + 1);
+}
+
+/// One property the backbone decided to instantiate on a star: either a
+/// fresh object variable or an object pinned to a literal constant.
+struct BProp {
+  const SchemaProp* prop;
+  std::string var;        // object variable base name (constant < 0)
+  int constant = -1;      // index into prop->constants, or -1
+};
+
+struct BStar {
+  int index;  // into schema.stars
+  const StarTemplate* tmpl;
+  std::string subj;
+  int type_index = -1;  // into tmpl->types, or -1
+  std::vector<BProp> props;
+};
+
+/// The backbone: one connected pattern all groupings are carved out of, so
+/// the groupings overlap heavily (the sharing the paper's MQO layer and
+/// RAPIDAnalytics exploit).
+struct Backbone {
+  std::vector<BStar> stars;
+  std::vector<const JoinTemplate*> joins;
+};
+
+/// The variable both sides of a join bind. Empty prop on a side means the
+/// shared node IS that star's subject.
+std::string SharedVar(const JoinTemplate& j, const VocabSchema& schema) {
+  if (j.prop_b.empty()) return schema.stars[j.star_b].hint;
+  if (j.prop_a.empty()) return schema.stars[j.star_a].hint;
+  return j.hint;
+}
+
+/// Biased low index in [0, n): min of two uniform draws, so constants like
+/// ProductType1 (populated in every generated config) are favored over
+/// high-index ones that a small config may not materialize.
+uint64_t LowBiased(Random* rng, uint64_t n) {
+  return std::min(rng->Uniform(n), rng->Uniform(n));
+}
+
+Backbone BuildBackbone(const VocabSchema& schema, Random* rng,
+                       const GenOptions& opts) {
+  Backbone bb;
+  std::set<int> chosen;
+  chosen.insert(static_cast<int>(rng->Uniform(schema.stars.size())));
+  while (static_cast<int>(chosen.size()) < opts.max_stars) {
+    std::vector<const JoinTemplate*> frontier;
+    for (const JoinTemplate& j : schema.joins) {
+      if (chosen.count(j.star_a) != chosen.count(j.star_b)) {
+        frontier.push_back(&j);
+      }
+    }
+    if (frontier.empty()) break;
+    double grow_p = chosen.size() == 1 ? 0.85 : 0.55;
+    if (rng->NextDouble() >= grow_p) break;
+    const JoinTemplate* pick = frontier[rng->Uniform(frontier.size())];
+    bb.joins.push_back(pick);
+    chosen.insert(pick->star_a);
+    chosen.insert(pick->star_b);
+  }
+
+  for (int idx : chosen) {
+    const StarTemplate& tmpl = schema.stars[idx];
+    BStar star;
+    star.index = idx;
+    star.tmpl = &tmpl;
+    star.subj = tmpl.hint;
+    if (!tmpl.types.empty() && rng->NextDouble() < 0.55) {
+      star.type_index = static_cast<int>(LowBiased(rng, tmpl.types.size()));
+    }
+    for (const SchemaProp& prop : tmpl.props) {
+      // A property consumed by a chosen join edge is already bound to the
+      // join's shared variable; instantiating it again would just add a
+      // duplicate triple under a second name.
+      bool join_owned = false;
+      for (const JoinTemplate* j : bb.joins) {
+        if ((j->star_a == idx && j->prop_a == prop.iri) ||
+            (j->star_b == idx && j->prop_b == prop.iri)) {
+          join_owned = true;
+        }
+      }
+      if (join_owned) continue;
+      double keep_p = prop.kind == SchemaProp::Kind::kNumber ? 0.75 : 0.50;
+      if (rng->NextDouble() >= keep_p) continue;
+      BProp bp;
+      bp.prop = &prop;
+      if (prop.kind == SchemaProp::Kind::kDim && !prop.constants.empty() &&
+          rng->NextDouble() < 0.30) {
+        bp.constant = static_cast<int>(rng->Uniform(prop.constants.size()));
+      } else {
+        bp.var = LocalName(prop.iri);
+      }
+      star.props.push_back(bp);
+    }
+    bb.stars.push_back(std::move(star));
+  }
+
+  // A star that is entirely bare and unjoined would leave an empty WHERE.
+  bool any_triple = !bb.joins.empty();
+  for (const BStar& s : bb.stars) {
+    if (s.type_index >= 0 || !s.props.empty()) any_triple = true;
+  }
+  if (!any_triple) {
+    BStar& s = bb.stars[0];
+    BProp bp;
+    bp.prop = &s.tmpl->props[0];
+    bp.var = LocalName(bp.prop->iri);
+    s.props.push_back(bp);
+  }
+  return bb;
+}
+
+/// One grouping carved from the backbone: a subset of its stars/joins with
+/// some properties dropped, private variables suffixed, plus aggregates.
+struct GroupingPlan {
+  std::vector<BStar> stars;
+  std::vector<const JoinTemplate*> joins;
+  std::vector<std::string> keys;  // base names, kept un-suffixed
+  std::string suffix;             // "" for single-grouping queries
+  std::string measure;            // base name, empty if none
+  const SchemaProp* measure_prop = nullptr;
+};
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Drops backbone stars/props this grouping does not need, never touching
+/// anything that binds a grouping key or the measure.
+void PruneGrouping(const VocabSchema& schema, Random* rng, GroupingPlan* g) {
+  const std::vector<std::string>& keys = g->keys;
+  auto needed = [&](const std::string& v) {
+    return Contains(keys, v) || v == g->measure;
+  };
+  for (int round = 0; round < 2; ++round) {
+    for (size_t si = 0; si < g->stars.size() && g->stars.size() > 1; ++si) {
+      const BStar& star = g->stars[si];
+      std::vector<size_t> incident;
+      for (size_t ji = 0; ji < g->joins.size(); ++ji) {
+        if (g->joins[ji]->star_a == star.index ||
+            g->joins[ji]->star_b == star.index) {
+          incident.push_back(ji);
+        }
+      }
+      if (incident.size() != 1) continue;  // only prune tree leaves
+      bool blocked = needed(star.subj) ||
+                     needed(SharedVar(*g->joins[incident[0]], schema));
+      for (const BProp& p : star.props) {
+        if (p.constant < 0 && needed(p.var)) blocked = true;
+      }
+      if (blocked || rng->NextDouble() >= 0.40) continue;
+      g->joins.erase(g->joins.begin() + incident[0]);
+      g->stars.erase(g->stars.begin() + si);
+      --si;
+    }
+  }
+  for (BStar& star : g->stars) {
+    if (star.type_index >= 0 && rng->NextDouble() < 0.20) {
+      star.type_index = -1;
+    }
+    for (size_t pi = 0; pi < star.props.size(); ++pi) {
+      const BProp& p = star.props[pi];
+      if (p.constant < 0 && needed(p.var)) continue;
+      if (rng->NextDouble() < 0.35) {
+        star.props.erase(star.props.begin() + pi);
+        --pi;
+      }
+    }
+  }
+  // Guard: pruning must not leave an empty pattern.
+  bool any = !g->joins.empty();
+  for (const BStar& s : g->stars) {
+    if (s.type_index >= 0 || !s.props.empty()) any = true;
+  }
+  if (!any) {
+    BStar& s = g->stars[0];
+    BProp bp;
+    bp.prop = &s.tmpl->props[0];
+    bp.var = LocalName(bp.prop->iri);
+    s.props.push_back(bp);
+  }
+}
+
+/// Assembles the grouping's WHERE pattern, renaming every variable that is
+/// not a grouping key with the grouping's suffix so different groupings
+/// share exactly their join keys (the paper's MG variable convention).
+GroupGraphPattern AssemblePattern(const VocabSchema& schema,
+                                 const GroupingPlan& g) {
+  auto nm = [&](const std::string& base) {
+    return Contains(g.keys, base) ? base : base + g.suffix;
+  };
+  GroupGraphPattern ggp;
+  for (const BStar& star : g.stars) {
+    if (star.type_index >= 0) {
+      TriplePattern tp;
+      tp.s = TermOrVar::Var(nm(star.subj));
+      tp.p = TermOrVar::Const(rdf::Term::Iri(rdf::kRdfType));
+      tp.o = TermOrVar::Const(rdf::Term::Iri(star.tmpl->types[star.type_index]));
+      ggp.triples.push_back(std::move(tp));
+    }
+    for (const BProp& p : star.props) {
+      TriplePattern tp;
+      tp.s = TermOrVar::Var(nm(star.subj));
+      tp.p = TermOrVar::Const(rdf::Term::Iri(p.prop->iri));
+      if (p.constant >= 0) {
+        tp.o = TermOrVar::Const(
+            rdf::Term::Literal(p.prop->constants[p.constant]));
+      } else {
+        tp.o = TermOrVar::Var(nm(p.var));
+      }
+      ggp.triples.push_back(std::move(tp));
+    }
+  }
+  for (const JoinTemplate* j : g.joins) {
+    std::string shared = nm(SharedVar(*j, schema));
+    if (!j->prop_a.empty()) {
+      TriplePattern tp;
+      tp.s = TermOrVar::Var(nm(schema.stars[j->star_a].hint));
+      tp.p = TermOrVar::Const(rdf::Term::Iri(j->prop_a));
+      tp.o = TermOrVar::Var(shared);
+      ggp.triples.push_back(std::move(tp));
+    }
+    if (!j->prop_b.empty()) {
+      TriplePattern tp;
+      tp.s = TermOrVar::Var(nm(schema.stars[j->star_b].hint));
+      tp.p = TermOrVar::Const(rdf::Term::Iri(j->prop_b));
+      tp.o = TermOrVar::Var(shared);
+      ggp.triples.push_back(std::move(tp));
+    }
+  }
+  return ggp;
+}
+
+ExprPtr MakeAgg(AggFunc f, ExprPtr arg) {
+  ExprPtr e = Expr::MakeAggregate(f, std::move(arg), /*distinct=*/false);
+  e->regex_pattern = " ";  // parser default separator; keeps round-trip exact
+  return e;
+}
+
+ExprPtr IntLiteral(int64_t v) {
+  return Expr::MakeLiteral(
+      rdf::Term::Literal(std::to_string(v), rdf::kXsdInteger));
+}
+
+const char* AggShortName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "cnt";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kGroupConcat: return "gc";
+    default: return "agg";
+  }
+}
+
+/// Builds one grouping as a SelectQuery (the whole query when
+/// single-grouping, a WHERE-subquery otherwise). Records which aliases are
+/// COUNTs over keyed groupings (safe division denominators) in
+/// `count_aliases` and all numeric aggregate aliases in `numeric_aliases`.
+std::unique_ptr<SelectQuery> BuildGrouping(
+    const VocabSchema& schema, Random* rng, const GroupingPlan& g,
+    int ordinal, std::vector<std::string>* numeric_aliases,
+    std::vector<std::string>* count_aliases) {
+  auto q = std::make_unique<SelectQuery>();
+  q->where = AssemblePattern(schema, g);
+
+  std::string m = g.measure.empty() ? "" : g.measure + g.suffix;
+  if (!m.empty() && rng->NextDouble() < 0.40) {
+    static const char* kOps[] = {">", ">=", "<", "<="};
+    const char* op = kOps[rng->Uniform(4)];
+    int64_t k = rng->UniformRange(
+        static_cast<int64_t>(g.measure_prop->lo),
+        static_cast<int64_t>(g.measure_prop->hi));
+    q->where.filters.push_back(
+        Expr::MakeCompare(op, Expr::MakeVar(m), IntLiteral(k)));
+    if (rng->NextDouble() < 0.15) {
+      // Opposite-direction bound => a range predicate on the measure.
+      const char* op2 = (op[0] == '<') ? ">=" : "<=";
+      int64_t k2 = rng->UniformRange(
+          static_cast<int64_t>(g.measure_prop->lo),
+          static_cast<int64_t>(g.measure_prop->hi));
+      q->where.filters.push_back(
+          Expr::MakeCompare(op2, Expr::MakeVar(m), IntLiteral(k2)));
+    }
+  }
+
+  for (const std::string& k : g.keys) {
+    q->items.emplace_back(k, nullptr);
+    q->group_by.push_back(k);
+  }
+
+  std::vector<std::string> pat_vars;
+  q->where.CollectBoundVars(&pat_vars);
+  std::string ord = std::to_string(ordinal);
+  std::set<AggFunc> used_on_measure;
+  std::string count_alias;
+  int num_aggs = 1;
+  if (rng->NextDouble() < 0.45) ++num_aggs;
+  if (num_aggs == 2 && rng->NextDouble() < 0.25) ++num_aggs;
+  for (int a = 0; a < num_aggs; ++a) {
+    AggFunc func;
+    ExprPtr arg;
+    if (!m.empty()) {
+      static const AggFunc kFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                       AggFunc::kAvg, AggFunc::kMin,
+                                       AggFunc::kMax};
+      func = kFuncs[rng->Uniform(5)];
+      if (used_on_measure.count(func)) continue;
+      used_on_measure.insert(func);
+      // COUNT occasionally counts * or some other bound variable instead.
+      if (func == AggFunc::kCount && rng->NextDouble() < 0.40) {
+        arg = rng->NextDouble() < 0.5
+                  ? nullptr
+                  : Expr::MakeVar(pat_vars[rng->Uniform(pat_vars.size())]);
+      } else {
+        arg = Expr::MakeVar(m);
+      }
+    } else {
+      func = AggFunc::kCount;
+      if (used_on_measure.count(func)) continue;
+      used_on_measure.insert(func);
+      arg = rng->NextDouble() < 0.5
+                ? nullptr
+                : Expr::MakeVar(pat_vars[rng->Uniform(pat_vars.size())]);
+    }
+    std::string alias = std::string(AggShortName(func)) + ord;
+    q->items.emplace_back(alias, MakeAgg(func, std::move(arg)));
+    numeric_aliases->push_back(alias);
+    if (func == AggFunc::kCount) {
+      count_alias = alias;
+      if (!g.keys.empty()) count_aliases->push_back(alias);
+    }
+  }
+  // Rarely exercise the canonicalized GROUP_CONCAT path too.
+  if (rng->NextDouble() < 0.08) {
+    std::string alias = std::string("gc") + ord;
+    q->items.emplace_back(
+        alias, MakeAgg(AggFunc::kGroupConcat,
+                       Expr::MakeVar(pat_vars[rng->Uniform(pat_vars.size())])));
+  }
+
+  if (!count_alias.empty() && rng->NextDouble() < 0.15) {
+    q->having = Expr::MakeCompare(">", Expr::MakeVar(count_alias),
+                                  IntLiteral(1 + rng->Uniform(4)));
+  }
+  return q;
+}
+
+void AddModifiers(SelectQuery* q, Random* rng) {
+  if (rng->NextDouble() < 0.08) q->distinct = true;
+  std::vector<std::string> cols = q->ColumnNames();
+  if (rng->NextDouble() < 0.18) {
+    // LIMIT requires a total order: ORDER BY every output column, so the
+    // cut is insensitive to each engine's (stable-sort) pre-order.
+    std::vector<std::string> shuffled = cols;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng->Uniform(i)]);
+    }
+    for (const std::string& c : shuffled) {
+      q->order_by.push_back({c, rng->NextDouble() < 0.35});
+    }
+    q->limit = 1 + static_cast<int64_t>(rng->Uniform(15));
+    if (rng->NextDouble() < 0.30) {
+      q->offset = 1 + static_cast<int64_t>(rng->Uniform(3));
+    }
+  } else if (rng->NextDouble() < 0.25) {
+    size_t n = 1 + rng->Uniform(cols.size());
+    std::vector<std::string> shuffled = cols;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng->Uniform(i)]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      q->order_by.push_back({shuffled[i], rng->NextDouble() < 0.35});
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<SelectQuery> GenerateQuery(const VocabSchema& schema,
+                                           Random* rng,
+                                           const GenOptions& opts) {
+  Backbone bb = BuildBackbone(schema, rng, opts);
+
+  // Dimension pool: unpinned dim-property objects, object-object join
+  // variables, and (rarely) star subjects.
+  std::vector<std::string> dims;
+  std::vector<std::pair<std::string, const SchemaProp*>> measures;
+  for (const BStar& star : bb.stars) {
+    for (const BProp& p : star.props) {
+      if (p.constant >= 0) continue;
+      if (p.prop->kind == SchemaProp::Kind::kNumber) {
+        measures.emplace_back(p.var, p.prop);
+      } else {
+        dims.push_back(p.var);
+      }
+    }
+    if (rng->NextDouble() < 0.20) dims.push_back(star.subj);
+  }
+  for (const JoinTemplate* j : bb.joins) {
+    if (!j->prop_a.empty() && !j->prop_b.empty()) {
+      dims.push_back(SharedVar(*j, schema));
+    }
+  }
+  for (size_t i = dims.size(); i > 1; --i) {
+    std::swap(dims[i - 1], dims[rng->Uniform(i)]);
+  }
+  size_t max_keys = std::min<size_t>(3, dims.size());
+  std::vector<std::string> global_keys(
+      dims.begin(),
+      dims.begin() + (max_keys == 0 ? 0 : 1 + rng->Uniform(max_keys)));
+
+  int num_groupings = 1;
+  if (opts.max_groupings > 1 &&
+      rng->NextDouble() < opts.multi_grouping_bias) {
+    num_groupings = 2 + static_cast<int>(rng->Uniform(
+                            std::max(1, opts.max_groupings - 1)));
+    num_groupings = std::min(num_groupings, opts.max_groupings);
+  }
+  bool multi = num_groupings > 1;
+
+  std::vector<std::string> numeric_aliases;
+  std::vector<std::string> count_aliases;
+  std::vector<std::unique_ptr<SelectQuery>> groupings;
+  std::set<std::string> keys_used;  // base key vars used by >= 1 grouping
+  for (int i = 0; i < num_groupings; ++i) {
+    GroupingPlan g;
+    g.stars = bb.stars;
+    g.joins = bb.joins;
+    g.suffix = multi ? std::to_string(i + 1) : "";
+    for (size_t k = 0; k < global_keys.size(); ++k) {
+      double keep_p = k == 0 ? 0.85 : 0.50;
+      if (rng->NextDouble() < keep_p) g.keys.push_back(global_keys[k]);
+    }
+    if (!measures.empty() && rng->NextDouble() < 0.80) {
+      const auto& mp = measures[rng->Uniform(measures.size())];
+      g.measure = mp.first;
+      g.measure_prop = mp.second;
+    }
+    PruneGrouping(schema, rng, &g);
+    for (const std::string& k : g.keys) keys_used.insert(k);
+    groupings.push_back(BuildGrouping(schema, rng, g, i + 1,
+                                      &numeric_aliases, &count_aliases));
+  }
+
+  if (!multi) {
+    std::unique_ptr<SelectQuery> q = std::move(groupings[0]);
+    AddModifiers(q.get(), rng);
+    return q;
+  }
+
+  auto q = std::make_unique<SelectQuery>();
+  std::set<std::string> picked;
+  for (const std::string& k : global_keys) {
+    if (keys_used.count(k) && rng->NextDouble() < 0.90) {
+      q->items.emplace_back(k, nullptr);
+      picked.insert(k);
+    }
+  }
+  for (const auto& sub : groupings) {
+    for (const SelectItem& item : sub->items) {
+      if (item.expr == nullptr || picked.count(item.name)) continue;
+      if (rng->NextDouble() < 0.75) {
+        q->items.emplace_back(item.name, nullptr);
+        picked.insert(item.name);
+      }
+    }
+  }
+  // The paper's MA shape: a top-level arithmetic expression over grouping
+  // outputs. Division only with a keyed COUNT denominator (never zero).
+  if (numeric_aliases.size() >= 2 && rng->NextDouble() < 0.30) {
+    std::string a = numeric_aliases[rng->Uniform(numeric_aliases.size())];
+    std::string b;
+    const char* op;
+    if (!count_aliases.empty() && rng->NextDouble() < 0.50) {
+      b = count_aliases[rng->Uniform(count_aliases.size())];
+      op = "/";
+    } else {
+      static const char* kOps[] = {"+", "-", "*"};
+      op = kOps[rng->Uniform(3)];
+      b = numeric_aliases[rng->Uniform(numeric_aliases.size())];
+    }
+    if (a != b || op[0] != '/') {
+      q->items.emplace_back(
+          "expr" + std::to_string(q->items.size()),
+          Expr::MakeArith(op, Expr::MakeVar(a), Expr::MakeVar(b)));
+    }
+  }
+  if (q->items.empty()) {
+    // Every candidate lost its coin flip: keep the first aggregate so the
+    // top level projects something.
+    for (const SelectItem& item : groupings[0]->items) {
+      if (item.expr != nullptr) {
+        q->items.emplace_back(item.name, nullptr);
+        break;
+      }
+    }
+  }
+  for (auto& sub : groupings) {
+    q->where.subqueries.push_back(std::move(sub));
+  }
+  AddModifiers(q.get(), rng);
+  return q;
+}
+
+std::unique_ptr<SelectQuery> GenerateAnyQuery(Random* rng,
+                                              std::string* dataset_out) {
+  const std::vector<VocabSchema>& schemas = AllSchemas();
+  const VocabSchema& schema = schemas[rng->Uniform(schemas.size())];
+  if (dataset_out != nullptr) *dataset_out = schema.dataset;
+  return GenerateQuery(schema, rng);
+}
+
+}  // namespace rapida::difftest

@@ -1,0 +1,40 @@
+#ifndef RAPIDA_TESTING_QUERY_GEN_H_
+#define RAPIDA_TESTING_QUERY_GEN_H_
+
+#include <memory>
+#include <string>
+
+#include "sparql/ast.h"
+#include "testing/vocab.h"
+#include "util/random.h"
+
+namespace rapida::difftest {
+
+/// Knobs for the random analytical-query generator. The defaults are biased
+/// toward the paper's MG ("multiple groupings over overlapping patterns")
+/// and MA ("grouping + top-level arithmetic") shapes.
+struct GenOptions {
+  int max_groupings = 4;
+  int max_stars = 4;
+  double multi_grouping_bias = 0.70;  // P(>= 2 groupings)
+};
+
+/// Generates one valid analytical query over `schema`, deterministically
+/// from `rng`. The result always passes analytics::AnalyzeQuery: star
+/// patterns with variable subjects and bound predicates, connected via the
+/// schema's join edges, 1-4 groupings each carrying >= 1 aggregate, and
+/// (for multi-grouping queries) a top level that only references grouping
+/// output columns. Solution modifiers that would make results order- or
+/// tie-dependent are avoided (a LIMIT always comes with a total ORDER BY).
+std::unique_ptr<sparql::SelectQuery> GenerateQuery(const VocabSchema& schema,
+                                                   Random* rng,
+                                                   const GenOptions& opts = {});
+
+/// Picks a dataset (uniformly among AllSchemas()) and generates a query
+/// for it. `dataset_out` receives the chosen dataset name.
+std::unique_ptr<sparql::SelectQuery> GenerateAnyQuery(Random* rng,
+                                                      std::string* dataset_out);
+
+}  // namespace rapida::difftest
+
+#endif  // RAPIDA_TESTING_QUERY_GEN_H_

@@ -1,0 +1,294 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "analytics/analytical_query.h"
+#include "sparql/parser.h"
+#include "util/logging.h"
+
+namespace rapida::difftest {
+
+namespace {
+
+using sparql::SelectQuery;
+
+/// Deep copy by round-tripping through the printer; ToString/ParseQuery are
+/// exact inverses over the supported subset (robustness_test's property).
+std::unique_ptr<SelectQuery> CloneQuery(const SelectQuery& q) {
+  StatusOr<std::unique_ptr<SelectQuery>> parsed =
+      sparql::ParseQuery(q.ToString());
+  if (!parsed.ok()) {
+    RAPIDA_LOG(Error) << "shrinker clone failed to re-parse: "
+                      << parsed.status().ToString();
+    return nullptr;
+  }
+  return std::move(parsed).value();
+}
+
+/// The "grouping" SELECTs of a query: the subqueries if it is
+/// multi-grouping, else the query itself.
+std::vector<SelectQuery*> Groupings(SelectQuery* q) {
+  std::vector<SelectQuery*> out;
+  if (q->where.subqueries.empty()) {
+    out.push_back(q);
+  } else {
+    for (auto& sub : q->where.subqueries) out.push_back(sub.get());
+  }
+  return out;
+}
+
+/// After an edit removed columns, re-validates the top level: drops items
+/// whose inputs vanished, ORDER BY keys over dropped outputs, HAVING over
+/// dropped outputs, and a LIMIT whose ordering is no longer total (a
+/// partial-order LIMIT would make results engine-dependent — a fake
+/// "repro" the shrinker must never manufacture).
+void CleanTopLevel(SelectQuery* q) {
+  if (!q->where.subqueries.empty()) {
+    std::set<std::string> cols;
+    for (const auto& sub : q->where.subqueries) {
+      for (const auto& item : sub->items) cols.insert(item.name);
+    }
+    auto gone = [&cols](const sparql::SelectItem& item) {
+      if (item.expr == nullptr) return cols.count(item.name) == 0;
+      std::vector<std::string> vars;
+      item.expr->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        if (cols.count(v) == 0) return true;
+      }
+      return false;
+    };
+    q->items.erase(std::remove_if(q->items.begin(), q->items.end(), gone),
+                   q->items.end());
+  }
+  std::set<std::string> outs;
+  for (const auto& item : q->items) outs.insert(item.name);
+  q->order_by.erase(
+      std::remove_if(q->order_by.begin(), q->order_by.end(),
+                     [&](const sparql::OrderKey& k) {
+                       return outs.count(k.var) == 0;
+                     }),
+      q->order_by.end());
+  if (q->having != nullptr) {
+    std::vector<std::string> vars;
+    q->having->CollectVars(&vars);
+    for (const std::string& v : vars) {
+      if (outs.count(v) == 0) {
+        q->having = nullptr;
+        break;
+      }
+    }
+  }
+  if (q->limit >= 0 && q->order_by.size() < outs.size()) {
+    q->limit = -1;
+    q->offset = 0;
+  }
+}
+
+using EditFn = std::function<bool(SelectQuery*)>;
+
+/// All single-step reductions of `q`, biggest wins first. Each is applied
+/// to a *clone* of q; edits identify their target by index, which is safe
+/// because the clone is structurally identical.
+std::vector<EditFn> EnumerateEdits(const SelectQuery& q) {
+  std::vector<EditFn> edits;
+  if (q.where.subqueries.size() >= 2) {
+    for (size_t i = 0; i < q.where.subqueries.size(); ++i) {
+      edits.push_back([i](SelectQuery* c) {
+        c->where.subqueries.erase(c->where.subqueries.begin() + i);
+        CleanTopLevel(c);
+        return !c->items.empty();
+      });
+    }
+  }
+  std::vector<SelectQuery*> groupings =
+      Groupings(const_cast<SelectQuery*>(&q));
+  for (size_t gi = 0; gi < groupings.size(); ++gi) {
+    const SelectQuery& g = *groupings[gi];
+    for (size_t ti = 0; ti < g.where.triples.size(); ++ti) {
+      edits.push_back([gi, ti](SelectQuery* c) {
+        SelectQuery* cg = Groupings(c)[gi];
+        if (cg->where.triples.size() <= 1) return false;
+        cg->where.triples.erase(cg->where.triples.begin() + ti);
+        return true;
+      });
+    }
+    for (size_t fi = 0; fi < g.where.filters.size(); ++fi) {
+      edits.push_back([gi, fi](SelectQuery* c) {
+        SelectQuery* cg = Groupings(c)[gi];
+        cg->where.filters.erase(cg->where.filters.begin() + fi);
+        return true;
+      });
+    }
+    if (g.having != nullptr) {
+      edits.push_back([gi](SelectQuery* c) {
+        Groupings(c)[gi]->having = nullptr;
+        return true;
+      });
+    }
+    size_t num_aggs = 0;
+    for (const auto& item : g.items) {
+      if (item.expr != nullptr) ++num_aggs;
+    }
+    for (size_t ii = 0; ii < g.items.size(); ++ii) {
+      bool is_agg = g.items[ii].expr != nullptr;
+      if (is_agg && num_aggs < 2) continue;  // a grouping needs >= 1 agg
+      edits.push_back([gi, ii, is_agg](SelectQuery* c) {
+        SelectQuery* cg = Groupings(c)[gi];
+        std::string name = cg->items[ii].name;
+        cg->items.erase(cg->items.begin() + ii);
+        if (!is_agg) {
+          cg->group_by.erase(
+              std::remove(cg->group_by.begin(), cg->group_by.end(), name),
+              cg->group_by.end());
+        }
+        if (cg != c && cg->items.empty()) return false;
+        CleanTopLevel(c);
+        return !c->items.empty();
+      });
+    }
+  }
+  if (!q.order_by.empty() || q.limit >= 0 || q.offset > 0) {
+    edits.push_back([](SelectQuery* c) {
+      c->order_by.clear();
+      c->limit = -1;
+      c->offset = 0;
+      return true;
+    });
+  }
+  if (q.limit >= 0) {
+    edits.push_back([](SelectQuery* c) {
+      c->limit = -1;
+      c->offset = 0;
+      return true;
+    });
+  }
+  if (q.distinct) {
+    edits.push_back([](SelectQuery* c) {
+      c->distinct = false;
+      return true;
+    });
+  }
+  return edits;
+}
+
+bool AnalyzesOk(const SelectQuery& q) {
+  return analytics::AnalyzeQuery(q).ok();
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const FuzzCase& original, const DiffOptions& diff_opts,
+                    int max_predicate_calls) {
+  ShrinkResult out;
+  out.reduced.seed = original.seed;
+  out.reduced.dataset = original.dataset;
+  out.reduced.triples = original.triples;
+  out.reduced.query = CloneQuery(*original.query);
+  if (out.reduced.query == nullptr) {
+    out.reduced.query = nullptr;
+    return out;
+  }
+
+  auto still_fails = [&](const FuzzCase& c, DiffFailure* f) {
+    if (out.predicate_calls >= max_predicate_calls) return false;
+    ++out.predicate_calls;
+    *f = RunDifferential(c, diff_opts);
+    return f->failed && f->kind != "analyze";
+  };
+
+  if (!still_fails(out.reduced, &out.failure)) {
+    return out;  // not a failing case (or budget exhausted) — nothing to do
+  }
+
+  auto shrink_query = [&]() {
+    bool progress = true;
+    while (progress && out.predicate_calls < max_predicate_calls) {
+      progress = false;
+      for (const EditFn& edit : EnumerateEdits(*out.reduced.query)) {
+        std::unique_ptr<SelectQuery> cand = CloneQuery(*out.reduced.query);
+        if (cand == nullptr || !edit(cand.get())) continue;
+        if (!AnalyzesOk(*cand)) continue;
+        FuzzCase trial;
+        trial.seed = out.reduced.seed;
+        trial.dataset = out.reduced.dataset;
+        trial.query = std::move(cand);
+        trial.triples = out.reduced.triples;
+        DiffFailure f;
+        if (still_fails(trial, &f)) {
+          out.reduced.query = std::move(trial.query);
+          out.failure = f;
+          progress = true;
+          break;
+        }
+        if (out.predicate_calls >= max_predicate_calls) break;
+      }
+    }
+  };
+
+  auto shrink_data = [&]() {
+    // Zeller-style ddmin on the triple list.
+    size_t n = 2;
+    while (out.reduced.triples.size() >= 2 &&
+           out.predicate_calls < max_predicate_calls) {
+      size_t size = out.reduced.triples.size();
+      size_t chunk = std::max<size_t>(1, size / n);
+      bool reduced = false;
+      for (size_t start = 0; start < size; start += chunk) {
+        FuzzCase trial;
+        trial.seed = out.reduced.seed;
+        trial.dataset = out.reduced.dataset;
+        trial.query = CloneQuery(*out.reduced.query);
+        size_t end = std::min(size, start + chunk);
+        trial.triples.reserve(size - (end - start));
+        for (size_t i = 0; i < size; ++i) {
+          if (i < start || i >= end) {
+            trial.triples.push_back(out.reduced.triples[i]);
+          }
+        }
+        DiffFailure f;
+        if (still_fails(trial, &f)) {
+          out.reduced.triples = std::move(trial.triples);
+          out.failure = f;
+          n = std::max<size_t>(2, n - 1);
+          reduced = true;
+          break;
+        }
+        if (out.predicate_calls >= max_predicate_calls) break;
+      }
+      if (!reduced) {
+        if (n >= out.reduced.triples.size()) break;
+        n = std::min(out.reduced.triples.size(), n * 2);
+      }
+    }
+  };
+
+  shrink_query();
+  shrink_data();
+  shrink_query();  // smaller data often unlocks further query reductions
+  return out;
+}
+
+std::string FormatRepro(const FuzzCase& c, const DiffFailure& failure) {
+  std::string out;
+  out += "=== rapida_fuzz repro ===\n";
+  out += "seed:    " + std::to_string(c.seed) + "\n";
+  out += "dataset: " + c.dataset + " (" + std::to_string(c.triples.size()) +
+         " triples)\n";
+  out += "failure: " + failure.ToString() + "\n";
+  out += "query:\n";
+  out += c.query != nullptr ? c.query->ToString() : "<unparseable>";
+  out += "\n";
+  if (c.triples.size() <= 100) {
+    out += "data:\n";
+    for (const TripleSpec& t : c.triples) {
+      out += "  " + t[0].ToNTriples() + " " + t[1].ToNTriples() + " " +
+             t[2].ToNTriples() + " .\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rapida::difftest

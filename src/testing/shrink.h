@@ -1,0 +1,35 @@
+#ifndef RAPIDA_TESTING_SHRINK_H_
+#define RAPIDA_TESTING_SHRINK_H_
+
+#include <string>
+
+#include "testing/differential.h"
+
+namespace rapida::difftest {
+
+/// Result of minimizing a failing fuzz case.
+struct ShrinkResult {
+  FuzzCase reduced;       // smallest query + dataset that still fails
+  DiffFailure failure;    // the failure the reduced case produces
+  int predicate_calls = 0;
+};
+
+/// Greedily minimizes a failing case: repeatedly tries structural query
+/// reductions (drop a grouping subquery, triple pattern, filter, HAVING,
+/// surplus aggregate, GROUP BY key, or solution modifier) and ddmin-style
+/// dataset bisection, keeping any reduction after which RunDifferential
+/// still reports a (non-"analyze") failure. At most `max_predicate_calls`
+/// differential runs are spent. `diff_opts` should be the options the
+/// original failure was observed under (same thread counts / fault
+/// injection), so the predicate hunts the same bug.
+ShrinkResult Shrink(const FuzzCase& original, const DiffOptions& diff_opts,
+                    int max_predicate_calls = 400);
+
+/// Renders a self-contained repro report: seed, dataset name and size, the
+/// (reduced) SPARQL text, the failure, and an N-Triples-style dump of the
+/// (reduced) data when it is small enough to paste into a test.
+std::string FormatRepro(const FuzzCase& c, const DiffFailure& failure);
+
+}  // namespace rapida::difftest
+
+#endif  // RAPIDA_TESTING_SHRINK_H_

@@ -1,0 +1,187 @@
+#include "testing/vocab.h"
+
+#include "util/logging.h"
+#include "workload/bsbm.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+namespace rapida::difftest {
+
+namespace {
+
+std::string B(const std::string& local) {
+  return std::string(workload::kBsbmNs) + local;
+}
+std::string C(const std::string& local) {
+  return std::string(workload::kChemNs) + local;
+}
+std::string P(const std::string& local) {
+  return std::string(workload::kPubmedNs) + local;
+}
+
+std::vector<VocabSchema> BuildSchemas() {
+  std::vector<VocabSchema> out;
+
+  // BSBM: offer -> product (typed, labeled, multi-valued features) and
+  // offer -> vendor -> country. Price is the numeric measure (paper G1-G4,
+  // MG1-MG4, AQ1 shapes).
+  {
+    VocabSchema s;
+    s.dataset = "bsbm";
+    StarTemplate offer;
+    offer.hint = "off";
+    offer.props.push_back({B("price"), SchemaProp::Kind::kNumber, {}, 50,
+                           10000});
+    StarTemplate product;
+    product.hint = "p";
+    for (int t = 1; t <= 6; ++t) {
+      product.types.push_back(B("ProductType" + std::to_string(t)));
+    }
+    product.props.push_back({B("label"), SchemaProp::Kind::kDim, {}, 0, 0});
+    product.props.push_back(
+        {B("productFeature"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate vendor;
+    vendor.hint = "v";
+    vendor.props.push_back({B("country"), SchemaProp::Kind::kDim, {}, 0, 0});
+    s.stars = {offer, product, vendor};
+    s.joins.push_back({0, B("product"), 1, "", "p"});
+    s.joins.push_back({0, B("vendor"), 2, "", "v"});
+    out.push_back(std::move(s));
+  }
+
+  // Chem2Bio2RDF: bioassays join genes on the gi value (object-object),
+  // drug-gene interactions join genes on the symbol (object-object),
+  // pathways and Medline publications point at the gene entry subject
+  // (paper G5-G9, MG6-MG10 shapes). Score is the numeric measure.
+  {
+    VocabSchema s;
+    s.dataset = "chem";
+    StarTemplate assay;
+    assay.hint = "b";
+    assay.props.push_back({C("CID"), SchemaProp::Kind::kDim, {}, 0, 0});
+    assay.props.push_back(
+        {C("outcome"), SchemaProp::Kind::kDim, {"active", "inactive"}, 0, 0});
+    assay.props.push_back({C("Score"), SchemaProp::Kind::kNumber, {}, 0, 99});
+    StarTemplate gene;
+    gene.hint = "u";
+    gene.props.push_back({C("gi"), SchemaProp::Kind::kDim, {}, 0, 0});
+    gene.props.push_back(
+        {C("geneSymbol"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate interaction;
+    interaction.hint = "di";
+    interaction.props.push_back({C("DBID"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate pathway;
+    pathway.hint = "pw";
+    pathway.props.push_back(
+        {C("Pathway_name"), SchemaProp::Kind::kDim, {}, 0, 0});
+    pathway.props.push_back(
+        {C("pathwayid"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate publication;
+    publication.hint = "pmid";
+    publication.props.push_back(
+        {C("side_effect"), SchemaProp::Kind::kDim, {}, 0, 0});
+    publication.props.push_back(
+        {C("disease"), SchemaProp::Kind::kDim, {}, 0, 0});
+    s.stars = {assay, gene, interaction, pathway, publication};
+    s.joins.push_back({0, C("assay_gi"), 1, C("gi"), "gi"});
+    s.joins.push_back({2, C("gene"), 1, C("geneSymbol"), "g"});
+    s.joins.push_back({3, C("protein"), 1, "", "u"});
+    s.joins.push_back({4, C("medline_gene"), 1, "", "u"});
+    out.push_back(std::move(s));
+  }
+
+  // PubMed: publications with heavily multi-valued mesh/chemical/author
+  // properties, grants carrying agency + country (paper MG11-MG18 shapes).
+  // No numeric measure — the catalog queries are all COUNTs here too.
+  {
+    VocabSchema s;
+    s.dataset = "pubmed";
+    StarTemplate pub;
+    pub.hint = "pub";
+    pub.props.push_back({P("pub_type"), SchemaProp::Kind::kDim,
+                         {"Journal Article", "News"}, 0, 0});
+    pub.props.push_back({P("journal"), SchemaProp::Kind::kDim, {}, 0, 0});
+    pub.props.push_back(
+        {P("mesh_heading"), SchemaProp::Kind::kDim, {}, 0, 0});
+    pub.props.push_back({P("chemical"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate grant;
+    grant.hint = "g";
+    grant.props.push_back(
+        {P("grant_agency"), SchemaProp::Kind::kDim, {}, 0, 0});
+    grant.props.push_back(
+        {P("grant_country"), SchemaProp::Kind::kDim, {}, 0, 0});
+    StarTemplate author;
+    author.hint = "a";
+    author.props.push_back({P("last_name"), SchemaProp::Kind::kDim, {}, 0, 0});
+    s.stars = {pub, grant, author};
+    s.joins.push_back({0, P("grant"), 1, "", "g"});
+    s.joins.push_back({0, P("author"), 2, "", "a"});
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<VocabSchema>& AllSchemas() {
+  static const auto* kSchemas = new std::vector<VocabSchema>(BuildSchemas());
+  return *kSchemas;
+}
+
+const VocabSchema& SchemaFor(const std::string& dataset) {
+  for (const VocabSchema& s : AllSchemas()) {
+    if (s.dataset == dataset) return s;
+  }
+  RAPIDA_LOG(Error) << "no fuzz schema for dataset '" << dataset
+                    << "', using bsbm";
+  return AllSchemas()[0];
+}
+
+rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng) {
+  if (dataset == "chem") {
+    workload::ChemConfig cfg;
+    cfg.num_compounds = 20 + static_cast<int>(rng->Uniform(40));
+    cfg.num_genes = 8 + static_cast<int>(rng->Uniform(20));
+    cfg.num_drugs = 6 + static_cast<int>(rng->Uniform(12));
+    cfg.num_pathways = 3 + static_cast<int>(rng->Uniform(8));
+    cfg.num_side_effects = 5 + static_cast<int>(rng->Uniform(10));
+    cfg.num_diseases = 4 + static_cast<int>(rng->Uniform(8));
+    cfg.num_assays = 50 + static_cast<int>(rng->Uniform(150));
+    cfg.num_sider_records = 20 + static_cast<int>(rng->Uniform(60));
+    cfg.num_targets = 10 + static_cast<int>(rng->Uniform(40));
+    cfg.num_publications = 80 + static_cast<int>(rng->Uniform(250));
+    cfg.seed = rng->Next();
+    return workload::GenerateChem2Bio(cfg);
+  }
+  if (dataset == "pubmed") {
+    workload::PubmedConfig cfg;
+    cfg.num_publications = 40 + static_cast<int>(rng->Uniform(110));
+    cfg.num_journals = 4 + static_cast<int>(rng->Uniform(10));
+    cfg.num_grants = 15 + static_cast<int>(rng->Uniform(45));
+    cfg.num_agencies = 3 + static_cast<int>(rng->Uniform(8));
+    cfg.num_countries = 3 + static_cast<int>(rng->Uniform(6));
+    cfg.num_authors = 15 + static_cast<int>(rng->Uniform(45));
+    cfg.num_mesh_terms = 8 + static_cast<int>(rng->Uniform(30));
+    cfg.num_chemicals = 6 + static_cast<int>(rng->Uniform(25));
+    cfg.mesh_per_publication = 1.0 + rng->NextDouble() * 2.5;
+    cfg.chemicals_per_publication = 1.0 + rng->NextDouble() * 2.0;
+    cfg.authors_per_publication = 1.0 + rng->NextDouble() * 1.5;
+    cfg.grants_per_publication = 0.5 + rng->NextDouble();
+    cfg.news_fraction = 0.05 + rng->NextDouble() * 0.25;
+    cfg.seed = rng->Next();
+    return workload::GeneratePubmed(cfg);
+  }
+  workload::BsbmConfig cfg;
+  cfg.num_products = 20 + static_cast<int>(rng->Uniform(60));
+  cfg.num_product_types = 4 + static_cast<int>(rng->Uniform(7));
+  cfg.num_features = 5 + static_cast<int>(rng->Uniform(10));
+  cfg.num_vendors = 4 + static_cast<int>(rng->Uniform(8));
+  cfg.num_countries = 3 + static_cast<int>(rng->Uniform(4));
+  cfg.offers_per_product = 1.0 + rng->NextDouble() * 2.0;
+  cfg.optional_date_probability = rng->NextDouble() * 0.5;
+  cfg.seed = rng->Next();
+  return workload::GenerateBsbm(cfg);
+}
+
+}  // namespace rapida::difftest

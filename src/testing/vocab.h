@@ -1,0 +1,64 @@
+#ifndef RAPIDA_TESTING_VOCAB_H_
+#define RAPIDA_TESTING_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/random.h"
+
+namespace rapida::difftest {
+
+/// A non-join property of a star template: either a dimension (IRI/string
+/// valued — groupable) or a measure (numeric — SUM/AVG/MIN/MAX-able).
+struct SchemaProp {
+  std::string iri;  // full property IRI
+  enum class Kind { kDim, kNumber } kind = Kind::kDim;
+  /// Dimension only: literal constants the generator may pin the object to
+  /// instead of a variable (selectivity variants, e.g. pub_type "News").
+  std::vector<std::string> constants;
+  /// Measure only: plausible FILTER threshold range in the generated data.
+  double lo = 0;
+  double hi = 100;
+};
+
+/// One subject-rooted star the generator can instantiate, mirroring an
+/// entity class of the workload generators in src/workload/.
+struct StarTemplate {
+  std::string hint;  // variable-name stem ("off", "p", "v", ...)
+  /// Candidate rdf:type constants (full IRIs); empty = class is untyped.
+  std::vector<std::string> types;
+  std::vector<SchemaProp> props;
+};
+
+/// A join edge between two star templates. An empty prop means "the shared
+/// variable is that star's subject"; a non-empty prop means the star gains
+/// a triple (?subj <prop> ?shared). Both non-empty = object-object join
+/// (e.g. Chem2Bio's ?b :assay_gi ?gi . ?u :gi ?gi).
+struct JoinTemplate {
+  int star_a = 0;
+  std::string prop_a;
+  int star_b = 0;
+  std::string prop_b;
+  std::string hint;  // shared-variable name stem
+};
+
+/// Query-generation vocabulary for one workload dataset.
+struct VocabSchema {
+  std::string dataset;  // "bsbm" | "chem" | "pubmed"
+  std::vector<StarTemplate> stars;
+  std::vector<JoinTemplate> joins;
+};
+
+/// Schemas for the three paper workloads, in catalog order.
+const std::vector<VocabSchema>& AllSchemas();
+const VocabSchema& SchemaFor(const std::string& dataset);
+
+/// Generates a small randomized instance of the named workload: config
+/// sizes are drawn from `rng`, so every fuzz seed sees a different shape
+/// and scale (but the same seed always sees the same data).
+rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng);
+
+}  // namespace rapida::difftest
+
+#endif  // RAPIDA_TESTING_VOCAB_H_

@@ -57,4 +57,22 @@ uint64_t Random::Zipf(uint64_t n, double s) {
   return n - 1;
 }
 
+Random Random::Fork() {
+  // A draw from the parent keyed with an odd constant: child state is
+  // re-expanded through the SplitMix64 constructor, so parent and child
+  // sequences share no state words.
+  return Random(Next() * 0x9e3779b97f4a7c15ULL + 0x1d8e4e27c47d124fULL);
+}
+
+Random Random::Split(uint64_t stream_id) const {
+  // Mix both state words with the stream id (const: the parent stream is
+  // not advanced). Distinct ids land in distinct SplitMix64 trajectories.
+  uint64_t h = state0_;
+  h ^= (state1_ + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  h ^= (stream_id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return Random(h);
+}
+
 }  // namespace rapida

@@ -32,6 +32,18 @@ class Random {
   /// popularity typical of RDF datasets (few hot product types / journals).
   uint64_t Zipf(uint64_t n, double s);
 
+  /// Returns an independent child stream, advancing this stream by exactly
+  /// one draw. Use when several consumers (dataset generator, query
+  /// generator, scheduler) must each see a deterministic sequence that does
+  /// not shift when another consumer changes how many values it draws.
+  Random Fork();
+
+  /// Returns the independent stream for `stream_id` WITHOUT advancing this
+  /// stream: Split(i) is a pure function of (current state, i), so any
+  /// number of named streams can be derived from one point in the parent
+  /// sequence.
+  Random Split(uint64_t stream_id) const;
+
  private:
   uint64_t state0_;
   uint64_t state1_;

@@ -1,0 +1,192 @@
+// Smoke coverage for the differential fuzzing harness itself: the query
+// generator only emits queries the analyzer accepts, a slice of the seed
+// corpus cross-checks clean, the normalizer is tolerant where it must be
+// and strict where it must be, and the shrinker reduces an injected
+// engine bug to a tiny repro. The full 200-seed corpus runs as the
+// ctest "fuzz" configuration (see tests/CMakeLists.txt) and in
+// scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include "analytics/analytical_query.h"
+#include "sparql/parser.h"
+#include "testing/differential.h"
+#include "testing/normalize.h"
+#include "testing/query_gen.h"
+#include "testing/shrink.h"
+
+namespace rapida::difftest {
+namespace {
+
+/// Hand-built case for pinning shrunk fuzzer repros as deterministic
+/// regressions (seed numbering may drift as the generator evolves).
+FuzzCase MakeCase(const std::string& sparql,
+                  std::vector<TripleSpec> triples) {
+  FuzzCase c;
+  c.dataset = "regression";
+  auto parsed = sparql::ParseQuery(sparql);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  c.query = std::move(*parsed);
+  c.triples = std::move(triples);
+  return c;
+}
+
+/// Total number of triple patterns across all grouping subqueries.
+size_t CountTriplePatterns(const sparql::SelectQuery& q) {
+  size_t n = q.where.triples.size();
+  for (const auto& sub : q.where.subqueries) {
+    n += sub->where.triples.size();
+  }
+  return n;
+}
+
+TEST(FuzzSmokeTest, GeneratedQueriesAlwaysAnalyze) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    FuzzCase c = MakeFuzzCase(seed);
+    ASSERT_NE(c.query, nullptr) << "seed " << seed;
+    EXPECT_FALSE(c.triples.empty()) << "seed " << seed;
+    auto analyzed = analytics::AnalyzeQuery(*c.query);
+    EXPECT_TRUE(analyzed.ok())
+        << "seed " << seed << ": " << analyzed.status() << "\n"
+        << c.query->ToString();
+  }
+}
+
+TEST(FuzzSmokeTest, DifferentialCorpusSliceIsClean) {
+  // A fast slice of the corpus; rapida_fuzz --seeds=200 is the full run.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    FuzzCase c = MakeFuzzCase(seed);
+    DiffFailure f = RunDifferential(c);
+    EXPECT_FALSE(f.failed) << "seed " << seed << ": " << f.ToString();
+  }
+}
+
+TEST(FuzzSmokeTest, ApproxEqualToleratesSummationOrderNoise) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(0.1 + 0.2, 0.3));
+  EXPECT_TRUE(ApproxEqual(1e15, 1e15 * (1 + 1e-12)));
+  EXPECT_TRUE(ApproxEqual(0.0, 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_FALSE(ApproxEqual(100.0, 101.0));
+}
+
+TEST(FuzzSmokeTest, NormalizedSerializationRoundTrips) {
+  NormalizedTable t;
+  t.columns = {"a", "b"};
+  NormalizedCell num;
+  num.is_number = true;
+  num.number = 1.0 / 3.0;
+  NormalizedCell text;
+  text.text = "\"odd\tchars\nand\\slashes\"";
+  t.rows.push_back({num, text});
+  NormalizedCell neg;
+  neg.is_number = true;
+  neg.number = -2.5e300;
+  NormalizedCell iri;
+  iri.text = "<http://example.org/x>";
+  t.rows.push_back({neg, iri});
+
+  std::string s = SerializeNormalized(t);
+  NormalizedTable parsed;
+  ASSERT_TRUE(ParseNormalized(s, &parsed));
+  EXPECT_EQ(CompareNormalized(t, parsed), "") << s;
+  // And the comparison is not vacuously true.
+  parsed.rows[0][0].number += 1;
+  EXPECT_NE(CompareNormalized(t, parsed), "");
+}
+
+// Shrunk repros of real bugs the fuzzer found, pinned as deterministic
+// regressions (the seeds that originally exposed them may drift as the
+// generator evolves).
+
+rdf::Term I(const std::string& name) {
+  return rdf::Term::Iri("http://fuzz.example/" + name);
+}
+rdf::Term Int(const std::string& v) {
+  return rdf::Term::Literal(v, "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(FuzzSmokeTest, RegressionOneSidedFilterOnSharedCompositeScan) {
+  // Two identical patterns where only one grouping filters the shared
+  // variable: MQO and RAPIDAnalytics used to push the filter into the
+  // shared composite scan, starving the unfiltered grouping (avg2 came
+  // back 50 instead of 125).
+  FuzzCase c = MakeCase(
+      "SELECT ?avg1 ?avg2 { "
+      "{ SELECT (AVG(?price1) AS ?avg1) { "
+      "  ?o1 <http://fuzz.example/price> ?price1 . "
+      "  FILTER(?price1 <= 100) } } "
+      "{ SELECT (AVG(?price2) AS ?avg2) { "
+      "  ?o2 <http://fuzz.example/price> ?price2 . } } }",
+      {{I("Offer1"), I("price"), Int("50")},
+       {I("Offer2"), I("price"), Int("200")}});
+  DiffFailure f = RunDifferential(c);
+  EXPECT_FALSE(f.failed) << f.ToString();
+}
+
+TEST(FuzzSmokeTest, RegressionConstantObjectSecondaryTriple) {
+  // A constant-object triple only one pattern carries is secondary in the
+  // composite; MQO's extraction used to have no way to observe whether it
+  // matched (no object variable), so the "News"-only grouping silently
+  // over-matched all publications.
+  const std::string query =
+      "SELECT ?gc1 ?cnt2 { "
+      "{ SELECT (GROUP_CONCAT(?chemical) AS ?gc1) { "
+      "  ?pub1 <http://fuzz.example/pub_type> \"News\" . "
+      "  ?pub1 <http://fuzz.example/chemical> ?chemical . } } "
+      "{ SELECT (COUNT(*) AS ?cnt2) { "
+      "  ?pub2 <http://fuzz.example/chemical> ?chemical . } } }";
+  FuzzCase c = MakeCase(
+      query,
+      {{I("Pub1"), I("chemical"), I("C1")},
+       {I("Pub2"), I("pub_type"), rdf::Term::Literal("News")},
+       {I("Pub2"), I("chemical"), I("C2")},
+       {I("Pub3"), I("pub_type"), rdf::Term::Literal("Journal")},
+       {I("Pub3"), I("chemical"), I("C3")}});
+  DiffFailure f = RunDifferential(c);
+  EXPECT_FALSE(f.failed) << f.ToString();
+
+  // Same query when NO pub_type triple exists anywhere (the property's
+  // VP table is missing entirely): the first grouping must go empty.
+  FuzzCase none = MakeCase(query, {{I("Pub1"), I("chemical"), I("C1")}});
+  DiffFailure f2 = RunDifferential(none);
+  EXPECT_FALSE(f2.failed) << f2.ToString();
+}
+
+TEST(FuzzSmokeTest, ShrinkerReducesInjectedBugToTinyRepro) {
+  // Sabotage RAPIDAnalytics with a dropped result row and check the
+  // shrinker boils whatever seed first exposes it down to a repro with at
+  // most 3 triple patterns (the acceptance bar from the harness design).
+  DiffOptions opts;
+  opts.thread_counts = {1};
+  opts.check_cost_invariants = false;
+  opts.fault = FaultKind::kDropRow;
+  opts.fault_engine = "RAPIDAnalytics";
+
+  uint64_t failing_seed = 0;
+  for (uint64_t seed = 1; seed <= 20 && failing_seed == 0; ++seed) {
+    FuzzCase c = MakeFuzzCase(seed);
+    DiffFailure f = RunDifferential(c, opts);
+    if (f.failed && f.kind == "mismatch") failing_seed = seed;
+  }
+  ASSERT_NE(failing_seed, 0u)
+      << "no seed in 1..20 produced a non-empty result to corrupt";
+
+  ShrinkResult r = Shrink(MakeFuzzCase(failing_seed), opts);
+  ASSERT_TRUE(r.failure.failed);
+  EXPECT_EQ(r.failure.kind, "mismatch") << r.failure.ToString();
+  EXPECT_EQ(r.failure.engine, "RAPIDAnalytics");
+  EXPECT_LE(CountTriplePatterns(*r.reduced.query), 3u)
+      << FormatRepro(r.reduced, r.failure);
+  // The reduced case must still be a genuine failing case end-to-end.
+  DiffFailure replay = RunDifferential(r.reduced, opts);
+  EXPECT_TRUE(replay.failed);
+  // And without the injected fault it must pass (the bug is the fault,
+  // not the reduced query).
+  DiffOptions clean = opts;
+  clean.fault = FaultKind::kNone;
+  DiffFailure healthy = RunDifferential(r.reduced, clean);
+  EXPECT_FALSE(healthy.failed) << healthy.ToString();
+}
+
+}  // namespace
+}  // namespace rapida::difftest

@@ -1,0 +1,139 @@
+// Golden-result regression fixtures: the normalized reference-evaluator
+// output of every catalog query over the fixed small datasets is pinned
+// in tests/golden/*.golden, and every engine is diffed against the same
+// fixture. Unlike catalog_test (engines vs the *current* reference), a
+// change in a generator, the parser, the reference evaluator, or an
+// engine that silently alters results shows up here as a readable diff
+// against results reviewed at fixture-generation time.
+//
+// To regenerate after an intentional change:
+//   RAPIDA_UPDATE_GOLDEN=1 ./build/tests/golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analytics/reference_evaluator.h"
+#include "engines/engines.h"
+#include "sparql/parser.h"
+#include "testing/normalize.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+#ifndef RAPIDA_GOLDEN_DIR
+#error "RAPIDA_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace rapida::workload {
+namespace {
+
+/// Same fixed configs as catalog_test.cc, so the fixtures describe the
+/// datasets every engine is validated on.
+rdf::Graph SmallGraphFor(const std::string& dataset) {
+  if (dataset == "bsbm") {
+    BsbmConfig cfg;
+    cfg.num_products = 300;
+    cfg.offers_per_product = 2.5;
+    return GenerateBsbm(cfg);
+  }
+  if (dataset == "chem") {
+    ChemConfig cfg;
+    cfg.num_assays = 500;
+    cfg.num_publications = 1200;
+    return GenerateChem2Bio(cfg);
+  }
+  PubmedConfig cfg;
+  cfg.num_publications = 500;
+  cfg.mesh_per_publication = 3.0;
+  cfg.chemicals_per_publication = 2.0;
+  return GeneratePubmed(cfg);
+}
+
+engine::Dataset* DatasetFor(const std::string& name) {
+  static auto* cache =
+      new std::map<std::string, std::unique_ptr<engine::Dataset>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, std::make_unique<engine::Dataset>(
+                                  SmallGraphFor(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string GoldenPath(const std::string& id) {
+  return std::string(RAPIDA_GOLDEN_DIR) + "/" + id + ".golden";
+}
+
+bool UpdateMode() {
+  const char* v = std::getenv("RAPIDA_UPDATE_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+class GoldenQueryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenQueryTest, ReferenceAndEveryEngineMatchFixture) {
+  auto cq = FindQuery(GetParam());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  engine::Dataset* dataset = DatasetFor((*cq)->dataset);
+
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  analytics::ReferenceEvaluator ref(&dataset->graph());
+  auto result = ref.Evaluate(**parsed);
+  ASSERT_TRUE(result.ok()) << result.status();
+  difftest::NormalizedTable actual =
+      difftest::Normalize(*result, dataset->dict());
+
+  const std::string path = GoldenPath((*cq)->id);
+  if (UpdateMode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << difftest::SerializeNormalized(actual);
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path
+      << " — run RAPIDA_UPDATE_GOLDEN=1 ./build/tests/golden_test";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  difftest::NormalizedTable expected;
+  ASSERT_TRUE(difftest::ParseNormalized(buf.str(), &expected))
+      << "corrupt fixture " << path;
+  EXPECT_EQ(difftest::CompareNormalized(expected, actual), "")
+      << (*cq)->id << " reference drifted from " << path
+      << " — if intentional, regenerate with RAPIDA_UPDATE_GOLDEN=1";
+
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok()) << query.status();
+  mr::Cluster cluster(mr::ClusterConfig{}, &dataset->dfs());
+  for (const auto& eng : engine::MakeAllEngines()) {
+    engine::ExecStats stats;
+    auto run = eng->Execute(*query, dataset, &cluster, &stats);
+    ASSERT_TRUE(run.ok()) << eng->name() << ": " << run.status();
+    EXPECT_EQ(difftest::CompareNormalized(
+                  expected, difftest::Normalize(*run, dataset->dict())),
+              "")
+        << (*cq)->id << " on " << eng->name() << " drifted from " << path;
+  }
+}
+
+std::vector<std::string> AllQueryIds() {
+  std::vector<std::string> ids;
+  for (const CatalogQuery& q : Catalog()) ids.push_back(q.id);
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, GoldenQueryTest,
+                         ::testing::ValuesIn(AllQueryIds()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace rapida::workload

@@ -51,6 +51,55 @@ TEST(RandomTest, ZipfSkewsTowardsLowRanks) {
   EXPECT_GT(counts[0], counts[9] * 3);
 }
 
+TEST(RandomTest, ForkAdvancesParentByOneDraw) {
+  Random a(42), b(42);
+  Random child = a.Fork();
+  b.Next();  // Fork consumes exactly one draw from the parent.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  // The child is a distinct stream from the parent's continuation.
+  Random a2(42);
+  Random child2 = a2.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child2.Next() == a2.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, SplitIsPureAndPerStream) {
+  Random r(7);
+  Random s1 = r.Split(1);
+  Random s1_again = r.Split(1);
+  Random s2 = r.Split(2);
+  // Split does not advance the parent...
+  Random fresh(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.Next(), fresh.Next());
+  // ...is repeatable for the same stream id...
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1.Next(), s1_again.Next());
+  // ...and distinct stream ids give independent sequences.
+  Random s1b = Random(7).Split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1b.Next() == s2.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, SplitStreamsDoNotShiftWhenSiblingDrawsMore) {
+  // The motivating property for the fuzzer: changing how much the data
+  // generator draws must not change the query generator's stream.
+  Random a(99);
+  Random data_a = a.Split(1);
+  Random query_a = a.Split(2);
+  data_a.Next();
+
+  Random b(99);
+  Random data_b = b.Split(1);
+  for (int i = 0; i < 1000; ++i) data_b.Next();  // draws much more
+  Random query_b = b.Split(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(query_a.Next(), query_b.Next());
+}
+
 TEST(RandomTest, ZipfBoundaries) {
   Random r(5);
   EXPECT_EQ(r.Zipf(1, 1.0), 0u);

@@ -11,6 +11,7 @@
 #include "mapreduce/counters.h"
 #include "ntga/triplegroup.h"
 #include "sparql/parser.h"
+#include "testing/query_gen.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -72,6 +73,26 @@ TEST(RobustnessTest, SerializationRoundTripUnderRandomIds) {
     auto parsed = ntga::ParseTripleGroup(ntga::SerializeTripleGroup(tg));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, tg);
+  }
+}
+
+TEST(RobustnessTest, GeneratedQueriesRoundTripThroughPrinter) {
+  // Property: for every query the fuzzer can generate, printing it and
+  // re-parsing the text yields a structurally identical AST, and printing
+  // is a fixed point (print(parse(print(q))) == print(q)). This pins the
+  // printer/parser pair the shrinker relies on (it clones via re-parse).
+  for (uint64_t seed = 1; seed <= 150; ++seed) {
+    Random rng(seed);
+    std::string dataset;
+    auto query = difftest::GenerateAnyQuery(&rng, &dataset);
+    std::string text = query->ToString();
+    auto reparsed = sparql::ParseQuery(text);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << seed << ": " << reparsed.status() << "\n" << text;
+    EXPECT_TRUE(sparql::Equals(*query, **reparsed))
+        << "seed " << seed << " round-trip changed the AST:\n" << text
+        << "\nreprinted:\n" << (*reparsed)->ToString();
+    EXPECT_EQ(text, (*reparsed)->ToString()) << "seed " << seed;
   }
 }
 
