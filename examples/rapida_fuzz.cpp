@@ -13,6 +13,10 @@
 //   rapida_fuzz --inject=drop-row --seeds=20 --shrink
 //                                    # sabotage RAPIDAnalytics, prove the
 //                                    # harness catches + shrinks the bug
+//   rapida_fuzz --service --seeds=50 # additionally push every query
+//                                    # through a QueryService (caching,
+//                                    # dedup, shared-scan batching) and
+//                                    # cross-check against the reference
 //
 // Exit status: 0 = all seeds passed, 1 = at least one failure.
 #include <cstdio>
@@ -39,6 +43,7 @@ struct Args {
   bool verbose = false;
   std::vector<int> threads = {1, 8};
   FaultKind fault = FaultKind::kNone;
+  bool service = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -54,6 +59,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->shrink = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       out->verbose = true;
+    } else if (std::strcmp(a, "--service") == 0) {
+      out->service = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       out->threads.clear();
       for (const char* p = a + 10; *p != '\0';) {
@@ -99,6 +106,9 @@ bool RunSeed(uint64_t seed, const Args& args, const DiffOptions& opts) {
                 c.triples.size(), c.query->ToString().c_str());
   }
   DiffFailure f = rapida::difftest::RunDifferential(c, opts);
+  if (!f.failed && args.service) {
+    f = rapida::difftest::RunServiceDifferential(c);
+  }
   if (!f.failed) {
     if (args.verbose) std::printf("seed %llu: ok\n",
                                   static_cast<unsigned long long>(seed));

@@ -1,0 +1,340 @@
+// rapida_serve — the concurrent query service over the workload catalog.
+//
+// Replays catalog queries from many concurrent sessions through
+// service::QueryService (admission control, fair-share scheduling, plan /
+// result caching, shared-scan batching) and reports service metrics.
+//
+// Usage:
+//   rapida_serve                 bench mode: replays the catalog trace at
+//                                1/8/32 sessions with caches on and off,
+//                                runs the batched-vs-serial burst
+//                                experiment, and appends one JSON object
+//                                to BENCH_service.json
+//   rapida_serve --smoke         correctness mode for scripts/check.sh:
+//                                serves every catalog query cold, hot and
+//                                from 32 concurrent sessions, and
+//                                cross-checks every result byte-for-byte
+//                                against direct RAPIDAnalytics execution;
+//                                exit 1 on any mismatch
+//   --passes N                   trace passes per session in bench mode
+//   --out FILE                   bench output (default BENCH_service.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+#include "engines/rapid_analytics.h"
+#include "service/query_service.h"
+#include "sparql/parser.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+namespace {
+
+using rapida::engine::Dataset;
+using rapida::service::QueryService;
+using rapida::service::QuerySpec;
+using rapida::service::Response;
+using rapida::service::ServiceOptions;
+
+struct Datasets {
+  std::map<std::string, std::unique_ptr<Dataset>> by_name;
+};
+
+Datasets BuildDatasets() {
+  Datasets d;
+  d.by_name["bsbm"] = std::make_unique<Dataset>(
+      rapida::workload::GenerateBsbm(rapida::workload::BsbmConfig{}));
+  d.by_name["chem"] = std::make_unique<Dataset>(
+      rapida::workload::GenerateChem2Bio(rapida::workload::ChemConfig{}));
+  d.by_name["pubmed"] = std::make_unique<Dataset>(
+      rapida::workload::GeneratePubmed(rapida::workload::PubmedConfig{}));
+  return d;
+}
+
+ServiceOptions BaseOptions(int workers, bool caches, bool batching) {
+  ServiceOptions opts;
+  opts.workers = workers;
+  opts.max_queue_depth = 4096;
+  opts.enable_plan_cache = caches;
+  opts.enable_result_cache = caches;
+  opts.enable_batching = batching;
+  opts.batch_window_ms = batching ? 2.0 : 0.0;
+  return opts;
+}
+
+void RegisterAll(QueryService* svc, Datasets* data) {
+  for (auto& [name, ds] : data->by_name) svc->RegisterDataset(name, ds.get());
+}
+
+/// Direct (service-free) execution on a private cluster — the oracle the
+/// smoke mode compares against.
+rapida::StatusOr<std::vector<std::string>> DirectSortedResult(
+    const std::string& sparql, Dataset* dataset) {
+  RAPIDA_ASSIGN_OR_RETURN(std::unique_ptr<rapida::sparql::SelectQuery> parsed,
+                          rapida::sparql::ParseQuery(sparql));
+  RAPIDA_ASSIGN_OR_RETURN(rapida::analytics::AnalyticalQuery query,
+                          rapida::analytics::AnalyzeQuery(*parsed));
+  rapida::mr::Cluster cluster(rapida::mr::ClusterConfig{}, &dataset->dfs());
+  rapida::engine::RapidAnalyticsEngine engine;
+  RAPIDA_ASSIGN_OR_RETURN(
+      rapida::analytics::BindingTable table,
+      engine.Execute(query, dataset, &cluster, nullptr));
+  return table.ToSortedStrings(dataset->dict());
+}
+
+int Smoke() {
+  Datasets data = BuildDatasets();
+
+  // Oracle results, computed before the service touches anything.
+  std::map<std::string, std::vector<std::string>> expected;
+  for (const auto& q : rapida::workload::Catalog()) {
+    auto direct = DirectSortedResult(q.sparql, data.by_name[q.dataset].get());
+    if (!direct.ok()) {
+      std::fprintf(stderr, "direct %s: %s\n", q.id.c_str(),
+                   direct.status().ToString().c_str());
+      return 1;
+    }
+    expected[q.id] = *direct;
+  }
+
+  QueryService svc(BaseOptions(/*workers=*/4, /*caches=*/true,
+                               /*batching=*/true));
+  RegisterAll(&svc, &data);
+  int session = svc.OpenSession("smoke");
+
+  int failures = 0;
+  auto check = [&](const rapida::workload::CatalogQuery& q, Response r,
+                   const char* mode) {
+    if (!r.result.ok()) {
+      std::fprintf(stderr, "FAIL %s (%s): %s\n", q.id.c_str(), mode,
+                   r.result.status().ToString().c_str());
+      failures++;
+      return;
+    }
+    std::vector<std::string> got =
+        r.result->ToSortedStrings(data.by_name[q.dataset]->dict());
+    if (got != expected[q.id]) {
+      std::fprintf(stderr, "FAIL %s (%s): %zu rows differ from direct\n",
+                   q.id.c_str(), mode, got.size());
+      failures++;
+    }
+  };
+
+  // Cold, then hot (the second round must be served by the result cache
+  // and still be byte-identical).
+  for (const auto& q : rapida::workload::Catalog()) {
+    check(q, svc.Execute(session, QuerySpec{q.sparql, q.dataset}), "cold");
+  }
+  uint64_t hits_before = svc.result_cache().hits();
+  for (const auto& q : rapida::workload::Catalog()) {
+    check(q, svc.Execute(session, QuerySpec{q.sparql, q.dataset}), "hot");
+  }
+  if (svc.result_cache().hits() == hits_before) {
+    std::fprintf(stderr, "FAIL: hot pass produced no result-cache hits\n");
+    failures++;
+  }
+
+  // 32 concurrent sessions replaying the whole catalog.
+  std::vector<int> sessions;
+  for (int s = 0; s < 32; ++s) {
+    sessions.push_back(svc.OpenSession("s" + std::to_string(s)));
+  }
+  std::atomic<int> concurrent_failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 32; ++s) {
+    threads.emplace_back([&, s] {
+      for (const auto& q : rapida::workload::Catalog()) {
+        Response r = svc.Execute(sessions[static_cast<size_t>(s)],
+                                 QuerySpec{q.sparql, q.dataset});
+        if (!r.result.ok() ||
+            r.result->ToSortedStrings(data.by_name[q.dataset]->dict()) !=
+                expected[q.id]) {
+          concurrent_failures++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  failures += concurrent_failures.load();
+
+  std::printf("%s\n", svc.MetricsJson().c_str());
+  if (failures == 0) {
+    std::printf("smoke OK: %zu catalog queries cold+hot+32-way concurrent, "
+                "all byte-identical to direct execution\n",
+                rapida::workload::Catalog().size());
+    return 0;
+  }
+  std::fprintf(stderr, "smoke FAILED: %d mismatches\n", failures);
+  return 1;
+}
+
+struct ScenarioResult {
+  int sessions = 0;
+  bool caches = false;
+  uint64_t queries = 0;
+  double wall_s = 0;
+  double throughput_qps = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+  uint64_t result_cache_hits = 0;
+};
+
+/// Replays `passes` passes over the catalog from `num_sessions` concurrent
+/// sessions.
+ScenarioResult RunScenario(Datasets* data, int num_sessions, bool caches,
+                           int passes) {
+  QueryService svc(
+      BaseOptions(/*workers=*/4, caches, /*batching=*/true));
+  RegisterAll(&svc, data);
+
+  std::vector<int> sessions;
+  for (int s = 0; s < num_sessions; ++s) {
+    sessions.push_back(svc.OpenSession("s" + std::to_string(s)));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> served{0};
+  for (int s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const auto& q : rapida::workload::Catalog()) {
+          Response r = svc.Execute(sessions[static_cast<size_t>(s)],
+                                   QuerySpec{q.sparql, q.dataset});
+          if (r.result.ok()) served++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ScenarioResult r;
+  r.sessions = num_sessions;
+  r.caches = caches;
+  r.queries = served.load();
+  r.wall_s = wall;
+  r.throughput_qps = wall > 0 ? static_cast<double>(r.queries) / wall : 0;
+  r.p50_s = svc.metrics().latency().Quantile(0.5);
+  r.p99_s = svc.metrics().latency().Quantile(0.99);
+  r.result_cache_hits = svc.result_cache().hits();
+  return r;
+}
+
+/// The MQO experiment: 8 sessions fire the same overlapping bsbm burst at
+/// once. Batched, the composite cycles are shared (and duplicates served
+/// once); serial, every query pays its full workflow. Caches are off in
+/// both runs so the comparison isolates the shared scan.
+void RunBurst(Datasets* data, double* batched_sim, double* serial_sim,
+              uint64_t* batches) {
+  std::vector<std::string> burst =
+      rapida::workload::QueriesForDataset("bsbm");
+  for (int variant = 0; variant < 2; ++variant) {
+    bool batching = variant == 0;
+    QueryService svc(BaseOptions(/*workers=*/2, /*caches=*/false, batching));
+    RegisterAll(&svc, data);
+    std::vector<std::future<Response>> futures;
+    for (int s = 0; s < 8; ++s) {
+      int session = svc.OpenSession("burst" + std::to_string(s));
+      for (const std::string& id : burst) {
+        auto q = rapida::workload::FindQuery(id);
+        auto f = svc.Submit(session, QuerySpec{(*q)->sparql, "bsbm"});
+        if (f.ok()) futures.push_back(std::move(*f));
+      }
+    }
+    for (auto& f : futures) f.get();
+    double total = svc.scheduler().TotalDemandSimSeconds();
+    if (batching) {
+      *batched_sim = total;
+      *batches = svc.metrics().batches();
+    } else {
+      *serial_sim = total;
+    }
+  }
+}
+
+int Bench(int passes, const std::string& out_path) {
+  Datasets data = BuildDatasets();
+
+  std::string json = "{\"bench\":\"service\",\"scenarios\":[";
+  bool first = true;
+  for (int sessions : {1, 8, 32}) {
+    for (bool caches : {false, true}) {
+      ScenarioResult r = RunScenario(&data, sessions, caches, passes);
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"sessions\":%d,\"caches\":%s,\"queries\":%llu,"
+          "\"wall_s\":%.4f,\"throughput_qps\":%.2f,\"p50_s\":%.5f,"
+          "\"p99_s\":%.5f,\"result_cache_hits\":%llu}",
+          first ? "" : ",", r.sessions, r.caches ? "true" : "false",
+          static_cast<unsigned long long>(r.queries), r.wall_s,
+          r.throughput_qps, r.p50_s, r.p99_s,
+          static_cast<unsigned long long>(r.result_cache_hits));
+      json += buf;
+      first = false;
+      std::printf(
+          "sessions=%2d caches=%-5s  %5llu queries  %7.2f q/s  "
+          "p50=%.4fs p99=%.4fs\n",
+          r.sessions, r.caches ? "on" : "off",
+          static_cast<unsigned long long>(r.queries), r.throughput_qps,
+          r.p50_s, r.p99_s);
+    }
+  }
+  json += "]";
+
+  double batched_sim = 0, serial_sim = 0;
+  uint64_t batches = 0;
+  RunBurst(&data, &batched_sim, &serial_sim, &batches);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"burst\":{\"batched_sim_s\":%.2f,\"serial_sim_s\":%.2f,"
+                "\"batches\":%llu}}",
+                batched_sim, serial_sim,
+                static_cast<unsigned long long>(batches));
+  json += buf;
+  std::printf("burst (8 sessions x bsbm catalog): batched %.1f sim s vs "
+              "serial %.1f sim s (%llu shared batches)\n",
+              batched_sim, serial_sim,
+              static_cast<unsigned long long>(batches));
+
+  std::ofstream out(out_path, std::ios::app);
+  out << json << "\n";
+  std::printf("appended to %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int passes = 2;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+      passes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--passes N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return smoke ? Smoke() : Bench(passes, out_path);
+}

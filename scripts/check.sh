@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full check: regular build + all tests, the 200-seed differential fuzz
-# corpus, an AddressSanitizer fuzz smoke run, and a ThreadSanitizer build
-# running the concurrency-sensitive suites (the parallel MapReduce runtime
-# and the engines on top of it).
+# Full check: regular build + all tests, the query-service smoke run
+# (every catalog query byte-identical through the service, cold / hot /
+# 32 concurrent sessions), the 200-seed differential fuzz corpus plus its
+# service mode, an AddressSanitizer fuzz smoke run, and a ThreadSanitizer
+# build running the concurrency-sensitive suites (the parallel MapReduce
+# runtime, the engines on top of it, and the 32-session service stress).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -15,8 +17,14 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== query service smoke (catalog equivalence, cold/hot/32 sessions) =="
+./build/examples/rapida_serve --smoke
+
 echo "== differential fuzz corpus (200 seeds, 4 engines x 2 thread cfgs) =="
 ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
+
+echo "== differential fuzz, service mode (caching + batching vs direct) =="
+./build/examples/rapida_fuzz --service --seeds=50
 
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
@@ -28,7 +36,7 @@ echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-      thread_pool_test mapreduce_test engines_test
+      thread_pool_test mapreduce_test engines_test service_stress_test
 
 echo "== TSan: thread_pool_test =="
 ./build-tsan/tests/thread_pool_test
@@ -36,5 +44,7 @@ echo "== TSan: mapreduce_test =="
 ./build-tsan/tests/mapreduce_test
 echo "== TSan: engines_test =="
 ./build-tsan/tests/engines_test
+echo "== TSan: service_stress_test (32 sessions + concurrent mutations) =="
+./build-tsan/tests/service_stress_test
 
 echo "All checks passed."

@@ -13,6 +13,7 @@ Dataset::Dataset(rdf::Graph graph, const Options& options)
 }
 
 Status Dataset::EnsureVpTables() {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   if (vp_loaded_) return Status::OK();
 
   std::map<rdf::TermId, std::vector<mr::Record>> tables;
@@ -49,6 +50,7 @@ Status Dataset::EnsureVpTables() {
 }
 
 Status Dataset::EnsureTripleGroups() {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   if (tg_loaded_) return Status::OK();
 
   // Group subjects by equivalence class (their property set). With the
@@ -89,12 +91,37 @@ Status Dataset::EnsureTripleGroups() {
   return Status::OK();
 }
 
+Status Dataset::AddTriples(const std::vector<TripleUpdate>& triples) {
+  std::lock_guard<std::mutex> lock(layout_mu_);
+  for (const TripleUpdate& t : triples) {
+    graph_.Add(t.s, t.p, t.o);
+  }
+  // rdf:type may have been interned by this batch.
+  type_id_ = graph_.TypeIdOrInvalid();
+
+  // Drop both materialized layouts; the next query rebuilds them from the
+  // updated graph.
+  for (const auto& [p, name] : vp_files_) (void)dfs_.Delete(name);
+  for (const auto& [o, name] : vp_type_files_) (void)dfs_.Delete(name);
+  for (const auto& [name, ec] : tg_files_) (void)dfs_.Delete(name);
+  vp_files_.clear();
+  vp_type_files_.clear();
+  tg_files_.clear();
+  vp_loaded_ = false;
+  tg_loaded_ = false;
+
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
 std::string Dataset::VpFile(rdf::TermId property) const {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   auto it = vp_files_.find(property);
   return it == vp_files_.end() ? std::string() : it->second;
 }
 
 std::string Dataset::VpTypeFile(rdf::TermId type_object) const {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   auto it = vp_type_files_.find(type_object);
   return it == vp_type_files_.end() ? std::string() : it->second;
 }
@@ -107,6 +134,7 @@ uint64_t Dataset::VpFileBytes(const std::string& file) const {
 
 std::vector<std::string> Dataset::TgFilesCovering(
     const std::set<rdf::TermId>& properties) const {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   std::vector<std::string> out;
   for (const auto& [name, ec] : tg_files_) {
     if (std::includes(ec.begin(), ec.end(), properties.begin(),
@@ -118,6 +146,7 @@ std::vector<std::string> Dataset::TgFilesCovering(
 }
 
 std::vector<std::string> Dataset::AllTgFiles() const {
+  std::lock_guard<std::mutex> lock(layout_mu_);
   std::vector<std::string> out;
   out.reserve(tg_files_.size());
   for (const auto& [name, ec] : tg_files_) out.push_back(name);

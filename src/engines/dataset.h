@@ -1,7 +1,10 @@
 #ifndef RAPIDA_ENGINES_DATASET_H_
 #define RAPIDA_ENGINES_DATASET_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +29,11 @@ namespace rapida::engine {
 ///
 /// Both layouts are derived lazily from the same Graph, so all engines see
 /// identical data.
+///
+/// Concurrency: materialization (EnsureVpTables / EnsureTripleGroups) and
+/// layout lookups are mutex-protected, so many queries can share one
+/// Dataset. Mutation (AddTriples) is NOT safe while queries execute — the
+/// serving layer serializes it behind an exclusive dataset lock.
 class Dataset {
  public:
   struct Options {
@@ -62,6 +70,22 @@ class Dataset {
   /// Materializes the triplegroup layout (idempotent).
   Status EnsureTripleGroups();
 
+  /// Monotonic dataset epoch, bumped by every mutation. Result caches key
+  /// on (query fingerprint, dataset, version): a bump is what makes every
+  /// previously cached answer unreachable — principled invalidation
+  /// instead of pointer identity.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// One triple of a mutation batch (decoded form, like the loaders take).
+  struct TripleUpdate {
+    rdf::Term s, p, o;
+  };
+
+  /// Appends triples to the graph, bumps version() and drops both
+  /// materialized layouts (they are rebuilt lazily on the next query).
+  /// Callers must ensure no query is executing against this dataset.
+  Status AddTriples(const std::vector<TripleUpdate>& triples);
+
   /// DFS file for a property / type partition ("" when the partition is
   /// empty — no subject has it).
   std::string VpFile(rdf::TermId property) const;
@@ -81,7 +105,11 @@ class Dataset {
   Options options_;
   mr::Dfs dfs_;
   rdf::TermId type_id_ = rdf::kInvalidTermId;
+  std::atomic<uint64_t> version_{0};
 
+  /// Guards the lazily-built layout state below (concurrent queries may
+  /// race to materialize / look up layout files).
+  mutable std::mutex layout_mu_;
   bool vp_loaded_ = false;
   bool tg_loaded_ = false;
   std::map<rdf::TermId, std::string> vp_files_;

@@ -1,6 +1,7 @@
 #ifndef RAPIDA_ENGINES_ENGINE_H_
 #define RAPIDA_ENGINES_ENGINE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "analytics/analytical_query.h"
@@ -38,6 +39,11 @@ struct EngineOptions {
   /// next, instead of the query's textual order. Cycle counts are
   /// unchanged; intermediate sizes shrink on chain-shaped patterns.
   bool greedy_join_order = false;
+  /// Prefix prepended to every intermediate DFS file name the engine
+  /// creates ("" for exclusive-cluster runs). Concurrent queries sharing
+  /// one Dfs must each get a unique namespace (e.g. "q17:") so their
+  /// intermediates never collide — the serving layer sets this per query.
+  std::string tmp_namespace;
 };
 
 /// Common interface of the four compared systems. Execute runs the full

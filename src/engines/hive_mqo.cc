@@ -99,7 +99,7 @@ StatusOr<analytics::BindingTable> HiveMqoEngine::Execute(
 
   RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
   cluster->ResetHistory();
-  RelationalOps ops(cluster, dataset, options_, "tmp:mqo");
+  RelationalOps ops(cluster, dataset, options_, options_.tmp_namespace + "tmp:mqo");
   const rdf::Dictionary& dict = dataset->graph().dict();
 
   // ---- step 1: composite pattern with LEFT OUTER secondary joins ----

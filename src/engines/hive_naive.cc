@@ -238,7 +238,7 @@ StatusOr<analytics::BindingTable> HiveNaiveEngine::Execute(
   auto start = std::chrono::steady_clock::now();
   RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
   cluster->ResetHistory();
-  RelationalOps ops(cluster, dataset, options_, "tmp:hive");
+  RelationalOps ops(cluster, dataset, options_, options_.tmp_namespace + "tmp:hive");
 
   std::vector<TableRef> grouping_tables;
   for (size_t g = 0; g < query.groupings.size(); ++g) {

@@ -1,10 +1,10 @@
 #include "engines/rapid_analytics.h"
 
 #include <chrono>
-#include <set>
+#include <utility>
+#include <vector>
 
-#include "engines/var_translate.h"
-#include "ntga/overlap.h"
+#include "engines/shared_scan.h"
 #include "util/logging.h"
 
 namespace rapida::engine {
@@ -12,183 +12,25 @@ namespace rapida::engine {
 StatusOr<analytics::BindingTable> RapidAnalyticsEngine::Execute(
     const analytics::AnalyticalQuery& query, Dataset* dataset,
     mr::Cluster* cluster, ExecStats* stats) {
-  // The composite rewriting applies to a single grouping (trivially: the
-  // plan is already minimal) or to two overlapping patterns.
-  ntga::CompositePattern comp;
-  if (query.groupings.size() == 1) {
-    comp = ntga::SinglePatternComposite(query.groupings[0].pattern);
-  } else if (query.groupings.size() == 2) {
-    ntga::OverlapResult overlap = ntga::FindOverlap(
-        query.groupings[0].pattern, query.groupings[1].pattern);
-    if (!overlap.overlaps) {
-      RAPIDA_LOG(Info) << "RAPIDAnalytics fallback (no overlap): "
-                       << overlap.explanation;
-      auto result = fallback_.Execute(query, dataset, cluster, stats);
-      if (result.ok() && stats != nullptr) stats->engine = name();
-      return result;
-    }
-    RAPIDA_ASSIGN_OR_RETURN(
-        comp, ntga::BuildComposite(query.groupings[0].pattern,
-                                   query.groupings[1].pattern, overlap));
-  } else {
-    // N >= 3 related groupings (ROLLUP-style, the paper's §6 extension):
-    // generalize the composite to the whole pattern family so all N
-    // aggregations still run in one parallel Agg-Join cycle.
-    std::vector<const ntga::StarGraph*> family;
-    family.reserve(query.groupings.size());
-    for (const auto& g : query.groupings) family.push_back(&g.pattern);
-    ntga::FamilyOverlapResult overlap = ntga::FindOverlapFamily(family);
-    if (!overlap.overlaps) {
-      RAPIDA_LOG(Info) << "RAPIDAnalytics fallback (family does not "
-                          "overlap): " << overlap.explanation;
-      auto result = fallback_.Execute(query, dataset, cluster, stats);
-      if (result.ok() && stats != nullptr) stats->engine = name();
-      return result;
-    }
-    RAPIDA_ASSIGN_OR_RETURN(comp,
-                            ntga::BuildCompositeFamily(family, overlap));
+  // The composite rewriting and its evaluation live in shared_scan.cc so
+  // the serving layer can run the same pipeline over a whole batch of
+  // queries; a single query is the batch of one.
+  std::vector<const analytics::AnalyticalQuery*> batch{&query};
+  RAPIDA_ASSIGN_OR_RETURN(SharedScanPlan plan, PlanSharedScan(batch));
+  if (!plan.sharable) {
+    RAPIDA_LOG(Info) << "RAPIDAnalytics fallback (no overlap): " << plan.why;
+    auto result = fallback_.Execute(query, dataset, cluster, stats);
+    if (result.ok() && stats != nullptr) stats->engine = name();
+    return result;
   }
 
   auto start = std::chrono::steady_clock::now();
-  RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
   cluster->ResetHistory();
-  NtgaExec exec(cluster, dataset, options_, "tmp:ra");
-  const rdf::Dictionary& dict = dataset->graph().dict();
-
-  ntga::ResolvedPattern resolved = ntga::ResolvePattern(comp, dict);
-
-  // Per-pattern α conditions (presence of the pattern's secondary props);
-  // their disjunction prunes composite matches in the last α-join cycle.
-  std::vector<ntga::AlphaCondition> alphas;
-  for (size_t p = 0; p < resolved.pattern_secondary.size(); ++p) {
-    ntga::AlphaCondition cond;
-    for (const auto& [star, keys] : resolved.pattern_secondary[p]) {
-      for (const ntga::DataPropKey& k : keys) {
-        cond.push_back(ntga::AlphaConstraint{star, k, true});
-      }
-    }
-    alphas.push_back(std::move(cond));
-  }
-
-  // Filters: a single-variable filter may be pushed into the shared
-  // composite scan only when the identical translated filter appears in
-  // EVERY grouping — then dropping the triple at match time is what each
-  // pattern would have done anyway, and it is evaluated once. A filter
-  // only some groupings carry (and any multi-variable filter) must stay a
-  // per-grouping mapping predicate: pushing it into the shared scan would
-  // wrongly starve the groupings that do not have it.
-  struct TranslatedFilter {
-    std::string var;  // set iff single-variable
-    std::string sig;  // var + "|" + ToString(), for cross-grouping matching
-    const sparql::Expr* raw = nullptr;
-  };
-  std::vector<sparql::ExprPtr> owned_filters;
-  std::vector<std::vector<TranslatedFilter>> grouping_filters(
-      query.groupings.size());
-  std::vector<std::set<std::string>> grouping_sigs(query.groupings.size());
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    for (const auto& f : query.groupings[g].filters) {
-      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[g]);
-      std::vector<std::string> vars;
-      translated->CollectVars(&vars);
-      TranslatedFilter tf;
-      tf.raw = translated.get();
-      if (vars.size() == 1) {
-        tf.var = vars[0];
-        tf.sig = tf.var + "|" + translated->ToString();
-        grouping_sigs[g].insert(tf.sig);
-      }
-      owned_filters.push_back(std::move(translated));
-      grouping_filters[g].push_back(std::move(tf));
-    }
-  }
-
-  PushedFilters pushed;
-  std::vector<NtgaGrouping> work(query.groupings.size());
-  std::set<std::string> pushed_signatures;
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    const analytics::GroupingSubquery& grouping = query.groupings[g];
-    const auto& var_map = comp.var_map[g];
-
-    std::vector<std::string> pattern_vars;
-    for (const auto& [orig, composite_var] : var_map) {
-      if (std::find(pattern_vars.begin(), pattern_vars.end(),
-                    composite_var) == pattern_vars.end()) {
-        pattern_vars.push_back(composite_var);
-      }
-    }
-
-    std::vector<const sparql::Expr*> residual;
-    for (const TranslatedFilter& tf : grouping_filters[g]) {
-      bool shared_by_all = !tf.var.empty();
-      for (size_t o = 0; shared_by_all && o < grouping_sigs.size(); ++o) {
-        if (grouping_sigs[o].count(tf.sig) == 0) shared_by_all = false;
-      }
-      if (shared_by_all) {
-        if (pushed_signatures.insert(tf.sig).second) {
-          pushed[tf.var].push_back(tf.raw);
-        }
-      } else {
-        residual.push_back(tf.raw);
-      }
-    }
-    RowPredicate mapping_pred =
-        residual.empty() ? nullptr
-                         : CompilePredicate(residual, pattern_vars, &dict);
-
-    NtgaGrouping& w = work[g];
-    w.spec.group_vars = MapVars(grouping.group_by, var_map);
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      ntga::AggSpec translated = a;
-      translated.var = MapVar(a.var, var_map);
-      w.spec.aggs.push_back(std::move(translated));
-    }
-    w.spec.alpha = alphas.size() > g ? alphas[g] : ntga::AlphaCondition{};
-    w.pattern_vars = pattern_vars;
-    w.output_columns = grouping.group_by;  // original names
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      w.output_columns.push_back(a.output_name);
-    }
-    w.mapping_predicate = mapping_pred;
-    w.having = grouping.having.get();
-  }
-
-  auto matches = exec.ComputePatternMatches(resolved, alphas, pushed, "gp");
-  if (!matches.ok()) {
-    exec.Cleanup();
-    return matches.status();
-  }
-
-  std::vector<std::string> agg_files;
-  auto tables =
-      exec.RunAggJoins(resolved, *matches, pushed, work,
-                       options_.parallel_agg_join, "agg", &agg_files);
-  if (!tables.ok()) {
-    exec.Cleanup();
-    return tables.status();
-  }
-
-  StatusOr<analytics::BindingTable> result = Status::Internal("unset");
-  if (query.groupings.size() == 1) {
-    rdf::Dictionary* mdict = &dataset->dict();
-    ProjectedResult projected =
-        JoinAndProject(std::move(*tables), query.top_items, mdict);
-    analytics::BindingTable table(projected.columns);
-    for (const mr::Record& r : projected.rows) {
-      std::vector<rdf::TermId> row = DecodeRow(r.value);
-      row.resize(projected.columns.size(), rdf::kInvalidTermId);
-      table.AddRow(std::move(row));
-    }
-    result = std::move(table);
-  } else {
-    result = exec.FinalJoinProject(std::move(*tables), query.top_items,
-                                   agg_files, "final");
-  }
-  exec.Cleanup();
-  if (result.ok()) {
-    analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
-  }
-  if (result.ok() && stats != nullptr) {
+  std::vector<StatusOr<analytics::BindingTable>> results;
+  RAPIDA_RETURN_IF_ERROR(ExecuteCompositeBatch(plan, batch, dataset, cluster,
+                                               options_, &results));
+  if (!results[0].ok()) return results[0].status();
+  if (stats != nullptr) {
     stats->engine = name();
     stats->workflow.jobs = cluster->history();
     stats->wall_seconds =
@@ -196,7 +38,7 @@ StatusOr<analytics::BindingTable> RapidAnalyticsEngine::Execute(
                                       start)
             .count();
   }
-  return result;
+  return std::move(results[0]);
 }
 
 }  // namespace rapida::engine

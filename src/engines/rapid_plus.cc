@@ -39,7 +39,7 @@ StatusOr<analytics::BindingTable> RapidPlusEngine::Execute(
   auto start = std::chrono::steady_clock::now();
   RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
   cluster->ResetHistory();
-  NtgaExec exec(cluster, dataset, options_, "tmp:rplus");
+  NtgaExec exec(cluster, dataset, options_, options_.tmp_namespace + "tmp:rplus");
   const rdf::Dictionary& dict = dataset->graph().dict();
 
   std::vector<analytics::BindingTable> agg_tables;

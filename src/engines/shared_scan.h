@@ -1,0 +1,60 @@
+#ifndef RAPIDA_ENGINES_SHARED_SCAN_H_
+#define RAPIDA_ENGINES_SHARED_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+#include "analytics/binding.h"
+#include "engines/dataset.h"
+#include "engines/engine.h"
+#include "mapreduce/cluster.h"
+#include "ntga/overlap.h"
+#include "util/statusor.h"
+
+namespace rapida::engine {
+
+/// The composite-pattern pipeline of RAPIDAnalytics, factored out so it
+/// can serve a *batch* of queries: the paper's intra-query MQO (one
+/// composite graph pattern, decoupled aggregations evaluated in one
+/// parallel Agg-Join cycle) applied across query boundaries. Queries
+/// admitted together whose grouping patterns all overlap share the
+/// composite graph-pattern cycles — each pattern's α condition already
+/// restricts every grouping to the matches of its own original pattern,
+/// so sharing never changes results.
+
+/// Outcome of planning one shared composite scan over the flattened
+/// grouping list of one or more analytical queries.
+struct SharedScanPlan {
+  /// False: the grouping patterns do not overlap (Def. 3.1/3.2 or the
+  /// family generalization); callers fall back to per-query execution.
+  bool sharable = false;
+  std::string why;  // overlap explanation when !sharable
+  /// Valid when sharable. var_map / pattern_secondary are indexed by the
+  /// flattened grouping order: query 0's groupings first, then query 1's,
+  /// and so on.
+  ntga::CompositePattern comp;
+};
+
+/// Plans a composite over the flattened groupings of `queries`: trivial
+/// composite for a single grouping, the paper's pairwise construction for
+/// two, and the §6 family generalization beyond that. An error means the
+/// composite construction itself failed (not merely "no overlap").
+StatusOr<SharedScanPlan> PlanSharedScan(
+    const std::vector<const analytics::AnalyticalQuery*>& queries);
+
+/// Evaluates the planned composite once ((k−1) α-join cycles), runs every
+/// flattened grouping's aggregation in a single parallel TG Agg-Join
+/// cycle, then answers each query with its own final join / projection and
+/// solution modifiers. On success `results` has one entry per query (a
+/// query-local failure is recorded in its slot); a non-OK return means a
+/// shared phase failed and no query was answered.
+Status ExecuteCompositeBatch(
+    const SharedScanPlan& plan,
+    const std::vector<const analytics::AnalyticalQuery*>& queries,
+    Dataset* dataset, mr::Cluster* cluster, const EngineOptions& options,
+    std::vector<StatusOr<analytics::BindingTable>>* results);
+
+}  // namespace rapida::engine
+
+#endif  // RAPIDA_ENGINES_SHARED_SCAN_H_

@@ -107,6 +107,7 @@ util::ThreadPool* Cluster::pool() {
   int threads = config_.exec_threads;
   if (threads <= 0) threads = util::ThreadPool::HardwareThreads();
   if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
   if (pool_ == nullptr) {
     // The calling thread joins every ParallelFor, so exec_threads = N
     // means N-way concurrency from N-1 workers plus the caller.
@@ -115,8 +116,16 @@ util::ThreadPool* Cluster::pool() {
   return pool_.get();
 }
 
+void Cluster::ResetHistory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.clear();
+}
+
 StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   RAPIDA_CHECK(job.map != nullptr) << "job '" << job.name << "' has no map fn";
+  if (observer_ != nullptr) {
+    RAPIDA_RETURN_IF_ERROR(observer_->OnPhase(job.name, "setup"));
+  }
   const auto wall_start = std::chrono::steady_clock::now();
   JobStats stats;
   stats.name = job.name;
@@ -226,6 +235,9 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   });
 
   // ---- map barrier: merge per-task accumulators ----
+  if (observer_ != nullptr && !stats.map_only) {
+    RAPIDA_RETURN_IF_ERROR(observer_->OnPhase(job.name, "reduce"));
+  }
   for (const MapTaskResult& r : task_results) {
     stats.map_output_records += r.map_output_records;
     stats.map_output_bytes += r.map_output_bytes;
@@ -358,7 +370,11 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  history_.push_back(stats);
+  if (observer_ != nullptr) observer_->OnJobComplete(&stats);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(stats);
+  }
   return stats;
 }
 

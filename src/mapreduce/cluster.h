@@ -2,6 +2,7 @@
 #define RAPIDA_MAPREDUCE_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,9 +66,40 @@ struct ClusterConfig {
   int reduce_slots() const { return num_nodes * reduce_slots_per_node; }
 };
 
+/// Observation/interception points a job passes through, for the serving
+/// layer: per-phase cancellation (deadlines) and post-job accounting
+/// (fair-share slot contention). Methods may be called from the thread
+/// driving Cluster::Run; one observer may serve concurrent jobs and must
+/// be internally synchronized if it keeps state.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+
+  /// Called when job `job_name` reaches `phase` ("setup" before the input
+  /// scan, "reduce" at the map/reduce barrier). A non-OK return aborts the
+  /// job with that status — the cancellation path for deadline-exceeded
+  /// queries mid-job.
+  virtual Status OnPhase(const std::string& job_name, const char* phase) {
+    (void)job_name;
+    (void)phase;
+    return Status::OK();
+  }
+
+  /// Called with the job's final statistics before they are recorded; a
+  /// scheduler fills the sched_* fields here.
+  virtual void OnJobComplete(JobStats* stats) { (void)stats; }
+};
+
 /// Executes MapReduce jobs against a Dfs: real map/combine/reduce functions
 /// over real records (so results are exact), plus an analytic cost model
 /// that turns the measured byte/record counters into simulated wall time.
+///
+/// Run may be called from several threads at once (concurrent jobs of
+/// concurrent queries): the job history and lazy worker-pool creation are
+/// mutex-protected. history()/ResetHistory still assume a quiesced cluster
+/// — engines satisfy this by running their workflow on a cluster no other
+/// query shares (the service layer hands each query its own Cluster over
+/// the shared Dfs and slot ledger).
 class Cluster {
  public:
   Cluster(const ClusterConfig& config, Dfs* dfs);
@@ -87,9 +119,14 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   Dfs* dfs() { return dfs_; }
 
-  /// All jobs run since construction / last reset, in order.
+  /// Attaches (or detaches, nullptr) the observer consulted by Run. Not
+  /// owned; must outlive any in-flight job.
+  void SetObserver(ClusterObserver* observer) { observer_ = observer; }
+
+  /// All jobs run since construction / last reset, in order. Only
+  /// meaningful while no job is in flight.
   const std::vector<JobStats>& history() const { return history_; }
-  void ResetHistory() { history_.clear(); }
+  void ResetHistory();
 
  private:
   /// Worker threads beyond the calling thread (which always participates);
@@ -98,6 +135,8 @@ class Cluster {
 
   ClusterConfig config_;
   Dfs* dfs_;
+  ClusterObserver* observer_ = nullptr;
+  std::mutex mu_;  // guards history_ and lazy pool_ creation
   std::vector<JobStats> history_;
   std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -28,6 +28,14 @@ struct JobStats {
 
   double sim_seconds = 0;   // simulated wall time from the cost model
   double wall_seconds = 0;  // real host time spent in Cluster::Run
+
+  /// Filled by a fair-share scheduler (service layer) when one is attached
+  /// to the cluster; untouched (stretch 1, sched == sim) otherwise.
+  /// `sched_stretch` is the slot-contention multiplier the job suffered
+  /// from concurrent sessions, and `sched_sim_seconds` the contention-
+  /// adjusted simulated duration (>= sim_seconds).
+  double sched_stretch = 1.0;
+  double sched_sim_seconds = 0;
 };
 
 /// Aggregate over a workflow (one engine executing one query).
@@ -58,6 +66,15 @@ struct WorkflowStats {
   double TotalSimSeconds() const {
     double s = 0;
     for (const JobStats& j : jobs) s += j.sim_seconds;
+    return s;
+  }
+  /// Contention-adjusted total; equals TotalSimSeconds when no fair-share
+  /// scheduler was attached.
+  double TotalScheduledSimSeconds() const {
+    double s = 0;
+    for (const JobStats& j : jobs) {
+      s += j.sched_sim_seconds > 0 ? j.sched_sim_seconds : j.sim_seconds;
+    }
     return s;
   }
   double TotalWallSeconds() const {

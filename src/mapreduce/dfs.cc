@@ -16,6 +16,7 @@ Status Dfs::Write(const std::string& name, std::vector<Record> records,
                                   options.compression_ratio)
           : logical;
 
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t existing = 0;
   auto it = files_.find(name);
   if (it != files_.end()) existing = it->second.stored_bytes;
@@ -42,6 +43,7 @@ Status Dfs::Write(const std::string& name, std::vector<Record> records,
 }
 
 StatusOr<const Dfs::File*> Dfs::Open(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("DFS file not found: " + name);
@@ -50,10 +52,12 @@ StatusOr<const Dfs::File*> Dfs::Open(const std::string& name) const {
 }
 
 bool Dfs::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) > 0;
 }
 
 Status Dfs::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("DFS file not found: " + name);
@@ -63,7 +67,38 @@ Status Dfs::Delete(const std::string& name) {
   return Status::OK();
 }
 
+uint64_t Dfs::TotalStoredBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_stored_bytes_;
+}
+
+uint64_t Dfs::PeakStoredBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_stored_bytes_;
+}
+
+void Dfs::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_stored_bytes_ = total_stored_bytes_;
+}
+
+void Dfs::SetCapacityLimit(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_limit_ = bytes;
+}
+
+uint64_t Dfs::capacity_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_limit_;
+}
+
+uint64_t Dfs::LifetimeBytesWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lifetime_bytes_written_;
+}
+
 std::vector<std::string> Dfs::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [name, f] : files_) out.push_back(name);

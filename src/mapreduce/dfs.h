@@ -2,6 +2,7 @@
 #define RAPIDA_MAPREDUCE_DFS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,14 @@ struct FileOptions {
 /// on MG13 "eventually failed due to insufficient HDFS disk space" while
 /// materializing a 190 GB star-join output twice. Engines surface the
 /// ResourceExhausted status exactly like the paper's failed run.
+///
+/// Thread-safe for concurrent jobs: the namespace and byte accounting are
+/// mutex-protected, and File nodes are stable (unordered_map node
+/// stability), so a pointer returned by Open stays valid while other jobs
+/// write *different* files. Concurrent queries must keep to disjoint
+/// intermediate-file namespaces (EngineOptions::tmp_namespace) — replacing
+/// or deleting a file another job is reading remains a logic error, just
+/// as in HDFS.
 class Dfs {
  public:
   struct File {
@@ -54,24 +63,25 @@ class Dfs {
   Status Delete(const std::string& name);
 
   /// Sum of stored bytes across all files.
-  uint64_t TotalStoredBytes() const { return total_stored_bytes_; }
+  uint64_t TotalStoredBytes() const;
 
   /// High-water mark of TotalStoredBytes() — the workflow's peak disk
   /// demand (what decides whether a capacity-limited run survives).
-  uint64_t PeakStoredBytes() const { return peak_stored_bytes_; }
-  void ResetPeak() { peak_stored_bytes_ = total_stored_bytes_; }
+  uint64_t PeakStoredBytes() const;
+  void ResetPeak();
 
   /// 0 = unlimited.
-  void SetCapacityLimit(uint64_t bytes) { capacity_limit_ = bytes; }
-  uint64_t capacity_limit() const { return capacity_limit_; }
+  void SetCapacityLimit(uint64_t bytes);
+  uint64_t capacity_limit() const;
 
   /// Lifetime write counter (includes overwritten/deleted data) — the
   /// "materialization volume" a workflow caused.
-  uint64_t LifetimeBytesWritten() const { return lifetime_bytes_written_; }
+  uint64_t LifetimeBytesWritten() const;
 
   std::vector<std::string> ListFiles() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, File> files_;
   uint64_t total_stored_bytes_ = 0;
   uint64_t peak_stored_bytes_ = 0;

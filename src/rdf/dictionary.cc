@@ -1,13 +1,30 @@
 #include "rdf/dictionary.h"
 
 #include <cstdio>
+#include <mutex>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace rapida::rdf {
 
-Dictionary::Dictionary() { terms_.reserve(1024); }
+Dictionary::Dictionary(Dictionary&& other) noexcept {
+  // Moves are only legal while no other thread touches `other` (dataset
+  // construction / test setup), so no lock on the source is needed beyond
+  // making the transfer itself well-formed.
+  std::unique_lock lock(other.mu_);
+  terms_ = std::move(other.terms_);
+  index_ = std::move(other.index_);
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    terms_ = std::move(other.terms_);
+    index_ = std::move(other.index_);
+  }
+  return *this;
+}
 
 std::string Dictionary::MakeKey(const Term& term) {
   std::string key;
@@ -23,6 +40,13 @@ std::string Dictionary::MakeKey(const Term& term) {
 
 TermId Dictionary::Intern(const Term& term) {
   std::string key = MakeKey(term);
+  {
+    // Fast path: already interned (the common case on hot caches).
+    std::shared_lock lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   terms_.push_back(term);
@@ -53,6 +77,7 @@ TermId Dictionary::InternDouble(double value) {
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
+  std::shared_lock lock(mu_);
   auto it = index_.find(MakeKey(term));
   return it == index_.end() ? kInvalidTermId : it->second;
 }
@@ -62,12 +87,19 @@ TermId Dictionary::LookupIri(std::string_view iri) const {
 }
 
 const Term& Dictionary::Get(TermId id) const {
+  std::shared_lock lock(mu_);
   RAPIDA_CHECK(id != kInvalidTermId && id <= terms_.size())
       << "bad term id " << id;
   return terms_[id - 1];
 }
 
+size_t Dictionary::size() const {
+  std::shared_lock lock(mu_);
+  return terms_.size();
+}
+
 std::optional<double> Dictionary::AsNumber(TermId id) const {
+  std::shared_lock lock(mu_);
   if (id == kInvalidTermId || id > terms_.size()) return std::nullopt;
   const Term& t = terms_[id - 1];
   if (!t.is_literal()) return std::nullopt;

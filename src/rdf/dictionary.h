@@ -1,11 +1,12 @@
 #ifndef RAPIDA_RDF_DICTIONARY_H_
 #define RAPIDA_RDF_DICTIONARY_H_
 
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -13,16 +14,23 @@ namespace rapida::rdf {
 
 /// Bidirectional term <-> id mapping. All triples in a Graph reference terms
 /// through TermIds; joins and grouping compare 32-bit ids instead of
-/// strings. Not thread-safe for concurrent interning (loads are
-/// single-threaded; lookups after loading are safe).
+/// strings.
+///
+/// Thread-safe: lookups take a shared lock, interning an exclusive one, so
+/// concurrent queries served off one shared dataset may intern computed
+/// values (aggregation finalizers) while other queries read. Terms live in
+/// a deque, so the reference returned by Get stays valid across later
+/// interns. Ids are append-only — a term, once interned, never moves or
+/// disappears — which is what lets cached result tables (service layer)
+/// stay valid across unrelated interning.
 class Dictionary {
  public:
-  Dictionary();
+  Dictionary() = default;
 
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Returns the id of `term`, interning it if new. Ids are dense and
   /// start at 1 (0 is kInvalidTermId).
@@ -38,11 +46,12 @@ class Dictionary {
   TermId Lookup(const Term& term) const;
   TermId LookupIri(std::string_view iri) const;
 
-  /// Term for a valid id. Id must be in [1, size()].
+  /// Term for a valid id. Id must be in [1, size()]. The reference stays
+  /// valid for the dictionary's lifetime.
   const Term& Get(TermId id) const;
 
   /// Number of interned terms.
-  size_t size() const { return terms_.size(); }
+  size_t size() const;
 
   /// Parses the literal at `id` as a number. Returns nullopt for IRIs,
   /// blanks, and non-numeric literals.
@@ -51,7 +60,8 @@ class Dictionary {
  private:
   static std::string MakeKey(const Term& term);
 
-  std::vector<Term> terms_;  // terms_[id-1] is the term for id.
+  mutable std::shared_mutex mu_;
+  std::deque<Term> terms_;  // terms_[id-1] is the term for id.
   std::unordered_map<std::string, TermId> index_;
 };
 

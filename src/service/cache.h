@@ -1,0 +1,108 @@
+#ifndef RAPIDA_SERVICE_CACHE_H_
+#define RAPIDA_SERVICE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analytics/analytical_query.h"
+#include "analytics/binding.h"
+#include "util/statusor.h"
+
+namespace rapida::service {
+
+/// Normalizes a query text to its canonical fingerprint: parse, then
+/// pretty-print the AST. The printer is a total function of the parsed
+/// structure, so whitespace, comments, and prefix spelling differences
+/// all map to one fingerprint while semantically different queries never
+/// collide (the round-trip property ParseQuery(q.ToString()) == q).
+StatusOr<std::string> CanonicalFingerprint(const std::string& query_text);
+
+/// Parse/analyze cache: canonical fingerprint → analyzed query. Entries
+/// are immutable and shared; analysis is pure so the cache never needs
+/// invalidation and has no size budget (plans are tiny next to results).
+/// Thread-safe.
+class PlanCache {
+ public:
+  struct Entry {
+    std::string fingerprint;
+    std::shared_ptr<const analytics::AnalyticalQuery> query;
+  };
+
+  /// Returns the cached analysis of `query_text`, parsing and analyzing
+  /// on miss. Parse/analysis failures are returned, not cached (a
+  /// malformed query is cheap to re-reject).
+  StatusOr<Entry> GetOrAnalyze(const std::string& query_text);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> by_fingerprint_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Result cache: (canonical fingerprint, dataset name, dataset version) →
+/// final BindingTable, LRU-evicted under a byte budget.
+///
+/// The dataset version in the key is what makes invalidation principled:
+/// a mutation bumps engine::Dataset::version(), so every entry cached
+/// against the old version simply stops being reachable (and ages out of
+/// the LRU) — there is no explicit flush to forget. Cached tables store
+/// TermIds; the dictionary is append-only under mutation, so ids in a
+/// table cached at any version render identically forever.
+/// Thread-safe.
+class ResultCache {
+ public:
+  explicit ResultCache(uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  static std::string Key(const std::string& fingerprint,
+                         const std::string& dataset, uint64_t version);
+
+  /// Returns a copy of the cached table, or nullptr on miss.
+  std::shared_ptr<const analytics::BindingTable> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `table` under `key`. A table larger than the
+  /// whole budget is not cached.
+  void Put(const std::string& key, analytics::BindingTable table);
+
+  /// Drops every entry of `dataset` regardless of version — used on
+  /// mutation so stale bytes free immediately instead of aging out.
+  void InvalidateDataset(const std::string& dataset);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  uint64_t bytes_used() const;
+  uint64_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string dataset;
+    std::shared_ptr<const analytics::BindingTable> table;
+    uint64_t bytes = 0;
+  };
+
+  static uint64_t TableBytes(const analytics::BindingTable& table);
+  void EvictToFitLocked();
+
+  const uint64_t byte_budget_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace rapida::service
+
+#endif  // RAPIDA_SERVICE_CACHE_H_

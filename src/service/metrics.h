@@ -1,0 +1,83 @@
+#ifndef RAPIDA_SERVICE_METRICS_H_
+#define RAPIDA_SERVICE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rapida::service {
+
+/// Fixed-boundary latency histogram (log-spaced buckets) with exact
+/// streaming quantile support via the recorded sample list — the service
+/// workloads are small enough (thousands of queries) that keeping the
+/// samples beats approximating. Thread-safe.
+class LatencyHistogram {
+ public:
+  void Record(double seconds);
+
+  uint64_t count() const;
+  double Quantile(double q) const;  // q in [0,1]; 0 when empty
+  double Mean() const;
+  double Max() const;
+
+  /// {"count":N,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+/// Monotonic counter / gauge set for the service, snapshot as JSON.
+/// Thread-safe.
+class ServiceMetrics {
+ public:
+  LatencyHistogram& latency() { return latency_; }
+  LatencyHistogram& queue_wait() { return queue_wait_; }
+
+  void IncrAdmitted() { Add(&admitted_); }
+  void IncrRejected() { Add(&rejected_); }
+  void IncrCompleted() { Add(&completed_); }
+  void IncrFailed() { Add(&failed_); }
+  void IncrDeadlineExceeded() { Add(&deadline_exceeded_); }
+  void IncrBatches(uint64_t queries_in_batch);
+  void IncrSharedScanFallback() { Add(&shared_scan_fallback_); }
+  void RecordQueueDepth(int depth);
+
+  uint64_t admitted() const { return Get(&admitted_); }
+  uint64_t rejected() const { return Get(&rejected_); }
+  uint64_t completed() const { return Get(&completed_); }
+  uint64_t failed() const { return Get(&failed_); }
+  uint64_t deadline_exceeded() const { return Get(&deadline_exceeded_); }
+  uint64_t batches() const { return Get(&batches_); }
+  uint64_t batched_queries() const { return Get(&batched_queries_); }
+  int max_queue_depth() const;
+
+  /// One JSON object with counters, queue stats, and both histograms
+  /// (cache stats are appended by the service, which owns the caches).
+  std::string ToJson() const;
+
+ private:
+  void Add(uint64_t* counter, uint64_t n = 1);
+  uint64_t Get(const uint64_t* counter) const;
+
+  mutable std::mutex mu_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_queries_ = 0;
+  uint64_t shared_scan_fallback_ = 0;
+  int max_queue_depth_ = 0;
+  LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+};
+
+}  // namespace rapida::service
+
+#endif  // RAPIDA_SERVICE_METRICS_H_

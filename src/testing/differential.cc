@@ -6,6 +6,7 @@
 #include "analytics/analytical_query.h"
 #include "analytics/reference_evaluator.h"
 #include "engines/engines.h"
+#include "service/query_service.h"
 #include "testing/normalize.h"
 #include "testing/query_gen.h"
 #include "testing/vocab.h"
@@ -178,6 +179,80 @@ DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts) {
     // No Hive MQO-vs-naive cycle assertion: sharing scans can legitimately
     // add a materialization cycle on trivial queries; MQO's win is bytes
     // and work, not unconditionally fewer cycles.
+  }
+  return DiffFailure{};
+}
+
+DiffFailure RunServiceDifferential(const FuzzCase& c) {
+  rdf::Graph ref_graph = BuildGraph(c.triples);
+  analytics::ReferenceEvaluator reference(&ref_graph);
+  StatusOr<analytics::BindingTable> ref_result = reference.Evaluate(*c.query);
+  if (!ref_result.ok()) {
+    return Fail("reference", "", 0, ref_result.status().ToString());
+  }
+  NormalizedTable expected = Normalize(ref_result.value(), ref_graph.dict());
+
+  engine::Dataset dataset(BuildGraph(c.triples));
+  service::ServiceOptions opts;
+  opts.workers = 2;
+  opts.enable_batching = true;
+  opts.batch_window_ms = 1;
+  opts.cluster.exec_split_bytes = 4 * 1024;
+  service::QueryService svc(opts);
+  svc.RegisterDataset(c.dataset, &dataset);
+  std::string text = c.query->ToString();
+
+  // Burst: four sessions each submit the query twice, concurrently. The
+  // service is free to dedup, batch, or serve from cache — every returned
+  // table must still match the reference.
+  std::vector<std::future<service::Response>> futures;
+  for (int s = 0; s < 4; ++s) {
+    int session = svc.OpenSession("fuzz" + std::to_string(s));
+    for (int rep = 0; rep < 2; ++rep) {
+      StatusOr<std::future<service::Response>> submitted =
+          svc.Submit(session, service::QuerySpec{text, c.dataset});
+      if (!submitted.ok()) {
+        return Fail("service-admit", "", 0, submitted.status().ToString());
+      }
+      futures.push_back(std::move(*submitted));
+    }
+  }
+  int i = 0;
+  for (auto& f : futures) {
+    service::Response r = f.get();
+    if (!r.result.ok()) {
+      return Fail("service-error", "QueryService", 0,
+                  "burst query " + std::to_string(i) + ": " +
+                      r.result.status().ToString());
+    }
+    std::string diff =
+        CompareNormalized(expected, Normalize(*r.result, dataset.dict()));
+    if (!diff.empty()) {
+      return Fail("service-mismatch", "QueryService", 0,
+                  "burst query " + std::to_string(i) + " (batch_size=" +
+                      std::to_string(r.batch_size) +
+                      ", cache_hit=" + (r.result_cache_hit ? "1" : "0") +
+                      "): " + diff);
+    }
+    i++;
+  }
+
+  // Hot retry: must be a result-cache hit and still identical.
+  int session = svc.OpenSession("fuzz-hot");
+  service::Response hot =
+      svc.Execute(session, service::QuerySpec{text, c.dataset});
+  if (!hot.result.ok()) {
+    return Fail("service-error", "QueryService", 0,
+                "hot retry: " + hot.result.status().ToString());
+  }
+  std::string diff =
+      CompareNormalized(expected, Normalize(*hot.result, dataset.dict()));
+  if (!diff.empty()) {
+    return Fail("service-mismatch", "QueryService", 0, "hot retry: " + diff);
+  }
+  if (!hot.result_cache_hit) {
+    return Fail("service-cache", "QueryService", 0,
+                "hot retry was not served from the result cache");
   }
   return DiffFailure{};
 }

@@ -72,6 +72,14 @@ struct DiffFailure {
 /// the in-memory reference evaluator.
 DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts = {});
 
+/// Service mode: submits the generated query through a QueryService with
+/// caching and shared-scan batching enabled — as a concurrent burst of
+/// duplicates from several sessions (exercising admission, dedup and
+/// batching), then again hot (result cache) — and cross-checks every
+/// returned table against the reference evaluator. Caching and batching
+/// must never change results.
+DiffFailure RunServiceDifferential(const FuzzCase& c);
+
 }  // namespace rapida::difftest
 
 #endif  // RAPIDA_TESTING_DIFFERENTIAL_H_

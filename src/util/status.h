@@ -19,6 +19,8 @@ enum class Code {
   kInternal,
   kResourceExhausted,
   kParseError,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for an error code ("InvalidArgument", ...).
@@ -67,6 +69,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(Code::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
