@@ -13,7 +13,12 @@
 //                            R1, R2)
 //     --nodes N              simulated cluster size (default 10)
 //     --list                 list catalog queries and exit
-//     --explain              print the MapReduce workflow breakdown
+//     --explain              print the engine's physical plan (per-node
+//                            cycle/byte estimates, pass log) and exit
+//     --explain-json         the same plan as JSON
+//     --plan                 preview all four engines' cycle counts
+//     --trace                after running, print the executed MapReduce
+//                            workflow breakdown
 //
 // Examples:
 //   rapida_cli --workload bsbm --query-id MG3 --engine ra --explain
@@ -29,6 +34,7 @@
 #include "analytics/reference_evaluator.h"
 #include "engines/engines.h"
 #include "engines/plan_preview.h"
+#include "plan/planner.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
 #include "sparql/parser.h"
@@ -49,7 +55,9 @@ struct CliOptions {
   int nodes = 10;
   bool list = false;
   bool explain = false;
+  bool explain_json = false;
   bool plan = false;
+  bool trace = false;
 };
 
 int Usage(const char* argv0) {
@@ -57,7 +65,7 @@ int Usage(const char* argv0) {
                "usage: %s (--data FILE.nt | --workload bsbm|chem|pubmed "
                "[--scale N]) (--query FILE.rq | --query-id ID) "
                "[--engine reference|ra|rapid+|hive|mqo] [--nodes N] "
-               "[--explain] [--plan] [--list]\n",
+               "[--explain] [--explain-json] [--plan] [--trace] [--list]\n",
                argv0);
   return 2;
 }
@@ -100,8 +108,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->list = true;
     } else if (arg == "--explain") {
       opts->explain = true;
+    } else if (arg == "--explain-json") {
+      opts->explain_json = true;
     } else if (arg == "--plan") {
       opts->plan = true;
+    } else if (arg == "--trace") {
+      opts->trace = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -145,6 +157,15 @@ rapida::StatusOr<rapida::rdf::Graph> LoadGraph(const CliOptions& opts) {
   }
   return rapida::Status::InvalidArgument(
       "give --data FILE.nt or --workload bsbm|chem|pubmed");
+}
+
+/// Display name for an --engine value; empty for "reference" or unknown.
+std::string EngineName(const std::string& engine) {
+  if (engine == "ra") return "RAPIDAnalytics";
+  if (engine == "rapid+") return "RAPID+ (Naive)";
+  if (engine == "hive") return "Hive (Naive)";
+  if (engine == "mqo") return "Hive (MQO)";
+  return "";
 }
 
 rapida::StatusOr<std::string> LoadQueryText(const CliOptions& opts) {
@@ -209,6 +230,44 @@ int Run(const CliOptions& opts) {
     return 0;
   }
 
+  if (opts.explain || opts.explain_json) {
+    std::string engine_name = EngineName(opts.engine);
+    if (engine_name.empty()) {
+      std::fprintf(stderr,
+                   "--explain requires --engine ra|rapid+|hive|mqo\n");
+      return 2;
+    }
+    auto q = rapida::analytics::AnalyzeQuery(**parsed);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    rapida::engine::Dataset dataset(std::move(*graph));
+    rapida::engine::EngineOptions eo;
+    auto physical =
+        rapida::plan::PlanForEngine(engine_name, *q, &dataset, eo);
+    if (!physical.ok()) {
+      // Composite construction failed: explain the engine's fallback
+      // pipeline, exactly what Execute would run.
+      if (engine_name == "Hive (MQO)") {
+        physical = rapida::plan::PlanHiveNaive(*q, &dataset, eo);
+      } else if (engine_name == "RAPIDAnalytics") {
+        physical = rapida::plan::PlanRapidPlus(*q, &dataset, eo);
+      }
+      if (physical.ok()) physical->engine = engine_name;
+    }
+    if (!physical.ok()) {
+      std::fprintf(stderr, "%s\n", physical.status().ToString().c_str());
+      return 1;
+    }
+    if (opts.explain_json) {
+      std::printf("%s\n", physical->ExplainJson().c_str());
+    } else {
+      std::printf("%s", physical->ExplainText().c_str());
+    }
+    return 0;
+  }
+
   if (opts.engine == "reference") {
     rapida::analytics::ReferenceEvaluator ref(&*graph);
     auto result = ref.Evaluate(**parsed);
@@ -220,12 +279,8 @@ int Run(const CliOptions& opts) {
     return 0;
   }
 
-  std::string engine_name;
-  if (opts.engine == "ra") engine_name = "RAPIDAnalytics";
-  else if (opts.engine == "rapid+") engine_name = "RAPID+ (Naive)";
-  else if (opts.engine == "hive") engine_name = "Hive (Naive)";
-  else if (opts.engine == "mqo") engine_name = "Hive (MQO)";
-  else {
+  std::string engine_name = EngineName(opts.engine);
+  if (engine_name.empty()) {
     std::fprintf(stderr, "unknown engine: %s\n", opts.engine.c_str());
     return 2;
   }
@@ -257,7 +312,7 @@ int Run(const CliOptions& opts) {
               stats.workflow.NumMapOnlyCycles(),
               stats.workflow.TotalSimSeconds(),
               stats.wall_seconds * 1000);
-  if (opts.explain) {
+  if (opts.trace) {
     std::printf("\n%s", stats.workflow.ToString().c_str());
   }
   return 0;

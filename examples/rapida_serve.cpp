@@ -131,9 +131,13 @@ int Smoke() {
   };
 
   // Cold, then hot (the second round must be served by the result cache
-  // and still be byte-identical).
+  // and still be byte-identical). The cold pass also collects each query's
+  // structural plan fingerprint for the metrics report.
+  std::map<std::string, std::string> plan_fingerprints;
   for (const auto& q : rapida::workload::Catalog()) {
-    check(q, svc.Execute(session, QuerySpec{q.sparql, q.dataset}), "cold");
+    Response r = svc.Execute(session, QuerySpec{q.sparql, q.dataset});
+    plan_fingerprints[q.id] = r.plan_fingerprint;
+    check(q, std::move(r), "cold");
   }
   uint64_t hits_before = svc.result_cache().hits();
   for (const auto& q : rapida::workload::Catalog()) {
@@ -168,6 +172,14 @@ int Smoke() {
   failures += concurrent_failures.load();
 
   std::printf("%s\n", svc.MetricsJson().c_str());
+  std::string fps = "{\"plan_fingerprints\":{";
+  bool first = true;
+  for (const auto& [id, fp] : plan_fingerprints) {
+    fps += std::string(first ? "" : ",") + "\"" + id + "\":\"" + fp + "\"";
+    first = false;
+  }
+  fps += "}}";
+  std::printf("%s\n", fps.c_str());
   if (failures == 0) {
     std::printf("smoke OK: %zu catalog queries cold+hot+32-way concurrent, "
                 "all byte-identical to direct execution\n",

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Full check: regular build + all tests, the query-service smoke run
-# (every catalog query byte-identical through the service, cold / hot /
-# 32 concurrent sessions), the 200-seed differential fuzz corpus plus its
-# service mode, an AddressSanitizer fuzz smoke run, and a ThreadSanitizer
-# build running the concurrency-sensitive suites (the parallel MapReduce
-# runtime, the engines on top of it, and the 32-session service stress).
+# Full check: regular build + all tests, the plan-IR suite (EXPLAIN
+# goldens for the full catalog plus the pass on/off divergence gate), the
+# query-service smoke run (every catalog query byte-identical through the
+# service, cold / hot / 32 concurrent sessions), the 200-seed differential
+# fuzz corpus plus its service mode, an AddressSanitizer run of the fuzz
+# smoke and the EXPLAIN goldens, and a ThreadSanitizer build running the
+# concurrency-sensitive suites (the parallel MapReduce runtime, the
+# engines on top of it, and the 32-session service stress).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -16,6 +18,9 @@ echo "== regular build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== plan IR: EXPLAIN goldens + pass on/off divergence gate =="
+ctest --test-dir build -L plan --output-on-failure -j "$JOBS"
 
 echo "== query service smoke (catalog equivalence, cold/hot/32 sessions) =="
 ./build/examples/rapida_serve --smoke
@@ -29,8 +34,10 @@ echo "== differential fuzz, service mode (caching + batching vs direct) =="
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build build-asan -j "$JOBS" --target rapida_fuzz
+cmake --build build-asan -j "$JOBS" --target rapida_fuzz explain_golden_test
 ./build-asan/examples/rapida_fuzz --seeds=50
+echo "== ASan: EXPLAIN goldens =="
+./build-asan/tests/explain_golden_test
 
 echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \

@@ -63,6 +63,18 @@ class Engine {
       mr::Cluster* cluster, ExecStats* stats) = 0;
 };
 
+/// Runs `fallback` on behalf of an optimizing engine whose rewriting does
+/// not apply to `query`, relabeling the stats with the outer engine's name
+/// on success (the workflow genuinely ran, just under the fallback plan).
+inline StatusOr<analytics::BindingTable> ExecuteFallback(
+    Engine* fallback, const std::string& outer_name,
+    const analytics::AnalyticalQuery& query, Dataset* dataset,
+    mr::Cluster* cluster, ExecStats* stats) {
+  auto result = fallback->Execute(query, dataset, cluster, stats);
+  if (result.ok() && stats != nullptr) stats->engine = outer_name;
+  return result;
+}
+
 }  // namespace rapida::engine
 
 #endif  // RAPIDA_ENGINES_ENGINE_H_

@@ -1,26 +1,18 @@
 #include "engines/hive_mqo.h"
 
-#include <algorithm>
-#include <chrono>
 #include <set>
 
-#include "engines/var_translate.h"
-#include "ntga/overlap.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "util/logging.h"
 
 namespace rapida::engine {
 
-namespace {
-
-/// Converts a CompositePattern into a StarGraph the relational compiler
-/// understands (composite stars are ordinary star patterns whose secondary
-/// triples will be outer-joined). Secondary triples with a CONSTANT object
-/// are rewritten to fresh marker variables: compiled as-is, the equality
-/// would fold into the VP scan and a value mismatch would look exactly
-/// like the property being absent — unobservable by the extraction step,
-/// which would then over-match (found by differential fuzzing). The
-/// equality itself is returned in `sec_const_filters` as an extraction
-/// filter for the owning pattern.
+// Secondary constant-object triples are rewritten to fresh marker
+// variables: compiled as-is, the equality would fold into the VP scan and
+// a value mismatch would look exactly like the property being absent —
+// unobservable by the extraction step, which would then over-match (found
+// by differential fuzzing).
 ntga::StarGraph CompositeToStarGraph(
     const ntga::CompositePattern& comp,
     std::vector<std::vector<sparql::ExprPtr>>* sec_const_filters) {
@@ -53,8 +45,6 @@ ntga::StarGraph CompositeToStarGraph(
   return out;
 }
 
-/// Object variables of secondary triples, per pattern, read off the
-/// rewritten composite graph so constant-object markers are included.
 std::set<std::string> SecondaryVars(const ntga::CompositePattern& comp,
                                     const ntga::StarGraph& graph,
                                     size_t pattern_index) {
@@ -71,198 +61,25 @@ std::set<std::string> SecondaryVars(const ntga::CompositePattern& comp,
   return out;
 }
 
-}  // namespace
-
 StatusOr<analytics::BindingTable> HiveMqoEngine::Execute(
     const analytics::AnalyticalQuery& query, Dataset* dataset,
     mr::Cluster* cluster, ExecStats* stats) {
   // MQO rewriting applies to exactly two overlapping graph patterns.
   if (query.groupings.size() != 2) {
-    auto result = fallback_.Execute(query, dataset, cluster, stats);
-    if (result.ok() && stats != nullptr) stats->engine = name();
-    return result;
+    return ExecuteFallback(&fallback_, name(), query, dataset, cluster,
+                           stats);
   }
-  ntga::OverlapResult overlap = ntga::FindOverlap(query.groupings[0].pattern,
-                                                  query.groupings[1].pattern);
-  if (!overlap.overlaps) {
-    RAPIDA_LOG(Info) << "MQO fallback (no overlap): " << overlap.explanation;
-    auto result = fallback_.Execute(query, dataset, cluster, stats);
-    if (result.ok() && stats != nullptr) stats->engine = name();
-    return result;
+  // The rewriting itself (filter classification, Q_OPT compilation, the
+  // per-pattern extraction + GROUP BY pipeline) lives in plan::PlanHiveMqo.
+  RAPIDA_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                          plan::PlanHiveMqo(query, dataset, options_));
+  if (!physical.fallback_reason.empty()) {
+    RAPIDA_LOG(Info) << "MQO fallback (no overlap): "
+                     << physical.fallback_reason;
+    return ExecuteFallback(&fallback_, name(), query, dataset, cluster,
+                           stats);
   }
-
-  auto start = std::chrono::steady_clock::now();
-  RAPIDA_ASSIGN_OR_RETURN(
-      ntga::CompositePattern comp,
-      ntga::BuildComposite(query.groupings[0].pattern,
-                           query.groupings[1].pattern, overlap));
-
-  RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
-  cluster->ResetHistory();
-  RelationalOps ops(cluster, dataset, options_, options_.tmp_namespace + "tmp:mqo");
-  const rdf::Dictionary& dict = dataset->graph().dict();
-
-  // ---- step 1: composite pattern with LEFT OUTER secondary joins ----
-  std::vector<std::vector<sparql::ExprPtr>> sec_const_filters(2);
-  ntga::StarGraph composite_graph =
-      CompositeToStarGraph(comp, &sec_const_filters);
-  std::set<ntga::PropKey> outer_props;
-  for (const ntga::CompositeStar& cs : comp.stars) {
-    outer_props.insert(cs.secondary.begin(), cs.secondary.end());
-  }
-
-  // A filter may only be evaluated on the composite when BOTH patterns
-  // carry the identical (translated) filter — then dropping the composite
-  // row is what each pattern would have done anyway, and it is evaluated
-  // once. Everything else (secondary-variable filters, and filters only
-  // one pattern has, even over shared variables) must wait for that
-  // pattern's extraction: dropping a composite row would wrongly remove it
-  // from the *other* pattern too.
-  std::vector<std::set<std::string>> pattern_sec_vars = {
-      SecondaryVars(comp, composite_graph, 0),
-      SecondaryVars(comp, composite_graph, 1)};
-  std::vector<std::vector<sparql::ExprPtr>> translated_filters(2);
-  std::vector<std::set<std::string>> filter_sigs(2);
-  for (size_t p = 0; p < 2; ++p) {
-    for (const auto& f : query.groupings[p].filters) {
-      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[p]);
-      filter_sigs[p].insert(translated->ToString());
-      translated_filters[p].push_back(std::move(translated));
-    }
-  }
-  std::vector<sparql::ExprPtr> composite_filters;
-  std::vector<std::vector<sparql::ExprPtr>> extraction_filters(2);
-  std::set<std::string> seen_composite;
-  for (size_t p = 0; p < 2; ++p) {
-    for (sparql::ExprPtr& translated : translated_filters[p]) {
-      std::vector<std::string> vars;
-      translated->CollectVars(&vars);
-      bool touches_secondary = false;
-      for (const std::string& v : vars) {
-        if (pattern_sec_vars[p].count(v) > 0) touches_secondary = true;
-      }
-      std::string sig = translated->ToString();
-      if (!touches_secondary && filter_sigs[1 - p].count(sig) > 0) {
-        if (seen_composite.insert(sig).second) {
-          composite_filters.push_back(std::move(translated));
-        }
-        continue;  // the other pattern's copy is deduped by seen_composite
-      }
-      extraction_filters[p].push_back(std::move(translated));
-    }
-    // Constant-object secondary triples: the marker variable must carry
-    // the pattern's constant (presence alone is checked via sec_idx).
-    for (sparql::ExprPtr& eq : sec_const_filters[p]) {
-      extraction_filters[p].push_back(std::move(eq));
-    }
-  }
-  std::vector<const sparql::Expr*> composite_filter_ptrs;
-  for (const auto& f : composite_filters) {
-    composite_filter_ptrs.push_back(f.get());
-  }
-
-  auto q_opt = CompileHivePattern(&ops, dataset, composite_graph,
-                                  composite_filter_ptrs, &outer_props,
-                                  "qopt");
-  if (!q_opt.ok()) {
-    ops.Cleanup();
-    return q_opt.status();
-  }
-
-  // ---- steps 2+3 per original pattern ----
-  std::vector<TableRef> grouping_tables;
-  for (size_t p = 0; p < 2; ++p) {
-    const analytics::GroupingSubquery& grouping = query.groupings[p];
-    // Extraction: rows where every pattern-p secondary variable is bound,
-    // plus the pattern's secondary filters; DISTINCT over the pattern's
-    // full (translated) variable set restores the pattern's multiplicity.
-    std::vector<std::string> pattern_vars;
-    for (const auto& [orig, composite_var] : comp.var_map[p]) {
-      if (std::find(pattern_vars.begin(), pattern_vars.end(),
-                    composite_var) == pattern_vars.end()) {
-        pattern_vars.push_back(composite_var);
-      }
-    }
-    std::vector<std::string> sec_vars(pattern_sec_vars[p].begin(),
-                                      pattern_sec_vars[p].end());
-    std::vector<const sparql::Expr*> extr_filters;
-    for (const auto& f : extraction_filters[p]) extr_filters.push_back(f.get());
-    RowPredicate filter_pred =
-        CompilePredicate(extr_filters, q_opt->columns, &dict);
-    std::vector<int> sec_idx;
-    for (const std::string& v : sec_vars) {
-      int i = q_opt->ColumnIndex(v);
-      if (i >= 0) sec_idx.push_back(i);
-    }
-    RowPredicate keep = [sec_idx, filter_pred](
-                            const std::vector<rdf::TermId>& row) {
-      for (int i : sec_idx) {
-        if (row[i] == rdf::kInvalidTermId) return false;
-      }
-      return filter_pred == nullptr || filter_pred(row);
-    };
-    std::string label = "p" + std::to_string(p);
-    auto extracted = ops.DistinctProject(label + ":extract", *q_opt,
-                                         pattern_vars, keep);
-    if (!extracted.ok()) {
-      ops.Cleanup();
-      return extracted.status();
-    }
-
-    // Aggregation on the extracted pattern table (translated variables),
-    // then rename the output columns back to the subquery's names.
-    std::vector<std::string> translated_keys =
-        MapVars(grouping.group_by, comp.var_map[p]);
-    std::vector<RelationalOps::AggColumn> aggs;
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      aggs.push_back(RelationalOps::AggColumn{
-          a.func, MapVar(a.var, comp.var_map[p]), a.count_star,
-          a.output_name, a.separator});
-    }
-    std::vector<std::string> grouped_columns = translated_keys;
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      grouped_columns.push_back(a.output_name);
-    }
-    RowPredicate having;
-    sparql::ExprPtr translated_having;
-    if (grouping.having != nullptr) {
-      translated_having = MapExprVars(*grouping.having, comp.var_map[p]);
-      having = CompilePredicate({translated_having.get()}, grouped_columns,
-                                &dict);
-    }
-    auto grouped = ops.GroupBy(label + ":groupby", *extracted,
-                               translated_keys, aggs, having);
-    if (!grouped.ok()) {
-      ops.Cleanup();
-      return grouped.status();
-    }
-    TableRef renamed = *grouped;
-    for (size_t k = 0; k < grouping.group_by.size(); ++k) {
-      renamed.columns[k] = grouping.group_by[k];
-    }
-    grouping_tables.push_back(std::move(renamed));
-  }
-
-  auto final_table =
-      ops.FinalJoinProject("final", grouping_tables, query.top_items);
-  if (!final_table.ok()) {
-    ops.Cleanup();
-    return final_table.status();
-  }
-  auto result = ops.ReadTable(*final_table);
-  ops.Cleanup();
-  if (result.ok()) {
-    analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
-  }
-  if (stats != nullptr) {
-    stats->engine = name();
-    stats->workflow.jobs = cluster->history();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-  }
-  return result;
+  return plan::RunPlanAsEngine(physical, dataset, cluster, options_, stats);
 }
 
 }  // namespace rapida::engine

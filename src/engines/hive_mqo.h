@@ -1,12 +1,32 @@
 #ifndef RAPIDA_ENGINES_HIVE_MQO_H_
 #define RAPIDA_ENGINES_HIVE_MQO_H_
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "engines/engine.h"
 #include "engines/hive_naive.h"
+#include "ntga/overlap.h"
 
 namespace rapida::engine {
+
+/// Converts a CompositePattern into a StarGraph the relational compiler
+/// understands (composite stars are ordinary star patterns whose secondary
+/// triples will be outer-joined). Secondary triples with a CONSTANT object
+/// are rewritten to fresh marker variables; the equality is returned in
+/// `sec_const_filters` (one slot per pattern) as an extraction filter for
+/// each owning pattern. Shared with the MQO planner (src/plan/), which must
+/// see the exact graph the engine compiles.
+ntga::StarGraph CompositeToStarGraph(
+    const ntga::CompositePattern& comp,
+    std::vector<std::vector<sparql::ExprPtr>>* sec_const_filters);
+
+/// Object variables of `pattern_index`'s secondary triples, read off the
+/// rewritten composite graph so constant-object markers are included.
+std::set<std::string> SecondaryVars(const ntga::CompositePattern& comp,
+                                    const ntga::StarGraph& graph,
+                                    size_t pattern_index);
 
 /// The paper's "Hive (MQO)" baseline — the multi-query-optimization
 /// rewriting of Le et al. (ICDE'12) applied before a relational plan:

@@ -1,9 +1,10 @@
 #include "engines/hive_naive.h"
 
 #include <algorithm>
-#include <chrono>
 #include <set>
 
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "util/logging.h"
 
 namespace rapida::engine {
@@ -235,89 +236,12 @@ StatusOr<TableRef> CompileHivePattern(
 StatusOr<analytics::BindingTable> HiveNaiveEngine::Execute(
     const analytics::AnalyticalQuery& query, Dataset* dataset,
     mr::Cluster* cluster, ExecStats* stats) {
-  auto start = std::chrono::steady_clock::now();
-  RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
-  cluster->ResetHistory();
-  RelationalOps ops(cluster, dataset, options_, options_.tmp_namespace + "tmp:hive");
-
-  std::vector<TableRef> grouping_tables;
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    const analytics::GroupingSubquery& grouping = query.groupings[g];
-    std::vector<const sparql::Expr*> filters;
-    for (const auto& f : grouping.filters) filters.push_back(f.get());
-    std::string label = "g" + std::to_string(g);
-    auto pattern_table = CompileHivePattern(&ops, dataset, grouping.pattern,
-                                            filters, nullptr, label);
-    if (!pattern_table.ok()) {
-      ops.Cleanup();
-      return pattern_table.status();
-    }
-    std::vector<RelationalOps::AggColumn> aggs;
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      aggs.push_back(RelationalOps::AggColumn{a.func, a.var, a.count_star,
-                                              a.output_name, a.separator});
-    }
-    std::vector<std::string> grouped_columns = grouping.group_by;
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      grouped_columns.push_back(a.output_name);
-    }
-    RowPredicate having;
-    if (grouping.having != nullptr) {
-      having = CompilePredicate({grouping.having.get()}, grouped_columns,
-                                &dataset->graph().dict());
-    }
-    auto grouped = ops.GroupBy(label + ":groupby", *pattern_table,
-                               grouping.group_by, aggs, having);
-    if (!grouped.ok()) {
-      ops.Cleanup();
-      return grouped.status();
-    }
-    grouping_tables.push_back(std::move(*grouped));
-  }
-
-  StatusOr<analytics::BindingTable> result = Status::Internal("unset");
-  if (query.groupings.size() == 1) {
-    // Single grouping: the GROUP BY output is the answer (paper Table 3:
-    // 4 cycles); project it driver-side without another cycle.
-    auto table = ops.ReadTable(grouping_tables[0]);
-    if (table.ok()) {
-      rdf::Dictionary* dict = &dataset->dict();
-      ProjectedResult projected = JoinAndProject(
-          {std::move(*table)}, query.top_items, dict);
-      analytics::BindingTable out(projected.columns);
-      for (const mr::Record& r : projected.rows) {
-        std::vector<rdf::TermId> row = DecodeRow(r.value);
-        row.resize(projected.columns.size(), rdf::kInvalidTermId);
-        out.AddRow(std::move(row));
-      }
-      result = std::move(out);
-    } else {
-      result = table.status();
-    }
-  } else {
-    auto final_table =
-        ops.FinalJoinProject("final", grouping_tables, query.top_items);
-    if (final_table.ok()) {
-      result = ops.ReadTable(*final_table);
-    } else {
-      result = final_table.status();
-    }
-  }
-  if (!result.ok()) {
-    ops.Cleanup();
-    return result.status();
-  }
-  ops.Cleanup();
-  analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
-  if (stats != nullptr) {
-    stats->engine = name();
-    stats->workflow.jobs = cluster->history();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-  }
-  return result;
+  // The relational compiler lives in plan::PlanHiveNaive now: it emits the
+  // explicit operator DAG (star-joins, inter-star joins, GROUP BYs, final
+  // join) with exec closures calling CompileHivePattern & co below.
+  RAPIDA_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                          plan::PlanHiveNaive(query, dataset, options_));
+  return plan::RunPlanAsEngine(physical, dataset, cluster, options_, stats);
 }
 
 }  // namespace rapida::engine

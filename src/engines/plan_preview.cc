@@ -1,8 +1,16 @@
+// Compatibility shim: PlanPreview predates the physical-plan IR and is
+// kept for the CLI's --plan flag and older callers. A preview is now just
+// a dataset-free plan from plan::PlanForEngine projected down to "one line
+// per MR cycle"; the cycle count is the plan's estimate, which the plan
+// tests weld to the executed cycle count for the whole catalog. New code
+// should use plan::PlanForEngine / PhysicalPlan::ExplainText directly.
 #include "engines/plan_preview.h"
 
 #include <sstream>
+#include <utility>
 
-#include "ntga/overlap.h"
+#include "plan/plan.h"
+#include "plan/planner.h"
 
 namespace rapida::engine {
 
@@ -10,158 +18,14 @@ namespace {
 
 using analytics::AnalyticalQuery;
 
-void Step(PlanPreview* plan, const std::string& text) {
-  plan->steps.push_back(text);
-  ++plan->cycles;
-}
-
-/// Hive star-pattern compilation: one MR cycle per star with >= 2 triple
-/// patterns, one per inter-star join; a one-triple single-star pattern
-/// still needs one scan cycle to materialize a table.
-void PreviewHivePattern(const ntga::StarGraph& pattern,
-                        const std::string& label, PlanPreview* plan) {
-  int multi_tp_stars = 0;
-  for (size_t s = 0; s < pattern.stars.size(); ++s) {
-    if (pattern.stars[s].triples.size() >= 2) {
-      ++multi_tp_stars;
-      Step(plan, label + ": star-join (" +
-                     std::to_string(pattern.stars[s].triples.size()) +
-                     " VP tables, same subject key)");
-    }
+PlanPreview FromPhysical(const plan::PhysicalPlan& physical) {
+  PlanPreview preview;
+  preview.engine = physical.engine;
+  preview.cycles = physical.EstimatedCycles();
+  for (const plan::PlanNode& n : physical.nodes) {
+    for (int c = 0; c < n.est_cycles; ++c) preview.steps.push_back(n.describe);
   }
-  if (pattern.stars.size() == 1) {
-    if (multi_tp_stars == 0) {
-      Step(plan, label + ": VP scan (single triple pattern)");
-    }
-    return;
-  }
-  for (size_t j = 1; j < pattern.stars.size(); ++j) {
-    Step(plan, label + ": inter-star join");
-  }
-}
-
-/// Composite star pattern for MQO / RAPIDAnalytics previews, or nullopt
-/// when the rewriting does not apply (fall back).
-std::optional<ntga::CompositePattern> CompositeOf(
-    const AnalyticalQuery& query) {
-  if (query.groupings.size() == 1) {
-    return ntga::SinglePatternComposite(query.groupings[0].pattern);
-  }
-  if (query.groupings.size() == 2) {
-    ntga::OverlapResult overlap = ntga::FindOverlap(
-        query.groupings[0].pattern, query.groupings[1].pattern);
-    if (!overlap.overlaps) return std::nullopt;
-    auto comp = ntga::BuildComposite(query.groupings[0].pattern,
-                                     query.groupings[1].pattern, overlap);
-    if (!comp.ok()) return std::nullopt;
-    return std::move(*comp);
-  }
-  std::vector<const ntga::StarGraph*> family;
-  for (const auto& g : query.groupings) family.push_back(&g.pattern);
-  ntga::FamilyOverlapResult overlap = ntga::FindOverlapFamily(family);
-  if (!overlap.overlaps) return std::nullopt;
-  auto comp = ntga::BuildCompositeFamily(family, overlap);
-  if (!comp.ok()) return std::nullopt;
-  return std::move(*comp);
-}
-
-PlanPreview PreviewHiveNaive(const AnalyticalQuery& query) {
-  PlanPreview plan;
-  plan.engine = "Hive (Naive)";
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    std::string label = "g" + std::to_string(g);
-    PreviewHivePattern(query.groupings[g].pattern, label, &plan);
-    Step(&plan, label + ": GROUP BY" +
-                    (query.groupings[g].group_by.empty() ? " ALL" : ""));
-  }
-  if (query.groupings.size() > 1) {
-    Step(&plan, "final: map-only join of grouping results");
-  }
-  return plan;
-}
-
-PlanPreview PreviewRapidPlus(const AnalyticalQuery& query) {
-  PlanPreview plan;
-  plan.engine = "RAPID+ (Naive)";
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    std::string label = "g" + std::to_string(g);
-    size_t k = query.groupings[g].pattern.stars.size();
-    for (size_t j = 1; j < k; ++j) {
-      Step(&plan, label + ": TG star-filter + join");
-    }
-    Step(&plan, label + ": TG Agg-Join" +
-                    (k == 1 ? " (star matching folded into map)" : ""));
-  }
-  if (query.groupings.size() > 1) {
-    Step(&plan, "final: map-only join of aggregated triplegroups");
-  }
-  return plan;
-}
-
-PlanPreview PreviewHiveMqo(const AnalyticalQuery& query) {
-  if (query.groupings.size() != 2) {
-    PlanPreview plan = PreviewHiveNaive(query);
-    plan.engine = "Hive (MQO)";
-    return plan;
-  }
-  ntga::OverlapResult overlap = ntga::FindOverlap(
-      query.groupings[0].pattern, query.groupings[1].pattern);
-  if (!overlap.overlaps) {
-    PlanPreview plan = PreviewHiveNaive(query);
-    plan.engine = "Hive (MQO)";
-    return plan;
-  }
-  auto comp = ntga::BuildComposite(query.groupings[0].pattern,
-                                   query.groupings[1].pattern, overlap);
-  PlanPreview plan;
-  plan.engine = "Hive (MQO)";
-  if (!comp.ok()) {
-    plan = PreviewHiveNaive(query);
-    plan.engine = "Hive (MQO)";
-    return plan;
-  }
-  // The composite is compiled like a Hive pattern (secondary tables are
-  // LEFT OUTER inputs of the same cycles).
-  ntga::StarGraph composite_graph;
-  for (const ntga::CompositeStar& cs : comp->stars) {
-    ntga::StarPattern sp;
-    sp.subject_var = cs.subject_var;
-    sp.triples = cs.triples;
-    composite_graph.stars.push_back(std::move(sp));
-  }
-  composite_graph.joins = comp->joins;
-  PreviewHivePattern(composite_graph, "qopt", &plan);
-  for (int p = 0; p < 2; ++p) {
-    std::string label = "p" + std::to_string(p);
-    Step(&plan, label + ": DISTINCT extraction from materialized Q_OPT");
-    Step(&plan, label + ": GROUP BY");
-  }
-  Step(&plan, "final: map-only join of grouping results");
-  return plan;
-}
-
-PlanPreview PreviewRapidAnalytics(const AnalyticalQuery& query) {
-  std::optional<ntga::CompositePattern> comp = CompositeOf(query);
-  if (!comp.has_value()) {
-    PlanPreview plan = PreviewRapidPlus(query);
-    plan.engine = "RAPIDAnalytics";
-    return plan;
-  }
-  PlanPreview plan;
-  plan.engine = "RAPIDAnalytics";
-  size_t k = comp->stars.size();
-  for (size_t j = 1; j < k; ++j) {
-    Step(&plan, std::string("gp: TG_OptGrpFilter + TG_AlphaJoin") +
-                    (j == k - 1 ? " (α filtering)" : ""));
-  }
-  Step(&plan, "agg: parallel TG Agg-Join (" +
-                  std::to_string(query.groupings.size()) +
-                  " grouping-aggregations in one cycle)" +
-                  (k == 1 ? " with star matching folded into map" : ""));
-  if (query.groupings.size() > 1) {
-    Step(&plan, "final: map-only join of aggregated triplegroups");
-  }
-  return plan;
+  return preview;
 }
 
 }  // namespace
@@ -177,10 +41,26 @@ std::string PlanPreview::ToString() const {
 
 PlanPreview PreviewPlan(const std::string& engine_name,
                         const AnalyticalQuery& query) {
-  if (engine_name == "Hive (Naive)") return PreviewHiveNaive(query);
-  if (engine_name == "Hive (MQO)") return PreviewHiveMqo(query);
-  if (engine_name == "RAPID+ (Naive)") return PreviewRapidPlus(query);
-  return PreviewRapidAnalytics(query);
+  EngineOptions options;
+  StatusOr<plan::PhysicalPlan> physical =
+      plan::PlanForEngine(engine_name, query, /*dataset=*/nullptr, options);
+  if (!physical.ok()) {
+    // The optimizing planners propagate composite-construction errors; the
+    // engines answer those queries with their fallback pipeline, so the
+    // preview does too.
+    if (engine_name == "Hive (MQO)") {
+      physical = plan::PlanHiveNaive(query, nullptr, options);
+    } else if (engine_name == "RAPIDAnalytics") {
+      physical = plan::PlanRapidPlus(query, nullptr, options);
+    }
+  }
+  if (!physical.ok()) {
+    PlanPreview preview;
+    preview.engine = engine_name;
+    return preview;
+  }
+  physical->engine = engine_name;
+  return FromPhysical(*physical);
 }
 
 std::vector<PlanPreview> PreviewAllPlans(const AnalyticalQuery& query) {

@@ -1,10 +1,7 @@
 #include "engines/rapid_analytics.h"
 
-#include <chrono>
-#include <utility>
-#include <vector>
-
-#include "engines/shared_scan.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "util/logging.h"
 
 namespace rapida::engine {
@@ -12,33 +9,18 @@ namespace rapida::engine {
 StatusOr<analytics::BindingTable> RapidAnalyticsEngine::Execute(
     const analytics::AnalyticalQuery& query, Dataset* dataset,
     mr::Cluster* cluster, ExecStats* stats) {
-  // The composite rewriting and its evaluation live in shared_scan.cc so
-  // the serving layer can run the same pipeline over a whole batch of
-  // queries; a single query is the batch of one.
-  std::vector<const analytics::AnalyticalQuery*> batch{&query};
-  RAPIDA_ASSIGN_OR_RETURN(SharedScanPlan plan, PlanSharedScan(batch));
-  if (!plan.sharable) {
-    RAPIDA_LOG(Info) << "RAPIDAnalytics fallback (no overlap): " << plan.why;
-    auto result = fallback_.Execute(query, dataset, cluster, stats);
-    if (result.ok() && stats != nullptr) stats->engine = name();
-    return result;
+  // The composite rewriting lives in plan::PlanRapidAnalytics (shared with
+  // the serving layer's batch path via plan::PlanCompositeBatch); a
+  // non-overlapping query comes back as the RAPID+ fallback shape.
+  RAPIDA_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                          plan::PlanRapidAnalytics(query, dataset, options_));
+  if (!physical.fallback_reason.empty()) {
+    RAPIDA_LOG(Info) << "RAPIDAnalytics fallback (no overlap): "
+                     << physical.fallback_reason;
+    return ExecuteFallback(&fallback_, name(), query, dataset, cluster,
+                           stats);
   }
-
-  auto start = std::chrono::steady_clock::now();
-  cluster->ResetHistory();
-  std::vector<StatusOr<analytics::BindingTable>> results;
-  RAPIDA_RETURN_IF_ERROR(ExecuteCompositeBatch(plan, batch, dataset, cluster,
-                                               options_, &results));
-  if (!results[0].ok()) return results[0].status();
-  if (stats != nullptr) {
-    stats->engine = name();
-    stats->workflow.jobs = cluster->history();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-  }
-  return std::move(results[0]);
+  return plan::RunPlanAsEngine(physical, dataset, cluster, options_, stats);
 }
 
 }  // namespace rapida::engine

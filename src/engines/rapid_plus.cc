@@ -1,10 +1,8 @@
 #include "engines/rapid_plus.h"
 
-#include <chrono>
-
 #include "engines/var_translate.h"
-#include "ntga/overlap.h"
-#include "util/logging.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 
 namespace rapida::engine {
 
@@ -36,95 +34,11 @@ void SplitNtgaFilters(
 StatusOr<analytics::BindingTable> RapidPlusEngine::Execute(
     const analytics::AnalyticalQuery& query, Dataset* dataset,
     mr::Cluster* cluster, ExecStats* stats) {
-  auto start = std::chrono::steady_clock::now();
-  RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
-  cluster->ResetHistory();
-  NtgaExec exec(cluster, dataset, options_, options_.tmp_namespace + "tmp:rplus");
-  const rdf::Dictionary& dict = dataset->graph().dict();
-
-  std::vector<analytics::BindingTable> agg_tables;
-  std::vector<std::string> agg_files;
-  std::vector<sparql::ExprPtr> owned_filters;
-
-  for (size_t g = 0; g < query.groupings.size(); ++g) {
-    const analytics::GroupingSubquery& grouping = query.groupings[g];
-    std::string label = "g" + std::to_string(g);
-
-    ntga::CompositePattern comp =
-        ntga::SinglePatternComposite(grouping.pattern);
-    ntga::ResolvedPattern resolved = ntga::ResolvePattern(comp, dict);
-
-    // Pattern variables: everything the pattern binds (identity map).
-    std::vector<std::string> pattern_vars;
-    for (const auto& [orig, composite_var] : comp.var_map[0]) {
-      pattern_vars.push_back(composite_var);
-    }
-
-    PushedFilters pushed;
-    RowPredicate mapping_pred;
-    SplitNtgaFilters(grouping, comp.var_map[0], pattern_vars, &dict,
-                     &owned_filters, &pushed, &mapping_pred);
-
-    auto matches =
-        exec.ComputePatternMatches(resolved, {}, pushed, label);
-    if (!matches.ok()) {
-      exec.Cleanup();
-      return matches.status();
-    }
-
-    NtgaGrouping work;
-    work.spec.group_vars = grouping.group_by;  // identity namespace
-    work.spec.aggs = grouping.aggs;
-    work.pattern_vars = pattern_vars;
-    work.output_columns = grouping.group_by;
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      work.output_columns.push_back(a.output_name);
-    }
-    work.mapping_predicate = mapping_pred;
-    work.having = grouping.having.get();
-
-    std::vector<std::string> files;
-    auto tables = exec.RunAggJoins(resolved, *matches, pushed, {work},
-                                   /*parallel=*/false, label, &files);
-    if (!tables.ok()) {
-      exec.Cleanup();
-      return tables.status();
-    }
-    agg_tables.push_back(std::move((*tables)[0]));
-    agg_files.push_back(files[0]);
-  }
-
-  // Single grouping: the Agg-Join output already is the answer (2-cycle
-  // plans of Table 3); multi-grouping: one map-only join cycle.
-  StatusOr<analytics::BindingTable> result = Status::Internal("unset");
-  if (query.groupings.size() == 1) {
-    rdf::Dictionary* mdict = &dataset->dict();
-    ProjectedResult projected =
-        JoinAndProject(std::move(agg_tables), query.top_items, mdict);
-    analytics::BindingTable table(projected.columns);
-    for (const mr::Record& r : projected.rows) {
-      std::vector<rdf::TermId> row = DecodeRow(r.value);
-      row.resize(projected.columns.size(), rdf::kInvalidTermId);
-      table.AddRow(std::move(row));
-    }
-    result = std::move(table);
-  } else {
-    result = exec.FinalJoinProject(std::move(agg_tables), query.top_items,
-                                   agg_files, "final");
-  }
-  exec.Cleanup();
-  if (result.ok()) {
-    analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
-  }
-  if (result.ok() && stats != nullptr) {
-    stats->engine = name();
-    stats->workflow.jobs = cluster->history();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-  }
-  return result;
+  // The sequential NTGA pipeline (per grouping: pattern matching, then one
+  // TG Agg-Join cycle; final join) is emitted by plan::PlanRapidPlus.
+  RAPIDA_ASSIGN_OR_RETURN(plan::PhysicalPlan physical,
+                          plan::PlanRapidPlus(query, dataset, options_));
+  return plan::RunPlanAsEngine(physical, dataset, cluster, options_, stats);
 }
 
 }  // namespace rapida::engine

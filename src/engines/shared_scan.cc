@@ -1,12 +1,9 @@
 #include "engines/shared_scan.h"
 
-#include <algorithm>
-#include <set>
 #include <utility>
 
-#include "engines/ntga_exec.h"
-#include "engines/relational_ops.h"
-#include "engines/var_translate.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "util/logging.h"
 
 namespace rapida::engine {
@@ -74,179 +71,42 @@ StatusOr<SharedScanPlan> PlanSharedScan(
   return plan;
 }
 
+StatusOr<CompositeApplicability> CheckCompositeRewrite(
+    const analytics::AnalyticalQuery& query, bool allow_family) {
+  CompositeApplicability out;
+  if (!allow_family && query.groupings.size() != 2) {
+    out.why = "MQO rewriting applies to exactly two grouping patterns";
+    return out;
+  }
+  std::vector<const analytics::AnalyticalQuery*> batch{&query};
+  RAPIDA_ASSIGN_OR_RETURN(SharedScanPlan plan, PlanSharedScan(batch));
+  out.applies = plan.sharable;
+  out.why = plan.why;
+  out.comp = std::move(plan.comp);
+  return out;
+}
+
 Status ExecuteCompositeBatch(
-    const SharedScanPlan& plan,
+    const SharedScanPlan& shared,
     const std::vector<const analytics::AnalyticalQuery*>& queries,
     Dataset* dataset, mr::Cluster* cluster, const EngineOptions& options,
     std::vector<StatusOr<analytics::BindingTable>>* results) {
-  RAPIDA_CHECK(plan.sharable) << "ExecuteCompositeBatch on unsharable plan";
-  const ntga::CompositePattern& comp = plan.comp;
-  std::vector<FlatGrouping> flat = Flatten(queries);
-
+  RAPIDA_CHECK(shared.sharable) << "ExecuteCompositeBatch on unsharable plan";
+  // The whole pipeline — composite resolution, α conditions, the shared
+  // filter-pushdown rule, the parallel Agg-Join and the per-query final
+  // joins — is emitted as an operator DAG by plan::PlanCompositeBatch; the
+  // generic executor walks it. Callers keep the Reset-then-Execute
+  // protocol, so a cold triplegroup build stays part of the measured
+  // workflow, exactly as before.
+  RAPIDA_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan physical,
+      plan::PlanCompositeBatch(shared, queries, dataset, options));
   results->clear();
   for (size_t q = 0; q < queries.size(); ++q) {
     results->push_back(Status::Internal("unset"));
   }
-
-  RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
-  NtgaExec exec(cluster, dataset, options, options.tmp_namespace + "tmp:ra");
-  const rdf::Dictionary& dict = dataset->graph().dict();
-
-  ntga::ResolvedPattern resolved = ntga::ResolvePattern(comp, dict);
-
-  // Per-grouping α conditions (presence of the grouping pattern's
-  // secondary props); their disjunction prunes composite matches in the
-  // last α-join cycle.
-  std::vector<ntga::AlphaCondition> alphas;
-  for (size_t p = 0; p < resolved.pattern_secondary.size(); ++p) {
-    ntga::AlphaCondition cond;
-    for (const auto& [star, keys] : resolved.pattern_secondary[p]) {
-      for (const ntga::DataPropKey& k : keys) {
-        cond.push_back(ntga::AlphaConstraint{star, k, true});
-      }
-    }
-    alphas.push_back(std::move(cond));
-  }
-
-  // Filters: a single-variable filter may be pushed into the shared
-  // composite scan only when the identical translated filter appears in
-  // EVERY grouping of EVERY batched query — then dropping the triple at
-  // match time is what each pattern would have done anyway, and it is
-  // evaluated once. A filter only some groupings carry (and any
-  // multi-variable filter) must stay a per-grouping mapping predicate:
-  // pushing it into the shared scan would wrongly starve the groupings
-  // that do not have it.
-  struct TranslatedFilter {
-    std::string var;  // set iff single-variable
-    std::string sig;  // var + "|" + ToString(), for cross-grouping matching
-    const sparql::Expr* raw = nullptr;
-  };
-  std::vector<sparql::ExprPtr> owned_filters;
-  std::vector<std::vector<TranslatedFilter>> grouping_filters(flat.size());
-  std::vector<std::set<std::string>> grouping_sigs(flat.size());
-  for (size_t g = 0; g < flat.size(); ++g) {
-    for (const auto& f : flat[g].grouping->filters) {
-      sparql::ExprPtr translated = MapExprVars(*f, comp.var_map[g]);
-      std::vector<std::string> vars;
-      translated->CollectVars(&vars);
-      TranslatedFilter tf;
-      tf.raw = translated.get();
-      if (vars.size() == 1) {
-        tf.var = vars[0];
-        tf.sig = tf.var + "|" + translated->ToString();
-        grouping_sigs[g].insert(tf.sig);
-      }
-      owned_filters.push_back(std::move(translated));
-      grouping_filters[g].push_back(std::move(tf));
-    }
-  }
-
-  PushedFilters pushed;
-  std::vector<NtgaGrouping> work(flat.size());
-  std::set<std::string> pushed_signatures;
-  for (size_t g = 0; g < flat.size(); ++g) {
-    const analytics::GroupingSubquery& grouping = *flat[g].grouping;
-    const auto& var_map = comp.var_map[g];
-
-    std::vector<std::string> pattern_vars;
-    for (const auto& [orig, composite_var] : var_map) {
-      if (std::find(pattern_vars.begin(), pattern_vars.end(),
-                    composite_var) == pattern_vars.end()) {
-        pattern_vars.push_back(composite_var);
-      }
-    }
-
-    std::vector<const sparql::Expr*> residual;
-    for (const TranslatedFilter& tf : grouping_filters[g]) {
-      bool shared_by_all = !tf.var.empty();
-      for (size_t o = 0; shared_by_all && o < grouping_sigs.size(); ++o) {
-        if (grouping_sigs[o].count(tf.sig) == 0) shared_by_all = false;
-      }
-      if (shared_by_all) {
-        if (pushed_signatures.insert(tf.sig).second) {
-          pushed[tf.var].push_back(tf.raw);
-        }
-      } else {
-        residual.push_back(tf.raw);
-      }
-    }
-    RowPredicate mapping_pred =
-        residual.empty() ? nullptr
-                         : CompilePredicate(residual, pattern_vars, &dict);
-
-    NtgaGrouping& w = work[g];
-    w.spec.group_vars = MapVars(grouping.group_by, var_map);
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      ntga::AggSpec translated = a;
-      translated.var = MapVar(a.var, var_map);
-      w.spec.aggs.push_back(std::move(translated));
-    }
-    w.spec.alpha = alphas.size() > g ? alphas[g] : ntga::AlphaCondition{};
-    w.pattern_vars = pattern_vars;
-    w.output_columns = grouping.group_by;  // original names
-    for (const ntga::AggSpec& a : grouping.aggs) {
-      w.output_columns.push_back(a.output_name);
-    }
-    w.mapping_predicate = mapping_pred;
-    w.having = grouping.having.get();
-  }
-
-  auto matches = exec.ComputePatternMatches(resolved, alphas, pushed, "gp");
-  if (!matches.ok()) {
-    exec.Cleanup();
-    return matches.status();
-  }
-
-  std::vector<std::string> agg_files;
-  auto tables =
-      exec.RunAggJoins(resolved, *matches, pushed, work,
-                       options.parallel_agg_join, "agg", &agg_files);
-  if (!tables.ok()) {
-    exec.Cleanup();
-    return tables.status();
-  }
-
-  // Fan out: each query gets its own final join / projection over its
-  // slice of the aggregated tables. A failure here is that query's alone.
-  size_t offset = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    const analytics::AnalyticalQuery& query = *queries[q];
-    size_t n = query.groupings.size();
-    std::vector<analytics::BindingTable> q_tables;
-    q_tables.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      q_tables.push_back(std::move((*tables)[offset + i]));
-    }
-    std::vector<std::string> q_files(
-        agg_files.begin() + static_cast<long>(offset),
-        agg_files.begin() +
-            static_cast<long>(std::min(offset + n, agg_files.size())));
-    offset += n;
-
-    StatusOr<analytics::BindingTable> result = Status::Internal("unset");
-    if (n == 1) {
-      rdf::Dictionary* mdict = &dataset->dict();
-      ProjectedResult projected =
-          JoinAndProject(std::move(q_tables), query.top_items, mdict);
-      analytics::BindingTable table(projected.columns);
-      for (const mr::Record& r : projected.rows) {
-        std::vector<rdf::TermId> row = DecodeRow(r.value);
-        row.resize(projected.columns.size(), rdf::kInvalidTermId);
-        table.AddRow(std::move(row));
-      }
-      result = std::move(table);
-    } else {
-      result = exec.FinalJoinProject(
-          std::move(q_tables), query.top_items, q_files,
-          queries.size() == 1 ? "final" : "final" + std::to_string(q));
-    }
-    if (result.ok()) {
-      analytics::ApplySolutionModifiers(query, dataset->dict(), &*result);
-    }
-    (*results)[q] = std::move(result);
-  }
-  exec.Cleanup();
-  return Status::OK();
+  return plan::ExecutePlanMulti(physical, dataset, cluster, options,
+                                results);
 }
 
 }  // namespace rapida::engine

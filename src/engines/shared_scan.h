@@ -43,6 +43,22 @@ struct SharedScanPlan {
 StatusOr<SharedScanPlan> PlanSharedScan(
     const std::vector<const analytics::AnalyticalQuery*>& queries);
 
+/// Applicability probe for the composite rewriting of a single query,
+/// shared by the Hive (MQO) and RAPIDAnalytics planners. With
+/// `allow_family = false` only the paper's two-pattern construction is
+/// considered (the MQO baseline's scope); with it, any grouping count is
+/// accepted (single grouping → trivial composite, 3+ → §6 family
+/// generalization). `applies == false` means "no overlap" (`why`
+/// explains); an error means the composite construction itself failed.
+struct CompositeApplicability {
+  bool applies = false;
+  std::string why;
+  ntga::CompositePattern comp;  // valid when applies
+};
+
+StatusOr<CompositeApplicability> CheckCompositeRewrite(
+    const analytics::AnalyticalQuery& query, bool allow_family);
+
 /// Evaluates the planned composite once ((k−1) α-join cycles), runs every
 /// flattened grouping's aggregation in a single parallel TG Agg-Join
 /// cycle, then answers each query with its own final join / projection and
@@ -50,7 +66,7 @@ StatusOr<SharedScanPlan> PlanSharedScan(
 /// query-local failure is recorded in its slot); a non-OK return means a
 /// shared phase failed and no query was answered.
 Status ExecuteCompositeBatch(
-    const SharedScanPlan& plan,
+    const SharedScanPlan& shared,
     const std::vector<const analytics::AnalyticalQuery*>& queries,
     Dataset* dataset, mr::Cluster* cluster, const EngineOptions& options,
     std::vector<StatusOr<analytics::BindingTable>>* results);

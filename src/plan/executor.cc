@@ -1,0 +1,83 @@
+#include "plan/executor.h"
+
+#include <chrono>
+#include <memory>
+
+namespace rapida::plan {
+
+Status ExecutePlanMulti(
+    const PhysicalPlan& plan, engine::Dataset* dataset, mr::Cluster* cluster,
+    const engine::EngineOptions& options,
+    std::vector<StatusOr<analytics::BindingTable>>* results) {
+  if (plan.needs_vp) RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+  if (plan.needs_tg) RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
+
+  ExecContext ctx;
+  ctx.dataset = dataset;
+  ctx.cluster = cluster;
+  ctx.options = options;
+  ctx.results = results;
+
+  std::unique_ptr<engine::RelationalOps> rel;
+  std::unique_ptr<engine::NtgaExec> ntga;
+  if (plan.needs_vp) {
+    rel = std::make_unique<engine::RelationalOps>(
+        cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
+    ctx.rel = rel.get();
+  }
+  if (plan.needs_tg) {
+    ntga = std::make_unique<engine::NtgaExec>(
+        cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
+    ctx.ntga = ntga.get();
+  }
+
+  auto cleanup = [&] {
+    if (rel != nullptr) rel->Cleanup();
+    if (ntga != nullptr) ntga->Cleanup();
+  };
+
+  for (const PlanNode& node : plan.nodes) {
+    if (!node.exec) continue;
+    Status s = node.exec(&ctx);
+    if (!s.ok()) {
+      cleanup();
+      return s;
+    }
+  }
+  cleanup();
+  return Status::OK();
+}
+
+StatusOr<analytics::BindingTable> ExecutePlan(
+    const PhysicalPlan& plan, engine::Dataset* dataset, mr::Cluster* cluster,
+    const engine::EngineOptions& options) {
+  std::vector<StatusOr<analytics::BindingTable>> results;
+  results.emplace_back(Status::Internal("unset"));
+  RAPIDA_RETURN_IF_ERROR(
+      ExecutePlanMulti(plan, dataset, cluster, options, &results));
+  return std::move(results[0]);
+}
+
+StatusOr<analytics::BindingTable> RunPlanAsEngine(
+    const PhysicalPlan& plan, engine::Dataset* dataset, mr::Cluster* cluster,
+    const engine::EngineOptions& options, engine::ExecStats* stats) {
+  auto start = std::chrono::steady_clock::now();
+  if (plan.ensure_before_reset) {
+    if (plan.needs_vp) RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+    if (plan.needs_tg) RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
+  }
+  cluster->ResetHistory();
+  StatusOr<analytics::BindingTable> result =
+      ExecutePlan(plan, dataset, cluster, options);
+  if (result.ok() && stats != nullptr) {
+    stats->engine = plan.engine;
+    stats->workflow.jobs = cluster->history();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace rapida::plan

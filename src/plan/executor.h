@@ -1,0 +1,62 @@
+#ifndef RAPIDA_PLAN_EXECUTOR_H_
+#define RAPIDA_PLAN_EXECUTOR_H_
+
+#include <vector>
+
+#include "analytics/binding.h"
+#include "engines/dataset.h"
+#include "engines/engine.h"
+#include "engines/ntga_exec.h"
+#include "engines/relational_ops.h"
+#include "mapreduce/cluster.h"
+#include "plan/plan.h"
+#include "util/statusor.h"
+
+namespace rapida::plan {
+
+/// Execution-time context handed to every PlanNode::exec closure.
+///
+/// `rel` is live iff the plan declared needs_vp, `ntga` iff needs_tg; both
+/// are constructed with the plan's tmp tag under options.tmp_namespace so
+/// intermediate-file naming matches the pre-IR engines exactly. `results`
+/// has PhysicalPlan::num_results slots, pre-filled with
+/// Status::Internal("unset"); terminal nodes fill their slot (per-query
+/// failures also go into the slot — only shared-phase failures abort the
+/// walk by returning non-OK).
+struct ExecContext {
+  engine::Dataset* dataset = nullptr;
+  mr::Cluster* cluster = nullptr;
+  engine::EngineOptions options;
+  engine::RelationalOps* rel = nullptr;
+  engine::NtgaExec* ntga = nullptr;
+  std::vector<StatusOr<analytics::BindingTable>>* results = nullptr;
+};
+
+/// Walks `plan.nodes` front to back (the stored order is a topological
+/// order) running every non-null exec closure. Ensures the storage layout
+/// the plan declared (idempotent), builds the ops facades, and cleans up
+/// intermediates whether or not the walk succeeds. Does NOT touch the
+/// cluster's job history — the engine wrappers own the Ensure/ResetHistory
+/// ordering (see PhysicalPlan::ensure_before_reset).
+Status ExecutePlanMulti(const PhysicalPlan& plan, engine::Dataset* dataset,
+                        mr::Cluster* cluster,
+                        const engine::EngineOptions& options,
+                        std::vector<StatusOr<analytics::BindingTable>>* results);
+
+/// Single-result convenience over ExecutePlanMulti (num_results == 1).
+StatusOr<analytics::BindingTable> ExecutePlan(
+    const PhysicalPlan& plan, engine::Dataset* dataset, mr::Cluster* cluster,
+    const engine::EngineOptions& options);
+
+/// The full engine protocol around one plan: ensure the declared storage
+/// layout (when ensure_before_reset — otherwise the build is measured),
+/// reset job history, execute, and on success fill `stats` from the
+/// cluster history under the plan's engine name. This is what the four
+/// Engine::Execute implementations are.
+StatusOr<analytics::BindingTable> RunPlanAsEngine(
+    const PhysicalPlan& plan, engine::Dataset* dataset, mr::Cluster* cluster,
+    const engine::EngineOptions& options, engine::ExecStats* stats);
+
+}  // namespace rapida::plan
+
+#endif  // RAPIDA_PLAN_EXECUTOR_H_

@@ -1,0 +1,233 @@
+#include "plan/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace rapida::plan {
+
+namespace {
+
+const std::string* FindEntry(const AttrList& list, const std::string& key) {
+  for (const auto& [k, v] : list) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream is(s);
+  while (std::getline(is, cur, ',')) {
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+std::string JoinCsv(const std::vector<std::string>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void PassManager::Run(PhysicalPlan* plan) const {
+  for (const Pass& pass : passes_) {
+    pass.run(plan, pass.enabled);
+    plan->passes.push_back(pass.name + (pass.enabled ? "" : " (off)"));
+  }
+}
+
+PassManager PassManager::Default(const engine::EngineOptions& options) {
+  PassManager pm;
+
+  const uint64_t threshold = options.map_join_threshold_bytes;
+  pm.Add(Pass{
+      "map-join-selection", options.enable_map_joins,
+      [threshold](PhysicalPlan* plan, bool enabled) {
+        for (PlanNode& n : plan->nodes) {
+          if (n.kind == OpKind::kReduceJoin) {
+            n.Attr("join", enabled ? "auto" : "repartition");
+            continue;
+          }
+          if (n.kind != OpKind::kStarJoin) continue;
+          if (!enabled) {
+            n.Attr("join", "repartition");
+            continue;
+          }
+          std::vector<uint64_t> sizes;
+          std::vector<bool> outer;
+          for (int i = 0;; ++i) {
+            const std::string* b =
+                FindEntry(n.info, "in" + std::to_string(i) + "_bytes");
+            if (b == nullptr) break;
+            sizes.push_back(std::stoull(*b));
+            outer.push_back(FindEntry(n.info, "in" + std::to_string(i) +
+                                                  "_outer") != nullptr);
+          }
+          if (sizes.size() < 2) {
+            // Dataset-free plan (or degenerate star): runtime decides.
+            n.Attr("join", "auto");
+            continue;
+          }
+          // Exact replica of RelationalOps::Join: the (first) largest
+          // input streams; all others must fit the broadcast threshold
+          // and the streamed input must not be outer.
+          size_t big = 0;
+          for (size_t i = 1; i < sizes.size(); ++i) {
+            if (sizes[i] > sizes[big]) big = i;
+          }
+          bool map_join = !outer[big];
+          for (size_t i = 0; i < sizes.size(); ++i) {
+            if (i != big && sizes[i] > threshold) map_join = false;
+          }
+          if (map_join) {
+            n.kind = OpKind::kMapJoin;
+            n.map_only = true;
+            n.Attr("join", "map");
+          } else {
+            n.Attr("join", "repartition");
+          }
+        }
+      }});
+
+  pm.Add(Pass{
+      "greedy-join-order", options.greedy_join_order,
+      [](PhysicalPlan* plan, bool enabled) {
+        for (PlanNode& n : plan->nodes) {
+          if (n.kind != OpKind::kReduceJoin &&
+              n.kind != OpKind::kNSplitAlphaJoin) {
+            continue;
+          }
+          if (enabled) {
+            // The statically simulated (textual-order) edge choice no
+            // longer holds: the runtime picks edges by stored sizes.
+            n.attrs.erase(
+                std::remove_if(n.attrs.begin(), n.attrs.end(),
+                               [](const std::pair<std::string, std::string>&
+                                      kv) { return kv.first == "edge"; }),
+                n.attrs.end());
+            n.Attr("order", "greedy");
+            n.Attr("edge", "runtime");
+          } else {
+            n.Attr("order", "textual");
+          }
+        }
+      }});
+
+  pm.Add(Pass{
+      "partial-aggregation", options.partial_aggregation,
+      [](PhysicalPlan* plan, bool enabled) {
+        for (PlanNode& n : plan->nodes) {
+          if (n.kind == OpKind::kGroupAggregate ||
+              n.kind == OpKind::kAggJoin) {
+            n.Attr("map_side_agg", enabled ? "partial" : "off");
+          }
+        }
+      }});
+
+  pm.Add(Pass{
+      "parallel-agg-join", options.parallel_agg_join,
+      [](PhysicalPlan* plan, bool enabled) {
+        // Only shared-scan (RAPIDAnalytics) plans label their sibling
+        // Agg-Joins "agg"; RAPID+ always runs its per-grouping Agg-Joins
+        // sequentially, exactly as before.
+        std::vector<size_t> agg_idx;
+        for (size_t i = 0; i < plan->nodes.size(); ++i) {
+          if (plan->nodes[i].kind == OpKind::kAggJoin &&
+              plan->nodes[i].label == "agg") {
+            agg_idx.push_back(i);
+          }
+        }
+        if (agg_idx.empty() || !enabled) return;
+        bool folded =
+            FindEntry(plan->nodes[agg_idx[0]].attrs, "fold") != nullptr;
+        std::vector<int> input_ids;
+        std::string bind;
+        for (size_t i : agg_idx) {
+          PlanNode& n = plan->nodes[i];
+          n.est_cycles = 0;  // evaluated inside the parallel region
+          input_ids.push_back(n.id);
+          if (!n.bind_tag.empty()) {
+            bind = n.bind_tag;
+            n.bind_tag.clear();
+          }
+        }
+        size_t last = agg_idx.back();
+        PlanNode& region = plan->AddNode(
+            OpKind::kParallelRegion, "agg",
+            "agg: parallel TG Agg-Join (" + std::to_string(agg_idx.size()) +
+                " grouping-aggregations in one cycle)" +
+                (folded ? " with star matching folded into map" : ""),
+            1);
+        region.inputs = input_ids;
+        region.bind_tag = bind;
+        // AddNode appended the region; move it to just after the last
+        // Agg-Join so the stored order stays topological.
+        std::rotate(plan->nodes.begin() + static_cast<long>(last) + 1,
+                    plan->nodes.end() - 1, plan->nodes.end());
+      }});
+
+  pm.Add(Pass{
+      "dead-column-prune", true,
+      [](PhysicalPlan* plan, bool) {
+        // Backward liveness: a column a node materializes is dead if no
+        // later node consumes it. Advisory only — physically dropping the
+        // column would change the byte counters the engines must keep
+        // identical to their pre-IR selves.
+        std::set<std::string> live;
+        for (auto it = plan->nodes.rbegin(); it != plan->nodes.rend(); ++it) {
+          PlanNode& n = *it;
+          const std::string* binds = FindEntry(n.attrs, "binds");
+          if (binds != nullptr) {
+            std::vector<std::string> dead;
+            for (const std::string& c : SplitCsv(*binds)) {
+              if (live.count(c) == 0) dead.push_back(c);
+            }
+            if (!dead.empty()) n.Info("dead_cols", JoinCsv(dead));
+          }
+          const std::string* uses = FindEntry(n.attrs, "uses");
+          if (uses != nullptr) {
+            for (const std::string& c : SplitCsv(*uses)) live.insert(c);
+          }
+        }
+      }});
+
+  pm.Add(Pass{
+      "common-subplan-dedup", true,
+      [](PhysicalPlan* plan, bool) {
+        // Structural hash per node (label excluded): kind + identity
+        // attrs + input subtree hashes. Equal hashes mark work the
+        // composite rewrites share (or could share).
+        std::map<int, std::string> hash_of;
+        std::map<std::string, int> first_with;
+        for (PlanNode& n : plan->nodes) {
+          std::string sig = OpKindName(n.kind);
+          for (const auto& [k, v] : n.attrs) {
+            sig += "|" + k + "=" + v;
+          }
+          for (int in : n.inputs) {
+            auto it = hash_of.find(in);
+            sig += "|<" + (it == hash_of.end() ? std::to_string(in)
+                                               : it->second) + ">";
+          }
+          std::string h = Fnv1aHex(sig);
+          hash_of[n.id] = h;
+          auto [it, inserted] = first_with.emplace(h, n.id);
+          if (!inserted && n.est_cycles > 0) {
+            n.Info("shared_with", "#" + std::to_string(it->second));
+          }
+        }
+      }});
+
+  return pm;
+}
+
+}  // namespace rapida::plan

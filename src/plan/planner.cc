@@ -1,0 +1,203 @@
+#include "plan/planner.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engines/var_translate.h"
+#include "plan/planner_util.h"
+
+namespace rapida::plan {
+
+StatusOr<PhysicalPlan> PlanForEngine(const std::string& engine_name,
+                                     const analytics::AnalyticalQuery& query,
+                                     engine::Dataset* dataset,
+                                     const engine::EngineOptions& options) {
+  if (engine_name == "Hive (Naive)") {
+    return PlanHiveNaive(query, dataset, options);
+  }
+  if (engine_name == "Hive (MQO)") {
+    return PlanHiveMqo(query, dataset, options);
+  }
+  if (engine_name == "RAPID+ (Naive)") {
+    return PlanRapidPlus(query, dataset, options);
+  }
+  if (engine_name == "RAPIDAnalytics") {
+    return PlanRapidAnalytics(query, dataset, options);
+  }
+  return Status::InvalidArgument("unknown engine: " + engine_name);
+}
+
+namespace {
+
+/// Deterministic global renaming: first sight in structural traversal
+/// order assigns v0, v1, ... One namespace covers pattern variables,
+/// grouping output columns and top-level aliases alike — that is exactly
+/// how the engines treat them (grouping outputs are joined by name).
+class VarInterner {
+ public:
+  void Intern(const std::string& name) {
+    if (name.empty()) return;
+    if (map_.count(name) == 0) {
+      map_[name] = "v" + std::to_string(map_.size());
+    }
+  }
+  void InternAll(const std::vector<std::string>& names) {
+    for (const std::string& n : names) Intern(n);
+  }
+  void InternExpr(const sparql::Expr& e) {
+    std::vector<std::string> vars;
+    e.CollectVars(&vars);
+    InternAll(vars);
+  }
+
+  std::string R(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? name : it->second;
+  }
+  std::vector<std::string> RAll(const std::vector<std::string>& names) const {
+    std::vector<std::string> out;
+    out.reserve(names.size());
+    for (const std::string& n : names) out.push_back(R(n));
+    return out;
+  }
+  const std::map<std::string, std::string>& map() const { return map_; }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace
+
+analytics::AnalyticalQuery CanonicalizeQueryVars(
+    const analytics::AnalyticalQuery& query) {
+  VarInterner vars;
+  // Phase 1: fix the renaming, walking the query in structural order.
+  for (const analytics::GroupingSubquery& g : query.groupings) {
+    for (const ntga::StarPattern& star : g.pattern.stars) {
+      vars.Intern(star.subject_var);
+      for (const ntga::StarTriple& t : star.triples) {
+        if (t.object.is_var) vars.Intern(t.object.var);
+      }
+    }
+    for (const ntga::JoinEdge& e : g.pattern.joins) vars.Intern(e.var);
+    for (const sparql::ExprPtr& f : g.filters) vars.InternExpr(*f);
+    vars.InternAll(g.group_by);
+    for (const ntga::AggSpec& a : g.aggs) {
+      if (!a.count_star) vars.Intern(a.var);
+      vars.Intern(a.output_name);
+    }
+    if (g.having != nullptr) vars.InternExpr(*g.having);
+    vars.InternAll(g.columns);
+  }
+  for (const sparql::SelectItem& item : query.top_items) {
+    vars.Intern(item.name);
+    if (item.expr != nullptr) vars.InternExpr(*item.expr);
+  }
+  for (const sparql::OrderKey& k : query.order_by) vars.Intern(k.var);
+
+  // Phase 2: rebuild the query through the renaming.
+  analytics::AnalyticalQuery out;
+  for (const analytics::GroupingSubquery& g : query.groupings) {
+    analytics::GroupingSubquery ng;
+    for (const ntga::StarPattern& star : g.pattern.stars) {
+      ntga::StarPattern ns;
+      ns.subject_var = vars.R(star.subject_var);
+      for (const ntga::StarTriple& t : star.triples) {
+        ntga::StarTriple nt = t;
+        if (nt.object.is_var) nt.object.var = vars.R(nt.object.var);
+        ns.triples.push_back(std::move(nt));
+      }
+      ng.pattern.stars.push_back(std::move(ns));
+    }
+    for (const ntga::JoinEdge& e : g.pattern.joins) {
+      ntga::JoinEdge ne = e;
+      ne.var = vars.R(ne.var);
+      ng.pattern.joins.push_back(std::move(ne));
+    }
+    for (const sparql::ExprPtr& f : g.filters) {
+      ng.filters.push_back(engine::MapExprVars(*f, vars.map()));
+    }
+    ng.group_by = vars.RAll(g.group_by);
+    for (const ntga::AggSpec& a : g.aggs) {
+      ntga::AggSpec na = a;
+      if (!na.count_star) na.var = vars.R(na.var);
+      na.output_name = vars.R(na.output_name);
+      ng.aggs.push_back(std::move(na));
+    }
+    if (g.having != nullptr) {
+      ng.having = engine::MapExprVars(*g.having, vars.map());
+    }
+    ng.columns = vars.RAll(g.columns);
+    out.groupings.push_back(std::move(ng));
+  }
+  for (const sparql::SelectItem& item : query.top_items) {
+    sparql::SelectItem ni;
+    ni.name = vars.R(item.name);
+    if (item.expr != nullptr) {
+      ni.expr = engine::MapExprVars(*item.expr, vars.map());
+    }
+    out.top_items.push_back(std::move(ni));
+  }
+  out.top_distinct = query.top_distinct;
+  for (const sparql::OrderKey& k : query.order_by) {
+    out.order_by.push_back(sparql::OrderKey{vars.R(k.var), k.descending});
+  }
+  out.limit = query.limit;
+  out.offset = query.offset;
+  return out;
+}
+
+StatusOr<PhysicalPlan> CanonicalOptimizedPlan(
+    const analytics::AnalyticalQuery& query) {
+  analytics::AnalyticalQuery canon = CanonicalizeQueryVars(query);
+  return PlanRapidAnalytics(canon, nullptr, engine::EngineOptions());
+}
+
+std::string CanonicalPlanFingerprint(
+    const analytics::AnalyticalQuery& query) {
+  analytics::AnalyticalQuery canon = CanonicalizeQueryVars(query);
+  StatusOr<PhysicalPlan> plan =
+      PlanRapidAnalytics(canon, nullptr, engine::EngineOptions());
+  if (plan.ok()) return plan->FingerprintHash();
+
+  // Planning can fail on shapes outside the NTGA subset; hash a canonical
+  // serialization of the query instead so those still dedup structurally.
+  std::string s = "planner-error\n";
+  for (const analytics::GroupingSubquery& g : canon.groupings) {
+    s += "grouping\n";
+    for (const ntga::StarPattern& star : g.pattern.stars) {
+      s += "star ?" + star.subject_var;
+      for (const ntga::StarTriple& t : star.triples) {
+        s += " " + detail::TripleSig(t);
+      }
+      s += "\n";
+    }
+    for (const ntga::JoinEdge& e : g.pattern.joins) {
+      s += "join " + e.ToString() + "\n";
+    }
+    for (const sparql::ExprPtr& f : g.filters) {
+      s += "filter " + f->ToString() + "\n";
+    }
+    s += "group_by " + detail::Csv(g.group_by) + "\n";
+    for (const ntga::AggSpec& a : g.aggs) {
+      s += "agg " + detail::AggSig(a) + "\n";
+    }
+    if (g.having != nullptr) s += "having " + g.having->ToString() + "\n";
+    s += "columns " + detail::Csv(g.columns) + "\n";
+  }
+  for (const sparql::SelectItem& item : canon.top_items) {
+    s += "item " + item.name +
+         (item.expr != nullptr ? "=" + item.expr->ToString() : "") + "\n";
+  }
+  if (canon.top_distinct) s += "distinct\n";
+  for (const sparql::OrderKey& k : canon.order_by) {
+    s += "order " + k.var + (k.descending ? " desc" : " asc") + "\n";
+  }
+  s += "limit " + std::to_string(canon.limit) + " offset " +
+       std::to_string(canon.offset) + "\n";
+  return Fnv1aHex(s);
+}
+
+}  // namespace rapida::plan

@@ -1,0 +1,614 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engines/hive_mqo.h"
+#include "engines/hive_naive.h"
+#include "engines/relational_ops.h"
+#include "engines/var_translate.h"
+#include "plan/executor.h"
+#include "plan/passes.h"
+#include "plan/planner.h"
+#include "plan/planner_util.h"
+
+namespace rapida::plan {
+
+namespace {
+
+using analytics::AnalyticalQuery;
+using analytics::GroupingSubquery;
+
+/// Result of mirroring CompileHivePattern into plan nodes.
+struct HivePatternMirror {
+  int tail_id = -1;  // node producing the pattern table
+  bool short_circuited = false;
+};
+
+/// Emits the node DAG CompileHivePattern will execute for one star graph:
+/// per-triple VP scans (cost 0 — folded into the consuming join), one
+/// star-join cycle per star with 2+ effective inputs, and stars-1
+/// inter-star join cycles. The mirror replays the compiler exactly,
+/// including single-variable filter pushdown order, synthetic column
+/// naming, the inner-first input sort, and — when `dataset` is given — the
+/// absent-partition rules (skipped optional scans, empty-table short
+/// circuit for a missing required partition, i.e. zero pattern cycles).
+HivePatternMirror EmitHivePattern(
+    PhysicalPlan* plan, engine::Dataset* dataset,
+    const ntga::StarGraph& pattern,
+    const std::vector<const sparql::Expr*>& filters,
+    const std::set<ntga::PropKey>* outer_secondary, const std::string& label) {
+  HivePatternMirror out;
+  const bool aware = dataset != nullptr;
+
+  std::vector<bool> filter_used(filters.size(), false);
+  auto single_var_sigs = [&](const std::string& var) {
+    std::vector<std::string> sigs;
+    for (size_t i = 0; i < filters.size(); ++i) {
+      if (filter_used[i]) continue;
+      std::vector<std::string> vars = detail::ExprVars(*filters[i]);
+      if (vars.size() == 1 && vars[0] == var) {
+        sigs.push_back(filters[i]->ToString());
+        filter_used[i] = true;
+      }
+    }
+    return sigs;
+  };
+
+  struct StarMirror {
+    int tail = -1;
+    bool materialized = false;  // false: single input, folds into next join
+  };
+  std::vector<StarMirror> stars;
+  int synth = 0;
+  for (size_t s = 0; s < pattern.stars.size(); ++s) {
+    const ntga::StarPattern& star = pattern.stars[s];
+    struct ScanRec {
+      int id = 0;
+      uint64_t bytes = 0;
+      bool outer = false;
+    };
+    std::vector<ScanRec> scans;
+    for (const ntga::StarTriple& t : star.triples) {
+      bool outer =
+          outer_secondary != nullptr && outer_secondary->count(t.prop) > 0;
+      std::string object_col;
+      if (!t.prop.is_type()) {
+        object_col = t.ObjectVar();
+        if (object_col.empty()) object_col = "_c" + std::to_string(synth++);
+      }
+      // The compiler consumes single-variable filters per triple *before*
+      // checking partition presence — replay that order exactly so the
+      // residual set matches.
+      std::vector<std::string> pushed;
+      if (!t.prop.is_type() && t.object.is_var) {
+        pushed = single_var_sigs(t.object.var);
+      }
+      bool present = true;
+      uint64_t bytes = 0;
+      if (aware) {
+        const rdf::Dictionary& dict = dataset->graph().dict();
+        std::string file =
+            t.prop.is_type()
+                ? dataset->VpTypeFile(dict.LookupIri(t.prop.type_object))
+                : dataset->VpFile(dict.LookupIri(t.prop.property));
+        present = !file.empty();
+        if (present) bytes = dataset->VpFileBytes(file);
+      }
+      if (!present && outer) continue;  // absent optional: all-NULL column
+      if (!present) {
+        PlanNode& empty = plan->AddNode(
+            OpKind::kMaterialize, label,
+            label + ": empty pattern table (required VP partition absent; "
+                    "no cycles run)",
+            0);
+        empty.Attr("triple", detail::TripleSig(t));
+        empty.Info("reason", "vp-partition-missing");
+        out.tail_id = empty.id;
+        out.short_circuited = true;
+        return out;
+      }
+      PlanNode& scan = plan->AddNode(
+          OpKind::kVpScan, label,
+          label + ": VP scan [" + detail::TripleSig(t) + "]", 0);
+      scan.Attr("prop", t.prop.ToString());
+      scan.Attr("subject", star.subject_var);
+      if (!t.prop.is_type()) {
+        scan.Attr("object", t.object.is_var
+                                ? "?" + t.object.var
+                                : sparql::ToSparqlText(t.object.term));
+      }
+      if (outer) scan.Attr("outer", "1");
+      for (const std::string& sig : pushed) scan.Attr("pushed_filter", sig);
+      std::vector<std::string> binds{star.subject_var};
+      if (!object_col.empty()) binds.push_back(object_col);
+      scan.Attr("binds", detail::Csv(binds));
+      if (aware) {
+        scan.est_bytes = bytes;
+        scan.Info("vp_bytes", std::to_string(bytes));
+      }
+      scans.push_back(ScanRec{scan.id, bytes, outer});
+    }
+    // Inner (primary) inputs first — the runtime join streams input 0.
+    std::stable_sort(scans.begin(), scans.end(),
+                     [](const ScanRec& a, const ScanRec& b) {
+                       return !a.outer && b.outer;
+                     });
+
+    StarMirror sm;
+    if (scans.size() == 1) {
+      sm.tail = scans[0].id;  // scan folds into the consuming join cycle
+    } else {
+      PlanNode& join = plan->AddNode(
+          OpKind::kStarJoin, label,
+          label + ": star-join (" + std::to_string(scans.size()) +
+              " VP tables, same subject key)",
+          1);
+      for (const ScanRec& r : scans) join.inputs.push_back(r.id);
+      join.Attr("subject", star.subject_var);
+      if (aware) {
+        uint64_t total = 0;
+        for (size_t i = 0; i < scans.size(); ++i) {
+          join.Info("in" + std::to_string(i) + "_bytes",
+                    std::to_string(scans[i].bytes));
+          if (scans[i].outer) {
+            join.Info("in" + std::to_string(i) + "_outer", "1");
+          }
+          total += scans[i].bytes;
+        }
+        join.est_bytes = total;
+      }
+      sm.tail = join.id;
+      sm.materialized = true;
+    }
+    stars.push_back(sm);
+  }
+
+  if (pattern.stars.size() == 1) {
+    if (!stars[0].materialized) {
+      // The single-input star was never materialized; the compiler runs
+      // one projection cycle so downstream stages have a table.
+      PlanNode* scan = plan->FindById(stars[0].tail);
+      scan->est_cycles = 1;
+      scan->describe = label + ": VP scan (single triple pattern)";
+    }
+    out.tail_id = stars[0].tail;
+    return out;
+  }
+
+  // Inter-star join chain: anchor star 0, textual edge order (the greedy
+  // pass marks these order=greedy and defers the edge choice to runtime).
+  std::vector<std::string> residual;
+  for (size_t i = 0; i < filters.size(); ++i) {
+    if (!filter_used[i]) residual.push_back(filters[i]->ToString());
+  }
+  std::vector<size_t> picks =
+      detail::SimulateHiveChain(pattern.stars.size(), pattern.joins);
+  std::vector<bool> joined(pattern.stars.size(), false);
+  joined[0] = true;
+  int acc = stars[0].tail;
+  size_t total = pattern.stars.size() - 1;
+  for (size_t c = 0; c < total; ++c) {
+    PlanNode& jn = plan->AddNode(OpKind::kReduceJoin, label,
+                                 label + ": inter-star join", 1);
+    if (c < picks.size()) {
+      const ntga::JoinEdge& edge = pattern.joins[picks[c]];
+      int ns = joined[edge.star_a] ? edge.star_b : edge.star_a;
+      joined[ns] = true;
+      jn.Attr("edge", "?" + edge.var);
+      jn.inputs = {acc, stars[ns].tail};
+    } else {
+      // Not connected by join variables; the runtime reports the error.
+      jn.Attr("edge", "disconnected");
+      jn.inputs = {acc};
+    }
+    if (c + 1 == total) {
+      for (const std::string& sig : residual) jn.Attr("residual_filter", sig);
+    }
+    acc = jn.id;
+  }
+  out.tail_id = acc;
+  return out;
+}
+
+/// Emits one relational GROUP BY cycle node.
+int EmitGroupAggregate(PhysicalPlan* plan, const std::string& label,
+                       const std::string& describe,
+                       const std::vector<std::string>& keys,
+                       const std::vector<ntga::AggSpec>& aggs,
+                       const sparql::Expr* having,
+                       const std::vector<std::string>& output_columns,
+                       int input_id) {
+  PlanNode& n = plan->AddNode(OpKind::kGroupAggregate, label, describe, 1);
+  if (input_id >= 0) n.inputs = {input_id};
+  n.Attr("group_by", detail::Csv(keys));
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    n.Attr("agg" + std::to_string(i), detail::AggSig(aggs[i]));
+  }
+  if (having != nullptr) n.Attr("having", having->ToString());
+  std::vector<std::string> uses = keys;
+  for (const ntga::AggSpec& a : aggs) {
+    if (!a.count_star) uses.push_back(a.var);
+  }
+  n.Attr("uses", detail::Csv(uses));
+  n.Attr("binds", detail::Csv(output_columns));
+  n.bind_tag = label;
+  return n.id;
+}
+
+/// Emits the query-level terminal: a map-only final join for multi-
+/// grouping queries, a cost-0 driver-side projection otherwise. Carries
+/// the SELECT list and solution modifiers (fingerprint completeness).
+int EmitFinal(PhysicalPlan* plan, const AnalyticalQuery& query,
+              const std::string& describe_join,
+              const std::string& describe_driver,
+              const std::vector<int>& grouping_ids, const std::string& tag) {
+  PlanNode* fin = nullptr;
+  if (query.groupings.size() > 1) {
+    fin = &plan->AddNode(OpKind::kFinalJoin, "final", describe_join, 1);
+    fin->map_only = true;
+  } else {
+    fin = &plan->AddNode(OpKind::kMaterialize, "final", describe_driver, 0);
+  }
+  fin->inputs = grouping_ids;
+  detail::AddModifierAttrs(fin, query);
+  fin->Attr("uses", detail::Csv(detail::ModifierUses(query)));
+  fin->bind_tag = tag;
+  return fin->id;
+}
+
+/// Materializes the final BindingTable exactly as the pre-IR engines did:
+/// driver-side projection for a single grouping, FinalJoinProject +
+/// ReadTable otherwise; then solution modifiers, into result slot 0.
+Status FinishRelational(ExecContext* ctx, const AnalyticalQuery& query,
+                        const std::vector<engine::TableRef>& tables) {
+  StatusOr<analytics::BindingTable> result = Status::Internal("unset");
+  if (query.groupings.size() == 1) {
+    auto table = ctx->rel->ReadTable(tables[0]);
+    if (!table.ok()) return table.status();
+    rdf::Dictionary* dict = &ctx->dataset->dict();
+    engine::ProjectedResult projected =
+        engine::JoinAndProject({std::move(*table)}, query.top_items, dict);
+    analytics::BindingTable out(projected.columns);
+    for (const mr::Record& r : projected.rows) {
+      std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+      row.resize(projected.columns.size(), rdf::kInvalidTermId);
+      out.AddRow(std::move(row));
+    }
+    result = std::move(out);
+  } else {
+    auto final_table =
+        ctx->rel->FinalJoinProject("final", tables, query.top_items);
+    if (!final_table.ok()) return final_table.status();
+    auto table = ctx->rel->ReadTable(*final_table);
+    if (!table.ok()) return table.status();
+    result = std::move(*table);
+  }
+  analytics::ApplySolutionModifiers(query, ctx->dataset->dict(), &*result);
+  (*ctx->results)[0] = std::move(result);
+  return Status::OK();
+}
+
+void BindHiveNaive(PhysicalPlan* plan, const AnalyticalQuery& query) {
+  auto tables = std::make_shared<std::vector<engine::TableRef>>();
+  const AnalyticalQuery* q = &query;
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    PlanNode* n = plan->FindByTag("g" + std::to_string(g));
+    n->exec = [q, g, tables](ExecContext* ctx) -> Status {
+      const GroupingSubquery& grouping = q->groupings[g];
+      std::vector<const sparql::Expr*> filters;
+      for (const auto& f : grouping.filters) filters.push_back(f.get());
+      std::string label = "g" + std::to_string(g);
+      auto pattern_table = engine::CompileHivePattern(
+          ctx->rel, ctx->dataset, grouping.pattern, filters, nullptr, label);
+      if (!pattern_table.ok()) return pattern_table.status();
+      std::vector<engine::RelationalOps::AggColumn> aggs;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        aggs.push_back(engine::RelationalOps::AggColumn{
+            a.func, a.var, a.count_star, a.output_name, a.separator});
+      }
+      std::vector<std::string> grouped_columns = grouping.group_by;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        grouped_columns.push_back(a.output_name);
+      }
+      engine::RowPredicate having;
+      if (grouping.having != nullptr) {
+        having =
+            engine::CompilePredicate({grouping.having.get()}, grouped_columns,
+                                     &ctx->dataset->graph().dict());
+      }
+      auto grouped = ctx->rel->GroupBy(label + ":groupby", *pattern_table,
+                                       grouping.group_by, aggs, having);
+      if (!grouped.ok()) return grouped.status();
+      tables->push_back(std::move(*grouped));
+      return Status::OK();
+    };
+  }
+  plan->FindByTag("final")->exec = [q, tables](ExecContext* ctx) -> Status {
+    return FinishRelational(ctx, *q, *tables);
+  };
+}
+
+/// Everything the MQO rewrite derives from the composite before any job
+/// runs, shared between the plan structure and the exec closures (the
+/// closures must compile the exact graph/filters the nodes describe).
+struct MqoState {
+  ntga::CompositePattern comp;
+  ntga::StarGraph composite_graph;
+  std::set<ntga::PropKey> outer_props;
+  std::vector<std::set<std::string>> pattern_sec_vars;
+  std::vector<sparql::ExprPtr> composite_filters;
+  std::vector<const sparql::Expr*> composite_filter_ptrs;
+  std::vector<std::vector<sparql::ExprPtr>> extraction_filters;
+  // Exec-time intermediates.
+  engine::TableRef q_opt;
+  std::vector<engine::TableRef> grouping_tables;
+};
+
+std::shared_ptr<MqoState> BuildMqoAnalysis(const AnalyticalQuery& query,
+                                           ntga::CompositePattern comp) {
+  auto st = std::make_shared<MqoState>();
+  st->comp = std::move(comp);
+  std::vector<std::vector<sparql::ExprPtr>> sec_const_filters(2);
+  st->composite_graph =
+      engine::CompositeToStarGraph(st->comp, &sec_const_filters);
+  for (const ntga::CompositeStar& cs : st->comp.stars) {
+    st->outer_props.insert(cs.secondary.begin(), cs.secondary.end());
+  }
+  st->pattern_sec_vars = {
+      engine::SecondaryVars(st->comp, st->composite_graph, 0),
+      engine::SecondaryVars(st->comp, st->composite_graph, 1)};
+
+  // Filter classification, replayed from the engine: a filter runs on the
+  // composite only when BOTH patterns carry the identical translated
+  // filter and it touches no secondary variable; everything else waits for
+  // its pattern's extraction (plus the constant-object marker equalities).
+  std::vector<std::vector<sparql::ExprPtr>> translated_filters(2);
+  std::vector<std::set<std::string>> filter_sigs(2);
+  for (size_t p = 0; p < 2; ++p) {
+    for (const auto& f : query.groupings[p].filters) {
+      sparql::ExprPtr translated = engine::MapExprVars(*f, st->comp.var_map[p]);
+      filter_sigs[p].insert(translated->ToString());
+      translated_filters[p].push_back(std::move(translated));
+    }
+  }
+  st->extraction_filters.resize(2);
+  std::set<std::string> seen_composite;
+  for (size_t p = 0; p < 2; ++p) {
+    for (sparql::ExprPtr& translated : translated_filters[p]) {
+      std::vector<std::string> vars = detail::ExprVars(*translated);
+      bool touches_secondary = false;
+      for (const std::string& v : vars) {
+        if (st->pattern_sec_vars[p].count(v) > 0) touches_secondary = true;
+      }
+      std::string sig = translated->ToString();
+      if (!touches_secondary && filter_sigs[1 - p].count(sig) > 0) {
+        if (seen_composite.insert(sig).second) {
+          st->composite_filters.push_back(std::move(translated));
+        }
+        continue;
+      }
+      st->extraction_filters[p].push_back(std::move(translated));
+    }
+    for (sparql::ExprPtr& eq : sec_const_filters[p]) {
+      st->extraction_filters[p].push_back(std::move(eq));
+    }
+  }
+  for (const auto& f : st->composite_filters) {
+    st->composite_filter_ptrs.push_back(f.get());
+  }
+  return st;
+}
+
+void BindHiveMqo(PhysicalPlan* plan, const AnalyticalQuery& query,
+                 std::shared_ptr<MqoState> st) {
+  const AnalyticalQuery* q = &query;
+  plan->FindByTag("qopt")->exec = [st](ExecContext* ctx) -> Status {
+    auto q_opt = engine::CompileHivePattern(
+        ctx->rel, ctx->dataset, st->composite_graph, st->composite_filter_ptrs,
+        &st->outer_props, "qopt");
+    if (!q_opt.ok()) return q_opt.status();
+    st->q_opt = std::move(*q_opt);
+    return Status::OK();
+  };
+  for (size_t p = 0; p < 2; ++p) {
+    PlanNode* n = plan->FindByTag("p" + std::to_string(p));
+    n->exec = [q, p, st](ExecContext* ctx) -> Status {
+      const GroupingSubquery& grouping = q->groupings[p];
+      const rdf::Dictionary& dict = ctx->dataset->graph().dict();
+      std::vector<std::string> pattern_vars;
+      for (const auto& [orig, composite_var] : st->comp.var_map[p]) {
+        if (std::find(pattern_vars.begin(), pattern_vars.end(),
+                      composite_var) == pattern_vars.end()) {
+          pattern_vars.push_back(composite_var);
+        }
+      }
+      std::vector<std::string> sec_vars(st->pattern_sec_vars[p].begin(),
+                                        st->pattern_sec_vars[p].end());
+      std::vector<const sparql::Expr*> extr_filters;
+      for (const auto& f : st->extraction_filters[p]) {
+        extr_filters.push_back(f.get());
+      }
+      engine::RowPredicate filter_pred =
+          engine::CompilePredicate(extr_filters, st->q_opt.columns, &dict);
+      std::vector<int> sec_idx;
+      for (const std::string& v : sec_vars) {
+        int i = st->q_opt.ColumnIndex(v);
+        if (i >= 0) sec_idx.push_back(i);
+      }
+      engine::RowPredicate keep =
+          [sec_idx, filter_pred](const std::vector<rdf::TermId>& row) {
+            for (int i : sec_idx) {
+              if (row[i] == rdf::kInvalidTermId) return false;
+            }
+            return filter_pred == nullptr || filter_pred(row);
+          };
+      std::string label = "p" + std::to_string(p);
+      auto extracted = ctx->rel->DistinctProject(label + ":extract",
+                                                 st->q_opt, pattern_vars, keep);
+      if (!extracted.ok()) return extracted.status();
+
+      std::vector<std::string> translated_keys =
+          engine::MapVars(grouping.group_by, st->comp.var_map[p]);
+      std::vector<engine::RelationalOps::AggColumn> aggs;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        aggs.push_back(engine::RelationalOps::AggColumn{
+            a.func, engine::MapVar(a.var, st->comp.var_map[p]), a.count_star,
+            a.output_name, a.separator});
+      }
+      std::vector<std::string> grouped_columns = translated_keys;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        grouped_columns.push_back(a.output_name);
+      }
+      engine::RowPredicate having;
+      sparql::ExprPtr translated_having;
+      if (grouping.having != nullptr) {
+        translated_having =
+            engine::MapExprVars(*grouping.having, st->comp.var_map[p]);
+        having = engine::CompilePredicate({translated_having.get()},
+                                          grouped_columns, &dict);
+      }
+      auto grouped = ctx->rel->GroupBy(label + ":groupby", *extracted,
+                                       translated_keys, aggs, having);
+      if (!grouped.ok()) return grouped.status();
+      engine::TableRef renamed = *grouped;
+      for (size_t k = 0; k < grouping.group_by.size(); ++k) {
+        renamed.columns[k] = grouping.group_by[k];
+      }
+      st->grouping_tables.push_back(std::move(renamed));
+      return Status::OK();
+    };
+  }
+  plan->FindByTag("final")->exec = [q, st](ExecContext* ctx) -> Status {
+    return FinishRelational(ctx, *q, st->grouping_tables);
+  };
+}
+
+}  // namespace
+
+StatusOr<PhysicalPlan> PlanHiveNaive(const AnalyticalQuery& query,
+                                     engine::Dataset* dataset,
+                                     const engine::EngineOptions& options) {
+  // Ensure the VP layout before inspecting it (same jobs, still before the
+  // engine wrapper resets history — identical accounting to the old code).
+  if (dataset != nullptr) RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+
+  PhysicalPlan plan;
+  plan.engine = "Hive (Naive)";
+  plan.tmp_tag = "tmp:hive";
+  plan.needs_vp = true;
+
+  std::vector<int> grouping_ids;
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    const GroupingSubquery& grouping = query.groupings[g];
+    std::vector<const sparql::Expr*> filters;
+    for (const auto& f : grouping.filters) filters.push_back(f.get());
+    std::string label = "g" + std::to_string(g);
+    HivePatternMirror pm = EmitHivePattern(&plan, dataset, grouping.pattern,
+                                           filters, nullptr, label);
+    std::vector<std::string> output_columns = grouping.group_by;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      output_columns.push_back(a.output_name);
+    }
+    grouping_ids.push_back(EmitGroupAggregate(
+        &plan, label,
+        label + ": GROUP BY" + (grouping.group_by.empty() ? " ALL" : ""),
+        grouping.group_by, grouping.aggs, grouping.having.get(),
+        output_columns, pm.tail_id));
+  }
+  EmitFinal(&plan, query, "final: map-only join of grouping results",
+            "final: driver-side projection of the grouping result",
+            grouping_ids, "final");
+
+  PassManager::Default(options).Run(&plan);
+  if (dataset != nullptr) BindHiveNaive(&plan, query);
+  return plan;
+}
+
+StatusOr<PhysicalPlan> PlanHiveMqo(const AnalyticalQuery& query,
+                                   engine::Dataset* dataset,
+                                   const engine::EngineOptions& options) {
+  RAPIDA_ASSIGN_OR_RETURN(engine::CompositeApplicability check,
+                          engine::CheckCompositeRewrite(query, false));
+  if (!check.applies) {
+    RAPIDA_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                            PlanHiveNaive(query, dataset, options));
+    plan.engine = "Hive (MQO)";
+    plan.fallback_reason = check.why;
+    return plan;
+  }
+  if (dataset != nullptr) RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
+
+  auto st = BuildMqoAnalysis(query, std::move(check.comp));
+
+  PhysicalPlan plan;
+  plan.engine = "Hive (MQO)";
+  plan.tmp_tag = "tmp:mqo";
+  plan.needs_vp = true;
+  plan.notes.push_back(
+      "composite Q_OPT materialized, then per-pattern extraction (early "
+      "projection / partial aggregation cannot cross the boundary)");
+
+  HivePatternMirror pm =
+      EmitHivePattern(&plan, dataset, st->composite_graph,
+                      st->composite_filter_ptrs, &st->outer_props, "qopt");
+  plan.FindById(pm.tail_id)->bind_tag = "qopt";
+
+  std::vector<int> grouping_ids;
+  for (size_t p = 0; p < 2; ++p) {
+    const GroupingSubquery& grouping = query.groupings[p];
+    std::string label = "p" + std::to_string(p);
+    std::vector<std::string> pattern_vars;
+    for (const auto& [orig, composite_var] : st->comp.var_map[p]) {
+      if (std::find(pattern_vars.begin(), pattern_vars.end(),
+                    composite_var) == pattern_vars.end()) {
+        pattern_vars.push_back(composite_var);
+      }
+    }
+    PlanNode& ex = plan.AddNode(
+        OpKind::kDistinctExtract, label,
+        label + ": DISTINCT extraction from materialized Q_OPT", 1);
+    ex.inputs = {pm.tail_id};
+    ex.Attr("project", detail::Csv(pattern_vars));
+    for (const std::string& v : st->pattern_sec_vars[p]) {
+      ex.Attr("require_bound", v);
+    }
+    for (const auto& f : st->extraction_filters[p]) {
+      ex.Attr("filter", f->ToString());
+    }
+    ex.Attr("uses", detail::Csv(pattern_vars));
+    ex.Attr("binds", detail::Csv(pattern_vars));
+
+    std::vector<std::string> translated_keys =
+        engine::MapVars(grouping.group_by, st->comp.var_map[p]);
+    std::vector<ntga::AggSpec> translated_aggs;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      ntga::AggSpec ta = a;
+      ta.var = engine::MapVar(a.var, st->comp.var_map[p]);
+      translated_aggs.push_back(std::move(ta));
+    }
+    sparql::ExprPtr translated_having;
+    if (grouping.having != nullptr) {
+      translated_having =
+          engine::MapExprVars(*grouping.having, st->comp.var_map[p]);
+    }
+    std::vector<std::string> output_columns = grouping.group_by;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      output_columns.push_back(a.output_name);
+    }
+    grouping_ids.push_back(EmitGroupAggregate(
+        &plan, label, label + ": GROUP BY", translated_keys, translated_aggs,
+        translated_having.get(), output_columns, ex.id));
+  }
+  EmitFinal(&plan, query, "final: map-only join of grouping results",
+            "final: driver-side projection of the grouping result",
+            grouping_ids, "final");
+
+  PassManager::Default(options).Run(&plan);
+  if (dataset != nullptr) BindHiveMqo(&plan, query, st);
+  return plan;
+}
+
+}  // namespace rapida::plan

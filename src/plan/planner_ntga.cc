@@ -1,0 +1,597 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engines/ntga_exec.h"
+#include "engines/rapid_plus.h"
+#include "engines/relational_ops.h"
+#include "engines/shared_scan.h"
+#include "engines/var_translate.h"
+#include "ntga/overlap.h"
+#include "plan/executor.h"
+#include "plan/passes.h"
+#include "plan/planner.h"
+#include "plan/planner_util.h"
+#include "util/logging.h"
+
+namespace rapida::plan {
+
+namespace {
+
+using analytics::AnalyticalQuery;
+using analytics::GroupingSubquery;
+
+struct NtgaEmit {
+  int load_id = -1;
+  int tail_id = -1;
+};
+
+/// Emits the NTGA pattern-matching chain for a composite: one cost-0
+/// triplegroup load plus (k-1) α-join cycles (a one-star pattern folds
+/// matching into the Agg-Join map — zero chain cycles, as in
+/// NtgaExec::ComputePatternMatches).
+NtgaEmit EmitNtgaPattern(PhysicalPlan* plan, const ntga::CompositePattern& comp,
+                         const std::string& label, bool ra_style) {
+  size_t k = comp.stars.size();
+  PlanNode& load = plan->AddNode(
+      OpKind::kTripleGroupLoad, label,
+      label + ": triplegroup scan (" + std::to_string(k) +
+          (ra_style ? " composite star" : " star") + (k == 1 ? "" : "s") + ")",
+      0);
+  for (size_t s = 0; s < k; ++s) {
+    const ntga::CompositeStar& cs = comp.stars[s];
+    std::string sig = cs.subject_var + "|";
+    for (size_t t = 0; t < cs.triples.size(); ++t) {
+      if (t > 0) sig += "&";
+      if (cs.secondary.count(cs.triples[t].prop) > 0) sig += "opt:";
+      sig += detail::TripleSig(cs.triples[t]);
+    }
+    load.Attr("star" + std::to_string(s), sig);
+  }
+  std::vector<std::string> binds;
+  for (const ntga::CompositeStar& cs : comp.stars) {
+    binds.push_back(cs.subject_var);
+    for (const ntga::StarTriple& t : cs.triples) {
+      std::string v = t.ObjectVar();
+      if (!v.empty() &&
+          std::find(binds.begin(), binds.end(), v) == binds.end()) {
+        binds.push_back(v);
+      }
+    }
+  }
+  load.Attr("binds", detail::Csv(binds));
+
+  // `load` is a reference into plan->nodes: the AddNode calls below may
+  // reallocate, so keep only its id from here on.
+  const int load_id = load.id;
+  int tail = load_id;
+  std::vector<size_t> picks = detail::SimulateNtgaChain(k, comp.joins);
+  for (size_t c = 0; c + 1 < k; ++c) {
+    bool last = c + 2 == k;
+    PlanNode& jn = plan->AddNode(
+        OpKind::kNSplitAlphaJoin, label,
+        ra_style ? label + ": TG_OptGrpFilter + TG_AlphaJoin" +
+                       (last ? " (α filtering)" : "")
+                 : label + ": TG star-filter + join",
+        1);
+    jn.inputs = {tail};
+    if (c < picks.size()) {
+      jn.Attr("edge", "?" + comp.joins[picks[c]].var);
+    } else {
+      jn.Attr("edge", "disconnected");
+    }
+    tail = jn.id;
+  }
+  NtgaEmit out;
+  out.load_id = load_id;
+  out.tail_id = tail;
+  return out;
+}
+
+void AddAggAttrs(PlanNode* agg, const std::vector<std::string>& group_vars,
+                 const std::vector<ntga::AggSpec>& aggs,
+                 const sparql::Expr* having,
+                 const std::vector<std::string>& output_columns) {
+  agg->Attr("group_by", detail::Csv(group_vars));
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    agg->Attr("agg" + std::to_string(i), detail::AggSig(aggs[i]));
+  }
+  if (having != nullptr) agg->Attr("having", having->ToString());
+  std::vector<std::string> uses = group_vars;
+  for (const ntga::AggSpec& a : aggs) {
+    if (!a.count_star) uses.push_back(a.var);
+  }
+  agg->Attr("uses", detail::Csv(uses));
+  agg->Attr("binds", detail::Csv(output_columns));
+}
+
+int EmitNtgaFinal(PhysicalPlan* plan, const AnalyticalQuery& query,
+                  const std::string& suffix, const std::vector<int>& inputs,
+                  const std::string& tag) {
+  PlanNode* fin = nullptr;
+  if (query.groupings.size() > 1) {
+    fin = &plan->AddNode(OpKind::kFinalJoin, "final",
+                         "final: map-only join of aggregated triplegroups" +
+                             suffix,
+                         1);
+    fin->map_only = true;
+  } else {
+    fin = &plan->AddNode(
+        OpKind::kMaterialize, "final",
+        "final: driver-side projection of the aggregated triplegroup" +
+            suffix,
+        0);
+  }
+  fin->inputs = inputs;
+  detail::AddModifierAttrs(fin, query);
+  fin->Attr("uses", detail::Csv(detail::ModifierUses(query)));
+  fin->bind_tag = tag;
+  return fin->id;
+}
+
+struct RplusState {
+  std::vector<analytics::BindingTable> agg_tables;
+  std::vector<std::string> agg_files;
+  std::vector<sparql::ExprPtr> owned_filters;
+};
+
+void BindRapidPlus(PhysicalPlan* plan, const AnalyticalQuery& query) {
+  auto st = std::make_shared<RplusState>();
+  const AnalyticalQuery* q = &query;
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    PlanNode* n = plan->FindByTag("g" + std::to_string(g));
+    n->exec = [q, g, st](ExecContext* ctx) -> Status {
+      const GroupingSubquery& grouping = q->groupings[g];
+      const rdf::Dictionary& dict = ctx->dataset->graph().dict();
+      std::string label = "g" + std::to_string(g);
+
+      ntga::CompositePattern comp =
+          ntga::SinglePatternComposite(grouping.pattern);
+      ntga::ResolvedPattern resolved = ntga::ResolvePattern(comp, dict);
+
+      std::vector<std::string> pattern_vars;
+      for (const auto& [orig, composite_var] : comp.var_map[0]) {
+        pattern_vars.push_back(composite_var);
+      }
+      engine::PushedFilters pushed;
+      engine::RowPredicate mapping_pred;
+      engine::SplitNtgaFilters(grouping, comp.var_map[0], pattern_vars, &dict,
+                               &st->owned_filters, &pushed, &mapping_pred);
+
+      auto matches = ctx->ntga->ComputePatternMatches(resolved, {}, pushed,
+                                                      label);
+      if (!matches.ok()) return matches.status();
+
+      engine::NtgaGrouping work;
+      work.spec.group_vars = grouping.group_by;  // identity namespace
+      work.spec.aggs = grouping.aggs;
+      work.pattern_vars = pattern_vars;
+      work.output_columns = grouping.group_by;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        work.output_columns.push_back(a.output_name);
+      }
+      work.mapping_predicate = mapping_pred;
+      work.having = grouping.having.get();
+
+      std::vector<std::string> files;
+      auto tables = ctx->ntga->RunAggJoins(resolved, *matches, pushed, {work},
+                                           /*parallel=*/false, label, &files);
+      if (!tables.ok()) return tables.status();
+      st->agg_tables.push_back(std::move((*tables)[0]));
+      st->agg_files.push_back(files[0]);
+      return Status::OK();
+    };
+  }
+  plan->FindByTag("final")->exec = [q, st](ExecContext* ctx) -> Status {
+    StatusOr<analytics::BindingTable> result = Status::Internal("unset");
+    if (q->groupings.size() == 1) {
+      rdf::Dictionary* mdict = &ctx->dataset->dict();
+      engine::ProjectedResult projected = engine::JoinAndProject(
+          std::move(st->agg_tables), q->top_items, mdict);
+      analytics::BindingTable table(projected.columns);
+      for (const mr::Record& r : projected.rows) {
+        std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+        row.resize(projected.columns.size(), rdf::kInvalidTermId);
+        table.AddRow(std::move(row));
+      }
+      result = std::move(table);
+    } else {
+      result = ctx->ntga->FinalJoinProject(std::move(st->agg_tables),
+                                           q->top_items, st->agg_files,
+                                           "final");
+    }
+    if (!result.ok()) return result.status();
+    analytics::ApplySolutionModifiers(*q, ctx->dataset->dict(), &*result);
+    (*ctx->results)[0] = std::move(result);
+    return Status::OK();
+  };
+}
+
+struct RaState {
+  ntga::CompositePattern comp;  // copied: must outlive the SharedScanPlan
+  std::vector<const AnalyticalQuery*> queries;
+  std::vector<const GroupingSubquery*> flat;
+  std::vector<size_t> offsets;
+  // Exec-time intermediates, produced along the chain.
+  ntga::ResolvedPattern resolved;
+  std::vector<ntga::AlphaCondition> alphas;
+  engine::PushedFilters pushed;
+  std::vector<sparql::ExprPtr> owned_filters;
+  std::vector<engine::NtgaGrouping> work;
+  engine::PatternMatches matches;
+  std::vector<analytics::BindingTable> tables;
+  std::vector<std::string> agg_files;
+};
+
+void BindCompositeBatch(PhysicalPlan* plan, std::shared_ptr<RaState> st) {
+  plan->FindByTag("gp")->exec = [st](ExecContext* ctx) -> Status {
+    const rdf::Dictionary& dict = ctx->dataset->graph().dict();
+    st->resolved = ntga::ResolvePattern(st->comp, dict);
+
+    st->alphas.clear();
+    for (size_t p = 0; p < st->resolved.pattern_secondary.size(); ++p) {
+      ntga::AlphaCondition cond;
+      for (const auto& [star, keys] : st->resolved.pattern_secondary[p]) {
+        for (const ntga::DataPropKey& k : keys) {
+          cond.push_back(ntga::AlphaConstraint{star, k, true});
+        }
+      }
+      st->alphas.push_back(std::move(cond));
+    }
+
+    struct TranslatedFilter {
+      std::string var;
+      std::string sig;
+      const sparql::Expr* raw = nullptr;
+    };
+    std::vector<std::vector<TranslatedFilter>> grouping_filters(
+        st->flat.size());
+    std::vector<std::set<std::string>> grouping_sigs(st->flat.size());
+    for (size_t g = 0; g < st->flat.size(); ++g) {
+      for (const auto& f : st->flat[g]->filters) {
+        sparql::ExprPtr translated =
+            engine::MapExprVars(*f, st->comp.var_map[g]);
+        std::vector<std::string> vars;
+        translated->CollectVars(&vars);
+        TranslatedFilter tf;
+        tf.raw = translated.get();
+        if (vars.size() == 1) {
+          tf.var = vars[0];
+          tf.sig = tf.var + "|" + translated->ToString();
+          grouping_sigs[g].insert(tf.sig);
+        }
+        st->owned_filters.push_back(std::move(translated));
+        grouping_filters[g].push_back(std::move(tf));
+      }
+    }
+
+    st->work.resize(st->flat.size());
+    std::set<std::string> pushed_signatures;
+    for (size_t g = 0; g < st->flat.size(); ++g) {
+      const GroupingSubquery& grouping = *st->flat[g];
+      const auto& var_map = st->comp.var_map[g];
+
+      std::vector<std::string> pattern_vars;
+      for (const auto& [orig, composite_var] : var_map) {
+        if (std::find(pattern_vars.begin(), pattern_vars.end(),
+                      composite_var) == pattern_vars.end()) {
+          pattern_vars.push_back(composite_var);
+        }
+      }
+
+      std::vector<const sparql::Expr*> residual;
+      for (const TranslatedFilter& tf : grouping_filters[g]) {
+        bool shared_by_all = !tf.var.empty();
+        for (size_t o = 0; shared_by_all && o < grouping_sigs.size(); ++o) {
+          if (grouping_sigs[o].count(tf.sig) == 0) shared_by_all = false;
+        }
+        if (shared_by_all) {
+          if (pushed_signatures.insert(tf.sig).second) {
+            st->pushed[tf.var].push_back(tf.raw);
+          }
+        } else {
+          residual.push_back(tf.raw);
+        }
+      }
+      engine::RowPredicate mapping_pred =
+          residual.empty()
+              ? nullptr
+              : engine::CompilePredicate(residual, pattern_vars, &dict);
+
+      engine::NtgaGrouping& w = st->work[g];
+      w.spec.group_vars = engine::MapVars(grouping.group_by, var_map);
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        ntga::AggSpec translated = a;
+        translated.var = engine::MapVar(a.var, var_map);
+        w.spec.aggs.push_back(std::move(translated));
+      }
+      w.spec.alpha =
+          st->alphas.size() > g ? st->alphas[g] : ntga::AlphaCondition{};
+      w.pattern_vars = pattern_vars;
+      w.output_columns = grouping.group_by;  // original names
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        w.output_columns.push_back(a.output_name);
+      }
+      w.mapping_predicate = mapping_pred;
+      w.having = grouping.having.get();
+    }
+
+    auto matches = ctx->ntga->ComputePatternMatches(st->resolved, st->alphas,
+                                                    st->pushed, "gp");
+    if (!matches.ok()) return matches.status();
+    st->matches = std::move(*matches);
+    return Status::OK();
+  };
+
+  plan->FindByTag("agg")->exec = [st](ExecContext* ctx) -> Status {
+    auto tables = ctx->ntga->RunAggJoins(st->resolved, st->matches, st->pushed,
+                                         st->work,
+                                         ctx->options.parallel_agg_join, "agg",
+                                         &st->agg_files);
+    if (!tables.ok()) return tables.status();
+    st->tables = std::move(*tables);
+    return Status::OK();
+  };
+
+  for (size_t q = 0; q < st->queries.size(); ++q) {
+    PlanNode* n = plan->FindByTag("final" + std::to_string(q));
+    n->exec = [st, q](ExecContext* ctx) -> Status {
+      const AnalyticalQuery& query = *st->queries[q];
+      size_t offset = st->offsets[q];
+      size_t n_groupings = query.groupings.size();
+      std::vector<analytics::BindingTable> q_tables;
+      q_tables.reserve(n_groupings);
+      for (size_t i = 0; i < n_groupings; ++i) {
+        q_tables.push_back(std::move(st->tables[offset + i]));
+      }
+      std::vector<std::string> q_files(
+          st->agg_files.begin() + static_cast<long>(offset),
+          st->agg_files.begin() +
+              static_cast<long>(
+                  std::min(offset + n_groupings, st->agg_files.size())));
+
+      StatusOr<analytics::BindingTable> result = Status::Internal("unset");
+      if (n_groupings == 1) {
+        rdf::Dictionary* mdict = &ctx->dataset->dict();
+        engine::ProjectedResult projected = engine::JoinAndProject(
+            std::move(q_tables), query.top_items, mdict);
+        analytics::BindingTable table(projected.columns);
+        for (const mr::Record& r : projected.rows) {
+          std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+          row.resize(projected.columns.size(), rdf::kInvalidTermId);
+          table.AddRow(std::move(row));
+        }
+        result = std::move(table);
+      } else {
+        result = ctx->ntga->FinalJoinProject(
+            std::move(q_tables), query.top_items, q_files,
+            st->queries.size() == 1 ? "final" : "final" + std::to_string(q));
+      }
+      if (result.ok()) {
+        analytics::ApplySolutionModifiers(query, ctx->dataset->dict(),
+                                          &*result);
+      }
+      // A per-query failure stays in its slot; the batch walk continues.
+      (*ctx->results)[q] = std::move(result);
+      return Status::OK();
+    };
+  }
+}
+
+}  // namespace
+
+StatusOr<PhysicalPlan> PlanRapidPlus(const AnalyticalQuery& query,
+                                     engine::Dataset* dataset,
+                                     const engine::EngineOptions& options) {
+  PhysicalPlan plan;
+  plan.engine = "RAPID+ (Naive)";
+  plan.tmp_tag = "tmp:rplus";
+  plan.needs_tg = true;
+
+  std::vector<int> agg_ids;
+  for (size_t g = 0; g < query.groupings.size(); ++g) {
+    const GroupingSubquery& grouping = query.groupings[g];
+    std::string label = "g" + std::to_string(g);
+    ntga::CompositePattern comp =
+        ntga::SinglePatternComposite(grouping.pattern);
+    size_t k = comp.stars.size();
+    NtgaEmit chain = EmitNtgaPattern(&plan, comp, label, /*ra_style=*/false);
+
+    // Filter split (identity variable namespace): single-variable filters
+    // are pushed into the triplegroup scan, the rest stay a mapping-level
+    // predicate on the Agg-Join.
+    std::vector<std::string> residual_sigs;
+    for (const auto& f : grouping.filters) {
+      std::vector<std::string> vars = detail::ExprVars(*f);
+      if (vars.size() == 1) {
+        plan.FindById(chain.load_id)
+            ->Attr("pushed_filter", vars[0] + "|" + f->ToString());
+      } else {
+        residual_sigs.push_back(f->ToString());
+      }
+    }
+
+    PlanNode& agg = plan.AddNode(
+        OpKind::kAggJoin, label,
+        label + ": TG Agg-Join" +
+            (k == 1 ? " (star matching folded into map)" : ""),
+        1);
+    agg.inputs = {chain.tail_id};
+    if (k == 1) agg.Attr("fold", "map");
+    std::vector<std::string> output_columns = grouping.group_by;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      output_columns.push_back(a.output_name);
+    }
+    AddAggAttrs(&agg, grouping.group_by, grouping.aggs, grouping.having.get(),
+                output_columns);
+    for (const std::string& sig : residual_sigs) {
+      agg.Attr("residual_filter", sig);
+    }
+    agg.bind_tag = label;
+    agg_ids.push_back(agg.id);
+  }
+  EmitNtgaFinal(&plan, query, "", agg_ids, "final");
+
+  PassManager::Default(options).Run(&plan);
+  if (dataset != nullptr) BindRapidPlus(&plan, query);
+  return plan;
+}
+
+StatusOr<PhysicalPlan> PlanCompositeBatch(
+    const engine::SharedScanPlan& shared,
+    const std::vector<const AnalyticalQuery*>& queries,
+    engine::Dataset* dataset, const engine::EngineOptions& options) {
+  RAPIDA_CHECK(shared.sharable) << "PlanCompositeBatch on unsharable plan";
+  const ntga::CompositePattern& comp = shared.comp;
+  size_t k = comp.stars.size();
+
+  std::vector<const GroupingSubquery*> flat;
+  std::vector<size_t> offsets(queries.size(), 0);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    offsets[q] = flat.size();
+    for (const GroupingSubquery& g : queries[q]->groupings) {
+      flat.push_back(&g);
+    }
+  }
+
+  PhysicalPlan plan;
+  plan.engine = "RAPIDAnalytics";
+  plan.tmp_tag = "tmp:ra";
+  plan.needs_tg = true;
+  // A cold triplegroup build belongs to the measured workflow on this
+  // path: the engine resets history BEFORE ensuring storage (as before).
+  plan.ensure_before_reset = false;
+  plan.num_results = static_cast<int>(queries.size());
+  if (queries.size() > 1) {
+    plan.notes.push_back(
+        "shared scan batch: " + std::to_string(queries.size()) + " queries (" +
+        std::to_string(flat.size()) + " groupings) share the composite "
+        "pattern cycles");
+  }
+
+  NtgaEmit chain = EmitNtgaPattern(&plan, comp, "gp", /*ra_style=*/true);
+  plan.FindById(chain.tail_id)->bind_tag = "gp";
+
+  // Shared-scan filter pushdown rule, statically replayed for the plan
+  // attrs: a single-variable filter is pushed into the composite scan only
+  // when the identical translated filter appears in EVERY flattened
+  // grouping; everything else stays that grouping's mapping predicate.
+  std::vector<std::set<std::string>> grouping_sigs(flat.size());
+  std::vector<std::vector<std::pair<std::string, std::string>>> translated(
+      flat.size());  // (sig-or-empty, text) per filter
+  for (size_t g = 0; g < flat.size(); ++g) {
+    for (const auto& f : flat[g]->filters) {
+      sparql::ExprPtr t = engine::MapExprVars(*f, comp.var_map[g]);
+      std::vector<std::string> vars = detail::ExprVars(*t);
+      std::string sig;
+      if (vars.size() == 1) {
+        sig = vars[0] + "|" + t->ToString();
+        grouping_sigs[g].insert(sig);
+      }
+      translated[g].emplace_back(sig, t->ToString());
+    }
+  }
+  std::set<std::string> pushed_signatures;
+  std::vector<std::vector<std::string>> residual_sigs(flat.size());
+  for (size_t g = 0; g < flat.size(); ++g) {
+    for (const auto& [sig, text] : translated[g]) {
+      bool shared_by_all = !sig.empty();
+      for (size_t o = 0; shared_by_all && o < grouping_sigs.size(); ++o) {
+        if (grouping_sigs[o].count(sig) == 0) shared_by_all = false;
+      }
+      if (shared_by_all) {
+        if (pushed_signatures.insert(sig).second) {
+          plan.FindById(chain.load_id)->Attr("pushed_filter", sig);
+        }
+      } else {
+        residual_sigs[g].push_back(text);
+      }
+    }
+  }
+
+  std::vector<int> agg_ids;
+  for (size_t g = 0; g < flat.size(); ++g) {
+    const GroupingSubquery& grouping = *flat[g];
+    PlanNode& agg = plan.AddNode(
+        OpKind::kAggJoin, "agg",
+        "agg: TG Agg-Join (grouping-aggregation " + std::to_string(g) + ")" +
+            (k == 1 ? " with star matching folded into map" : ""),
+        1);
+    agg.inputs = {chain.tail_id};
+    if (k == 1) agg.Attr("fold", "map");
+    std::vector<ntga::AggSpec> translated_aggs;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      ntga::AggSpec ta = a;
+      ta.var = engine::MapVar(a.var, comp.var_map[g]);
+      translated_aggs.push_back(std::move(ta));
+    }
+    std::vector<std::string> output_columns = grouping.group_by;
+    for (const ntga::AggSpec& a : grouping.aggs) {
+      output_columns.push_back(a.output_name);
+    }
+    AddAggAttrs(&agg, engine::MapVars(grouping.group_by, comp.var_map[g]),
+                translated_aggs, grouping.having.get(), output_columns);
+    // The α condition restricting this grouping to its own pattern.
+    std::string alpha;
+    for (const auto& [star, props] : comp.pattern_secondary[g]) {
+      for (const ntga::PropKey& p : props) {
+        if (!alpha.empty()) alpha += "&";
+        alpha += "s" + std::to_string(star) + ":" + p.ToString();
+      }
+    }
+    if (!alpha.empty()) agg.Attr("alpha", alpha);
+    for (const std::string& sig : residual_sigs[g]) {
+      agg.Attr("residual_filter", sig);
+    }
+    if (g + 1 == flat.size()) agg.bind_tag = "agg";
+    agg_ids.push_back(agg.id);
+  }
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const AnalyticalQuery& query = *queries[q];
+    size_t n = query.groupings.size();
+    std::vector<int> in_ids(
+        agg_ids.begin() + static_cast<long>(offsets[q]),
+        agg_ids.begin() + static_cast<long>(offsets[q] + n));
+    EmitNtgaFinal(
+        &plan, query,
+        queries.size() > 1 ? " (query " + std::to_string(q) + ")" : "",
+        in_ids, "final" + std::to_string(q));
+  }
+
+  PassManager::Default(options).Run(&plan);
+  if (dataset != nullptr) {
+    auto st = std::make_shared<RaState>();
+    st->comp = comp;
+    st->queries = queries;
+    st->flat = std::move(flat);
+    st->offsets = std::move(offsets);
+    BindCompositeBatch(&plan, st);
+  }
+  return plan;
+}
+
+StatusOr<PhysicalPlan> PlanRapidAnalytics(
+    const AnalyticalQuery& query, engine::Dataset* dataset,
+    const engine::EngineOptions& options) {
+  RAPIDA_ASSIGN_OR_RETURN(engine::CompositeApplicability check,
+                          engine::CheckCompositeRewrite(query, true));
+  if (!check.applies) {
+    RAPIDA_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                            PlanRapidPlus(query, dataset, options));
+    plan.engine = "RAPIDAnalytics";
+    plan.fallback_reason = check.why;
+    return plan;
+  }
+  engine::SharedScanPlan shared;
+  shared.sharable = true;
+  shared.comp = std::move(check.comp);
+  std::vector<const AnalyticalQuery*> batch{&query};
+  return PlanCompositeBatch(shared, batch, dataset, options);
+}
+
+}  // namespace rapida::plan

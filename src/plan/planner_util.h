@@ -1,0 +1,166 @@
+#ifndef RAPIDA_PLAN_PLANNER_UTIL_H_
+#define RAPIDA_PLAN_PLANNER_UTIL_H_
+
+/// Internal helpers shared by the per-engine planners. Everything here
+/// feeds node *attrs* (identity, fingerprinted) or *info* (display-only);
+/// execution never depends on it.
+
+#include <string>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+#include "ntga/star_pattern.h"
+#include "plan/plan.h"
+#include "sparql/ast.h"
+
+namespace rapida::plan::detail {
+
+inline std::string Csv(const std::vector<std::string>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items[i];
+  }
+  return out;
+}
+
+inline std::vector<std::string> ExprVars(const sparql::Expr& e) {
+  std::vector<std::string> vars;
+  e.CollectVars(&vars);
+  return vars;
+}
+
+/// Identity signature of one triple pattern: property key plus object
+/// (variable or constant). Constants MUST be part of the signature — two
+/// plans differing only in a compared constant are different queries.
+inline std::string TripleSig(const ntga::StarTriple& t) {
+  std::string sig = t.prop.ToString();
+  if (!t.prop.is_type()) {
+    sig += t.object.is_var ? ("->?" + t.object.var)
+                           : ("->" + sparql::ToSparqlText(t.object.term));
+  }
+  return sig;
+}
+
+inline std::string AggSig(const ntga::AggSpec& a) {
+  std::string arg = a.count_star ? "*" : a.var;
+  if (!a.separator.empty()) arg += ";sep=" + a.separator;
+  return std::string(sparql::AggFuncName(a.func)) + "(" + arg + ")->" +
+         a.output_name;
+}
+
+/// Records the query-level solution modifiers and SELECT list on the
+/// plan's terminal node, completing the fingerprint's semantic coverage.
+inline void AddModifierAttrs(PlanNode* node,
+                             const analytics::AnalyticalQuery& query) {
+  for (size_t i = 0; i < query.top_items.size(); ++i) {
+    const sparql::SelectItem& item = query.top_items[i];
+    node->Attr("item" + std::to_string(i),
+               item.name + (item.expr != nullptr
+                                ? "=" + item.expr->ToString()
+                                : ""));
+  }
+  if (query.top_distinct) node->Attr("distinct", "1");
+  for (size_t i = 0; i < query.order_by.size(); ++i) {
+    node->Attr("order" + std::to_string(i),
+               query.order_by[i].var +
+                   (query.order_by[i].descending ? " desc" : " asc"));
+  }
+  if (query.limit >= 0) node->Attr("limit", std::to_string(query.limit));
+  if (query.offset > 0) node->Attr("offset", std::to_string(query.offset));
+}
+
+/// Variables the final projection consumes (for dead-column liveness).
+inline std::vector<std::string> ModifierUses(
+    const analytics::AnalyticalQuery& query) {
+  std::vector<std::string> uses;
+  for (const sparql::SelectItem& item : query.top_items) {
+    if (item.expr != nullptr) {
+      for (const std::string& v : ExprVars(*item.expr)) uses.push_back(v);
+    } else {
+      uses.push_back(item.name);
+    }
+  }
+  for (const sparql::OrderKey& k : query.order_by) uses.push_back(k.var);
+  return uses;
+}
+
+/// Statically replays the non-greedy inter-star join-chain edge choice of
+/// CompileHivePattern: anchor star 0, then always the textually first
+/// pending edge that connects the joined set to a new star. Returns the
+/// picked edge indices in cycle order; fewer than stars-1 entries means
+/// the pattern is not connected (the runtime reports that error).
+inline std::vector<size_t> SimulateHiveChain(
+    size_t num_stars, const std::vector<ntga::JoinEdge>& joins) {
+  std::vector<size_t> picks;
+  if (num_stars < 2) return picks;
+  std::vector<bool> joined(num_stars, false);
+  std::vector<bool> done(joins.size(), false);
+  joined[0] = true;
+  size_t remaining = num_stars - 1;
+  while (remaining > 0) {
+    int pick = -1;
+    int new_star = -1;
+    for (size_t e = 0; e < joins.size(); ++e) {
+      if (done[e]) continue;
+      const ntga::JoinEdge& edge = joins[e];
+      if (joined[edge.star_a] && !joined[edge.star_b]) {
+        pick = static_cast<int>(e);
+        new_star = edge.star_b;
+      } else if (joined[edge.star_b] && !joined[edge.star_a]) {
+        pick = static_cast<int>(e);
+        new_star = edge.star_a;
+      }
+      if (pick >= 0) break;
+    }
+    if (pick < 0) break;  // disconnected
+    done[pick] = true;
+    joined[new_star] = true;
+    picks.push_back(static_cast<size_t>(pick));
+    --remaining;
+  }
+  return picks;
+}
+
+/// Same for NtgaExec::ComputePatternMatches: the first cycle takes the
+/// textually first edge outright (anchoring both endpoints); later cycles
+/// take the first pending edge with exactly one endpoint joined.
+inline std::vector<size_t> SimulateNtgaChain(
+    size_t num_stars, const std::vector<ntga::JoinEdge>& joins) {
+  std::vector<size_t> picks;
+  if (num_stars < 2) return picks;
+  std::vector<bool> joined(num_stars, false);
+  std::vector<bool> done(joins.size(), false);
+  bool first_cycle = true;
+  size_t remaining = num_stars;
+  while (remaining > 0) {
+    int pick = -1;
+    for (size_t e = 0; e < joins.size(); ++e) {
+      if (done[e]) continue;
+      const ntga::JoinEdge& edge = joins[e];
+      if (first_cycle || joined[edge.star_a] != joined[edge.star_b]) {
+        pick = static_cast<int>(e);
+        break;
+      }
+    }
+    if (pick < 0) break;  // disconnected
+    done[pick] = true;
+    const ntga::JoinEdge& edge = joins[pick];
+    if (first_cycle) {
+      joined[edge.star_a] = true;
+      --remaining;
+      first_cycle = false;
+    }
+    int right = joined[edge.star_a] ? edge.star_b : edge.star_a;
+    if (!joined[right]) {
+      joined[right] = true;
+      --remaining;
+    }
+    picks.push_back(static_cast<size_t>(pick));
+  }
+  return picks;
+}
+
+}  // namespace rapida::plan::detail
+
+#endif  // RAPIDA_PLAN_PLANNER_UTIL_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "plan/planner.h"
 #include "sparql/parser.h"
 #include "util/logging.h"
 
@@ -20,23 +21,41 @@ StatusOr<PlanCache::Entry> PlanCache::GetOrAnalyze(
   std::string fingerprint = parsed->ToString();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = by_fingerprint_.find(fingerprint);
-    if (it != by_fingerprint_.end()) {
+    auto it = by_text_.find(fingerprint);
+    if (it != by_text_.end()) {
       hits_++;
       return it->second;
     }
   }
-  // Analyze outside the lock; concurrent misses on the same fingerprint
-  // do redundant work once but reach the same immutable analysis.
+  // Analyze and plan outside the lock; concurrent misses on the same
+  // fingerprint do redundant work once but reach the same immutable
+  // analysis.
   RAPIDA_ASSIGN_OR_RETURN(analytics::AnalyticalQuery analyzed,
                           analytics::AnalyzeQuery(*parsed));
   Entry entry;
   entry.fingerprint = fingerprint;
+  StatusOr<plan::PhysicalPlan> canonical =
+      plan::CanonicalOptimizedPlan(analyzed);
+  entry.plan_fingerprint = canonical.ok()
+                               ? canonical->FingerprintHash()
+                               : plan::CanonicalPlanFingerprint(analyzed);
   entry.query = std::make_shared<const analytics::AnalyticalQuery>(
       std::move(analyzed));
   std::lock_guard<std::mutex> lock(mu_);
   misses_++;
-  auto [it, inserted] = by_fingerprint_.emplace(fingerprint, entry);
+  auto plan_it = by_plan_.find(entry.plan_fingerprint);
+  if (plan_it != by_plan_.end()) {
+    // New surface text, known optimized plan: share it.
+    plan_hits_++;
+    entry.optimized = plan_it->second;
+  } else {
+    if (canonical.ok()) {
+      entry.optimized = std::make_shared<const plan::PhysicalPlan>(
+          std::move(*canonical));
+    }
+    by_plan_.emplace(entry.plan_fingerprint, entry.optimized);
+  }
+  auto [it, inserted] = by_text_.emplace(fingerprint, entry);
   return it->second;
 }
 
@@ -48,6 +67,16 @@ uint64_t PlanCache::hits() const {
 uint64_t PlanCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t PlanCache::plan_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_hits_;
+}
+
+uint64_t PlanCache::distinct_plans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_plan_.size();
 }
 
 std::string ResultCache::Key(const std::string& fingerprint,

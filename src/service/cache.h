@@ -10,6 +10,7 @@
 
 #include "analytics/analytical_query.h"
 #include "analytics/binding.h"
+#include "plan/plan.h"
 #include "util/statusor.h"
 
 namespace rapida::service {
@@ -21,30 +22,53 @@ namespace rapida::service {
 /// collide (the round-trip property ParseQuery(q.ToString()) == q).
 StatusOr<std::string> CanonicalFingerprint(const std::string& query_text);
 
-/// Parse/analyze cache: canonical fingerprint → analyzed query. Entries
-/// are immutable and shared; analysis is pure so the cache never needs
-/// invalidation and has no size budget (plans are tiny next to results).
-/// Thread-safe.
+/// Two-level plan cache keyed on canonical *optimized plans*.
+///
+/// Level 1 (text): canonical text fingerprint → analyzed query. Catches
+/// resubmissions that differ only in whitespace / comments / prefix
+/// spelling.
+/// Level 2 (structure): fingerprint of the canonical optimized plan
+/// (variable names normalized, passes applied) → one shared
+/// plan::PhysicalPlan. Queries whose surface text differs — different
+/// variable names, reordered prefixes — but whose optimized operator DAGs
+/// are identical share a single cached plan; a new text over a known
+/// structure is a `plan_hit` (it still pays one parse + analysis, since
+/// its SELECT column names are its own, but planning work is shared).
+///
+/// Entries are immutable and shared; analysis and planning are pure, so
+/// the cache never needs invalidation and has no size budget (plans are
+/// tiny next to results). Thread-safe.
 class PlanCache {
  public:
   struct Entry {
-    std::string fingerprint;
+    std::string fingerprint;       // canonical text form
+    std::string plan_fingerprint;  // canonical optimized-plan hash
     std::shared_ptr<const analytics::AnalyticalQuery> query;
+    /// The canonical optimized plan, shared by every structurally-equal
+    /// text. Null when the query's shape defeats the structural planner
+    /// (plan_fingerprint then hashes a canonical serialization instead).
+    std::shared_ptr<const plan::PhysicalPlan> optimized;
   };
 
-  /// Returns the cached analysis of `query_text`, parsing and analyzing
-  /// on miss. Parse/analysis failures are returned, not cached (a
-  /// malformed query is cheap to re-reject).
+  /// Returns the cached analysis of `query_text`, parsing, analyzing and
+  /// planning on miss. Parse/analysis failures are returned, not cached
+  /// (a malformed query is cheap to re-reject).
   StatusOr<Entry> GetOrAnalyze(const std::string& query_text);
 
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Text misses that matched an already-cached optimized plan.
+  uint64_t plan_hits() const;
+  uint64_t distinct_plans() const;
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> by_fingerprint_;
+  std::unordered_map<std::string, Entry> by_text_;
+  std::unordered_map<std::string, std::shared_ptr<const plan::PhysicalPlan>>
+      by_plan_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t plan_hits_ = 0;
 };
 
 /// Result cache: (canonical fingerprint, dataset name, dataset version) →

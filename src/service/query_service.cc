@@ -8,6 +8,7 @@
 #include "analytics/analytical_query.h"
 #include "engines/rapid_analytics.h"
 #include "engines/shared_scan.h"
+#include "plan/planner.h"
 #include "sparql/parser.h"
 #include "util/logging.h"
 
@@ -106,6 +107,7 @@ StatusOr<std::future<Response>> QueryService::Submit(int session,
     RAPIDA_ASSIGN_OR_RETURN(PlanCache::Entry entry,
                             plan_cache_.GetOrAnalyze(spec.text));
     pending->fingerprint = std::move(entry.fingerprint);
+    pending->plan_fingerprint = std::move(entry.plan_fingerprint);
     pending->plan = std::move(entry.query);
   } else {
     RAPIDA_ASSIGN_OR_RETURN(std::unique_ptr<sparql::SelectQuery> parsed,
@@ -113,6 +115,7 @@ StatusOr<std::future<Response>> QueryService::Submit(int session,
     pending->fingerprint = parsed->ToString();
     RAPIDA_ASSIGN_OR_RETURN(analytics::AnalyticalQuery analyzed,
                             analytics::AnalyzeQuery(*parsed));
+    pending->plan_fingerprint = plan::CanonicalPlanFingerprint(analyzed);
     pending->plan = std::make_shared<const analytics::AnalyticalQuery>(
         std::move(analyzed));
   }
@@ -258,6 +261,7 @@ Response QueryService::MakeResponse(Pending* p,
   Clock::time_point now = Clock::now();
   Response r;
   r.fingerprint = p->fingerprint;
+  r.plan_fingerprint = p->plan_fingerprint;
   r.result_cache_hit = cache_hit;
   r.batch_size = batch_size;
   r.queue_wait_s = Seconds(p->submitted, exec_start);
@@ -465,7 +469,10 @@ void QueryService::ServeBatch(std::vector<std::unique_ptr<Pending>>* batch) {
 std::string QueryService::MetricsJson() const {
   std::string json = "{\"service\":" + metrics_.ToJson();
   json += ",\"plan_cache\":{\"hits\":" + std::to_string(plan_cache_.hits()) +
-          ",\"misses\":" + std::to_string(plan_cache_.misses()) + "}";
+          ",\"misses\":" + std::to_string(plan_cache_.misses()) +
+          ",\"plan_hits\":" + std::to_string(plan_cache_.plan_hits()) +
+          ",\"distinct_plans\":" +
+          std::to_string(plan_cache_.distinct_plans()) + "}";
   json += ",\"result_cache\":{\"hits\":" +
           std::to_string(result_cache_.hits()) +
           ",\"misses\":" + std::to_string(result_cache_.misses()) +

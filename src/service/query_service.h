@@ -63,6 +63,9 @@ struct QuerySpec {
 struct Response {
   StatusOr<analytics::BindingTable> result;
   std::string fingerprint;      // canonical form (cache key component)
+  /// Structural fingerprint of the canonical optimized plan; equal for
+  /// queries that differ only in surface text (plan-cache level-2 key).
+  std::string plan_fingerprint;
   bool result_cache_hit = false;
   size_t batch_size = 1;        // >1: served by a shared composite scan
   double queue_wait_s = 0;      // admission to execution start (wall)
@@ -150,6 +153,7 @@ class QueryService {
     Registered* dataset = nullptr;
     std::shared_ptr<const analytics::AnalyticalQuery> plan;
     std::string fingerprint;
+    std::string plan_fingerprint;
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     bool has_deadline = false;

@@ -6,6 +6,7 @@
 #include "analytics/analytical_query.h"
 #include "analytics/reference_evaluator.h"
 #include "engines/engines.h"
+#include "plan/planner.h"
 #include "service/query_service.h"
 #include "testing/normalize.h"
 #include "testing/query_gen.h"
@@ -150,6 +151,28 @@ DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts) {
         return Fail("mismatch", run->name(), threads, diff);
       }
       cycles[{run->name(), threads}] = stats.workflow.NumCycles();
+
+      // Plan-IR invariant: the physical plan the engine just ran promises
+      // its estimated cycle count, and a successful execution must spend
+      // exactly that many MR cycles. (Skipped for a fault-wrapped engine —
+      // injected faults change the executed workflow by design.)
+      if (opts.fault == FaultKind::kNone || run->name() != opts.fault_engine) {
+        StatusOr<plan::PhysicalPlan> physical = plan::PlanForEngine(
+            run->name(), analyzed.value(), &dataset,
+            engine::EngineOptions());
+        if (!physical.ok()) {
+          return Fail("plan-cycles", run->name(), threads,
+                      "planner failed after successful execution: " +
+                          physical.status().ToString());
+        }
+        if (physical->EstimatedCycles() != stats.workflow.NumCycles()) {
+          return Fail("plan-cycles", run->name(), threads,
+                      "plan estimated " +
+                          std::to_string(physical->EstimatedCycles()) +
+                          " cycles, engine executed " +
+                          std::to_string(stats.workflow.NumCycles()));
+        }
+      }
     }
   }
 

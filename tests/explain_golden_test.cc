@@ -1,0 +1,153 @@
+// Golden EXPLAIN fixtures: the physical plan of every catalog query on
+// every engine — text and JSON, with per-node cycle/byte estimates — is
+// pinned under tests/golden/explain/. Any change to a planner, a pass, or
+// the EXPLAIN renderer shows up as a readable fixture diff.
+//
+// To regenerate after an intentional change:
+//   RAPIDA_UPDATE_GOLDEN=1 ./build/tests/explain_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "analytics/analytical_query.h"
+#include "plan/planner.h"
+#include "sparql/parser.h"
+#include "workload/bsbm.h"
+#include "workload/catalog.h"
+#include "workload/chem2bio.h"
+#include "workload/pubmed.h"
+
+#ifndef RAPIDA_GOLDEN_DIR
+#error "RAPIDA_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace rapida::plan {
+namespace {
+
+/// Same fixed configs as catalog_test.cc / golden_test.cc, so the byte
+/// estimates in the fixtures describe the datasets the engines are
+/// validated on.
+rdf::Graph SmallGraphFor(const std::string& dataset) {
+  if (dataset == "bsbm") {
+    workload::BsbmConfig cfg;
+    cfg.num_products = 300;
+    cfg.offers_per_product = 2.5;
+    return workload::GenerateBsbm(cfg);
+  }
+  if (dataset == "chem") {
+    workload::ChemConfig cfg;
+    cfg.num_assays = 500;
+    cfg.num_publications = 1200;
+    return workload::GenerateChem2Bio(cfg);
+  }
+  workload::PubmedConfig cfg;
+  cfg.num_publications = 500;
+  cfg.mesh_per_publication = 3.0;
+  cfg.chemicals_per_publication = 2.0;
+  return workload::GeneratePubmed(cfg);
+}
+
+engine::Dataset* DatasetFor(const std::string& name) {
+  static auto* cache =
+      new std::map<std::string, std::unique_ptr<engine::Dataset>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, std::make_unique<engine::Dataset>(
+                                  SmallGraphFor(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string GoldenPath(const std::string& id) {
+  return std::string(RAPIDA_GOLDEN_DIR) + "/explain/" + id + ".explain";
+}
+
+bool UpdateMode() {
+  const char* v = std::getenv("RAPIDA_UPDATE_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// The full EXPLAIN report of one query: all four engines, text + JSON.
+std::string ExplainAll(const analytics::AnalyticalQuery& query,
+                       engine::Dataset* dataset) {
+  std::string out;
+  for (const char* engine : {"Hive (Naive)", "Hive (MQO)", "RAPID+ (Naive)",
+                             "RAPIDAnalytics"}) {
+    engine::EngineOptions options;
+    StatusOr<PhysicalPlan> physical =
+        PlanForEngine(engine, query, dataset, options);
+    if (!physical.ok()) {
+      // Composite construction failed: explain the fallback pipeline the
+      // engine would run (PlanForEngine already handles mere non-overlap).
+      if (std::string(engine) == "Hive (MQO)") {
+        physical = PlanHiveNaive(query, dataset, options);
+      } else if (std::string(engine) == "RAPIDAnalytics") {
+        physical = PlanRapidPlus(query, dataset, options);
+      }
+      if (physical.ok()) physical->engine = engine;
+    }
+    out += "==== " + std::string(engine) + " ====\n";
+    if (!physical.ok()) {
+      out += "planner error: " + physical.status().ToString() + "\n";
+      continue;
+    }
+    out += physical->ExplainText();
+    out += "---- json ----\n";
+    out += physical->ExplainJson() + "\n";
+  }
+  return out;
+}
+
+class ExplainGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExplainGoldenTest, PlanMatchesFixture) {
+  auto cq = workload::FindQuery(GetParam());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  engine::Dataset* dataset = DatasetFor((*cq)->dataset);
+
+  auto parsed = sparql::ParseQuery((*cq)->sparql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto query = analytics::AnalyzeQuery(**parsed);
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  std::string actual = ExplainAll(*query, dataset);
+  const std::string path = GoldenPath((*cq)->id);
+  if (UpdateMode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path
+      << " — run RAPIDA_UPDATE_GOLDEN=1 ./build/tests/explain_golden_test";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual)
+      << (*cq)->id << " EXPLAIN drifted from " << path
+      << " — if intentional, regenerate with RAPIDA_UPDATE_GOLDEN=1";
+}
+
+std::vector<std::string> AllQueryIds() {
+  std::vector<std::string> ids;
+  for (const workload::CatalogQuery& q : workload::Catalog()) {
+    ids.push_back(q.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, ExplainGoldenTest,
+                         ::testing::ValuesIn(AllQueryIds()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace rapida::plan

@@ -1,0 +1,176 @@
+// The physical-plan IR: node/DAG mechanics, EXPLAIN determinism, the
+// optimizer pass toggles, canonical fingerprints under variable renaming,
+// and the service PlanCache's structural (level-2) hits.
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/analytical_query.h"
+#include "plan/passes.h"
+#include "plan/planner.h"
+#include "service/cache.h"
+#include "sparql/parser.h"
+#include "workload/catalog.h"
+
+namespace rapida::plan {
+namespace {
+
+/// MG1 with every variable (pattern vars and aggregate aliases) renamed:
+/// structurally identical, different surface text.
+constexpr char kRenamedMg1[] = R"(PREFIX : <http://bsbm.example/>
+SELECT ?feat ?a ?b ?c ?d {
+  { SELECT ?feat (COUNT(?price) AS ?a) (SUM(?price) AS ?b) {
+      ?prod a :ProductType1 . ?prod :label ?lbl .
+      ?prod :productFeature ?feat .
+      ?o :product ?prod . ?o :price ?price .
+    } GROUP BY ?feat }
+  { SELECT (COUNT(?w) AS ?c) (SUM(?w) AS ?d) {
+      ?q1 a :ProductType1 . ?q1 :label ?q2 .
+      ?q3 :product ?q1 . ?q3 :price ?w .
+    } }
+})";
+
+analytics::AnalyticalQuery Analyze(const std::string& text) {
+  auto parsed = sparql::ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  auto query = analytics::AnalyzeQuery(**parsed);
+  EXPECT_TRUE(query.ok()) << query.status();
+  return std::move(*query);
+}
+
+std::string CatalogText(const std::string& id) {
+  auto cq = workload::FindQuery(id);
+  EXPECT_TRUE(cq.ok());
+  return (*cq)->sparql;
+}
+
+TEST(PlanIrTest, NodeAndDagBasics) {
+  PhysicalPlan plan;
+  plan.engine = "RAPIDAnalytics";
+  PlanNode& scan = plan.AddNode(OpKind::kVpScan, "g0", "g0: VP scan", 0);
+  scan.Attr("prop", "p");
+  const int scan_id = scan.id;
+  PlanNode& join = plan.AddNode(OpKind::kStarJoin, "g0", "g0: star-join", 1);
+  join.inputs = {scan_id};
+  join.bind_tag = "g0";
+
+  EXPECT_EQ(plan.EstimatedCycles(), 1);
+  EXPECT_EQ(plan.FindByTag("g0")->kind, OpKind::kStarJoin);
+  EXPECT_EQ(plan.FindById(scan_id)->attrs[0].second, "p");
+
+  std::string text = plan.ExplainText();
+  EXPECT_NE(text.find("RAPIDAnalytics: 1 MR cycles (estimated)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("#0 VpScan"), std::string::npos) << text;
+  EXPECT_NE(text.find("inputs: #0"), std::string::npos) << text;
+}
+
+TEST(PlanIrTest, ExplainIsDeterministic) {
+  analytics::AnalyticalQuery query = Analyze(CatalogText("MG3"));
+  for (const char* engine : {"Hive (Naive)", "Hive (MQO)", "RAPID+ (Naive)",
+                             "RAPIDAnalytics"}) {
+    auto a = PlanForEngine(engine, query, nullptr, engine::EngineOptions());
+    auto b = PlanForEngine(engine, query, nullptr, engine::EngineOptions());
+    ASSERT_TRUE(a.ok() && b.ok()) << engine;
+    EXPECT_EQ(a->ExplainText(), b->ExplainText()) << engine;
+    EXPECT_EQ(a->ExplainJson(), b->ExplainJson()) << engine;
+    EXPECT_EQ(a->FingerprintHash(), b->FingerprintHash()) << engine;
+  }
+}
+
+TEST(PlanIrTest, UnknownEngineIsRejected) {
+  analytics::AnalyticalQuery query = Analyze(CatalogText("G1"));
+  auto plan = PlanForEngine("Spark", query, nullptr, engine::EngineOptions());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlanIrTest, PassTogglesAreRecordedAndChangeThePlan) {
+  analytics::AnalyticalQuery query = Analyze(CatalogText("MG1"));
+
+  engine::EngineOptions on;
+  auto parallel = PlanRapidAnalytics(query, nullptr, on);
+  ASSERT_TRUE(parallel.ok());
+  engine::EngineOptions off = on;
+  off.parallel_agg_join = false;
+  auto sequential = PlanRapidAnalytics(query, nullptr, off);
+  ASSERT_TRUE(sequential.ok());
+
+  // The parallel-agg-join pass folds both Agg-Joins into one cycle.
+  EXPECT_EQ(parallel->EstimatedCycles(), sequential->EstimatedCycles() - 1);
+  bool parallel_logged = false, off_logged = false;
+  for (const std::string& p : parallel->passes) {
+    if (p == "parallel-agg-join") parallel_logged = true;
+  }
+  for (const std::string& p : sequential->passes) {
+    if (p == "parallel-agg-join (off)") off_logged = true;
+  }
+  EXPECT_TRUE(parallel_logged);
+  EXPECT_TRUE(off_logged);
+
+  // Greedy join ordering: cycle-neutral, but recorded on the join nodes.
+  engine::EngineOptions greedy = on;
+  greedy.greedy_join_order = true;
+  auto ordered = PlanHiveNaive(query, nullptr, greedy);
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered->EstimatedCycles(),
+            PlanHiveNaive(query, nullptr, on)->EstimatedCycles());
+}
+
+TEST(PlanIrTest, FingerprintInvariantUnderVariableRenaming) {
+  analytics::AnalyticalQuery original = Analyze(CatalogText("MG1"));
+  analytics::AnalyticalQuery renamed = Analyze(kRenamedMg1);
+  analytics::AnalyticalQuery different = Analyze(CatalogText("MG2"));
+
+  EXPECT_EQ(CanonicalPlanFingerprint(original),
+            CanonicalPlanFingerprint(renamed));
+  // MG2 differs only in a constant (ProductType10) — constants are part
+  // of the structure, so the fingerprints must differ.
+  EXPECT_NE(CanonicalPlanFingerprint(original),
+            CanonicalPlanFingerprint(different));
+}
+
+TEST(PlanIrTest, PlanCacheHitsOnStructurallyEqualQueries) {
+  service::PlanCache cache;
+  auto a = cache.GetOrAnalyze(CatalogText("MG1"));
+  ASSERT_TRUE(a.ok());
+  auto b = cache.GetOrAnalyze(kRenamedMg1);
+  ASSERT_TRUE(b.ok());
+
+  // Different surface text: a level-1 (text) miss...
+  EXPECT_NE(a->fingerprint, b->fingerprint);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // ...but the same optimized plan: a level-2 (structural) hit sharing
+  // one cached plan object.
+  EXPECT_EQ(a->plan_fingerprint, b->plan_fingerprint);
+  EXPECT_EQ(cache.plan_hits(), 1u);
+  EXPECT_EQ(cache.distinct_plans(), 1u);
+  ASSERT_NE(a->optimized, nullptr);
+  EXPECT_EQ(a->optimized.get(), b->optimized.get());
+
+  // Resubmitting either text is a plain level-1 hit.
+  auto again = cache.GetOrAnalyze(kRenamedMg1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A structurally different query gets its own plan.
+  auto other = cache.GetOrAnalyze(CatalogText("MG2"));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(cache.distinct_plans(), 2u);
+  EXPECT_NE(other->plan_fingerprint, a->plan_fingerprint);
+}
+
+TEST(PlanIrTest, FallbackPlansCarryTheReason) {
+  // R1/R2 are single-grouping; the MQO baseline only rewrites exactly two
+  // grouping patterns, so its plan is the naive shape with a reason.
+  analytics::AnalyticalQuery query = Analyze(CatalogText("G1"));
+  auto plan = PlanHiveMqo(query, nullptr, engine::EngineOptions());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->engine, "Hive (MQO)");
+  EXPECT_FALSE(plan->fallback_reason.empty());
+  EXPECT_NE(plan->ExplainText().find("fallback:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapida::plan
