@@ -3,10 +3,13 @@
 # goldens for the full catalog plus the pass on/off divergence gate), the
 # query-service smoke run (every catalog query byte-identical through the
 # service, cold / hot / 32 concurrent sessions), the 200-seed differential
-# fuzz corpus plus its service mode, an AddressSanitizer run of the fuzz
-# smoke and the EXPLAIN goldens, and a ThreadSanitizer build running the
-# concurrency-sensitive suites (the parallel MapReduce runtime, the
-# engines on top of it, and the 32-session service stress).
+# fuzz corpus plus its service mode, a perf smoke that replays Fig. 8(a)
+# at 8 threads and diffs its deterministic per-query aggregates against a
+# committed golden, an AddressSanitizer run of the fuzz smoke and the
+# EXPLAIN goldens, and a ThreadSanitizer build running the
+# concurrency-sensitive suites (the parallel MapReduce runtime — including
+# the ValueSpan reduce-mode matrix in mapreduce_test — the engines on top
+# of it, and the 32-session service stress).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -31,6 +34,17 @@ ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
 echo "== differential fuzz, service mode (caching + batching vs direct) =="
 ./build/examples/rapida_fuzz --service --seeds=50
 
+echo "== perf smoke: Fig. 8(a) aggregates vs golden (8 threads) =="
+PERF_TMP="$(mktemp -d)"
+trap 'rm -rf "$PERF_TMP"' EXIT
+RAPIDA_EXEC_THREADS=8 RAPIDA_BENCH_JSON= RAPIDA_BENCH_CSV="$PERF_TMP" \
+    ./build/bench/bench_fig8a > /dev/null
+diff tests/golden/bench_fig8a_aggregates.csv "$PERF_TMP"/*.csv || {
+  echo "perf smoke FAILED: Fig. 8(a) per-query aggregates differ from" \
+       "tests/golden/bench_fig8a_aggregates.csv" >&2
+  exit 1
+}
+
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -47,7 +61,7 @@ cmake --build build-tsan -j "$JOBS" --target \
 
 echo "== TSan: thread_pool_test =="
 ./build-tsan/tests/thread_pool_test
-echo "== TSan: mapreduce_test =="
+echo "== TSan: mapreduce_test (incl. ValueSpan reduce-mode matrix) =="
 ./build-tsan/tests/mapreduce_test
 echo "== TSan: engines_test =="
 ./build-tsan/tests/engines_test

@@ -102,11 +102,19 @@ std::string Aggregator::SerializePartial() const {
 }
 
 StatusOr<Aggregator> Aggregator::DeserializePartial(AggFunc func,
-                                                    const std::string& data,
+                                                    std::string_view data,
                                                     std::string separator) {
-  std::vector<std::string> parts = SplitString(data, ',');
-  if (parts.size() != 7) {
-    return Status::ParseError("bad partial aggregate: " + data);
+  std::string_view parts[7];
+  FieldTokenizer fields(data, ',');
+  size_t n = 0;
+  std::string_view f;
+  while (fields.Next(&f)) {
+    if (n == 7) return Status::ParseError("bad partial aggregate: " +
+                                          std::string(data));
+    parts[n++] = f;
+  }
+  if (n != 7) {
+    return Status::ParseError("bad partial aggregate: " + std::string(data));
   }
   Aggregator agg(func, /*distinct=*/false, std::move(separator));
   int64_t count = 0, has = 0, mn = 0, mx = 0, smp = 0;
@@ -114,7 +122,7 @@ StatusOr<Aggregator> Aggregator::DeserializePartial(AggFunc func,
   if (!ParseInt64(parts[0], &count) || !ParseDouble(parts[1], &sum) ||
       !ParseInt64(parts[2], &has) || !ParseInt64(parts[3], &mn) ||
       !ParseInt64(parts[4], &mx) || !ParseInt64(parts[5], &smp)) {
-    return Status::ParseError("bad partial aggregate: " + data);
+    return Status::ParseError("bad partial aggregate: " + std::string(data));
   }
   agg.count_ = static_cast<uint64_t>(count);
   agg.sum_ = sum;
@@ -123,10 +131,13 @@ StatusOr<Aggregator> Aggregator::DeserializePartial(AggFunc func,
   agg.max_term_ = static_cast<rdf::TermId>(mx);
   agg.sample_ = static_cast<rdf::TermId>(smp);
   if (!parts[6].empty()) {
-    for (const std::string& id_text : SplitString(parts[6], ':')) {
+    FieldTokenizer ids(parts[6], ':');
+    std::string_view id_text;
+    while (ids.Next(&id_text)) {
       int64_t id = 0;
       if (!ParseInt64(id_text, &id)) {
-        return Status::ParseError("bad partial aggregate: " + data);
+        return Status::ParseError("bad partial aggregate: " +
+                                  std::string(data));
       }
       agg.concat_values_.push_back(static_cast<rdf::TermId>(id));
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -46,7 +47,7 @@ class Aggregator {
   /// ("count,sum,has,min,max,sample,concat-ids").
   std::string SerializePartial() const;
   static StatusOr<Aggregator> DeserializePartial(sparql::AggFunc func,
-                                                 const std::string& data,
+                                                 std::string_view data,
                                                  std::string separator = " ");
 
   uint64_t count() const { return count_; }

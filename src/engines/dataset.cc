@@ -16,20 +16,15 @@ Status Dataset::EnsureVpTables() {
   std::lock_guard<std::mutex> lock(layout_mu_);
   if (vp_loaded_) return Status::OK();
 
-  std::map<rdf::TermId, std::vector<mr::Record>> tables;
-  std::map<rdf::TermId, std::vector<mr::Record>> type_tables;
+  std::map<rdf::TermId, mr::RecordBatch> tables;
+  std::map<rdf::TermId, mr::RecordBatch> type_tables;
   for (const rdf::Triple& t : graph_.triples()) {
     // Rows are dictionary-encoded (subject id, object id) — the same
     // uniform encoding the triplegroup layout uses, so byte accounting
     // compares layouts, not term-encoding choices.
-    mr::Record r;
-    r.key = std::to_string(t.s);
-    r.value = std::to_string(t.o);
-    if (t.p == type_id_) {
-      type_tables[t.o].push_back(std::move(r));
-    } else {
-      tables[t.p].push_back(std::move(r));
-    }
+    mr::RecordBatch& batch =
+        t.p == type_id_ ? type_tables[t.o] : tables[t.p];
+    batch.Add(std::to_string(t.s), std::to_string(t.o));
   }
 
   mr::FileOptions fo;
@@ -57,7 +52,7 @@ Status Dataset::EnsureTripleGroups() {
   // ablation knob off, everything shares one catch-all class (its EC is
   // empty, so it "covers" only empty requirements — TgFilesCovering then
   // must return it for every request, handled below).
-  std::map<std::set<rdf::TermId>, std::vector<mr::Record>> classes;
+  std::map<std::set<rdf::TermId>, mr::RecordBatch> classes;
   std::set<rdf::TermId> all_props;
   for (const rdf::Graph::SubjectGroup& sg : graph_.SubjectGroups()) {
     std::set<rdf::TermId> ec;
@@ -68,15 +63,13 @@ Status Dataset::EnsureTripleGroups() {
       all_props.insert(t.p);
       tg.triples.push_back(t);
     }
-    mr::Record r;
-    r.key = std::to_string(sg.subject);
-    r.value = ntga::SerializeTripleGroup(tg);
     if (!options_.tg_partition_by_ec) ec.clear();
-    classes[std::move(ec)].push_back(std::move(r));
+    classes[std::move(ec)].Add(std::to_string(sg.subject),
+                               ntga::SerializeTripleGroup(tg));
   }
   if (!options_.tg_partition_by_ec && !classes.empty()) {
     // The single file must cover every property request.
-    auto records = std::move(classes.begin()->second);
+    mr::RecordBatch records = std::move(classes.begin()->second);
     classes.clear();
     classes[all_props] = std::move(records);
   }

@@ -255,11 +255,10 @@ StatusOr<PatternMatches> NtgaExec::ComputePatternMatches(
     auto alphas = std::make_shared<std::vector<ntga::AlphaCondition>>(
         last_cycle ? final_alphas : std::vector<ntga::AlphaCondition>{});
     job.reduce = [alphas, type_id, num_stars](
-                     const std::string& /*key*/,
-                     const std::vector<std::string>& values,
+                     std::string_view /*key*/, const mr::ValueSpan& values,
                      mr::ReduceContext* ctx) {
       std::vector<NestedTripleGroup> left, right;
-      for (const std::string& v : values) {
+      for (std::string_view v : values) {
         if (v.size() < 2) continue;
         auto parsed = ntga::ParseNested(v.substr(2), num_stars);
         if (!parsed.ok()) continue;
@@ -452,11 +451,10 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
     }
 
     job.reduce = [shared_groupings, dict](
-                     const std::string& key,
-                     const std::vector<std::string>& values,
+                     std::string_view key, const mr::ValueSpan& values,
                      mr::ReduceContext* ctx) {
       size_t hash_pos = key.find('#');
-      if (hash_pos == std::string::npos) return;
+      if (hash_pos == std::string_view::npos) return;
       int64_t gid = 0;
       ParseInt64(key.substr(0, hash_pos), &gid);
       const NtgaGrouping& grouping = (*shared_groupings)[gid];
@@ -464,19 +462,20 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
       for (const ntga::AggSpec& a : grouping.spec.aggs) {
         aggs.emplace_back(a.func, false, a.separator);
       }
-      for (const std::string& v : values) {
+      for (std::string_view v : values) {
         if (v.empty()) continue;
         if (v[0] == 'P') {
-          std::vector<std::string> parts = SplitString(v, '|');
-          for (size_t a = 0; a + 1 < parts.size() && a < aggs.size(); ++a) {
+          FieldTokenizer parts(v, '|');
+          std::string_view part;
+          parts.Next(&part);  // the "P" marker
+          for (size_t a = 0; a < aggs.size() && parts.Next(&part); ++a) {
             auto partial = Aggregator::DeserializePartial(
-                grouping.spec.aggs[a].func, parts[a + 1],
+                grouping.spec.aggs[a].func, part,
                 grouping.spec.aggs[a].separator);
             if (partial.ok()) aggs[a].Merge(*partial, *dict);
           }
         } else if (v[0] == 'R') {
-          std::vector<rdf::TermId> args =
-              DecodeRow(std::string_view(v).substr(2));
+          std::vector<rdf::TermId> args = DecodeRow(v.substr(2));
           for (size_t a = 0; a < aggs.size(); ++a) {
             if (grouping.spec.aggs[a].count_star) {
               aggs[a].AddRow();
@@ -543,20 +542,20 @@ StatusOr<analytics::BindingTable> NtgaExec::FinalJoinProject(
   job.inputs.assign(distinct_inputs.begin(), distinct_inputs.end());
   std::string out_file = NextTmp(label + ":result");
   job.output = out_file;
-  auto rows = std::make_shared<std::vector<mr::Record>>(projected.rows);
+  auto rows = std::make_shared<std::vector<std::string>>(projected.rows);
   // Exactly one of the (possibly concurrent) mappers emits the rows.
   auto emitted = std::make_shared<std::atomic<bool>>(false);
   job.map = [](const mr::Record&, int, mr::MapContext*) {};
   job.map_finish = [rows, emitted](mr::MapContext* ctx) {
     if (emitted->exchange(true)) return;
-    for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
+    for (const std::string& r : *rows) ctx->Emit("", r);
   };
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
   (void)stats;
 
   analytics::BindingTable result(projected.columns);
-  for (const mr::Record& r : projected.rows) {
-    std::vector<rdf::TermId> row = DecodeRow(r.value);
+  for (const std::string& r : projected.rows) {
+    std::vector<rdf::TermId> row = DecodeRow(r);
     row.resize(projected.columns.size(), rdf::kInvalidTermId);
     result.AddRow(std::move(row));
   }

@@ -250,16 +250,15 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
                 std::to_string(tag) + "|" + EncodeRow(row));
     };
     job.reduce = [ins, out_pos, width, post_predicate](
-                     const std::string& /*key*/,
-                     const std::vector<std::string>& values,
+                     std::string_view /*key*/, const mr::ValueSpan& values,
                      mr::ReduceContext* ctx) {
       std::vector<std::vector<std::vector<rdf::TermId>>> sides(ins->size());
-      for (const std::string& v : values) {
+      for (std::string_view v : values) {
         size_t bar = v.find('|');
-        if (bar == std::string::npos) continue;
+        if (bar == std::string_view::npos) continue;
         int64_t tag = 0;
         ParseInt64(v.substr(0, bar), &tag);
-        sides[tag].push_back(DecodeRow(std::string_view(v).substr(bar + 1)));
+        sides[tag].push_back(DecodeRow(v.substr(bar + 1)));
       }
       if (sides[0].empty()) return;
       std::vector<std::vector<rdf::TermId>> results;
@@ -394,23 +393,22 @@ StatusOr<TableRef> RelationalOps::GroupBy(
   }
 
   job.reduce = [agg_specs, dict, make_aggs, having](
-                   const std::string& key,
-                   const std::vector<std::string>& values,
+                   std::string_view key, const mr::ValueSpan& values,
                    mr::ReduceContext* ctx) {
     std::vector<Aggregator> agg_list = make_aggs();
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       if (v.empty()) continue;
       if (v[0] == 'P') {
-        std::vector<std::string> parts = SplitString(v, '|');
-        for (size_t a = 0; a + 1 < parts.size() && a < agg_list.size(); ++a) {
+        FieldTokenizer parts(v, '|');
+        std::string_view part;
+        parts.Next(&part);  // the "P" marker
+        for (size_t a = 0; a < agg_list.size() && parts.Next(&part); ++a) {
           auto partial = Aggregator::DeserializePartial(
-              (*agg_specs)[a].func, parts[a + 1],
-              (*agg_specs)[a].separator);
+              (*agg_specs)[a].func, part, (*agg_specs)[a].separator);
           if (partial.ok()) agg_list[a].Merge(*partial, *dict);
         }
       } else if (v[0] == 'R') {
-        std::vector<rdf::TermId> args =
-            DecodeRow(std::string_view(v).substr(2));
+        std::vector<rdf::TermId> args = DecodeRow(v.substr(2));
         for (size_t a = 0; a < agg_list.size() && a < args.size(); ++a) {
           if ((*agg_specs)[a].count_star) {
             agg_list[a].AddRow();
@@ -445,8 +443,10 @@ StatusOr<TableRef> RelationalOps::GroupBy(
         row.push_back(empty.Finalize(dict));
       }
       if (having == nullptr || having(row)) {
-        RAPIDA_RETURN_IF_ERROR(dataset_->dfs().Write(
-            out.file, {mr::Record{"", EncodeRow(row)}}));
+        mr::RecordBatch batch;
+        batch.Add("", EncodeRow(row));
+        RAPIDA_RETURN_IF_ERROR(
+            dataset_->dfs().Write(out.file, std::move(batch)));
       }
     }
   }
@@ -482,11 +482,9 @@ StatusOr<TableRef> RelationalOps::DistinctProject(
     ctx->Emit(EncodeRow(projected), "");
   };
   // Combiner dedups map-side; reduce emits one row per distinct key.
-  job.combine = [](const std::string& key,
-                   const std::vector<std::string>&, mr::ReduceContext* ctx) {
-    ctx->Emit(key, "");
-  };
-  job.reduce = [](const std::string& key, const std::vector<std::string>&,
+  job.combine = [](std::string_view key, const mr::ValueSpan&,
+                   mr::ReduceContext* ctx) { ctx->Emit(key, ""); };
+  job.reduce = [](std::string_view key, const mr::ValueSpan&,
                   mr::ReduceContext* ctx) { ctx->Emit("", key); };
   job.reduce_parallel_safe = true;
 
@@ -532,7 +530,7 @@ ProjectedResult JoinAndProject(std::vector<analytics::BindingTable> tables,
           out_row.push_back(rdf::kInvalidTermId);
       }
     }
-    out.rows.push_back(mr::Record{"", EncodeRow(out_row)});
+    out.rows.push_back(EncodeRow(out_row));
   }
   return out;
 }
@@ -551,7 +549,7 @@ StatusOr<TableRef> RelationalOps::FinalJoinProject(
     tables.push_back(std::move(t));
   }
   ProjectedResult projected = JoinAndProject(std::move(tables), items, dict);
-  std::vector<mr::Record> result_rows = std::move(projected.rows);
+  std::vector<std::string> result_rows = std::move(projected.rows);
 
   // Model the work as one map-only broadcast-join cycle: the job scans all
   // inputs (honest byte accounting) and one mapper emits the result.
@@ -563,14 +561,14 @@ StatusOr<TableRef> RelationalOps::FinalJoinProject(
   job.name = name_hint + " (map-only)";
   for (const TableRef& t : inputs) job.inputs.push_back(t.file);
   job.output = out.file;
-  auto rows = std::make_shared<std::vector<mr::Record>>(
+  auto rows = std::make_shared<std::vector<std::string>>(
       std::move(result_rows));
   // Exactly one of the (possibly concurrent) mappers emits the rows.
   auto emitted = std::make_shared<std::atomic<bool>>(false);
   job.map = [](const mr::Record&, int, mr::MapContext*) {};
   job.map_finish = [rows, emitted](mr::MapContext* ctx) {
     if (emitted->exchange(true)) return;
-    for (const mr::Record& r : *rows) ctx->Emit(r.key, r.value);
+    for (const std::string& r : *rows) ctx->Emit("", r);
   };
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
   (void)stats;

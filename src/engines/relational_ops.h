@@ -46,7 +46,7 @@ RowPredicate CompilePredicate(
 /// final map-only cycle of every engine.
 struct ProjectedResult {
   std::vector<std::string> columns;
-  std::vector<mr::Record> rows;  // EncodeRow'd values
+  std::vector<std::string> rows;  // EncodeRow'd values (record keys are "")
 };
 ProjectedResult JoinAndProject(std::vector<analytics::BindingTable> tables,
                                const std::vector<sparql::SelectItem>& items,

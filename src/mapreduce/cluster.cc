@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -14,31 +15,37 @@ namespace rapida::mr {
 
 namespace {
 
-/// Map-side sink: collects records and accounts their serialized bytes in
-/// the emit loop (cheaper than a second pass over the buffer).
-class VectorMapContext : public MapContext {
+/// Map-side sink: copies key/value bytes into the task's arena (one bump
+/// allocation each, no per-record heap strings), stamps the key prefix and
+/// hash once, and accounts serialized bytes in the emit loop (cheaper than
+/// a second pass over the buffer).
+class ArenaMapContext : public MapContext {
  public:
-  explicit VectorMapContext(std::vector<Record>* out) : out_(out) {}
-  void Emit(std::string key, std::string value) override {
+  ArenaMapContext(std::vector<Record>* out, util::Arena* arena)
+      : out_(out), arena_(arena) {}
+  void Emit(std::string_view key, std::string_view value) override {
     bytes_ += key.size() + value.size() + 2;  // == Record::Bytes()
-    out_->push_back(Record{std::move(key), std::move(value)});
+    out_->push_back(MakeRecord(arena_->Copy(key), arena_->Copy(value)));
   }
   uint64_t bytes() const { return bytes_; }
 
  private:
   std::vector<Record>* out_;
+  util::Arena* arena_;
   uint64_t bytes_ = 0;
 };
 
-class VectorReduceContext : public ReduceContext {
+class ArenaReduceContext : public ReduceContext {
  public:
-  explicit VectorReduceContext(std::vector<Record>* out) : out_(out) {}
-  void Emit(std::string key, std::string value) override {
-    out_->push_back(Record{std::move(key), std::move(value)});
+  ArenaReduceContext(std::vector<Record>* out, util::Arena* arena)
+      : out_(out), arena_(arena) {}
+  void Emit(std::string_view key, std::string_view value) override {
+    out_->push_back(MakeRecord(arena_->Copy(key), arena_->Copy(value)));
   }
 
  private:
   std::vector<Record>* out_;
+  util::Arena* arena_;
 };
 
 /// Half-open range of same-key records inside a sorted partition.
@@ -47,40 +54,41 @@ struct GroupSpan {
   size_t end = 0;
 };
 
-/// Stable-sorts `records` by key in place and returns the group spans in
-/// ascending key order. Stability keeps each group's values in arrival
-/// order, so the result is exactly what the old std::map-based grouping
-/// produced — without any per-node allocations.
+/// Stable-sorts `records` by (prefix, key) in place and returns the group
+/// spans in ascending key order. The precomputed 8-byte prefix resolves
+/// the vast majority of comparisons on one uint64_t; ties fall back to the
+/// full key bytes, so the order is exactly `a.key < b.key`. Stability
+/// keeps each group's values in arrival order, so the result is exactly
+/// what the old per-key grouping produced.
 std::vector<GroupSpan> SortAndGroup(std::vector<Record>* records) {
-  std::stable_sort(
-      records->begin(), records->end(),
-      [](const Record& a, const Record& b) { return a.key < b.key; });
+  std::stable_sort(records->begin(), records->end(), RecordKeyLess);
   std::vector<GroupSpan> groups;
   size_t i = 0;
   while (i < records->size()) {
     size_t j = i + 1;
-    while (j < records->size() && (*records)[j].key == (*records)[i].key) ++j;
+    while (j < records->size() &&
+           RecordKeyEq((*records)[j], (*records)[i])) {
+      ++j;
+    }
     groups.push_back(GroupSpan{i, j});
     i = j;
   }
   return groups;
 }
 
-/// Moves the values of one group span out into a flat vector (keys stay
-/// valid in the records).
-std::vector<std::string> TakeGroupValues(std::vector<Record>* records,
-                                         const GroupSpan& span) {
-  std::vector<std::string> values;
-  values.reserve(span.end - span.begin);
-  for (size_t i = span.begin; i < span.end; ++i) {
-    values.push_back(std::move((*records)[i].value));
-  }
-  return values;
+/// Zero-copy view of one group's values inside the sorted records.
+ValueSpan SpanValues(const std::vector<Record>& records,
+                     const GroupSpan& span) {
+  return ValueSpan(records.data() + span.begin, records.data() + span.end);
 }
 
 /// One mapper's private results, merged into JobStats at the map barrier.
 struct MapTaskResult {
   std::vector<Record> output;  // map-only jobs: this task's final records
+  /// Arenas backing every record this task still exposes (its shuffle
+  /// chunks or, for map-only jobs, `output`). Kept alive until the job's
+  /// output is written.
+  std::vector<std::shared_ptr<util::Arena>> arenas;
   uint64_t map_output_records = 0;
   uint64_t map_output_bytes = 0;
   uint64_t shuffle_records = 0;  // post-combine
@@ -133,9 +141,10 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
 
   // ---- read inputs & form splits ----
   // Each input file contributes ceil(stored/block) splits; records are
-  // assigned to splits round-robin within their file, which matches the
-  // "many mappers scan disjoint blocks" behaviour closely enough for cost
-  // purposes while keeping execution deterministic.
+  // assigned to splits as contiguous chunks of their file (record i goes
+  // to split base + i / per_split), which matches the "many mappers scan
+  // disjoint blocks" behaviour closely enough for cost purposes while
+  // keeping execution deterministic.
   struct Split {
     std::vector<std::pair<const Record*, int>> records;  // (record, tag)
   };
@@ -189,9 +198,10 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   run_tasks(splits.size(), [&](size_t task) {
     Split& split = splits[task];
     MapTaskResult& result = task_results[task];
+    auto map_arena = std::make_shared<util::Arena>();
     std::vector<Record> map_out;
     map_out.reserve(split.records.size());
-    VectorMapContext ctx(&map_out);
+    ArenaMapContext ctx(&map_out, map_arena.get());
     for (const auto& [rec, tag] : split.records) {
       job.map(*rec, tag, &ctx);
     }
@@ -201,30 +211,37 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
 
     if (stats.map_only) {
       result.output = std::move(map_out);
+      result.arenas.push_back(std::move(map_arena));
       return;
     }
 
     if (job.combine) {
+      // Combined output gets its own arena so the raw-emission arena (and
+      // its pre-combine bytes) dies at the end of this scope.
+      auto combine_arena = std::make_shared<util::Arena>();
       std::vector<Record> combined;
       combined.reserve(map_out.size());
-      VectorReduceContext cctx(&combined);
+      ArenaReduceContext cctx(&combined, combine_arena.get());
       std::vector<GroupSpan> groups = SortAndGroup(&map_out);
       for (const GroupSpan& span : groups) {
-        std::vector<std::string> values = TakeGroupValues(&map_out, span);
-        job.combine(map_out[span.begin].key, values, &cctx);
+        job.combine(map_out[span.begin].key, SpanValues(map_out, span),
+                    &cctx);
       }
       map_out = std::move(combined);
+      map_arena = std::move(combine_arena);
     }
+    result.arenas.push_back(std::move(map_arena));
 
     // Scatter into per-partition buckets, then one locked append each.
+    // Partition choice reuses the hash stamped at Emit — no per-record
+    // std::hash here — and never affects results or counters: outputs are
+    // re-merged into global key order below.
     std::vector<std::vector<Record>> buckets(num_partitions);
-    for (Record& r : map_out) {
+    for (const Record& r : map_out) {
       result.shuffle_records += 1;
       result.shuffle_bytes += r.Bytes();
-      size_t p = num_partitions == 1
-                     ? 0
-                     : std::hash<std::string>{}(r.key) % num_partitions;
-      buckets[p].push_back(std::move(r));
+      size_t p = num_partitions == 1 ? 0 : r.key_hash % num_partitions;
+      buckets[p].push_back(r);
     }
     for (size_t p = 0; p < num_partitions; ++p) {
       if (buckets[p].empty()) continue;
@@ -246,8 +263,10 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   }
 
   std::vector<Record> output;
+  std::vector<std::shared_ptr<util::Arena>> output_arenas;
   if (stats.map_only) {
-    // Map-only job: mapper outputs concatenate in split order.
+    // Map-only job: mapper outputs concatenate in split order; the output
+    // adopts every task's arena.
     stats.shuffle_records = 0;
     stats.shuffle_bytes = 0;
     stats.num_reducers = 0;
@@ -255,7 +274,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     for (const MapTaskResult& r : task_results) total += r.output.size();
     output.reserve(total);
     for (MapTaskResult& r : task_results) {
-      for (Record& rec : r.output) output.push_back(std::move(rec));
+      output.insert(output.end(), r.output.begin(), r.output.end());
+      for (auto& arena : r.arenas) output_arenas.push_back(std::move(arena));
     }
   } else {
     // ---- group phase: per partition, flatten in task order, sort,
@@ -288,21 +308,24 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       // in ascending input-key order, which reproduces the serial path's
       // output byte-for-byte. ----
       struct ReducedGroup {
-        const std::string* key;  // points into part_records (stable)
+        uint64_t key_prefix;   // input-key sort key, prefix first
+        std::string_view key;  // view into part_records (stable)
         size_t part;
         size_t begin, end;  // span in part_out[part]
       };
       std::vector<std::vector<Record>> part_out(num_partitions);
+      std::vector<std::shared_ptr<util::Arena>> part_arenas(num_partitions);
       std::vector<std::vector<ReducedGroup>> part_spans(num_partitions);
       run_tasks(num_partitions, [&](size_t p) {
         std::vector<Record>& records = part_records[p];
-        VectorReduceContext rctx(&part_out[p]);
+        part_arenas[p] = std::make_shared<util::Arena>();
+        ArenaReduceContext rctx(&part_out[p], part_arenas[p].get());
         part_spans[p].reserve(part_groups[p].size());
         for (const GroupSpan& span : part_groups[p]) {
-          std::vector<std::string> values = TakeGroupValues(&records, span);
           size_t before = part_out[p].size();
-          job.reduce(records[span.begin].key, values, &rctx);
-          part_spans[p].push_back(ReducedGroup{&records[span.begin].key, p,
+          const Record& head = records[span.begin];
+          job.reduce(head.key, SpanValues(records, span), &rctx);
+          part_spans[p].push_back(ReducedGroup{head.key_prefix, head.key, p,
                                                before, part_out[p].size()});
         }
       });
@@ -313,42 +336,46 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       }
       std::sort(all_groups.begin(), all_groups.end(),
                 [](const ReducedGroup& a, const ReducedGroup& b) {
-                  return *a.key < *b.key;
+                  if (a.key_prefix != b.key_prefix) {
+                    return a.key_prefix < b.key_prefix;
+                  }
+                  return a.key < b.key;
                 });
       size_t total = 0;
       for (const auto& out : part_out) total += out.size();
       output.reserve(total);
       for (const ReducedGroup& g : all_groups) {
-        for (size_t i = g.begin; i < g.end; ++i) {
-          output.push_back(std::move(part_out[g.part][i]));
-        }
+        output.insert(output.end(), part_out[g.part].begin() + g.begin,
+                      part_out[g.part].begin() + g.end);
       }
+      output_arenas = std::move(part_arenas);
     } else {
       // ---- serial reduce: k-way merge of the sorted partitions invokes
       // the reduce fn once per key in *global* key order — identical to
       // the single-threaded runtime, so reduce fns that mutate shared
       // state (e.g. dictionary interning in aggregation finalizers) see
       // the exact same sequence of calls. ----
-      VectorReduceContext rctx(&output);
+      auto reduce_arena = std::make_shared<util::Arena>();
+      ArenaReduceContext rctx(&output, reduce_arena.get());
       std::vector<size_t> next(num_partitions, 0);
       for (;;) {
         size_t best = num_partitions;
-        const std::string* best_key = nullptr;
+        const Record* best_head = nullptr;
         for (size_t p = 0; p < num_partitions; ++p) {
           if (next[p] >= part_groups[p].size()) continue;
-          const std::string& key =
-              part_records[p][part_groups[p][next[p]].begin].key;
-          if (best_key == nullptr || key < *best_key) {
+          const Record& head =
+              part_records[p][part_groups[p][next[p]].begin];
+          if (best_head == nullptr || RecordKeyLess(head, *best_head)) {
             best = p;
-            best_key = &key;
+            best_head = &head;
           }
         }
         if (best == num_partitions) break;
         const GroupSpan& span = part_groups[best][next[best]++];
-        std::vector<std::string> values =
-            TakeGroupValues(&part_records[best], span);
-        job.reduce(part_records[best][span.begin].key, values, &rctx);
+        job.reduce(part_records[best][span.begin].key,
+                   SpanValues(part_records[best], span), &rctx);
       }
+      output_arenas.push_back(std::move(reduce_arena));
     }
   }
 
@@ -361,8 +388,11 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   }
 
   if (!job.output.empty()) {
+    RecordBatch batch;
+    batch.records = std::move(output);
+    batch.arenas = std::move(output_arenas);
     RAPIDA_RETURN_IF_ERROR(
-        dfs_->Write(job.output, std::move(output), job.output_options));
+        dfs_->Write(job.output, std::move(batch), job.output_options));
   }
 
   stats.sim_seconds = EstimateSimSeconds(stats);

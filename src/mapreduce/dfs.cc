@@ -6,10 +6,10 @@
 
 namespace rapida::mr {
 
-Status Dfs::Write(const std::string& name, std::vector<Record> records,
+Status Dfs::Write(const std::string& name, RecordBatch batch,
                   const FileOptions& options) {
   uint64_t logical = 0;
-  for (const Record& r : records) logical += r.Bytes();
+  for (const Record& r : batch.records) logical += r.Bytes();
   uint64_t stored =
       options.compressed
           ? static_cast<uint64_t>(static_cast<double>(logical) *
@@ -35,7 +35,8 @@ Status Dfs::Write(const std::string& name, std::vector<Record> records,
   }
   lifetime_bytes_written_ += stored;
   File& f = files_[name];
-  f.records = std::move(records);
+  f.records = std::move(batch.records);
+  f.arenas = std::move(batch.arenas);
   f.logical_bytes = logical;
   f.stored_bytes = stored;
   f.options = options;

@@ -2,6 +2,7 @@
 #define RAPIDA_MAPREDUCE_DFS_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -42,6 +43,10 @@ class Dfs {
  public:
   struct File {
     std::vector<Record> records;
+    /// Arenas owning the record bytes; records are string_views into these,
+    /// so a File keeps its arenas alive as long as readers hold the
+    /// pointer Open() returned.
+    std::vector<std::shared_ptr<util::Arena>> arenas;
     uint64_t logical_bytes = 0;  // sum of record footprints
     uint64_t stored_bytes = 0;   // after compression
     FileOptions options;
@@ -51,9 +56,10 @@ class Dfs {
   Dfs(const Dfs&) = delete;
   Dfs& operator=(const Dfs&) = delete;
 
-  /// Writes (replaces) a file. Fails with ResourceExhausted if the write
-  /// would push total stored bytes beyond the capacity limit.
-  Status Write(const std::string& name, std::vector<Record> records,
+  /// Writes (replaces) a file from an owning batch (records + the arenas
+  /// backing their bytes). Fails with ResourceExhausted if the write would
+  /// push total stored bytes beyond the capacity limit.
+  Status Write(const std::string& name, RecordBatch batch,
                const FileOptions& options = {});
 
   /// Opens an existing file for reading.

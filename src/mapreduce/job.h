@@ -1,9 +1,12 @@
 #ifndef RAPIDA_MAPREDUCE_JOB_H_
 #define RAPIDA_MAPREDUCE_JOB_H_
 
+#include <cstddef>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mapreduce/dfs.h"
@@ -19,7 +22,9 @@ namespace rapida::mr {
 class MapContext {
  public:
   virtual ~MapContext() = default;
-  virtual void Emit(std::string key, std::string value) = 0;
+  /// Copies both byte ranges into the task's arena, so temporaries are
+  /// fine; no per-record heap allocation happens on this path.
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
 
   /// Lazily-created state scoped to this map task: the first call
   /// value-initializes a T, later calls return the same object, and it is
@@ -44,11 +49,55 @@ class MapContext {
   std::unique_ptr<StateHolderBase> state_;
 };
 
-/// Sink for reduce-side emissions.
+/// Sink for reduce-side emissions. Emit copies into the reduce arena,
+/// exactly like MapContext::Emit.
 class ReduceContext {
  public:
   virtual ~ReduceContext() = default;
-  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// Zero-copy view of one key group's values: the group's records sit
+/// contiguously in the sorted shuffle partition, and iterating a ValueSpan
+/// yields each record's value as a string_view into that partition. Valid
+/// only for the duration of the reduce/combine call it is passed to.
+class ValueSpan {
+ public:
+  ValueSpan() = default;
+  ValueSpan(const Record* begin, const Record* end)
+      : begin_(begin), end_(end) {}
+
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  std::string_view operator[](size_t i) const { return begin_[i].value; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::string_view;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::string_view*;
+    using reference = std::string_view;
+
+    explicit iterator(const Record* r) : r_(r) {}
+    std::string_view operator*() const { return r_->value; }
+    iterator& operator++() {
+      ++r_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return r_ == o.r_; }
+    bool operator!=(const iterator& o) const { return r_ != o.r_; }
+
+   private:
+    const Record* r_;
+  };
+
+  iterator begin() const { return iterator(begin_); }
+  iterator end() const { return iterator(end_); }
+
+ private:
+  const Record* begin_ = nullptr;
+  const Record* end_ = nullptr;
 };
 
 /// Per-record map function. `input_tag` identifies which input file the
@@ -64,9 +113,10 @@ using MapFn =
 using MapFinishFn = std::function<void(MapContext*)>;
 
 /// Reduce (and combine) function: one distinct key with all its values.
-using ReduceFn = std::function<void(const std::string& key,
-                                    const std::vector<std::string>& values,
-                                    ReduceContext*)>;
+/// The key and the spanned values point into the sorted partition and stay
+/// valid only for this call; copy anything that must outlive it.
+using ReduceFn = std::function<void(std::string_view key,
+                                    const ValueSpan& values, ReduceContext*)>;
 
 /// Declarative description of one MapReduce job.
 struct JobConfig {

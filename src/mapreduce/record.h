@@ -2,20 +2,93 @@
 #define RAPIDA_MAPREDUCE_RECORD_H_
 
 #include <cstdint>
-#include <string>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/arena.h"
 
 namespace rapida::mr {
 
+/// 64-bit FNV-1a over the key bytes. Computed once per record at emit time
+/// and reused for shuffle partitioning, so the hot loops never rehash.
+inline uint64_t HashKey(std::string_view key) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// First 8 key bytes packed big-endian (shorter keys zero-padded on the
+/// right). Numeric comparison of two prefixes equals lexicographic
+/// comparison of the first 8 bytes, so sort/merge comparisons resolve on
+/// one integer unless the keys share an 8-byte prefix.
+inline uint64_t KeyPrefix(std::string_view key) {
+  uint64_t p = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    p = (p << 8) |
+        (i < key.size() ? static_cast<unsigned char>(key[i]) : 0u);
+  }
+  return p;
+}
+
 /// One key/value record flowing through the simulated MapReduce runtime.
-/// Keys and values are serialized strings so every byte that would cross
-/// disk or network in a real deployment is measurable here.
+/// Keys and values are serialized byte strings so every byte that would
+/// cross disk or network in a real deployment is measurable here — but the
+/// bytes themselves live in a util::Arena owned by the producing map/reduce
+/// context (or RecordBatch / Dfs::File), never in per-record heap strings.
+/// `key_prefix` and `key_hash` are stamped once when the record is created.
 struct Record {
-  std::string key;
-  std::string value;
+  std::string_view key;
+  std::string_view value;
+  uint64_t key_prefix = 0;
+  uint64_t key_hash = 0;
 
   /// Serialized footprint used for all byte accounting (key + value +
-  /// separators).
+  /// separators). Representation-independent: identical to what the
+  /// std::string-backed record reported, so sim_seconds and EXPLAIN
+  /// estimates never see the arena refactor.
   uint64_t Bytes() const { return key.size() + value.size() + 2; }
+};
+
+/// Stamps prefix + hash for key/value views that are already arena-stable.
+inline Record MakeRecord(std::string_view key, std::string_view value) {
+  return Record{key, value, KeyPrefix(key), HashKey(key)};
+}
+
+/// Full sort order: prefix first (one integer compare), full key bytes only
+/// on an 8-byte-prefix tie. Equivalent to `a.key < b.key`.
+inline bool RecordKeyLess(const Record& a, const Record& b) {
+  if (a.key_prefix != b.key_prefix) return a.key_prefix < b.key_prefix;
+  return a.key < b.key;
+}
+
+inline bool RecordKeyEq(const Record& a, const Record& b) {
+  return a.key_prefix == b.key_prefix && a.key == b.key;
+}
+
+/// Owning batch of records: the only way to hand record data to the Dfs
+/// from outside a MapReduce job. Add() copies the bytes into the batch's
+/// arena, so callers may pass temporaries; the arena rides along into
+/// Dfs::File and keeps every view valid for the file's lifetime.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  RecordBatch(RecordBatch&&) = default;
+  RecordBatch& operator=(RecordBatch&&) = default;
+
+  void Add(std::string_view key, std::string_view value) {
+    if (arenas.empty()) {
+      arenas.push_back(std::make_shared<util::Arena>());
+    }
+    util::Arena* a = arenas.back().get();
+    records.push_back(MakeRecord(a->Copy(key), a->Copy(value)));
+  }
+
+  std::vector<Record> records;
+  std::vector<std::shared_ptr<util::Arena>> arenas;
 };
 
 }  // namespace rapida::mr

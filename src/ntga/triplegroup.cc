@@ -54,24 +54,28 @@ std::string SerializeTripleGroup(const TripleGroup& tg) {
   return out;
 }
 
-StatusOr<TripleGroup> ParseTripleGroup(const std::string& data) {
+StatusOr<TripleGroup> ParseTripleGroup(std::string_view data) {
   TripleGroup tg;
-  std::vector<std::string> parts = SplitString(data, ';');
-  if (parts.empty()) return Status::ParseError("empty triplegroup");
+  FieldTokenizer fields(data, ';');
+  std::string_view part;
+  fields.Next(&part);  // always yields at least the (possibly empty) subject
   int64_t subj = 0;
-  if (!ParseInt64(parts[0], &subj)) {
-    return Status::ParseError("bad triplegroup subject: " + data);
+  if (!ParseInt64(part, &subj)) {
+    return Status::ParseError("bad triplegroup subject: " +
+                              std::string(data));
   }
   tg.subject = static_cast<rdf::TermId>(subj);
-  for (size_t i = 1; i < parts.size(); ++i) {
-    size_t comma = parts[i].find(',');
-    if (comma == std::string::npos) {
-      return Status::ParseError("bad triplegroup triple: " + parts[i]);
+  while (fields.Next(&part)) {
+    size_t comma = part.find(',');
+    if (comma == std::string_view::npos) {
+      return Status::ParseError("bad triplegroup triple: " +
+                                std::string(part));
     }
     int64_t p = 0, o = 0;
-    if (!ParseInt64(parts[i].substr(0, comma), &p) ||
-        !ParseInt64(parts[i].substr(comma + 1), &o)) {
-      return Status::ParseError("bad triplegroup triple: " + parts[i]);
+    if (!ParseInt64(part.substr(0, comma), &p) ||
+        !ParseInt64(part.substr(comma + 1), &o)) {
+      return Status::ParseError("bad triplegroup triple: " +
+                                std::string(part));
     }
     tg.triples.push_back(rdf::Triple{tg.subject, static_cast<rdf::TermId>(p),
                                      static_cast<rdf::TermId>(o)});
@@ -91,20 +95,23 @@ std::string SerializeNested(const NestedTripleGroup& ntg) {
   return out;
 }
 
-StatusOr<NestedTripleGroup> ParseNested(const std::string& data,
+StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
                                         int num_stars) {
   NestedTripleGroup ntg;
   ntg.stars.resize(num_stars);
   if (data.empty()) return ntg;
-  for (const std::string& part : SplitString(data, '#')) {
+  FieldTokenizer parts(data, '#');
+  std::string_view part;
+  while (parts.Next(&part)) {
     size_t colon = part.find(':');
-    if (colon == std::string::npos) {
-      return Status::ParseError("bad nested triplegroup part: " + part);
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("bad nested triplegroup part: " +
+                                std::string(part));
     }
     int64_t star = 0;
     if (!ParseInt64(part.substr(0, colon), &star) || star < 0 ||
         star >= num_stars) {
-      return Status::ParseError("bad star index in: " + part);
+      return Status::ParseError("bad star index in: " + std::string(part));
     }
     RAPIDA_ASSIGN_OR_RETURN(TripleGroup tg,
                             ParseTripleGroup(part.substr(colon + 1)));

@@ -3,6 +3,7 @@
 
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ntga/prop_key.h"
@@ -76,10 +77,10 @@ struct NestedTripleGroup {
 ///   TripleGroup:        "subj;p,o;p,o;..."
 ///   NestedTripleGroup:  "star:subj;p,o;...#star:subj;..."  (filled stars)
 std::string SerializeTripleGroup(const TripleGroup& tg);
-StatusOr<TripleGroup> ParseTripleGroup(const std::string& data);
+StatusOr<TripleGroup> ParseTripleGroup(std::string_view data);
 
 std::string SerializeNested(const NestedTripleGroup& ntg);
-StatusOr<NestedTripleGroup> ParseNested(const std::string& data,
+StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
                                         int num_stars);
 
 }  // namespace rapida::ntga

@@ -272,8 +272,8 @@ Status FinishRelational(ExecContext* ctx, const AnalyticalQuery& query,
     engine::ProjectedResult projected =
         engine::JoinAndProject({std::move(*table)}, query.top_items, dict);
     analytics::BindingTable out(projected.columns);
-    for (const mr::Record& r : projected.rows) {
-      std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+    for (const std::string& r : projected.rows) {
+      std::vector<rdf::TermId> row = engine::DecodeRow(r);
       row.resize(projected.columns.size(), rdf::kInvalidTermId);
       out.AddRow(std::move(row));
     }

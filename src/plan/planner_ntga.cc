@@ -193,8 +193,8 @@ void BindRapidPlus(PhysicalPlan* plan, const AnalyticalQuery& query) {
       engine::ProjectedResult projected = engine::JoinAndProject(
           std::move(st->agg_tables), q->top_items, mdict);
       analytics::BindingTable table(projected.columns);
-      for (const mr::Record& r : projected.rows) {
-        std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+      for (const std::string& r : projected.rows) {
+        std::vector<rdf::TermId> row = engine::DecodeRow(r);
         row.resize(projected.columns.size(), rdf::kInvalidTermId);
         table.AddRow(std::move(row));
       }
@@ -360,8 +360,8 @@ void BindCompositeBatch(PhysicalPlan* plan, std::shared_ptr<RaState> st) {
         engine::ProjectedResult projected = engine::JoinAndProject(
             std::move(q_tables), query.top_items, mdict);
         analytics::BindingTable table(projected.columns);
-        for (const mr::Record& r : projected.rows) {
-          std::vector<rdf::TermId> row = engine::DecodeRow(r.value);
+        for (const std::string& r : projected.rows) {
+          std::vector<rdf::TermId> row = engine::DecodeRow(r);
           row.resize(projected.columns.size(), rdf::kInvalidTermId);
           table.AddRow(std::move(row));
         }

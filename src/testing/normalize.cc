@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <sstream>
+#include <string_view>
 
 #include "sparql/ast.h"
+#include "util/string_util.h"
 
 namespace rapida::difftest {
 
@@ -173,19 +176,21 @@ bool ParseNormalized(const std::string& text, NormalizedTable* out) {
   }
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    if (line.rfind("row", 0) != 0) return false;
+    // Fields are tab-separated views into the line; nothing is copied until
+    // a cell's decoded payload is built.
+    FieldTokenizer fields(line, '\t');
+    std::string_view field;
+    if (!fields.Next(&field) || field != "row") return false;
     std::vector<NormalizedCell> row;
-    size_t pos = 3;
-    while (pos < line.size() && line[pos] == '\t') {
-      ++pos;
-      size_t end = line.find('\t', pos);
-      if (end == std::string::npos) end = line.size();
-      std::string field = line.substr(pos, end - pos);
+    while (fields.Next(&field)) {
       if (field.empty()) return false;
       NormalizedCell cell;
       if (field[0] == 'N') {
         cell.is_number = true;
-        cell.number = std::strtod(field.c_str() + 1, nullptr);
+        // strtod wants NUL termination; number fields are tiny, so one
+        // short-string copy per numeric cell is the whole cost.
+        cell.number = std::strtod(std::string(field.substr(1)).c_str(),
+                                  nullptr);
       } else if (field[0] == 'T') {
         for (size_t i = 1; i < field.size(); ++i) {
           if (field[i] == '\\' && i + 1 < field.size()) {
@@ -201,7 +206,6 @@ bool ParseNormalized(const std::string& text, NormalizedTable* out) {
         return false;
       }
       row.push_back(std::move(cell));
-      pos = end;
     }
     if (row.size() != out->columns.size()) return false;
     out->rows.push_back(std::move(row));

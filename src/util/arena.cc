@@ -1,0 +1,17 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace rapida::util {
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t block = std::max(next_block_bytes_, min_bytes);
+  blocks_.push_back(std::make_unique<char[]>(block));
+  cursor_ = blocks_.back().get();
+  remaining_ = block;
+  // Geometric growth amortizes block setup without holding large slack for
+  // small producers.
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlock);
+}
+
+}  // namespace rapida::util

@@ -1,0 +1,80 @@
+#ifndef RAPIDA_UTIL_ARENA_H_
+#define RAPIDA_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace rapida::util {
+
+/// Bump allocator for record payloads: bytes copied in stay valid (and at a
+/// stable address) until the arena is destroyed. One arena serves one
+/// producer thread; it is not internally synchronized.
+///
+/// The MapReduce runtime gives every map task and reduce context its own
+/// arena so the hot emit path is an append plus a pointer bump — no
+/// per-record operator new — and record string_views can outlive the
+/// emitting callback as long as the owning arena is kept alive (Dfs::File
+/// and RecordBatch hold shared_ptr<Arena> for exactly that reason).
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlock)
+      : next_block_bytes_(first_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage; valid for the arena's lifetime.
+  char* Allocate(size_t n) {
+    if (n > remaining_) AddBlock(n);
+    char* out = cursor_;
+    cursor_ += n;
+    remaining_ -= n;
+    bytes_used_ += n;
+    return out;
+  }
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view Copy(std::string_view s) {
+    if (s.empty()) return std::string_view(EmptyMarker(), 0);
+    char* dst = Allocate(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return std::string_view(dst, s.size());
+  }
+
+  /// Copies the concatenation a+b in one contiguous allocation.
+  std::string_view Concat(std::string_view a, std::string_view b) {
+    if (a.size() + b.size() == 0) return std::string_view(EmptyMarker(), 0);
+    char* dst = Allocate(a.size() + b.size());
+    if (!a.empty()) std::memcpy(dst, a.data(), a.size());
+    if (!b.empty()) std::memcpy(dst + a.size(), b.data(), b.size());
+    return std::string_view(dst, a.size() + b.size());
+  }
+
+  /// Total bytes handed out (not counting block slack).
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  static constexpr size_t kDefaultFirstBlock = 16 * 1024;
+  static constexpr size_t kMaxBlock = 1024 * 1024;
+
+  // Empty views still need a non-null data() distinguishable from "no
+  // value"; point them at a static byte instead of burning arena space.
+  static const char* EmptyMarker() {
+    static const char marker = '\0';
+    return &marker;
+  }
+
+  void AddBlock(size_t min_bytes);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t next_block_bytes_;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace rapida::util
+
+#endif  // RAPIDA_UTIL_ARENA_H_

@@ -11,6 +11,38 @@ namespace rapida {
 /// Splits `input` on `sep`, keeping empty fields.
 std::vector<std::string> SplitString(std::string_view input, char sep);
 
+/// Zero-copy field splitter with SplitString's exact semantics (empty
+/// fields kept, "" yields one empty field, a trailing separator yields a
+/// trailing empty field) — but each field is a string_view into `input`,
+/// so per-record parse loops allocate nothing. `input` must outlive the
+/// returned views.
+class FieldTokenizer {
+ public:
+  FieldTokenizer(std::string_view input, char sep)
+      : input_(input), sep_(sep) {}
+
+  /// Writes the next field into `*field` and returns true, or returns
+  /// false when all fields (including a trailing empty one) are consumed.
+  bool Next(std::string_view* field) {
+    if (done_) return false;
+    size_t pos = input_.find(sep_, start_);
+    if (pos == std::string_view::npos) {
+      *field = input_.substr(start_);
+      done_ = true;
+      return true;
+    }
+    *field = input_.substr(start_, pos - start_);
+    start_ = pos + 1;
+    return true;
+  }
+
+ private:
+  std::string_view input_;
+  char sep_;
+  size_t start_ = 0;
+  bool done_ = false;
+};
+
 /// Joins `parts` with `sep` between consecutive elements.
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);

@@ -1,0 +1,104 @@
+// Allocation regression gate for the MapReduce hot path: a representative
+// shuffle+reduce job must stay far below one heap allocation per record.
+// The arena-backed record representation makes the emit/shuffle/sort/reduce
+// loops allocation-free per record (arena block growth, task vectors and
+// thread bookkeeping amortize away), so the whole job costs O(tasks + keys)
+// allocations, not O(records). The std::string-backed representation this
+// replaced paid 2+ allocations per record at emit alone once payloads
+// exceed the small-string buffer — an order of magnitude over this budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+#include "util/string_util.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAlloc(size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t n) { return CountedAlloc(n); }
+void* operator new[](size_t n) { return CountedAlloc(n); }
+void* operator new(size_t n, const std::nothrow_t&) noexcept {
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](size_t n, const std::nothrow_t&) noexcept {
+  return std::malloc(n == 0 ? 1 : n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace rapida::mr {
+namespace {
+
+TEST(AllocRegressionTest, ReduceJobStaysUnderPerRecordBudget) {
+  constexpr int kRecords = 20000;
+  constexpr int kDistinctKeys = 100;
+
+  Dfs dfs;
+  RecordBatch input;
+  for (int i = 0; i < kRecords; ++i) {
+    // Keys and values longer than any small-string buffer, so a
+    // string-per-record representation could not hide behind SSO.
+    input.Add("key-" + std::to_string(i % kDistinctKeys) +
+                  "-padded-well-beyond-sso",
+              "value-payload-padded-well-beyond-sso-" + std::to_string(i));
+  }
+  ASSERT_TRUE(dfs.Write("input", std::move(input)).ok());
+
+  Cluster cluster(ClusterConfig{}, &dfs);
+  JobConfig job;
+  job.name = "alloc-regression";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    ctx->Emit(r.key, r.value);
+  };
+  job.reduce = [](std::string_view key, const ValueSpan& values,
+                  ReduceContext* ctx) {
+    ctx->Emit(key, std::to_string(values.size()));
+  };
+
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  auto stats = cluster.Run(job);
+  g_counting.store(false, std::memory_order_seq_cst);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->input_records, static_cast<uint64_t>(kRecords));
+  EXPECT_EQ(stats->output_records, static_cast<uint64_t>(kDistinctKeys));
+
+  size_t allocations = g_allocations.load(std::memory_order_relaxed);
+  // Generous pinned budget: well under one allocation per two records,
+  // while leaving lots of headroom for task/thread/closure bookkeeping.
+  // The per-record-string representation costs several times kRecords.
+  EXPECT_LT(allocations, static_cast<size_t>(kRecords) / 2)
+      << "hot path regressed to per-record heap allocation ("
+      << allocations << " allocations for " << kRecords << " records)";
+}
+
+}  // namespace
+}  // namespace rapida::mr

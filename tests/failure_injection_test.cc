@@ -74,10 +74,13 @@ TEST(FailureInjectionTest, CorruptTriplegroupRecordsAreSkipped) {
     if (f.rfind("tg:", 0) != 0) continue;
     auto file = dataset.dfs().Open(f);
     ASSERT_TRUE(file.ok());
-    std::vector<mr::Record> records = (*file)->records;
-    records.push_back(mr::Record{"junk", "not-a-triplegroup"});
-    records.push_back(mr::Record{"", ""});
-    ASSERT_TRUE(dataset.dfs().Write(f, std::move(records)).ok());
+    // Copy the bytes out via the batch before Write replaces the file (and
+    // drops the arenas the old views point into).
+    mr::RecordBatch batch;
+    for (const mr::Record& r : (*file)->records) batch.Add(r.key, r.value);
+    batch.Add("junk", "not-a-triplegroup");
+    batch.Add("", "");
+    ASSERT_TRUE(dataset.dfs().Write(f, std::move(batch)).ok());
   }
   auto corrupted = engine.Execute(*query, &dataset, &cluster, &stats);
   ASSERT_TRUE(corrupted.ok()) << corrupted.status();

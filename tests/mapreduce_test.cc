@@ -10,16 +10,16 @@
 namespace rapida::mr {
 namespace {
 
-std::vector<Record> MakeRecords(std::initializer_list<
-                                std::pair<const char*, const char*>> kvs) {
-  std::vector<Record> out;
-  for (const auto& [k, v] : kvs) out.push_back(Record{k, v});
+RecordBatch MakeBatch(std::initializer_list<
+                      std::pair<const char*, const char*>> kvs) {
+  RecordBatch out;
+  for (const auto& [k, v] : kvs) out.Add(k, v);
   return out;
 }
 
 TEST(DfsTest, WriteOpenDelete) {
   Dfs dfs;
-  ASSERT_TRUE(dfs.Write("f1", MakeRecords({{"a", "1"}, {"b", "2"}})).ok());
+  ASSERT_TRUE(dfs.Write("f1", MakeBatch({{"a", "1"}, {"b", "2"}})).ok());
   auto file = dfs.Open("f1");
   ASSERT_TRUE(file.ok());
   EXPECT_EQ((*file)->records.size(), 2u);
@@ -34,13 +34,16 @@ TEST(DfsTest, WriteOpenDelete) {
 
 TEST(DfsTest, CompressionShrinksStoredBytes) {
   Dfs dfs;
-  std::vector<Record> recs;
-  for (int i = 0; i < 100; ++i) recs.push_back(Record{"key", "valuevalue"});
+  RecordBatch plain_recs, orc_recs;
+  for (int i = 0; i < 100; ++i) {
+    plain_recs.Add("key", "valuevalue");
+    orc_recs.Add("key", "valuevalue");
+  }
   FileOptions orc;
   orc.compressed = true;
   orc.compression_ratio = 0.2;
-  ASSERT_TRUE(dfs.Write("plain", recs).ok());
-  ASSERT_TRUE(dfs.Write("orc", recs, orc).ok());
+  ASSERT_TRUE(dfs.Write("plain", std::move(plain_recs)).ok());
+  ASSERT_TRUE(dfs.Write("orc", std::move(orc_recs), orc).ok());
   auto plain = dfs.Open("plain");
   auto compressed = dfs.Open("orc");
   EXPECT_EQ((*compressed)->logical_bytes, (*plain)->logical_bytes);
@@ -50,19 +53,20 @@ TEST(DfsTest, CompressionShrinksStoredBytes) {
 TEST(DfsTest, CapacityLimitReproducesDiskFull) {
   Dfs dfs;
   dfs.SetCapacityLimit(100);
-  std::vector<Record> big(20, Record{"0123456789", "0123456789"});
-  Status s = dfs.Write("big", big);
+  RecordBatch big;
+  for (int i = 0; i < 20; ++i) big.Add("0123456789", "0123456789");
+  Status s = dfs.Write("big", std::move(big));
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Code::kResourceExhausted);
   // Small write still fits.
-  EXPECT_TRUE(dfs.Write("small", MakeRecords({{"a", "b"}})).ok());
+  EXPECT_TRUE(dfs.Write("small", MakeBatch({{"a", "b"}})).ok());
 }
 
 TEST(DfsTest, OverwriteReplacesAccounting) {
   Dfs dfs;
-  ASSERT_TRUE(dfs.Write("f", MakeRecords({{"aaaa", "bbbb"}})).ok());
+  ASSERT_TRUE(dfs.Write("f", MakeBatch({{"aaaa", "bbbb"}})).ok());
   uint64_t after_first = dfs.TotalStoredBytes();
-  ASSERT_TRUE(dfs.Write("f", MakeRecords({{"a", "b"}})).ok());
+  ASSERT_TRUE(dfs.Write("f", MakeBatch({{"a", "b"}})).ok());
   EXPECT_LT(dfs.TotalStoredBytes(), after_first);
   EXPECT_GT(dfs.LifetimeBytesWritten(), dfs.TotalStoredBytes());
 }
@@ -75,10 +79,10 @@ class ClusterTest : public ::testing::Test {
 };
 
 TEST_F(ClusterTest, WordCount) {
-  std::vector<Record> lines;
-  lines.push_back(Record{"", "a b a"});
-  lines.push_back(Record{"", "b a"});
-  ASSERT_TRUE(dfs_.Write("input", lines).ok());
+  RecordBatch lines;
+  lines.Add("", "a b a");
+  lines.Add("", "b a");
+  ASSERT_TRUE(dfs_.Write("input", std::move(lines)).ok());
 
   JobConfig job;
   job.name = "wordcount";
@@ -89,8 +93,8 @@ TEST_F(ClusterTest, WordCount) {
       ctx->Emit(w, "1");
     }
   };
-  job.reduce = [](const std::string& key,
-                  const std::vector<std::string>& values, ReduceContext* ctx) {
+  job.reduce = [](std::string_view key, const ValueSpan& values,
+                  ReduceContext* ctx) {
     ctx->Emit(key, std::to_string(values.size()));
   };
   auto stats = cluster_.Run(job);
@@ -110,8 +114,9 @@ TEST_F(ClusterTest, WordCount) {
 }
 
 TEST_F(ClusterTest, CombinerShrinksShuffle) {
-  std::vector<Record> lines(50, Record{"", "x x x x"});
-  ASSERT_TRUE(dfs_.Write("input", lines).ok());
+  RecordBatch lines;
+  for (int i = 0; i < 50; ++i) lines.Add("", "x x x x");
+  ASSERT_TRUE(dfs_.Write("input", std::move(lines)).ok());
 
   JobConfig job;
   job.name = "combined";
@@ -120,11 +125,10 @@ TEST_F(ClusterTest, CombinerShrinksShuffle) {
   job.map = [](const Record& r, int, MapContext* ctx) {
     for (const std::string& w : SplitString(r.value, ' ')) ctx->Emit(w, "1");
   };
-  ReduceFn sum = [](const std::string& key,
-                    const std::vector<std::string>& values,
+  ReduceFn sum = [](std::string_view key, const ValueSpan& values,
                     ReduceContext* ctx) {
     int64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       int64_t n = 0;
       ParseInt64(v, &n);
       total += n;
@@ -147,7 +151,7 @@ TEST_F(ClusterTest, CombinerShrinksShuffle) {
 }
 
 TEST_F(ClusterTest, MapOnlyJobSkipsShuffle) {
-  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  ASSERT_TRUE(dfs_.Write("input", MakeBatch({{"k", "v"}})).ok());
   JobConfig job;
   job.name = "identity";
   job.inputs = {"input"};
@@ -164,19 +168,21 @@ TEST_F(ClusterTest, MapOnlyJobSkipsShuffle) {
 }
 
 TEST_F(ClusterTest, InputTagsDistinguishSides) {
-  ASSERT_TRUE(dfs_.Write("left", MakeRecords({{"k1", "l"}})).ok());
-  ASSERT_TRUE(dfs_.Write("right", MakeRecords({{"k1", "r"}})).ok());
+  ASSERT_TRUE(dfs_.Write("left", MakeBatch({{"k1", "l"}})).ok());
+  ASSERT_TRUE(dfs_.Write("right", MakeBatch({{"k1", "r"}})).ok());
   JobConfig job;
   job.name = "tagjoin";
   job.inputs = {"left", "right"};
   job.output = "out";
   job.map = [](const Record& r, int tag, MapContext* ctx) {
-    ctx->Emit(r.key, (tag == 0 ? "L:" : "R:") + r.value);
+    std::string tagged = tag == 0 ? "L:" : "R:";
+    tagged += r.value;
+    ctx->Emit(r.key, tagged);
   };
-  job.reduce = [](const std::string& key,
-                  const std::vector<std::string>& values, ReduceContext* ctx) {
+  job.reduce = [](std::string_view key, const ValueSpan& values,
+                  ReduceContext* ctx) {
     std::string joined;
-    for (const std::string& v : values) joined += v;
+    for (std::string_view v : values) joined += v;
     ctx->Emit(key, joined);
   };
   auto stats = cluster_.Run(job);
@@ -187,8 +193,9 @@ TEST_F(ClusterTest, InputTagsDistinguishSides) {
 }
 
 TEST_F(ClusterTest, MapFinishFlushesPerMapperState) {
-  std::vector<Record> input(10, Record{"k", "1"});
-  ASSERT_TRUE(dfs_.Write("input", input).ok());
+  RecordBatch input;
+  for (int i = 0; i < 10; ++i) input.Add("k", "1");
+  ASSERT_TRUE(dfs_.Write("input", std::move(input)).ok());
   JobConfig job;
   job.name = "stateful";
   job.inputs = {"input"};
@@ -217,7 +224,7 @@ TEST_F(ClusterTest, MissingInputFails) {
 }
 
 TEST_F(ClusterTest, CapacityFailurePropagates) {
-  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  ASSERT_TRUE(dfs_.Write("input", MakeBatch({{"k", "v"}})).ok());
   dfs_.SetCapacityLimit(dfs_.TotalStoredBytes() + 1);
   JobConfig job;
   job.name = "blowup";
@@ -271,11 +278,10 @@ JobConfig DeterminismJob(ReduceFn* sum_out = nullptr) {
       ctx->Emit((tag == 0 ? "L" : "R") + w, "1");
     }
   };
-  ReduceFn sum = [](const std::string& key,
-                    const std::vector<std::string>& values,
+  ReduceFn sum = [](std::string_view key, const ValueSpan& values,
                     ReduceContext* ctx) {
     int64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       int64_t n = 0;
       ParseInt64(v, &n);
       total += n;
@@ -289,17 +295,17 @@ JobConfig DeterminismJob(ReduceFn* sum_out = nullptr) {
 }
 
 void WriteDeterminismInputs(Dfs* dfs) {
-  std::vector<Record> left, right;
+  RecordBatch left, right;
   for (int i = 0; i < 400; ++i) {
     std::string line;
     for (int w = 0; w < 6; ++w) {
       if (w > 0) line += ' ';
       line += "w" + std::to_string((i * 7 + w * 13) % 50);
     }
-    (i % 2 == 0 ? left : right).push_back(Record{"", line});
+    (i % 2 == 0 ? left : right).Add("", line);
   }
-  ASSERT_TRUE(dfs->Write("left", left).ok());
-  ASSERT_TRUE(dfs->Write("right", right).ok());
+  ASSERT_TRUE(dfs->Write("left", std::move(left)).ok());
+  ASSERT_TRUE(dfs->Write("right", std::move(right)).ok());
 }
 
 void ExpectSameStats(const JobStats& a, const JobStats& b) {
@@ -360,11 +366,91 @@ TEST(ParallelClusterTest, ThreadCountDoesNotChangeResults) {
     // ...and (a fortiori) after a canonical sort.
     auto canon = [](const std::vector<Record>& recs) {
       std::vector<std::string> out;
-      for (const Record& r : recs) out.push_back(r.key + "\t" + r.value);
+      for (const Record& r : recs) {
+        out.push_back(std::string(r.key) + "\t" + std::string(r.value));
+      }
       std::sort(out.begin(), out.end());
       return out;
     };
     EXPECT_EQ(canon((*out1)->records), canon((*out8)->records));
+  }
+}
+
+// The ValueSpan handed to reduce exposes the group through size(),
+// operator[], and iteration, all views into the sorted partition.
+TEST_F(ClusterTest, ValueSpanAccessorsAgree) {
+  RecordBatch input;
+  input.Add("k", "alpha");
+  input.Add("k", "beta");
+  input.Add("k", "gamma");
+  ASSERT_TRUE(dfs_.Write("input", std::move(input)).ok());
+  JobConfig job;
+  job.name = "span";
+  job.inputs = {"input"};
+  job.output = "out";
+  job.map = [](const Record& r, int, MapContext* ctx) {
+    ctx->Emit(r.key, r.value);
+  };
+  job.reduce = [](std::string_view key, const ValueSpan& values,
+                  ReduceContext* ctx) {
+    ASSERT_FALSE(values.empty());
+    std::string by_index, by_iter;
+    for (size_t i = 0; i < values.size(); ++i) {
+      by_index += values[i];
+      by_index += '|';
+    }
+    for (std::string_view v : values) {
+      by_iter += v;
+      by_iter += '|';
+    }
+    EXPECT_EQ(by_index, by_iter);
+    ctx->Emit(key, by_iter);
+  };
+  auto stats = cluster_.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto out = dfs_.Open("out");
+  // stable_sort keeps a group's values in arrival order.
+  EXPECT_EQ((*out)->records[0].value, "alpha|beta|gamma|");
+}
+
+// The full reduce-mode matrix: combine feeding either the serial
+// k-way-merge reduce or the parallel-safe reduce, at 1/4/8 execution
+// threads, must produce byte-identical output files and identical
+// counters in every cell.
+TEST(ParallelClusterTest, ValueSpanReduceModesAreByteIdentical) {
+  struct RunResult {
+    JobStats stats;
+    std::vector<std::string> lines;
+  };
+  std::vector<RunResult> runs;
+  for (bool parallel_safe_reduce : {false, true}) {
+    for (int threads : {1, 4, 8}) {
+      Dfs dfs;
+      WriteDeterminismInputs(&dfs);
+      ClusterConfig cfg;
+      cfg.exec_split_bytes = 256;
+      cfg.exec_threads = threads;
+      Cluster cluster(cfg, &dfs);
+      JobConfig job = DeterminismJob();  // combine == reduce == sum
+      job.reduce_parallel_safe = parallel_safe_reduce;
+      auto stats = cluster.Run(job);
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      auto out = dfs.Open("out");
+      ASSERT_TRUE(out.ok());
+      RunResult run;
+      run.stats = *stats;
+      for (const Record& r : (*out)->records) {
+        run.lines.push_back(std::string(r.key) + "\t" +
+                            std::string(r.value));
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    ExpectSameStats(runs[0].stats, runs[i].stats);
+    EXPECT_EQ(runs[0].lines, runs[i].lines)
+        << "reduce mode/thread cell " << i
+        << " diverged from the serial single-thread baseline";
   }
 }
 
@@ -405,8 +491,9 @@ TEST(ParallelClusterTest, MapOnlyOutputOrderIsSplitOrder) {
 // exactly once across concurrent map tasks.
 TEST(ParallelClusterTest, TaskStateIsPerMapTask) {
   Dfs dfs;
-  std::vector<Record> input(300, Record{"k", "1"});
-  ASSERT_TRUE(dfs.Write("input", input).ok());
+  RecordBatch input;
+  for (int i = 0; i < 300; ++i) input.Add("k", "1");
+  ASSERT_TRUE(dfs.Write("input", std::move(input)).ok());
   ClusterConfig cfg;
   cfg.exec_split_bytes = 128;
   cfg.exec_threads = 8;
@@ -422,10 +509,10 @@ TEST(ParallelClusterTest, TaskStateIsPerMapTask) {
   job.map_finish = [](MapContext* ctx) {
     ctx->Emit("total", std::to_string(*ctx->TaskState<int>()));
   };
-  job.reduce = [](const std::string& key,
-                  const std::vector<std::string>& values, ReduceContext* ctx) {
+  job.reduce = [](std::string_view key, const ValueSpan& values,
+                  ReduceContext* ctx) {
     int64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       int64_t n = 0;
       ParseInt64(v, &n);
       total += n;
@@ -443,7 +530,7 @@ TEST(ParallelClusterTest, TaskStateIsPerMapTask) {
 // wall_seconds is recorded for every job.
 TEST(ParallelClusterTest, WallSecondsRecorded) {
   Dfs dfs;
-  ASSERT_TRUE(dfs.Write("input", MakeRecords({{"k", "v"}})).ok());
+  ASSERT_TRUE(dfs.Write("input", MakeBatch({{"k", "v"}})).ok());
   Cluster cluster(ClusterConfig{}, &dfs);
   JobConfig job;
   job.name = "j";
@@ -458,7 +545,7 @@ TEST(ParallelClusterTest, WallSecondsRecorded) {
 }
 
 TEST_F(ClusterTest, HistoryAccumulates) {
-  ASSERT_TRUE(dfs_.Write("input", MakeRecords({{"k", "v"}})).ok());
+  ASSERT_TRUE(dfs_.Write("input", MakeBatch({{"k", "v"}})).ok());
   JobConfig job;
   job.name = "j";
   job.inputs = {"input"};

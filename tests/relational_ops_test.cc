@@ -22,10 +22,8 @@ class RelationalOpsTest : public ::testing::Test {
   TableRef WriteTable(const std::string& name,
                       std::vector<std::string> columns,
                       std::vector<std::vector<rdf::TermId>> rows) {
-    std::vector<mr::Record> records;
-    for (const auto& row : rows) {
-      records.push_back(mr::Record{"", EncodeRow(row)});
-    }
+    mr::RecordBatch records;
+    for (const auto& row : rows) records.Add("", EncodeRow(row));
     EXPECT_TRUE(dataset_.dfs().Write(name, std::move(records)).ok());
     return TableRef{name, std::move(columns)};
   }
@@ -33,10 +31,9 @@ class RelationalOpsTest : public ::testing::Test {
   /// Writes a VP-format table (key=subject, value=object).
   std::string WriteVp(const std::string& name,
                       std::vector<std::pair<rdf::TermId, rdf::TermId>> rows) {
-    std::vector<mr::Record> records;
+    mr::RecordBatch records;
     for (const auto& [s, o] : rows) {
-      records.push_back(
-          mr::Record{std::to_string(s), std::to_string(o)});
+      records.Add(std::to_string(s), std::to_string(o));
     }
     EXPECT_TRUE(dataset_.dfs().Write(name, std::move(records)).ok());
     return name;

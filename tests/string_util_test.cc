@@ -13,6 +13,60 @@ TEST(SplitStringTest, Basic) {
   EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
 }
 
+// Collects every field FieldTokenizer yields, for comparison against
+// SplitString (the two must agree on all inputs).
+std::vector<std::string> TokenizeAll(std::string_view input, char sep) {
+  FieldTokenizer tok(input, sep);
+  std::vector<std::string> out;
+  std::string_view field;
+  while (tok.Next(&field)) out.emplace_back(field);
+  return out;
+}
+
+TEST(FieldTokenizerTest, SingleField) {
+  EXPECT_EQ(TokenizeAll("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(FieldTokenizerTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(TokenizeAll("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(FieldTokenizerTest, EmptyFieldsKept) {
+  EXPECT_EQ(TokenizeAll("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(TokenizeAll(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(FieldTokenizerTest, TrailingSeparatorYieldsTrailingEmptyField) {
+  EXPECT_EQ(TokenizeAll("a,b,", ','),
+            (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(FieldTokenizerTest, NextReturnsFalseAfterExhaustion) {
+  FieldTokenizer tok("a", ',');
+  std::string_view field;
+  ASSERT_TRUE(tok.Next(&field));
+  EXPECT_FALSE(tok.Next(&field));
+  EXPECT_FALSE(tok.Next(&field));  // stays exhausted
+}
+
+TEST(FieldTokenizerTest, MatchesSplitStringOnAllShapes) {
+  for (const char* input :
+       {"", "a", ",", "a,b,c", "a,,c", ",,", "x,", ",x", "a,b,c,"}) {
+    EXPECT_EQ(TokenizeAll(input, ','), SplitString(input, ','))
+        << "input: '" << input << "'";
+  }
+}
+
+TEST(FieldTokenizerTest, FieldsAreViewsIntoInput) {
+  std::string input = "ab|cd";
+  FieldTokenizer tok(input, '|');
+  std::string_view field;
+  ASSERT_TRUE(tok.Next(&field));
+  EXPECT_EQ(static_cast<const void*>(field.data()),
+            static_cast<const void*>(input.data()));
+}
+
 TEST(JoinStringsTest, Basic) {
   EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
   EXPECT_EQ(JoinStrings({}, ","), "");
