@@ -13,6 +13,9 @@
 //   rapida_fuzz --inject=drop-row --seeds=20 --shrink
 //                                    # sabotage RAPIDAnalytics, prove the
 //                                    # harness catches + shrinks the bug
+//   rapida_fuzz --no-kernels         # force the vectorized-kernels pass
+//                                    # off (scalar operators); run both
+//                                    # ways to cross-check the kernels
 //   rapida_fuzz --service --seeds=50 # additionally push every query
 //                                    # through a QueryService (caching,
 //                                    # dedup, shared-scan batching) and
@@ -44,6 +47,7 @@ struct Args {
   std::vector<int> threads = {1, 8};
   FaultKind fault = FaultKind::kNone;
   bool service = false;
+  bool no_kernels = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -61,6 +65,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->verbose = true;
     } else if (std::strcmp(a, "--service") == 0) {
       out->service = true;
+    } else if (std::strcmp(a, "--no-kernels") == 0) {
+      out->no_kernels = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       out->threads.clear();
       for (const char* p = a + 10; *p != '\0';) {
@@ -145,6 +151,7 @@ int main(int argc, char** argv) {
   opts.thread_counts = args.threads;
   opts.fault = args.fault;
   if (args.fault != FaultKind::kNone) opts.fault_engine = "RAPIDAnalytics";
+  opts.engine_options.vectorized_kernels = !args.no_kernels;
 
   if (args.one_seed >= 0) {
     return RunSeed(static_cast<uint64_t>(args.one_seed), args, opts) ? 0 : 1;

@@ -3,13 +3,15 @@
 # goldens for the full catalog plus the pass on/off divergence gate), the
 # query-service smoke run (every catalog query byte-identical through the
 # service, cold / hot / 32 concurrent sessions), the 200-seed differential
-# fuzz corpus plus its service mode, a perf smoke that replays Fig. 8(a)
-# at 8 threads and diffs its deterministic per-query aggregates against a
-# committed golden, an AddressSanitizer run of the fuzz smoke and the
-# EXPLAIN goldens, and a ThreadSanitizer build running the
-# concurrency-sensitive suites (the parallel MapReduce runtime — including
-# the ValueSpan reduce-mode matrix in mapreduce_test — the engines on top
-# of it, and the 32-session service stress).
+# fuzz corpus plus its service mode (and a scalar-fallback corpus pass
+# with the vectorized-kernels pass forced off), a perf smoke that replays
+# Fig. 8(a) and Fig. 8(b) at 8 threads and diffs their deterministic
+# per-query aggregates against committed goldens, an AddressSanitizer run
+# of the fuzz smoke and the EXPLAIN goldens, and a ThreadSanitizer build
+# running the concurrency-sensitive suites (the parallel MapReduce
+# runtime — including the ValueSpan reduce-mode matrix in mapreduce_test —
+# the batch-kernel byte-identity matrix in kernels_test, the engines on
+# top of it, and the 32-session service stress).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -31,19 +33,25 @@ echo "== query service smoke (catalog equivalence, cold/hot/32 sessions) =="
 echo "== differential fuzz corpus (200 seeds, 4 engines x 2 thread cfgs) =="
 ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
 
+echo "== differential fuzz corpus, scalar fallback (--no-kernels) =="
+./build/examples/rapida_fuzz --seeds=200 --no-kernels
+
 echo "== differential fuzz, service mode (caching + batching vs direct) =="
 ./build/examples/rapida_fuzz --service --seeds=50
 
-echo "== perf smoke: Fig. 8(a) aggregates vs golden (8 threads) =="
+echo "== perf smoke: Fig. 8(a)+(b) aggregates vs goldens (8 threads) =="
 PERF_TMP="$(mktemp -d)"
 trap 'rm -rf "$PERF_TMP"' EXIT
-RAPIDA_EXEC_THREADS=8 RAPIDA_BENCH_JSON= RAPIDA_BENCH_CSV="$PERF_TMP" \
-    ./build/bench/bench_fig8a > /dev/null
-diff tests/golden/bench_fig8a_aggregates.csv "$PERF_TMP"/*.csv || {
-  echo "perf smoke FAILED: Fig. 8(a) per-query aggregates differ from" \
-       "tests/golden/bench_fig8a_aggregates.csv" >&2
-  exit 1
-}
+for FIG in fig8a fig8b; do
+  mkdir -p "$PERF_TMP/$FIG"
+  RAPIDA_EXEC_THREADS=8 RAPIDA_BENCH_JSON= RAPIDA_BENCH_CSV="$PERF_TMP/$FIG" \
+      "./build/bench/bench_$FIG" > /dev/null
+  diff "tests/golden/bench_${FIG}_aggregates.csv" "$PERF_TMP/$FIG"/*.csv || {
+    echo "perf smoke FAILED: $FIG per-query aggregates differ from" \
+         "tests/golden/bench_${FIG}_aggregates.csv" >&2
+    exit 1
+  }
+done
 
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
@@ -57,12 +65,15 @@ echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-      thread_pool_test mapreduce_test engines_test service_stress_test
+      thread_pool_test mapreduce_test kernels_test engines_test \
+      service_stress_test
 
 echo "== TSan: thread_pool_test =="
 ./build-tsan/tests/thread_pool_test
 echo "== TSan: mapreduce_test (incl. ValueSpan reduce-mode matrix) =="
 ./build-tsan/tests/mapreduce_test
+echo "== TSan: kernels_test (batch kernels x exec_threads x combine) =="
+./build-tsan/tests/kernels_test
 echo "== TSan: engines_test =="
 ./build-tsan/tests/engines_test
 echo "== TSan: service_stress_test (32 sessions + concurrent mutations) =="

@@ -34,6 +34,13 @@ struct EngineOptions {
   /// RAPIDAnalytics only: evaluate independent Agg-Joins in one parallel
   /// cycle (Fig. 6b) vs sequentially (Fig. 6a).
   bool parallel_agg_join = true;
+  /// Execute operators through the vectorized batch kernels (columnar
+  /// split dispatch, open-addressing hash tables on the stamped key
+  /// hashes, scratch-reusing codecs). Byte-identical to the scalar
+  /// operators by contract — flipping this may only move wall time, never
+  /// results, counters, or sim_seconds. Logged per node by the
+  /// vectorized-kernels pass in EXPLAIN.
+  bool vectorized_kernels = true;
   /// Greedy size-based join ordering: start the inter-star join chain at
   /// the smallest star and always join the smallest available neighbor
   /// next, instead of the query's textual order. Cycle counts are

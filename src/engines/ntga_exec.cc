@@ -5,6 +5,7 @@
 #include <set>
 
 #include "analytics/aggregates.h"
+#include "mapreduce/kernels.h"
 #include "sparql/expr_eval.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -66,6 +67,23 @@ struct TagRole {
   bool left_side = true;
   ntga::JoinRole role = ntga::JoinRole::kSubject;
   ntga::DataPropKey prop;
+};
+
+/// Per-reduce-task scratch of the batch TG_AlphaJoin reduce: pools of
+/// parsed nested groups per side (element capacity reused across key
+/// groups), the merge target, and the emit buffer.
+struct AlphaReduceScratch {
+  std::vector<NestedTripleGroup> left, right;
+  NestedTripleGroup merged;
+  std::string buf;
+};
+
+/// Insertion-ordered multiAggMap replacement for the batch TG_AggJoin map:
+/// HashIndex over the encoded "gid#grpkey" string, dense side tables.
+struct MultiAggTable {
+  mr::kernels::HashIndex index;
+  std::vector<std::string> keys;
+  std::vector<std::vector<Aggregator>> agg_rows;
 };
 
 }  // namespace
@@ -223,58 +241,141 @@ StatusOr<PatternMatches> NtgaExec::ComputePatternMatches(
     // The accumulated (nested) side's join endpoint is the left star of
     // the current edge.
     int nested_endpoint_star = left_star;
-    job.map = [shared_roles, shared_pattern, shared_filters, dict, type_id,
-               num_stars, nested_endpoint_star](
-                  const mr::Record& r, int tag, mr::MapContext* ctx) {
-      const TagRole& role = (*shared_roles)[tag];
-      NestedTripleGroup ntg;
-      if (role.is_nested) {
-        auto parsed = ntga::ParseNested(r.value, num_stars);
-        if (!parsed.ok()) return;
-        ntg = std::move(*parsed);
-      } else {
-        auto tg = ntga::ParseTripleGroup(r.value);
-        if (!tg.ok()) return;
-        auto filtered =
-            FilterStarWithFilters(*tg, shared_pattern->stars[role.star],
-                                  type_id, *shared_filters, *dict);
-        if (!filtered.has_value()) return;
-        ntg.stars.resize(num_stars);
-        ntg.stars[role.star] = std::move(*filtered);
-      }
-      int endpoint_star = role.is_nested ? nested_endpoint_star : role.star;
-      std::vector<rdf::TermId> keys =
-          ntga::JoinKeys(ntg, endpoint_star, role.role, role.prop, type_id);
-      std::string serialized = ntga::SerializeNested(ntg);
-      for (rdf::TermId key : keys) {
-        ctx->Emit(std::to_string(key),
-                  (role.left_side ? "L|" : "R|") + serialized);
-      }
-    };
+    if (options_.vectorized_kernels) {
+      // Batch kernel: one dispatch per split, parse/serialize through the
+      // scratch-reusing codec variants, emit the same records in the same
+      // order as the scalar map below.
+      job.map_batch = [shared_roles, shared_pattern, shared_filters, dict,
+                       type_id, num_stars, nested_endpoint_star](
+                          const mr::TaggedRecord* recs, size_t n,
+                          mr::MapContext* ctx) {
+        TripleGroup tg;
+        NestedTripleGroup ntg;
+        std::string key_buf, val_buf;
+        for (size_t i = 0; i < n; ++i) {
+          const TagRole& role = (*shared_roles)[recs[i].tag];
+          const mr::Record& r = *recs[i].record;
+          if (role.is_nested) {
+            if (!ntga::ParseNestedInto(r.value, num_stars, &ntg).ok()) {
+              continue;
+            }
+          } else {
+            if (!ntga::ParseTripleGroupInto(r.value, &tg).ok()) continue;
+            auto filtered =
+                FilterStarWithFilters(tg, shared_pattern->stars[role.star],
+                                      type_id, *shared_filters, *dict);
+            if (!filtered.has_value()) continue;
+            ntg.stars.resize(num_stars);
+            for (int s = 0; s < num_stars; ++s) {
+              if (s == role.star) continue;
+              ntg.stars[s].subject = rdf::kInvalidTermId;
+              ntg.stars[s].triples.clear();
+            }
+            ntg.stars[role.star] = std::move(*filtered);
+          }
+          int endpoint_star =
+              role.is_nested ? nested_endpoint_star : role.star;
+          std::vector<rdf::TermId> keys = ntga::JoinKeys(
+              ntg, endpoint_star, role.role, role.prop, type_id);
+          val_buf.assign(role.left_side ? "L|" : "R|");
+          ntga::SerializeNestedTo(ntg, &val_buf);
+          for (rdf::TermId key : keys) {
+            key_buf.clear();
+            mr::kernels::AppendDecimal(&key_buf, key);
+            ctx->Emit(key_buf, val_buf);
+          }
+        }
+      };
+    } else {
+      job.map = [shared_roles, shared_pattern, shared_filters, dict, type_id,
+                 num_stars, nested_endpoint_star](
+                    const mr::Record& r, int tag, mr::MapContext* ctx) {
+        const TagRole& role = (*shared_roles)[tag];
+        NestedTripleGroup ntg;
+        if (role.is_nested) {
+          auto parsed = ntga::ParseNested(r.value, num_stars);
+          if (!parsed.ok()) return;
+          ntg = std::move(*parsed);
+        } else {
+          auto tg = ntga::ParseTripleGroup(r.value);
+          if (!tg.ok()) return;
+          auto filtered =
+              FilterStarWithFilters(*tg, shared_pattern->stars[role.star],
+                                    type_id, *shared_filters, *dict);
+          if (!filtered.has_value()) return;
+          ntg.stars.resize(num_stars);
+          ntg.stars[role.star] = std::move(*filtered);
+        }
+        int endpoint_star = role.is_nested ? nested_endpoint_star : role.star;
+        std::vector<rdf::TermId> keys =
+            ntga::JoinKeys(ntg, endpoint_star, role.role, role.prop, type_id);
+        std::string serialized = ntga::SerializeNested(ntg);
+        for (rdf::TermId key : keys) {
+          ctx->Emit(std::to_string(key),
+                    (role.left_side ? "L|" : "R|") + serialized);
+        }
+      };
+    }
 
     auto alphas = std::make_shared<std::vector<ntga::AlphaCondition>>(
         last_cycle ? final_alphas : std::vector<ntga::AlphaCondition>{});
-    job.reduce = [alphas, type_id, num_stars](
-                     std::string_view /*key*/, const mr::ValueSpan& values,
-                     mr::ReduceContext* ctx) {
-      std::vector<NestedTripleGroup> left, right;
-      for (std::string_view v : values) {
-        if (v.size() < 2) continue;
-        auto parsed = ntga::ParseNested(v.substr(2), num_stars);
-        if (!parsed.ok()) continue;
-        (v[0] == 'L' ? left : right).push_back(std::move(*parsed));
-      }
-      for (const NestedTripleGroup& l : left) {
-        for (const NestedTripleGroup& r : right) {
-          NestedTripleGroup merged = l;
-          for (int s = 0; s < num_stars; ++s) {
-            if (r.IsFilled(s)) merged.stars[s] = r.stars[s];
+    if (options_.vectorized_kernels) {
+      job.reduce = [alphas, type_id, num_stars](
+                       std::string_view /*key*/, const mr::ValueSpan& values,
+                       mr::ReduceContext* ctx) {
+        AlphaReduceScratch* s = ctx->TaskState<AlphaReduceScratch>();
+        size_t nleft = 0, nright = 0;
+        for (std::string_view v : values) {
+          if (v.size() < 2) continue;
+          const bool is_left = v[0] == 'L';
+          std::vector<NestedTripleGroup>& pool = is_left ? s->left : s->right;
+          size_t& count = is_left ? nleft : nright;
+          if (count == pool.size()) pool.emplace_back();
+          if (!ntga::ParseNestedInto(v.substr(2), num_stars, &pool[count])
+                   .ok()) {
+            continue;
           }
-          if (!ntga::SatisfiesAnyAlpha(merged, *alphas, type_id)) continue;
-          ctx->Emit("", ntga::SerializeNested(merged));
+          ++count;
         }
-      }
-    };
+        for (size_t li = 0; li < nleft; ++li) {
+          for (size_t ri = 0; ri < nright; ++ri) {
+            const NestedTripleGroup& r = s->right[ri];
+            s->merged = s->left[li];  // copy-assign reuses capacity
+            for (int st = 0; st < num_stars; ++st) {
+              if (r.IsFilled(st)) s->merged.stars[st] = r.stars[st];
+            }
+            if (!ntga::SatisfiesAnyAlpha(s->merged, *alphas, type_id)) {
+              continue;
+            }
+            s->buf.clear();
+            ntga::SerializeNestedTo(s->merged, &s->buf);
+            ctx->Emit("", s->buf);
+          }
+        }
+      };
+    } else {
+      job.reduce = [alphas, type_id, num_stars](
+                       std::string_view /*key*/, const mr::ValueSpan& values,
+                       mr::ReduceContext* ctx) {
+        std::vector<NestedTripleGroup> left, right;
+        for (std::string_view v : values) {
+          if (v.size() < 2) continue;
+          auto parsed = ntga::ParseNested(v.substr(2), num_stars);
+          if (!parsed.ok()) continue;
+          (v[0] == 'L' ? left : right).push_back(std::move(*parsed));
+        }
+        for (const NestedTripleGroup& l : left) {
+          for (const NestedTripleGroup& r : right) {
+            NestedTripleGroup merged = l;
+            for (int s = 0; s < num_stars; ++s) {
+              if (r.IsFilled(s)) merged.stars[s] = r.stars[s];
+            }
+            if (!ntga::SatisfiesAnyAlpha(merged, *alphas, type_id)) continue;
+            ctx->Emit("", ntga::SerializeNested(merged));
+          }
+        }
+      };
+    }
     // Pure function of (key, values): reducers may run concurrently.
     job.reduce_parallel_safe = true;
 
@@ -414,7 +515,147 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
       }
     };
 
-    if (star_mode) {
+    // Batch variant of `process`: same per-mapping logic, but the partial
+    // table is an insertion-ordered MultiAggTable and the key/value bytes
+    // are built in reused buffers. Flush order differs from the scalar
+    // std::map's sorted order; keys are unique per task and the shuffle
+    // sorts by key, so the post-shuffle stream is identical.
+    auto process_batch = [shared_groupings, batch, shared_pattern, dict,
+                          type_id, partial](const NestedTripleGroup& ntg,
+                                            MultiAggTable* table,
+                                            std::string* key_buf,
+                                            std::string* val_buf,
+                                            ntga::BindingExpansion* exp,
+                                            std::vector<rdf::TermId>* row_buf,
+                                            mr::MapContext* ctx) {
+      for (int g : *batch) {
+        const NtgaGrouping& grouping = (*shared_groupings)[g];
+        if (!ntga::SatisfiesAlpha(ntg, grouping.spec.alpha, type_id)) {
+          continue;
+        }
+        auto pos_of = [&grouping](const std::string& v) {
+          for (size_t i = 0; i < grouping.pattern_vars.size(); ++i) {
+            if (grouping.pattern_vars[i] == v) return static_cast<int>(i);
+          }
+          return -1;
+        };
+        ntga::ExpandBindingsInto(ntg, *shared_pattern, grouping.pattern_vars,
+                                 /*skip_unbound=*/true, exp);
+        for (size_t r = 0; r < exp->num_rows; ++r) {
+          const rdf::TermId* mapping = exp->row(r);
+          if (grouping.mapping_predicate) {
+            row_buf->assign(mapping, mapping + exp->width);
+            if (!grouping.mapping_predicate(*row_buf)) continue;
+          }
+          key_buf->clear();
+          mr::kernels::AppendDecimal(key_buf, static_cast<uint64_t>(g));
+          *key_buf += '#';
+          bool first = true;
+          for (const std::string& v : grouping.spec.group_vars) {
+            if (!first) *key_buf += ',';
+            first = false;
+            int i = pos_of(v);
+            mr::kernels::AppendDecimal(
+                key_buf, i < 0 ? rdf::kInvalidTermId : mapping[i]);
+          }
+          if (partial) {
+            auto [id, inserted] = table->index.FindOrInsert(
+                mr::HashKey(*key_buf),
+                static_cast<uint32_t>(table->keys.size()),
+                [&](uint32_t cand) { return table->keys[cand] == *key_buf; });
+            if (inserted) {
+              table->keys.push_back(*key_buf);
+              table->agg_rows.emplace_back();
+              for (const ntga::AggSpec& a : grouping.spec.aggs) {
+                table->agg_rows.back().emplace_back(a.func, false,
+                                                    a.separator);
+              }
+            }
+            std::vector<Aggregator>& aggs = table->agg_rows[id];
+            for (size_t a = 0; a < grouping.spec.aggs.size(); ++a) {
+              const ntga::AggSpec& spec = grouping.spec.aggs[a];
+              if (spec.count_star) {
+                aggs[a].AddRow();
+              } else {
+                int i = pos_of(spec.var);
+                aggs[a].AddTerm(i < 0 ? rdf::kInvalidTermId : mapping[i],
+                                *dict);
+              }
+            }
+          } else {
+            val_buf->assign("R|");
+            bool farg = true;
+            for (const ntga::AggSpec& spec : grouping.spec.aggs) {
+              if (!farg) *val_buf += ',';
+              farg = false;
+              int i = pos_of(spec.var);
+              mr::kernels::AppendDecimal(
+                  val_buf, spec.count_star || i < 0 ? rdf::kInvalidTermId
+                                                    : mapping[i]);
+            }
+            ctx->Emit(*key_buf, *val_buf);
+          }
+        }
+      }
+    };
+    auto flush_table = [](MultiAggTable* table, mr::MapContext* ctx) {
+      for (size_t id = 0; id < table->keys.size(); ++id) {
+        std::string value = "P";
+        for (const Aggregator& a : table->agg_rows[id]) {
+          value += '|';
+          value += a.SerializePartial();
+        }
+        ctx->Emit(table->keys[id], value);
+      }
+    };
+
+    if (options_.vectorized_kernels && star_mode) {
+      job.map_batch = [shared_pattern, shared_filters, dict, type_id,
+                       num_stars, process_batch, flush_table, partial](
+                          const mr::TaggedRecord* recs, size_t n,
+                          mr::MapContext* ctx) {
+        MultiAggTable table;
+        TripleGroup tg;
+        NestedTripleGroup ntg;
+        ntg.stars.resize(num_stars);
+        std::string key_buf, val_buf;
+        ntga::BindingExpansion exp;
+        std::vector<rdf::TermId> row_buf;
+        for (size_t i = 0; i < n; ++i) {
+          if (!ntga::ParseTripleGroupInto(recs[i].record->value, &tg).ok()) {
+            continue;
+          }
+          auto filtered = FilterStarWithFilters(
+              tg, shared_pattern->stars[0], type_id, *shared_filters, *dict);
+          if (!filtered.has_value()) continue;
+          for (int s = 1; s < num_stars; ++s) {
+            ntg.stars[s].subject = rdf::kInvalidTermId;
+            ntg.stars[s].triples.clear();
+          }
+          ntg.stars[0] = std::move(*filtered);
+          process_batch(ntg, &table, &key_buf, &val_buf, &exp, &row_buf, ctx);
+        }
+        if (partial) flush_table(&table, ctx);
+      };
+    } else if (options_.vectorized_kernels) {
+      job.map_batch = [num_stars, process_batch, flush_table, partial](
+                          const mr::TaggedRecord* recs, size_t n,
+                          mr::MapContext* ctx) {
+        MultiAggTable table;
+        NestedTripleGroup ntg;
+        std::string key_buf, val_buf;
+        ntga::BindingExpansion exp;
+        std::vector<rdf::TermId> row_buf;
+        for (size_t i = 0; i < n; ++i) {
+          if (!ntga::ParseNestedInto(recs[i].record->value, num_stars, &ntg)
+                   .ok()) {
+            continue;
+          }
+          process_batch(ntg, &table, &key_buf, &val_buf, &exp, &row_buf, ctx);
+        }
+        if (partial) flush_table(&table, ctx);
+      };
+    } else if (star_mode) {
       job.map = [shared_pattern, shared_filters, dict, type_id, num_stars,
                  process](const mr::Record& r, int, mr::MapContext* ctx) {
         auto tg = ntga::ParseTripleGroup(r.value);
@@ -435,7 +676,7 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
         process(*parsed, ctx);
       };
     }
-    if (partial) {
+    if (partial && !options_.vectorized_kernels) {
       job.map_finish = [](mr::MapContext* ctx) {
         MultiAggMap* multi_agg_map = ctx->TaskState<MultiAggMap>();
         for (auto& [key, aggs] : *multi_agg_map) {
@@ -450,9 +691,18 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
       };
     }
 
-    job.reduce = [shared_groupings, dict](
+    const bool batch_reduce = options_.vectorized_kernels;
+    job.reduce = [shared_groupings, dict, batch_reduce](
                      std::string_view key, const mr::ValueSpan& values,
                      mr::ReduceContext* ctx) {
+      // Batch mode reuses per-task scratch across key groups; the
+      // aggregator list itself must reset per group either way.
+      struct Scratch {
+        std::vector<rdf::TermId> args, row;
+        std::string val_buf;
+      };
+      Scratch local;
+      Scratch* s = batch_reduce ? ctx->TaskState<Scratch>() : &local;
       size_t hash_pos = key.find('#');
       if (hash_pos == std::string_view::npos) return;
       int64_t gid = 0;
@@ -475,20 +725,21 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
             if (partial.ok()) aggs[a].Merge(*partial, *dict);
           }
         } else if (v[0] == 'R') {
-          std::vector<rdf::TermId> args = DecodeRow(v.substr(2));
+          DecodeRowInto(v.substr(2), &s->args);
           for (size_t a = 0; a < aggs.size(); ++a) {
             if (grouping.spec.aggs[a].count_star) {
               aggs[a].AddRow();
-            } else if (a < args.size()) {
-              aggs[a].AddTerm(args[a], *dict);
+            } else if (a < s->args.size()) {
+              aggs[a].AddTerm(s->args[a], *dict);
             }
           }
         }
       }
-      std::vector<rdf::TermId> row =
-          DecodeRow(key.substr(hash_pos + 1));
-      for (Aggregator& a : aggs) row.push_back(a.Finalize(dict));
-      ctx->Emit(key.substr(0, hash_pos), EncodeRow(row));
+      DecodeRowInto(key.substr(hash_pos + 1), &s->row);
+      for (Aggregator& a : aggs) s->row.push_back(a.Finalize(dict));
+      s->val_buf.clear();
+      AppendRow(&s->val_buf, s->row);
+      ctx->Emit(key.substr(0, hash_pos), s->val_buf);
     };
 
     RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));

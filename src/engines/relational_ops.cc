@@ -8,6 +8,7 @@
 
 #include "analytics/aggregates.h"
 #include "analytics/value.h"
+#include "mapreduce/kernels.h"
 #include "sparql/expr_eval.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -16,18 +17,20 @@ namespace rapida::engine {
 
 using analytics::Aggregator;
 
-std::string EncodeRow(const std::vector<rdf::TermId>& row) {
-  std::string out;
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (i > 0) out += ',';
-    out += std::to_string(row[i]);
+void AppendRow(std::string* out, const rdf::TermId* row, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) *out += ',';
+    mr::kernels::AppendDecimal(out, row[i]);
   }
-  return out;
 }
 
-std::vector<rdf::TermId> DecodeRow(std::string_view data) {
-  std::vector<rdf::TermId> out;
-  if (data.empty()) return out;
+void AppendRow(std::string* out, const std::vector<rdf::TermId>& row) {
+  AppendRow(out, row.data(), row.size());
+}
+
+void DecodeRowInto(std::string_view data, std::vector<rdf::TermId>* out) {
+  out->clear();
+  if (data.empty()) return;
   size_t start = 0;
   while (true) {
     size_t pos = data.find(',', start);
@@ -35,11 +38,22 @@ std::vector<rdf::TermId> DecodeRow(std::string_view data) {
         start, pos == std::string_view::npos ? std::string_view::npos
                                              : pos - start);
     int64_t v = 0;
-    ParseInt64(part, &v);
-    out.push_back(static_cast<rdf::TermId>(v));
+    ParseDigits(part, &v);
+    out->push_back(static_cast<rdf::TermId>(v));
     if (pos == std::string_view::npos) break;
     start = pos + 1;
   }
+}
+
+std::string EncodeRow(const std::vector<rdf::TermId>& row) {
+  std::string out;
+  AppendRow(&out, row);
+  return out;
+}
+
+std::vector<rdf::TermId> DecodeRow(std::string_view data) {
+  std::vector<rdf::TermId> out;
+  DecodeRowInto(data, &out);
   return out;
 }
 
@@ -102,18 +116,98 @@ void RelationalOps::Cleanup() {
 
 namespace {
 
-/// Decodes an input record according to its JoinInput layout.
+/// Decodes an input record according to its JoinInput layout, reusing
+/// `out`'s capacity (the batch kernels call this per record in a loop).
+void DecodeInputRowInto(const JoinInput& input, const mr::Record& r,
+                        std::vector<rdf::TermId>* out) {
+  if (!input.is_vp) {
+    DecodeRowInto(r.value, out);
+    return;
+  }
+  out->clear();
+  int64_t s = 0;
+  ParseDigits(r.key, &s);
+  out->push_back(static_cast<rdf::TermId>(s));
+  if (input.columns.size() == 1) return;
+  int64_t o = 0;
+  ParseDigits(r.value, &o);
+  out->push_back(static_cast<rdf::TermId>(o));
+}
+
 std::vector<rdf::TermId> DecodeInputRow(const JoinInput& input,
                                         const mr::Record& r) {
-  if (!input.is_vp) return DecodeRow(r.value);
-  int64_t s = 0, o = 0;
-  ParseInt64(r.key, &s);
-  if (input.columns.size() == 1) {
-    return {static_cast<rdf::TermId>(s)};
-  }
-  ParseInt64(r.value, &o);
-  return {static_cast<rdf::TermId>(s), static_cast<rdf::TermId>(o)};
+  std::vector<rdf::TermId> out;
+  DecodeInputRowInto(input, r, &out);
+  return out;
 }
+
+/// Broadcast side table for the batch map-join kernel: one flat cell pool
+/// plus two CSR layers — rows over cells, and per-distinct-key groups over
+/// rows — probed through a HashIndex on the mixed key id. Rows keep file
+/// order within each group, matching the vector-of-vectors the scalar path
+/// builds.
+struct BroadcastTable {
+  mr::kernels::HashIndex index;
+  std::vector<rdf::TermId> keys;    // distinct join key per dense id
+  std::vector<uint32_t> group_end;  // CSR: rows of key id g are
+                                    //   row_of[group_end[g-1]..group_end[g])
+  std::vector<uint32_t> row_of;     // row indices grouped by key id
+  std::vector<uint32_t> row_end;    // CSR: cells of row r
+  std::vector<rdf::TermId> cells;   // row payloads in arrival order
+
+  uint32_t GroupBegin(uint32_t id) const {
+    return id == 0 ? 0 : group_end[id - 1];
+  }
+  uint32_t RowBegin(uint32_t r) const { return r == 0 ? 0 : row_end[r - 1]; }
+};
+
+void BuildBroadcast(const JoinInput& input,
+                    const std::vector<mr::Record>& records, int key_col,
+                    BroadcastTable* t) {
+  std::vector<uint32_t> key_id_of_row;
+  std::vector<uint32_t> counts;
+  std::vector<rdf::TermId> row;
+  t->index.Reserve(records.size());
+  for (const mr::Record& r : records) {
+    DecodeInputRowInto(input, r, &row);
+    if (input.predicate && !input.predicate(row)) continue;
+    rdf::TermId k = row[key_col];
+    auto [id, inserted] = t->index.FindOrInsert(
+        mr::kernels::MixId(k), static_cast<uint32_t>(t->keys.size()),
+        [&](uint32_t cand) { return t->keys[cand] == k; });
+    if (inserted) {
+      t->keys.push_back(k);
+      counts.push_back(0);
+    }
+    ++counts[id];
+    key_id_of_row.push_back(id);
+    t->cells.insert(t->cells.end(), row.begin(), row.end());
+    t->row_end.push_back(static_cast<uint32_t>(t->cells.size()));
+  }
+  // Counting-sort scatter: group rows by key id, file order within a group.
+  t->group_end.resize(counts.size());
+  uint32_t total = 0;
+  for (size_t g = 0; g < counts.size(); ++g) {
+    total += counts[g];
+    t->group_end[g] = total;
+  }
+  t->row_of.resize(key_id_of_row.size());
+  std::vector<uint32_t> cursor(counts.size());
+  for (size_t g = 0; g < counts.size(); ++g) cursor[g] = t->GroupBegin(g);
+  for (size_t r = 0; r < key_id_of_row.size(); ++r) {
+    t->row_of[cursor[key_id_of_row[r]]++] = static_cast<uint32_t>(r);
+  }
+}
+
+/// Per-reduce-task scratch of the batch repartition-join reduce: each
+/// side's rows in a flat cell pool + CSR row bounds, the current/next
+/// cross-product buffers (width-strided), and the emit buffer.
+struct JoinReduceScratch {
+  std::vector<std::vector<rdf::TermId>> side_cells;
+  std::vector<std::vector<uint32_t>> side_end;
+  std::vector<rdf::TermId> row, cur, next, pred_row;
+  std::string val_buf;
+};
 
 }  // namespace
 
@@ -183,7 +277,75 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
   // Shared copies for the closures.
   auto ins = std::make_shared<std::vector<JoinInput>>(inputs);
 
-  if (map_join) {
+  if (map_join && options_.vectorized_kernels) {
+    // Batch kernel: CSR broadcast tables probed through HashIndex, flat
+    // width-strided cross-product buffers, one dispatch per split. Emits
+    // the exact records of the scalar map below, in the same order.
+    auto tables =
+        std::make_shared<std::vector<BroadcastTable>>(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (static_cast<int>(i) == big) continue;
+      RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                              dataset_->dfs().Open(inputs[i].file));
+      BuildBroadcast(inputs[i], f->records, join_idx[i], &(*tables)[i]);
+    }
+    job.map_batch = [ins, tables, big, out_pos, join_idx, width,
+                     post_predicate](const mr::TaggedRecord* recs, size_t n,
+                                     mr::MapContext* ctx) {
+      const JoinInput& input = (*ins)[big];
+      std::vector<rdf::TermId> row, cur, next, pred_row;
+      std::string val_buf;
+      for (size_t ri = 0; ri < n; ++ri) {
+        if (recs[ri].tag != big) continue;  // broadcast copies: scan only
+        DecodeInputRowInto(input, *recs[ri].record, &row);
+        if (input.predicate && !input.predicate(row)) continue;
+        rdf::TermId key = row[join_idx[big]];
+        // Start from the big row, fold in each small side.
+        cur.assign(width, rdf::kInvalidTermId);
+        for (size_t c = 0; c < row.size(); ++c) {
+          cur[out_pos[big][c]] = row[c];
+        }
+        bool dead = false;
+        for (size_t i = 0; i < ins->size() && !dead; ++i) {
+          if (i == static_cast<size_t>(big)) continue;
+          const BroadcastTable& t = (*tables)[i];
+          uint32_t id =
+              t.index.Find(mr::kernels::MixId(key), [&](uint32_t cand) {
+                return t.keys[cand] == key;
+              });
+          if (id == mr::kernels::HashIndex::kNotFound) {
+            if (!(*ins)[i].outer) dead = true;  // inner miss: no output
+            continue;                           // outer: leave columns NULL
+          }
+          next.clear();
+          for (size_t p = 0; p < cur.size() / width; ++p) {
+            for (uint32_t g = t.GroupBegin(id); g < t.group_end[id]; ++g) {
+              uint32_t r2 = t.row_of[g];
+              size_t base = next.size();
+              next.insert(next.end(), cur.begin() + p * width,
+                          cur.begin() + (p + 1) * width);
+              uint32_t cb = t.RowBegin(r2);
+              for (uint32_t c = cb; c < t.row_end[r2]; ++c) {
+                next[base + out_pos[i][c - cb]] = t.cells[c];
+              }
+            }
+          }
+          cur.swap(next);
+        }
+        if (dead) continue;
+        for (size_t p = 0; p < cur.size() / width; ++p) {
+          if (post_predicate) {
+            pred_row.assign(cur.begin() + p * width,
+                            cur.begin() + (p + 1) * width);
+            if (!post_predicate(pred_row)) continue;
+          }
+          val_buf.clear();
+          AppendRow(&val_buf, cur.data() + p * width, width);
+          ctx->Emit("", val_buf);
+        }
+      }
+    };
+  } else if (map_join) {
     // Broadcast hash tables for every small input.
     auto hashes = std::make_shared<
         std::vector<std::unordered_map<rdf::TermId,
@@ -238,6 +400,90 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
         ctx->Emit("", EncodeRow(merged));
       }
     };
+  } else if (options_.vectorized_kernels) {
+    // Batch repartition join: one dispatch per split with all scratch in
+    // reused buffers, and a per-reduce-task scratch that keeps each side
+    // as a flat CSR pool instead of vector-of-vector rows.
+    job.map_batch = [ins, join_idx](const mr::TaggedRecord* recs, size_t n,
+                                    mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row;
+      std::string key_buf, val_buf;
+      for (size_t i = 0; i < n; ++i) {
+        const int tag = recs[i].tag;
+        const JoinInput& input = (*ins)[tag];
+        DecodeInputRowInto(input, *recs[i].record, &row);
+        if (input.predicate && !input.predicate(row)) continue;
+        key_buf.clear();
+        mr::kernels::AppendDecimal(&key_buf, row[join_idx[tag]]);
+        val_buf.clear();
+        mr::kernels::AppendDecimal(&val_buf, static_cast<uint64_t>(tag));
+        val_buf += '|';
+        AppendRow(&val_buf, row.data(), row.size());
+        ctx->Emit(key_buf, val_buf);
+      }
+    };
+    job.reduce = [ins, out_pos, width, post_predicate](
+                     std::string_view /*key*/, const mr::ValueSpan& values,
+                     mr::ReduceContext* ctx) {
+      JoinReduceScratch* s = ctx->TaskState<JoinReduceScratch>();
+      s->side_cells.resize(ins->size());
+      s->side_end.resize(ins->size());
+      for (size_t i = 0; i < ins->size(); ++i) {
+        s->side_cells[i].clear();
+        s->side_end[i].clear();
+      }
+      for (std::string_view v : values) {
+        size_t bar = v.find('|');
+        if (bar == std::string_view::npos) continue;
+        int64_t tag = 0;
+        ParseInt64(v.substr(0, bar), &tag);
+        DecodeRowInto(v.substr(bar + 1), &s->row);
+        auto& cells = s->side_cells[tag];
+        cells.insert(cells.end(), s->row.begin(), s->row.end());
+        s->side_end[tag].push_back(static_cast<uint32_t>(cells.size()));
+      }
+      if (s->side_end[0].empty()) return;
+      s->cur.clear();
+      for (size_t r = 0; r < s->side_end[0].size(); ++r) {
+        size_t base = s->cur.size();
+        s->cur.resize(base + width, rdf::kInvalidTermId);
+        uint32_t cb = r == 0 ? 0 : s->side_end[0][r - 1];
+        for (uint32_t c = cb; c < s->side_end[0][r]; ++c) {
+          s->cur[base + out_pos[0][c - cb]] = s->side_cells[0][c];
+        }
+      }
+      for (size_t i = 1; i < ins->size(); ++i) {
+        if (s->side_end[i].empty()) {
+          if (!(*ins)[i].outer) return;
+          continue;
+        }
+        s->next.clear();
+        for (size_t p = 0; p < s->cur.size() / width; ++p) {
+          for (size_t r = 0; r < s->side_end[i].size(); ++r) {
+            size_t base = s->next.size();
+            s->next.insert(s->next.end(), s->cur.begin() + p * width,
+                           s->cur.begin() + (p + 1) * width);
+            uint32_t cb = r == 0 ? 0 : s->side_end[i][r - 1];
+            for (uint32_t c = cb; c < s->side_end[i][r]; ++c) {
+              s->next[base + out_pos[i][c - cb]] = s->side_cells[i][c];
+            }
+          }
+        }
+        s->cur.swap(s->next);
+      }
+      for (size_t p = 0; p < s->cur.size() / width; ++p) {
+        if (post_predicate) {
+          s->pred_row.assign(s->cur.begin() + p * width,
+                             s->cur.begin() + (p + 1) * width);
+          if (!post_predicate(s->pred_row)) continue;
+        }
+        s->val_buf.clear();
+        AppendRow(&s->val_buf, s->cur.data() + p * width, width);
+        ctx->Emit("", s->val_buf);
+      }
+    };
+    // Pure function of (key, values): reducers may run concurrently.
+    job.reduce_parallel_safe = true;
   } else {
     // Repartition join.
     job.map = [ins, join_idx](const mr::Record& r, int tag,
@@ -346,7 +592,54 @@ StatusOr<TableRef> RelationalOps::GroupBy(
     return out_aggs;
   };
 
-  if (options_.partial_aggregation) {
+  if (options_.partial_aggregation && options_.vectorized_kernels) {
+    // Batch kernel for map-side pre-aggregation: an insertion-ordered
+    // open-addressing table (HashIndex over the encoded group key) built
+    // in one dispatch per split, flushed at the end of the same call.
+    // Flush order differs from the scalar std::map's sorted order, but
+    // group keys are unique within a task and the shuffle sorts by key, so
+    // the post-shuffle stream — and every counter — is identical.
+    job.map_batch = [key_idx, agg_idx, dict, make_aggs](
+                        const mr::TaggedRecord* recs, size_t n,
+                        mr::MapContext* ctx) {
+      mr::kernels::HashIndex index;
+      std::vector<std::string> keys;
+      std::vector<std::vector<Aggregator>> agg_rows;
+      std::vector<rdf::TermId> row;
+      std::string key_buf;
+      for (size_t i = 0; i < n; ++i) {
+        DecodeRowInto(recs[i].record->value, &row);
+        key_buf.clear();
+        for (size_t k = 0; k < key_idx.size(); ++k) {
+          if (k > 0) key_buf += ',';
+          mr::kernels::AppendDecimal(&key_buf, row[key_idx[k]]);
+        }
+        auto [id, inserted] = index.FindOrInsert(
+            mr::HashKey(key_buf), static_cast<uint32_t>(keys.size()),
+            [&](uint32_t cand) { return keys[cand] == key_buf; });
+        if (inserted) {
+          keys.push_back(key_buf);
+          agg_rows.push_back(make_aggs());
+        }
+        std::vector<Aggregator>& agg_list = agg_rows[id];
+        for (size_t a = 0; a < agg_idx.size(); ++a) {
+          if (agg_idx[a] < 0) {
+            agg_list[a].AddRow();
+          } else {
+            agg_list[a].AddTerm(row[agg_idx[a]], *dict);
+          }
+        }
+      }
+      for (size_t id = 0; id < keys.size(); ++id) {
+        std::string value = "P";
+        for (const Aggregator& a : agg_rows[id]) {
+          value += '|';
+          value += a.SerializePartial();
+        }
+        ctx->Emit(keys[id], value);
+      }
+    };
+  } else if (options_.partial_aggregation) {
     // Hash-based map-side pre-aggregation (the relational analogue of
     // Alg. 3's multiAggMap). The table lives in per-task state so
     // concurrent map tasks accumulate independently.
@@ -378,6 +671,28 @@ StatusOr<TableRef> RelationalOps::GroupBy(
       }
       partials->clear();
     };
+  } else if (options_.vectorized_kernels) {
+    job.map_batch = [key_idx, agg_idx](const mr::TaggedRecord* recs,
+                                       size_t n, mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row;
+      std::string key_buf, val_buf;
+      for (size_t i = 0; i < n; ++i) {
+        DecodeRowInto(recs[i].record->value, &row);
+        key_buf.clear();
+        for (size_t k = 0; k < key_idx.size(); ++k) {
+          if (k > 0) key_buf += ',';
+          mr::kernels::AppendDecimal(&key_buf, row[key_idx[k]]);
+        }
+        val_buf.assign("R|");
+        for (size_t a = 0; a < agg_idx.size(); ++a) {
+          if (a > 0) val_buf += ',';
+          mr::kernels::AppendDecimal(
+              &val_buf, agg_idx[a] < 0 ? rdf::kInvalidTermId
+                                       : row[agg_idx[a]]);
+        }
+        ctx->Emit(key_buf, val_buf);
+      }
+    };
   } else {
     job.map = [key_idx, agg_idx](const mr::Record& r, int,
                                  mr::MapContext* ctx) {
@@ -392,9 +707,18 @@ StatusOr<TableRef> RelationalOps::GroupBy(
     };
   }
 
-  job.reduce = [agg_specs, dict, make_aggs, having](
+  const bool batch_reduce = options_.vectorized_kernels;
+  job.reduce = [agg_specs, dict, make_aggs, having, batch_reduce](
                    std::string_view key, const mr::ValueSpan& values,
                    mr::ReduceContext* ctx) {
+    // Batch mode reuses per-task scratch (args/out_row/val_buf) across key
+    // groups; the aggregator list itself must reset per group either way.
+    struct Scratch {
+      std::vector<rdf::TermId> args, out_row;
+      std::string val_buf;
+    };
+    Scratch local;
+    Scratch* s = batch_reduce ? ctx->TaskState<Scratch>() : &local;
     std::vector<Aggregator> agg_list = make_aggs();
     for (std::string_view v : values) {
       if (v.empty()) continue;
@@ -408,20 +732,22 @@ StatusOr<TableRef> RelationalOps::GroupBy(
           if (partial.ok()) agg_list[a].Merge(*partial, *dict);
         }
       } else if (v[0] == 'R') {
-        std::vector<rdf::TermId> args = DecodeRow(v.substr(2));
-        for (size_t a = 0; a < agg_list.size() && a < args.size(); ++a) {
+        DecodeRowInto(v.substr(2), &s->args);
+        for (size_t a = 0; a < agg_list.size() && a < s->args.size(); ++a) {
           if ((*agg_specs)[a].count_star) {
             agg_list[a].AddRow();
           } else {
-            agg_list[a].AddTerm(args[a], *dict);
+            agg_list[a].AddTerm(s->args[a], *dict);
           }
         }
       }
     }
-    std::vector<rdf::TermId> out_row = DecodeRow(key);
-    for (Aggregator& a : agg_list) out_row.push_back(a.Finalize(dict));
-    if (having != nullptr && !having(out_row)) return;
-    ctx->Emit("", EncodeRow(out_row));
+    DecodeRowInto(key, &s->out_row);
+    for (Aggregator& a : agg_list) s->out_row.push_back(a.Finalize(dict));
+    if (having != nullptr && !having(s->out_row)) return;
+    s->val_buf.clear();
+    AppendRow(&s->val_buf, s->out_row);
+    ctx->Emit("", s->val_buf);
   };
 
   RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
@@ -473,14 +799,32 @@ StatusOr<TableRef> RelationalOps::DistinctProject(
   job.name = name_hint;
   job.inputs = {input.file};
   job.output = out.file;
-  job.map = [idx, keep_predicate](const mr::Record& r, int,
-                                  mr::MapContext* ctx) {
-    std::vector<rdf::TermId> row = DecodeRow(r.value);
-    if (keep_predicate && !keep_predicate(row)) return;
-    std::vector<rdf::TermId> projected;
-    for (int i : idx) projected.push_back(row[i]);
-    ctx->Emit(EncodeRow(projected), "");
-  };
+  if (options_.vectorized_kernels) {
+    job.map_batch = [idx, keep_predicate](const mr::TaggedRecord* recs,
+                                          size_t n, mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row;
+      std::string key_buf;
+      for (size_t r = 0; r < n; ++r) {
+        DecodeRowInto(recs[r].record->value, &row);
+        if (keep_predicate && !keep_predicate(row)) continue;
+        key_buf.clear();
+        for (size_t k = 0; k < idx.size(); ++k) {
+          if (k > 0) key_buf += ',';
+          mr::kernels::AppendDecimal(&key_buf, row[idx[k]]);
+        }
+        ctx->Emit(key_buf, "");
+      }
+    };
+  } else {
+    job.map = [idx, keep_predicate](const mr::Record& r, int,
+                                    mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row = DecodeRow(r.value);
+      if (keep_predicate && !keep_predicate(row)) return;
+      std::vector<rdf::TermId> projected;
+      for (int i : idx) projected.push_back(row[i]);
+      ctx->Emit(EncodeRow(projected), "");
+    };
+  }
   // Combiner dedups map-side; reduce emits one row per distinct key.
   job.combine = [](std::string_view key, const mr::ValueSpan&,
                    mr::ReduceContext* ctx) { ctx->Emit(key, ""); };

@@ -21,6 +21,14 @@ namespace rapida::engine {
 std::string EncodeRow(const std::vector<rdf::TermId>& row);
 std::vector<rdf::TermId> DecodeRow(std::string_view data);
 
+/// Scratch-reusing codec variants for the batch kernels: AppendRow appends
+/// EncodeRow's exact bytes to `out`; DecodeRowInto overwrites `out` in
+/// place, reusing its capacity so per-record loops stop allocating once
+/// warm.
+void AppendRow(std::string* out, const rdf::TermId* row, size_t n);
+void AppendRow(std::string* out, const std::vector<rdf::TermId>& row);
+void DecodeRowInto(std::string_view data, std::vector<rdf::TermId>* out);
+
 /// A named intermediate table: a DFS file whose records hold EncodeRow'd
 /// values, plus its column names.
 struct TableRef {

@@ -7,7 +7,6 @@
 #include <mutex>
 #include <utility>
 
-#include "util/arena.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -15,37 +14,33 @@ namespace rapida::mr {
 
 namespace {
 
-/// Map-side sink: copies key/value bytes into the task's arena (one bump
-/// allocation each, no per-record heap strings), stamps the key prefix and
-/// hash once, and accounts serialized bytes in the emit loop (cheaper than
-/// a second pass over the buffer).
-class ArenaMapContext : public MapContext {
+/// Map-side sink: appends key/value bytes to the task's columnar store
+/// (contiguous buffers, no per-record heap strings), stamps the key
+/// prefix and hash columns once, and accounts serialized bytes in the
+/// emit loop (cheaper than a second pass over the buffer).
+class ColumnarMapContext : public MapContext {
  public:
-  ArenaMapContext(std::vector<Record>* out, util::Arena* arena)
-      : out_(out), arena_(arena) {}
+  explicit ColumnarMapContext(ColumnarRecords* out) : out_(out) {}
   void Emit(std::string_view key, std::string_view value) override {
     bytes_ += key.size() + value.size() + 2;  // == Record::Bytes()
-    out_->push_back(MakeRecord(arena_->Copy(key), arena_->Copy(value)));
+    out_->Append(key, value);
   }
   uint64_t bytes() const { return bytes_; }
 
  private:
-  std::vector<Record>* out_;
-  util::Arena* arena_;
+  ColumnarRecords* out_;
   uint64_t bytes_ = 0;
 };
 
-class ArenaReduceContext : public ReduceContext {
+class ColumnarReduceContext : public ReduceContext {
  public:
-  ArenaReduceContext(std::vector<Record>* out, util::Arena* arena)
-      : out_(out), arena_(arena) {}
+  explicit ColumnarReduceContext(ColumnarRecords* out) : out_(out) {}
   void Emit(std::string_view key, std::string_view value) override {
-    out_->push_back(MakeRecord(arena_->Copy(key), arena_->Copy(value)));
+    out_->Append(key, value);
   }
 
  private:
-  std::vector<Record>* out_;
-  util::Arena* arena_;
+  ColumnarRecords* out_;
 };
 
 /// Half-open range of same-key records inside a sorted partition.
@@ -85,10 +80,10 @@ ValueSpan SpanValues(const std::vector<Record>& records,
 /// One mapper's private results, merged into JobStats at the map barrier.
 struct MapTaskResult {
   std::vector<Record> output;  // map-only jobs: this task's final records
-  /// Arenas backing every record this task still exposes (its shuffle
-  /// chunks or, for map-only jobs, `output`). Kept alive until the job's
-  /// output is written.
-  std::vector<std::shared_ptr<util::Arena>> arenas;
+  /// Columnar stores backing every record this task still exposes (its
+  /// shuffle chunks or, for map-only jobs, `output`). Kept alive until
+  /// the job's output is written.
+  std::vector<std::shared_ptr<ColumnarRecords>> stores;
   uint64_t map_output_records = 0;
   uint64_t map_output_bytes = 0;
   uint64_t shuffle_records = 0;  // post-combine
@@ -130,7 +125,8 @@ void Cluster::ResetHistory() {
 }
 
 StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
-  RAPIDA_CHECK(job.map != nullptr) << "job '" << job.name << "' has no map fn";
+  RAPIDA_CHECK(job.map != nullptr || job.map_batch != nullptr)
+      << "job '" << job.name << "' has no map fn";
   if (observer_ != nullptr) {
     RAPIDA_RETURN_IF_ERROR(observer_->OnPhase(job.name, "setup"));
   }
@@ -146,7 +142,7 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   // disjoint blocks" behaviour closely enough for cost purposes while
   // keeping execution deterministic.
   struct Split {
-    std::vector<std::pair<const Record*, int>> records;  // (record, tag)
+    std::vector<TaggedRecord> records;
   };
   std::vector<Split> splits;
   for (size_t tag = 0; tag < job.inputs.size(); ++tag) {
@@ -163,8 +159,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
         (file->records.size() + n_splits - 1) / std::max(n_splits, 1);
     per_split = std::max<size_t>(per_split, 1);
     for (size_t i = 0; i < file->records.size(); ++i) {
-      splits[base + i / per_split].records.emplace_back(&file->records[i],
-                                                        static_cast<int>(tag));
+      splits[base + i / per_split].records.push_back(
+          TaggedRecord{&file->records[i], static_cast<int>(tag)});
     }
   }
   if (splits.empty()) splits.resize(1);
@@ -198,39 +194,46 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   run_tasks(splits.size(), [&](size_t task) {
     Split& split = splits[task];
     MapTaskResult& result = task_results[task];
-    auto map_arena = std::make_shared<util::Arena>();
-    std::vector<Record> map_out;
-    map_out.reserve(split.records.size());
-    ArenaMapContext ctx(&map_out, map_arena.get());
-    for (const auto& [rec, tag] : split.records) {
-      job.map(*rec, tag, &ctx);
+    auto map_store = std::make_shared<ColumnarRecords>();
+    map_store->Reserve(split.records.size(), 0);
+    ColumnarMapContext ctx(map_store.get());
+    if (job.map_batch) {
+      job.map_batch(split.records.data(), split.records.size(), &ctx);
+    } else {
+      for (const TaggedRecord& tr : split.records) {
+        job.map(*tr.record, tr.tag, &ctx);
+      }
     }
     if (job.map_finish) job.map_finish(&ctx);
-    result.map_output_records = map_out.size();
+    result.map_output_records = map_store->size();
     result.map_output_bytes = ctx.bytes();
+    // Emission is done: the store is frozen, so record views are stable.
+    std::vector<Record> map_out;
+    map_out.reserve(map_store->size());
+    map_store->AppendRecordViews(&map_out);
 
     if (stats.map_only) {
       result.output = std::move(map_out);
-      result.arenas.push_back(std::move(map_arena));
+      result.stores.push_back(std::move(map_store));
       return;
     }
 
     if (job.combine) {
-      // Combined output gets its own arena so the raw-emission arena (and
+      // Combined output gets its own store so the raw-emission store (and
       // its pre-combine bytes) dies at the end of this scope.
-      auto combine_arena = std::make_shared<util::Arena>();
-      std::vector<Record> combined;
-      combined.reserve(map_out.size());
-      ArenaReduceContext cctx(&combined, combine_arena.get());
+      auto combine_store = std::make_shared<ColumnarRecords>();
+      ColumnarReduceContext cctx(combine_store.get());
       std::vector<GroupSpan> groups = SortAndGroup(&map_out);
       for (const GroupSpan& span : groups) {
         job.combine(map_out[span.begin].key, SpanValues(map_out, span),
                     &cctx);
       }
-      map_out = std::move(combined);
-      map_arena = std::move(combine_arena);
+      map_out.clear();
+      map_out.reserve(combine_store->size());
+      combine_store->AppendRecordViews(&map_out);
+      map_store = std::move(combine_store);
     }
-    result.arenas.push_back(std::move(map_arena));
+    result.stores.push_back(std::move(map_store));
 
     // Scatter into per-partition buckets, then one locked append each.
     // Partition choice reuses the hash stamped at Emit — no per-record
@@ -263,10 +266,10 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   }
 
   std::vector<Record> output;
-  std::vector<std::shared_ptr<util::Arena>> output_arenas;
+  std::vector<std::shared_ptr<ColumnarRecords>> output_stores;
   if (stats.map_only) {
     // Map-only job: mapper outputs concatenate in split order; the output
-    // adopts every task's arena.
+    // adopts every task's columnar store.
     stats.shuffle_records = 0;
     stats.shuffle_bytes = 0;
     stats.num_reducers = 0;
@@ -275,7 +278,7 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     output.reserve(total);
     for (MapTaskResult& r : task_results) {
       output.insert(output.end(), r.output.begin(), r.output.end());
-      for (auto& arena : r.arenas) output_arenas.push_back(std::move(arena));
+      for (auto& store : r.stores) output_stores.push_back(std::move(store));
     }
   } else {
     // ---- group phase: per partition, flatten in task order, sort,
@@ -314,20 +317,25 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
         size_t begin, end;  // span in part_out[part]
       };
       std::vector<std::vector<Record>> part_out(num_partitions);
-      std::vector<std::shared_ptr<util::Arena>> part_arenas(num_partitions);
+      std::vector<std::shared_ptr<ColumnarRecords>> part_stores(
+          num_partitions);
       std::vector<std::vector<ReducedGroup>> part_spans(num_partitions);
       run_tasks(num_partitions, [&](size_t p) {
         std::vector<Record>& records = part_records[p];
-        part_arenas[p] = std::make_shared<util::Arena>();
-        ArenaReduceContext rctx(&part_out[p], part_arenas[p].get());
+        part_stores[p] = std::make_shared<ColumnarRecords>();
+        ColumnarRecords& store = *part_stores[p];
+        ColumnarReduceContext rctx(&store);
         part_spans[p].reserve(part_groups[p].size());
         for (const GroupSpan& span : part_groups[p]) {
-          size_t before = part_out[p].size();
+          size_t before = store.size();
           const Record& head = records[span.begin];
           job.reduce(head.key, SpanValues(records, span), &rctx);
           part_spans[p].push_back(ReducedGroup{head.key_prefix, head.key, p,
-                                               before, part_out[p].size()});
+                                               before, store.size()});
         }
+        // This partition's emissions are done; materialize stable views.
+        part_out[p].reserve(store.size());
+        store.AppendRecordViews(&part_out[p]);
       });
       std::vector<ReducedGroup> all_groups;
       all_groups.reserve(distinct_keys);
@@ -348,15 +356,15 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
         output.insert(output.end(), part_out[g.part].begin() + g.begin,
                       part_out[g.part].begin() + g.end);
       }
-      output_arenas = std::move(part_arenas);
+      output_stores = std::move(part_stores);
     } else {
       // ---- serial reduce: k-way merge of the sorted partitions invokes
       // the reduce fn once per key in *global* key order — identical to
       // the single-threaded runtime, so reduce fns that mutate shared
       // state (e.g. dictionary interning in aggregation finalizers) see
       // the exact same sequence of calls. ----
-      auto reduce_arena = std::make_shared<util::Arena>();
-      ArenaReduceContext rctx(&output, reduce_arena.get());
+      auto reduce_store = std::make_shared<ColumnarRecords>();
+      ColumnarReduceContext rctx(reduce_store.get());
       std::vector<size_t> next(num_partitions, 0);
       for (;;) {
         size_t best = num_partitions;
@@ -375,7 +383,9 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
         job.reduce(part_records[best][span.begin].key,
                    SpanValues(part_records[best], span), &rctx);
       }
-      output_arenas.push_back(std::move(reduce_arena));
+      output.reserve(reduce_store->size());
+      reduce_store->AppendRecordViews(&output);
+      output_stores.push_back(std::move(reduce_store));
     }
   }
 
@@ -390,7 +400,7 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   if (!job.output.empty()) {
     RecordBatch batch;
     batch.records = std::move(output);
-    batch.arenas = std::move(output_arenas);
+    batch.columns = std::move(output_stores);
     RAPIDA_RETURN_IF_ERROR(
         dfs_->Write(job.output, std::move(batch), job.output_options));
   }

@@ -8,6 +8,17 @@ namespace rapida::mr {
 
 Status Dfs::Write(const std::string& name, RecordBatch batch,
                   const FileOptions& options) {
+  // Batches built via Add() carry only columnar stores; materialize the
+  // record views now that the stores are frozen. Producers that pre-built
+  // views (the cluster's output path) pass them through unchanged.
+  if (batch.records.empty()) {
+    size_t total = 0;
+    for (const auto& col : batch.columns) total += col->size();
+    batch.records.reserve(total);
+    for (const auto& col : batch.columns) {
+      col->AppendRecordViews(&batch.records);
+    }
+  }
   uint64_t logical = 0;
   for (const Record& r : batch.records) logical += r.Bytes();
   uint64_t stored =
@@ -36,7 +47,7 @@ Status Dfs::Write(const std::string& name, RecordBatch batch,
   lifetime_bytes_written_ += stored;
   File& f = files_[name];
   f.records = std::move(batch.records);
-  f.arenas = std::move(batch.arenas);
+  f.columns = std::move(batch.columns);
   f.logical_bytes = logical;
   f.stored_bytes = stored;
   f.options = options;

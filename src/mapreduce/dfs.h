@@ -43,10 +43,10 @@ class Dfs {
  public:
   struct File {
     std::vector<Record> records;
-    /// Arenas owning the record bytes; records are string_views into these,
-    /// so a File keeps its arenas alive as long as readers hold the
-    /// pointer Open() returned.
-    std::vector<std::shared_ptr<util::Arena>> arenas;
+    /// Columnar stores owning the record bytes; records are string_views
+    /// into these, so a File keeps its stores alive as long as readers
+    /// hold the pointer Open() returned.
+    std::vector<std::shared_ptr<ColumnarRecords>> columns;
     uint64_t logical_bytes = 0;  // sum of record footprints
     uint64_t stored_bytes = 0;   // after compression
     FileOptions options;
@@ -56,9 +56,10 @@ class Dfs {
   Dfs(const Dfs&) = delete;
   Dfs& operator=(const Dfs&) = delete;
 
-  /// Writes (replaces) a file from an owning batch (records + the arenas
-  /// backing their bytes). Fails with ResourceExhausted if the write would
-  /// push total stored bytes beyond the capacity limit.
+  /// Writes (replaces) a file from an owning batch (columnar stores, plus
+  /// pre-built record views when the producer already materialized them).
+  /// Fails with ResourceExhausted if the write would push total stored
+  /// bytes beyond the capacity limit.
   Status Write(const std::string& name, RecordBatch batch,
                const FileOptions& options = {});
 

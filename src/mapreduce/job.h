@@ -14,24 +14,16 @@
 
 namespace rapida::mr {
 
-/// Sink for map-side emissions. Each map task (one input split) gets its
-/// own context, and map tasks may run on different threads concurrently
-/// (ClusterConfig::exec_threads). A map function must therefore keep any
-/// cross-record mutable state in TaskState() — never in shared captures —
-/// and may only read from shared captured structures.
-class MapContext {
+/// Lazily-created state scoped to one map or reduce task (shared base of
+/// MapContext / ReduceContext): the first call value-initializes a T,
+/// later calls return the same object, and it dies with the context. A
+/// context must use one consistent T for its lifetime.
+class TaskStateBase {
  public:
-  virtual ~MapContext() = default;
-  /// Copies both byte ranges into the task's arena, so temporaries are
-  /// fine; no per-record heap allocation happens on this path.
-  virtual void Emit(std::string_view key, std::string_view value) = 0;
-
-  /// Lazily-created state scoped to this map task: the first call
-  /// value-initializes a T, later calls return the same object, and it is
-  /// destroyed after the task's map_finish. This is how per-mapper
-  /// accumulators (e.g. the paper's multiAggMap hash pre-aggregation,
-  /// Alg. 3) stay correct when map tasks run concurrently: capture the
-  /// immutable specs in the lambda, keep the mutable table here.
+  /// How per-task accumulators (e.g. the paper's multiAggMap hash
+  /// pre-aggregation, Alg. 3) and batch-kernel scratch buffers stay
+  /// correct when tasks run concurrently: capture the immutable specs in
+  /// the lambda, keep the mutable state here.
   template <typename T>
   T* TaskState() {
     if (state_ == nullptr) state_ = std::make_unique<StateHolder<T>>();
@@ -49,9 +41,26 @@ class MapContext {
   std::unique_ptr<StateHolderBase> state_;
 };
 
-/// Sink for reduce-side emissions. Emit copies into the reduce arena,
-/// exactly like MapContext::Emit.
-class ReduceContext {
+/// Sink for map-side emissions. Each map task (one input split) gets its
+/// own context, and map tasks may run on different threads concurrently
+/// (ClusterConfig::exec_threads). A map function must therefore keep any
+/// cross-record mutable state in TaskState() — never in shared captures —
+/// and may only read from shared captured structures.
+class MapContext : public TaskStateBase {
+ public:
+  virtual ~MapContext() = default;
+  /// Appends both byte ranges to the task's columnar store, so
+  /// temporaries are fine; no per-record heap allocation happens on this
+  /// path.
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// Sink for reduce-side emissions. Emit appends to the reduce task's
+/// columnar store, exactly like MapContext::Emit. TaskState() is scoped
+/// to the reduce task (one shuffle partition, or the whole serial merge) —
+/// it persists *across* the task's key groups, which is what lets batch
+/// kernels reuse scratch buffers instead of reallocating per group.
+class ReduceContext : public TaskStateBase {
  public:
   virtual ~ReduceContext() = default;
   virtual void Emit(std::string_view key, std::string_view value) = 0;
@@ -107,6 +116,22 @@ class ValueSpan {
 using MapFn =
     std::function<void(const Record& record, int input_tag, MapContext*)>;
 
+/// One split row handed to a batch map kernel: the record (with its
+/// pre-stamped key_hash / key_prefix columns) plus its input tag.
+struct TaggedRecord {
+  const Record* record = nullptr;
+  int tag = 0;
+};
+
+/// Batch-at-a-time map kernel: called once per input split with the whole
+/// split. Must emit exactly the records the per-record `map` would emit,
+/// in the same order — the runtime treats it as pure dispatch/layout
+/// optimization, and every counter (and therefore sim_seconds) is
+/// computed from the emissions, which are identical either way.
+using MapBatchFn =
+    std::function<void(const TaggedRecord* records, size_t count,
+                       MapContext*)>;
+
 /// Called once per mapper after its split is exhausted; used for map-side
 /// state flush (e.g. the paper's `multiAggMap` hash pre-aggregation,
 /// Alg. 3 Map.clean()). The default no-op is fine for stateless mappers.
@@ -124,7 +149,12 @@ struct JobConfig {
   std::vector<std::string> inputs;  // DFS file names
   std::string output;               // DFS file name
 
-  MapFn map;                 // required
+  MapFn map;                 // required unless map_batch is set
+  /// Optional vectorized override of `map`: when set, the runtime hands
+  /// each split to this kernel instead of dispatching per record. Planners
+  /// install it only when the kernel path is enabled; the scalar `map`
+  /// stays the fallback (and the semantic reference).
+  MapBatchFn map_batch;
   MapFinishFn map_finish;    // optional
   ReduceFn combine;          // optional (map-side, per mapper)
   ReduceFn reduce;           // null => map-only job (no shuffle)

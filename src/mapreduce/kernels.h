@@ -1,0 +1,152 @@
+#ifndef RAPIDA_MAPREDUCE_KERNELS_H_
+#define RAPIDA_MAPREDUCE_KERNELS_H_
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "mapreduce/record.h"
+
+/// Batch-at-a-time kernel primitives for the hot MapReduce inner loops.
+///
+/// The operators built on these (star-join / map-join probing, grouped
+/// aggregation, field tokenization) process one whole split per dispatch
+/// instead of one record per std::function call, reuse the FNV-1a key
+/// hashes the data plane stamps at emit time, and keep all scratch in
+/// reused flat buffers. Kernels are a pure execution-layer substitution:
+/// they must emit byte-identical records in identical order to their
+/// scalar counterparts, so no logical counter (and hence no sim_seconds)
+/// can move.
+namespace rapida::mr::kernels {
+
+/// splitmix64 finalizer: turns raw integer keys (term ids) into
+/// well-distributed 64-bit hashes for HashIndex probing.
+inline uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing (linear-probe) hash index mapping precomputed 64-bit
+/// hashes to dense uint32 ids assigned by the caller. The index stores
+/// only (hash, id) slots; the caller owns the actual keys and resolves
+/// same-hash collisions through the `eq(id)` callback, so one index works
+/// for string keys, term-id keys, or composite keys without storing any
+/// of them twice. Dense ids make the side tables plain vectors.
+class HashIndex {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  HashIndex() { Init(16); }
+
+  /// Pre-sizes for `n` distinct keys (amortizes growth rehashes away).
+  void Reserve(size_t n);
+
+  template <typename Eq>
+  uint32_t Find(uint64_t hash, Eq&& eq) const {
+    size_t i = hash & mask_;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.id == kNotFound) return kNotFound;
+      if (s.hash == hash && eq(s.id)) return s.id;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns the existing id for `hash` (second = false), or claims a
+  /// slot for `new_id` (second = true). The caller appends the key/value
+  /// for `new_id` to its side tables on insertion.
+  template <typename Eq>
+  std::pair<uint32_t, bool> FindOrInsert(uint64_t hash, uint32_t new_id,
+                                         Eq&& eq) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) Grow();
+    size_t i = hash & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.id == kNotFound) {
+        s.hash = hash;
+        s.id = new_id;
+        ++count_;
+        return {new_id, true};
+      }
+      if (s.hash == hash && eq(s.id)) return {s.id, false};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return count_; }
+
+  /// Empties the index but keeps its capacity (per-task table reuse).
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = kNotFound;
+  };
+
+  void Init(size_t capacity);  // capacity must be a power of two
+  void Grow();
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t count_ = 0;
+};
+
+/// CSR field-offset columns for a batch of tokenized strings: every row's
+/// fields appended to one flat vector, with cumulative row boundaries in
+/// `row_end`. Materialized once per batch, then scanned without re-finding
+/// separators or allocating per record.
+struct FieldColumns {
+  std::vector<std::string_view> fields;
+  std::vector<uint32_t> row_end;
+
+  void Clear() {
+    fields.clear();
+    row_end.clear();
+  }
+  size_t num_rows() const { return row_end.size(); }
+  size_t row_begin(size_t row) const {
+    return row == 0 ? 0 : row_end[row - 1];
+  }
+};
+
+/// Appends one row of fields split on `sep`, with FieldTokenizer's exact
+/// semantics: empty fields kept, "" yields one empty field, a trailing
+/// separator yields a trailing empty field.
+inline void TokenizeRow(std::string_view input, char sep,
+                        FieldColumns* out) {
+  size_t start = 0;
+  for (;;) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out->fields.push_back(input.substr(start));
+      break;
+    }
+    out->fields.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out->row_end.push_back(static_cast<uint32_t>(out->fields.size()));
+}
+
+/// Batched FieldTokenizer: materializes the field offset columns for a
+/// whole split's values in one pass. Views point into the input records.
+void TokenizeValues(const TaggedRecord* records, size_t count, char sep,
+                    FieldColumns* out);
+
+/// Appends the decimal form of `v` — same bytes as std::to_string, without
+/// the temporary string.
+inline void AppendDecimal(std::string* out, uint64_t v) {
+  char buf[20];
+  auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, static_cast<size_t>(res.ptr - buf));
+}
+
+}  // namespace rapida::mr::kernels
+
+#endif  // RAPIDA_MAPREDUCE_KERNELS_H_

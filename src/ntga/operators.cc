@@ -166,83 +166,104 @@ std::vector<NestedTripleGroup> AlphaJoin(
   return out;
 }
 
-std::vector<std::vector<rdf::TermId>> ExpandBindings(
-    const NestedTripleGroup& ntg, const ResolvedPattern& pattern,
-    const std::vector<std::string>& vars, bool skip_unbound) {
+void ExpandBindingsInto(const NestedTripleGroup& ntg,
+                        const ResolvedPattern& pattern,
+                        const std::vector<std::string>& vars,
+                        bool skip_unbound, BindingExpansion* out) {
+  out->width = vars.size();
+  out->num_rows = 0;
+  out->rows.clear();
+  if (out->candidates.size() < vars.size()) out->candidates.resize(vars.size());
   // Candidate values per variable: the intersection across every place the
   // variable occurs (subject positions pin it to one value; object
   // positions contribute their object lists).
-  std::vector<std::vector<rdf::TermId>> candidates;
-  candidates.reserve(vars.size());
-  for (const std::string& var : vars) {
-    std::vector<rdf::TermId> values;
+  for (size_t vi = 0; vi < vars.size(); ++vi) {
+    const std::string& var = vars[vi];
+    std::vector<rdf::TermId>& values = out->candidates[vi];
+    values.clear();
+    std::vector<rdf::TermId>& vals = out->vals;
     bool first_source = true;
     for (size_t s = 0; s < pattern.stars.size(); ++s) {
       const ResolvedStar& star = pattern.stars[s];
       bool filled = ntg.IsFilled(static_cast<int>(s));
       if (star.subject_var == var) {
-        std::vector<rdf::TermId> vals;
+        vals.clear();
         if (filled) vals.push_back(ntg.stars[s].subject);
         if (first_source) {
-          values = std::move(vals);
+          values.assign(vals.begin(), vals.end());
           first_source = false;
         } else {
-          std::vector<rdf::TermId> merged;
+          size_t w = 0;
           for (rdf::TermId v : values) {
             if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
-              merged.push_back(v);
+              values[w++] = v;
             }
           }
-          values = std::move(merged);
+          values.resize(w);
         }
       }
       for (const ResolvedStarTriple& t : star.triples) {
         if (t.object_var != var) continue;
-        std::vector<rdf::TermId> vals;
+        vals.clear();
         if (filled) {
-          vals = ntg.stars[s].ObjectsOf(t.key, pattern.type_id);
+          ntg.stars[s].ObjectsOfInto(t.key, pattern.type_id, &vals);
         }
         if (first_source) {
-          values = std::move(vals);
+          values.assign(vals.begin(), vals.end());
           first_source = false;
         } else {
-          std::vector<rdf::TermId> merged;
+          size_t w = 0;
           for (rdf::TermId v : values) {
             if (std::find(vals.begin(), vals.end(), v) != vals.end()) {
-              merged.push_back(v);
+              values[w++] = v;
             }
           }
-          values = std::move(merged);
+          values.resize(w);
         }
       }
     }
     if (values.empty()) {
-      if (skip_unbound) return {};
+      if (skip_unbound) return;  // num_rows == 0
       values.push_back(rdf::kInvalidTermId);
     }
     // Duplicate triples would inflate multiplicity; keep one per value.
     std::sort(values.begin(), values.end());
     values.erase(std::unique(values.begin(), values.end()), values.end());
-    candidates.push_back(std::move(values));
   }
 
-  // Cross product.
-  std::vector<std::vector<rdf::TermId>> out;
-  std::vector<size_t> idx(vars.size(), 0);
+  if (vars.empty()) {
+    out->num_rows = 1;  // one empty mapping
+    return;
+  }
+
+  // Cross product, row-major into the flat buffer (idx[0] varies fastest —
+  // same row order as the nested variant produced).
+  out->idx.assign(vars.size(), 0);
+  std::vector<size_t>& idx = out->idx;
   while (true) {
-    std::vector<rdf::TermId> row;
-    row.reserve(vars.size());
-    for (size_t i = 0; i < vars.size(); ++i) row.push_back(candidates[i][idx[i]]);
-    out.push_back(std::move(row));
+    for (size_t i = 0; i < vars.size(); ++i) {
+      out->rows.push_back(out->candidates[i][idx[i]]);
+    }
+    ++out->num_rows;
     size_t i = 0;
-    while (i < vars.size() && ++idx[i] == candidates[i].size()) {
+    while (i < vars.size() && ++idx[i] == out->candidates[i].size()) {
       idx[i] = 0;
       ++i;
     }
     if (i == vars.size()) break;
-    if (vars.empty()) break;
   }
-  if (vars.empty()) out.resize(1);
+}
+
+std::vector<std::vector<rdf::TermId>> ExpandBindings(
+    const NestedTripleGroup& ntg, const ResolvedPattern& pattern,
+    const std::vector<std::string>& vars, bool skip_unbound) {
+  BindingExpansion exp;
+  ExpandBindingsInto(ntg, pattern, vars, skip_unbound, &exp);
+  std::vector<std::vector<rdf::TermId>> out;
+  out.reserve(exp.num_rows);
+  for (size_t r = 0; r < exp.num_rows; ++r) {
+    out.emplace_back(exp.row(r), exp.row(r) + exp.width);
+  }
   return out;
 }
 

@@ -99,6 +99,28 @@ std::vector<std::vector<rdf::TermId>> ExpandBindings(
     const NestedTripleGroup& ntg, const ResolvedPattern& pattern,
     const std::vector<std::string>& vars, bool skip_unbound);
 
+/// Flat, scratch-reusing form of ExpandBindings for per-record loops: rows
+/// are written row-major into `rows` (num_rows x width) and every internal
+/// buffer is reused across calls, so a warm expansion allocates nothing.
+/// Row order is identical to ExpandBindings'.
+struct BindingExpansion {
+  std::vector<rdf::TermId> rows;
+  size_t width = 0;
+  size_t num_rows = 0;
+
+  const rdf::TermId* row(size_t r) const { return rows.data() + r * width; }
+
+  // Internal scratch (candidate pools, odometer, per-source values).
+  std::vector<std::vector<rdf::TermId>> candidates;
+  std::vector<size_t> idx;
+  std::vector<rdf::TermId> vals;
+};
+
+void ExpandBindingsInto(const NestedTripleGroup& ntg,
+                        const ResolvedPattern& pattern,
+                        const std::vector<std::string>& vars,
+                        bool skip_unbound, BindingExpansion* out);
+
 // ---------------------------------------------------------------------------
 // γ^AgJ — TG Agg-Join (Def. 3.6, Alg. 3)
 // ---------------------------------------------------------------------------

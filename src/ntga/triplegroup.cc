@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "mapreduce/kernels.h"
 #include "util/string_util.h"
 
 namespace rapida::ntga {
@@ -26,10 +27,15 @@ std::set<DataPropKey> TripleGroup::Props(rdf::TermId type_id) const {
 std::vector<rdf::TermId> TripleGroup::ObjectsOf(const DataPropKey& key,
                                                 rdf::TermId type_id) const {
   std::vector<rdf::TermId> out;
-  for (const rdf::Triple& t : triples) {
-    if (KeyOfTriple(t, type_id) == key) out.push_back(t.o);
-  }
+  ObjectsOfInto(key, type_id, &out);
   return out;
+}
+
+void TripleGroup::ObjectsOfInto(const DataPropKey& key, rdf::TermId type_id,
+                                std::vector<rdf::TermId>* out) const {
+  for (const rdf::Triple& t : triples) {
+    if (KeyOfTriple(t, type_id) == key) out->push_back(t.o);
+  }
 }
 
 bool TripleGroup::HasProp(const DataPropKey& key, rdf::TermId type_id,
@@ -43,28 +49,34 @@ bool TripleGroup::HasProp(const DataPropKey& key, rdf::TermId type_id,
   return false;
 }
 
-std::string SerializeTripleGroup(const TripleGroup& tg) {
-  std::string out = std::to_string(tg.subject);
+void SerializeTripleGroupTo(const TripleGroup& tg, std::string* out) {
+  mr::kernels::AppendDecimal(out, tg.subject);
   for (const rdf::Triple& t : tg.triples) {
-    out += ';';
-    out += std::to_string(t.p);
-    out += ',';
-    out += std::to_string(t.o);
+    *out += ';';
+    mr::kernels::AppendDecimal(out, t.p);
+    *out += ',';
+    mr::kernels::AppendDecimal(out, t.o);
   }
+}
+
+std::string SerializeTripleGroup(const TripleGroup& tg) {
+  std::string out;
+  SerializeTripleGroupTo(tg, &out);
   return out;
 }
 
-StatusOr<TripleGroup> ParseTripleGroup(std::string_view data) {
-  TripleGroup tg;
+Status ParseTripleGroupInto(std::string_view data, TripleGroup* out) {
+  out->subject = rdf::kInvalidTermId;
+  out->triples.clear();
   FieldTokenizer fields(data, ';');
   std::string_view part;
   fields.Next(&part);  // always yields at least the (possibly empty) subject
   int64_t subj = 0;
-  if (!ParseInt64(part, &subj)) {
+  if (!ParseDigits(part, &subj)) {
     return Status::ParseError("bad triplegroup subject: " +
                               std::string(data));
   }
-  tg.subject = static_cast<rdf::TermId>(subj);
+  out->subject = static_cast<rdf::TermId>(subj);
   while (fields.Next(&part)) {
     size_t comma = part.find(',');
     if (comma == std::string_view::npos) {
@@ -72,34 +84,50 @@ StatusOr<TripleGroup> ParseTripleGroup(std::string_view data) {
                                 std::string(part));
     }
     int64_t p = 0, o = 0;
-    if (!ParseInt64(part.substr(0, comma), &p) ||
-        !ParseInt64(part.substr(comma + 1), &o)) {
+    if (!ParseDigits(part.substr(0, comma), &p) ||
+        !ParseDigits(part.substr(comma + 1), &o)) {
       return Status::ParseError("bad triplegroup triple: " +
                                 std::string(part));
     }
-    tg.triples.push_back(rdf::Triple{tg.subject, static_cast<rdf::TermId>(p),
-                                     static_cast<rdf::TermId>(o)});
+    out->triples.push_back(rdf::Triple{out->subject,
+                                       static_cast<rdf::TermId>(p),
+                                       static_cast<rdf::TermId>(o)});
   }
+  return Status::OK();
+}
+
+StatusOr<TripleGroup> ParseTripleGroup(std::string_view data) {
+  TripleGroup tg;
+  RAPIDA_RETURN_IF_ERROR(ParseTripleGroupInto(data, &tg));
   return tg;
+}
+
+void SerializeNestedTo(const NestedTripleGroup& ntg, std::string* out) {
+  size_t start = out->size();
+  for (size_t i = 0; i < ntg.stars.size(); ++i) {
+    if (ntg.stars[i].subject == rdf::kInvalidTermId) continue;
+    if (out->size() > start) *out += '#';
+    mr::kernels::AppendDecimal(out, i);
+    *out += ':';
+    SerializeTripleGroupTo(ntg.stars[i], out);
+  }
 }
 
 std::string SerializeNested(const NestedTripleGroup& ntg) {
   std::string out;
-  for (size_t i = 0; i < ntg.stars.size(); ++i) {
-    if (ntg.stars[i].subject == rdf::kInvalidTermId) continue;
-    if (!out.empty()) out += '#';
-    out += std::to_string(i);
-    out += ':';
-    out += SerializeTripleGroup(ntg.stars[i]);
-  }
+  SerializeNestedTo(ntg, &out);
   return out;
 }
 
-StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
-                                        int num_stars) {
-  NestedTripleGroup ntg;
-  ntg.stars.resize(num_stars);
-  if (data.empty()) return ntg;
+Status ParseNestedInto(std::string_view data, int num_stars,
+                       NestedTripleGroup* out) {
+  // Reset in place: keep each star's triples capacity across records.
+  out->stars.resize(num_stars);
+  for (TripleGroup& star : out->stars) {
+    star.subject = rdf::kInvalidTermId;
+    star.triples.clear();
+  }
+  if (data.empty()) return Status::OK();
   FieldTokenizer parts(data, '#');
   std::string_view part;
   while (parts.Next(&part)) {
@@ -113,10 +141,16 @@ StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
         star >= num_stars) {
       return Status::ParseError("bad star index in: " + std::string(part));
     }
-    RAPIDA_ASSIGN_OR_RETURN(TripleGroup tg,
-                            ParseTripleGroup(part.substr(colon + 1)));
-    ntg.stars[star] = std::move(tg);
+    RAPIDA_RETURN_IF_ERROR(
+        ParseTripleGroupInto(part.substr(colon + 1), &out->stars[star]));
   }
+  return Status::OK();
+}
+
+StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
+                                        int num_stars) {
+  NestedTripleGroup ntg;
+  RAPIDA_RETURN_IF_ERROR(ParseNestedInto(data, num_stars, &ntg));
   return ntg;
 }
 

@@ -45,6 +45,11 @@ struct TripleGroup {
   std::vector<rdf::TermId> ObjectsOf(const DataPropKey& key,
                                      rdf::TermId type_id) const;
 
+  /// Appends the same objects to `out` without allocating a fresh vector
+  /// (callers clear; the hot expansion loops reuse one scratch vector).
+  void ObjectsOfInto(const DataPropKey& key, rdf::TermId type_id,
+                     std::vector<rdf::TermId>* out) const;
+
   /// True if a triple with this key exists (and, if `required_object` is
   /// valid, with that exact object).
   bool HasProp(const DataPropKey& key, rdf::TermId type_id,
@@ -82,6 +87,17 @@ StatusOr<TripleGroup> ParseTripleGroup(std::string_view data);
 std::string SerializeNested(const NestedTripleGroup& ntg);
 StatusOr<NestedTripleGroup> ParseNested(std::string_view data,
                                         int num_stars);
+
+/// Scratch-reusing variants for the batch kernels: the *To serializers
+/// append to `out` (same bytes as their std::string counterparts), the
+/// *Into parsers overwrite `out` in place, reusing its vector/string
+/// capacity so per-record parse loops stop allocating once warm.
+void SerializeTripleGroupTo(const TripleGroup& tg, std::string* out);
+Status ParseTripleGroupInto(std::string_view data, TripleGroup* out);
+
+void SerializeNestedTo(const NestedTripleGroup& ntg, std::string* out);
+Status ParseNestedInto(std::string_view data, int num_stars,
+                       NestedTripleGroup* out);
 
 }  // namespace rapida::ntga
 

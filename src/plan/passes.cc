@@ -176,6 +176,30 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
       }});
 
   pm.Add(Pass{
+      "vectorized-kernels", options.vectorized_kernels,
+      [](PhysicalPlan* plan, bool enabled) {
+        // Dispatch annotation only: the batch kernels are byte-identical
+        // to the scalar operators by contract, so the choice is
+        // display-only `info` — fingerprints, cost estimates, and every
+        // counter stay exactly where the scalar path put them.
+        for (PlanNode& n : plan->nodes) {
+          switch (n.kind) {
+            case OpKind::kStarJoin:
+            case OpKind::kMapJoin:
+            case OpKind::kReduceJoin:
+            case OpKind::kNSplitAlphaJoin:
+            case OpKind::kAggJoin:
+            case OpKind::kGroupAggregate:
+            case OpKind::kDistinctExtract:
+              n.Info("kernel", enabled ? "batch" : "scalar");
+              break;
+            default:
+              break;
+          }
+        }
+      }});
+
+  pm.Add(Pass{
       "dead-column-prune", true,
       [](PhysicalPlan* plan, bool) {
         // Backward liveness: a column a node materializes is dead if no

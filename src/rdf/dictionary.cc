@@ -14,6 +14,7 @@ Dictionary::Dictionary(Dictionary&& other) noexcept {
   // making the transfer itself well-formed.
   std::unique_lock lock(other.mu_);
   terms_ = std::move(other.terms_);
+  nums_ = std::move(other.nums_);
   index_ = std::move(other.index_);
 }
 
@@ -21,6 +22,7 @@ Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
   if (this != &other) {
     std::scoped_lock lock(mu_, other.mu_);
     terms_ = std::move(other.terms_);
+    nums_ = std::move(other.nums_);
     index_ = std::move(other.index_);
   }
   return *this;
@@ -46,13 +48,23 @@ TermId Dictionary::Intern(const Term& term) {
     auto it = index_.find(key);
     if (it != index_.end()) return it->second;
   }
+  NumValue num = ParseNumValue(term);
   std::unique_lock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   terms_.push_back(term);
+  nums_.push_back(num);
   TermId id = static_cast<TermId>(terms_.size());
   index_.emplace(std::move(key), id);
   return id;
+}
+
+Dictionary::NumValue Dictionary::ParseNumValue(const Term& term) {
+  NumValue num;
+  if (term.is_literal()) {
+    num.is_number = ParseDouble(term.text, &num.value);
+  }
+  return num;
 }
 
 TermId Dictionary::InternIri(std::string_view iri) {
@@ -100,12 +112,10 @@ size_t Dictionary::size() const {
 
 std::optional<double> Dictionary::AsNumber(TermId id) const {
   std::shared_lock lock(mu_);
-  if (id == kInvalidTermId || id > terms_.size()) return std::nullopt;
-  const Term& t = terms_[id - 1];
-  if (!t.is_literal()) return std::nullopt;
-  double v = 0;
-  if (!ParseDouble(t.text, &v)) return std::nullopt;
-  return v;
+  if (id == kInvalidTermId || id > nums_.size()) return std::nullopt;
+  const NumValue& num = nums_[id - 1];
+  if (!num.is_number) return std::nullopt;
+  return num.value;
 }
 
 }  // namespace rapida::rdf

@@ -60,8 +60,17 @@ class Dictionary {
  private:
   static std::string MakeKey(const Term& term);
 
+  /// Numeric value of a term, parsed once at intern time so AsNumber — hot
+  /// in every aggregation inner loop — is a cached lookup, not a re-parse.
+  struct NumValue {
+    double value = 0;
+    bool is_number = false;
+  };
+  static NumValue ParseNumValue(const Term& term);
+
   mutable std::shared_mutex mu_;
   std::deque<Term> terms_;  // terms_[id-1] is the term for id.
+  std::deque<NumValue> nums_;  // parallel to terms_
   std::unordered_map<std::string, TermId> index_;
 };
 

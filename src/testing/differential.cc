@@ -132,7 +132,8 @@ DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts) {
     cfg.exec_threads = threads;
     cfg.exec_split_bytes = opts.exec_split_bytes;
     mr::Cluster cluster(cfg, &dataset.dfs());
-    for (std::unique_ptr<engine::Engine>& eng : engine::MakeAllEngines()) {
+    for (std::unique_ptr<engine::Engine>& eng :
+         engine::MakeAllEngines(opts.engine_options)) {
       std::unique_ptr<engine::Engine> run = std::move(eng);
       if (opts.fault != FaultKind::kNone && run->name() == opts.fault_engine) {
         run = std::make_unique<FaultyEngine>(std::move(run), opts.fault);
@@ -158,8 +159,7 @@ DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts) {
       // injected faults change the executed workflow by design.)
       if (opts.fault == FaultKind::kNone || run->name() != opts.fault_engine) {
         StatusOr<plan::PhysicalPlan> physical = plan::PlanForEngine(
-            run->name(), analyzed.value(), &dataset,
-            engine::EngineOptions());
+            run->name(), analyzed.value(), &dataset, opts.engine_options);
         if (!physical.ok()) {
           return Fail("plan-cycles", run->name(), threads,
                       "planner failed after successful execution: " +

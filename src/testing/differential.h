@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "engines/engine.h"
 #include "rdf/graph.h"
 #include "rdf/term.h"
 #include "sparql/ast.h"
@@ -52,6 +53,10 @@ struct DiffOptions {
   /// takes more MR cycles than RAPID+; cycle counts independent of
   /// exec_threads).
   bool check_cost_invariants = true;
+  /// Optimizer pass toggles for the engines under test (the reference
+  /// evaluator ignores them). Used to force e.g. the vectorized-kernels
+  /// pass on or off across a whole corpus run.
+  engine::EngineOptions engine_options;
 };
 
 /// The first divergence found, or failed == false if all engines agree

@@ -73,7 +73,7 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
   return h.find(n) != std::string::npos;
 }
 
-bool ParseInt64(std::string_view s, int64_t* out) {
+bool ParseInt64Slow(std::string_view s, int64_t* out) {
   if (s.empty()) return false;
   std::string buf(s);
   errno = 0;
@@ -84,7 +84,7 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   return true;
 }
 
-bool ParseDouble(std::string_view s, double* out) {
+bool ParseDoubleSlow(std::string_view s, double* out) {
   if (s.empty()) return false;
   std::string buf(s);
   errno = 0;

@@ -1,6 +1,7 @@
 #ifndef RAPIDA_UTIL_STRING_UTIL_H_
 #define RAPIDA_UTIL_STRING_UTIL_H_
 
+#include <charconv>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -61,10 +62,55 @@ std::string AsciiToLower(std::string_view s);
 /// Mirrors SPARQL's regex(?x, "pattern", "i") usage in the paper's queries.
 bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 
+/// Slow-path parsers with full strtoll/strtod semantics (leading
+/// whitespace, explicit '+', hex floats, "infinity"). The inline wrappers
+/// below try an allocation-free std::from_chars parse first and only fall
+/// back here when it does not consume the whole input.
+bool ParseInt64Slow(std::string_view s, int64_t* out);
+bool ParseDoubleSlow(std::string_view s, double* out);
+
 /// Parses a decimal integer / floating-point literal. Returns false on any
 /// trailing garbage or empty input.
-bool ParseInt64(std::string_view s, int64_t* out);
-bool ParseDouble(std::string_view s, double* out);
+inline bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t v = 0;
+  auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec == std::errc() && res.ptr == s.data() + s.size()) {
+    *out = v;
+    return true;
+  }
+  if (res.ec == std::errc::result_out_of_range) return false;
+  return ParseInt64Slow(s, out);
+}
+
+/// Parser for the dense unsigned decimal ids the data plane serializes
+/// (std::to_string / AppendDecimal output): pure digit strings. Returns
+/// false on empty input or any non-digit byte, skipping ParseInt64's
+/// sign/whitespace/overflow generality. No overflow check — callers parse
+/// ids they themselves encoded from 32-bit ranges.
+inline bool ParseDigits(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    const unsigned d = static_cast<unsigned char>(c) - static_cast<unsigned>('0');
+    if (d > 9) return false;
+    v = v * 10 + d;
+  }
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+inline bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  double v = 0;
+  auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec == std::errc() && res.ptr == s.data() + s.size()) {
+    *out = v;
+    return true;
+  }
+  if (res.ec == std::errc::result_out_of_range) return false;
+  return ParseDoubleSlow(s, out);
+}
 
 /// Human-readable byte count ("1.5 MB").
 std::string FormatBytes(uint64_t bytes);

@@ -1,0 +1,377 @@
+#include "mapreduce/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+#include "engines/engines.h"
+#include "engines/relational_ops.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+#include "ntga/triplegroup.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+
+namespace rapida {
+namespace {
+
+using engine::AppendRow;
+using engine::DecodeRow;
+using engine::DecodeRowInto;
+using engine::EncodeRow;
+
+// ---------------------------------------------------------------------------
+// Primitive kernels.
+
+TEST(HashIndexTest, FindOrInsertGrowsAndFinds) {
+  mr::kernels::HashIndex index;
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    auto [id, inserted] = index.FindOrInsert(
+        mr::kernels::MixId(k), static_cast<uint32_t>(keys.size()),
+        [&](uint32_t cand) { return keys[cand] == k; });
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(id, keys.size());
+    keys.push_back(k);
+  }
+  EXPECT_EQ(index.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    uint32_t id = index.Find(mr::kernels::MixId(k), [&](uint32_t cand) {
+      return keys[cand] == k;
+    });
+    ASSERT_EQ(id, k);
+    auto [again, inserted] = index.FindOrInsert(
+        mr::kernels::MixId(k), 0xdeadu,
+        [&](uint32_t cand) { return keys[cand] == k; });
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(again, k);
+  }
+  EXPECT_EQ(index.Find(mr::kernels::MixId(999999), [](uint32_t) {
+    return true;
+  }), mr::kernels::HashIndex::kNotFound);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.Find(mr::kernels::MixId(1), [](uint32_t) { return true; }),
+            mr::kernels::HashIndex::kNotFound);
+}
+
+TEST(HashIndexTest, ResolvesHashCollisionsThroughEq) {
+  // Force every key onto one hash: correctness must come from eq().
+  mr::kernels::HashIndex index;
+  std::vector<int> keys;
+  for (int k = 0; k < 64; ++k) {
+    auto [id, inserted] = index.FindOrInsert(
+        42, static_cast<uint32_t>(keys.size()),
+        [&](uint32_t cand) { return keys[cand] == k; });
+    ASSERT_TRUE(inserted) << k;
+    keys.push_back(k);
+  }
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(index.Find(42, [&](uint32_t cand) { return keys[cand] == k; }),
+              static_cast<uint32_t>(k));
+  }
+}
+
+TEST(KernelsTest, AppendDecimalMatchesToString) {
+  for (uint64_t v : {0ull, 1ull, 9ull, 10ull, 4294967295ull,
+                     18446744073709551615ull}) {
+    std::string out = "x";
+    mr::kernels::AppendDecimal(&out, v);
+    EXPECT_EQ(out, "x" + std::to_string(v));
+  }
+}
+
+TEST(KernelsTest, RowCodecVariantsMatchScalar) {
+  std::vector<std::vector<rdf::TermId>> rows = {
+      {}, {0}, {1, 2, 3}, {4294967295u, 0, 7}};
+  std::vector<rdf::TermId> scratch = {9, 9, 9, 9, 9};
+  for (const auto& row : rows) {
+    std::string batch;
+    AppendRow(&batch, row);
+    EXPECT_EQ(batch, EncodeRow(row));
+    DecodeRowInto(batch, &scratch);
+    EXPECT_EQ(scratch, DecodeRow(batch));
+    EXPECT_EQ(scratch, row);
+  }
+}
+
+TEST(KernelsTest, TokenizeRowMatchesFieldTokenizer) {
+  for (const char* input : {"", "a", ";", "a;;b", "a;b;", ";a", "x,y;z"}) {
+    mr::kernels::FieldColumns cols;
+    mr::kernels::TokenizeRow(input, ';', &cols);
+    std::vector<std::string> batch(cols.fields.begin(), cols.fields.end());
+    std::vector<std::string> scalar;
+    FieldTokenizer fields(input, ';');
+    std::string_view part;
+    while (fields.Next(&part)) scalar.emplace_back(part);
+    EXPECT_EQ(batch, scalar) << "input: '" << input << "'";
+    EXPECT_EQ(cols.num_rows(), 1u);
+  }
+}
+
+TEST(KernelsTest, TokenizeValuesCoversWholeBatch) {
+  std::vector<std::string> values = {"1;2,3", "", "7;8,9;10,11"};
+  std::vector<mr::Record> records(values.size());
+  std::vector<mr::TaggedRecord> tagged(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    records[i] = mr::MakeRecord("", values[i]);
+    tagged[i] = mr::TaggedRecord{&records[i], 0};
+  }
+  mr::kernels::FieldColumns cols;
+  mr::kernels::TokenizeValues(tagged.data(), tagged.size(), ';', &cols);
+  ASSERT_EQ(cols.num_rows(), 3u);
+  EXPECT_EQ(cols.fields[cols.row_begin(0)], "1");
+  EXPECT_EQ(cols.fields[cols.row_begin(1)], "");
+  EXPECT_EQ(cols.row_end[2] - cols.row_begin(2), 3u);
+  EXPECT_EQ(cols.fields[cols.row_end[2] - 1], "10,11");
+}
+
+TEST(KernelsTest, TripleGroupCodecVariantsMatchScalar) {
+  ntga::TripleGroup tg;
+  tg.subject = 17;
+  tg.triples.push_back(rdf::Triple{17, 3, 99});
+  tg.triples.push_back(rdf::Triple{17, 4, 5});
+  std::string to;
+  ntga::SerializeTripleGroupTo(tg, &to);
+  EXPECT_EQ(to, ntga::SerializeTripleGroup(tg));
+
+  ntga::TripleGroup reparsed;
+  reparsed.triples.resize(7);  // stale scratch must be fully reset
+  ASSERT_TRUE(ntga::ParseTripleGroupInto(to, &reparsed).ok());
+  EXPECT_EQ(reparsed, tg);
+
+  ntga::NestedTripleGroup ntg;
+  ntg.stars.resize(3);
+  ntg.stars[0] = tg;
+  ntg.stars[2].subject = 8;
+  ntg.stars[2].triples.push_back(rdf::Triple{8, 1, 2});
+  std::string nested;
+  ntga::SerializeNestedTo(ntg, &nested);
+  EXPECT_EQ(nested, ntga::SerializeNested(ntg));
+
+  ntga::NestedTripleGroup scratch;
+  scratch.stars.resize(1);
+  scratch.stars[0].subject = 123;  // stale star must be cleared
+  ASSERT_TRUE(ntga::ParseNestedInto(nested, 3, &scratch).ok());
+  EXPECT_EQ(scratch, ntg);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level matrix: the same word-count-shaped job run through a
+// scalar map and through map_batch must produce byte-identical output and
+// identical JobStats, for every exec_threads x combine combination.
+
+struct JobOutput {
+  std::vector<std::pair<std::string, std::string>> records;
+  mr::JobStats stats;
+};
+
+JobOutput RunCountJob(bool batch, bool combine, int threads) {
+  mr::Dfs dfs;
+  mr::RecordBatch input;
+  for (int i = 0; i < 5000; ++i) {
+    std::string value = "tok" + std::to_string(i % 91) + ";tok" +
+                        std::to_string(i % 13) + ";tok" +
+                        std::to_string(i % 7);
+    input.Add("k" + std::to_string(i), value);
+  }
+  EXPECT_TRUE(dfs.Write("in", std::move(input)).ok());
+
+  mr::ClusterConfig config;
+  config.exec_threads = threads;
+  mr::Cluster cluster(config, &dfs);
+
+  mr::JobConfig job;
+  job.name = "count";
+  job.inputs = {"in"};
+  job.output = "out";
+  auto emit_tokens = [](std::string_view value, mr::MapContext* ctx) {
+    FieldTokenizer fields(value, ';');
+    std::string_view part;
+    while (fields.Next(&part)) ctx->Emit(part, "1");
+  };
+  if (batch) {
+    job.map_batch = [emit_tokens](const mr::TaggedRecord* recs, size_t n,
+                                  mr::MapContext* ctx) {
+      for (size_t i = 0; i < n; ++i) emit_tokens(recs[i].record->value, ctx);
+    };
+  } else {
+    job.map = [emit_tokens](const mr::Record& r, int, mr::MapContext* ctx) {
+      emit_tokens(r.value, ctx);
+    };
+  }
+  auto sum = [](std::string_view key, const mr::ValueSpan& values,
+                mr::ReduceContext* ctx) {
+    int64_t total = 0;
+    for (std::string_view v : values) {
+      int64_t n = 0;
+      ParseInt64(v, &n);
+      total += n;
+    }
+    ctx->Emit(key, std::to_string(total));
+  };
+  if (combine) job.combine = sum;
+  job.reduce = sum;
+  job.reduce_parallel_safe = true;
+
+  JobOutput out;
+  auto stats = cluster.Run(job);
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  if (stats.ok()) out.stats = *stats;
+  auto file = dfs.Open("out");
+  EXPECT_TRUE(file.ok());
+  for (const mr::Record& r : (*file)->records) {
+    out.records.emplace_back(std::string(r.key), std::string(r.value));
+  }
+  return out;
+}
+
+void ExpectSameStats(const mr::JobStats& a, const mr::JobStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.input_records, b.input_records) << label;
+  EXPECT_EQ(a.input_bytes, b.input_bytes) << label;
+  EXPECT_EQ(a.map_output_records, b.map_output_records) << label;
+  EXPECT_EQ(a.map_output_bytes, b.map_output_bytes) << label;
+  EXPECT_EQ(a.shuffle_records, b.shuffle_records) << label;
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes) << label;
+  EXPECT_EQ(a.output_records, b.output_records) << label;
+  EXPECT_EQ(a.output_bytes, b.output_bytes) << label;
+  EXPECT_EQ(a.num_mappers, b.num_mappers) << label;
+  EXPECT_EQ(a.num_reducers, b.num_reducers) << label;
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds) << label;
+}
+
+TEST(KernelMatrixTest, BatchMapMatchesScalarAcrossThreadsAndCombine) {
+  JobOutput reference = RunCountJob(/*batch=*/false, /*combine=*/false, 1);
+  ASSERT_FALSE(reference.records.empty());
+  for (int threads : {1, 4, 8}) {
+    for (bool combine : {false, true}) {
+      std::string label = "threads=" + std::to_string(threads) +
+                          " combine=" + (combine ? "on" : "off");
+      JobOutput scalar = RunCountJob(false, combine, threads);
+      JobOutput batch = RunCountJob(true, combine, threads);
+      EXPECT_EQ(batch.records, scalar.records) << label;
+      ExpectSameStats(batch.stats, scalar.stats, label);
+      // Combine changes shuffle volume but never the reduced output.
+      EXPECT_EQ(batch.records, reference.records) << label;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level matrix: every engine, vectorized_kernels on vs off, across
+// exec_threads — results and every per-job counter must be identical.
+
+rdf::Graph BuildGraph() {
+  rdf::Graph g;
+  const char* products[] = {"p1", "p2", "p3", "p4", "p5"};
+  const char* types[] = {"PT1", "PT1", "PT1", "PT2", "PT2"};
+  for (int i = 0; i < 5; ++i) {
+    g.AddIri(products[i], rdf::kRdfType, types[i]);
+    g.AddLit(products[i], "label", std::string("label") + products[i]);
+  }
+  g.AddIri("p1", "feature", "f1");
+  g.AddIri("p1", "feature", "f2");
+  g.AddIri("p2", "feature", "f1");
+  g.AddIri("p3", "feature", "f3");
+  g.AddIri("p4", "feature", "f2");
+  struct Offer {
+    const char* id;
+    const char* product;
+    int price;
+    const char* vendor;
+  };
+  Offer offers[] = {
+      {"o1", "p1", 100, "v1"}, {"o2", "p1", 250, "v2"},
+      {"o3", "p2", 80, "v1"},  {"o4", "p3", 300, "v3"},
+      {"o5", "p4", 120, "v2"}, {"o6", "p5", 500, "v3"},
+      {"o7", "p2", 90, "v2"},
+  };
+  for (const Offer& o : offers) {
+    g.AddIri(o.id, "product", o.product);
+    g.AddInt(o.id, "price", o.price);
+    g.AddIri(o.id, "vendor", o.vendor);
+  }
+  g.AddIri("v1", "country", "DE");
+  g.AddIri("v2", "country", "US");
+  g.AddIri("v3", "country", "DE");
+  return g;
+}
+
+constexpr char kOverlapQuery[] = R"(
+  SELECT ?f ?cntF ?sumF ?cntT ?sumT {
+    { SELECT ?f (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+        ?p2 a <PT1> . ?p2 <label> ?l2 . ?p2 <feature> ?f .
+        ?off2 <product> ?p2 . ?off2 <price> ?pr2 .
+      } GROUP BY ?f }
+    { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+        ?p1 a <PT1> . ?p1 <label> ?l1 .
+        ?off1 <product> ?p1 . ?off1 <price> ?pr .
+      } }
+  }
+)";
+
+constexpr char kFilterQuery[] = R"(
+  SELECT ?v (COUNT(?o) AS ?cnt) (SUM(?pr) AS ?total) {
+    ?o <product> ?p . ?o <price> ?pr . ?o <vendor> ?v .
+    FILTER(?pr >= 100)
+  } GROUP BY ?v
+)";
+
+struct EngineRun {
+  std::vector<std::vector<rdf::TermId>> rows;
+  engine::ExecStats stats;
+};
+
+EngineRun RunEngine(engine::Engine* eng, const std::string& query_text,
+                    engine::Dataset* dataset, int threads) {
+  auto parsed = sparql::ParseQuery(query_text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  auto query = analytics::AnalyzeQuery(**parsed);
+  EXPECT_TRUE(query.ok()) << query.status();
+  mr::ClusterConfig config;
+  config.exec_threads = threads;
+  mr::Cluster cluster(config, &dataset->dfs());
+  EngineRun out;
+  auto result = eng->Execute(*query, dataset, &cluster, &out.stats);
+  EXPECT_TRUE(result.ok()) << eng->name() << ": " << result.status();
+  if (result.ok()) out.rows = result->rows();
+  return out;
+}
+
+TEST(KernelMatrixTest, EnginesByteIdenticalWithKernelsOnAndOff) {
+  engine::Dataset dataset(BuildGraph());
+  engine::EngineOptions on, off;
+  on.vectorized_kernels = true;
+  off.vectorized_kernels = false;
+  for (const char* query : {kOverlapQuery, kFilterQuery}) {
+    // The kernels-off single-thread run is the semantic reference.
+    std::map<std::string, EngineRun> reference;
+    for (const auto& eng : engine::MakeAllEngines(off)) {
+      reference[eng->name()] = RunEngine(eng.get(), query, &dataset, 1);
+    }
+    for (int threads : {1, 4, 8}) {
+      for (const auto& eng : engine::MakeAllEngines(on)) {
+        EngineRun run = RunEngine(eng.get(), query, &dataset, threads);
+        const EngineRun& ref = reference[eng->name()];
+        std::string label =
+            eng->name() + " threads=" + std::to_string(threads);
+        EXPECT_EQ(run.rows, ref.rows) << label;
+        ASSERT_EQ(run.stats.workflow.jobs.size(),
+                  ref.stats.workflow.jobs.size())
+            << label;
+        for (size_t j = 0; j < run.stats.workflow.jobs.size(); ++j) {
+          ExpectSameStats(run.stats.workflow.jobs[j],
+                          ref.stats.workflow.jobs[j],
+                          label + " job#" + std::to_string(j));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rapida

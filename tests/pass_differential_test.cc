@@ -79,6 +79,11 @@ std::vector<PassConfig> AllConfigs() {
     o.greedy_join_order = true;
     configs.push_back({"greedy_join_order", o});
   }
+  {
+    EngineOptions o;
+    o.vectorized_kernels = false;
+    configs.push_back({"no_vectorized_kernels", o});
+  }
   return configs;
 }
 
