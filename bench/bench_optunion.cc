@@ -1,0 +1,26 @@
+// Fig. 8-shaped bench for the OPTIONAL/UNION surface: the MG1-style
+// variants MG-OPT (left star-join with an unbound-capable group key) and
+// MG-UNION (3-arm union distributed over the detailed grouping) on
+// BSBM-small, all four systems. Both take the non-conjunctive lowering —
+// composite star rewriting stays off, so MQO/RAPIDAnalytics run their
+// naive pipelines and the interesting numbers are the per-branch cycle
+// counts of the extended planners.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  std::vector<rapida::bench::RunResult> results;
+  rapida::bench::RegisterQueryBenchmarks(
+      "optunion", {"MG-OPT", "MG-UNION"}, rapida::bench::AllEngineNames(),
+      "bsbm", rapida::bench::Scale::kSmall, /*num_nodes=*/10, &results);
+
+  benchmark::RunSpecifiedBenchmarks();
+  rapida::bench::PrintTable(
+      "OPTIONAL/UNION — MG-OPT, MG-UNION on BSBM-small (10-node model)",
+      rapida::bench::AllEngineNames(), results);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,10 @@
 //   rapida_fuzz --no-kernels         # force the vectorized-kernels pass
 //                                    # off (scalar operators); run both
 //                                    # ways to cross-check the kernels
+//   rapida_fuzz --grammar=opt-union  # bias the query generator hard
+//                                    # toward OPTIONAL tails and UNION
+//                                    # chains (default grammar includes
+//                                    # them at lower rates)
 //   rapida_fuzz --service --seeds=50 # additionally push every query
 //                                    # through a QueryService (caching,
 //                                    # dedup, shared-scan batching) and
@@ -37,6 +41,7 @@ using rapida::difftest::DiffFailure;
 using rapida::difftest::DiffOptions;
 using rapida::difftest::FaultKind;
 using rapida::difftest::FuzzCase;
+using rapida::difftest::GenOptions;
 
 struct Args {
   uint64_t start = 1;
@@ -48,6 +53,7 @@ struct Args {
   FaultKind fault = FaultKind::kNone;
   bool service = false;
   bool no_kernels = false;
+  GenOptions gen;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -67,6 +73,14 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->service = true;
     } else if (std::strcmp(a, "--no-kernels") == 0) {
       out->no_kernels = true;
+    } else if (std::strncmp(a, "--grammar=", 10) == 0) {
+      if (std::strcmp(a + 10, "opt-union") == 0) {
+        out->gen.optional_bias = 0.70;
+        out->gen.union_bias = 0.50;
+      } else if (std::strcmp(a + 10, "default") != 0) {
+        std::fprintf(stderr, "unknown --grammar: %s\n", a + 10);
+        return false;
+      }
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       out->threads.clear();
       for (const char* p = a + 10; *p != '\0';) {
@@ -104,8 +118,12 @@ const char* InjectFlag(FaultKind fault) {
   return "";
 }
 
+const char* GrammarFlag(const Args& args) {
+  return args.gen.optional_bias > 0.5 ? " --grammar=opt-union" : "";
+}
+
 bool RunSeed(uint64_t seed, const Args& args, const DiffOptions& opts) {
-  FuzzCase c = rapida::difftest::MakeFuzzCase(seed);
+  FuzzCase c = rapida::difftest::MakeFuzzCase(seed, args.gen);
   if (args.verbose) {
     std::printf("--- seed %llu (%s, %zu triples) ---\n%s\n",
                 static_cast<unsigned long long>(seed), c.dataset.c_str(),
@@ -129,14 +147,14 @@ bool RunSeed(uint64_t seed, const Args& args, const DiffOptions& opts) {
     std::printf("shrunk after %d differential runs\n%s",
                 r.predicate_calls,
                 rapida::difftest::FormatRepro(r.reduced, r.failure).c_str());
-    std::printf("reproduce with: rapida_fuzz --seed=%llu%s --shrink\n",
+    std::printf("reproduce with: rapida_fuzz --seed=%llu%s%s --shrink\n",
                 static_cast<unsigned long long>(seed),
-                InjectFlag(opts.fault));
+                InjectFlag(opts.fault), GrammarFlag(args));
   } else {
     std::printf("%s", rapida::difftest::FormatRepro(c, f).c_str());
-    std::printf("minimize with: rapida_fuzz --seed=%llu%s --shrink\n",
+    std::printf("minimize with: rapida_fuzz --seed=%llu%s%s --shrink\n",
                 static_cast<unsigned long long>(seed),
-                InjectFlag(opts.fault));
+                InjectFlag(opts.fault), GrammarFlag(args));
   }
   return false;
 }

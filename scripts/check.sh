@@ -4,7 +4,10 @@
 # query-service smoke run (every catalog query byte-identical through the
 # service, cold / hot / 32 concurrent sessions), the 200-seed differential
 # fuzz corpus plus its service mode (and a scalar-fallback corpus pass
-# with the vectorized-kernels pass forced off), a perf smoke that replays
+# with the vectorized-kernels pass forced off), a 100-seed
+# OPTIONAL/UNION-biased corpus (--grammar=opt-union, repeated under
+# ASan), a guard that regenerating the golden fixtures reproduces the
+# committed files byte-for-byte, a perf smoke that replays
 # Fig. 8(a) and Fig. 8(b) at 8 threads and diffs their deterministic
 # per-query aggregates against committed goldens, an AddressSanitizer run
 # of the fuzz smoke and the EXPLAIN goldens, and a ThreadSanitizer build
@@ -36,6 +39,19 @@ ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
 echo "== differential fuzz corpus, scalar fallback (--no-kernels) =="
 ./build/examples/rapida_fuzz --seeds=200 --no-kernels
 
+echo "== differential fuzz, OPTIONAL/UNION-biased grammar (100 seeds) =="
+./build/examples/rapida_fuzz --grammar=opt-union --seeds=100
+
+echo "== golden regen guard (fixtures must match a fresh regeneration) =="
+RAPIDA_UPDATE_GOLDEN=1 ./build/tests/golden_test > /dev/null
+RAPIDA_UPDATE_GOLDEN=1 ./build/tests/explain_golden_test > /dev/null
+git diff --exit-code -- tests/golden || {
+  echo "golden regen guard FAILED: committed fixtures differ from a fresh" \
+       "RAPIDA_UPDATE_GOLDEN=1 run (diff above; commit the regen if" \
+       "intentional)" >&2
+  exit 1
+}
+
 echo "== differential fuzz, service mode (caching + batching vs direct) =="
 ./build/examples/rapida_fuzz --service --seeds=50
 
@@ -58,6 +74,8 @@ cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-asan -j "$JOBS" --target rapida_fuzz explain_golden_test
 ./build-asan/examples/rapida_fuzz --seeds=50
+echo "== ASan: OPTIONAL/UNION-biased fuzz (100 seeds) =="
+./build-asan/examples/rapida_fuzz --grammar=opt-union --seeds=100
 echo "== ASan: EXPLAIN goldens =="
 ./build-asan/tests/explain_golden_test
 

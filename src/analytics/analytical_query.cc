@@ -10,34 +10,102 @@ using sparql::SelectQuery;
 
 namespace {
 
-/// Converts one single-grouping SELECT (the whole query or one subquery)
-/// into a GroupingSubquery. `nested` marks true subqueries, where ORDER
-/// BY / LIMIT are rejected (the engines cannot honor per-subquery
-/// solution orderings inside a join).
-StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
-                                           bool nested) {
-  if (nested && (!q.order_by.empty() || q.limit >= 0 || q.offset > 0)) {
-    return Status::Unimplemented(
-        "ORDER BY / LIMIT / OFFSET inside grouping subqueries is not "
-        "supported by the MapReduce engines");
-  }
-  if (!q.where.subqueries.empty()) {
-    return Status::InvalidArgument(
-        "grouping subqueries must not nest further subqueries");
-  }
-  if (!q.where.optionals.empty()) {
-    return Status::InvalidArgument(
-        "OPTIONAL is outside the analytical subset (use the reference "
-        "evaluator)");
-  }
-  if (q.select_all) {
-    return Status::InvalidArgument(
-        "SELECT * is not a grouping subquery shape");
-  }
+bool Contains(const std::vector<std::string>& vec, const std::string& v) {
+  return std::find(vec.begin(), vec.end(), v) != vec.end();
+}
 
-  GroupingSubquery out;
-  RAPIDA_ASSIGN_OR_RETURN(out.pattern,
-                          ntga::DecomposeToStars(q.where.triples));
+void AddVar(std::vector<std::string>* out, const std::string& v) {
+  if (!Contains(*out, v)) out->push_back(v);
+}
+
+/// Validates one OPTIONAL block and converts it to an OptionalTail.
+/// `required` holds the branch's required-pattern variables (the join
+/// variable must come from there — no optional-on-optional chains);
+/// `bound` additionally holds earlier tails' object variables and
+/// accumulates this tail's (fresh-variable requirement).
+StatusOr<OptionalTail> AnalyzeOptional(const sparql::GroupGraphPattern& opt,
+                                       const std::vector<std::string>& required,
+                                       std::vector<std::string>* bound) {
+  if (!opt.optionals.empty()) {
+    return Status::InvalidArgument(
+        "OPTIONAL nested inside OPTIONAL is outside the analytical subset "
+        "(use the reference evaluator)");
+  }
+  if (!opt.unions.empty()) {
+    return Status::InvalidArgument(
+        "UNION nested inside OPTIONAL is outside the analytical subset "
+        "(use the reference evaluator)");
+  }
+  if (!opt.subqueries.empty()) {
+    return Status::InvalidArgument(
+        "subqueries inside OPTIONAL are outside the analytical subset "
+        "(use the reference evaluator)");
+  }
+  if (opt.triples.empty()) {
+    return Status::InvalidArgument(
+        "an OPTIONAL block needs at least one triple pattern");
+  }
+  RAPIDA_ASSIGN_OR_RETURN(ntga::StarGraph sg,
+                          ntga::DecomposeToStars(opt.triples));
+  if (sg.stars.size() != 1) {
+    return Status::InvalidArgument(
+        "an OPTIONAL block must be a single subject-rooted star (the left "
+        "star-join form); got " + std::to_string(sg.stars.size()) +
+        " stars");
+  }
+  OptionalTail tail;
+  tail.star = std::move(sg.stars[0]);
+  tail.join_var = tail.star.subject_var;
+  if (!Contains(required, tail.join_var)) {
+    return Status::InvalidArgument(
+        "OPTIONAL subject ?" + tail.join_var +
+        " must be bound by the required graph pattern (it is the left "
+        "star-join variable)");
+  }
+  std::vector<std::string> local{tail.join_var};
+  for (const ntga::StarTriple& t : tail.star.triples) {
+    std::string ov = t.ObjectVar();
+    if (ov.empty()) continue;
+    if (Contains(*bound, ov)) {
+      return Status::InvalidArgument(
+          "OPTIONAL variable ?" + ov + " is already bound outside its "
+          "OPTIONAL block (optional object variables must be fresh)");
+    }
+    AddVar(&local, ov);
+    AddVar(bound, ov);
+  }
+  for (const auto& f : opt.filters) {
+    std::vector<std::string> vars;
+    f->CollectVars(&vars);
+    for (const std::string& v : vars) {
+      if (!Contains(local, v)) {
+        return Status::InvalidArgument(
+            "OPTIONAL FILTER variable ?" + v +
+            " is not bound inside the OPTIONAL block");
+      }
+    }
+    tail.filters.push_back(f->Clone());
+  }
+  return tail;
+}
+
+/// Analyzes one pattern branch (the whole grouping pattern, or the
+/// required pattern merged with one UNION arm): star decomposition,
+/// connectivity, OPTIONAL tails, and the pushable/post filter split.
+/// `all_vars_out` receives every variable the branch can bind (required
+/// plus optional).
+StatusOr<PatternBranch> AnalyzeBranch(
+    const std::vector<sparql::TriplePattern>& triples,
+    const std::vector<const Expr*>& filters,
+    const std::vector<const sparql::GroupGraphPattern*>& optionals,
+    bool in_union, std::vector<std::string>* all_vars_out) {
+  PatternBranch out;
+  if (in_union && triples.empty()) {
+    return Status::InvalidArgument(
+        "a UNION arm (together with the required pattern) needs at least "
+        "one triple pattern");
+  }
+  RAPIDA_ASSIGN_OR_RETURN(out.pattern, ntga::DecomposeToStars(triples));
   // Disconnected patterns would need a cross product no engine implements;
   // rejecting here keeps all engines (and the reference) consistent instead
   // of some erroring at runtime while others shortcut to empty results.
@@ -60,22 +128,124 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
       }
     }
   }
-  std::vector<std::string> bound;
-  q.where.CollectBoundVars(&bound);
-  auto is_bound = [&bound](const std::string& v) {
-    return std::find(bound.begin(), bound.end(), v) != bound.end();
-  };
-  for (const auto& f : q.where.filters) {
+  std::vector<std::string> required;
+  for (const sparql::TriplePattern& tp : triples) {
+    if (tp.s.is_var) AddVar(&required, tp.s.var);
+    if (tp.p.is_var) AddVar(&required, tp.p.var);
+    if (tp.o.is_var) AddVar(&required, tp.o.var);
+  }
+  std::vector<std::string> bound = required;
+  for (const sparql::GroupGraphPattern* opt : optionals) {
+    RAPIDA_ASSIGN_OR_RETURN(OptionalTail tail,
+                            AnalyzeOptional(*opt, required, &bound));
+    out.optionals.push_back(std::move(tail));
+  }
+  for (const Expr* f : filters) {
     std::vector<std::string> vars;
     f->CollectVars(&vars);
+    bool uses_optional = false;
     for (const std::string& v : vars) {
-      if (!is_bound(v)) {
-        return Status::InvalidArgument(
-            "FILTER variable ?" + v + " is not bound by the graph pattern");
+      if (Contains(required, v)) continue;
+      if (Contains(bound, v)) {
+        uses_optional = true;
+        continue;
       }
+      return Status::InvalidArgument(
+          "FILTER variable ?" + v + " is not bound by the graph pattern");
     }
-    out.filters.push_back(f->Clone());
+    (uses_optional ? out.post_filters : out.filters).push_back(f->Clone());
   }
+  *all_vars_out = std::move(bound);
+  return out;
+}
+
+/// Converts one single-grouping SELECT (the whole query or one subquery)
+/// into a GroupingSubquery. `nested` marks true subqueries, where ORDER
+/// BY / LIMIT are rejected (the engines cannot honor per-subquery
+/// solution orderings inside a join).
+StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
+                                           bool nested) {
+  if (nested && (!q.order_by.empty() || q.limit >= 0 || q.offset > 0)) {
+    return Status::Unimplemented(
+        "ORDER BY / LIMIT / OFFSET inside grouping subqueries is not "
+        "supported by the MapReduce engines");
+  }
+  if (!q.where.subqueries.empty()) {
+    return Status::InvalidArgument(
+        "grouping subqueries must not nest further subqueries");
+  }
+  if (q.select_all) {
+    return Status::InvalidArgument(
+        "SELECT * is not a grouping subquery shape");
+  }
+
+  GroupingSubquery out;
+  std::vector<const Expr*> filter_ptrs;
+  filter_ptrs.reserve(q.where.filters.size());
+  for (const auto& f : q.where.filters) filter_ptrs.push_back(f.get());
+  std::vector<const sparql::GroupGraphPattern*> opt_ptrs;
+  opt_ptrs.reserve(q.where.optionals.size());
+  for (const auto& o : q.where.optionals) opt_ptrs.push_back(&o);
+
+  // Per-branch variable scopes, for GROUP BY / aggregate bound checks
+  // below (a variable is usable only if every branch can bind it).
+  std::vector<std::vector<std::string>> branch_vars;
+  if (q.where.unions.empty()) {
+    std::vector<std::string> vars;
+    RAPIDA_ASSIGN_OR_RETURN(
+        PatternBranch b, AnalyzeBranch(q.where.triples, filter_ptrs,
+                                       opt_ptrs, /*in_union=*/false, &vars));
+    branch_vars.push_back(std::move(vars));
+    out.pattern = std::move(b.pattern);
+    out.filters = std::move(b.filters);
+    out.optionals = std::move(b.optionals);
+    out.post_filters = std::move(b.post_filters);
+  } else {
+    if (q.where.unions.size() < 2) {
+      return Status::InvalidArgument("a UNION needs at least two arms");
+    }
+    for (const sparql::GroupGraphPattern& arm : q.where.unions) {
+      if (!arm.unions.empty()) {
+        return Status::InvalidArgument(
+            "UNION nested inside a UNION arm is outside the analytical "
+            "subset (one UNION level per grouping; use the reference "
+            "evaluator)");
+      }
+      if (!arm.subqueries.empty()) {
+        return Status::InvalidArgument(
+            "subqueries inside UNION arms are outside the analytical "
+            "subset (use the reference evaluator)");
+      }
+      // Join distribution over union: each branch is the required pattern
+      // plus the arm's triples, with the grouping's filters and OPTIONALs
+      // replicated (left-join distributes over its left input).
+      std::vector<sparql::TriplePattern> triples = q.where.triples;
+      triples.insert(triples.end(), arm.triples.begin(), arm.triples.end());
+      std::vector<const Expr*> fps = filter_ptrs;
+      for (const auto& f : arm.filters) fps.push_back(f.get());
+      std::vector<const sparql::GroupGraphPattern*> ops = opt_ptrs;
+      for (const auto& o : arm.optionals) ops.push_back(&o);
+      std::vector<std::string> vars;
+      RAPIDA_ASSIGN_OR_RETURN(
+          PatternBranch b,
+          AnalyzeBranch(triples, fps, ops, /*in_union=*/true, &vars));
+      branch_vars.push_back(std::move(vars));
+      out.union_branches.push_back(std::move(b));
+    }
+  }
+  bool has_union = !out.union_branches.empty();
+  auto is_bound = [&branch_vars](const std::string& v) {
+    for (const auto& bv : branch_vars) {
+      if (!Contains(bv, v)) return false;
+    }
+    return true;
+  };
+  auto bound_somewhere = [&branch_vars](const std::string& v) {
+    for (const auto& bv : branch_vars) {
+      if (Contains(bv, v)) return true;
+    }
+    return false;
+  };
   out.group_by = q.group_by;
   if (q.having != nullptr) {
     if (q.having->HasAggregate()) {
@@ -121,6 +291,10 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
             "aggregate arguments must be variables, got: " + arg.ToString());
       }
       if (!is_bound(arg.var)) {
+        if (has_union && bound_somewhere(arg.var)) {
+          return Status::InvalidArgument("aggregate argument ?" + arg.var +
+                                         " is not bound in every UNION arm");
+        }
         return Status::InvalidArgument(
             "aggregate argument ?" + arg.var +
             " is not bound by the graph pattern");
@@ -133,16 +307,14 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
     return Status::InvalidArgument(
         "a grouping subquery needs at least one aggregate");
   }
-  // Grouping variables must be bound by the pattern.
+  // Grouping variables must be bound by the pattern (in every branch, so
+  // group keys never read as unbound in just one UNION arm).
   for (const std::string& v : q.group_by) {
-    bool bound = false;
-    for (const ntga::StarPattern& s : out.pattern.stars) {
-      if (s.subject_var == v) bound = true;
-      for (const ntga::StarTriple& t : s.triples) {
-        if (t.ObjectVar() == v) bound = true;
+    if (!is_bound(v)) {
+      if (has_union && bound_somewhere(v)) {
+        return Status::InvalidArgument("GROUP BY variable ?" + v +
+                                       " is not bound in every UNION arm");
       }
-    }
-    if (!bound) {
       return Status::InvalidArgument("GROUP BY variable ?" + v +
                                      " is not bound by the graph pattern");
     }
@@ -187,7 +359,8 @@ StatusOr<AnalyticalQuery> AnalyzeQuery(const SelectQuery& query) {
   }
 
   // Multi-grouping query.
-  if (!query.where.triples.empty() || !query.where.optionals.empty()) {
+  if (!query.where.triples.empty() || !query.where.optionals.empty() ||
+      !query.where.unions.empty()) {
     return Status::InvalidArgument(
         "multi-grouping analytical queries must contain only sub-SELECTs at "
         "the top level");

@@ -12,14 +12,60 @@
 
 namespace rapida::analytics {
 
+/// One OPTIONAL tail of a grouping pattern: a single subject-rooted star
+/// left-joined to the required pattern on its subject variable (the
+/// acyclic left-join form — OPTIONAL as a left star-join). Object
+/// variables are fresh (bound nowhere else), so unmatched subjects simply
+/// carry unbound cells.
+struct OptionalTail {
+  ntga::StarPattern star;
+  /// Optional-local FILTERs; they reference only this tail's variables and
+  /// apply inside the optional (before the left join).
+  std::vector<sparql::ExprPtr> filters;
+  /// The shared variable — always star.subject_var, bound by the required
+  /// pattern.
+  std::string join_var;
+
+  OptionalTail() = default;
+  OptionalTail(OptionalTail&&) = default;
+  OptionalTail& operator=(OptionalTail&&) = default;
+};
+
+/// One UNION branch in engine form. Join distribution over union has
+/// already happened in the analyzer: the branch pattern merges the
+/// grouping's required triples with the arm's triples, and the grouping's
+/// OPTIONALs/FILTERs are distributed into every branch.
+struct PatternBranch {
+  ntga::StarGraph pattern;
+  /// FILTERs over required-pattern variables (pushable before left joins).
+  std::vector<sparql::ExprPtr> filters;
+  std::vector<OptionalTail> optionals;
+  /// FILTERs referencing OPTIONAL variables; they apply after the left
+  /// joins (SPARQL group-filter semantics).
+  std::vector<sparql::ExprPtr> post_filters;
+
+  PatternBranch() = default;
+  PatternBranch(PatternBranch&&) = default;
+  PatternBranch& operator=(PatternBranch&&) = default;
+};
+
 /// One grouping-aggregation constraint of an analytical query: a graph
 /// pattern (decomposed into stars), its filters, the grouping variables
 /// (θ; empty = GROUP BY ALL) and the aggregation list (l). This is the
 /// decoupled form of §3: grouping definition separated from the
 /// aggregation computation.
+///
+/// Extended (non-conjunctive) shapes: `optionals` holds left star-join
+/// tails over `pattern`, with `post_filters` applied after them. When the
+/// grouping contains a UNION, `union_branches` (>= 2 entries) carries the
+/// whole pattern side — one already-distributed branch per arm — and
+/// `pattern`/`filters`/`optionals`/`post_filters` are empty and unused.
 struct GroupingSubquery {
   ntga::StarGraph pattern;
   std::vector<sparql::ExprPtr> filters;
+  std::vector<OptionalTail> optionals;
+  std::vector<sparql::ExprPtr> post_filters;
+  std::vector<PatternBranch> union_branches;
   std::vector<std::string> group_by;
   std::vector<ntga::AggSpec> aggs;
   /// HAVING condition over this grouping's output columns (group vars and
@@ -27,6 +73,15 @@ struct GroupingSubquery {
   sparql::ExprPtr having;
   /// Output column names in SELECT order (group vars and agg names).
   std::vector<std::string> columns;
+
+  /// True when the pattern side is a plain conjunctive star graph — the
+  /// shape the MQO overlap machinery (shared scans, composite rewrites)
+  /// understands. OPTIONAL/UNION groupings return false and make the
+  /// rewrite engines fall back to their naive counterparts.
+  bool IsConjunctive() const {
+    return optionals.empty() && post_filters.empty() &&
+           union_branches.empty();
+  }
 
   GroupingSubquery() = default;
   GroupingSubquery(GroupingSubquery&&) = default;
@@ -67,9 +122,13 @@ void ApplySolutionModifiers(const AnalyticalQuery& query,
 ///  * a multi-grouping query — top level WHERE contains only sub-SELECTs
 ///    (each a single grouping query); top items project their columns
 ///    (paper's MG1–MG18, AQ1).
-/// Anything else (OPTIONAL blocks, unbound properties, nested nesting)
-/// returns InvalidArgument: those shapes fall outside the paper's
-/// optimization scope and should be run on the reference evaluator.
+/// Grouping patterns may additionally carry OPTIONAL tails (each a single
+/// fresh-variable star left-joined on its subject) and one level of UNION
+/// (arms of required-plus-arm triples; join distribution happens here).
+/// Anything else (deeper OPTIONAL/UNION nesting, unbound properties,
+/// nested nesting) returns InvalidArgument with a message naming the
+/// construct: those shapes fall outside the paper's optimization scope and
+/// should be run on the reference evaluator.
 StatusOr<AnalyticalQuery> AnalyzeQuery(const sparql::SelectQuery& query);
 
 }  // namespace rapida::analytics

@@ -129,6 +129,26 @@ BindingTable BindingTable::LeftJoin(const BindingTable& right) const {
   return out;
 }
 
+void BindingTable::UnionAll(const BindingTable& other) {
+  for (const std::string& v : other.vars_) {
+    if (VarIndex(v) < 0) {
+      vars_.push_back(v);
+      for (auto& row : rows_) row.push_back(rdf::kInvalidTermId);
+    }
+  }
+  std::vector<int> src(vars_.size(), -1);  // our column -> other's column
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    src[i] = other.VarIndex(vars_[i]);
+  }
+  for (const auto& orow : other.rows_) {
+    std::vector<rdf::TermId> row(vars_.size(), rdf::kInvalidTermId);
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (src[i] >= 0) row[i] = orow[src[i]];
+    }
+    rows_.push_back(std::move(row));
+  }
+}
+
 StatusOr<BindingTable> BindingTable::Project(
     const std::vector<std::string>& vars) const {
   std::vector<int> idx;

@@ -45,6 +45,11 @@ class BindingTable {
   /// Shared-var matching treats an unbound left cell as compatible.
   BindingTable LeftJoin(const BindingTable& right) const;
 
+  /// SPARQL UNION concatenation: appends `other`'s rows, aligning columns
+  /// by variable name. Columns present on only one side read as unbound in
+  /// the other side's rows (schema is extended in place as needed).
+  void UnionAll(const BindingTable& other);
+
   /// Projects to `vars` in order (vars must exist).
   StatusOr<BindingTable> Project(const std::vector<std::string>& vars) const;
 

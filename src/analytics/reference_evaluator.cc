@@ -151,6 +151,26 @@ StatusOr<BindingTable> ReferenceEvaluator::EvaluatePattern(
     table = table.Join(sub_result);
   }
 
+  // UNION: each arm joins the surrounding conjunctive part independently
+  // (join distributes over union), then the branches concatenate with
+  // column alignment — absent columns read as unbound. This mirrors the
+  // engines' union-distribution lowering, and OPTIONAL below distributes
+  // over the union because left-join distributes over its left input.
+  if (!pattern.unions.empty()) {
+    BindingTable unioned;
+    for (size_t i = 0; i < pattern.unions.size(); ++i) {
+      RAPIDA_ASSIGN_OR_RETURN(BindingTable arm,
+                              EvaluatePattern(pattern.unions[i]));
+      BindingTable branch = table.Join(arm);
+      if (i == 0) {
+        unioned = std::move(branch);
+      } else {
+        unioned.UnionAll(branch);
+      }
+    }
+    table = std::move(unioned);
+  }
+
   // Left-join OPTIONAL blocks.
   for (const GroupGraphPattern& opt : pattern.optionals) {
     RAPIDA_ASSIGN_OR_RETURN(BindingTable opt_result, EvaluatePattern(opt));

@@ -777,6 +777,110 @@ StatusOr<std::vector<analytics::BindingTable>> NtgaExec::RunAggJoins(
   return out;
 }
 
+StatusOr<TableRef> NtgaExec::ExpandToTable(
+    const ResolvedPattern& pattern, const PatternMatches& matches,
+    const PushedFilters& pushed_filters,
+    const std::vector<std::string>& columns, RowPredicate mapping_predicate,
+    const std::string& label) {
+  const int num_stars = static_cast<int>(pattern.stars.size());
+  const bool star_mode = matches.nested_file.empty();
+  rdf::Dictionary* dict = &dataset_->dict();
+  rdf::TermId type_id = pattern.type_id;
+  auto shared_pattern = std::make_shared<ResolvedPattern>(pattern);
+  auto shared_filters = std::make_shared<PushedFilters>(pushed_filters);
+  auto shared_vars = std::make_shared<std::vector<std::string>>(columns);
+
+  mr::JobConfig job;
+  job.name = label + ":expand (map-only)";
+  if (star_mode) {
+    job.inputs = matches.star_files;
+  } else {
+    job.inputs = {matches.nested_file};
+  }
+  std::string out_file = NextTmp(label + ":rows");
+  job.output = out_file;
+
+  auto process = [shared_pattern, shared_vars, mapping_predicate](
+                     const NestedTripleGroup& ntg, mr::MapContext* ctx) {
+    // skip_unbound=false: a star the match did not fill (never the case
+    // for all-primary patterns) or an absent optional property stays NULL
+    // in the row, matching the relational NULL convention downstream.
+    for (const std::vector<rdf::TermId>& mapping : ntga::ExpandBindings(
+             ntg, *shared_pattern, *shared_vars, /*skip_unbound=*/false)) {
+      if (mapping_predicate && !mapping_predicate(mapping)) continue;
+      ctx->Emit("", EncodeRow(mapping));
+    }
+  };
+
+  if (options_.vectorized_kernels) {
+    job.map_batch = [shared_pattern, shared_filters, shared_vars, dict,
+                     type_id, num_stars, star_mode, mapping_predicate](
+                        const mr::TaggedRecord* recs, size_t n,
+                        mr::MapContext* ctx) {
+      TripleGroup tg;
+      NestedTripleGroup ntg;
+      ntg.stars.resize(num_stars);
+      ntga::BindingExpansion exp;
+      std::vector<rdf::TermId> row_buf;
+      std::string val_buf;
+      for (size_t i = 0; i < n; ++i) {
+        if (star_mode) {
+          if (!ntga::ParseTripleGroupInto(recs[i].record->value, &tg).ok()) {
+            continue;
+          }
+          auto filtered = FilterStarWithFilters(
+              tg, shared_pattern->stars[0], type_id, *shared_filters, *dict);
+          if (!filtered.has_value()) continue;
+          for (int s = 1; s < num_stars; ++s) {
+            ntg.stars[s].subject = rdf::kInvalidTermId;
+            ntg.stars[s].triples.clear();
+          }
+          ntg.stars[0] = std::move(*filtered);
+        } else if (!ntga::ParseNestedInto(recs[i].record->value, num_stars,
+                                          &ntg)
+                        .ok()) {
+          continue;
+        }
+        ntga::ExpandBindingsInto(ntg, *shared_pattern, *shared_vars,
+                                 /*skip_unbound=*/false, &exp);
+        for (size_t r = 0; r < exp.num_rows; ++r) {
+          const rdf::TermId* mapping = exp.row(r);
+          if (mapping_predicate) {
+            row_buf.assign(mapping, mapping + exp.width);
+            if (!mapping_predicate(row_buf)) continue;
+          }
+          val_buf.clear();
+          AppendRow(&val_buf, mapping, exp.width);
+          ctx->Emit("", val_buf);
+        }
+      }
+    };
+  } else if (star_mode) {
+    job.map = [shared_pattern, shared_filters, dict, type_id, num_stars,
+               process](const mr::Record& r, int, mr::MapContext* ctx) {
+      auto tg = ntga::ParseTripleGroup(r.value);
+      if (!tg.ok()) return;
+      auto filtered = FilterStarWithFilters(
+          *tg, shared_pattern->stars[0], type_id, *shared_filters, *dict);
+      if (!filtered.has_value()) return;
+      NestedTripleGroup ntg;
+      ntg.stars.resize(num_stars);
+      ntg.stars[0] = std::move(*filtered);
+      process(ntg, ctx);
+    };
+  } else {
+    job.map = [num_stars, process](const mr::Record& r, int,
+                                   mr::MapContext* ctx) {
+      auto parsed = ntga::ParseNested(r.value, num_stars);
+      if (!parsed.ok()) return;
+      process(*parsed, ctx);
+    };
+  }
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+  return TableRef{out_file, columns};
+}
+
 StatusOr<analytics::BindingTable> NtgaExec::FinalJoinProject(
     std::vector<analytics::BindingTable> agg_tables,
     const std::vector<sparql::SelectItem>& items,

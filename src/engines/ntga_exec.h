@@ -73,6 +73,20 @@ class NtgaExec {
       const std::vector<NtgaGrouping>& groupings, bool parallel,
       const std::string& label, std::vector<std::string>* out_files = nullptr);
 
+  /// One map-only cycle turning pattern matches into a relational table
+  /// over `columns` (pattern variables): parses each nested group (or raw
+  /// triplegroup for one-star matches — star filtering folds into the
+  /// map), expands the solution mappings (unbound slots stay NULL),
+  /// applies the residual `mapping_predicate`, and writes EncodeRow'd
+  /// rows. The bridge from NTGA pattern matching to the relational
+  /// left-join/union/group-by tail of OPTIONAL/UNION groupings.
+  StatusOr<TableRef> ExpandToTable(const ntga::ResolvedPattern& pattern,
+                                   const PatternMatches& matches,
+                                   const PushedFilters& pushed_filters,
+                                   const std::vector<std::string>& columns,
+                                   RowPredicate mapping_predicate,
+                                   const std::string& label);
+
   /// Final map-only cycle: joins the aggregated tables and evaluates the
   /// top-level items; returns the result.
   StatusOr<analytics::BindingTable> FinalJoinProject(

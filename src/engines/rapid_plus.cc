@@ -7,14 +7,14 @@
 namespace rapida::engine {
 
 void SplitNtgaFilters(
-    const analytics::GroupingSubquery& grouping,
+    const std::vector<sparql::ExprPtr>& filters,
     const std::map<std::string, std::string>& var_map,
     const std::vector<std::string>& pattern_vars,
     const rdf::Dictionary* dict,
     std::vector<sparql::ExprPtr>* owned, PushedFilters* pushed,
     RowPredicate* mapping_predicate) {
   std::vector<const sparql::Expr*> residual;
-  for (const auto& f : grouping.filters) {
+  for (const auto& f : filters) {
     sparql::ExprPtr translated = MapExprVars(*f, var_map);
     std::vector<std::string> vars;
     translated->CollectVars(&vars);

@@ -29,12 +29,12 @@ class RapidPlusEngine : public Engine {
   EngineOptions options_;
 };
 
-/// Splits a grouping's filters into map-side pushable single-variable
-/// filters (keyed by composite variable) and a residual mapping-level
-/// predicate over `pattern_vars`. `owned` receives the translated
-/// expression clones (must outlive the returned structures).
+/// Splits a filter list into map-side pushable single-variable filters
+/// (keyed by composite variable) and a residual mapping-level predicate
+/// over `pattern_vars`. `owned` receives the translated expression clones
+/// (must outlive the returned structures).
 void SplitNtgaFilters(
-    const analytics::GroupingSubquery& grouping,
+    const std::vector<sparql::ExprPtr>& filters,
     const std::map<std::string, std::string>& var_map,
     const std::vector<std::string>& pattern_vars,
     const rdf::Dictionary* dict,

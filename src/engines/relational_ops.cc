@@ -544,6 +544,72 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
   return out;
 }
 
+StatusOr<TableRef> RelationalOps::UnionAll(
+    const std::string& name_hint, const std::vector<TableRef>& inputs) {
+  RAPIDA_CHECK(!inputs.empty());
+  // Unified layout plus, per input, the mapping from its columns to
+  // output positions (same scheme as Join's layout).
+  std::vector<std::string> out_columns = inputs[0].columns;
+  std::vector<std::vector<int>> out_pos(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (const std::string& name : inputs[i].columns) {
+      auto it = std::find(out_columns.begin(), out_columns.end(), name);
+      int pos;
+      if (it == out_columns.end()) {
+        pos = static_cast<int>(out_columns.size());
+        out_columns.push_back(name);
+      } else {
+        pos = static_cast<int>(it - out_columns.begin());
+      }
+      out_pos[i].push_back(pos);
+    }
+  }
+  const size_t width = out_columns.size();
+
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = out_columns;
+
+  mr::JobConfig job;
+  job.name = name_hint + " (map-only)";
+  for (const TableRef& t : inputs) job.inputs.push_back(t.file);
+  job.output = out.file;
+
+  if (options_.vectorized_kernels) {
+    job.map_batch = [out_pos, width](const mr::TaggedRecord* recs, size_t n,
+                                     mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row, padded;
+      std::string val_buf;
+      for (size_t i = 0; i < n; ++i) {
+        DecodeRowInto(recs[i].record->value, &row);
+        const std::vector<int>& pos = out_pos[recs[i].tag];
+        padded.assign(width, rdf::kInvalidTermId);
+        for (size_t c = 0; c < row.size() && c < pos.size(); ++c) {
+          padded[pos[c]] = row[c];
+        }
+        val_buf.clear();
+        AppendRow(&val_buf, padded);
+        ctx->Emit("", val_buf);
+      }
+    };
+  } else {
+    job.map = [out_pos, width](const mr::Record& r, int tag,
+                               mr::MapContext* ctx) {
+      std::vector<rdf::TermId> row = DecodeRow(r.value);
+      const std::vector<int>& pos = out_pos[tag];
+      std::vector<rdf::TermId> padded(width, rdf::kInvalidTermId);
+      for (size_t c = 0; c < row.size() && c < pos.size(); ++c) {
+        padded[pos[c]] = row[c];
+      }
+      ctx->Emit("", EncodeRow(padded));
+    };
+  }
+
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats stats, cluster_->Run(job));
+  (void)stats;
+  return out;
+}
+
 StatusOr<TableRef> RelationalOps::GroupBy(
     const std::string& name_hint, const TableRef& input,
     const std::vector<std::string>& key_columns,

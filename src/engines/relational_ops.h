@@ -93,6 +93,14 @@ class RelationalOps {
                           const std::vector<JoinInput>& inputs,
                           RowPredicate post_predicate = nullptr);
 
+  /// UNION ALL cycle: one map-only job that scans every input table and
+  /// re-emits each row remapped to the unified layout (first input's
+  /// columns, then the unseen columns of later inputs). Columns an input
+  /// lacks read as NULL — the relational form of SPARQL UNION's unbound
+  /// padding.
+  StatusOr<TableRef> UnionAll(const std::string& name_hint,
+                              const std::vector<TableRef>& inputs);
+
   /// GROUP BY cycle with optional map-side partial aggregation.
   struct AggColumn {
     sparql::AggFunc func = sparql::AggFunc::kCount;

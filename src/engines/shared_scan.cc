@@ -36,6 +36,17 @@ StatusOr<SharedScanPlan> PlanSharedScan(
   RAPIDA_CHECK(!flat.empty()) << "shared scan over zero groupings";
 
   SharedScanPlan plan;
+  // The composite rewrite merges conjunctive star patterns; OPTIONAL and
+  // UNION groupings fall back to the naive per-grouping pipeline (which
+  // lowers them through the relational left-join/union tail).
+  for (const FlatGrouping& fg : flat) {
+    if (!fg.grouping->IsConjunctive()) {
+      plan.why =
+          "grouping uses OPTIONAL/UNION: composite star rewriting covers "
+          "conjunctive star patterns only";
+      return plan;
+    }
+  }
   if (flat.size() == 1) {
     plan.sharable = true;
     plan.comp = ntga::SinglePatternComposite(flat[0].grouping->pattern);

@@ -82,7 +82,15 @@ StatusOr<StarGraph> DecomposeToStars(
     }
     StarTriple st;
     st.prop.property = tp.p.term.text;
-    if (tp.p.term.text == rdf::kRdfType && !tp.o.is_var) {
+    if (tp.p.term.text == rdf::kRdfType) {
+      // Type objects are part of the triple-group property key, so a
+      // variable there has no key to match — no engine can evaluate it.
+      if (tp.o.is_var) {
+        return Status::InvalidArgument(
+            "rdf:type with a variable object is outside the analytical "
+            "subset (type objects are part of the triple-group key; use "
+            "the reference evaluator): " + tp.ToString());
+      }
       st.prop.type_object = tp.o.term.text;
     }
     st.object = tp.o;

@@ -18,13 +18,14 @@ Status ExecutePlanMulti(
   ctx.options = options;
   ctx.results = results;
 
+  // The relational facade is always live (not just under needs_vp): the
+  // NTGA engines' OPTIONAL/UNION groupings left-join, union and group
+  // their expanded intermediates relationally without touching VP tables.
   std::unique_ptr<engine::RelationalOps> rel;
   std::unique_ptr<engine::NtgaExec> ntga;
-  if (plan.needs_vp) {
-    rel = std::make_unique<engine::RelationalOps>(
-        cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
-    ctx.rel = rel.get();
-  }
+  rel = std::make_unique<engine::RelationalOps>(
+      cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
+  ctx.rel = rel.get();
   if (plan.needs_tg) {
     ntga = std::make_unique<engine::NtgaExec>(
         cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);

@@ -16,8 +16,9 @@ namespace rapida::plan {
 
 /// Execution-time context handed to every PlanNode::exec closure.
 ///
-/// `rel` is live iff the plan declared needs_vp, `ntga` iff needs_tg; both
-/// are constructed with the plan's tmp tag under options.tmp_namespace so
+/// `rel` is always live (OPTIONAL/UNION groupings of the NTGA engines use
+/// it without VP tables), `ntga` iff the plan declared needs_tg; both are
+/// constructed with the plan's tmp tag under options.tmp_namespace so
 /// intermediate-file naming matches the pre-IR engines exactly. `results`
 /// has PhysicalPlan::num_results slots, pre-filled with
 /// Status::Internal("unset"); terminal nodes fill their slot (per-query

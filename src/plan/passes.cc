@@ -57,7 +57,8 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
             n.Attr("join", enabled ? "auto" : "repartition");
             continue;
           }
-          if (n.kind != OpKind::kStarJoin) continue;
+          const bool left = n.kind == OpKind::kLeftReduceJoin;
+          if (n.kind != OpKind::kStarJoin && !left) continue;
           if (!enabled) {
             n.Attr("join", "repartition");
             continue;
@@ -74,6 +75,9 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
           }
           if (sizes.size() < 2) {
             // Dataset-free plan (or degenerate star): runtime decides.
+            // Left joins over intermediates have no static sizes either —
+            // same conservative display as kReduceJoin, the runtime may
+            // still broadcast.
             n.Attr("join", "auto");
             continue;
           }
@@ -89,7 +93,7 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
             if (i != big && sizes[i] > threshold) map_join = false;
           }
           if (map_join) {
-            n.kind = OpKind::kMapJoin;
+            n.kind = left ? OpKind::kLeftMapJoin : OpKind::kMapJoin;
             n.map_only = true;
             n.Attr("join", "map");
           } else {
@@ -176,6 +180,22 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
       }});
 
   pm.Add(Pass{
+      "union-distribution", true,
+      [](PhysicalPlan* plan, bool) {
+        // Join distribution over UNION — (T ⋈ (A ∪ B)) = (T ⋈ A) ∪ (T ⋈ B)
+        // — already happened when the analyzer built one distributed branch
+        // per arm; this pass stamps the resulting Union nodes so the
+        // rewrite is visible (and fingerprinted) in the plan. OPTIONAL
+        // tails ride along: left-join distributes over its left input, so
+        // per-branch left joins are equivalent to one post-union left join.
+        for (PlanNode& n : plan->nodes) {
+          if (n.kind != OpKind::kUnion) continue;
+          n.Attr("distribution", "join-pushed-into-arms");
+          n.Attr("arms", std::to_string(n.inputs.size()));
+        }
+      }});
+
+  pm.Add(Pass{
       "vectorized-kernels", options.vectorized_kernels,
       [](PhysicalPlan* plan, bool enabled) {
         // Dispatch annotation only: the batch kernels are byte-identical
@@ -187,6 +207,10 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
             case OpKind::kStarJoin:
             case OpKind::kMapJoin:
             case OpKind::kReduceJoin:
+            case OpKind::kLeftMapJoin:
+            case OpKind::kLeftReduceJoin:
+            case OpKind::kUnion:
+            case OpKind::kExpandBindings:
             case OpKind::kNSplitAlphaJoin:
             case OpKind::kAggJoin:
             case OpKind::kGroupAggregate:

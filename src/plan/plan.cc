@@ -11,6 +11,10 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kStarJoin: return "StarJoin";
     case OpKind::kMapJoin: return "MapJoin";
     case OpKind::kReduceJoin: return "ReduceJoin";
+    case OpKind::kLeftMapJoin: return "LeftMapJoin";
+    case OpKind::kLeftReduceJoin: return "LeftReduceJoin";
+    case OpKind::kUnion: return "Union";
+    case OpKind::kExpandBindings: return "ExpandBindings";
     case OpKind::kNSplitAlphaJoin: return "NSplitAlphaJoin";
     case OpKind::kAggJoin: return "AggJoin";
     case OpKind::kGroupAggregate: return "GroupAggregate";

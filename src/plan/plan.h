@@ -22,6 +22,10 @@ enum class OpKind {
   kStarJoin,        // multi-way same-subject join of VP inputs (one star)
   kMapJoin,         // a join statically selected to broadcast (map-join)
   kReduceJoin,      // repartition join (inter-star join cycle)
+  kLeftMapJoin,     // OPTIONAL left star-join selected to broadcast
+  kLeftReduceJoin,  // OPTIONAL left star-join as a repartition cycle
+  kUnion,           // UNION ALL concatenation of branch tables (map-only)
+  kExpandBindings,  // NTGA bindings expanded to a relational table
   kNSplitAlphaJoin, // NTGA TG_OptGrpFilter + TG_AlphaJoin cycle
   kAggJoin,         // NTGA TG Agg-Join (one grouping-aggregation)
   kGroupAggregate,  // relational GROUP BY cycle

@@ -73,16 +73,38 @@ class VarInterner {
 analytics::AnalyticalQuery CanonicalizeQueryVars(
     const analytics::AnalyticalQuery& query) {
   VarInterner vars;
-  // Phase 1: fix the renaming, walking the query in structural order.
-  for (const analytics::GroupingSubquery& g : query.groupings) {
-    for (const ntga::StarPattern& star : g.pattern.stars) {
+  auto intern_graph = [&vars](const ntga::StarGraph& graph) {
+    for (const ntga::StarPattern& star : graph.stars) {
       vars.Intern(star.subject_var);
       for (const ntga::StarTriple& t : star.triples) {
         if (t.object.is_var) vars.Intern(t.object.var);
       }
     }
-    for (const ntga::JoinEdge& e : g.pattern.joins) vars.Intern(e.var);
+    for (const ntga::JoinEdge& e : graph.joins) vars.Intern(e.var);
+  };
+  auto intern_optionals =
+      [&vars](const std::vector<analytics::OptionalTail>& opts) {
+        for (const analytics::OptionalTail& o : opts) {
+          vars.Intern(o.join_var);
+          vars.Intern(o.star.subject_var);
+          for (const ntga::StarTriple& t : o.star.triples) {
+            if (t.object.is_var) vars.Intern(t.object.var);
+          }
+          for (const sparql::ExprPtr& f : o.filters) vars.InternExpr(*f);
+        }
+      };
+  // Phase 1: fix the renaming, walking the query in structural order.
+  for (const analytics::GroupingSubquery& g : query.groupings) {
+    intern_graph(g.pattern);
     for (const sparql::ExprPtr& f : g.filters) vars.InternExpr(*f);
+    intern_optionals(g.optionals);
+    for (const sparql::ExprPtr& f : g.post_filters) vars.InternExpr(*f);
+    for (const analytics::PatternBranch& b : g.union_branches) {
+      intern_graph(b.pattern);
+      for (const sparql::ExprPtr& f : b.filters) vars.InternExpr(*f);
+      intern_optionals(b.optionals);
+      for (const sparql::ExprPtr& f : b.post_filters) vars.InternExpr(*f);
+    }
     vars.InternAll(g.group_by);
     for (const ntga::AggSpec& a : g.aggs) {
       if (!a.count_star) vars.Intern(a.var);
@@ -98,26 +120,62 @@ analytics::AnalyticalQuery CanonicalizeQueryVars(
   for (const sparql::OrderKey& k : query.order_by) vars.Intern(k.var);
 
   // Phase 2: rebuild the query through the renaming.
+  auto rename_star = [&vars](const ntga::StarPattern& star) {
+    ntga::StarPattern ns;
+    ns.subject_var = vars.R(star.subject_var);
+    for (const ntga::StarTriple& t : star.triples) {
+      ntga::StarTriple nt = t;
+      if (nt.object.is_var) nt.object.var = vars.R(nt.object.var);
+      ns.triples.push_back(std::move(nt));
+    }
+    return ns;
+  };
+  auto rename_graph = [&vars, &rename_star](const ntga::StarGraph& graph) {
+    ntga::StarGraph ng;
+    for (const ntga::StarPattern& star : graph.stars) {
+      ng.stars.push_back(rename_star(star));
+    }
+    for (const ntga::JoinEdge& e : graph.joins) {
+      ntga::JoinEdge ne = e;
+      ne.var = vars.R(ne.var);
+      ng.joins.push_back(std::move(ne));
+    }
+    return ng;
+  };
+  auto rename_filters = [&vars](const std::vector<sparql::ExprPtr>& fs) {
+    std::vector<sparql::ExprPtr> out;
+    for (const sparql::ExprPtr& f : fs) {
+      out.push_back(engine::MapExprVars(*f, vars.map()));
+    }
+    return out;
+  };
+  auto rename_optionals =
+      [&vars, &rename_star,
+       &rename_filters](const std::vector<analytics::OptionalTail>& opts) {
+        std::vector<analytics::OptionalTail> out;
+        for (const analytics::OptionalTail& o : opts) {
+          analytics::OptionalTail no;
+          no.star = rename_star(o.star);
+          no.filters = rename_filters(o.filters);
+          no.join_var = vars.R(o.join_var);
+          out.push_back(std::move(no));
+        }
+        return out;
+      };
   analytics::AnalyticalQuery out;
   for (const analytics::GroupingSubquery& g : query.groupings) {
     analytics::GroupingSubquery ng;
-    for (const ntga::StarPattern& star : g.pattern.stars) {
-      ntga::StarPattern ns;
-      ns.subject_var = vars.R(star.subject_var);
-      for (const ntga::StarTriple& t : star.triples) {
-        ntga::StarTriple nt = t;
-        if (nt.object.is_var) nt.object.var = vars.R(nt.object.var);
-        ns.triples.push_back(std::move(nt));
-      }
-      ng.pattern.stars.push_back(std::move(ns));
-    }
-    for (const ntga::JoinEdge& e : g.pattern.joins) {
-      ntga::JoinEdge ne = e;
-      ne.var = vars.R(ne.var);
-      ng.pattern.joins.push_back(std::move(ne));
-    }
-    for (const sparql::ExprPtr& f : g.filters) {
-      ng.filters.push_back(engine::MapExprVars(*f, vars.map()));
+    ng.pattern = rename_graph(g.pattern);
+    ng.filters = rename_filters(g.filters);
+    ng.optionals = rename_optionals(g.optionals);
+    ng.post_filters = rename_filters(g.post_filters);
+    for (const analytics::PatternBranch& b : g.union_branches) {
+      analytics::PatternBranch nb;
+      nb.pattern = rename_graph(b.pattern);
+      nb.filters = rename_filters(b.filters);
+      nb.optionals = rename_optionals(b.optionals);
+      nb.post_filters = rename_filters(b.post_filters);
+      ng.union_branches.push_back(std::move(nb));
     }
     ng.group_by = vars.RAll(g.group_by);
     for (const ntga::AggSpec& a : g.aggs) {
@@ -165,20 +223,50 @@ std::string CanonicalPlanFingerprint(
   // Planning can fail on shapes outside the NTGA subset; hash a canonical
   // serialization of the query instead so those still dedup structurally.
   std::string s = "planner-error\n";
+  auto graph_sig = [](const ntga::StarGraph& graph) {
+    std::string out;
+    for (const ntga::StarPattern& star : graph.stars) {
+      out += "star ?" + star.subject_var;
+      for (const ntga::StarTriple& t : star.triples) {
+        out += " " + detail::TripleSig(t);
+      }
+      out += "\n";
+    }
+    for (const ntga::JoinEdge& e : graph.joins) {
+      out += "join " + e.ToString() + "\n";
+    }
+    return out;
+  };
+  auto branch_sig = [&graph_sig](const ntga::StarGraph& pattern,
+                                 const std::vector<sparql::ExprPtr>& filters,
+                                 const std::vector<analytics::OptionalTail>&
+                                     optionals,
+                                 const std::vector<sparql::ExprPtr>&
+                                     post_filters) {
+    std::string out = graph_sig(pattern);
+    for (const sparql::ExprPtr& f : filters) {
+      out += "filter " + f->ToString() + "\n";
+    }
+    for (const analytics::OptionalTail& o : optionals) {
+      out += "optional ?" + o.join_var + "\n";
+      ntga::StarGraph og;
+      og.stars.push_back(o.star);
+      out += graph_sig(og);
+      for (const sparql::ExprPtr& f : o.filters) {
+        out += "ofilter " + f->ToString() + "\n";
+      }
+    }
+    for (const sparql::ExprPtr& f : post_filters) {
+      out += "post_filter " + f->ToString() + "\n";
+    }
+    return out;
+  };
   for (const analytics::GroupingSubquery& g : canon.groupings) {
     s += "grouping\n";
-    for (const ntga::StarPattern& star : g.pattern.stars) {
-      s += "star ?" + star.subject_var;
-      for (const ntga::StarTriple& t : star.triples) {
-        s += " " + detail::TripleSig(t);
-      }
-      s += "\n";
-    }
-    for (const ntga::JoinEdge& e : g.pattern.joins) {
-      s += "join " + e.ToString() + "\n";
-    }
-    for (const sparql::ExprPtr& f : g.filters) {
-      s += "filter " + f->ToString() + "\n";
+    s += branch_sig(g.pattern, g.filters, g.optionals, g.post_filters);
+    for (const analytics::PatternBranch& b : g.union_branches) {
+      s += "union_branch\n";
+      s += branch_sig(b.pattern, b.filters, b.optionals, b.post_filters);
     }
     s += "group_by " + detail::Csv(g.group_by) + "\n";
     for (const ntga::AggSpec& a : g.aggs) {

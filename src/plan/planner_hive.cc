@@ -213,6 +213,125 @@ HivePatternMirror EmitHivePattern(
   return out;
 }
 
+/// Emits the pattern side of one grouping, OPTIONAL/UNION included: per
+/// branch the required pattern (EmitHivePattern) followed by one left
+/// star-join cycle per OPTIONAL tail (post-filters ride the last one as
+/// its residual predicate), then a UNION ALL node when the grouping has
+/// join-distributed arms. Conjunctive groupings emit exactly the nodes
+/// the pre-OPTIONAL planner did.
+int EmitHiveGroupingTail(PhysicalPlan* plan, engine::Dataset* dataset,
+                         const GroupingSubquery& grouping,
+                         const std::string& label) {
+  std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  std::vector<int> tails;
+  for (size_t b = 0; b < branches.size(); ++b) {
+    const detail::BranchView& bv = branches[b];
+    std::string blabel =
+        branches.size() > 1 ? label + ":b" + std::to_string(b) : label;
+    std::vector<const sparql::Expr*> filters;
+    for (const auto& f : *bv.filters) filters.push_back(f.get());
+    HivePatternMirror pm =
+        EmitHivePattern(plan, dataset, *bv.pattern, filters, nullptr, blabel);
+    int tail = pm.tail_id;
+    for (size_t j = 0; j < bv.optionals->size(); ++j) {
+      const analytics::OptionalTail& opt = (*bv.optionals)[j];
+      ntga::StarGraph og = detail::OptionalGraph(opt);
+      std::vector<const sparql::Expr*> ofilters;
+      for (const auto& f : opt.filters) ofilters.push_back(f.get());
+      HivePatternMirror om =
+          EmitHivePattern(plan, dataset, og, ofilters, nullptr,
+                          blabel + ":opt" + std::to_string(j));
+      PlanNode& jn = plan->AddNode(
+          OpKind::kLeftReduceJoin, blabel,
+          blabel + ": left star-join (OPTIONAL; unmatched rows keep NULLs)",
+          1);
+      jn.inputs = {tail, om.tail_id};
+      jn.Attr("edge", "?" + opt.join_var);
+      if (j + 1 == bv.optionals->size()) {
+        for (const auto& f : *bv.post_filters) {
+          jn.Attr("residual_filter", f->ToString());
+        }
+      }
+      tail = jn.id;
+    }
+    tails.push_back(tail);
+  }
+  if (tails.size() == 1) return tails[0];
+  PlanNode& un = plan->AddNode(
+      OpKind::kUnion, label,
+      label + ": UNION ALL (" + std::to_string(tails.size()) +
+          " join-distributed branches)",
+      1);
+  un.map_only = true;
+  un.inputs = tails;
+  return un.id;
+}
+
+/// Compiles the pattern side of one grouping at exec time, mirroring
+/// EmitHiveGroupingTail cycle for cycle: CompileHivePattern per branch and
+/// per OPTIONAL star, a left outer Join per tail (post-filters compiled as
+/// the last join's post-predicate), and one UNION ALL cycle across
+/// branches.
+StatusOr<engine::TableRef> CompileGroupingPattern(
+    ExecContext* ctx, const GroupingSubquery& grouping,
+    const std::string& label) {
+  const rdf::Dictionary& dict = ctx->dataset->graph().dict();
+  std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  std::vector<engine::TableRef> branch_tables;
+  for (size_t b = 0; b < branches.size(); ++b) {
+    const detail::BranchView& bv = branches[b];
+    std::string blabel =
+        branches.size() > 1 ? label + ":b" + std::to_string(b) : label;
+    std::vector<const sparql::Expr*> filters;
+    for (const auto& f : *bv.filters) filters.push_back(f.get());
+    RAPIDA_ASSIGN_OR_RETURN(
+        engine::TableRef cur,
+        engine::CompileHivePattern(ctx->rel, ctx->dataset, *bv.pattern,
+                                   filters, nullptr, blabel));
+    for (size_t j = 0; j < bv.optionals->size(); ++j) {
+      const analytics::OptionalTail& opt = (*bv.optionals)[j];
+      ntga::StarGraph og = detail::OptionalGraph(opt);
+      std::vector<const sparql::Expr*> ofilters;
+      for (const auto& f : opt.filters) ofilters.push_back(f.get());
+      RAPIDA_ASSIGN_OR_RETURN(
+          engine::TableRef opt_table,
+          engine::CompileHivePattern(ctx->rel, ctx->dataset, og, ofilters,
+                                     nullptr,
+                                     blabel + ":opt" + std::to_string(j)));
+      engine::JoinInput left;
+      left.file = cur.file;
+      left.columns = cur.columns;
+      left.join_column = opt.join_var;
+      engine::JoinInput right;
+      right.file = opt_table.file;
+      right.columns = opt_table.columns;
+      right.join_column = opt.join_var;
+      right.outer = true;
+      engine::RowPredicate post;
+      if (j + 1 == bv.optionals->size() && !bv.post_filters->empty()) {
+        std::vector<std::string> post_cols = left.columns;
+        for (const std::string& c : right.columns) {
+          if (std::find(post_cols.begin(), post_cols.end(), c) ==
+              post_cols.end()) {
+            post_cols.push_back(c);
+          }
+        }
+        std::vector<const sparql::Expr*> pfs;
+        for (const auto& f : *bv.post_filters) pfs.push_back(f.get());
+        post = engine::CompilePredicate(pfs, post_cols, &dict);
+      }
+      RAPIDA_ASSIGN_OR_RETURN(
+          engine::TableRef joined,
+          ctx->rel->Join(blabel + ":leftjoin" + std::to_string(j),
+                         {left, right}, post));
+      cur = std::move(joined);
+    }
+    branch_tables.push_back(std::move(cur));
+  }
+  if (branch_tables.size() == 1) return branch_tables[0];
+  return ctx->rel->UnionAll(label + ":union", branch_tables);
+}
+
 /// Emits one relational GROUP BY cycle node.
 int EmitGroupAggregate(PhysicalPlan* plan, const std::string& label,
                        const std::string& describe,
@@ -298,11 +417,8 @@ void BindHiveNaive(PhysicalPlan* plan, const AnalyticalQuery& query) {
     PlanNode* n = plan->FindByTag("g" + std::to_string(g));
     n->exec = [q, g, tables](ExecContext* ctx) -> Status {
       const GroupingSubquery& grouping = q->groupings[g];
-      std::vector<const sparql::Expr*> filters;
-      for (const auto& f : grouping.filters) filters.push_back(f.get());
       std::string label = "g" + std::to_string(g);
-      auto pattern_table = engine::CompileHivePattern(
-          ctx->rel, ctx->dataset, grouping.pattern, filters, nullptr, label);
+      auto pattern_table = CompileGroupingPattern(ctx, grouping, label);
       if (!pattern_table.ok()) return pattern_table.status();
       std::vector<engine::RelationalOps::AggColumn> aggs;
       for (const ntga::AggSpec& a : grouping.aggs) {
@@ -503,11 +619,8 @@ StatusOr<PhysicalPlan> PlanHiveNaive(const AnalyticalQuery& query,
   std::vector<int> grouping_ids;
   for (size_t g = 0; g < query.groupings.size(); ++g) {
     const GroupingSubquery& grouping = query.groupings[g];
-    std::vector<const sparql::Expr*> filters;
-    for (const auto& f : grouping.filters) filters.push_back(f.get());
     std::string label = "g" + std::to_string(g);
-    HivePatternMirror pm = EmitHivePattern(&plan, dataset, grouping.pattern,
-                                           filters, nullptr, label);
+    int tail_id = EmitHiveGroupingTail(&plan, dataset, grouping, label);
     std::vector<std::string> output_columns = grouping.group_by;
     for (const ntga::AggSpec& a : grouping.aggs) {
       output_columns.push_back(a.output_name);
@@ -516,7 +629,7 @@ StatusOr<PhysicalPlan> PlanHiveNaive(const AnalyticalQuery& query,
         &plan, label,
         label + ": GROUP BY" + (grouping.group_by.empty() ? " ALL" : ""),
         grouping.group_by, grouping.aggs, grouping.having.get(),
-        output_columns, pm.tail_id));
+        output_columns, tail_id));
   }
   EmitFinal(&plan, query, "final: map-only join of grouping results",
             "final: driver-side projection of the grouping result",

@@ -109,6 +109,113 @@ void AddAggAttrs(PlanNode* agg, const std::vector<std::string>& group_vars,
   agg->Attr("binds", detail::Csv(output_columns));
 }
 
+/// Emits the pattern side of one extended (OPTIONAL/UNION) grouping on the
+/// NTGA engine: per branch the α-join chain plus one map-only cycle
+/// expanding the matched triplegroups to relational rows, per OPTIONAL
+/// tail a folded star scan + expansion + left join cycle, then a UNION ALL
+/// node across branches. Returns the node id feeding the relational GROUP
+/// BY.
+int EmitNtgaGroupingTail(PhysicalPlan* plan, const GroupingSubquery& grouping,
+                         const std::string& label) {
+  std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  std::vector<int> tails;
+  for (size_t b = 0; b < branches.size(); ++b) {
+    const detail::BranchView& bv = branches[b];
+    std::string blabel =
+        branches.size() > 1 ? label + ":b" + std::to_string(b) : label;
+    ntga::CompositePattern comp = ntga::SinglePatternComposite(*bv.pattern);
+    size_t k = comp.stars.size();
+    NtgaEmit chain = EmitNtgaPattern(plan, comp, blabel, /*ra_style=*/false);
+    std::vector<std::string> pattern_vars;
+    for (const auto& [orig, composite_var] : comp.var_map[0]) {
+      pattern_vars.push_back(composite_var);
+    }
+    std::vector<std::string> residual_sigs;
+    for (const auto& f : *bv.filters) {
+      std::vector<std::string> vars = detail::ExprVars(*f);
+      if (vars.size() == 1) {
+        plan->FindById(chain.load_id)
+            ->Attr("pushed_filter", vars[0] + "|" + f->ToString());
+      } else {
+        residual_sigs.push_back(f->ToString());
+      }
+    }
+    PlanNode& ex = plan->AddNode(
+        OpKind::kExpandBindings, blabel,
+        blabel + ": TG bindings -> relational rows" +
+            (k == 1 ? " (star matching folded into map)" : ""),
+        1);
+    ex.map_only = true;
+    ex.inputs = {chain.tail_id};
+    if (k == 1) ex.Attr("fold", "map");
+    ex.Attr("binds", detail::Csv(pattern_vars));
+    for (const std::string& sig : residual_sigs) {
+      ex.Attr("residual_filter", sig);
+    }
+    int tail = ex.id;
+
+    for (size_t j = 0; j < bv.optionals->size(); ++j) {
+      const analytics::OptionalTail& opt = (*bv.optionals)[j];
+      std::string olabel = blabel + ":opt" + std::to_string(j);
+      ntga::CompositePattern ocomp =
+          ntga::SinglePatternComposite(detail::OptionalGraph(opt));
+      NtgaEmit ochain = EmitNtgaPattern(plan, ocomp, olabel,
+                                       /*ra_style=*/false);
+      std::vector<std::string> opattern_vars;
+      for (const auto& [orig, composite_var] : ocomp.var_map[0]) {
+        opattern_vars.push_back(composite_var);
+      }
+      std::vector<std::string> oresidual;
+      for (const auto& f : opt.filters) {
+        std::vector<std::string> vars = detail::ExprVars(*f);
+        if (vars.size() == 1) {
+          plan->FindById(ochain.load_id)
+              ->Attr("pushed_filter", vars[0] + "|" + f->ToString());
+        } else {
+          oresidual.push_back(f->ToString());
+        }
+      }
+      PlanNode& oex = plan->AddNode(
+          OpKind::kExpandBindings, olabel,
+          olabel +
+              ": TG bindings -> relational rows (star matching folded into "
+              "map)",
+          1);
+      oex.map_only = true;
+      oex.inputs = {ochain.tail_id};
+      oex.Attr("fold", "map");
+      oex.Attr("binds", detail::Csv(opattern_vars));
+      for (const std::string& sig : oresidual) {
+        oex.Attr("residual_filter", sig);
+      }
+      // AddNode may reallocate the node vector; oex is dangling after it.
+      const int oex_id = oex.id;
+      PlanNode& jn = plan->AddNode(
+          OpKind::kLeftReduceJoin, blabel,
+          blabel + ": left star-join (OPTIONAL; unmatched rows keep NULLs)",
+          1);
+      jn.inputs = {tail, oex_id};
+      jn.Attr("edge", "?" + opt.join_var);
+      if (j + 1 == bv.optionals->size()) {
+        for (const auto& f : *bv.post_filters) {
+          jn.Attr("residual_filter", f->ToString());
+        }
+      }
+      tail = jn.id;
+    }
+    tails.push_back(tail);
+  }
+  if (tails.size() == 1) return tails[0];
+  PlanNode& un = plan->AddNode(
+      OpKind::kUnion, label,
+      label + ": UNION ALL (" + std::to_string(tails.size()) +
+          " join-distributed branches)",
+      1);
+  un.map_only = true;
+  un.inputs = tails;
+  return un.id;
+}
+
 int EmitNtgaFinal(PhysicalPlan* plan, const AnalyticalQuery& query,
                   const std::string& suffix, const std::vector<int>& inputs,
                   const std::string& tag) {
@@ -139,6 +246,92 @@ struct RplusState {
   std::vector<sparql::ExprPtr> owned_filters;
 };
 
+/// Exec-time mirror of EmitNtgaGroupingTail: computes the extended
+/// grouping's pattern table — per branch the α-join chain, the expansion
+/// cycle, one left join per OPTIONAL tail (post-filters as the last one's
+/// post-predicate), and a UNION ALL across branches — cycle for cycle.
+StatusOr<engine::TableRef> ComputeNtgaGroupingTable(
+    ExecContext* ctx, const GroupingSubquery& grouping,
+    const std::string& label, std::vector<sparql::ExprPtr>* owned_filters) {
+  const rdf::Dictionary& dict = ctx->dataset->graph().dict();
+  std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  std::vector<engine::TableRef> branch_tables;
+  for (size_t b = 0; b < branches.size(); ++b) {
+    const detail::BranchView& bv = branches[b];
+    std::string blabel =
+        branches.size() > 1 ? label + ":b" + std::to_string(b) : label;
+    ntga::CompositePattern comp = ntga::SinglePatternComposite(*bv.pattern);
+    ntga::ResolvedPattern resolved = ntga::ResolvePattern(comp, dict);
+    std::vector<std::string> pattern_vars;
+    for (const auto& [orig, composite_var] : comp.var_map[0]) {
+      pattern_vars.push_back(composite_var);
+    }
+    engine::PushedFilters pushed;
+    engine::RowPredicate mapping_pred;
+    engine::SplitNtgaFilters(*bv.filters, comp.var_map[0], pattern_vars,
+                             &dict, owned_filters, &pushed, &mapping_pred);
+    RAPIDA_ASSIGN_OR_RETURN(
+        engine::PatternMatches matches,
+        ctx->ntga->ComputePatternMatches(resolved, {}, pushed, blabel));
+    RAPIDA_ASSIGN_OR_RETURN(
+        engine::TableRef cur,
+        ctx->ntga->ExpandToTable(resolved, matches, pushed, pattern_vars,
+                                 mapping_pred, blabel));
+    for (size_t j = 0; j < bv.optionals->size(); ++j) {
+      const analytics::OptionalTail& opt = (*bv.optionals)[j];
+      std::string olabel = blabel + ":opt" + std::to_string(j);
+      ntga::CompositePattern ocomp =
+          ntga::SinglePatternComposite(detail::OptionalGraph(opt));
+      ntga::ResolvedPattern oresolved = ntga::ResolvePattern(ocomp, dict);
+      std::vector<std::string> opattern_vars;
+      for (const auto& [orig, composite_var] : ocomp.var_map[0]) {
+        opattern_vars.push_back(composite_var);
+      }
+      engine::PushedFilters opushed;
+      engine::RowPredicate opred;
+      engine::SplitNtgaFilters(opt.filters, ocomp.var_map[0], opattern_vars,
+                               &dict, owned_filters, &opushed, &opred);
+      RAPIDA_ASSIGN_OR_RETURN(
+          engine::PatternMatches omatches,
+          ctx->ntga->ComputePatternMatches(oresolved, {}, opushed, olabel));
+      RAPIDA_ASSIGN_OR_RETURN(
+          engine::TableRef opt_table,
+          ctx->ntga->ExpandToTable(oresolved, omatches, opushed,
+                                   opattern_vars, opred, olabel));
+      engine::JoinInput left;
+      left.file = cur.file;
+      left.columns = cur.columns;
+      left.join_column = opt.join_var;
+      engine::JoinInput right;
+      right.file = opt_table.file;
+      right.columns = opt_table.columns;
+      right.join_column = opt.join_var;
+      right.outer = true;
+      engine::RowPredicate post;
+      if (j + 1 == bv.optionals->size() && !bv.post_filters->empty()) {
+        std::vector<std::string> post_cols = left.columns;
+        for (const std::string& c : right.columns) {
+          if (std::find(post_cols.begin(), post_cols.end(), c) ==
+              post_cols.end()) {
+            post_cols.push_back(c);
+          }
+        }
+        std::vector<const sparql::Expr*> pfs;
+        for (const auto& f : *bv.post_filters) pfs.push_back(f.get());
+        post = engine::CompilePredicate(pfs, post_cols, &dict);
+      }
+      RAPIDA_ASSIGN_OR_RETURN(
+          engine::TableRef joined,
+          ctx->rel->Join(blabel + ":leftjoin" + std::to_string(j),
+                         {left, right}, post));
+      cur = std::move(joined);
+    }
+    branch_tables.push_back(std::move(cur));
+  }
+  if (branch_tables.size() == 1) return branch_tables[0];
+  return ctx->rel->UnionAll(label + ":union", branch_tables);
+}
+
 void BindRapidPlus(PhysicalPlan* plan, const AnalyticalQuery& query) {
   auto st = std::make_shared<RplusState>();
   const AnalyticalQuery* q = &query;
@@ -148,6 +341,34 @@ void BindRapidPlus(PhysicalPlan* plan, const AnalyticalQuery& query) {
       const GroupingSubquery& grouping = q->groupings[g];
       const rdf::Dictionary& dict = ctx->dataset->graph().dict();
       std::string label = "g" + std::to_string(g);
+
+      if (!grouping.IsConjunctive()) {
+        auto table = ComputeNtgaGroupingTable(ctx, grouping, label,
+                                              &st->owned_filters);
+        if (!table.ok()) return table.status();
+        std::vector<engine::RelationalOps::AggColumn> aggs;
+        for (const ntga::AggSpec& a : grouping.aggs) {
+          aggs.push_back(engine::RelationalOps::AggColumn{
+              a.func, a.var, a.count_star, a.output_name, a.separator});
+        }
+        std::vector<std::string> grouped_columns = grouping.group_by;
+        for (const ntga::AggSpec& a : grouping.aggs) {
+          grouped_columns.push_back(a.output_name);
+        }
+        engine::RowPredicate having;
+        if (grouping.having != nullptr) {
+          having = engine::CompilePredicate({grouping.having.get()},
+                                            grouped_columns, &dict);
+        }
+        auto grouped = ctx->rel->GroupBy(label + ":groupby", *table,
+                                         grouping.group_by, aggs, having);
+        if (!grouped.ok()) return grouped.status();
+        st->agg_files.push_back(grouped->file);
+        auto btable = ctx->rel->ReadTable(*grouped);
+        if (!btable.ok()) return btable.status();
+        st->agg_tables.push_back(std::move(*btable));
+        return Status::OK();
+      }
 
       ntga::CompositePattern comp =
           ntga::SinglePatternComposite(grouping.pattern);
@@ -159,8 +380,9 @@ void BindRapidPlus(PhysicalPlan* plan, const AnalyticalQuery& query) {
       }
       engine::PushedFilters pushed;
       engine::RowPredicate mapping_pred;
-      engine::SplitNtgaFilters(grouping, comp.var_map[0], pattern_vars, &dict,
-                               &st->owned_filters, &pushed, &mapping_pred);
+      engine::SplitNtgaFilters(grouping.filters, comp.var_map[0], pattern_vars,
+                               &dict, &st->owned_filters, &pushed,
+                               &mapping_pred);
 
       auto matches = ctx->ntga->ComputePatternMatches(resolved, {}, pushed,
                                                       label);
@@ -396,6 +618,27 @@ StatusOr<PhysicalPlan> PlanRapidPlus(const AnalyticalQuery& query,
   for (size_t g = 0; g < query.groupings.size(); ++g) {
     const GroupingSubquery& grouping = query.groupings[g];
     std::string label = "g" + std::to_string(g);
+    if (!grouping.IsConjunctive()) {
+      // OPTIONAL/UNION grouping: NTGA pattern matching per branch, then a
+      // relational left-join/union tail and a relational GROUP BY (the TG
+      // Agg-Join only understands conjunctive star patterns).
+      int tail_id = EmitNtgaGroupingTail(&plan, grouping, label);
+      PlanNode& agg = plan.AddNode(
+          OpKind::kGroupAggregate, label,
+          label + ": GROUP BY" + (grouping.group_by.empty() ? " ALL" : "") +
+              " (relational)",
+          1);
+      agg.inputs = {tail_id};
+      std::vector<std::string> output_columns = grouping.group_by;
+      for (const ntga::AggSpec& a : grouping.aggs) {
+        output_columns.push_back(a.output_name);
+      }
+      AddAggAttrs(&agg, grouping.group_by, grouping.aggs,
+                  grouping.having.get(), output_columns);
+      agg.bind_tag = label;
+      agg_ids.push_back(agg.id);
+      continue;
+    }
     ntga::CompositePattern comp =
         ntga::SinglePatternComposite(grouping.pattern);
     size_t k = comp.stars.size();

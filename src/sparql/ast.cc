@@ -191,6 +191,7 @@ void GroupGraphPattern::CollectBoundVars(std::vector<std::string>* out) const {
     if (tp.o.is_var) add(tp.o.var);
   }
   for (const GroupGraphPattern& opt : optionals) opt.CollectBoundVars(out);
+  for (const GroupGraphPattern& arm : unions) arm.CollectBoundVars(out);
   for (const auto& sq : subqueries) {
     for (const std::string& name : sq->ColumnNames()) add(name);
   }

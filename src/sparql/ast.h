@@ -137,6 +137,11 @@ struct GroupGraphPattern {
   std::vector<TriplePattern> triples;
   std::vector<ExprPtr> filters;
   std::vector<GroupGraphPattern> optionals;
+  /// Arms of the group's UNION, in textual order: `{A} UNION {B} ...`
+  /// parses to two-or-more entries here. Empty when the group has no
+  /// UNION; a group holds at most one UNION chain (the parser rejects a
+  /// second one — arms of a single chain is the only supported shape).
+  std::vector<GroupGraphPattern> unions;
   std::vector<std::unique_ptr<SelectQuery>> subqueries;
 
   GroupGraphPattern() = default;

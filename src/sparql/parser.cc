@@ -218,7 +218,23 @@ class Parser {
         } else {
           GroupGraphPattern inner;
           RAPIDA_RETURN_IF_ERROR(ParseGroupGraphPattern(&inner));
-          MergeInto(out, std::move(inner));
+          if (CheckKeyword("UNION")) {
+            // `{A} UNION {B} [UNION {C} ...]`: collect the arms. A group
+            // holds at most one UNION chain; a second chain has no single
+            // natural join order in this subset, so it is a parse error.
+            if (!out->unions.empty()) {
+              return Error("only one UNION group per graph pattern "
+                           "is supported");
+            }
+            out->unions.push_back(std::move(inner));
+            while (MatchKeyword("UNION")) {
+              GroupGraphPattern arm;
+              RAPIDA_RETURN_IF_ERROR(ParseGroupGraphPattern(&arm));
+              out->unions.push_back(std::move(arm));
+            }
+          } else {
+            RAPIDA_RETURN_IF_ERROR(MergeInto(out, std::move(inner)));
+          }
         }
         Match(TokenType::kDot);
         continue;
@@ -229,11 +245,18 @@ class Parser {
     return Status::OK();
   }
 
-  static void MergeInto(GroupGraphPattern* dst, GroupGraphPattern src) {
+  Status MergeInto(GroupGraphPattern* dst, GroupGraphPattern src) {
     for (auto& tp : src.triples) dst->triples.push_back(std::move(tp));
     for (auto& f : src.filters) dst->filters.push_back(std::move(f));
     for (auto& o : src.optionals) dst->optionals.push_back(std::move(o));
+    if (!src.unions.empty()) {
+      if (!dst->unions.empty()) {
+        return Error("only one UNION group per graph pattern is supported");
+      }
+      dst->unions = std::move(src.unions);
+    }
     for (auto& sq : src.subqueries) dst->subqueries.push_back(std::move(sq));
+    return Status::OK();
   }
 
   Status ParseTriplesBlock(GroupGraphPattern* out) {

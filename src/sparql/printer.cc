@@ -37,6 +37,11 @@ void PrintGroupGraphPattern(const GroupGraphPattern& ggp,
     PrintGroupGraphPattern(opt, indent + "  ", out);
     *out += indent + "}\n";
   }
+  for (size_t i = 0; i < ggp.unions.size(); ++i) {
+    *out += i == 0 ? indent + "{\n" : indent + "UNION {\n";
+    PrintGroupGraphPattern(ggp.unions[i], indent + "  ", out);
+    *out += indent + "}\n";
+  }
   for (const auto& sub : ggp.subqueries) {
     *out += indent + "{\n";
     PrintSelect(*sub, indent + "  ", out);
@@ -105,6 +110,7 @@ bool Equals(const GroupGraphPattern& a, const GroupGraphPattern& b) {
   if (a.triples.size() != b.triples.size() ||
       a.filters.size() != b.filters.size() ||
       a.optionals.size() != b.optionals.size() ||
+      a.unions.size() != b.unions.size() ||
       a.subqueries.size() != b.subqueries.size()) {
     return false;
   }
@@ -120,6 +126,9 @@ bool Equals(const GroupGraphPattern& a, const GroupGraphPattern& b) {
   }
   for (size_t i = 0; i < a.optionals.size(); ++i) {
     if (!Equals(a.optionals[i], b.optionals[i])) return false;
+  }
+  for (size_t i = 0; i < a.unions.size(); ++i) {
+    if (!Equals(a.unions[i], b.unions[i])) return false;
   }
   for (size_t i = 0; i < a.subqueries.size(); ++i) {
     if (!Equals(*a.subqueries[i], *b.subqueries[i])) return false;

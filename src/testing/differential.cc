@@ -32,6 +32,10 @@ rdf::Graph BuildGraph(const std::vector<TripleSpec>& triples) {
 }
 
 FuzzCase MakeFuzzCase(uint64_t seed) {
+  return MakeFuzzCase(seed, GenOptions{});
+}
+
+FuzzCase MakeFuzzCase(uint64_t seed, const GenOptions& gen) {
   FuzzCase c;
   c.seed = seed;
   Random root(seed);
@@ -41,7 +45,7 @@ FuzzCase MakeFuzzCase(uint64_t seed) {
   Random query_rng = root.Split(2);
   rdf::Graph graph = GenerateFuzzGraph(c.dataset, &data_rng);
   c.triples = DecodeGraph(graph);
-  c.query = GenerateQuery(SchemaFor(c.dataset), &query_rng);
+  c.query = GenerateQuery(SchemaFor(c.dataset), &query_rng, gen);
   return c;
 }
 

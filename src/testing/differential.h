@@ -10,6 +10,7 @@
 #include "rdf/graph.h"
 #include "rdf/term.h"
 #include "sparql/ast.h"
+#include "testing/query_gen.h"
 
 namespace rapida::difftest {
 
@@ -33,6 +34,12 @@ struct FuzzCase {
 };
 
 FuzzCase MakeFuzzCase(uint64_t seed);
+
+/// As above with explicit generator knobs (e.g. the OPTIONAL/UNION-biased
+/// grammar of `rapida_fuzz --grammar=opt-union`). The same (seed, opts)
+/// pair always yields the same case; the data stream is independent of the
+/// grammar, so a seed's dataset is identical under every grammar.
+FuzzCase MakeFuzzCase(uint64_t seed, const GenOptions& gen);
 
 /// Artificial engine bugs for exercising the harness itself (the shrinker
 /// acceptance test, and `rapida_fuzz --inject`).

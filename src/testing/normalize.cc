@@ -26,7 +26,7 @@ namespace {
 NormalizedCell DecodeCell(rdf::TermId id, const rdf::Dictionary& dict) {
   NormalizedCell cell;
   if (id == rdf::kInvalidTermId) {
-    cell.text = "UNBOUND";
+    cell.is_unbound = true;
     return cell;
   }
   if (auto num = dict.AsNumber(id)) {
@@ -38,10 +38,13 @@ NormalizedCell DecodeCell(rdf::TermId id, const rdf::Dictionary& dict) {
   return cell;
 }
 
-/// Total order for canonical row sorting: numbers before text, numeric by
-/// value, text lexically. (Approximately-equal numbers sort adjacently, so
-/// the pairwise tolerant comparison below still lines rows up.)
+/// Total order for canonical row sorting: unbound before everything, then
+/// numbers before text, numeric by value, text lexically.
+/// (Approximately-equal numbers sort adjacently, so the pairwise tolerant
+/// comparison below still lines rows up.)
 int CompareCell(const NormalizedCell& a, const NormalizedCell& b) {
+  if (a.is_unbound != b.is_unbound) return a.is_unbound ? -1 : 1;
+  if (a.is_unbound) return 0;
   if (a.is_number != b.is_number) return a.is_number ? -1 : 1;
   if (a.is_number) {
     if (a.number < b.number) return -1;
@@ -61,12 +64,15 @@ int CompareRow(const std::vector<NormalizedCell>& a,
 }
 
 bool CellsMatch(const NormalizedCell& a, const NormalizedCell& b) {
+  if (a.is_unbound != b.is_unbound) return false;
+  if (a.is_unbound) return true;
   if (a.is_number != b.is_number) return false;
   if (a.is_number) return ApproxEqual(a.number, b.number);
   return a.text == b.text;
 }
 
 std::string CellToString(const NormalizedCell& c) {
+  if (c.is_unbound) return "UNBOUND";
   if (!c.is_number) return c.text;
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", c.number);
@@ -143,7 +149,9 @@ std::string SerializeNormalized(const NormalizedTable& table) {
     out += "row";
     for (const NormalizedCell& cell : row) {
       out += "\t";
-      if (cell.is_number) {
+      if (cell.is_unbound) {
+        out += "U";
+      } else if (cell.is_number) {
         char buf[40];
         std::snprintf(buf, sizeof(buf), "N%.17g", cell.number);
         out += buf;
@@ -185,7 +193,9 @@ bool ParseNormalized(const std::string& text, NormalizedTable* out) {
     while (fields.Next(&field)) {
       if (field.empty()) return false;
       NormalizedCell cell;
-      if (field[0] == 'N') {
+      if (field[0] == 'U' && field.size() == 1) {
+        cell.is_unbound = true;
+      } else if (field[0] == 'N') {
         cell.is_number = true;
         // strtod wants NUL termination; number fields are tiny, so one
         // short-string copy per numeric cell is the whole cost.

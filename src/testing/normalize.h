@@ -19,7 +19,11 @@ bool ApproxEqual(double a, double b, double rel_tol = 1e-9,
 /// One result cell, decoded out of an engine-specific dictionary. Numeric
 /// literals carry their parsed value (so 5 == 5.0 across datatypes); all
 /// other terms carry their canonical SPARQL text (<iri> or "literal").
+/// An unbound cell (OPTIONAL left a variable without a value) is a
+/// structural state of its own — it never equals any literal, not even ""
+/// — and sorts before every bound cell.
 struct NormalizedCell {
+  bool is_unbound = false;
   bool is_number = false;
   double number = 0;
   std::string text;

@@ -287,7 +287,8 @@ const char* AggShortName(AggFunc f) {
 /// `count_aliases` and all numeric aggregate aliases in `numeric_aliases`.
 std::unique_ptr<SelectQuery> BuildGrouping(
     const VocabSchema& schema, Random* rng, const GroupingPlan& g,
-    int ordinal, std::vector<std::string>* numeric_aliases,
+    const GenOptions& opts, int ordinal,
+    std::vector<std::string>* numeric_aliases,
     std::vector<std::string>* count_aliases) {
   auto q = std::make_unique<SelectQuery>();
   q->where = AssemblePattern(schema, g);
@@ -312,13 +313,162 @@ std::unique_ptr<SelectQuery> BuildGrouping(
     }
   }
 
+  // ---- OPTIONAL tails and UNION arms ----------------------------------
+  // Anchor stars: those whose (renamed) subject actually appears in the
+  // required pattern (a bare star contributes no triples, so its subject
+  // would be unbound and the analyzer would reject the tail/arm).
+  auto nm = [&g](const std::string& base) {
+    return Contains(g.keys, base) ? base : base + g.suffix;
+  };
+  std::set<std::string> bound_subjects;
+  for (const TriplePattern& tp : q->where.triples) {
+    if (tp.s.is_var) bound_subjects.insert(tp.s.var);
+  }
+  std::vector<const BStar*> anchors;
+  for (const BStar& star : g.stars) {
+    if (bound_subjects.count(nm(star.subj)) > 0) anchors.push_back(&star);
+  }
+  std::vector<std::pair<std::string, const SchemaProp*>> opt_numeric;
+  std::vector<std::string> opt_dims;
+  if (!anchors.empty() && rng->NextDouble() < opts.optional_bias) {
+    int num_opt = 1 + static_cast<int>(rng->NextDouble() < 0.25);
+    for (int oi = 0; oi < num_opt; ++oi) {
+      const BStar& star = *anchors[rng->Uniform(anchors.size())];
+      std::vector<const SchemaProp*> pool;
+      for (const SchemaProp& p : star.tmpl->props) pool.push_back(&p);
+      for (size_t i = pool.size(); i > 1; --i) {
+        std::swap(pool[i - 1], pool[rng->Uniform(i)]);
+      }
+      GroupGraphPattern opt;
+      std::vector<std::pair<std::string, const SchemaProp*>> local_numeric;
+      std::set<std::string> named;
+      size_t want = 1 + static_cast<size_t>(rng->NextDouble() < 0.30);
+      for (const SchemaProp* p : pool) {
+        if (opt.triples.size() >= want) break;
+        // The "_opt<i>" marker guarantees freshness against every pattern
+        // variable and every other tail (the analyzer requires optional
+        // object variables to be bound nowhere else).
+        std::string v =
+            LocalName(p->iri) + "_opt" + std::to_string(oi) + g.suffix;
+        if (!named.insert(v).second) continue;
+        TriplePattern tp;
+        tp.s = TermOrVar::Var(nm(star.subj));
+        tp.p = TermOrVar::Const(rdf::Term::Iri(p->iri));
+        tp.o = TermOrVar::Var(v);
+        opt.triples.push_back(std::move(tp));
+        if (p->kind == SchemaProp::Kind::kNumber) {
+          local_numeric.emplace_back(v, p);
+          opt_numeric.emplace_back(v, p);
+        } else {
+          opt_dims.push_back(v);
+        }
+      }
+      if (opt.triples.empty()) continue;
+      if (!local_numeric.empty() && rng->NextDouble() < 0.35) {
+        const auto& mp = local_numeric[rng->Uniform(local_numeric.size())];
+        static const char* kOps[] = {">", ">=", "<", "<="};
+        opt.filters.push_back(Expr::MakeCompare(
+            kOps[rng->Uniform(4)], Expr::MakeVar(mp.first),
+            IntLiteral(
+                rng->UniformRange(static_cast<int64_t>(mp.second->lo),
+                                  static_cast<int64_t>(mp.second->hi)))));
+      }
+      q->where.optionals.push_back(std::move(opt));
+    }
+    // A group-level FILTER over an optional variable: SPARQL evaluates it
+    // after the left joins, so rows where the variable stayed unbound drop.
+    if (!opt_numeric.empty() && rng->NextDouble() < 0.25) {
+      const auto& mp = opt_numeric[rng->Uniform(opt_numeric.size())];
+      static const char* kOps[] = {">", ">=", "<", "<="};
+      q->where.filters.push_back(Expr::MakeCompare(
+          kOps[rng->Uniform(4)], Expr::MakeVar(mp.first),
+          IntLiteral(rng->UniformRange(static_cast<int64_t>(mp.second->lo),
+                                       static_cast<int64_t>(mp.second->hi)))));
+    }
+  }
+  if (!anchors.empty() && rng->NextDouble() < opts.union_bias) {
+    int arms = 2 + static_cast<int>(rng->NextDouble() < 0.25);
+    for (int ai = 0; ai < arms; ++ai) {
+      const BStar& star = *anchors[rng->Uniform(anchors.size())];
+      GroupGraphPattern arm;
+      double pick = rng->NextDouble();
+      std::vector<const SchemaProp*> dim_consts;
+      for (const SchemaProp& p : star.tmpl->props) {
+        if (p.kind == SchemaProp::Kind::kDim && !p.constants.empty()) {
+          dim_consts.push_back(&p);
+        }
+      }
+      if (pick < 0.50 && !dim_consts.empty()) {
+        // Constant-pinned arm: restrict a dimension to one value.
+        const SchemaProp* p = dim_consts[rng->Uniform(dim_consts.size())];
+        TriplePattern tp;
+        tp.s = TermOrVar::Var(nm(star.subj));
+        tp.p = TermOrVar::Const(rdf::Term::Iri(p->iri));
+        tp.o = TermOrVar::Const(rdf::Term::Literal(
+            p->constants[LowBiased(rng, p->constants.size())]));
+        arm.triples.push_back(std::move(tp));
+      } else if (pick < 0.75 && !star.tmpl->types.empty()) {
+        TriplePattern tp;
+        tp.s = TermOrVar::Var(nm(star.subj));
+        tp.p = TermOrVar::Const(rdf::Term::Iri(rdf::kRdfType));
+        tp.o = TermOrVar::Const(rdf::Term::Iri(
+            star.tmpl->types[LowBiased(rng, star.tmpl->types.size())]));
+        arm.triples.push_back(std::move(tp));
+      }
+      if (arm.triples.empty()) {
+        // Fresh-variable arm: require some property, optionally filtered.
+        const SchemaProp& p =
+            star.tmpl->props[rng->Uniform(star.tmpl->props.size())];
+        std::string v =
+            LocalName(p.iri) + "_u" + std::to_string(ai) + g.suffix;
+        TriplePattern tp;
+        tp.s = TermOrVar::Var(nm(star.subj));
+        tp.p = TermOrVar::Const(rdf::Term::Iri(p.iri));
+        tp.o = TermOrVar::Var(v);
+        arm.triples.push_back(std::move(tp));
+        if (p.kind == SchemaProp::Kind::kNumber && rng->NextDouble() < 0.50) {
+          static const char* kOps[] = {">", ">=", "<", "<="};
+          arm.filters.push_back(Expr::MakeCompare(
+              kOps[rng->Uniform(4)], Expr::MakeVar(v),
+              IntLiteral(rng->UniformRange(static_cast<int64_t>(p.lo),
+                                           static_cast<int64_t>(p.hi)))));
+        }
+      }
+      q->where.unions.push_back(std::move(arm));
+    }
+  }
+
   for (const std::string& k : g.keys) {
     q->items.emplace_back(k, nullptr);
     q->group_by.push_back(k);
   }
+  // A NULL-capable group key: grouping by an optional dimension groups the
+  // unmatched rows under the unbound key.
+  if (!opt_dims.empty() && rng->NextDouble() < 0.35) {
+    const std::string& v = opt_dims[rng->Uniform(opt_dims.size())];
+    q->items.emplace_back(v, nullptr);
+    q->group_by.push_back(v);
+  }
 
+  // Aggregate-argument pool: required-pattern and OPTIONAL variables only.
+  // Union-arm fresh variables are bound in just their own branch, and the
+  // analyzer (correctly) rejects aggregating over those.
   std::vector<std::string> pat_vars;
-  q->where.CollectBoundVars(&pat_vars);
+  auto collect_pattern_vars = [&pat_vars](
+                                  const std::vector<TriplePattern>& ts) {
+    for (const TriplePattern& tp : ts) {
+      if (tp.s.is_var && !Contains(pat_vars, tp.s.var)) {
+        pat_vars.push_back(tp.s.var);
+      }
+      if (tp.o.is_var && !Contains(pat_vars, tp.o.var)) {
+        pat_vars.push_back(tp.o.var);
+      }
+    }
+  };
+  collect_pattern_vars(q->where.triples);
+  for (const GroupGraphPattern& opt : q->where.optionals) {
+    collect_pattern_vars(opt.triples);
+  }
   std::string ord = std::to_string(ordinal);
   std::set<AggFunc> used_on_measure;
   std::string count_alias;
@@ -365,6 +515,17 @@ std::unique_ptr<SelectQuery> BuildGrouping(
     q->items.emplace_back(
         alias, MakeAgg(AggFunc::kGroupConcat,
                        Expr::MakeVar(pat_vars[rng->Uniform(pat_vars.size())])));
+  }
+  // An aggregate over an optional variable: unbound cells are skipped, and
+  // a group can be all-unbound. Not registered as a top-level arithmetic
+  // operand (its value can be 0 or unbound).
+  if (!opt_numeric.empty() && rng->NextDouble() < 0.40) {
+    static const AggFunc kOptFuncs[] = {AggFunc::kCount, AggFunc::kSum,
+                                        AggFunc::kMin, AggFunc::kMax};
+    AggFunc f = kOptFuncs[rng->Uniform(4)];
+    const auto& mp = opt_numeric[rng->Uniform(opt_numeric.size())];
+    q->items.emplace_back(std::string("o") + AggShortName(f) + ord,
+                          MakeAgg(f, Expr::MakeVar(mp.first)));
   }
 
   if (!count_alias.empty() && rng->NextDouble() < 0.15) {
@@ -467,7 +628,7 @@ std::unique_ptr<SelectQuery> GenerateQuery(const VocabSchema& schema,
     }
     PruneGrouping(schema, rng, &g);
     for (const std::string& k : g.keys) keys_used.insert(k);
-    groupings.push_back(BuildGrouping(schema, rng, g, i + 1,
+    groupings.push_back(BuildGrouping(schema, rng, g, opts, i + 1,
                                       &numeric_aliases, &count_aliases));
   }
 
@@ -532,11 +693,12 @@ std::unique_ptr<SelectQuery> GenerateQuery(const VocabSchema& schema,
 }
 
 std::unique_ptr<SelectQuery> GenerateAnyQuery(Random* rng,
-                                              std::string* dataset_out) {
+                                              std::string* dataset_out,
+                                              const GenOptions& opts) {
   const std::vector<VocabSchema>& schemas = AllSchemas();
   const VocabSchema& schema = schemas[rng->Uniform(schemas.size())];
   if (dataset_out != nullptr) *dataset_out = schema.dataset;
-  return GenerateQuery(schema, rng);
+  return GenerateQuery(schema, rng, opts);
 }
 
 }  // namespace rapida::difftest

@@ -17,6 +17,16 @@ struct GenOptions {
   int max_groupings = 4;
   int max_stars = 4;
   double multi_grouping_bias = 0.70;  // P(>= 2 groupings)
+  /// P(a grouping carries >= 1 OPTIONAL tail). Tails are single
+  /// subject-rooted stars over fresh variables (the analyzer's left
+  /// star-join form), sometimes with optional-local filters, post-filters
+  /// over optional variables, optional-variable aggregates, and
+  /// NULL-capable group keys.
+  double optional_bias = 0.25;
+  /// P(a grouping's pattern is a UNION chain of 2-3 arms), each arm adding
+  /// constant-pinned, type, or fresh-variable triples to the required
+  /// pattern.
+  double union_bias = 0.15;
 };
 
 /// Generates one valid analytical query over `schema`, deterministically
@@ -32,8 +42,8 @@ std::unique_ptr<sparql::SelectQuery> GenerateQuery(const VocabSchema& schema,
 
 /// Picks a dataset (uniformly among AllSchemas()) and generates a query
 /// for it. `dataset_out` receives the chosen dataset name.
-std::unique_ptr<sparql::SelectQuery> GenerateAnyQuery(Random* rng,
-                                                      std::string* dataset_out);
+std::unique_ptr<sparql::SelectQuery> GenerateAnyQuery(
+    Random* rng, std::string* dataset_out, const GenOptions& opts = {});
 
 }  // namespace rapida::difftest
 

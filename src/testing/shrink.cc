@@ -122,6 +122,82 @@ std::vector<EditFn> EnumerateEdits(const SelectQuery& q) {
         return true;
       });
     }
+    for (size_t oi = 0; oi < g.where.optionals.size(); ++oi) {
+      // Drop the whole OPTIONAL block (aggregates/keys over its variables
+      // make the clone fail analysis, which skips the edit).
+      edits.push_back([gi, oi](SelectQuery* c) {
+        SelectQuery* cg = Groupings(c)[gi];
+        cg->where.optionals.erase(cg->where.optionals.begin() + oi);
+        return true;
+      });
+      const sparql::GroupGraphPattern& opt = g.where.optionals[oi];
+      for (size_t ti = 0; ti < opt.triples.size(); ++ti) {
+        edits.push_back([gi, oi, ti](SelectQuery* c) {
+          sparql::GroupGraphPattern& o =
+              Groupings(c)[gi]->where.optionals[oi];
+          if (o.triples.size() <= 1) return false;
+          o.triples.erase(o.triples.begin() + ti);
+          return true;
+        });
+      }
+      for (size_t fi = 0; fi < opt.filters.size(); ++fi) {
+        edits.push_back([gi, oi, fi](SelectQuery* c) {
+          sparql::GroupGraphPattern& o =
+              Groupings(c)[gi]->where.optionals[oi];
+          o.filters.erase(o.filters.begin() + fi);
+          return true;
+        });
+      }
+    }
+    if (!g.where.unions.empty()) {
+      // Replace the UNION with one arm inlined into the group — the biggest
+      // single-step reduction of a union query. Never leaves a 1-arm UNION
+      // (the printer cannot round-trip one).
+      for (size_t ai = 0; ai < g.where.unions.size(); ++ai) {
+        edits.push_back([gi, ai](SelectQuery* c) {
+          SelectQuery* cg = Groupings(c)[gi];
+          sparql::GroupGraphPattern arm = std::move(cg->where.unions[ai]);
+          cg->where.unions.clear();
+          for (auto& t : arm.triples) {
+            cg->where.triples.push_back(std::move(t));
+          }
+          for (auto& f : arm.filters) {
+            cg->where.filters.push_back(std::move(f));
+          }
+          for (auto& o : arm.optionals) {
+            cg->where.optionals.push_back(std::move(o));
+          }
+          return true;
+        });
+      }
+      if (g.where.unions.size() >= 3) {
+        for (size_t ai = 0; ai < g.where.unions.size(); ++ai) {
+          edits.push_back([gi, ai](SelectQuery* c) {
+            SelectQuery* cg = Groupings(c)[gi];
+            cg->where.unions.erase(cg->where.unions.begin() + ai);
+            return true;
+          });
+        }
+      }
+      for (size_t ai = 0; ai < g.where.unions.size(); ++ai) {
+        const sparql::GroupGraphPattern& arm = g.where.unions[ai];
+        for (size_t ti = 0; ti < arm.triples.size(); ++ti) {
+          edits.push_back([gi, ai, ti](SelectQuery* c) {
+            sparql::GroupGraphPattern& a = Groupings(c)[gi]->where.unions[ai];
+            if (a.triples.size() <= 1) return false;
+            a.triples.erase(a.triples.begin() + ti);
+            return true;
+          });
+        }
+        for (size_t fi = 0; fi < arm.filters.size(); ++fi) {
+          edits.push_back([gi, ai, fi](SelectQuery* c) {
+            sparql::GroupGraphPattern& a = Groupings(c)[gi]->where.unions[ai];
+            a.filters.erase(a.filters.begin() + fi);
+            return true;
+          });
+        }
+      }
+    }
     if (g.having != nullptr) {
       edits.push_back([gi](SelectQuery* c) {
         Groupings(c)[gi]->having = nullptr;

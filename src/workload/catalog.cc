@@ -83,6 +83,42 @@ std::vector<CatalogQuery> BuildCatalog() {
                "avg price per country-feature vs per country (hi)",
                mg34("ProductType10")});
 
+  // MG1 variants exercising the OPTIONAL / UNION surface: MG-OPT groups
+  // by the offers' sparse validFrom date via an OPTIONAL left star-join
+  // (~60% of offers carry no date and group under the UNBOUND key — the
+  // fixture pins that row), MG-UNION draws the detailed grouping's
+  // products from a UNION of two types plus one pinned feature (join
+  // distribution turns each arm into a branch).
+  q.push_back({"MG-OPT", "bsbm",
+               "price stats per (optional) validFrom date vs across ALL",
+               std::string(kBsbmPrefix) + R"(SELECT ?vf ?cntF ?sumF ?cntT ?sumT {
+  { SELECT ?vf (COUNT(?pr2) AS ?cntF) (SUM(?pr2) AS ?sumF) {
+      ?p2 a :ProductType1 . ?p2 :label ?l2 .
+      ?off2 :product ?p2 . ?off2 :price ?pr2 .
+      OPTIONAL { ?off2 :validFrom ?vf }
+    } GROUP BY ?vf }
+  { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+      ?p1 a :ProductType1 . ?p1 :label ?l1 .
+      ?off1 :product ?p1 . ?off1 :price ?pr .
+    } }
+})"});
+
+  q.push_back({"MG-UNION", "bsbm",
+               "price stats per country, products from a 3-arm UNION",
+               std::string(kBsbmPrefix) + R"(SELECT ?c ?cntC ?sumC ?cntT ?sumT {
+  { SELECT ?c (COUNT(?pr2) AS ?cntC) (SUM(?pr2) AS ?sumC) {
+      ?off2 :product ?p2 . ?off2 :price ?pr2 . ?off2 :vendor ?v2 .
+      ?v2 :country ?c .
+      { ?p2 a :ProductType1 }
+      UNION { ?p2 a :ProductType10 }
+      UNION { ?p2 :productFeature :ProductFeature1 }
+    } GROUP BY ?c }
+  { SELECT (COUNT(?pr) AS ?cntT) (SUM(?pr) AS ?sumT) {
+      ?off1 :product ?p1 . ?off1 :price ?pr . ?off1 :vendor ?v1 .
+      ?v1 :country ?c1 .
+    } }
+})"});
+
   q.push_back(
       {"AQ1", "bsbm",
        "per country, feature price ratio vs price across features (Fig. 1)",

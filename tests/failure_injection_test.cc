@@ -134,8 +134,9 @@ TEST(FailureInjectionTest, AnalyzerRejectsOutOfScopeShapes) {
   // DISTINCT aggregates are non-algebraic.
   reject("SELECT (COUNT(DISTINCT ?x) AS ?n) { ?s <p> ?x . }",
          Code::kUnimplemented);
-  // OPTIONAL is outside the optimization scope.
-  reject("SELECT (COUNT(?x) AS ?n) { ?s <p> ?x . OPTIONAL { ?s <q> ?y . } }",
+  // Single-star OPTIONAL is in scope now, but nesting is not.
+  reject("SELECT (COUNT(?x) AS ?n) { ?s <p> ?x . "
+         "OPTIONAL { ?s <q> ?y . OPTIONAL { ?y <r> ?z . } } }",
          Code::kInvalidArgument);
   // Unbound property.
   reject("SELECT (COUNT(?o) AS ?n) { ?s ?p ?o . }", Code::kInvalidArgument);

@@ -132,7 +132,13 @@ std::vector<std::string> AllQueryIds() {
 INSTANTIATE_TEST_SUITE_P(AllQueries, GoldenQueryTest,
                          ::testing::ValuesIn(AllQueryIds()),
                          [](const ::testing::TestParamInfo<std::string>& i) {
-                           return i.param;
+                           // Test names must be identifiers: MG-OPT -> MG_OPT
+                           // (fixture files keep the hyphenated id).
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
                          });
 
 }  // namespace

@@ -71,7 +71,12 @@ std::vector<std::string> AllIds() {
 INSTANTIATE_TEST_SUITE_P(Catalog, PlanPreviewMatchesExecution,
                          ::testing::ValuesIn(AllIds()),
                          [](const ::testing::TestParamInfo<std::string>& i) {
-                           return i.param;
+                           // Test names must be identifiers: MG-OPT -> MG_OPT.
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
                          });
 
 TEST(PlanPreviewTest, ToStringListsSteps) {
