@@ -2,7 +2,13 @@
 # Full check: regular build + all tests, the plan-IR suite (EXPLAIN
 # goldens for the full catalog plus the pass on/off divergence gate), the
 # query-service smoke run (every catalog query byte-identical through the
-# service, cold / hot / 32 concurrent sessions), the 200-seed differential
+# service, cold / hot / 32 concurrent sessions), the materialization-store
+# gates (cold publish then a cross-process warm restart that must answer
+# >= 29/31 catalog queries from the store with zero MapReduce jobs; a
+# mutate-heavy bench appending to BENCH_store.json that must show >= 10x
+# incremental-maintenance advantage; and, under ASan, a corruption
+# injection that bit-flips and truncates artifacts and requires typed
+# quarantine plus clean recompute), the 200-seed differential
 # fuzz corpus plus its service mode (and a scalar-fallback corpus pass
 # with the vectorized-kernels pass forced off), a 100-seed
 # OPTIONAL/UNION-biased corpus (--grammar=opt-union, repeated under
@@ -21,6 +27,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
 
 echo "== regular build + ctest =="
 cmake -B build -S . > /dev/null
@@ -32,6 +40,26 @@ ctest --test-dir build -L plan --output-on-failure -j "$JOBS"
 
 echo "== query service smoke (catalog equivalence, cold/hot/32 sessions) =="
 ./build/examples/rapida_serve --smoke
+
+echo "== materialization store: cold publish -> cross-process warm restart =="
+STORE_DIR="$SCRATCH/store"
+# Cold run: publishes every catalog result as an artifact, then proves an
+# in-process warm restart and the IVM mutate check byte-identical.
+./build/examples/rapida_serve --smoke --store "$STORE_DIR"
+# Second process over the same directory: >= 29/31 catalog queries must be
+# answered from the store (byte-identical, zero MapReduce jobs).
+./build/examples/rapida_serve --smoke --store "$STORE_DIR" --expect-warm
+
+echo "== store bench: incremental maintenance vs full recompute =="
+./build/examples/rapida_serve --bench-store --out BENCH_store.json
+tail -1 BENCH_store.json | python3 -c '
+import json, sys
+r = json.loads(sys.stdin.read())
+s, p = r["speedup"], r["artifacts_patched"]
+assert s >= 10, "IVM speedup %sx < 10x" % s
+assert p > 0, "no artifacts were patched"
+print("store bench OK: %sx, %s patched" % (s, p))
+'
 
 echo "== differential fuzz corpus (200 seeds, 4 engines x 2 thread cfgs) =="
 ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
@@ -56,8 +84,7 @@ echo "== differential fuzz, service mode (caching + batching vs direct) =="
 ./build/examples/rapida_fuzz --service --seeds=50
 
 echo "== perf smoke: Fig. 8(a)+(b) aggregates vs goldens (8 threads) =="
-PERF_TMP="$(mktemp -d)"
-trap 'rm -rf "$PERF_TMP"' EXIT
+PERF_TMP="$SCRATCH/perf"
 for FIG in fig8a fig8b; do
   mkdir -p "$PERF_TMP/$FIG"
   RAPIDA_EXEC_THREADS=8 RAPIDA_BENCH_JSON= RAPIDA_BENCH_CSV="$PERF_TMP/$FIG" \
@@ -72,12 +99,35 @@ done
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-cmake --build build-asan -j "$JOBS" --target rapida_fuzz explain_golden_test
+cmake --build build-asan -j "$JOBS" --target rapida_fuzz explain_golden_test \
+      storage_test rapida_serve
 ./build-asan/examples/rapida_fuzz --seeds=50
 echo "== ASan: OPTIONAL/UNION-biased fuzz (100 seeds) =="
 ./build-asan/examples/rapida_fuzz --grammar=opt-union --seeds=100
 echo "== ASan: EXPLAIN goldens =="
 ./build-asan/tests/explain_golden_test
+
+echo "== ASan: storage suite (artifact recovery, IVM patch equivalence) =="
+./build-asan/tests/storage_test
+
+echo "== ASan: store corruption injection (degrade to recompute, no crash) =="
+ASAN_STORE="$SCRATCH/store-asan"
+./build-asan/examples/rapida_serve --smoke --store "$ASAN_STORE" > /dev/null
+# Bit-flip one artifact and truncate another, then re-run the smoke over
+# the damaged store: the corrupt artifacts must surface as typed DataLoss
+# internally, be quarantined, and every query must still answer correctly
+# from recompute — no crash, no wrong bytes.
+ARTS=("$ASAN_STORE"/*.rapart)
+printf '\xff' | dd of="${ARTS[0]}" bs=1 seek=64 conv=notrunc 2> /dev/null
+truncate -s 17 "${ARTS[1]}"
+CORRUPT_OUT="$SCRATCH/corrupt-run.txt"
+./build-asan/examples/rapida_serve --smoke --store "$ASAN_STORE" \
+    | tee "$CORRUPT_OUT" | tail -2
+grep -q '"corrupt": *[1-9]' "$CORRUPT_OUT" || {
+  echo "corruption gate FAILED: no quarantined artifact reported in the" \
+       "store stats (expected \"corrupt\" >= 1 in the metrics JSON)" >&2
+  exit 1
+}
 
 echo "== ThreadSanitizer build (RAPIDA_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \

@@ -256,11 +256,25 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
     out.having = q.having->Clone();
   }
 
+  // Aggregate-free DISTINCT projections are groupings in disguise:
+  // SELECT DISTINCT ?a ?b { P } is exactly GROUP BY ?a ?b with an empty
+  // aggregation list, so it desugars here and runs on the same group-by
+  // machinery every engine already has.
+  bool has_agg_items = false;
+  for (const SelectItem& item : q.items) {
+    if (item.expr != nullptr) has_agg_items = true;
+  }
+  if (!has_agg_items && out.group_by.empty() && q.distinct) {
+    for (const SelectItem& item : q.items) {
+      out.group_by.push_back(item.name);
+    }
+  }
+
   for (const SelectItem& item : q.items) {
     out.columns.push_back(item.name);
     if (item.expr == nullptr) {
-      if (std::find(q.group_by.begin(), q.group_by.end(), item.name) ==
-          q.group_by.end()) {
+      if (std::find(out.group_by.begin(), out.group_by.end(), item.name) ==
+          out.group_by.end()) {
         return Status::InvalidArgument("projected variable ?" + item.name +
                                        " is not in GROUP BY");
       }
@@ -304,12 +318,29 @@ StatusOr<GroupingSubquery> AnalyzeGrouping(const SelectQuery& q,
     out.aggs.push_back(std::move(agg));
   }
   if (out.aggs.empty()) {
-    return Status::InvalidArgument(
-        "a grouping subquery needs at least one aggregate");
+    if (out.group_by.empty()) {
+      return Status::InvalidArgument(
+          "a grouping subquery needs at least one aggregate (or DISTINCT / "
+          "GROUP BY over the projected variables; multiplicity-preserving "
+          "projections are outside the MapReduce subset — use the "
+          "reference evaluator)");
+    }
+    // A zero-aggregate grouping's rows ARE its group keys, so every group
+    // key must be projected or the engine output schema would not match
+    // the SELECT columns.
+    for (const std::string& v : out.group_by) {
+      if (std::find(out.columns.begin(), out.columns.end(), v) ==
+          out.columns.end()) {
+        return Status::InvalidArgument(
+            "aggregate-free GROUP BY variable ?" + v +
+            " must be projected (the grouping's rows are its keys)");
+      }
+    }
   }
-  // Grouping variables must be bound by the pattern (in every branch, so
-  // group keys never read as unbound in just one UNION arm).
-  for (const std::string& v : q.group_by) {
+  // Grouping variables (explicit or desugared from DISTINCT) must be bound
+  // by the pattern (in every branch, so group keys never read as unbound in
+  // just one UNION arm).
+  for (const std::string& v : out.group_by) {
     if (!is_bound(v)) {
       if (has_union && bound_somewhere(v)) {
         return Status::InvalidArgument("GROUP BY variable ?" + v +

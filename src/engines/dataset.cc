@@ -84,10 +84,60 @@ Status Dataset::EnsureTripleGroups() {
   return Status::OK();
 }
 
-Status Dataset::AddTriples(const std::vector<TripleUpdate>& triples) {
+namespace {
+
+/// FNV-1a over the triple's N-Triples rendering, strengthened with a
+/// splitmix64 finalizer so the XOR-fold across triples doesn't inherit
+/// FNV's weak high bits. Term-rendering-based (not TermId-based) so two
+/// processes loading the same data compute the same hash.
+uint64_t TripleContentHash(const rdf::Dictionary& dict,
+                           const rdf::Triple& t) {
+  std::string rendered = dict.Get(t.s).ToNTriples();
+  rendered += ' ';
+  rendered += dict.Get(t.p).ToNTriples();
+  rendered += ' ';
+  rendered += dict.Get(t.o).ToNTriples();
+  uint64_t h = 14695981039346656037ull;
+  for (char c : rendered) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+uint64_t Dataset::ContentHash() const {
   std::lock_guard<std::mutex> lock(layout_mu_);
+  if (!content_hash_valid_) {
+    uint64_t h = 0x5eed0fc0417ac75full;  // empty-graph sentinel
+    for (const rdf::Triple& t : graph_.triples()) {
+      h ^= TripleContentHash(graph_.dict(), t);
+    }
+    content_hash_ = h;
+    content_hash_valid_ = true;
+  }
+  return content_hash_;
+}
+
+Status Dataset::AddTriples(const std::vector<TripleUpdate>& triples,
+                           std::vector<rdf::Triple>* added) {
+  std::lock_guard<std::mutex> lock(layout_mu_);
+  if (added != nullptr) added->clear();
   for (const TripleUpdate& t : triples) {
+    size_t before = graph_.size();
     graph_.Add(t.s, t.p, t.o);
+    if (graph_.size() == before) continue;  // duplicate of an existing triple
+    const rdf::Triple& fresh = graph_.triples().back();
+    if (added != nullptr) added->push_back(fresh);
+    if (content_hash_valid_) {
+      content_hash_ ^= TripleContentHash(graph_.dict(), fresh);
+    }
   }
   // rdf:type may have been interned by this batch.
   type_id_ = graph_.TypeIdOrInvalid();

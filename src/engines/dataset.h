@@ -76,6 +76,15 @@ class Dataset {
   /// instead of pointer identity.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
+  /// Order-independent 64-bit hash of the graph's triple *set*, folded
+  /// over rendered terms (not TermIds), so two processes loading the same
+  /// data agree — the dataset half of a materialization-store artifact
+  /// key. Unlike version(), which is a process-local epoch, the content
+  /// hash survives restarts. Computed lazily, then maintained
+  /// incrementally by AddTriples (XOR-fold: each actually-added triple
+  /// folds in; duplicate inserts change nothing).
+  uint64_t ContentHash() const;
+
   /// One triple of a mutation batch (decoded form, like the loaders take).
   struct TripleUpdate {
     rdf::Term s, p, o;
@@ -84,7 +93,11 @@ class Dataset {
   /// Appends triples to the graph, bumps version() and drops both
   /// materialized layouts (they are rebuilt lazily on the next query).
   /// Callers must ensure no query is executing against this dataset.
-  Status AddTriples(const std::vector<TripleUpdate>& triples);
+  /// When `added` is non-null it receives the dictionary-encoded triples
+  /// that were actually new (the graph is a set — duplicates of existing
+  /// triples are excluded), i.e. the delta partition of this mutation.
+  Status AddTriples(const std::vector<TripleUpdate>& triples,
+                    std::vector<rdf::Triple>* added = nullptr);
 
   /// DFS file for a property / type partition ("" when the partition is
   /// empty — no subject has it).
@@ -110,6 +123,8 @@ class Dataset {
   /// Guards the lazily-built layout state below (concurrent queries may
   /// race to materialize / look up layout files).
   mutable std::mutex layout_mu_;
+  mutable bool content_hash_valid_ = false;
+  mutable uint64_t content_hash_ = 0;
   bool vp_loaded_ = false;
   bool tg_loaded_ = false;
   std::map<rdf::TermId, std::string> vp_files_;

@@ -1,0 +1,144 @@
+#include "mapreduce/record_io.h"
+
+namespace rapida::mr {
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool ReadU32(std::string_view data, size_t* offset, uint32_t* v) {
+  if (*offset > data.size() || data.size() - *offset < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data[*offset + i]))
+           << (8 * i);
+  }
+  *offset += 4;
+  *v = out;
+  return true;
+}
+
+bool ReadU64(std::string_view data, size_t* offset, uint64_t* v) {
+  if (*offset > data.size() || data.size() - *offset < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data[*offset + i]))
+           << (8 * i);
+  }
+  *offset += 8;
+  *v = out;
+  return true;
+}
+
+void AppendColumnarRecords(const ColumnarRecords& records, std::string* out) {
+  uint64_t key_bytes = 0, value_bytes = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    key_bytes += records.key(i).size();
+    value_bytes += records.value(i).size();
+  }
+  AppendU64(records.size(), out);
+  AppendU64(key_bytes, out);
+  AppendU64(value_bytes, out);
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::string_view key = records.key(i);
+    std::string_view value = records.value(i);
+    AppendU32(static_cast<uint32_t>(key.size()), out);
+    out->append(key);
+    AppendU32(static_cast<uint32_t>(value.size()), out);
+    out->append(value);
+  }
+}
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::DataLoss(std::string("record payload truncated at ") + what);
+}
+
+}  // namespace
+
+Status ParseColumnarRecords(std::string_view data, ColumnarRecords* out) {
+  size_t offset = 0;
+  uint64_t count = 0, key_bytes = 0, value_bytes = 0;
+  if (!ReadU64(data, &offset, &count)) return Truncated("record count");
+  if (!ReadU64(data, &offset, &key_bytes)) return Truncated("key total");
+  if (!ReadU64(data, &offset, &value_bytes)) return Truncated("value total");
+  // Structural sanity before the decode loop: the declared payload cannot
+  // exceed the buffer (each record adds 8 bytes of length framing).
+  uint64_t remaining = data.size() - offset;
+  if (key_bytes + value_bytes + 8 * count != remaining) {
+    return Status::DataLoss(
+        "record payload size mismatch: declared " +
+        std::to_string(key_bytes + value_bytes + 8 * count) +
+        " bytes of records, buffer has " + std::to_string(remaining));
+  }
+  out->Reserve(count, value_bytes);
+  uint64_t seen_keys = 0, seen_values = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t key_len = 0, value_len = 0;
+    if (!ReadU32(data, &offset, &key_len)) return Truncated("key length");
+    if (data.size() - offset < key_len) return Truncated("key bytes");
+    std::string_view key = data.substr(offset, key_len);
+    offset += key_len;
+    if (!ReadU32(data, &offset, &value_len)) return Truncated("value length");
+    if (data.size() - offset < value_len) return Truncated("value bytes");
+    std::string_view value = data.substr(offset, value_len);
+    offset += value_len;
+    out->Append(key, value);
+    seen_keys += key_len;
+    seen_values += value_len;
+  }
+  if (seen_keys != key_bytes || seen_values != value_bytes) {
+    return Status::DataLoss("record payload totals do not match framing");
+  }
+  if (offset != data.size()) {
+    return Status::DataLoss("record payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+void AppendRecordBatch(const RecordBatch& batch, std::string* out) {
+  // Flatten the batch's stores into one record stream.
+  uint64_t count = 0, key_bytes = 0, value_bytes = 0;
+  for (const auto& store : batch.columns) {
+    count += store->size();
+    for (size_t i = 0; i < store->size(); ++i) {
+      key_bytes += store->key(i).size();
+      value_bytes += store->value(i).size();
+    }
+  }
+  AppendU64(count, out);
+  AppendU64(key_bytes, out);
+  AppendU64(value_bytes, out);
+  for (const auto& store : batch.columns) {
+    for (size_t i = 0; i < store->size(); ++i) {
+      std::string_view key = store->key(i);
+      std::string_view value = store->value(i);
+      AppendU32(static_cast<uint32_t>(key.size()), out);
+      out->append(key);
+      AppendU32(static_cast<uint32_t>(value.size()), out);
+      out->append(value);
+    }
+  }
+}
+
+Status ParseRecordBatch(std::string_view data, RecordBatch* out) {
+  auto store = std::make_shared<ColumnarRecords>();
+  RAPIDA_RETURN_IF_ERROR(ParseColumnarRecords(data, store.get()));
+  out->records.clear();
+  out->columns.clear();
+  out->columns.push_back(std::move(store));
+  return Status::OK();
+}
+
+}  // namespace rapida::mr

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <string>
 
+#include "storage/ivm.h"
+
 namespace rapida::plan {
 
 namespace {
@@ -45,7 +47,8 @@ void PassManager::Run(PhysicalPlan* plan) const {
   }
 }
 
-PassManager PassManager::Default(const engine::EngineOptions& options) {
+PassManager PassManager::Default(const engine::EngineOptions& options,
+                                 const analytics::AnalyticalQuery* query) {
   PassManager pm;
 
   const uint64_t threshold = options.map_join_threshold_bytes;
@@ -273,6 +276,28 @@ PassManager PassManager::Default(const engine::EngineOptions& options) {
             n.Info("shared_with", "#" + std::to_string(it->second));
           }
         }
+      }});
+
+  pm.Add(Pass{
+      "ivm-classify", true,
+      [query](PhysicalPlan* plan, bool) {
+        // Advisory: records whether a materialized result of this plan
+        // admits algebraic patching under insert-only deltas. Info-only
+        // (like vectorized-kernels) so fingerprints stay put — the same
+        // classification keys the materialization store's patch-vs-
+        // recompute decision at mutation time.
+        if (plan->nodes.empty()) return;
+        PlanNode& final_node = plan->nodes.back();
+        if (query == nullptr) {
+          final_node.Info("ivm", "none");
+          final_node.Info("ivm_detail",
+                          "shared-scan batch (members classified per "
+                          "artifact)");
+          return;
+        }
+        storage::IvmDecision d = storage::ClassifyMaintainability(*query);
+        final_node.Info("ivm", storage::IvmClassName(d.cls));
+        final_node.Info("ivm_detail", d.detail);
       }});
 
   return pm;

@@ -8,6 +8,10 @@
 #include "engines/engine.h"
 #include "plan/plan.h"
 
+namespace rapida::analytics {
+struct AnalyticalQuery;
+}  // namespace rapida::analytics
+
 namespace rapida::plan {
 
 /// One rewrite/annotation rule over a PhysicalPlan. `run` is always
@@ -48,7 +52,16 @@ class PassManager {
   ///   common-subplan-dedup (always on, advisory)
   ///       structural hashing; annotates nodes whose subtree duplicates an
   ///       earlier one (the composite rewrites realize the sharing)
-  static PassManager Default(const engine::EngineOptions& options);
+  ///   ivm-classify         (always on, advisory)
+  ///       annotates the plan's final node with the query's incremental-
+  ///       maintenance class (storage::ClassifyMaintainability): whether a
+  ///       materialized result of this plan can be patched from an
+  ///       insert-only delta or must be recomputed. Display-only `info` —
+  ///       fingerprints and cycle counts are untouched. `query` is null
+  ///       for multi-query composite-batch plans (members are classified
+  ///       individually when their artifacts are stored).
+  static PassManager Default(const engine::EngineOptions& options,
+                             const analytics::AnalyticalQuery* query = nullptr);
 
  private:
   std::vector<Pass> passes_;

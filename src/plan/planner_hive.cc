@@ -635,7 +635,7 @@ StatusOr<PhysicalPlan> PlanHiveNaive(const AnalyticalQuery& query,
             "final: driver-side projection of the grouping result",
             grouping_ids, "final");
 
-  PassManager::Default(options).Run(&plan);
+  PassManager::Default(options, &query).Run(&plan);
   if (dataset != nullptr) BindHiveNaive(&plan, query);
   return plan;
 }
@@ -719,7 +719,7 @@ StatusOr<PhysicalPlan> PlanHiveMqo(const AnalyticalQuery& query,
             "final: driver-side projection of the grouping result",
             grouping_ids, "final");
 
-  PassManager::Default(options).Run(&plan);
+  PassManager::Default(options, &query).Run(&plan);
   if (dataset != nullptr) BindHiveMqo(&plan, query, st);
   return plan;
 }

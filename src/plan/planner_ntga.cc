@@ -679,7 +679,7 @@ StatusOr<PhysicalPlan> PlanRapidPlus(const AnalyticalQuery& query,
   }
   EmitNtgaFinal(&plan, query, "", agg_ids, "final");
 
-  PassManager::Default(options).Run(&plan);
+  PassManager::Default(options, &query).Run(&plan);
   if (dataset != nullptr) BindRapidPlus(&plan, query);
   return plan;
 }
@@ -806,7 +806,8 @@ StatusOr<PhysicalPlan> PlanCompositeBatch(
         in_ids, "final" + std::to_string(q));
   }
 
-  PassManager::Default(options).Run(&plan);
+  PassManager::Default(options, queries.size() == 1 ? queries[0] : nullptr)
+      .Run(&plan);
   if (dataset != nullptr) {
     auto st = std::make_shared<RaState>();
     st->comp = comp;

@@ -138,10 +138,14 @@ void ResultCache::EvictToFitLocked() {
   }
 }
 
-void ResultCache::InvalidateDataset(const std::string& dataset) {
+ResultCache::Invalidated ResultCache::InvalidateDataset(
+    const std::string& dataset) {
+  Invalidated dropped;
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->dataset == dataset) {
+      dropped.entries++;
+      dropped.bytes += it->bytes;
       bytes_used_ -= it->bytes;
       index_.erase(it->key);
       it = lru_.erase(it);
@@ -149,6 +153,7 @@ void ResultCache::InvalidateDataset(const std::string& dataset) {
       ++it;
     }
   }
+  return dropped;
 }
 
 uint64_t ResultCache::hits() const {

@@ -95,9 +95,17 @@ class ResultCache {
   /// whole budget is not cached.
   void Put(const std::string& key, analytics::BindingTable table);
 
+  /// What a wholesale invalidation actually dropped — surfaced in the
+  /// service metrics so mutation cost is observable, not silent.
+  struct Invalidated {
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+
   /// Drops every entry of `dataset` regardless of version — used on
   /// mutation so stale bytes free immediately instead of aging out.
-  void InvalidateDataset(const std::string& dataset);
+  /// Returns how many entries (and bytes) were dropped.
+  Invalidated InvalidateDataset(const std::string& dataset);
 
   uint64_t hits() const;
   uint64_t misses() const;

@@ -73,6 +73,13 @@ void ServiceMetrics::IncrBatches(uint64_t queries_in_batch) {
   batched_queries_ += queries_in_batch;
 }
 
+void ServiceMetrics::RecordInvalidation(uint64_t entries, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  invalidations_++;
+  invalidated_entries_ += entries;
+  invalidated_bytes_ += bytes;
+}
+
 void ServiceMetrics::RecordQueueDepth(int depth) {
   std::lock_guard<std::mutex> lock(mu_);
   max_queue_depth_ = std::max(max_queue_depth_, depth);
@@ -95,6 +102,12 @@ std::string ServiceMetrics::ToJson() const {
     json += ",\"batches\":" + std::to_string(batches_);
     json += ",\"batched_queries\":" + std::to_string(batched_queries_);
     json += ",\"shared_scan_fallback\":" + std::to_string(shared_scan_fallback_);
+    json += ",\"invalidations\":" + std::to_string(invalidations_);
+    json += ",\"invalidated_entries\":" + std::to_string(invalidated_entries_);
+    json += ",\"invalidated_bytes\":" + std::to_string(invalidated_bytes_);
+    json += ",\"store_hits\":" + std::to_string(store_hits_);
+    json += ",\"store_patched\":" + std::to_string(store_patched_);
+    json += ",\"store_recomputes\":" + std::to_string(store_recomputes_);
     json += ",\"max_queue_depth\":" + std::to_string(max_queue_depth_);
   }
   json += ",\"latency\":" + latency_.ToJson();

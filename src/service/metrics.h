@@ -46,6 +46,15 @@ class ServiceMetrics {
   void IncrBatches(uint64_t queries_in_batch);
   void IncrSharedScanFallback() { Add(&shared_scan_fallback_); }
   void RecordQueueDepth(int depth);
+  /// One mutation's wholesale result-cache invalidation: how many cached
+  /// entries (and bytes) it dropped.
+  void RecordInvalidation(uint64_t entries, uint64_t bytes);
+  /// Query answered from the materialization store (zero MapReduce jobs).
+  void IncrStoreHit() { Add(&store_hits_); }
+  /// Artifact patched algebraically from a mutation delta.
+  void IncrStorePatched() { Add(&store_patched_); }
+  /// Artifact dropped to recompute (non-incrementalizable or patch failed).
+  void IncrStoreRecompute() { Add(&store_recomputes_); }
 
   uint64_t admitted() const { return Get(&admitted_); }
   uint64_t rejected() const { return Get(&rejected_); }
@@ -54,6 +63,12 @@ class ServiceMetrics {
   uint64_t deadline_exceeded() const { return Get(&deadline_exceeded_); }
   uint64_t batches() const { return Get(&batches_); }
   uint64_t batched_queries() const { return Get(&batched_queries_); }
+  uint64_t invalidations() const { return Get(&invalidations_); }
+  uint64_t invalidated_entries() const { return Get(&invalidated_entries_); }
+  uint64_t invalidated_bytes() const { return Get(&invalidated_bytes_); }
+  uint64_t store_hits() const { return Get(&store_hits_); }
+  uint64_t store_patched() const { return Get(&store_patched_); }
+  uint64_t store_recomputes() const { return Get(&store_recomputes_); }
   int max_queue_depth() const;
 
   /// One JSON object with counters, queue stats, and both histograms
@@ -73,6 +88,12 @@ class ServiceMetrics {
   uint64_t batches_ = 0;
   uint64_t batched_queries_ = 0;
   uint64_t shared_scan_fallback_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t invalidated_entries_ = 0;
+  uint64_t invalidated_bytes_ = 0;
+  uint64_t store_hits_ = 0;
+  uint64_t store_patched_ = 0;
+  uint64_t store_recomputes_ = 0;
   int max_queue_depth_ = 0;
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;

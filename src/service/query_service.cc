@@ -9,7 +9,9 @@
 #include "engines/rapid_analytics.h"
 #include "engines/shared_scan.h"
 #include "plan/planner.h"
+#include "rdf/graph_index.h"
 #include "sparql/parser.h"
+#include "storage/ivm.h"
 #include "util/logging.h"
 
 namespace rapida::service {
@@ -60,6 +62,21 @@ QueryService::QueryService(const ServiceOptions& options)
     : options_(options),
       scheduler_(options.cluster),
       result_cache_(options.result_cache_bytes) {
+  if (!options_.store_dir.empty()) {
+    storage::ArtifactStore::Options so;
+    so.dir = options_.store_dir;
+    so.byte_budget = options_.store_byte_budget;
+    StatusOr<std::unique_ptr<storage::ArtifactStore>> opened =
+        storage::ArtifactStore::Open(so);
+    if (opened.ok()) {
+      store_ = std::move(*opened);
+    } else {
+      // A broken store directory degrades to store-less serving; queries
+      // still execute, they just never hit or publish artifacts.
+      RAPIDA_LOG(Warning) << "materialization store disabled: "
+                          << opened.status().ToString();
+    }
+  }
   int workers = std::max(1, options_.workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -174,9 +191,74 @@ Status QueryService::Mutate(
   // Exclusive: waits out every running query on this dataset, and no new
   // one starts until the layouts are dropped and the version is bumped.
   std::unique_lock<std::shared_mutex> exclusive(reg->rw);
-  RAPIDA_RETURN_IF_ERROR(reg->dataset->AddTriples(triples));
-  result_cache_.InvalidateDataset(dataset);
+  uint64_t old_hash = store_ != nullptr ? reg->dataset->ContentHash() : 0;
+  std::vector<rdf::Triple> added;
+  RAPIDA_RETURN_IF_ERROR(reg->dataset->AddTriples(
+      triples, store_ != nullptr ? &added : nullptr));
+  ResultCache::Invalidated dropped = result_cache_.InvalidateDataset(dataset);
+  metrics_.RecordInvalidation(dropped.entries, dropped.bytes);
+  if (store_ != nullptr) {
+    MaintainArtifacts(dataset, reg->dataset, old_hash, std::move(added));
+  }
   return Status::OK();
+}
+
+void QueryService::MaintainArtifacts(const std::string& name,
+                                     engine::Dataset* dataset,
+                                     uint64_t old_hash,
+                                     std::vector<rdf::Triple> added) {
+  uint64_t new_hash = dataset->ContentHash();
+  if (new_hash == old_hash) return;  // every triple was a duplicate
+  std::vector<storage::ArtifactMeta> metas =
+      store_->ListForDataset(name, old_hash);
+  if (metas.empty()) return;
+
+  storage::DeltaPartition delta =
+      storage::DeltaPartition::FromAdded(std::move(added));
+  // One index over the post-mutation graph serves every artifact patch.
+  rdf::GraphIndex index(dataset->graph());
+
+  for (const storage::ArtifactMeta& meta : metas) {
+    storage::IvmClass cls = storage::IvmClassFromName(meta.ivm_class);
+    bool patched = false;
+    if (options_.enable_ivm && cls != storage::IvmClass::kNone) {
+      // The canonical text round-trips through the parser, so a restarted
+      // process can re-analyze an artifact it never planned itself.
+      StatusOr<PlanCache::Entry> entry =
+          plan_cache_.GetOrAnalyze(meta.canonical_query);
+      StatusOr<storage::Artifact> art =
+          entry.ok() ? store_->Get(meta.plan_fingerprint, old_hash)
+                     : StatusOr<storage::Artifact>(entry.status());
+      StatusOr<analytics::BindingTable> base =
+          art.ok() ? storage::DeserializeTable(art->rows, art->meta.columns,
+                                               &dataset->dict())
+                   : StatusOr<analytics::BindingTable>(art.status());
+      StatusOr<analytics::BindingTable> next =
+          base.ok() ? storage::PatchResult(*entry->query, cls, *base, delta,
+                                           index, &dataset->dict())
+                    : std::move(base);
+      if (next.ok()) {
+        storage::Artifact updated;
+        updated.meta = meta;
+        updated.meta.content_hash = new_hash;
+        updated.rows = storage::SerializeTable(*next, dataset->dict());
+        if (store_->Put(updated).ok()) {
+          patched = true;
+          metrics_.IncrStorePatched();
+          if (options_.enable_result_cache) {
+            // The patched table is also the freshest in-memory answer.
+            result_cache_.Put(ResultCache::Key(entry->fingerprint, name,
+                                               dataset->version()),
+                              std::move(*next));
+          }
+        }
+      }
+    }
+    if (!patched) metrics_.IncrStoreRecompute();
+    // The old-generation artifact keys a dataset state that no longer
+    // exists; drop it rather than letting it age out of the budget.
+    store_->Remove(meta.plan_fingerprint, old_hash);
+  }
 }
 
 void QueryService::Shutdown() {
@@ -252,6 +334,62 @@ bool QueryService::TryResultCache(Pending* p) {
   return true;
 }
 
+bool QueryService::TryStore(Pending* p) {
+  if (store_ == nullptr) return false;
+  engine::Dataset* dataset = p->dataset->dataset;
+  uint64_t content_hash = dataset->ContentHash();
+  StatusOr<storage::Artifact> art =
+      store_->Get(p->plan_fingerprint, content_hash);
+  // NotFound is a plain miss; DataLoss means the artifact was quarantined
+  // and Unimplemented that it came from a future format — all three
+  // degrade to recompute, never to a failed query.
+  if (!art.ok()) return false;
+  StatusOr<analytics::BindingTable> table = storage::DeserializeTable(
+      art->rows, art->meta.columns, &dataset->dict());
+  if (!table.ok()) return false;
+  // Queries sharing a plan fingerprint differ only in variable names:
+  // rename the stored canonical columns positionally to this query's own.
+  std::vector<std::string> names = p->plan->TopColumnNames();
+  if (names.size() != table->NumCols()) return false;
+  analytics::BindingTable renamed(std::move(names));
+  renamed.mutable_rows() = std::move(table->mutable_rows());
+
+  if (options_.enable_result_cache) {
+    result_cache_.Put(
+        ResultCache::Key(p->fingerprint, p->spec.dataset, dataset->version()),
+        analytics::BindingTable(renamed));
+  }
+  metrics_.IncrStoreHit();
+  // Zero MapReduce jobs: a store hit never touches the cluster, so its
+  // simulated demand (and scheduler charge) is zero by construction.
+  Response r = MakeResponse(p, std::move(renamed), Clock::now(),
+                            /*sim_seconds=*/0, /*sched_sim_seconds=*/0,
+                            /*batch_size=*/1, /*cache_hit=*/false);
+  r.store_hit = true;
+  p->promise.set_value(std::move(r));
+  return true;
+}
+
+void QueryService::PublishArtifact(Pending* p,
+                                   const analytics::BindingTable& table) {
+  if (store_ == nullptr) return;
+  engine::Dataset* dataset = p->dataset->dataset;
+  storage::Artifact art;
+  art.meta.plan_fingerprint = p->plan_fingerprint;
+  art.meta.content_hash = dataset->ContentHash();
+  art.meta.dataset = p->spec.dataset;
+  art.meta.canonical_query = p->fingerprint;
+  art.meta.ivm_class =
+      storage::IvmClassName(storage::ClassifyMaintainability(*p->plan).cls);
+  art.meta.columns = table.vars();
+  art.rows = storage::SerializeTable(table, dataset->dict());
+  Status st = store_->Put(art);
+  if (!st.ok()) {
+    RAPIDA_LOG(Warning) << "artifact publish failed for "
+                        << art.meta.plan_fingerprint << ": " << st.ToString();
+  }
+}
+
 Response QueryService::MakeResponse(Pending* p,
                                     StatusOr<analytics::BindingTable> result,
                                     Clock::time_point exec_start,
@@ -289,10 +427,14 @@ void QueryService::Serve(std::vector<std::unique_ptr<Pending>> batch) {
   Registered* reg = batch[0]->dataset;
   std::shared_lock<std::shared_mutex> shared(reg->rw);
 
-  // Result-cache probes under the now-stable version.
+  // Result-cache probes under the now-stable version, then store probes
+  // under the now-stable content hash (the cache is cheaper: no disk read,
+  // no re-interning).
   std::vector<std::unique_ptr<Pending>> remaining;
   for (auto& p : batch) {
-    if (!TryResultCache(p.get())) remaining.push_back(std::move(p));
+    if (!TryResultCache(p.get()) && !TryStore(p.get())) {
+      remaining.push_back(std::move(p));
+    }
   }
   if (remaining.empty()) return;
   if (remaining.size() == 1) {
@@ -319,10 +461,13 @@ void QueryService::ServeSolo(Pending* p) {
   StatusOr<analytics::BindingTable> result =
       engine.Execute(*p->plan, dataset, &cluster, &stats);
 
-  if (result.ok() && options_.enable_result_cache) {
-    result_cache_.Put(
-        ResultCache::Key(p->fingerprint, p->spec.dataset, version),
-        analytics::BindingTable(*result));
+  if (result.ok()) {
+    if (options_.enable_result_cache) {
+      result_cache_.Put(
+          ResultCache::Key(p->fingerprint, p->spec.dataset, version),
+          analytics::BindingTable(*result));
+    }
+    PublishArtifact(p, *result);
   }
   Response r = MakeResponse(p, std::move(result), exec_start,
                             stats.workflow.TotalSimSeconds(),
@@ -439,10 +584,14 @@ void QueryService::ServeBatch(std::vector<std::unique_ptr<Pending>>* batch) {
     for (size_t k = 0; k < group.size(); ++k) {
       size_t i = group[k];
       StatusOr<analytics::BindingTable> leader_result = std::move(results[k]);
-      if (leader_result.ok() && options_.enable_result_cache) {
-        result_cache_.Put(ResultCache::Key(leaders[i]->fingerprint,
-                                           leaders[i]->spec.dataset, version),
-                          analytics::BindingTable(*leader_result));
+      if (leader_result.ok()) {
+        if (options_.enable_result_cache) {
+          result_cache_.Put(
+              ResultCache::Key(leaders[i]->fingerprint,
+                               leaders[i]->spec.dataset, version),
+              analytics::BindingTable(*leader_result));
+        }
+        PublishArtifact(leaders[i], *leader_result);
       }
       for (Pending* f : followers[i]) {
         StatusOr<analytics::BindingTable> copy =
@@ -480,6 +629,9 @@ std::string QueryService::MetricsJson() const {
           ",\"bytes_used\":" + std::to_string(result_cache_.bytes_used()) +
           ",\"byte_budget\":" + std::to_string(result_cache_.byte_budget()) +
           "}";
+  if (store_ != nullptr) {
+    json += ",\"store\":" + store_->StatsJson();
+  }
   json += ",\"sessions\":[";
   std::vector<JobScheduler::SessionStats> sessions = scheduler_.AllStats();
   for (size_t i = 0; i < sessions.size(); ++i) {

@@ -21,6 +21,7 @@
 #include "service/cache.h"
 #include "service/metrics.h"
 #include "service/scheduler.h"
+#include "storage/artifact_store.h"
 #include "util/statusor.h"
 
 namespace rapida::service {
@@ -46,6 +47,19 @@ struct ServiceOptions {
   /// How long a worker holding one query lingers for companions to arrive
   /// before executing solo. 0 = only batch what is already queued.
   double batch_window_ms = 0;
+  /// Materialization-store directory; empty = no persistent store. With a
+  /// store, every successful execution publishes its result as an artifact
+  /// keyed on (plan fingerprint, dataset content hash), and queries probe
+  /// the store before spinning up a cluster — a warm hit costs zero
+  /// MapReduce jobs and survives process restarts.
+  std::string store_dir;
+  /// Artifact-store byte budget (0 = unlimited).
+  uint64_t store_byte_budget = 256ull * 1024 * 1024;
+  /// Incremental view maintenance: on Mutate, patch patchable artifacts
+  /// (COUNT/SUM/MIN/MAX group-aggregates, DISTINCT extractions, append-
+  /// able projections) from the delta instead of dropping them. When off,
+  /// every artifact of the mutated dataset falls back to recompute.
+  bool enable_ivm = true;
 };
 
 /// One query request.
@@ -67,6 +81,9 @@ struct Response {
   /// queries that differ only in surface text (plan-cache level-2 key).
   std::string plan_fingerprint;
   bool result_cache_hit = false;
+  /// Served from the persistent materialization store (zero MapReduce
+  /// jobs; sim_seconds = 0).
+  bool store_hit = false;
   size_t batch_size = 1;        // >1: served by a shared composite scan
   double queue_wait_s = 0;      // admission to execution start (wall)
   double exec_wall_s = 0;       // host execution time
@@ -137,6 +154,8 @@ class QueryService {
   ServiceMetrics& metrics() { return metrics_; }
   PlanCache& plan_cache() { return plan_cache_; }
   ResultCache& result_cache() { return result_cache_; }
+  /// Null when ServiceOptions::store_dir is empty (or the open failed).
+  storage::ArtifactStore* store() { return store_.get(); }
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -178,12 +197,26 @@ class QueryService {
                         size_t batch_size, bool cache_hit);
   /// Result-cache probe under the dataset's current version.
   bool TryResultCache(Pending* p);
+  /// Materialization-store probe under the dataset's current content hash:
+  /// on a hit the stored rows are deserialized, positionally renamed to
+  /// the probing query's column names, and served with zero MapReduce
+  /// jobs. Corrupt or version-skewed artifacts degrade to a miss.
+  bool TryStore(Pending* p);
+  /// Publishes a successful execution's result as a store artifact, with
+  /// its maintainability classification frozen into the meta.
+  void PublishArtifact(Pending* p, const analytics::BindingTable& table);
+  /// Post-mutation artifact maintenance: patches every patchable artifact
+  /// of the dataset from the delta (re-keying it under the new content
+  /// hash) and drops the rest to recompute.
+  void MaintainArtifacts(const std::string& name, engine::Dataset* dataset,
+                         uint64_t old_hash, std::vector<rdf::Triple> added);
 
   const ServiceOptions options_;
   JobScheduler scheduler_;
   PlanCache plan_cache_;
   ResultCache result_cache_;
   ServiceMetrics metrics_;
+  std::unique_ptr<storage::ArtifactStore> store_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,88 @@
+#ifndef RAPIDA_STORAGE_IVM_H_
+#define RAPIDA_STORAGE_IVM_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analytics/analytical_query.h"
+#include "analytics/binding.h"
+#include "rdf/graph_index.h"
+#include "rdf/triple.h"
+#include "util/statusor.h"
+
+namespace rapida::storage {
+
+/// How a materialized result can be maintained under an insert-only delta.
+///
+///   kGroupAgg  — COUNT/SUM/MIN/MAX group-aggregates: delta matches are
+///                aggregated and merged algebraically into the stored
+///                groups (COUNT/SUM add, MIN/MAX compare; all idempotent
+///                or additive under insert-only deltas).
+///   kDistinct  — DISTINCT extractions: delta rows union in, dedup.
+///   kAppend    — plain projections (union-able composite-pattern
+///                results): delta rows append with multiplicity.
+///   kNone      — the algebra does not admit patching (AVG and friends,
+///                HAVING, solution modifiers, multi-grouping final joins,
+///                OPTIONAL/UNION patterns); fall back to recompute.
+enum class IvmClass { kNone, kAppend, kDistinct, kGroupAgg };
+
+const char* IvmClassName(IvmClass cls);
+IvmClass IvmClassFromName(const std::string& name);
+
+struct IvmDecision {
+  IvmClass cls = IvmClass::kNone;
+  /// For kNone: the construct that defeats maintenance; otherwise a short
+  /// description of the patch strategy. Surfaced in EXPLAIN.
+  std::string detail;
+};
+
+/// Decides whether (and how) a query's materialized result can be patched
+/// from an insert-only delta instead of recomputed. Conservative: anything
+/// outside the provably-patchable algebra classifies kNone.
+IvmDecision ClassifyMaintainability(const analytics::AnalyticalQuery& query);
+
+/// An insert-only mutation delta in dictionary-encoded form: the triples
+/// that were actually added (duplicates of existing triples excluded) plus
+/// derived lookup sets.
+struct DeltaPartition {
+  std::vector<rdf::Triple> added;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> triples;
+  std::unordered_set<rdf::TermId> subjects;
+
+  bool empty() const { return added.empty(); }
+
+  static DeltaPartition FromAdded(std::vector<rdf::Triple> added_triples) {
+    DeltaPartition d;
+    d.added = std::move(added_triples);
+    for (const rdf::Triple& t : d.added) {
+      d.triples.insert(t);
+      d.subjects.insert(t.s);
+    }
+    return d;
+  }
+};
+
+/// Patches `base` — the query's materialized result against the
+/// pre-mutation graph — into the post-mutation result, using the
+/// *post-mutation* graph index and the delta partition.
+///
+/// Delta matches are enumerated without double counting by pivot
+/// partitioning over the pattern's stars: a full match is new iff at least
+/// one star binding uses a delta triple, and every new match is counted
+/// exactly once under its first star (in pattern order) with a new
+/// binding — stars before the pivot bind old-only, the pivot binds
+/// new-only (rooted at delta subjects), stars after bind anything.
+///
+/// `cls` must be a patchable class for `query` (the caller stores the
+/// classification with the artifact). Structural mismatches (e.g. a stored
+/// schema that no longer matches the query) return Internal; the caller
+/// treats any failure as "recompute".
+StatusOr<analytics::BindingTable> PatchResult(
+    const analytics::AnalyticalQuery& query, IvmClass cls,
+    const analytics::BindingTable& base, const DeltaPartition& delta,
+    const rdf::GraphIndex& index, rdf::Dictionary* dict);
+
+}  // namespace rapida::storage
+
+#endif  // RAPIDA_STORAGE_IVM_H_

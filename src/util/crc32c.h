@@ -1,0 +1,24 @@
+#ifndef RAPIDA_UTIL_CRC32C_H_
+#define RAPIDA_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rapida::util {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum used for artifact page integrity in the materialization store.
+/// Table-driven, byte at a time; plenty for the store's page sizes, and the
+/// polynomial's error-detection properties are what matter, not throughput.
+///
+/// Streaming: Crc32c(data) == Crc32cExtend(Crc32cExtend(0, a), b) for any
+/// split data == a + b, so large payloads can be checksummed in chunks.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+}  // namespace rapida::util
+
+#endif  // RAPIDA_UTIL_CRC32C_H_

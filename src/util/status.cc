@@ -26,6 +26,8 @@ const char* CodeName(Code code) {
       return "DeadlineExceeded";
     case Code::kUnavailable:
       return "Unavailable";
+    case Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -21,6 +21,10 @@ enum class Code {
   kParseError,
   kDeadlineExceeded,
   kUnavailable,
+  /// Unrecoverable corruption of stored data (truncated / bit-flipped /
+  /// checksum-failed artifacts). Callers treat it as "recompute, don't
+  /// trust the bytes" — never as a crash.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for an error code ("InvalidArgument", ...).
@@ -75,6 +79,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

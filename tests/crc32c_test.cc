@@ -1,0 +1,46 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rapida::util {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The classic CRC-32C check value (RFC 3720 appendix / every Castagnoli
+  // implementation): crc32c("123456789") == 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // 32 zero bytes, another standard vector.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32cTest, StreamingExtendMatchesOneShot) {
+  const std::string data = "content-addressed artifact payload bytes";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, std::string_view(data).substr(0, split));
+    crc = Crc32cExtend(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsBitFlips) {
+  std::string data(256, 'a');
+  uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); i += 17) {
+    std::string corrupted = data;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x40);
+    EXPECT_NE(Crc32c(corrupted), clean) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32cTest, OrderSensitive) {
+  EXPECT_NE(Crc32c("ab"), Crc32c("ba"));
+}
+
+}  // namespace
+}  // namespace rapida::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <future>
 #include <map>
 #include <string>
@@ -186,6 +187,192 @@ TEST(ServiceTest, ResultCacheInvalidatedByMutation) {
 
   // Unknown dataset: typed error.
   EXPECT_EQ(svc.Mutate("nope", {}).code(), Code::kNotFound);
+}
+
+analytics::BindingTable MakeTable(int rows) {
+  analytics::BindingTable t({"a", "b"});
+  for (int i = 0; i < rows; ++i) {
+    t.AddRow({static_cast<rdf::TermId>(i + 1), static_cast<rdf::TermId>(i + 2)});
+  }
+  return t;
+}
+
+/// Measures one MakeTable(rows) entry's charged bytes via a throwaway
+/// unlimited cache (TableBytes is an implementation detail).
+uint64_t OneEntryBytes(int rows) {
+  ResultCache probe(/*byte_budget=*/1ull << 30);
+  probe.Put("probe", MakeTable(rows));
+  return probe.bytes_used();
+}
+
+TEST(ResultCacheTest, EntryLargerThanBudgetIsNotCached) {
+  uint64_t one = OneEntryBytes(64);
+  ResultCache cache(one / 2);
+  cache.Put("big", MakeTable(64));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  // Rejecting an oversized entry is not an eviction — nothing was evicted.
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // A smaller entry still fits afterwards: the oversize Put left no debris.
+  ResultCache probe(1ull << 30);
+  probe.Put("p", MakeTable(1));
+  if (probe.bytes_used() <= one / 2) {
+    cache.Put("small", MakeTable(1));
+    EXPECT_NE(cache.Get("small"), nullptr);
+  }
+}
+
+TEST(ResultCacheTest, ZeroBudgetCachesNothing) {
+  ResultCache cache(0);
+  cache.Put("k", MakeTable(1));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(ResultCacheTest, LruEvictionOrderAcrossMixedVersions) {
+  // Same fingerprint cached under two dataset versions plus a second
+  // fingerprint — three equal-size entries, budget for two.
+  uint64_t one = OneEntryBytes(8);
+  ResultCache cache(2 * one + one / 2);
+  std::string a = ResultCache::Key("fp1", "ds", 0);
+  std::string b = ResultCache::Key("fp1", "ds", 1);
+  std::string c = ResultCache::Key("fp2", "ds", 1);
+  cache.Put(a, MakeTable(8));
+  cache.Put(b, MakeTable(8));
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch `a`: it becomes MRU, so the stale-version entry `b` is the
+  // LRU victim when `c` arrives.
+  EXPECT_NE(cache.Get(a), nullptr);
+  cache.Put(c, MakeTable(8));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(b), nullptr);
+  EXPECT_NE(cache.Get(a), nullptr);
+  EXPECT_NE(cache.Get(c), nullptr);
+  EXPECT_LE(cache.bytes_used(), cache.byte_budget());
+}
+
+TEST(ResultCacheTest, InvalidateDatasetReportsWhatItDropped) {
+  ResultCache cache(1ull << 30);
+  cache.Put(ResultCache::Key("fp1", "ds", 0), MakeTable(4));
+  cache.Put(ResultCache::Key("fp1", "ds", 1), MakeTable(4));
+  cache.Put(ResultCache::Key("fp1", "other", 0), MakeTable(4));
+  uint64_t before = cache.bytes_used();
+
+  ResultCache::Invalidated dropped = cache.InvalidateDataset("ds");
+  EXPECT_EQ(dropped.entries, 2u);
+  EXPECT_GT(dropped.bytes, 0u);
+  EXPECT_EQ(cache.bytes_used(), before - dropped.bytes);
+  EXPECT_EQ(cache.Get(ResultCache::Key("fp1", "ds", 0)), nullptr);
+  EXPECT_NE(cache.Get(ResultCache::Key("fp1", "other", 0)), nullptr);
+
+  ResultCache::Invalidated none = cache.InvalidateDataset("ds");
+  EXPECT_EQ(none.entries, 0u);
+  EXPECT_EQ(none.bytes, 0u);
+}
+
+TEST(ServiceTest, MutationMetricsCountInvalidations) {
+  engine::Dataset dataset(BuildMiniGraph());
+  QueryService svc(SmallOptions());
+  svc.RegisterDataset("mini", &dataset);
+  int session = svc.OpenSession("t");
+
+  ASSERT_TRUE(
+      svc.Execute(session, QuerySpec{kSumByFeature, "mini"}).result.ok());
+  ASSERT_TRUE(svc.Mutate("mini", {{rdf::Term::Iri("o9"),
+                                   rdf::Term::Iri("product"),
+                                   rdf::Term::Iri("p1")}})
+                  .ok());
+  EXPECT_EQ(svc.metrics().invalidations(), 1u);
+  EXPECT_GE(svc.metrics().invalidated_entries(), 1u);
+  EXPECT_GT(svc.metrics().invalidated_bytes(), 0u);
+  EXPECT_NE(svc.MetricsJson().find("\"invalidated_entries\""),
+            std::string::npos);
+}
+
+std::string StoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "rapida_service_store_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+TEST(ServiceTest, StoreServesAcrossServiceInstances) {
+  ServiceOptions opts = SmallOptions();
+  opts.store_dir = StoreDir("restart");
+
+  std::vector<std::string> expected;
+  {
+    engine::Dataset dataset(BuildMiniGraph());
+    QueryService svc(opts);
+    svc.RegisterDataset("mini", &dataset);
+    int session = svc.OpenSession("t");
+    Response cold = svc.Execute(session, QuerySpec{kSumByFeature, "mini"});
+    ASSERT_TRUE(cold.result.ok()) << cold.result.status();
+    EXPECT_FALSE(cold.store_hit);
+    expected = cold.result->ToSortedStrings(dataset.dict());
+    ASSERT_NE(svc.store(), nullptr);
+    EXPECT_GE(svc.store()->stats().puts, 1u);
+  }
+
+  // A new service over a *fresh* dataset built from the same triples: the
+  // content hash matches, so the artifact serves with zero MapReduce jobs.
+  engine::Dataset dataset(BuildMiniGraph());
+  QueryService svc(opts);
+  svc.RegisterDataset("mini", &dataset);
+  int session = svc.OpenSession("t");
+  Response warm = svc.Execute(session, QuerySpec{kSumByFeature, "mini"});
+  ASSERT_TRUE(warm.result.ok()) << warm.result.status();
+  EXPECT_TRUE(warm.store_hit);
+  EXPECT_EQ(warm.sim_seconds, 0);
+  EXPECT_EQ(warm.result->ToSortedStrings(dataset.dict()), expected);
+  EXPECT_GE(svc.metrics().store_hits(), 1u);
+}
+
+TEST(ServiceTest, MutateMaintainsStoreArtifactsIncrementally) {
+  ServiceOptions opts = SmallOptions();
+  opts.store_dir = StoreDir("ivm");
+
+  std::vector<engine::Dataset::TripleUpdate> delta = {
+      {rdf::Term::Iri("o9"), rdf::Term::Iri("product"), rdf::Term::Iri("p1")},
+      {rdf::Term::Iri("o9"), rdf::Term::Iri("price"),
+       rdf::Term::Literal("1000", rdf::kXsdInteger)}};
+
+  {
+    engine::Dataset dataset(BuildMiniGraph());
+    QueryService svc(opts);
+    svc.RegisterDataset("mini", &dataset);
+    int session = svc.OpenSession("t");
+    ASSERT_TRUE(
+        svc.Execute(session, QuerySpec{kSumByFeature, "mini"}).result.ok());
+
+    // The mutation patches the group-aggregate artifact in place (COUNT and
+    // SUM merge) instead of recomputing, and the patched rows answer the
+    // next execution without a cluster.
+    ASSERT_TRUE(svc.Mutate("mini", delta).ok());
+    EXPECT_GE(svc.metrics().store_patched(), 1u);
+    Response after = svc.Execute(session, QuerySpec{kSumByFeature, "mini"});
+    ASSERT_TRUE(after.result.ok()) << after.result.status();
+    EXPECT_TRUE(after.result_cache_hit || after.store_hit);
+    EXPECT_EQ(after.result->ToSortedStrings(dataset.dict()),
+              DirectResult(kSumByFeature, &dataset));
+  }
+
+  // Cross-restart: a fresh dataset with the delta already applied lands on
+  // the *patched* artifact's content hash and serves from the store.
+  rdf::Graph mutated = BuildMiniGraph();
+  mutated.AddIri("o9", "product", "p1");
+  mutated.AddInt("o9", "price", 1000);
+  engine::Dataset dataset(std::move(mutated));
+  QueryService svc(opts);
+  svc.RegisterDataset("mini", &dataset);
+  int session = svc.OpenSession("t");
+  Response warm = svc.Execute(session, QuerySpec{kSumByFeature, "mini"});
+  ASSERT_TRUE(warm.result.ok()) << warm.result.status();
+  EXPECT_TRUE(warm.store_hit);
+  EXPECT_EQ(warm.result->ToSortedStrings(dataset.dict()),
+            DirectResult(kSumByFeature, &dataset));
 }
 
 TEST(ServiceTest, DeadlineExceededCancelsMidJob) {

@@ -30,6 +30,11 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), Code::kInternal);
   EXPECT_EQ(Status::ResourceExhausted("x").code(), Code::kResourceExhausted);
   EXPECT_EQ(Status::ParseError("x").code(), Code::kParseError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), Code::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), Code::kDataLoss);
+  EXPECT_EQ(Status::DataLoss("bits rotted").ToString(),
+            "DataLoss: bits rotted");
 }
 
 TEST(StatusTest, Equality) {
