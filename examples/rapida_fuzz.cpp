@@ -16,6 +16,11 @@
 //   rapida_fuzz --no-kernels         # force the vectorized-kernels pass
 //                                    # off (scalar operators); run both
 //                                    # ways to cross-check the kernels
+//   rapida_fuzz --shards=4           # additionally run every engine on a
+//                                    # 4-shard data plane (both placement
+//                                    # schemes), cross-checking results +
+//                                    # cycle/shuffle counters against the
+//                                    # unsharded baseline (comma list ok)
 //   rapida_fuzz --grammar=opt-union  # bias the query generator hard
 //                                    # toward OPTIONAL tails and UNION
 //                                    # chains (default grammar includes
@@ -50,6 +55,7 @@ struct Args {
   bool shrink = false;
   bool verbose = false;
   std::vector<int> threads = {1, 8};
+  std::vector<int> shards;
   FaultKind fault = FaultKind::kNone;
   bool service = false;
   bool no_kernels = false;
@@ -81,6 +87,14 @@ bool ParseArgs(int argc, char** argv, Args* out) {
         std::fprintf(stderr, "unknown --grammar: %s\n", a + 10);
         return false;
       }
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      for (const char* p = a + 9; *p != '\0';) {
+        out->shards.push_back(std::atoi(p));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+      if (out->shards.empty()) return false;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       out->threads.clear();
       for (const char* p = a + 10; *p != '\0';) {
@@ -170,6 +184,7 @@ int main(int argc, char** argv) {
   opts.fault = args.fault;
   if (args.fault != FaultKind::kNone) opts.fault_engine = "RAPIDAnalytics";
   opts.engine_options.vectorized_kernels = !args.no_kernels;
+  opts.shard_counts = args.shards;
 
   if (args.one_seed >= 0) {
     return RunSeed(static_cast<uint64_t>(args.one_seed), args, opts) ? 0 : 1;

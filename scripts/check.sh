@@ -20,7 +20,15 @@
 # running the concurrency-sensitive suites (the parallel MapReduce
 # runtime — including the ValueSpan reduce-mode matrix in mapreduce_test —
 # the batch-kernel byte-identity matrix in kernels_test, the engines on
-# top of it, and the 32-session service stress).
+# top of it, the sharded data plane in shard_test — stressed across
+# shards {1,2,4} x threads {1,8} — and the 32-session service stress).
+# The sharded data plane adds its own gates: a sharded pass over the fuzz
+# corpus (every engine at 4 shards, both placement schemes, cross-checked
+# against the unsharded baseline), a sharded serve smoke, and a perf
+# smoke running bench_shard (BENCH_shard.json must show byte-identical
+# results at every shard count, >= 3x speedup at 8 shards on fig8a, and
+# strictly fewer cross-shard bytes under the locality scheme than under
+# hash-by-subject on fig8a).
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -40,6 +48,9 @@ ctest --test-dir build -L plan --output-on-failure -j "$JOBS"
 
 echo "== query service smoke (catalog equivalence, cold/hot/32 sessions) =="
 ./build/examples/rapida_serve --smoke
+
+echo "== query service smoke, sharded data plane (4 shards, locality) =="
+./build/examples/rapida_serve --smoke --shards=4 --scheme=locality
 
 echo "== materialization store: cold publish -> cross-process warm restart =="
 STORE_DIR="$SCRATCH/store"
@@ -66,6 +77,12 @@ ctest --test-dir build -C fuzz -R rapida_fuzz_corpus --output-on-failure
 
 echo "== differential fuzz corpus, scalar fallback (--no-kernels) =="
 ./build/examples/rapida_fuzz --seeds=200 --no-kernels
+
+echo "== differential fuzz corpus, sharded data plane (4 shards) =="
+# Every engine additionally runs at 4 shards under both placement schemes;
+# each sharded run must match the reference result AND the unsharded
+# baseline's cycle count and total shuffled bytes.
+./build/examples/rapida_fuzz --seeds=200 --shards=4
 
 echo "== differential fuzz, OPTIONAL/UNION-biased grammar (100 seeds) =="
 ./build/examples/rapida_fuzz --grammar=opt-union --seeds=100
@@ -95,6 +112,36 @@ for FIG in fig8a fig8b; do
     exit 1
   }
 done
+
+echo "== perf smoke: shard scale-out sweep (BENCH_shard.json gates) =="
+# bench_shard exits nonzero on any byte-identity violation; the JSON gates
+# below additionally pin the scale-out and locality claims on fig8a.
+./build/bench/bench_shard > /dev/null
+python3 - <<'EOF'
+import json
+
+rows = [json.loads(l) for l in open("BENCH_shard.json") if l.strip()]
+assert rows, "BENCH_shard.json is empty"
+bad = [r for r in rows if not r["identical"]]
+assert not bad, "sharded results diverged from unsharded: %s" % bad
+
+fig8a = [r for r in rows if r["bench"] == "fig8a"]
+base = sum(r["sim_seconds"] for r in fig8a if r["shards"] == 1)
+best8 = sum(r["sim_seconds"] for r in fig8a
+            if r["shards"] == 8 and r["scheme"] == "locality")
+speedup = base / best8
+assert speedup >= 3.0, "fig8a speedup at 8 shards %.2fx < 3x" % speedup
+
+hash_cross = sum(r["cross_bytes"] for r in fig8a
+                 if r["shards"] > 1 and r["scheme"] == "hash-subject")
+loc_cross = sum(r["cross_bytes"] for r in fig8a
+                if r["shards"] > 1 and r["scheme"] == "locality")
+assert loc_cross < hash_cross, (
+    "locality cross-shard bytes %d not < hash-subject %d"
+    % (loc_cross, hash_cross))
+print("shard bench OK: %.2fx at 8 shards, locality cross %d < hash %d"
+      % (speedup, loc_cross, hash_cross))
+EOF
 
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
@@ -134,7 +181,7 @@ cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
       thread_pool_test mapreduce_test kernels_test engines_test \
-      service_stress_test
+      shard_test service_stress_test
 
 echo "== TSan: thread_pool_test =="
 ./build-tsan/tests/thread_pool_test
@@ -144,6 +191,8 @@ echo "== TSan: kernels_test (batch kernels x exec_threads x combine) =="
 ./build-tsan/tests/kernels_test
 echo "== TSan: engines_test =="
 ./build-tsan/tests/engines_test
+echo "== TSan: shard_test (channel stress + shards {1,2,4} x threads {1,8}) =="
+./build-tsan/tests/shard_test
 echo "== TSan: service_stress_test (32 sessions + concurrent mutations) =="
 ./build-tsan/tests/service_stress_test
 

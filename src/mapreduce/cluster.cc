@@ -80,6 +80,9 @@ ValueSpan SpanValues(const std::vector<Record>& records,
 /// One mapper's private results, merged into JobStats at the map barrier.
 struct MapTaskResult {
   std::vector<Record> output;  // map-only jobs: this task's final records
+  /// Sharded map-only jobs: home shard of each `output` record (parallel
+  /// array), for per-shard output segments.
+  std::vector<int> output_homes;
   /// Columnar stores backing every record this task still exposes (its
   /// shuffle chunks or, for map-only jobs, `output`). Kept alive until
   /// the job's output is written.
@@ -88,6 +91,8 @@ struct MapTaskResult {
   uint64_t map_output_bytes = 0;
   uint64_t shuffle_records = 0;  // post-combine
   uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_local_bytes = 0;  // sharded: stayed on home shard
+  uint64_t shuffle_cross_bytes = 0;  // sharded: crossed a channel edge
 };
 
 /// One shuffle partition while mappers are filling it: chunks of records
@@ -102,7 +107,16 @@ struct ShufflePartition {
 }  // namespace
 
 Cluster::Cluster(const ClusterConfig& config, Dfs* dfs)
-    : config_(config), dfs_(dfs) {}
+    : config_(config), dfs_(dfs) {
+  if (config_.num_shards > 1) {
+    shards_.reserve(static_cast<size_t>(config_.num_shards));
+    for (int s = 0; s < config_.num_shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Shard>(s, config_.num_shards, config_.sharding));
+    }
+    channel_ = std::make_unique<ShardChannel>(config_.num_shards);
+  }
+}
 
 Cluster::~Cluster() = default;
 
@@ -122,11 +136,25 @@ util::ThreadPool* Cluster::pool() {
 void Cluster::ResetHistory() {
   std::lock_guard<std::mutex> lock(mu_);
   history_.clear();
+  for (auto& shard : shards_) shard->Reset();
+  if (channel_ != nullptr) channel_->Reset();
 }
 
 StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   RAPIDA_CHECK(job.map != nullptr || job.map_batch != nullptr)
       << "job '" << job.name << "' has no map fn";
+  const int S = config_.num_shards > 1 ? config_.num_shards : 1;
+  const bool sharded = S > 1;
+  if (sharded && job.map == nullptr) {
+    // Batch kernels emit in bulk, so per-input-record home attribution —
+    // the basis of the channel's edge accounting — is impossible. The
+    // scalar map path is byte-identical by the kernel contract; engines
+    // disable vectorized kernels when sharded.
+    return Status::InvalidArgument(
+        "job '" + job.name +
+        "' has only a batch map fn; sharded execution requires the scalar "
+        "map path (run engines with vectorized_kernels off)");
+  }
   if (observer_ != nullptr) {
     RAPIDA_RETURN_IF_ERROR(observer_->OnPhase(job.name, "setup"));
   }
@@ -134,13 +162,17 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   JobStats stats;
   stats.name = job.name;
   stats.map_only = job.reduce == nullptr;
+  stats.num_shards = sharded ? S : 0;
+  if (sharded) stats.shard_output_bytes.assign(static_cast<size_t>(S), 0);
 
   // ---- read inputs & form splits ----
   // Each input file contributes ceil(stored/block) splits; records are
   // assigned to splits as contiguous chunks of their file (record i goes
   // to split base + i / per_split), which matches the "many mappers scan
   // disjoint blocks" behaviour closely enough for cost purposes while
-  // keeping execution deterministic.
+  // keeping execution deterministic. Sharding never changes split
+  // formation — that is what keeps results byte-identical at any shard
+  // count (per-task combiner state and emission order are untouched).
   struct Split {
     std::vector<TaggedRecord> records;
   };
@@ -166,15 +198,54 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   if (splits.empty()) splits.resize(1);
   stats.num_mappers = static_cast<int>(splits.size());
 
+  // ---- sharded dispatch: assign each map task to the shard that homes
+  // the plurality of its records (lowest id wins ties), queue it there,
+  // and drain the per-shard queues into the dispatch order. Execution
+  // order of map tasks never affects results (each task's output is
+  // indexed by task, and shuffle chunks re-sort by task), so shard-local
+  // dispatch is free. ----
+  std::vector<int> task_shard;
+  std::vector<size_t> dispatch;
+  if (sharded) {
+    task_shard.resize(splits.size(), 0);
+    std::vector<uint64_t> votes(static_cast<size_t>(S));
+    for (size_t t = 0; t < splits.size(); ++t) {
+      std::fill(votes.begin(), votes.end(), 0);
+      for (const TaggedRecord& tr : splits[t].records) {
+        votes[static_cast<size_t>(AssignShard(tr.record->key_hash,
+                                              config_.sharding, S))]++;
+      }
+      int best = 0;
+      for (int s = 1; s < S; ++s) {
+        if (votes[static_cast<size_t>(s)] >
+            votes[static_cast<size_t>(best)]) {
+          best = s;
+        }
+      }
+      task_shard[t] = best;
+      shards_[static_cast<size_t>(best)]->EnqueueMapTask(t);
+    }
+    dispatch.reserve(splits.size());
+    for (int s = 0; s < S; ++s) {
+      while (auto t = shards_[static_cast<size_t>(s)]->DequeueMapTask()) {
+        dispatch.push_back(*t);
+      }
+    }
+  }
+
   util::ThreadPool* workers = pool();
-  // Shuffle partition count: one per executor so the reduce side can use
-  // the full pool. hash(key) % R only decides which partition groups a
-  // key; outputs are re-merged into global key order below, so R never
-  // affects results or counters.
+  // Shuffle partition count. Unsharded: one per executor so the reduce
+  // side can use the full pool. Sharded: one per shard — partition p IS
+  // shard p's reduce input, fed exclusively through the channel.
+  // hash(key) % R only decides which partition groups a key; outputs are
+  // re-merged into global key order below, so R never affects results or
+  // counters.
   const size_t num_partitions =
-      stats.map_only ? 0
-                     : static_cast<size_t>(workers ? workers->num_threads() + 1
-                                                   : 1);
+      stats.map_only
+          ? 0
+          : (sharded ? static_cast<size_t>(S)
+                     : static_cast<size_t>(
+                           workers ? workers->num_threads() + 1 : 1));
 
   // ---- map phase (+ optional combine, partitioning per mapper) ----
   // Mappers run concurrently. Each emits into a task-local buffer,
@@ -191,20 +262,42 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     }
   };
 
-  run_tasks(splits.size(), [&](size_t task) {
+  auto map_body = [&](size_t task) {
     Split& split = splits[task];
     MapTaskResult& result = task_results[task];
     auto map_store = std::make_shared<ColumnarRecords>();
     map_store->Reserve(split.records.size(), 0);
     ColumnarMapContext ctx(map_store.get());
-    if (job.map_batch) {
+    // Sharded: home shard of each emitted record — the shard the producing
+    // input record lives on under the sharding scheme (combiner flushes
+    // belong to the task's shard: they are re-emissions of state that
+    // already lives where the mapper runs).
+    std::vector<int> emit_homes;
+    if (sharded) {
+      shards_[static_cast<size_t>(task_shard[task])]->CountMapTask();
+      emit_homes.reserve(split.records.size());
+      for (const TaggedRecord& tr : split.records) {
+        size_t before = map_store->size();
+        job.map(*tr.record, tr.tag, &ctx);
+        if (map_store->size() != before) {
+          emit_homes.resize(map_store->size(),
+                            AssignShard(tr.record->key_hash, config_.sharding,
+                                        S));
+        }
+      }
+      if (job.map_finish) {
+        job.map_finish(&ctx);
+        emit_homes.resize(map_store->size(), task_shard[task]);
+      }
+    } else if (job.map_batch) {
       job.map_batch(split.records.data(), split.records.size(), &ctx);
+      if (job.map_finish) job.map_finish(&ctx);
     } else {
       for (const TaggedRecord& tr : split.records) {
         job.map(*tr.record, tr.tag, &ctx);
       }
+      if (job.map_finish) job.map_finish(&ctx);
     }
-    if (job.map_finish) job.map_finish(&ctx);
     result.map_output_records = map_store->size();
     result.map_output_bytes = ctx.bytes();
     // Emission is done: the store is frozen, so record views are stable.
@@ -214,6 +307,7 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
 
     if (stats.map_only) {
       result.output = std::move(map_out);
+      result.output_homes = std::move(emit_homes);
       result.stores.push_back(std::move(map_store));
       return;
     }
@@ -232,6 +326,9 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       map_out.reserve(combine_store->size());
       combine_store->AppendRecordViews(&map_out);
       map_store = std::move(combine_store);
+      // Combined records are task-level re-aggregations: they live on the
+      // mapper's shard.
+      if (sharded) emit_homes.assign(map_out.size(), task_shard[task]);
     }
     result.stores.push_back(std::move(map_store));
 
@@ -240,18 +337,64 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     // std::hash here — and never affects results or counters: outputs are
     // re-merged into global key order below.
     std::vector<std::vector<Record>> buckets(num_partitions);
-    for (const Record& r : map_out) {
-      result.shuffle_records += 1;
-      result.shuffle_bytes += r.Bytes();
-      size_t p = num_partitions == 1 ? 0 : r.key_hash % num_partitions;
-      buckets[p].push_back(r);
+    if (sharded) {
+      // Each record flows from its home shard to the shard owning its
+      // key's reducer range; the channel is the only path into a shard's
+      // reduce input and accounts every (from -> to) edge.
+      std::vector<uint64_t> edge_bytes(static_cast<size_t>(S) * S, 0);
+      std::vector<uint64_t> edge_records(static_cast<size_t>(S) * S, 0);
+      for (size_t i = 0; i < map_out.size(); ++i) {
+        const Record& r = map_out[i];
+        result.shuffle_records += 1;
+        result.shuffle_bytes += r.Bytes();
+        const int to = OwnerShard(r.key_hash, S);
+        const int from = emit_homes[i];
+        edge_bytes[static_cast<size_t>(from) * S + to] += r.Bytes();
+        edge_records[static_cast<size_t>(from) * S + to] += 1;
+        if (from == to) {
+          result.shuffle_local_bytes += r.Bytes();
+        } else {
+          result.shuffle_cross_bytes += r.Bytes();
+        }
+        buckets[static_cast<size_t>(to)].push_back(r);
+      }
+      std::vector<uint64_t> by_from_bytes(static_cast<size_t>(S));
+      std::vector<uint64_t> by_from_records(static_cast<size_t>(S));
+      for (int to = 0; to < S; ++to) {
+        std::vector<Record>& chunk = buckets[static_cast<size_t>(to)];
+        if (chunk.empty()) continue;
+        for (int from = 0; from < S; ++from) {
+          by_from_bytes[static_cast<size_t>(from)] =
+              edge_bytes[static_cast<size_t>(from) * S + to];
+          by_from_records[static_cast<size_t>(from)] =
+              edge_records[static_cast<size_t>(from) * S + to];
+        }
+        ShufflePartition& part = partitions[static_cast<size_t>(to)];
+        channel_->Deliver(to, by_from_bytes.data(), by_from_records.data(),
+                          [&part, task, &chunk] {
+                            std::lock_guard<std::mutex> lock(part.mu);
+                            part.num_records += chunk.size();
+                            part.chunks.emplace_back(task, std::move(chunk));
+                          });
+      }
+    } else {
+      for (const Record& r : map_out) {
+        result.shuffle_records += 1;
+        result.shuffle_bytes += r.Bytes();
+        size_t p = num_partitions == 1 ? 0 : r.key_hash % num_partitions;
+        buckets[p].push_back(r);
+      }
+      for (size_t p = 0; p < num_partitions; ++p) {
+        if (buckets[p].empty()) continue;
+        std::lock_guard<std::mutex> lock(partitions[p].mu);
+        partitions[p].num_records += buckets[p].size();
+        partitions[p].chunks.emplace_back(task, std::move(buckets[p]));
+      }
     }
-    for (size_t p = 0; p < num_partitions; ++p) {
-      if (buckets[p].empty()) continue;
-      std::lock_guard<std::mutex> lock(partitions[p].mu);
-      partitions[p].num_records += buckets[p].size();
-      partitions[p].chunks.emplace_back(task, std::move(buckets[p]));
-    }
+  };
+
+  run_tasks(splits.size(), [&](size_t i) {
+    map_body(sharded ? dispatch[i] : i);
   });
 
   // ---- map barrier: merge per-task accumulators ----
@@ -263,21 +406,41 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     stats.map_output_bytes += r.map_output_bytes;
     stats.shuffle_records += r.shuffle_records;
     stats.shuffle_bytes += r.shuffle_bytes;
+    stats.shuffle_local_bytes += r.shuffle_local_bytes;
+    stats.shuffle_cross_bytes += r.shuffle_cross_bytes;
+  }
+  if (!sharded) {
+    // One address space: every shuffled byte is a local hand-off. (The
+    // 10-node cost model still prices the simulated network; these
+    // counters say what crosses *shard* boundaries, and there are none.)
+    stats.shuffle_local_bytes = stats.shuffle_bytes;
+    stats.shuffle_cross_bytes = 0;
   }
 
   std::vector<Record> output;
   std::vector<std::shared_ptr<ColumnarRecords>> output_stores;
+  // Sharded: owner shard of every output record (parallel to `output`) —
+  // map-only records stay on their home shard; reduce records belong to
+  // the shard whose reducers own the group key.
+  std::vector<int> output_owner;
   if (stats.map_only) {
     // Map-only job: mapper outputs concatenate in split order; the output
     // adopts every task's columnar store.
     stats.shuffle_records = 0;
     stats.shuffle_bytes = 0;
+    stats.shuffle_local_bytes = 0;
+    stats.shuffle_cross_bytes = 0;
     stats.num_reducers = 0;
     size_t total = 0;
     for (const MapTaskResult& r : task_results) total += r.output.size();
     output.reserve(total);
+    if (sharded) output_owner.reserve(total);
     for (MapTaskResult& r : task_results) {
       output.insert(output.end(), r.output.begin(), r.output.end());
+      if (sharded) {
+        output_owner.insert(output_owner.end(), r.output_homes.begin(),
+                            r.output_homes.end());
+      }
       for (auto& store : r.stores) output_stores.push_back(std::move(store));
     }
   } else {
@@ -352,9 +515,15 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       size_t total = 0;
       for (const auto& out : part_out) total += out.size();
       output.reserve(total);
+      if (sharded) output_owner.reserve(total);
       for (const ReducedGroup& g : all_groups) {
         output.insert(output.end(), part_out[g.part].begin() + g.begin,
                       part_out[g.part].begin() + g.end);
+        // Sharded: partition index IS the owning shard.
+        if (sharded) {
+          output_owner.insert(output_owner.end(), g.end - g.begin,
+                              static_cast<int>(g.part));
+        }
       }
       output_stores = std::move(part_stores);
     } else {
@@ -382,6 +551,12 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
         const GroupSpan& span = part_groups[best][next[best]++];
         job.reduce(part_records[best][span.begin].key,
                    SpanValues(part_records[best], span), &rctx);
+        // Sharded: everything this group emitted belongs to the owning
+        // partition's shard.
+        if (sharded) {
+          output_owner.resize(reduce_store->size(),
+                              static_cast<int>(best));
+        }
       }
       output.reserve(reduce_store->size());
       reduce_store->AppendRecordViews(&output);
@@ -398,6 +573,34 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
   }
 
   if (!job.output.empty()) {
+    // Sharded: before the coordinator write consumes `output`, carve the
+    // per-shard segments — each shard's private Dfs gets the records it
+    // owns, sharing the columnar stores (no byte copies).
+    if (sharded) {
+      for (int s = 0; s < S; ++s) {
+        RecordBatch segment;
+        uint64_t seg_bytes = 0;
+        for (size_t i = 0; i < output.size(); ++i) {
+          if (output_owner[i] != s) continue;
+          segment.records.push_back(output[i]);
+          seg_bytes += output[i].Bytes();
+        }
+        const uint64_t seg_records = segment.records.size();
+        if (seg_records == 0) continue;
+        segment.columns = output_stores;
+        Shard* shard = shards_[static_cast<size_t>(s)].get();
+        RAPIDA_RETURN_IF_ERROR(shard->dfs()->Write(
+            job.output, std::move(segment), job.output_options));
+        uint64_t stored = seg_bytes;
+        if (job.output_options.compressed) {
+          stored = static_cast<uint64_t>(
+              static_cast<double>(stored) *
+              job.output_options.compression_ratio);
+        }
+        stats.shard_output_bytes[static_cast<size_t>(s)] = stored;
+        shard->CountOutput(seg_records, stored);
+      }
+    }
     RecordBatch batch;
     batch.records = std::move(output);
     batch.columns = std::move(output_stores);
@@ -432,7 +635,8 @@ double Cluster::EstimateSimSeconds(const JobStats& stats) const {
 
   // Map phase: one mapper per (scaled) block; mappers run in waves over
   // the available slots. Compressed inputs produce fewer mappers — the
-  // paper's ORC parallelism effect.
+  // paper's ORC parallelism effect. Sharded clusters expose
+  // num_shards * slots_per_node slots (the shards are the nodes).
   int eff_mappers = static_cast<int>(
       (input_bytes + static_cast<double>(config_.block_size) - 1) /
       static_cast<double>(config_.block_size));
@@ -452,8 +656,28 @@ double Cluster::EstimateSimSeconds(const JobStats& stats) const {
     parallel_reds = stats.num_reducers <= 1
                         ? 1
                         : std::max(config_.reduce_slots(), 1);
-    shuffle_s = (shuffle_bytes / mb) * config_.sort_factor /
-                (config_.net_mb_per_s * parallel_reds);
+    if (config_.num_shards > 1) {
+      // Shard-aware shuffle pricing: only bytes that cross a channel edge
+      // pay the network rate; shard-local hand-offs move at disk speed.
+      // Stats whose split doesn't reconcile (hand-built ablation stats)
+      // conservatively price everything as crossing.
+      double cross_bytes =
+          static_cast<double>(stats.shuffle_cross_bytes) * scale;
+      double local_bytes =
+          static_cast<double>(stats.shuffle_local_bytes) * scale;
+      if (stats.shuffle_local_bytes + stats.shuffle_cross_bytes !=
+          stats.shuffle_bytes) {
+        cross_bytes = shuffle_bytes;
+        local_bytes = 0;
+      }
+      shuffle_s = (cross_bytes / mb) * config_.sort_factor /
+                      (config_.net_mb_per_s * parallel_reds) +
+                  (local_bytes / mb) * config_.sort_factor /
+                      (config_.io_mb_per_s * parallel_reds);
+    } else {
+      shuffle_s = (shuffle_bytes / mb) * config_.sort_factor /
+                  (config_.net_mb_per_s * parallel_reds);
+    }
     reduce_cpu_s =
         shuffle_records * config_.cpu_us_per_record * 1e-6 / parallel_reds;
   }

@@ -17,13 +17,25 @@ std::string WorkflowStats::ToString() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), ", sim %.1fs (host %.3fs)",
                 TotalSimSeconds(), TotalWallSeconds());
-  os << buf << "\n";
+  os << buf;
+  // Shard accounting only appears for sharded workflows, so unsharded
+  // renderings stay byte-for-byte what they always were.
+  bool sharded = false;
+  for (const JobStats& j : jobs) sharded = sharded || j.num_shards > 1;
+  if (sharded) {
+    os << ", cross-shard " << FormatBytes(TotalCrossShardBytes())
+       << " (local " << FormatBytes(TotalLocalShuffleBytes()) << ")";
+  }
+  os << "\n";
   for (const JobStats& j : jobs) {
     std::snprintf(buf, sizeof(buf), "%8.1fs", j.sim_seconds);
     os << "  " << (j.map_only ? "[map]    " : "[map+red]") << " " << j.name
        << ": in=" << FormatBytes(j.input_bytes)
-       << " shuffle=" << FormatBytes(j.shuffle_bytes)
-       << " out=" << FormatBytes(j.output_bytes) << buf << "\n";
+       << " shuffle=" << FormatBytes(j.shuffle_bytes);
+    if (j.num_shards > 1) {
+      os << " (cross=" << FormatBytes(j.shuffle_cross_bytes) << ")";
+    }
+    os << " out=" << FormatBytes(j.output_bytes) << buf << "\n";
   }
   return os.str();
 }

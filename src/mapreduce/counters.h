@@ -18,13 +18,25 @@ struct JobStats {
   uint64_t input_bytes = 0;         // stored bytes scanned (post-compression)
   uint64_t map_output_records = 0;  // before combine
   uint64_t map_output_bytes = 0;
-  uint64_t shuffle_records = 0;     // after combine (what crosses the net)
+  uint64_t shuffle_records = 0;     // after combine (map output to reducers)
   uint64_t shuffle_bytes = 0;
+  /// Honest shuffle placement split (always: local + cross ==
+  /// shuffle_bytes). Historically every post-combine byte was booked as if
+  /// it crossed the network; in fact combiner-local re-emissions whose
+  /// reducer lives on the producing shard never leave it. Unsharded runs
+  /// are one address space: everything is local, nothing crosses.
+  uint64_t shuffle_local_bytes = 0;  // stayed on the producing shard
+  uint64_t shuffle_cross_bytes = 0;  // crossed a shard boundary
   uint64_t output_records = 0;
   uint64_t output_bytes = 0;        // stored bytes materialized
 
   int num_mappers = 0;
   int num_reducers = 0;
+  /// Shards the job executed across (0 = legacy unsharded data plane).
+  int num_shards = 0;
+  /// Per-shard output segment bytes (empty when unsharded): index s is the
+  /// stored size of shard s's private segment of this job's output.
+  std::vector<uint64_t> shard_output_bytes;
 
   double sim_seconds = 0;   // simulated wall time from the cost model
   double wall_seconds = 0;  // real host time spent in Cluster::Run
@@ -56,6 +68,16 @@ struct WorkflowStats {
   uint64_t TotalShuffleBytes() const {
     uint64_t n = 0;
     for (const JobStats& j : jobs) n += j.shuffle_bytes;
+    return n;
+  }
+  uint64_t TotalLocalShuffleBytes() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.shuffle_local_bytes;
+    return n;
+  }
+  uint64_t TotalCrossShardBytes() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.shuffle_cross_bytes;
     return n;
   }
   uint64_t TotalOutputBytes() const {

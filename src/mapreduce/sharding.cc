@@ -1,0 +1,25 @@
+#include "mapreduce/sharding.h"
+
+namespace rapida::mr {
+
+const char* ShardingSchemeName(ShardingScheme scheme) {
+  switch (scheme) {
+    case ShardingScheme::kHashSubject: return "hash-subject";
+    case ShardingScheme::kLocality: return "locality";
+  }
+  return "unknown";
+}
+
+bool ParseShardingScheme(std::string_view name, ShardingScheme* out) {
+  if (name == "hash" || name == "hash-subject") {
+    *out = ShardingScheme::kHashSubject;
+    return true;
+  }
+  if (name == "locality" || name == "locality-aware") {
+    *out = ShardingScheme::kLocality;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rapida::mr

@@ -12,10 +12,17 @@ Status ExecutePlanMulti(
   if (plan.needs_vp) RAPIDA_RETURN_IF_ERROR(dataset->EnsureVpTables());
   if (plan.needs_tg) RAPIDA_RETURN_IF_ERROR(dataset->EnsureTripleGroups());
 
+  // Sharded execution requires the scalar operator path: the cluster's
+  // per-record emission attribution (channel edge accounting) cannot see
+  // inside a batch kernel. Scalar and batch are byte-identical by
+  // contract, so this only moves host wall time.
+  engine::EngineOptions exec_options = options;
+  if (exec_options.num_shards > 1) exec_options.vectorized_kernels = false;
+
   ExecContext ctx;
   ctx.dataset = dataset;
   ctx.cluster = cluster;
-  ctx.options = options;
+  ctx.options = exec_options;
   ctx.results = results;
 
   // The relational facade is always live (not just under needs_vp): the
@@ -24,11 +31,13 @@ Status ExecutePlanMulti(
   std::unique_ptr<engine::RelationalOps> rel;
   std::unique_ptr<engine::NtgaExec> ntga;
   rel = std::make_unique<engine::RelationalOps>(
-      cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
+      cluster, dataset, exec_options,
+      exec_options.tmp_namespace + plan.tmp_tag);
   ctx.rel = rel.get();
   if (plan.needs_tg) {
     ntga = std::make_unique<engine::NtgaExec>(
-        cluster, dataset, options, options.tmp_namespace + plan.tmp_tag);
+        cluster, dataset, exec_options,
+        exec_options.tmp_namespace + plan.tmp_tag);
     ctx.ntga = ntga.get();
   }
 
@@ -37,12 +46,47 @@ Status ExecutePlanMulti(
     if (ntga != nullptr) ntga->Cleanup();
   };
 
+  // Partial-evaluation contract: under the locality scheme, a node the
+  // pass classified `peval=local` must run entirely shard-local — its
+  // estimated cross-shard shuffle is exactly 0, and we hold the executed
+  // counters to it. Only nodes that own their exec are checked (fused
+  // chains and parallel-region members run under a neighbor's exec, so
+  // their jobs cannot be attributed to one node).
+  const bool enforce_peval =
+      options.num_shards > 1 &&
+      options.sharding_scheme == mr::ShardingScheme::kLocality;
+  auto peval_of = [](const PlanNode& node) -> const std::string* {
+    for (const auto& [k, v] : node.info) {
+      if (k == "peval") return &v;
+    }
+    return nullptr;
+  };
+
   for (const PlanNode& node : plan.nodes) {
     if (!node.exec) continue;
+    const size_t jobs_before = cluster->history().size();
     Status s = node.exec(&ctx);
     if (!s.ok()) {
       cleanup();
       return s;
+    }
+    if (enforce_peval) {
+      const std::string* peval = peval_of(node);
+      if (peval != nullptr && *peval == "local") {
+        const auto& history = cluster->history();
+        for (size_t j = jobs_before; j < history.size(); ++j) {
+          if (history[j].shuffle_cross_bytes != 0) {
+            cleanup();
+            return Status::Internal(
+                "partial-evaluation contract violated: node #" +
+                std::to_string(node.id) + " (" + OpKindName(node.kind) +
+                ") is peval=local but job '" + history[j].name +
+                "' shuffled " +
+                std::to_string(history[j].shuffle_cross_bytes) +
+                " bytes across shards");
+          }
+        }
+      }
     }
   }
   cleanup();

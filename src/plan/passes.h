@@ -60,6 +60,15 @@ class PassManager {
   ///       fingerprints and cycle counts are untouched. `query` is null
   ///       for multi-query composite-batch plans (members are classified
   ///       individually when their artifacts are stored).
+  ///   partial-evaluation   (EngineOptions::partial_evaluation)
+  ///       splits the plan into a shard-local phase and a cross-shard
+  ///       residual: map-only nodes and star joins over base VP/triple-
+  ///       group inputs are `peval=local` (est_shuffle_bytes = 0, and the
+  ///       executor enforces zero cross-shard bytes under the locality
+  ///       scheme); every other node is `peval=residual` with an upper-
+  ///       bound est_shuffle_bytes. Also stamps kParallelRegion nodes
+  ///       with their branch->shard placement. Info + est_shuffle_bytes
+  ///       only — fingerprints stay put.
   static PassManager Default(const engine::EngineOptions& options,
                              const analytics::AnalyticalQuery* query = nullptr);
 

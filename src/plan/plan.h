@@ -57,6 +57,13 @@ struct PlanNode {
   AttrList info;
   int est_cycles = 1;
   uint64_t est_bytes = 0;  // statically-known input bytes (0 = unknown)
+  /// Planner's shuffle-placement estimate, set by the partial-evaluation
+  /// pass. For nodes it classifies `peval=local` this is exactly 0 — no
+  /// byte may cross a shard boundary, and the executor enforces that the
+  /// executed cross-shard counters match under the locality scheme. For
+  /// residual nodes it is a display-only upper bound (the node's known
+  /// input bytes). Excluded from Fingerprint, like est_bytes.
+  uint64_t est_shuffle_bytes = 0;
   bool map_only = false;
   /// Marker the planner's bind step uses to attach `exec` after the pass
   /// pipeline ran (passes may move a tag when they reshape the DAG).

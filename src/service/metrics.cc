@@ -90,6 +90,25 @@ int ServiceMetrics::max_queue_depth() const {
   return max_queue_depth_;
 }
 
+void ServiceMetrics::RecordShuffle(
+    uint64_t local_bytes, uint64_t cross_bytes,
+    const std::vector<uint64_t>& per_shard_output_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shuffle_local_bytes_ += local_bytes;
+  shuffle_cross_bytes_ += cross_bytes;
+  if (shard_output_bytes_.size() < per_shard_output_bytes.size()) {
+    shard_output_bytes_.resize(per_shard_output_bytes.size(), 0);
+  }
+  for (size_t s = 0; s < per_shard_output_bytes.size(); ++s) {
+    shard_output_bytes_[s] += per_shard_output_bytes[s];
+  }
+}
+
+std::vector<uint64_t> ServiceMetrics::shard_output_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_output_bytes_;
+}
+
 std::string ServiceMetrics::ToJson() const {
   std::string json = "{";
   {
@@ -108,6 +127,14 @@ std::string ServiceMetrics::ToJson() const {
     json += ",\"store_hits\":" + std::to_string(store_hits_);
     json += ",\"store_patched\":" + std::to_string(store_patched_);
     json += ",\"store_recomputes\":" + std::to_string(store_recomputes_);
+    json += ",\"shuffle_local_bytes\":" + std::to_string(shuffle_local_bytes_);
+    json += ",\"shuffle_cross_bytes\":" + std::to_string(shuffle_cross_bytes_);
+    json += ",\"shard_output_bytes\":[";
+    for (size_t s = 0; s < shard_output_bytes_.size(); ++s) {
+      if (s > 0) json += ",";
+      json += std::to_string(shard_output_bytes_[s]);
+    }
+    json += "]";
     json += ",\"max_queue_depth\":" + std::to_string(max_queue_depth_);
   }
   json += ",\"latency\":" + latency_.ToJson();

@@ -55,6 +55,12 @@ class ServiceMetrics {
   void IncrStorePatched() { Add(&store_patched_); }
   /// Artifact dropped to recompute (non-incrementalizable or patch failed).
   void IncrStoreRecompute() { Add(&store_recomputes_); }
+  /// Shuffle placement of one finished workflow: bytes that stayed on
+  /// their shard vs bytes that crossed the shard channel, plus each
+  /// shard's private output-segment bytes (per_shard index = shard id;
+  /// shorter vectors extend the tracked width).
+  void RecordShuffle(uint64_t local_bytes, uint64_t cross_bytes,
+                     const std::vector<uint64_t>& per_shard_output_bytes);
 
   uint64_t admitted() const { return Get(&admitted_); }
   uint64_t rejected() const { return Get(&rejected_); }
@@ -69,6 +75,9 @@ class ServiceMetrics {
   uint64_t store_hits() const { return Get(&store_hits_); }
   uint64_t store_patched() const { return Get(&store_patched_); }
   uint64_t store_recomputes() const { return Get(&store_recomputes_); }
+  uint64_t shuffle_local_bytes() const { return Get(&shuffle_local_bytes_); }
+  uint64_t shuffle_cross_bytes() const { return Get(&shuffle_cross_bytes_); }
+  std::vector<uint64_t> shard_output_bytes() const;
   int max_queue_depth() const;
 
   /// One JSON object with counters, queue stats, and both histograms
@@ -94,6 +103,9 @@ class ServiceMetrics {
   uint64_t store_hits_ = 0;
   uint64_t store_patched_ = 0;
   uint64_t store_recomputes_ = 0;
+  uint64_t shuffle_local_bytes_ = 0;
+  uint64_t shuffle_cross_bytes_ = 0;
+  std::vector<uint64_t> shard_output_bytes_;
   int max_queue_depth_ = 0;
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;

@@ -24,6 +24,26 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
+/// Books one finished workflow's shuffle placement (local vs cross-shard
+/// bytes, per-shard output segments) into the service counters.
+void RecordWorkflowShuffle(ServiceMetrics* metrics,
+                           const std::vector<mr::JobStats>& jobs) {
+  uint64_t local = 0;
+  uint64_t cross = 0;
+  std::vector<uint64_t> per_shard;
+  for (const mr::JobStats& j : jobs) {
+    local += j.shuffle_local_bytes;
+    cross += j.shuffle_cross_bytes;
+    if (per_shard.size() < j.shard_output_bytes.size()) {
+      per_shard.resize(j.shard_output_bytes.size(), 0);
+    }
+    for (size_t s = 0; s < j.shard_output_bytes.size(); ++s) {
+      per_shard[s] += j.shard_output_bytes[s];
+    }
+  }
+  metrics->RecordShuffle(local, cross, per_shard);
+}
+
 /// Per-query cluster observer: cancels the workflow at the next phase
 /// boundary once the wall deadline passes, and charges every completed
 /// job to the session's fair share.
@@ -456,12 +476,16 @@ void QueryService::ServeSolo(Pending* p) {
 
   engine::EngineOptions eo = options_.engine;
   eo.tmp_namespace = "q" + std::to_string(p->id) + ":";
+  // Engines must agree with the cluster on the shape of the data plane.
+  eo.num_shards = options_.cluster.num_shards;
+  eo.sharding_scheme = options_.cluster.sharding;
   engine::RapidAnalyticsEngine engine(eo);
   engine::ExecStats stats;
   StatusOr<analytics::BindingTable> result =
       engine.Execute(*p->plan, dataset, &cluster, &stats);
 
   if (result.ok()) {
+    RecordWorkflowShuffle(&metrics_, stats.workflow.jobs);
     if (options_.enable_result_cache) {
       result_cache_.Put(
           ResultCache::Key(p->fingerprint, p->spec.dataset, version),
@@ -549,6 +573,8 @@ void QueryService::ServeBatch(std::vector<std::unique_ptr<Pending>>* batch) {
     engine::EngineOptions eo = options_.engine;
     eo.tmp_namespace =
         "b" + std::to_string(leaders[group[0]]->id) + ":";
+    eo.num_shards = options_.cluster.num_shards;
+    eo.sharding_scheme = options_.cluster.sharding;
     mr::Cluster cluster(options_.cluster, &dataset->dfs());
 
     // One result slot per group leader.
@@ -570,6 +596,7 @@ void QueryService::ServeBatch(std::vector<std::unique_ptr<Pending>>* batch) {
                                        &cluster, nullptr));
     }
 
+    RecordWorkflowShuffle(&metrics_, cluster.history());
     double total_sim = 0;
     for (const mr::JobStats& j : cluster.history()) {
       total_sim += j.sim_seconds;

@@ -130,51 +130,119 @@ DiffFailure RunDifferential(const FuzzCase& c, const DiffOptions& opts) {
   // engine name -> cycle count, to check cross-thread determinism and the
   // paper's cycle-count orderings once all runs are in.
   std::map<std::pair<std::string, int>, int> cycles;
-  for (int threads : opts.thread_counts) {
-    engine::Dataset dataset(BuildGraph(c.triples));
-    mr::ClusterConfig cfg;
-    cfg.exec_threads = threads;
-    cfg.exec_split_bytes = opts.exec_split_bytes;
-    mr::Cluster cluster(cfg, &dataset.dfs());
-    for (std::unique_ptr<engine::Engine>& eng :
-         engine::MakeAllEngines(opts.engine_options)) {
-      std::unique_ptr<engine::Engine> run = std::move(eng);
-      if (opts.fault != FaultKind::kNone && run->name() == opts.fault_engine) {
-        run = std::make_unique<FaultyEngine>(std::move(run), opts.fault);
-      }
-      engine::ExecStats stats;
-      StatusOr<analytics::BindingTable> result =
-          run->Execute(analyzed.value(), &dataset, &cluster, &stats);
-      if (!result.ok()) {
-        return Fail("engine-error", run->name(), threads,
-                    result.status().ToString());
-      }
-      std::string diff =
-          CompareNormalized(expected, Normalize(result.value(),
-                                                dataset.dict()));
-      if (!diff.empty()) {
-        return Fail("mismatch", run->name(), threads, diff);
-      }
-      cycles[{run->name(), threads}] = stats.workflow.NumCycles();
+  // Unsharded (engine, threads) baseline the sharded runs must match:
+  // sharding changes placement and transport accounting, never the
+  // workflow shape or the shuffled volume.
+  struct Baseline {
+    int cycles = 0;
+    uint64_t shuffle_bytes = 0;
+  };
+  std::map<std::pair<std::string, int>, Baseline> baselines;
 
-      // Plan-IR invariant: the physical plan the engine just ran promises
-      // its estimated cycle count, and a successful execution must spend
-      // exactly that many MR cycles. (Skipped for a fault-wrapped engine —
-      // injected faults change the executed workflow by design.)
-      if (opts.fault == FaultKind::kNone || run->name() != opts.fault_engine) {
-        StatusOr<plan::PhysicalPlan> physical = plan::PlanForEngine(
-            run->name(), analyzed.value(), &dataset, opts.engine_options);
-        if (!physical.ok()) {
-          return Fail("plan-cycles", run->name(), threads,
-                      "planner failed after successful execution: " +
-                          physical.status().ToString());
+  // Run matrix: the legacy unsharded data plane first (it is the
+  // reference the sharded runs are held to), then every requested shard
+  // count under both placement schemes.
+  struct ShardConfig {
+    int shards = 0;
+    mr::ShardingScheme scheme = mr::ShardingScheme::kHashSubject;
+  };
+  std::vector<ShardConfig> shard_configs{ShardConfig{}};
+  for (int s : opts.shard_counts) {
+    if (s <= 1) continue;  // <= 1 is the unsharded path, already covered
+    shard_configs.push_back(ShardConfig{s, mr::ShardingScheme::kHashSubject});
+    shard_configs.push_back(ShardConfig{s, mr::ShardingScheme::kLocality});
+  }
+
+  for (int threads : opts.thread_counts) {
+    for (const ShardConfig& sc : shard_configs) {
+      const std::string config_tag =
+          sc.shards > 1 ? " [shards=" + std::to_string(sc.shards) + "," +
+                              mr::ShardingSchemeName(sc.scheme) + "]"
+                        : "";
+      engine::Dataset dataset(BuildGraph(c.triples));
+      mr::ClusterConfig cfg;
+      cfg.exec_threads = threads;
+      cfg.exec_split_bytes = opts.exec_split_bytes;
+      cfg.num_shards = sc.shards;
+      cfg.sharding = sc.scheme;
+      mr::Cluster cluster(cfg, &dataset.dfs());
+      engine::EngineOptions eopts = opts.engine_options;
+      eopts.num_shards = sc.shards;
+      eopts.sharding_scheme = sc.scheme;
+      for (std::unique_ptr<engine::Engine>& eng :
+           engine::MakeAllEngines(eopts)) {
+        std::unique_ptr<engine::Engine> run = std::move(eng);
+        if (opts.fault != FaultKind::kNone &&
+            run->name() == opts.fault_engine) {
+          run = std::make_unique<FaultyEngine>(std::move(run), opts.fault);
         }
-        if (physical->EstimatedCycles() != stats.workflow.NumCycles()) {
-          return Fail("plan-cycles", run->name(), threads,
-                      "plan estimated " +
-                          std::to_string(physical->EstimatedCycles()) +
-                          " cycles, engine executed " +
-                          std::to_string(stats.workflow.NumCycles()));
+        engine::ExecStats stats;
+        StatusOr<analytics::BindingTable> result =
+            run->Execute(analyzed.value(), &dataset, &cluster, &stats);
+        if (!result.ok()) {
+          return Fail("engine-error", run->name() + config_tag, threads,
+                      result.status().ToString());
+        }
+        std::string diff =
+            CompareNormalized(expected, Normalize(result.value(),
+                                                  dataset.dict()));
+        if (!diff.empty()) {
+          return Fail("mismatch", run->name() + config_tag, threads, diff);
+        }
+        // Shuffle accounting must always reconcile: every shuffled byte is
+        // either a shard-local hand-off or a channel crossing.
+        for (const mr::JobStats& j : stats.workflow.jobs) {
+          if (j.shuffle_local_bytes + j.shuffle_cross_bytes !=
+              j.shuffle_bytes) {
+            return Fail("shard-invariant", run->name() + config_tag, threads,
+                        "job '" + j.name + "': local " +
+                            std::to_string(j.shuffle_local_bytes) +
+                            " + cross " +
+                            std::to_string(j.shuffle_cross_bytes) +
+                            " != shuffle " +
+                            std::to_string(j.shuffle_bytes));
+          }
+        }
+        if (sc.shards <= 1) {
+          cycles[{run->name(), threads}] = stats.workflow.NumCycles();
+          baselines[{run->name(), threads}] =
+              Baseline{stats.workflow.NumCycles(),
+                       stats.workflow.TotalShuffleBytes()};
+        } else {
+          const Baseline& base = baselines[{run->name(), threads}];
+          if (stats.workflow.NumCycles() != base.cycles ||
+              stats.workflow.TotalShuffleBytes() != base.shuffle_bytes) {
+            return Fail(
+                "shard-invariant", run->name() + config_tag, threads,
+                "sharded workflow diverged from unsharded baseline: " +
+                    std::to_string(stats.workflow.NumCycles()) + " cycles/" +
+                    std::to_string(stats.workflow.TotalShuffleBytes()) +
+                    " shuffle bytes vs " + std::to_string(base.cycles) +
+                    "/" + std::to_string(base.shuffle_bytes));
+          }
+        }
+
+        // Plan-IR invariant: the physical plan the engine just ran
+        // promises its estimated cycle count, and a successful execution
+        // must spend exactly that many MR cycles. (Skipped for a
+        // fault-wrapped engine — injected faults change the executed
+        // workflow by design.)
+        if (opts.fault == FaultKind::kNone ||
+            run->name() != opts.fault_engine) {
+          StatusOr<plan::PhysicalPlan> physical = plan::PlanForEngine(
+              run->name(), analyzed.value(), &dataset, eopts);
+          if (!physical.ok()) {
+            return Fail("plan-cycles", run->name() + config_tag, threads,
+                        "planner failed after successful execution: " +
+                            physical.status().ToString());
+          }
+          if (physical->EstimatedCycles() != stats.workflow.NumCycles()) {
+            return Fail("plan-cycles", run->name() + config_tag, threads,
+                        "plan estimated " +
+                            std::to_string(physical->EstimatedCycles()) +
+                            " cycles, engine executed " +
+                            std::to_string(stats.workflow.NumCycles()));
+          }
         }
       }
     }
