@@ -25,6 +25,13 @@
 //                                    # toward OPTIONAL tails and UNION
 //                                    # chains (default grammar includes
 //                                    # them at lower rates)
+//   rapida_fuzz --grammar=multival   # bias the DATA generator toward
+//                                    # 3-10 objects per predicate-subject
+//                                    # pair — the factorized
+//                                    # (d-representation) stress regime
+//   rapida_fuzz --no-factorize       # force factorized intermediates off
+//                                    # (flat pipelines); run both ways to
+//                                    # cross-check the d-representation
 //   rapida_fuzz --service --seeds=50 # additionally push every query
 //                                    # through a QueryService (caching,
 //                                    # dedup, shared-scan batching) and
@@ -59,6 +66,7 @@ struct Args {
   FaultKind fault = FaultKind::kNone;
   bool service = false;
   bool no_kernels = false;
+  bool no_factorize = false;
   GenOptions gen;
 };
 
@@ -79,10 +87,14 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->service = true;
     } else if (std::strcmp(a, "--no-kernels") == 0) {
       out->no_kernels = true;
+    } else if (std::strcmp(a, "--no-factorize") == 0) {
+      out->no_factorize = true;
     } else if (std::strncmp(a, "--grammar=", 10) == 0) {
       if (std::strcmp(a + 10, "opt-union") == 0) {
         out->gen.optional_bias = 0.70;
         out->gen.union_bias = 0.50;
+      } else if (std::strcmp(a + 10, "multival") == 0) {
+        out->gen.multival = true;
       } else if (std::strcmp(a + 10, "default") != 0) {
         std::fprintf(stderr, "unknown --grammar: %s\n", a + 10);
         return false;
@@ -133,6 +145,7 @@ const char* InjectFlag(FaultKind fault) {
 }
 
 const char* GrammarFlag(const Args& args) {
+  if (args.gen.multival) return " --grammar=multival";
   return args.gen.optional_bias > 0.5 ? " --grammar=opt-union" : "";
 }
 
@@ -184,6 +197,7 @@ int main(int argc, char** argv) {
   opts.fault = args.fault;
   if (args.fault != FaultKind::kNone) opts.fault_engine = "RAPIDAnalytics";
   opts.engine_options.vectorized_kernels = !args.no_kernels;
+  opts.engine_options.factorized_intermediates = !args.no_factorize;
   opts.shard_counts = args.shards;
 
   if (args.one_seed >= 0) {

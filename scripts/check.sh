@@ -29,6 +29,15 @@
 # results at every shard count, >= 3x speedup at 8 shards on fig8a, and
 # strictly fewer cross-shard bytes under the locality scheme than under
 # hash-by-subject on fig8a).
+# The factorized-intermediates path adds: a 100-seed multi-valued-star
+# corpus (--grammar=multival, repeated with --no-factorize to pin the
+# flat fallback), and a perf smoke running bench_factorize twice (plain
+# and TSan builds; the binary exits nonzero on any flat/factorized result
+# mismatch) whose BENCH_factorize.json must show, on every mg-pubmed row,
+# factorization_factor > 1, factorized materialized bytes strictly below
+# flat, factorized shuffle never above flat — and strictly below wherever
+# the factor reaches 2x, i.e. where the d-representation survives into
+# the shuffle instead of being flattened by partial decompression.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -87,6 +96,13 @@ echo "== differential fuzz corpus, sharded data plane (4 shards) =="
 echo "== differential fuzz, OPTIONAL/UNION-biased grammar (100 seeds) =="
 ./build/examples/rapida_fuzz --grammar=opt-union --seeds=100
 
+echo "== differential fuzz, multi-valued-star grammar (100 seeds) =="
+# 3-10 objects per predicate-subject pair: the shape the factorize pass
+# compresses. Runs with the pass on (default) and forced off — both must
+# agree with the reference on every engine.
+./build/examples/rapida_fuzz --grammar=multival --seeds=100
+./build/examples/rapida_fuzz --grammar=multival --seeds=100 --no-factorize
+
 echo "== golden regen guard (fixtures must match a fresh regeneration) =="
 RAPIDA_UPDATE_GOLDEN=1 ./build/tests/golden_test > /dev/null
 RAPIDA_UPDATE_GOLDEN=1 ./build/tests/explain_golden_test > /dev/null
@@ -143,6 +159,13 @@ print("shard bench OK: %.2fx at 8 shards, locality cross %d < hash %d"
       % (speedup, loc_cross, hash_cross))
 EOF
 
+echo "== perf smoke: factorized intermediates (BENCH_factorize.json gates) =="
+# bench_factorize exits nonzero on any flat/factorized result mismatch;
+# the JSON gates below pin the byte-reduction claims on the mg-pubmed
+# rows (Table 4 shape: Hive (Naive), repartition joins, shards {1,8}).
+./build/bench/bench_factorize > /dev/null
+python3 scripts/check_factorize.py BENCH_factorize.json
+
 echo "== AddressSanitizer fuzz smoke (RAPIDA_SANITIZE=address) =="
 cmake -B build-asan -S . -DRAPIDA_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -181,7 +204,7 @@ cmake -B build-tsan -S . -DRAPIDA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
       thread_pool_test mapreduce_test kernels_test engines_test \
-      shard_test service_stress_test
+      shard_test service_stress_test bench_factorize
 
 echo "== TSan: thread_pool_test =="
 ./build-tsan/tests/thread_pool_test
@@ -195,5 +218,10 @@ echo "== TSan: shard_test (channel stress + shards {1,2,4} x threads {1,8}) =="
 ./build-tsan/tests/shard_test
 echo "== TSan: service_stress_test (32 sessions + concurrent mutations) =="
 ./build-tsan/tests/service_stress_test
+
+echo "== TSan: bench_factorize (flat/factorized byte identity at 8 threads) =="
+RAPIDA_FACTORIZE_JSON="$SCRATCH/BENCH_factorize_tsan.json" \
+    ./build-tsan/bench/bench_factorize > /dev/null
+python3 scripts/check_factorize.py "$SCRATCH/BENCH_factorize_tsan.json"
 
 echo "All checks passed."

@@ -32,6 +32,23 @@ void Aggregator::AddTerm(rdf::TermId value, const rdf::Dictionary& dict) {
 
 void Aggregator::AddRow() { ++count_; }
 
+void Aggregator::AddTermWeighted(rdf::TermId value,
+                                 const rdf::Dictionary& dict, uint64_t w) {
+  if (w == 0 || value == rdf::kInvalidTermId) return;
+  if (distinct_) {
+    // Duplicates beyond the first are ignored anyway.
+    AddTerm(value, dict);
+    return;
+  }
+  AddTerm(value, dict);  // min/max/sample/concat see the value once...
+  count_ += w - 1;       // ...count and sum carry the multiplicity
+  auto num = dict.AsNumber(value);
+  if (num.has_value()) sum_ += *num * static_cast<double>(w - 1);
+  if (func_ == AggFunc::kGroupConcat) {
+    for (uint64_t i = 1; i < w; ++i) concat_values_.push_back(value);
+  }
+}
+
 void Aggregator::Merge(const Aggregator& other, const rdf::Dictionary& dict) {
   count_ += other.count_;
   sum_ += other.sum_;

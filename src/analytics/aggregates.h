@@ -35,6 +35,18 @@ class Aggregator {
   /// Adds one COUNT(*) row.
   void AddRow();
 
+  /// Adds `w` COUNT(*) rows at once (the factorized engines' weighted
+  /// aggregation: w = product of the other factors' row counts).
+  void AddRowWeighted(uint64_t w) { count_ += w; }
+
+  /// Exactly equivalent to `w` AddTerm calls for every order- and
+  /// partition-insensitive aggregate (COUNT, MIN/MAX, SAMPLE,
+  /// GROUP_CONCAT). SUM/AVG accumulate value*w, whose floating-point
+  /// rounding can differ from w sequential adds — the planners keep
+  /// SUM/AVG pipelines flat, so they never take this path.
+  void AddTermWeighted(rdf::TermId value, const rdf::Dictionary& dict,
+                       uint64_t w);
+
   /// Merges another partial state (same func; no DISTINCT).
   void Merge(const Aggregator& other, const rdf::Dictionary& dict);
 

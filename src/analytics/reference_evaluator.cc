@@ -220,7 +220,10 @@ StatusOr<BindingTable> ReferenceEvaluator::EvaluateBgp(
     }
     used[best] = true;
     RAPIDA_RETURN_IF_ERROR(ExtendByTriplePattern(triples[best], &table));
-    if (table.NumRows() == 0) break;  // no solutions; still exit cleanly
+    // No early exit on an empty intermediate: the remaining patterns must
+    // still contribute their columns (a GROUP BY over a variable they bind
+    // needs the column to exist even when there are zero solutions), and
+    // extending an empty table is free — the row loop never runs.
   }
   return table;
 }

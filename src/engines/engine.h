@@ -41,6 +41,15 @@ struct EngineOptions {
   /// results, counters, or sim_seconds. Logged per node by the
   /// vectorized-kernels pass in EXPLAIN.
   bool vectorized_kernels = true;
+  /// Factorized (d-representation) intermediates: star-join and inter-star
+  /// join outputs stay compressed as group records (engines/factorized.h)
+  /// whenever every downstream consumer up to an order-insensitive sink
+  /// (GroupBy without SUM/AVG, DISTINCT projection) can consume them;
+  /// Decompress happens only at those boundaries. Final results are
+  /// byte-identical to the flat path; shuffled/materialized bytes shrink
+  /// on multi-valued (MG-class) patterns. Surfaced per node as
+  /// `factorize=` in EXPLAIN and as factorization_factor in metrics.
+  bool factorized_intermediates = true;
   /// Greedy size-based join ordering: start the inter-star join chain at
   /// the smallest star and always join the smallest available neighbor
   /// next, instead of the query's textual order. Cycle counts are

@@ -31,7 +31,7 @@ StatusOr<TableRef> CompileHivePattern(
     RelationalOps* ops, Dataset* dataset, const ntga::StarGraph& pattern,
     const std::vector<const sparql::Expr*>& filters,
     const std::set<ntga::PropKey>* outer_secondary,
-    const std::string& label) {
+    const std::string& label, bool factorize) {
   const rdf::Dictionary& dict = dataset->graph().dict();
 
   // Filter assignment: single-variable filters are pushed to the VP input
@@ -121,12 +121,14 @@ StatusOr<TableRef> CompileHivePattern(
       out.input = inputs[0];  // scan folds into the next join cycle
     } else {
       RAPIDA_ASSIGN_OR_RETURN(
-          TableRef t,
-          ops->Join(label + ":star" + std::to_string(s), inputs, nullptr));
+          TableRef t, ops->Join(label + ":star" + std::to_string(s), inputs,
+                                nullptr, factorize));
       out.input.file = t.file;
       out.input.columns = t.columns;
       out.input.is_vp = false;
       out.input.join_column = star.subject_var;
+      out.input.factor = t.factor;
+      out.input.flat_bytes = t.flat_bytes;
     }
     stars.push_back(std::move(out));
   }
@@ -140,7 +142,8 @@ StatusOr<TableRef> CompileHivePattern(
           ops->Join(label + ":scan", {stars[0].input}, nullptr));
       return t;
     }
-    return TableRef{stars[0].input.file, stars[0].input.columns};
+    return TableRef{stars[0].input.file, stars[0].input.columns,
+                    stars[0].input.factor, stars[0].input.flat_bytes};
   }
 
   // ---- inter-star joins along the edges ----
@@ -151,7 +154,11 @@ StatusOr<TableRef> CompileHivePattern(
   std::vector<uint64_t> star_bytes(pattern.stars.size(), 0);
   if (greedy) {
     for (size_t s = 0; s < pattern.stars.size(); ++s) {
-      star_bytes[s] = dataset->VpFileBytes(stars[s].input.file);
+      // Flat-equivalent bytes for factorized stars, so the greedy order
+      // matches the flat compilation edge for edge.
+      star_bytes[s] = stars[s].input.flat_bytes != 0
+                          ? stars[s].input.flat_bytes
+                          : dataset->VpFileBytes(stars[s].input.file);
     }
   }
   std::vector<bool> joined(pattern.stars.size(), false);
@@ -223,14 +230,16 @@ StatusOr<TableRef> CompileHivePattern(
 
     RAPIDA_ASSIGN_OR_RETURN(
         TableRef t, ops->Join(label + ":join" + std::to_string(cycle++),
-                              {left, right}, post));
+                              {left, right}, post, factorize));
     acc.file = t.file;
     acc.columns = t.columns;
     acc.is_vp = false;
+    acc.factor = t.factor;
+    acc.flat_bytes = t.flat_bytes;
     joined[new_star] = true;
     --remaining;
   }
-  return TableRef{acc.file, acc.columns};
+  return TableRef{acc.file, acc.columns, acc.factor, acc.flat_bytes};
 }
 
 StatusOr<analytics::BindingTable> HiveNaiveEngine::Execute(

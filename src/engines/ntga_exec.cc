@@ -805,11 +805,17 @@ StatusOr<TableRef> NtgaExec::ExpandToTable(
     // skip_unbound=false: a star the match did not fill (never the case
     // for all-primary patterns) or an absent optional property stays NULL
     // in the row, matching the relational NULL convention downstream.
+    uint64_t emitted = 0;
     for (const std::vector<rdf::TermId>& mapping : ntga::ExpandBindings(
              ntg, *shared_pattern, *shared_vars, /*skip_unbound=*/false)) {
       if (mapping_predicate && !mapping_predicate(mapping)) continue;
       ctx->Emit("", EncodeRow(mapping));
+      ++emitted;
     }
+    // The triplegroup is the NTGA engines' native factorized form: this
+    // expansion is the decompress boundary, so each group that produced
+    // rows books itself against the flat rows it stood for.
+    if (emitted > 0) ctx->NoteFactorizedGroup(emitted);
   };
 
   if (options_.vectorized_kernels) {
@@ -843,6 +849,7 @@ StatusOr<TableRef> NtgaExec::ExpandToTable(
         }
         ntga::ExpandBindingsInto(ntg, *shared_pattern, *shared_vars,
                                  /*skip_unbound=*/false, &exp);
+        uint64_t emitted = 0;
         for (size_t r = 0; r < exp.num_rows; ++r) {
           const rdf::TermId* mapping = exp.row(r);
           if (mapping_predicate) {
@@ -852,7 +859,9 @@ StatusOr<TableRef> NtgaExec::ExpandToTable(
           val_buf.clear();
           AppendRow(&val_buf, mapping, exp.width);
           ctx->Emit("", val_buf);
+          ++emitted;
         }
+        if (emitted > 0) ctx->NoteFactorizedGroup(emitted);
       }
     };
   } else if (star_mode) {

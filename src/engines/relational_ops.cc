@@ -209,11 +209,234 @@ struct JoinReduceScratch {
   std::string val_buf;
 };
 
+// ---------------------------------------------------------------------------
+// Factorized (d-representation) join machinery — see engines/factorized.h
+// and DESIGN.md §16. A join runs in "fact mode" when any input is
+// factorized or a factorized output was requested; the flat paths above
+// stay byte-for-byte untouched otherwise.
+// ---------------------------------------------------------------------------
+
+/// Where a column position lives inside a Factorization.
+struct CellLoc {
+  enum Kind { kUncovered, kBase, kFactor };
+  Kind kind = kUncovered;
+  int factor = -1;  // index into factors (kFactor only)
+  int slot = -1;    // index within base_cols / factors[factor]
+};
+
+std::vector<CellLoc> LocateCells(const Factorization& spec) {
+  std::vector<CellLoc> loc(static_cast<size_t>(spec.width));
+  for (size_t s = 0; s < spec.base_cols.size(); ++s) {
+    loc[static_cast<size_t>(spec.base_cols[s])] =
+        CellLoc{CellLoc::kBase, -1, static_cast<int>(s)};
+  }
+  for (size_t f = 0; f < spec.factors.size(); ++f) {
+    for (size_t c = 0; c < spec.factors[f].size(); ++c) {
+      loc[static_cast<size_t>(spec.factors[f][c])] =
+          CellLoc{CellLoc::kFactor, static_cast<int>(f), static_cast<int>(c)};
+    }
+  }
+  return loc;
+}
+
+/// Decodes a factor row's cells into `out` (factor-col order), padding
+/// missing cells with NULL up to `cols`.
+void DecodeFactorRowInto(std::string_view row, size_t cols,
+                         std::vector<rdf::TermId>* out) {
+  DecodeRowInto(row, out);
+  out->resize(cols, rdf::kInvalidTermId);
+}
+
+/// The contiguous encoded bytes of factor `f` inside the record value the
+/// GroupView was parsed from (row views are slices of one segment).
+std::string_view FactorSegment(const GroupView& g, size_t f) {
+  size_t b = g.FactorBegin(f);
+  size_t e = g.factor_end[f];
+  if (b == e) return std::string_view();
+  const char* lo = g.rows[b].data();
+  const char* hi = g.rows[e - 1].data() + g.rows[e - 1].size();
+  return std::string_view(lo, static_cast<size_t>(hi - lo));
+}
+
+/// How the fact-mode map handles one join input.
+struct FactInputPlan {
+  FactorizationPtr spec;     // null: flat side (emits "F" rows)
+  /// Layout of the partial groups this side emits ("G" payloads), in the
+  /// INPUT table's coordinates. Equal to `spec` when the join column sits
+  /// in the base; base extended by the join factor otherwise.
+  FactorizationPtr partial;
+  int join_factor = -1;  // >= 0: partially decompress this factor
+  int join_slot = -1;    // slot in base_cols / cell idx in factors[join_factor]
+  bool stream = false;   // decompress in the map (input predicate present)
+
+  bool grouped() const { return spec != nullptr && !stream; }
+};
+
+/// One collected partial group on the reduce side.
+struct FactEntry {
+  std::vector<rdf::TermId> base;   // decoded partial-base cells
+  std::vector<std::string> fsegs;  // owned factor segments
+  std::vector<uint64_t> frows;     // rows per factor
+};
+
+/// Synthesizes the outer-miss entry: NULL base cells + one all-NULL row
+/// per factor.
+FactEntry NullEntry(const Factorization& partial) {
+  FactEntry e;
+  e.base.assign(partial.base_cols.size(), rdf::kInvalidTermId);
+  for (const auto& cols : partial.factors) {
+    std::string seg;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      if (c > 0) seg += ',';
+      seg += '0';
+    }
+    e.fsegs.push_back(std::move(seg));
+    e.frows.push_back(1);
+  }
+  return e;
+}
+
+/// Computes each input's fact-mode map plan.
+std::vector<FactInputPlan> BuildFactInputPlans(
+    const std::vector<JoinInput>& inputs, const std::vector<int>& join_idx) {
+  std::vector<FactInputPlan> plans(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].factor == nullptr) continue;
+    FactInputPlan& p = plans[i];
+    p.spec = inputs[i].factor;
+    if (inputs[i].predicate != nullptr) {
+      p.stream = true;  // predicates see flat rows: stream-decompress
+      continue;
+    }
+    std::vector<CellLoc> loc = LocateCells(*p.spec);
+    const CellLoc jl = loc[static_cast<size_t>(join_idx[i])];
+    if (jl.kind == CellLoc::kFactor) {
+      p.join_factor = jl.factor;
+      p.join_slot = jl.slot;
+      auto partial = std::make_shared<Factorization>();
+      partial->width = p.spec->width;
+      partial->base_cols = p.spec->base_cols;
+      const auto& jcols = p.spec->factors[static_cast<size_t>(jl.factor)];
+      partial->base_cols.insert(partial->base_cols.end(), jcols.begin(),
+                                jcols.end());
+      for (size_t f = 0; f < p.spec->factors.size(); ++f) {
+        if (static_cast<int>(f) == jl.factor) continue;
+        partial->factors.push_back(p.spec->factors[f]);
+      }
+      p.partial = std::move(partial);
+    } else {
+      // Join column in the base (or uncovered: every flat row joins NULL).
+      p.join_slot = jl.kind == CellLoc::kBase ? jl.slot : -1;
+      p.partial = p.spec;
+    }
+  }
+  return plans;
+}
+
+/// Per-side assembly of the factorized OUTPUT spec of a repartition join:
+/// base = [join position] ++ each grouped side's kept partial-base slots;
+/// factors = sides in order (flat side -> one factor of its non-join
+/// columns; grouped side -> its partial factors). Returns null when any
+/// output position would be claimed twice (the flat fold's overwrite
+/// semantics cannot be represented) — callers then emit flat.
+struct FactOutAssembly {
+  FactorizationPtr spec;
+  /// Per side: partial-base slots appended to the output base (grouped
+  /// sides), or input column indices encoded as factor rows (flat sides).
+  std::vector<std::vector<int>> base_keep;
+  std::vector<std::vector<int>> flat_cols;
+};
+
+FactOutAssembly BuildFactOutput(const std::vector<JoinInput>& inputs,
+                                const std::vector<FactInputPlan>& plans,
+                                const std::vector<std::vector<int>>& out_pos,
+                                const std::vector<int>& join_idx,
+                                size_t width) {
+  FactOutAssembly out;
+  out.base_keep.resize(inputs.size());
+  out.flat_cols.resize(inputs.size());
+  auto spec = std::make_shared<Factorization>();
+  spec->width = static_cast<int>(width);
+  std::vector<bool> covered(width, false);
+  const int join_out = out_pos[0][static_cast<size_t>(join_idx[0])];
+  covered[static_cast<size_t>(join_out)] = true;
+  spec->base_cols.push_back(join_out);
+  auto claim = [&covered](int pos) {
+    if (covered[static_cast<size_t>(pos)]) return false;
+    covered[static_cast<size_t>(pos)] = true;
+    return true;
+  };
+  // Base: join key first, then each grouped side's kept partial-base slots.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (!plans[i].grouped()) continue;
+    const Factorization& partial = *plans[i].partial;
+    for (size_t s = 0; s < partial.base_cols.size(); ++s) {
+      const int in_col = partial.base_cols[s];
+      if (in_col == join_idx[i]) continue;  // == the key; emitted once
+      const int pos = out_pos[i][static_cast<size_t>(in_col)];
+      if (pos == join_out) continue;  // same column name as the key
+      if (!claim(pos)) return out;    // conflict: stay flat
+      spec->base_cols.push_back(pos);
+      out.base_keep[i].push_back(static_cast<int>(s));
+    }
+  }
+  // Factors: sides in order.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (plans[i].grouped()) {
+      const Factorization& partial = *plans[i].partial;
+      for (const auto& cols : partial.factors) {
+        std::vector<int> f;
+        for (int in_col : cols) {
+          const int pos = out_pos[i][static_cast<size_t>(in_col)];
+          if (!claim(pos)) return out;
+          f.push_back(pos);
+        }
+        spec->factors.push_back(std::move(f));
+      }
+    } else {
+      std::vector<int> f;
+      std::vector<int> keep;
+      for (size_t c = 0; c < inputs[i].columns.size(); ++c) {
+        if (static_cast<int>(c) == join_idx[i]) continue;
+        const int pos = out_pos[i][static_cast<size_t>(c)];
+        if (pos == join_out) continue;  // duplicate of the key column
+        if (!claim(pos)) return out;
+        f.push_back(pos);
+        keep.push_back(static_cast<int>(c));
+      }
+      spec->factors.push_back(std::move(f));
+      out.flat_cols[i] = std::move(keep);
+    }
+  }
+  out.spec = std::move(spec);
+  return out;
+}
+
+/// Factorized-output spec of a map-join (big side -> base + its factors,
+/// one factor per small side) plus each small side's kept column indices.
+/// Null spec = the output stays flat.
+struct MapJoinFactSpec {
+  FactorizationPtr spec;
+  std::vector<std::vector<int>> small_keep;
+};
+
+/// Fact-mode jobs always install the scalar map (sharded execution needs
+/// per-record attribution); when the kernel path is on, the batch variant
+/// is this pure per-record loop — emission-identical by construction.
+void InstallBatchLoop(mr::JobConfig* job) {
+  mr::MapFn scalar = job->map;
+  job->map_batch = [scalar](const mr::TaggedRecord* recs, size_t n,
+                            mr::MapContext* ctx) {
+    for (size_t i = 0; i < n; ++i) scalar(*recs[i].record, recs[i].tag, ctx);
+  };
+}
+
 }  // namespace
 
 StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
                                        const std::vector<JoinInput>& inputs,
-                                       RowPredicate post_predicate) {
+                                       RowPredicate post_predicate,
+                                       bool factorize_output) {
   RAPIDA_CHECK(!inputs.empty());
   // Output layout: first input's columns, then the unseen columns of each
   // later input. Per input: mapping from its columns to output positions,
@@ -247,12 +470,16 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
   const size_t width = out_columns.size();
 
   // Map-join eligibility: every input but the largest fits the threshold,
-  // and the largest is not an outer input.
+  // and the largest is not an outer input. Factorized inputs are sized by
+  // their FLAT equivalent so the strategy choice matches the flat path
+  // exactly (a factorized file is smaller; deciding on its stored size
+  // could flip the join strategy and with it the output row order).
   int big = 0;
   uint64_t big_bytes = 0;
   std::vector<uint64_t> sizes(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
-    sizes[i] = dataset_->VpFileBytes(inputs[i].file);
+    sizes[i] = inputs[i].flat_bytes != 0 ? inputs[i].flat_bytes
+                                         : dataset_->VpFileBytes(inputs[i].file);
     if (sizes[i] > big_bytes) {
       big_bytes = sizes[i];
       big = static_cast<int>(i);
@@ -264,6 +491,15 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
     if (sizes[i] > options_.map_join_threshold_bytes) map_join = false;
   }
   if (inputs[big].outer) map_join = false;
+
+  bool any_factorized = false;
+  for (const JoinInput& in : inputs) {
+    if (in.factor != nullptr) any_factorized = true;
+  }
+  if (any_factorized || factorize_output) {
+    return FactJoin(name_hint, inputs, post_predicate, factorize_output,
+                    map_join, big, out_columns, out_pos, join_idx);
+  }
 
   TableRef out;
   out.file = NextTmp(name_hint);
@@ -544,6 +780,561 @@ StatusOr<TableRef> RelationalOps::Join(const std::string& name_hint,
   return out;
 }
 
+StatusOr<TableRef> RelationalOps::FactJoin(
+    const std::string& name_hint, const std::vector<JoinInput>& inputs,
+    RowPredicate post_predicate, bool factorize_output, bool map_join,
+    int big, const std::vector<std::string>& out_columns,
+    const std::vector<std::vector<int>>& out_pos,
+    const std::vector<int>& join_idx) {
+  const size_t width = out_columns.size();
+  auto ins = std::make_shared<std::vector<JoinInput>>(inputs);
+  auto plans = std::make_shared<std::vector<FactInputPlan>>(
+      BuildFactInputPlans(inputs, join_idx));
+
+  TableRef out;
+  out.file = NextTmp(name_hint);
+  out.columns = out_columns;
+
+  mr::JobConfig job;
+  job.name = name_hint + (map_join ? " (map-join)" : "");
+  for (const JoinInput& in : inputs) job.inputs.push_back(in.file);
+  job.output = out.file;
+
+  FactorizationPtr out_spec;
+
+  if (map_join) {
+    // ---- map-only path: broadcast every small side (factorized smalls
+    // are decompressed at build time), stream the big side. Factorized
+    // output: one group record per big row (or per big partial group)
+    // instead of the enumerated cross product. ----
+    auto hashes = std::make_shared<std::vector<
+        std::unordered_map<rdf::TermId,
+                           std::vector<std::vector<rdf::TermId>>>>>();
+    hashes->resize(inputs.size());
+    {
+      GroupView gv;
+      std::vector<rdf::TermId> tmp_row;
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (static_cast<int>(i) == big) continue;
+        RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                                dataset_->dfs().Open(inputs[i].file));
+        for (const mr::Record& r : f->records) {
+          if ((*plans)[i].spec != nullptr) {
+            if (!ParseGroup(r.value, (*plans)[i].spec->factors.size(), &gv)) {
+              continue;
+            }
+            ForEachFlatRow(*(*plans)[i].spec, gv, &tmp_row,
+                           [&](const std::vector<rdf::TermId>& fr) {
+                             if (inputs[i].predicate &&
+                                 !inputs[i].predicate(fr)) {
+                               return;
+                             }
+                             (*hashes)[i][fr[static_cast<size_t>(
+                                               join_idx[i])]]
+                                 .push_back(fr);
+                           });
+          } else {
+            std::vector<rdf::TermId> row = DecodeInputRow(inputs[i], r);
+            if (inputs[i].predicate && !inputs[i].predicate(row)) continue;
+            (*hashes)[i][row[static_cast<size_t>(join_idx[i])]].push_back(
+                std::move(row));
+          }
+        }
+      }
+    }
+
+    // Output spec: big side -> base (+ its factors when grouped), one
+    // factor per small side. Any double-claimed position => stay flat.
+    auto mjf = std::make_shared<MapJoinFactSpec>();
+    if (factorize_output && post_predicate == nullptr) {
+      auto spec = std::make_shared<Factorization>();
+      spec->width = static_cast<int>(width);
+      std::vector<bool> covered(width, false);
+      bool ok = true;
+      auto claim = [&covered, &ok](int pos) {
+        if (covered[static_cast<size_t>(pos)]) {
+          ok = false;
+          return;
+        }
+        covered[static_cast<size_t>(pos)] = true;
+      };
+      const FactInputPlan& bp = (*plans)[static_cast<size_t>(big)];
+      if (bp.grouped()) {
+        for (int c : bp.partial->base_cols) {
+          const int pos = out_pos[static_cast<size_t>(big)]
+                                 [static_cast<size_t>(c)];
+          claim(pos);
+          spec->base_cols.push_back(pos);
+        }
+        for (const auto& cols : bp.partial->factors) {
+          std::vector<int> f;
+          for (int c : cols) {
+            const int pos = out_pos[static_cast<size_t>(big)]
+                                   [static_cast<size_t>(c)];
+            claim(pos);
+            f.push_back(pos);
+          }
+          spec->factors.push_back(std::move(f));
+        }
+      } else {
+        for (size_t c = 0; c < inputs[static_cast<size_t>(big)].columns.size();
+             ++c) {
+          const int pos = out_pos[static_cast<size_t>(big)][c];
+          claim(pos);
+          spec->base_cols.push_back(pos);
+        }
+      }
+      mjf->small_keep.resize(inputs.size());
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (static_cast<int>(i) == big) continue;
+        std::vector<int> f;
+        std::vector<int> keep;
+        for (size_t c = 0; c < inputs[i].columns.size(); ++c) {
+          if (static_cast<int>(c) == join_idx[i]) continue;
+          const int pos = out_pos[i][c];
+          claim(pos);
+          f.push_back(pos);
+          keep.push_back(static_cast<int>(c));
+        }
+        spec->factors.push_back(std::move(f));
+        mjf->small_keep[i] = std::move(keep);
+      }
+      if (ok) {
+        mjf->spec = spec;
+        out_spec = spec;
+      }
+    }
+
+    job.map = [ins, plans, hashes, big, out_pos, join_idx, width,
+               post_predicate, mjf](const mr::Record& r, int tag,
+                                    mr::MapContext* ctx) {
+      if (tag != big) return;  // broadcast copies: scanned, not re-emitted
+      const JoinInput& input = (*ins)[static_cast<size_t>(big)];
+      const FactInputPlan& bp = (*plans)[static_cast<size_t>(big)];
+      const bool fact_out = mjf->spec != nullptr;
+
+      // Flat fold of one big row (flat output) — the scalar map-join body.
+      auto fold_row = [&](const std::vector<rdf::TermId>& row) {
+        rdf::TermId key = row[static_cast<size_t>(join_idx[big])];
+        std::vector<std::vector<rdf::TermId>> results;
+        {
+          std::vector<rdf::TermId> base(width, rdf::kInvalidTermId);
+          for (size_t c = 0; c < row.size(); ++c) {
+            base[static_cast<size_t>(out_pos[static_cast<size_t>(big)][c])] =
+                row[c];
+          }
+          results.push_back(std::move(base));
+        }
+        for (size_t i = 0; i < ins->size(); ++i) {
+          if (i == static_cast<size_t>(big)) continue;
+          auto it = (*hashes)[i].find(key);
+          bool empty = it == (*hashes)[i].end() || it->second.empty();
+          if (empty) {
+            if (!(*ins)[i].outer) return;
+            continue;
+          }
+          std::vector<std::vector<rdf::TermId>> next;
+          for (const auto& partial : results) {
+            for (const auto& srow : it->second) {
+              std::vector<rdf::TermId> merged = partial;
+              for (size_t c = 0; c < srow.size(); ++c) {
+                merged[static_cast<size_t>(out_pos[i][c])] = srow[c];
+              }
+              next.push_back(std::move(merged));
+            }
+          }
+          results = std::move(next);
+        }
+        for (const auto& merged : results) {
+          if (post_predicate && !post_predicate(merged)) continue;
+          ctx->Emit("", EncodeRow(merged));
+        }
+      };
+
+      // One output group per big row (factorized output, flat big side).
+      auto group_row = [&](const std::vector<rdf::TermId>& row) {
+        rdf::TermId key = row[static_cast<size_t>(join_idx[big])];
+        std::vector<const std::vector<std::vector<rdf::TermId>>*> matches(
+            ins->size(), nullptr);
+        for (size_t i = 0; i < ins->size(); ++i) {
+          if (i == static_cast<size_t>(big)) continue;
+          auto it = (*hashes)[i].find(key);
+          bool empty = it == (*hashes)[i].end() || it->second.empty();
+          if (empty) {
+            if (!(*ins)[i].outer) return;  // inner miss: no output
+            continue;                      // outer: NULL factor row below
+          }
+          matches[i] = &it->second;
+        }
+        GroupEncoder enc;
+        enc.Start();
+        for (size_t c = 0; c < row.size(); ++c) enc.AddBaseCell(row[c]);
+        std::vector<rdf::TermId> cells;
+        for (size_t i = 0; i < ins->size(); ++i) {
+          if (i == static_cast<size_t>(big)) continue;
+          const auto& keep = mjf->small_keep[i];
+          enc.StartFactor();
+          if (matches[i] == nullptr) {
+            cells.assign(keep.size(), rdf::kInvalidTermId);
+            enc.AddFactorRow(cells.data(), cells.size());
+          } else {
+            for (const auto& srow : *matches[i]) {
+              cells.clear();
+              for (int c : keep) {
+                cells.push_back(srow[static_cast<size_t>(c)]);
+              }
+              enc.AddFactorRow(cells.data(), cells.size());
+            }
+          }
+        }
+        ctx->Emit("", enc.Finish());
+        ctx->NoteFactorizedGroup(enc.flat_rows());
+      };
+
+      if (bp.spec == nullptr) {
+        std::vector<rdf::TermId> row = DecodeInputRow(input, r);
+        if (input.predicate && !input.predicate(row)) return;
+        if (fact_out) {
+          group_row(row);
+        } else {
+          fold_row(row);
+        }
+        return;
+      }
+      GroupView view;
+      if (!ParseGroup(r.value, bp.spec->factors.size(), &view)) return;
+      if (bp.stream || (!fact_out && bp.grouped())) {
+        // Stream-decompress the big side (predicate present, or the output
+        // must be flat anyway).
+        std::vector<rdf::TermId> row;
+        ForEachFlatRow(*bp.spec, view, &row,
+                       [&](const std::vector<rdf::TermId>& fr) {
+                         if (input.predicate && !input.predicate(fr)) return;
+                         if (fact_out) {
+                           group_row(fr);
+                         } else {
+                           fold_row(fr);
+                         }
+                       });
+        return;
+      }
+
+      // Grouped big side, factorized output: pass the group through,
+      // appending one matched factor per small side.
+      auto append_smalls = [&](GroupEncoder* enc, rdf::TermId key) {
+        std::vector<rdf::TermId> cells;
+        for (size_t i = 0; i < ins->size(); ++i) {
+          if (i == static_cast<size_t>(big)) continue;
+          const auto& keep = mjf->small_keep[i];
+          auto it = (*hashes)[i].find(key);
+          bool empty = it == (*hashes)[i].end() || it->second.empty();
+          enc->StartFactor();
+          if (empty) {
+            cells.assign(keep.size(), rdf::kInvalidTermId);
+            enc->AddFactorRow(cells.data(), cells.size());
+          } else {
+            for (const auto& srow : it->second) {
+              cells.clear();
+              for (int c : keep) cells.push_back(srow[static_cast<size_t>(c)]);
+              enc->AddFactorRow(cells.data(), cells.size());
+            }
+          }
+        }
+      };
+      auto probe_all = [&](rdf::TermId key) {
+        for (size_t i = 0; i < ins->size(); ++i) {
+          if (i == static_cast<size_t>(big) || (*ins)[i].outer) continue;
+          auto it = (*hashes)[i].find(key);
+          if (it == (*hashes)[i].end() || it->second.empty()) return false;
+        }
+        return true;
+      };
+
+      GroupEncoder enc;
+      if (bp.join_factor < 0) {
+        rdf::TermId key = rdf::kInvalidTermId;
+        if (bp.join_slot >= 0) {
+          std::vector<rdf::TermId> base;
+          DecodeFactorRowInto(view.base, bp.spec->base_cols.size(), &base);
+          key = base[static_cast<size_t>(bp.join_slot)];
+        }
+        if (!probe_all(key)) return;
+        enc.Start();
+        enc.AddRawBase(view.base);
+        for (size_t g = 0; g < bp.spec->factors.size(); ++g) {
+          enc.AddRawFactor(FactorSegment(view, g), view.FactorRows(g));
+        }
+        append_smalls(&enc, key);
+        ctx->Emit("", enc.Finish());
+        ctx->NoteFactorizedGroup(enc.flat_rows());
+        return;
+      }
+      // Join column inside a factor: bind one of its rows per emission.
+      const size_t j = static_cast<size_t>(bp.join_factor);
+      const auto& jcols = bp.spec->factors[j];
+      std::vector<rdf::TermId> cells;
+      for (size_t t = view.FactorBegin(j); t < view.factor_end[j]; ++t) {
+        DecodeFactorRowInto(view.rows[t], jcols.size(), &cells);
+        rdf::TermId key = cells[static_cast<size_t>(bp.join_slot)];
+        if (!probe_all(key)) continue;
+        enc.Start();
+        enc.AddRawBase(view.base);
+        for (rdf::TermId c : cells) enc.AddBaseCell(c);
+        for (size_t g = 0; g < bp.spec->factors.size(); ++g) {
+          if (g == j) continue;
+          enc.AddRawFactor(FactorSegment(view, g), view.FactorRows(g));
+        }
+        append_smalls(&enc, key);
+        ctx->Emit("", enc.Finish());
+        ctx->NoteFactorizedGroup(enc.flat_rows());
+      }
+    };
+  } else {
+    // ---- repartition path ----
+    std::shared_ptr<FactOutAssembly> asmbl;
+    if (factorize_output && post_predicate == nullptr && inputs.size() >= 2) {
+      asmbl = std::make_shared<FactOutAssembly>(
+          BuildFactOutput(inputs, *plans, out_pos, join_idx, width));
+      out_spec = asmbl->spec;
+    }
+
+    job.map = [ins, plans, join_idx](const mr::Record& r, int tag,
+                                     mr::MapContext* ctx) {
+      const JoinInput& input = (*ins)[static_cast<size_t>(tag)];
+      const FactInputPlan& p = (*plans)[static_cast<size_t>(tag)];
+      if (p.spec == nullptr) {
+        std::vector<rdf::TermId> row = DecodeInputRow(input, r);
+        if (input.predicate && !input.predicate(row)) return;
+        ctx->Emit(std::to_string(row[static_cast<size_t>(join_idx[tag])]),
+                  std::to_string(tag) + "|" + EncodeRow(row));
+        return;
+      }
+      GroupView view;
+      if (!ParseGroup(r.value, p.spec->factors.size(), &view)) return;
+      if (p.stream) {
+        std::vector<rdf::TermId> row;
+        ForEachFlatRow(
+            *p.spec, view, &row, [&](const std::vector<rdf::TermId>& fr) {
+              if (input.predicate && !input.predicate(fr)) return;
+              ctx->Emit(
+                  std::to_string(fr[static_cast<size_t>(join_idx[tag])]),
+                  std::to_string(tag) + "|" + EncodeRow(fr));
+            });
+        return;
+      }
+      if (p.join_factor < 0) {
+        // Join column in the base (or uncovered: NULL): ship the whole
+        // group through the shuffle untouched.
+        rdf::TermId key = rdf::kInvalidTermId;
+        if (p.join_slot >= 0) {
+          std::vector<rdf::TermId> base;
+          DecodeFactorRowInto(view.base, p.spec->base_cols.size(), &base);
+          key = base[static_cast<size_t>(p.join_slot)];
+        }
+        std::string val = std::to_string(tag) + "#";
+        val.append(r.value.data(), r.value.size());
+        ctx->Emit(std::to_string(key), val);
+        return;
+      }
+      // Partial decompression: consume the join factor into the partial
+      // base, one emission per join-factor row; every other factor stays
+      // compressed across the shuffle.
+      const size_t j = static_cast<size_t>(p.join_factor);
+      const auto& jcols = p.spec->factors[j];
+      std::vector<rdf::TermId> cells;
+      for (size_t t = view.FactorBegin(j); t < view.factor_end[j]; ++t) {
+        DecodeFactorRowInto(view.rows[t], jcols.size(), &cells);
+        std::string val = std::to_string(tag) + "#";
+        val.append(view.base.data(), view.base.size());
+        if (!p.spec->base_cols.empty()) val += ',';
+        AppendRow(&val, cells);
+        for (size_t g = 0; g < p.spec->factors.size(); ++g) {
+          if (g == j) continue;
+          val += '|';
+          std::string_view seg = FactorSegment(view, g);
+          val.append(seg.data(), seg.size());
+        }
+        ctx->Emit(std::to_string(cells[static_cast<size_t>(p.join_slot)]),
+                  val);
+      }
+    };
+
+    if (out_spec != nullptr) {
+      // Factorized output: cross the sides' partial groups per key; flat
+      // sides contribute one shared factor each.
+      job.reduce = [ins, plans, asmbl](std::string_view key,
+                                       const mr::ValueSpan& values,
+                                       mr::ReduceContext* ctx) {
+        const size_t n = ins->size();
+        std::vector<std::vector<std::vector<rdf::TermId>>> rows(n);
+        std::vector<std::vector<FactEntry>> entries(n);
+        GroupView gv;
+        for (std::string_view v : values) {
+          size_t bar = v.find_first_of("|#");
+          if (bar == std::string_view::npos || bar + 1 >= v.size()) continue;
+          int64_t tag = 0;
+          ParseInt64(v.substr(0, bar), &tag);
+          const char kind = v[bar] == '|' ? 'F' : 'G';
+          std::string_view payload = v.substr(bar + 1);
+          if (kind == 'F') {
+            rows[static_cast<size_t>(tag)].push_back(DecodeRow(payload));
+            continue;
+          }
+          const Factorization& partial =
+              *(*plans)[static_cast<size_t>(tag)].partial;
+          if (!ParseGroup(payload, partial.factors.size(), &gv)) continue;
+          FactEntry e;
+          DecodeFactorRowInto(gv.base, partial.base_cols.size(), &e.base);
+          for (size_t g = 0; g < partial.factors.size(); ++g) {
+            e.fsegs.emplace_back(FactorSegment(gv, g));
+            e.frows.push_back(gv.FactorRows(g));
+          }
+          entries[static_cast<size_t>(tag)].push_back(std::move(e));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const bool grouped = (*plans)[i].grouped();
+          const bool present = grouped ? !entries[i].empty() : !rows[i].empty();
+          if (present) continue;
+          if (i == 0 || !(*ins)[i].outer) return;  // inner miss
+          if (grouped) {
+            entries[i].push_back(NullEntry(*(*plans)[i].partial));
+          } else {
+            rows[i].emplace_back((*ins)[i].columns.size(),
+                                 rdf::kInvalidTermId);
+          }
+        }
+        int64_t kv = 0;
+        ParseDigits(key, &kv);
+        // Flat sides' factor segments are shared by every emitted group.
+        std::vector<std::string> flat_seg(n);
+        std::vector<uint64_t> flat_count(n);
+        for (size_t i = 0; i < n; ++i) {
+          if ((*plans)[i].grouped()) continue;
+          const auto& keep = asmbl->flat_cols[i];
+          std::string& seg = flat_seg[i];
+          for (const auto& row : rows[i]) {
+            if (flat_count[i] > 0) seg += ';';
+            ++flat_count[i];
+            bool first = true;
+            for (int c : keep) {
+              if (!first) seg += ',';
+              first = false;
+              mr::kernels::AppendDecimal(&seg, row[static_cast<size_t>(c)]);
+            }
+          }
+        }
+        std::vector<size_t> gsides;
+        for (size_t i = 0; i < n; ++i) {
+          if ((*plans)[i].grouped()) gsides.push_back(i);
+        }
+        std::vector<size_t> idx(gsides.size(), 0);
+        GroupEncoder enc;
+        for (;;) {
+          enc.Start();
+          enc.AddBaseCell(static_cast<rdf::TermId>(kv));
+          for (size_t gi = 0; gi < gsides.size(); ++gi) {
+            const FactEntry& e = entries[gsides[gi]][idx[gi]];
+            for (int slot : asmbl->base_keep[gsides[gi]]) {
+              enc.AddBaseCell(e.base[static_cast<size_t>(slot)]);
+            }
+          }
+          for (size_t i = 0, gi = 0; i < n; ++i) {
+            if ((*plans)[i].grouped()) {
+              const FactEntry& e = entries[i][idx[gi]];
+              for (size_t g = 0; g < e.fsegs.size(); ++g) {
+                enc.AddRawFactor(e.fsegs[g], e.frows[g]);
+              }
+              ++gi;
+            } else {
+              enc.AddRawFactor(flat_seg[i], flat_count[i]);
+            }
+          }
+          ctx->Emit("", enc.Finish());
+          ctx->NoteFactorizedGroup(enc.flat_rows());
+          size_t g = gsides.size();
+          for (;;) {
+            if (g == 0) return;
+            --g;
+            if (++idx[g] < entries[gsides[g]].size()) break;
+            idx[g] = 0;
+          }
+        }
+      };
+    } else {
+      // Flat output: decompress every side, then the standard fold.
+      const size_t w = width;
+      job.reduce = [ins, plans, out_pos, w, post_predicate](
+                       std::string_view /*key*/, const mr::ValueSpan& values,
+                       mr::ReduceContext* ctx) {
+        std::vector<std::vector<std::vector<rdf::TermId>>> sides(ins->size());
+        GroupView gv;
+        std::vector<rdf::TermId> scratch;
+        for (std::string_view v : values) {
+          size_t bar = v.find_first_of("|#");
+          if (bar == std::string_view::npos || bar + 1 >= v.size()) continue;
+          int64_t tag = 0;
+          ParseInt64(v.substr(0, bar), &tag);
+          const char kind = v[bar] == '|' ? 'F' : 'G';
+          std::string_view payload = v.substr(bar + 1);
+          auto& side = sides[static_cast<size_t>(tag)];
+          if (kind == 'F') {
+            side.push_back(DecodeRow(payload));
+            continue;
+          }
+          const Factorization& partial =
+              *(*plans)[static_cast<size_t>(tag)].partial;
+          if (!ParseGroup(payload, partial.factors.size(), &gv)) continue;
+          ForEachFlatRow(partial, gv, &scratch,
+                         [&side](const std::vector<rdf::TermId>& fr) {
+                           side.push_back(fr);
+                         });
+        }
+        if (sides[0].empty()) return;
+        std::vector<std::vector<rdf::TermId>> results;
+        for (const auto& row : sides[0]) {
+          std::vector<rdf::TermId> base(w, rdf::kInvalidTermId);
+          for (size_t c = 0; c < row.size(); ++c) {
+            base[static_cast<size_t>(out_pos[0][c])] = row[c];
+          }
+          results.push_back(std::move(base));
+        }
+        for (size_t i = 1; i < ins->size(); ++i) {
+          if (sides[i].empty()) {
+            if (!(*ins)[i].outer) return;
+            continue;
+          }
+          std::vector<std::vector<rdf::TermId>> next;
+          for (const auto& partial : results) {
+            for (const auto& srow : sides[i]) {
+              std::vector<rdf::TermId> merged = partial;
+              for (size_t c = 0; c < srow.size(); ++c) {
+                merged[static_cast<size_t>(out_pos[i][c])] = srow[c];
+              }
+              next.push_back(std::move(merged));
+            }
+          }
+          results = std::move(next);
+        }
+        for (const auto& merged : results) {
+          if (post_predicate && !post_predicate(merged)) continue;
+          ctx->Emit("", EncodeRow(merged));
+        }
+      };
+    }
+    job.reduce_parallel_safe = true;
+  }
+
+  if (options_.vectorized_kernels) InstallBatchLoop(&job);
+
+  RAPIDA_ASSIGN_OR_RETURN(mr::JobStats ignored, cluster_->Run(job));
+  (void)ignored;
+  if (out_spec != nullptr) {
+    out.factor = out_spec;
+    RAPIDA_ASSIGN_OR_RETURN(out.flat_bytes, FlatStoredBytes(out));
+  }
+  return out;
+}
+
 StatusOr<TableRef> RelationalOps::UnionAll(
     const std::string& name_hint, const std::vector<TableRef>& inputs) {
   RAPIDA_CHECK(!inputs.empty());
@@ -575,7 +1366,37 @@ StatusOr<TableRef> RelationalOps::UnionAll(
   for (const TableRef& t : inputs) job.inputs.push_back(t.file);
   job.output = out.file;
 
-  if (options_.vectorized_kernels) {
+  bool any_factorized = false;
+  for (const TableRef& t : inputs) any_factorized |= t.factorized();
+
+  if (any_factorized) {
+    // Stream-decompress factorized branches: UNION output must be flat
+    // (branch layouts differ) and rows enumerate in exact flat order.
+    auto factors = std::make_shared<std::vector<FactorizationPtr>>();
+    for (const TableRef& t : inputs) factors->push_back(t.factor);
+    job.map = [factors, out_pos, width](const mr::Record& r, int tag,
+                                        mr::MapContext* ctx) {
+      const std::vector<int>& pos = out_pos[static_cast<size_t>(tag)];
+      std::vector<rdf::TermId> padded(width, rdf::kInvalidTermId);
+      auto emit = [&](const std::vector<rdf::TermId>& row) {
+        padded.assign(width, rdf::kInvalidTermId);
+        for (size_t c = 0; c < row.size() && c < pos.size(); ++c) {
+          padded[static_cast<size_t>(pos[c])] = row[c];
+        }
+        ctx->Emit("", EncodeRow(padded));
+      };
+      const FactorizationPtr& spec = (*factors)[static_cast<size_t>(tag)];
+      if (spec == nullptr) {
+        emit(DecodeRow(r.value));
+        return;
+      }
+      GroupView view;
+      if (!ParseGroup(r.value, spec->factors.size(), &view)) return;
+      std::vector<rdf::TermId> row;
+      ForEachFlatRow(*spec, view, &row, emit);
+    };
+    if (options_.vectorized_kernels) InstallBatchLoop(&job);
+  } else if (options_.vectorized_kernels) {
     job.map_batch = [out_pos, width](const mr::TaggedRecord* recs, size_t n,
                                      mr::MapContext* ctx) {
       std::vector<rdf::TermId> row, padded;
@@ -658,7 +1479,161 @@ StatusOr<TableRef> RelationalOps::GroupBy(
     return out_aggs;
   };
 
-  if (options_.partial_aggregation && options_.vectorized_kernels) {
+  using PartialMap = std::map<std::string, std::vector<Aggregator>>;
+  auto flush_partials = [](mr::MapContext* ctx) {
+    PartialMap* partials = ctx->TaskState<PartialMap>();
+    for (auto& [key, agg_list] : *partials) {
+      std::string value = "P";
+      for (const Aggregator& a : agg_list) {
+        value += '|';
+        value += a.SerializePartial();
+      }
+      ctx->Emit(key, value);
+    }
+    partials->clear();
+  };
+
+  bool weighted_safe = options_.partial_aggregation;
+  for (const AggColumn& a : aggs) {
+    // Float addition is grouping-sensitive: SUM/AVG pipelines must see the
+    // same add order as the flat path, so they are never aggregated by
+    // weight (the planner also keeps them flat upstream).
+    if (a.func == sparql::AggFunc::kSum || a.func == sparql::AggFunc::kAvg) {
+      weighted_safe = false;
+    }
+  }
+
+  if (input.factorized() && weighted_safe) {
+    // Weighted direct path: aggregate group records WITHOUT enumerating
+    // their flat rows — the multiplicity of every cell is a product of the
+    // other factors' row counts. This is where the factorization factor
+    // turns into saved work.
+    FactorizationPtr spec = input.factor;
+    auto loc = std::make_shared<std::vector<CellLoc>>(LocateCells(*spec));
+    auto is_e = std::make_shared<std::vector<bool>>(spec->factors.size(),
+                                                    false);
+    for (int k : key_idx) {
+      if ((*loc)[static_cast<size_t>(k)].kind == CellLoc::kFactor) {
+        (*is_e)[static_cast<size_t>((*loc)[static_cast<size_t>(k)].factor)] =
+            true;
+      }
+    }
+    job.map = [spec, loc, is_e, key_idx, agg_idx, dict, make_aggs](
+                  const mr::Record& r, int, mr::MapContext* ctx) {
+      GroupView view;
+      if (!ParseGroup(r.value, spec->factors.size(), &view)) return;
+      PartialMap* partials = ctx->TaskState<PartialMap>();
+      const size_t nf = spec->factors.size();
+      std::vector<rdf::TermId> base(static_cast<size_t>(spec->width),
+                                    rdf::kInvalidTermId);
+      DecodeCellsInto(view.base, spec->base_cols, &base);
+      // Decode every factor's rows; key-bearing factors are enumerated
+      // (their rows split the group across keys), the rest contribute
+      // multiplicity only.
+      std::vector<std::vector<std::vector<rdf::TermId>>> cells(nf);
+      std::vector<size_t> efactors;
+      uint64_t mult = 1;
+      for (size_t f = 0; f < nf; ++f) {
+        const size_t rows = view.FactorRows(f);
+        if (rows == 0) return;  // empty factor: zero flat rows
+        cells[f].resize(rows);
+        for (size_t t = 0; t < rows; ++t) {
+          DecodeFactorRowInto(view.rows[view.FactorBegin(f) + t],
+                              spec->factors[f].size(), &cells[f][t]);
+        }
+        if ((*is_e)[f]) {
+          efactors.push_back(f);
+        } else {
+          mult *= rows;
+        }
+      }
+      std::vector<size_t> idx(efactors.size(), 0);
+      std::vector<rdf::TermId> key;
+      auto cell_at = [&](int pos) -> rdf::TermId {
+        const CellLoc& l = (*loc)[static_cast<size_t>(pos)];
+        if (l.kind != CellLoc::kFactor) {
+          return base[static_cast<size_t>(pos)];  // base cell or NULL
+        }
+        const size_t f = static_cast<size_t>(l.factor);
+        size_t which = 0;
+        while (efactors[which] != f) ++which;
+        return cells[f][idx[which]][static_cast<size_t>(l.slot)];
+      };
+      for (;;) {
+        key.clear();
+        for (int k : key_idx) key.push_back(cell_at(k));
+        auto [it, inserted] = partials->emplace(EncodeRow(key), make_aggs());
+        std::vector<Aggregator>& agg_list = it->second;
+        for (size_t a = 0; a < agg_idx.size(); ++a) {
+          if (agg_idx[a] < 0) {
+            agg_list[a].AddRowWeighted(mult);
+            continue;
+          }
+          const CellLoc& l = (*loc)[static_cast<size_t>(agg_idx[a])];
+          if (l.kind == CellLoc::kFactor &&
+              !(*is_e)[static_cast<size_t>(l.factor)]) {
+            // Aggregated column varies within a multiplicity factor: each
+            // of its rows appears in mult / rows-of-factor flat rows.
+            const size_t f = static_cast<size_t>(l.factor);
+            const uint64_t w = mult / cells[f].size();
+            for (const auto& frow : cells[f]) {
+              agg_list[a].AddTermWeighted(frow[static_cast<size_t>(l.slot)],
+                                          *dict, w);
+            }
+          } else {
+            agg_list[a].AddTermWeighted(cell_at(agg_idx[a]), *dict, mult);
+          }
+        }
+        size_t e = efactors.size();
+        for (;;) {
+          if (e == 0) return;
+          --e;
+          if (++idx[e] < cells[efactors[e]].size()) break;
+          idx[e] = 0;
+        }
+      }
+    };
+    job.map_finish = flush_partials;
+    if (options_.vectorized_kernels) InstallBatchLoop(&job);
+  } else if (input.factorized()) {
+    // Stream-decompress, then the flat scalar behavior per flat row (raw
+    // mode, or an order-sensitive aggregate slipped through).
+    FactorizationPtr spec = input.factor;
+    const bool partial = options_.partial_aggregation;
+    job.map = [spec, key_idx, agg_idx, dict, make_aggs, partial](
+                  const mr::Record& r, int, mr::MapContext* ctx) {
+      GroupView view;
+      if (!ParseGroup(r.value, spec->factors.size(), &view)) return;
+      std::vector<rdf::TermId> row;
+      ForEachFlatRow(
+          *spec, view, &row, [&](const std::vector<rdf::TermId>& fr) {
+            std::vector<rdf::TermId> key;
+            for (int i : key_idx) key.push_back(fr[static_cast<size_t>(i)]);
+            if (partial) {
+              PartialMap* partials = ctx->TaskState<PartialMap>();
+              auto [it, inserted] =
+                  partials->emplace(EncodeRow(key), make_aggs());
+              for (size_t a = 0; a < agg_idx.size(); ++a) {
+                if (agg_idx[a] < 0) {
+                  it->second[a].AddRow();
+                } else {
+                  it->second[a].AddTerm(fr[static_cast<size_t>(agg_idx[a])],
+                                        *dict);
+                }
+              }
+              return;
+            }
+            std::vector<rdf::TermId> args;
+            for (int i : agg_idx) {
+              args.push_back(i < 0 ? rdf::kInvalidTermId
+                                   : fr[static_cast<size_t>(i)]);
+            }
+            ctx->Emit(EncodeRow(key), "R|" + EncodeRow(args));
+          });
+    };
+    if (options_.partial_aggregation) job.map_finish = flush_partials;
+    if (options_.vectorized_kernels) InstallBatchLoop(&job);
+  } else if (options_.partial_aggregation && options_.vectorized_kernels) {
     // Batch kernel for map-side pre-aggregation: an insertion-ordered
     // open-addressing table (HashIndex over the encoded group key) built
     // in one dispatch per split, flushed at the end of the same call.
@@ -865,7 +1840,29 @@ StatusOr<TableRef> RelationalOps::DistinctProject(
   job.name = name_hint;
   job.inputs = {input.file};
   job.output = out.file;
-  if (options_.vectorized_kernels) {
+  if (input.factorized()) {
+    // Stream-decompress group records; the reduce-side dedup makes the
+    // enumeration order immaterial (DISTINCT is order-insensitive), which
+    // is exactly why the planner may factorize up to this sink.
+    FactorizationPtr spec = input.factor;
+    job.map = [spec, idx, keep_predicate](const mr::Record& r, int,
+                                          mr::MapContext* ctx) {
+      GroupView view;
+      if (!ParseGroup(r.value, spec->factors.size(), &view)) return;
+      std::vector<rdf::TermId> row;
+      std::vector<rdf::TermId> projected;
+      ForEachFlatRow(*spec, view, &row,
+                     [&](const std::vector<rdf::TermId>& fr) {
+                       if (keep_predicate && !keep_predicate(fr)) return;
+                       projected.clear();
+                       for (int i : idx) {
+                         projected.push_back(fr[static_cast<size_t>(i)]);
+                       }
+                       ctx->Emit(EncodeRow(projected), "");
+                     });
+    };
+    if (options_.vectorized_kernels) InstallBatchLoop(&job);
+  } else if (options_.vectorized_kernels) {
     job.map_batch = [idx, keep_predicate](const mr::TaggedRecord* recs,
                                           size_t n, mr::MapContext* ctx) {
       std::vector<rdf::TermId> row;
@@ -990,12 +1987,41 @@ StatusOr<analytics::BindingTable> RelationalOps::ReadTable(
   RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
                           dataset_->dfs().Open(table.file));
   analytics::BindingTable out(table.columns);
+  if (table.factorized()) {
+    GroupView view;
+    std::vector<rdf::TermId> row;
+    for (const mr::Record& r : f->records) {
+      if (!ParseGroup(r.value, table.factor->factors.size(), &view)) continue;
+      ForEachFlatRow(*table.factor, view, &row,
+                     [&out, &table](const std::vector<rdf::TermId>& fr) {
+                       std::vector<rdf::TermId> flat = fr;
+                       flat.resize(table.columns.size(), rdf::kInvalidTermId);
+                       out.AddRow(std::move(flat));
+                     });
+    }
+    return out;
+  }
   for (const mr::Record& r : f->records) {
     std::vector<rdf::TermId> row = DecodeRow(r.value);
     row.resize(table.columns.size(), rdf::kInvalidTermId);
     out.AddRow(std::move(row));
   }
   return out;
+}
+
+StatusOr<uint64_t> RelationalOps::FlatStoredBytes(const TableRef& table) const {
+  if (!table.factorized()) return dataset_->VpFileBytes(table.file);
+  // Join intermediates are written with default (uncompressed) FileOptions,
+  // so the flat equivalent's stored bytes are its raw record bytes.
+  RAPIDA_ASSIGN_OR_RETURN(const mr::Dfs::File* f,
+                          dataset_->dfs().Open(table.file));
+  uint64_t bytes = 0;
+  GroupView view;
+  for (const mr::Record& r : f->records) {
+    if (!ParseGroup(r.value, table.factor->factors.size(), &view)) continue;
+    bytes += FlatRecordBytes(*table.factor, view);
+  }
+  return bytes;
 }
 
 }  // namespace rapida::engine

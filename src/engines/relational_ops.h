@@ -10,6 +10,7 @@
 #include "analytics/binding.h"
 #include "engines/dataset.h"
 #include "engines/engine.h"
+#include "engines/factorized.h"
 #include "mapreduce/cluster.h"
 #include "sparql/ast.h"
 #include "util/statusor.h"
@@ -30,12 +31,22 @@ void AppendRow(std::string* out, const std::vector<rdf::TermId>& row);
 void DecodeRowInto(std::string_view data, std::vector<rdf::TermId>* out);
 
 /// A named intermediate table: a DFS file whose records hold EncodeRow'd
-/// values, plus its column names.
+/// values, plus its column names. When `factor` is set the file instead
+/// holds factorized group records (engines/factorized.h) — one record per
+/// group, standing for the cross product of its factor rows.
 struct TableRef {
   std::string file;
   std::vector<std::string> columns;
+  /// Factorized layout of the file's records; null = flat EncodeRow rows.
+  FactorizationPtr factor;
+  /// Exact stored bytes the equivalent *flat* file would occupy — what
+  /// size-based decisions (map-join threshold, greedy join order) must use
+  /// so the factorized path picks the same strategies as the flat path.
+  /// 0 for flat tables (use the file's stored bytes directly).
+  uint64_t flat_bytes = 0;
 
   int ColumnIndex(const std::string& name) const;
+  bool factorized() const { return factor != nullptr; }
 };
 
 /// Predicate over a decoded row (compiled FILTER).
@@ -75,6 +86,13 @@ struct JoinInput {
   bool outer = false;
   /// Optional map-side filter on this input's rows.
   RowPredicate predicate;
+  /// Factorized layout of the input file (copied from its TableRef); null
+  /// for flat files. A factorized input with a predicate is stream-
+  /// decompressed in the map (predicates see flat rows).
+  FactorizationPtr factor;
+  /// Flat-equivalent stored bytes (TableRef::flat_bytes) for size-based
+  /// join-strategy decisions. 0 = use the file's stored bytes.
+  uint64_t flat_bytes = 0;
 };
 
 /// Builder for the Hive-style relational MR plans. Tracks the temp files
@@ -89,9 +107,21 @@ class RelationalOps {
   /// cycle when every input but the largest is under the threshold and
   /// map-joins are enabled. `post_predicate` filters joined rows before
   /// the output is written.
+  ///
+  /// `factorize_output` requests a factorized (d-representation) output:
+  /// one group record per join match instead of the enumerated cross
+  /// product. Honoured only when the join has >= 2 inputs, no
+  /// post-predicate, and no output column is claimed by two sides (the
+  /// flat fold's overwrite semantics cannot be represented); otherwise the
+  /// output silently stays flat. Decompressing the factorized output
+  /// reproduces the flat output's rows (star joins and map-joins: in the
+  /// exact flat order; repartition joins over factorized inputs: as the
+  /// same multiset — callers must sit upstream of an order-insensitive
+  /// sink such as GroupBy or DISTINCT, which the planner guarantees).
   StatusOr<TableRef> Join(const std::string& name_hint,
                           const std::vector<JoinInput>& inputs,
-                          RowPredicate post_predicate = nullptr);
+                          RowPredicate post_predicate = nullptr,
+                          bool factorize_output = false);
 
   /// UNION ALL cycle: one map-only job that scans every input table and
   /// re-emits each row remapped to the unified layout (first input's
@@ -144,7 +174,21 @@ class RelationalOps {
   /// Reserves a fresh temp file name (cleaned up by Cleanup()).
   std::string NextTmp(const std::string& hint);
 
+  /// Exact stored bytes `table`'s flat equivalent would occupy (flat
+  /// tables: the file's stored bytes; factorized tables: arithmetic over
+  /// the group records — no enumeration). Driver-side scan, no MR jobs.
+  StatusOr<uint64_t> FlatStoredBytes(const TableRef& table) const;
+
  private:
+  /// Join in fact mode: at least one factorized input, or a factorized
+  /// output requested. Receives the layout and strategy Join computed.
+  StatusOr<TableRef> FactJoin(const std::string& name_hint,
+                              const std::vector<JoinInput>& inputs,
+                              RowPredicate post_predicate,
+                              bool factorize_output, bool map_join, int big,
+                              const std::vector<std::string>& out_columns,
+                              const std::vector<std::vector<int>>& out_pos,
+                              const std::vector<int>& join_idx);
 
   mr::Cluster* cluster_;
   Dataset* dataset_;

@@ -93,6 +93,8 @@ struct MapTaskResult {
   uint64_t shuffle_bytes = 0;
   uint64_t shuffle_local_bytes = 0;  // sharded: stayed on home shard
   uint64_t shuffle_cross_bytes = 0;  // sharded: crossed a channel edge
+  uint64_t factorized_groups = 0;     // groups emitted by map/map_finish
+  uint64_t factorized_flat_rows = 0;  // flat rows those groups stand for
 };
 
 /// One shuffle partition while mappers are filling it: chunks of records
@@ -300,6 +302,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     }
     result.map_output_records = map_store->size();
     result.map_output_bytes = ctx.bytes();
+    result.factorized_groups = ctx.factorized_groups();
+    result.factorized_flat_rows = ctx.factorized_flat_rows();
     // Emission is done: the store is frozen, so record views are stable.
     std::vector<Record> map_out;
     map_out.reserve(map_store->size());
@@ -408,6 +412,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
     stats.shuffle_bytes += r.shuffle_bytes;
     stats.shuffle_local_bytes += r.shuffle_local_bytes;
     stats.shuffle_cross_bytes += r.shuffle_cross_bytes;
+    stats.factorized_groups += r.factorized_groups;
+    stats.factorized_flat_rows += r.factorized_flat_rows;
   }
   if (!sharded) {
     // One address space: every shuffled byte is a local hand-off. (The
@@ -483,6 +489,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
       std::vector<std::shared_ptr<ColumnarRecords>> part_stores(
           num_partitions);
       std::vector<std::vector<ReducedGroup>> part_spans(num_partitions);
+      std::vector<uint64_t> part_fgroups(num_partitions, 0);
+      std::vector<uint64_t> part_frows(num_partitions, 0);
       run_tasks(num_partitions, [&](size_t p) {
         std::vector<Record>& records = part_records[p];
         part_stores[p] = std::make_shared<ColumnarRecords>();
@@ -496,10 +504,16 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
           part_spans[p].push_back(ReducedGroup{head.key_prefix, head.key, p,
                                                before, store.size()});
         }
+        part_fgroups[p] = rctx.factorized_groups();
+        part_frows[p] = rctx.factorized_flat_rows();
         // This partition's emissions are done; materialize stable views.
         part_out[p].reserve(store.size());
         store.AppendRecordViews(&part_out[p]);
       });
+      for (size_t p = 0; p < num_partitions; ++p) {
+        stats.factorized_groups += part_fgroups[p];
+        stats.factorized_flat_rows += part_frows[p];
+      }
       std::vector<ReducedGroup> all_groups;
       all_groups.reserve(distinct_keys);
       for (const auto& spans : part_spans) {
@@ -558,6 +572,8 @@ StatusOr<JobStats> Cluster::Run(const JobConfig& job) {
                               static_cast<int>(best));
         }
       }
+      stats.factorized_groups += rctx.factorized_groups();
+      stats.factorized_flat_rows += rctx.factorized_flat_rows();
       output.reserve(reduce_store->size());
       reduce_store->AppendRecordViews(&output);
       output_stores.push_back(std::move(reduce_store));

@@ -30,6 +30,18 @@ struct JobStats {
   uint64_t output_records = 0;
   uint64_t output_bytes = 0;        // stored bytes materialized
 
+  /// Factorized-intermediate instrumentation: group records emitted by
+  /// this job's operators and the flat rows they stand for (0/0 for jobs
+  /// whose outputs are flat). factorization factor = flat rows / groups.
+  uint64_t factorized_groups = 0;
+  uint64_t factorized_flat_rows = 0;
+  /// flat rows / factorized groups; 1 when the job emitted no groups.
+  double FactorizationFactor() const {
+    if (factorized_groups == 0) return 1.0;
+    return static_cast<double>(factorized_flat_rows) /
+           static_cast<double>(factorized_groups);
+  }
+
   int num_mappers = 0;
   int num_reducers = 0;
   /// Shards the job executed across (0 = legacy unsharded data plane).
@@ -84,6 +96,23 @@ struct WorkflowStats {
     uint64_t n = 0;
     for (const JobStats& j : jobs) n += j.output_bytes;
     return n;
+  }
+  uint64_t TotalFactorizedGroups() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.factorized_groups;
+    return n;
+  }
+  uint64_t TotalFactorizedFlatRows() const {
+    uint64_t n = 0;
+    for (const JobStats& j : jobs) n += j.factorized_flat_rows;
+    return n;
+  }
+  /// Workflow-level factorization factor (1 when nothing factorized).
+  double FactorizationFactor() const {
+    uint64_t g = TotalFactorizedGroups();
+    if (g == 0) return 1.0;
+    return static_cast<double>(TotalFactorizedFlatRows()) /
+           static_cast<double>(g);
   }
   double TotalSimSeconds() const {
     double s = 0;

@@ -30,7 +30,21 @@ class TaskStateBase {
     return &static_cast<StateHolder<T>*>(state_.get())->value;
   }
 
+  /// Factorized-operator instrumentation: a producer calls this once per
+  /// factorized group record it emits, with the flat row count the group
+  /// stands for. The cluster folds the per-context totals into
+  /// JobStats::factorized_groups / factorized_flat_rows at the same
+  /// barriers as the byte counters; jobs that never call it report 0.
+  void NoteFactorizedGroup(uint64_t flat_rows) {
+    factorized_groups_ += 1;
+    factorized_flat_rows_ += flat_rows;
+  }
+  uint64_t factorized_groups() const { return factorized_groups_; }
+  uint64_t factorized_flat_rows() const { return factorized_flat_rows_; }
+
  private:
+  uint64_t factorized_groups_ = 0;
+  uint64_t factorized_flat_rows_ = 0;
   struct StateHolderBase {
     virtual ~StateHolderBase() = default;
   };

@@ -1,6 +1,7 @@
 #include "plan/executor.h"
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 
 namespace rapida::plan {
@@ -69,6 +70,27 @@ Status ExecutePlanMulti(
     if (!s.ok()) {
       cleanup();
       return s;
+    }
+    {
+      // Post-exec EXPLAIN annotation: flat rows / d-representation groups
+      // over the jobs this node's exec ran. Info is display-only and
+      // excluded from Fingerprint, and plans are built per execution, so
+      // mutating it through the const ref is safe (same contract as the
+      // passes' dataset-dependent info).
+      uint64_t fgroups = 0;
+      uint64_t frows = 0;
+      const auto& history = cluster->history();
+      for (size_t j = jobs_before; j < history.size(); ++j) {
+        fgroups += history[j].factorized_groups;
+        frows += history[j].factorized_flat_rows;
+      }
+      if (fgroups > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      static_cast<double>(frows) /
+                          static_cast<double>(fgroups));
+        const_cast<PlanNode&>(node).Info("factorization_factor", buf);
+      }
     }
     if (enforce_peval) {
       const std::string* peval = peval_of(node);

@@ -1,10 +1,12 @@
 #include "plan/passes.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "storage/ivm.h"
 
@@ -136,6 +138,146 @@ PassManager PassManager::Default(const engine::EngineOptions& options,
           if (n.kind == OpKind::kGroupAggregate ||
               n.kind == OpKind::kAggJoin) {
             n.Attr("map_side_agg", enabled ? "partial" : "off");
+          }
+        }
+      }});
+
+  pm.Add(Pass{
+      "factorize", options.factorized_intermediates,
+      [](PhysicalPlan* plan, bool enabled) {
+        // Factorized (d-representation) intermediate results. Two halves:
+        //
+        // NTGA plans are *natively* factorized — a triplegroup is exactly
+        // the grouped form, and kExpandBindings is the engine's built-in
+        // decompress boundary. Those nodes get display-only annotations
+        // (info, like vectorized-kernels) whether or not the pass is on,
+        // because the representation is the engine's own, not a choice.
+        for (PlanNode& n : plan->nodes) {
+          switch (n.kind) {
+            case OpKind::kTripleGroupLoad:
+            case OpKind::kNSplitAlphaJoin:
+              n.Info("factorized", "ntg-bindings");
+              break;
+            case OpKind::kExpandBindings:
+              n.Info("decompress", "expand-bindings");
+              break;
+            default:
+              break;
+          }
+        }
+        if (!enabled) return;
+        // Relational plans: walk up from every sink that can consume
+        // d-representation groups directly — kDistinctExtract always
+        // (dedup decompresses), kGroupAggregate when every aggregate is
+        // weighted-safe (no SUM/AVG: Aggregator::AddTermWeighted) — and
+        // mark the join pipeline above it `factorize=d-rep`. Joins that
+        // carry a residual post-filter emit flat (predicates see flat
+        // rows): `off:post-filter`, but their *inputs* may still be
+        // factorized (FactJoin stream-decompresses). UNION arms stay flat
+        // (the union cycle concatenates flat rows), so the walk stops
+        // there — exactly the grouping-level rule the exec closures
+        // apply. These are identity attrs (they change what the cycles
+        // emit), so they are fingerprinted, unlike the NTGA info above.
+        auto is_join = [](OpKind k) {
+          return k == OpKind::kStarJoin || k == OpKind::kMapJoin ||
+                 k == OpKind::kReduceJoin || k == OpKind::kLeftMapJoin ||
+                 k == OpKind::kLeftReduceJoin;
+        };
+        std::set<int> visited;
+        std::function<void(int)> mark_up = [&](int id) {
+          if (!visited.insert(id).second) return;
+          PlanNode* n = plan->FindById(id);
+          if (n == nullptr || !is_join(n->kind)) return;  // union/scan: stop
+          if (FindEntry(n->attrs, "factorize") == nullptr) {
+            if (FindEntry(n->attrs, "residual_filter") != nullptr) {
+              n->Attr("factorize", "off:post-filter");
+            } else if (n->inputs.size() >= 2) {
+              n->Attr("factorize", "d-rep");
+            }
+          }
+          for (int in : n->inputs) mark_up(in);
+        };
+        for (PlanNode& n : plan->nodes) {
+          const bool sink = n.kind == OpKind::kGroupAggregate ||
+                            n.kind == OpKind::kDistinctExtract;
+          if (!sink) continue;
+          bool safe = true;
+          if (n.kind == OpKind::kGroupAggregate) {
+            for (const auto& [k, v] : n.attrs) {
+              if (k.rfind("agg", 0) == 0 &&
+                  (v.rfind("SUM(", 0) == 0 || v.rfind("AVG(", 0) == 0)) {
+                safe = false;
+              }
+            }
+          }
+          bool joins_above = false;
+          for (int in : n.inputs) {
+            const PlanNode* p = plan->FindById(in);
+            if (p != nullptr && is_join(p->kind)) joins_above = true;
+          }
+          if (!safe) {
+            if (joins_above) n.Attr("factorize", "off:sum-avg");
+            continue;
+          }
+          for (int in : n.inputs) mark_up(in);
+          bool factorized_input = false;
+          for (int in : n.inputs) {
+            const PlanNode* p = plan->FindById(in);
+            const std::string* f =
+                p == nullptr ? nullptr : FindEntry(p->attrs, "factorize");
+            if (f != nullptr && *f == "d-rep") factorized_input = true;
+          }
+          if (factorized_input) n.Attr("factorize", "fused-decompress");
+        }
+        // Flat-tuple boundaries: a consumer that genuinely needs flat
+        // rows (final join, driver-side materialize, union concatenation,
+        // SUM/AVG aggregation) over a d-rep producer gets an explicit
+        // cost-0 Decompress node — the enumeration folds into the
+        // consumer's reader, like VP scans fold into their join. Today's
+        // planners never factorize past such a boundary, so this is a
+        // structural guarantee, not a hot path.
+        std::map<size_t, std::vector<int>> wanted;  // consumer pos -> inputs
+        for (size_t i = 0; i < plan->nodes.size(); ++i) {
+          PlanNode& n = plan->nodes[i];
+          const std::string* own = FindEntry(n.attrs, "factorize");
+          const bool handles_groups =
+              is_join(n.kind) || n.kind == OpKind::kDistinctExtract ||
+              (n.kind == OpKind::kGroupAggregate && own != nullptr &&
+               *own == "fused-decompress") ||
+              n.kind == OpKind::kDecompress;
+          if (handles_groups) continue;
+          for (int in : n.inputs) {
+            const PlanNode* p = plan->FindById(in);
+            const std::string* f =
+                p == nullptr ? nullptr : FindEntry(p->attrs, "factorize");
+            if (f != nullptr && *f == "d-rep") wanted[i].push_back(in);
+          }
+        }
+        // Back to front so stored positions stay valid while inserting.
+        for (auto it = wanted.rbegin(); it != wanted.rend(); ++it) {
+          size_t pos = it->first;  // shifts right as nodes land before it
+          for (int producer_id : it->second) {
+            const std::string clabel = plan->nodes[pos].label;
+            const std::string ckind = OpKindName(plan->nodes[pos].kind);
+            PlanNode& dec = plan->AddNode(
+                OpKind::kDecompress, clabel,
+                clabel + ": decompress d-representation groups to flat "
+                         "tuples (folded into the reader)",
+                0);
+            dec.map_only = true;
+            dec.inputs = {producer_id};
+            dec.Attr("boundary", ckind);
+            const int dec_id = dec.id;
+            PlanNode& c = plan->nodes[pos];
+            for (int& in : c.inputs) {
+              if (in == producer_id) in = dec_id;
+            }
+            // AddNode appended; rotate the new node to just before its
+            // consumer to keep the stored order topological (the consumer
+            // and later nodes shift one slot right).
+            std::rotate(plan->nodes.begin() + static_cast<long>(pos),
+                        plan->nodes.end() - 1, plan->nodes.end());
+            ++pos;
           }
         }
       }});

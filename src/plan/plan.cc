@@ -22,6 +22,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kMaterialize: return "Materialize";
     case OpKind::kFinalJoin: return "FinalJoin";
     case OpKind::kParallelRegion: return "ParallelRegion";
+    case OpKind::kDecompress: return "Decompress";
   }
   return "Unknown";
 }

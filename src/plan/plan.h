@@ -33,6 +33,8 @@ enum class OpKind {
   kMaterialize,     // driver-side step / empty-table short circuit
   kFinalJoin,       // final map-only join of grouping results
   kParallelRegion,  // independent siblings evaluated in one parallel cycle
+  kDecompress,      // flat-tuple boundary: enumerate factorized groups
+                    // (cost-0; folded into the consuming reader)
 };
 
 const char* OpKindName(OpKind kind);

@@ -267,16 +267,34 @@ int EmitHiveGroupingTail(PhysicalPlan* plan, engine::Dataset* dataset,
   return un.id;
 }
 
+/// True when every aggregate of the grouping tolerates weighted
+/// (factorized) accumulation: COUNT/MIN/MAX/SAMPLE/GROUP_CONCAT are order-
+/// and partition-insensitive; SUM/AVG accumulate floating-point in data
+/// order, so their pipelines stay flat (Aggregator::AddTermWeighted doc).
+bool SafeFactorizeAggs(const GroupingSubquery& grouping) {
+  for (const ntga::AggSpec& a : grouping.aggs) {
+    if (a.func == sparql::AggFunc::kSum || a.func == sparql::AggFunc::kAvg) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Compiles the pattern side of one grouping at exec time, mirroring
 /// EmitHiveGroupingTail cycle for cycle: CompileHivePattern per branch and
 /// per OPTIONAL star, a left outer Join per tail (post-filters compiled as
 /// the last join's post-predicate), and one UNION ALL cycle across
-/// branches.
+/// branches. Single-branch groupings whose aggregates are weighted-safe
+/// keep the join pipeline factorized (d-representation) end to end; the
+/// GROUP BY consumes the groups directly. UNION branches stay flat — the
+/// union cycle needs flat rows anyway.
 StatusOr<engine::TableRef> CompileGroupingPattern(
     ExecContext* ctx, const GroupingSubquery& grouping,
     const std::string& label) {
   const rdf::Dictionary& dict = ctx->dataset->graph().dict();
   std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  const bool fact = ctx->options.factorized_intermediates &&
+                    branches.size() == 1 && SafeFactorizeAggs(grouping);
   std::vector<engine::TableRef> branch_tables;
   for (size_t b = 0; b < branches.size(); ++b) {
     const detail::BranchView& bv = branches[b];
@@ -287,7 +305,7 @@ StatusOr<engine::TableRef> CompileGroupingPattern(
     RAPIDA_ASSIGN_OR_RETURN(
         engine::TableRef cur,
         engine::CompileHivePattern(ctx->rel, ctx->dataset, *bv.pattern,
-                                   filters, nullptr, blabel));
+                                   filters, nullptr, blabel, fact));
     for (size_t j = 0; j < bv.optionals->size(); ++j) {
       const analytics::OptionalTail& opt = (*bv.optionals)[j];
       ntga::StarGraph og = detail::OptionalGraph(opt);
@@ -297,16 +315,21 @@ StatusOr<engine::TableRef> CompileGroupingPattern(
           engine::TableRef opt_table,
           engine::CompileHivePattern(ctx->rel, ctx->dataset, og, ofilters,
                                      nullptr,
-                                     blabel + ":opt" + std::to_string(j)));
+                                     blabel + ":opt" + std::to_string(j),
+                                     fact));
       engine::JoinInput left;
       left.file = cur.file;
       left.columns = cur.columns;
       left.join_column = opt.join_var;
+      left.factor = cur.factor;
+      left.flat_bytes = cur.flat_bytes;
       engine::JoinInput right;
       right.file = opt_table.file;
       right.columns = opt_table.columns;
       right.join_column = opt.join_var;
       right.outer = true;
+      right.factor = opt_table.factor;
+      right.flat_bytes = opt_table.flat_bytes;
       engine::RowPredicate post;
       if (j + 1 == bv.optionals->size() && !bv.post_filters->empty()) {
         std::vector<std::string> post_cols = left.columns;
@@ -323,7 +346,7 @@ StatusOr<engine::TableRef> CompileGroupingPattern(
       RAPIDA_ASSIGN_OR_RETURN(
           engine::TableRef joined,
           ctx->rel->Join(blabel + ":leftjoin" + std::to_string(j),
-                         {left, right}, post));
+                         {left, right}, post, fact));
       cur = std::move(joined);
     }
     branch_tables.push_back(std::move(cur));
@@ -522,9 +545,12 @@ void BindHiveMqo(PhysicalPlan* plan, const AnalyticalQuery& query,
                  std::shared_ptr<MqoState> st) {
   const AnalyticalQuery* q = &query;
   plan->FindByTag("qopt")->exec = [st](ExecContext* ctx) -> Status {
+    // The materialized Q_OPT may stay factorized unconditionally: the
+    // per-pattern DISTINCT extractions dedup to flat tables, so the
+    // groupings' aggregates never see weighted input.
     auto q_opt = engine::CompileHivePattern(
         ctx->rel, ctx->dataset, st->composite_graph, st->composite_filter_ptrs,
-        &st->outer_props, "qopt");
+        &st->outer_props, "qopt", ctx->options.factorized_intermediates);
     if (!q_opt.ok()) return q_opt.status();
     st->q_opt = std::move(*q_opt);
     return Status::OK();

@@ -255,6 +255,19 @@ StatusOr<engine::TableRef> ComputeNtgaGroupingTable(
     const std::string& label, std::vector<sparql::ExprPtr>* owned_filters) {
   const rdf::Dictionary& dict = ctx->dataset->graph().dict();
   std::vector<detail::BranchView> branches = detail::BranchesOf(grouping);
+  // Same factorization rule as the Hive grouping compiler: single-branch
+  // patterns with weighted-safe aggregates keep the left-join tail in
+  // d-representation (the expanded NTG bindings themselves stay flat —
+  // triplegroups are the NTGA engines' own grouped form upstream of the
+  // expansion cycle).
+  bool safe_aggs = true;
+  for (const ntga::AggSpec& a : grouping.aggs) {
+    if (a.func == sparql::AggFunc::kSum || a.func == sparql::AggFunc::kAvg) {
+      safe_aggs = false;
+    }
+  }
+  const bool fact = ctx->options.factorized_intermediates &&
+                    branches.size() == 1 && safe_aggs;
   std::vector<engine::TableRef> branch_tables;
   for (size_t b = 0; b < branches.size(); ++b) {
     const detail::BranchView& bv = branches[b];
@@ -302,11 +315,15 @@ StatusOr<engine::TableRef> ComputeNtgaGroupingTable(
       left.file = cur.file;
       left.columns = cur.columns;
       left.join_column = opt.join_var;
+      left.factor = cur.factor;
+      left.flat_bytes = cur.flat_bytes;
       engine::JoinInput right;
       right.file = opt_table.file;
       right.columns = opt_table.columns;
       right.join_column = opt.join_var;
       right.outer = true;
+      right.factor = opt_table.factor;
+      right.flat_bytes = opt_table.flat_bytes;
       engine::RowPredicate post;
       if (j + 1 == bv.optionals->size() && !bv.post_filters->empty()) {
         std::vector<std::string> post_cols = left.columns;
@@ -323,7 +340,7 @@ StatusOr<engine::TableRef> ComputeNtgaGroupingTable(
       RAPIDA_ASSIGN_OR_RETURN(
           engine::TableRef joined,
           ctx->rel->Join(blabel + ":leftjoin" + std::to_string(j),
-                         {left, right}, post));
+                         {left, right}, post, fact));
       cur = std::move(joined);
     }
     branch_tables.push_back(std::move(cur));

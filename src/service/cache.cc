@@ -104,8 +104,10 @@ std::shared_ptr<const analytics::BindingTable> ResultCache::Get(
   return it->second->table;
 }
 
-void ResultCache::Put(const std::string& key, analytics::BindingTable table) {
-  uint64_t bytes = TableBytes(table);
+void ResultCache::Put(const std::string& key, analytics::BindingTable table,
+                      uint64_t serialized_bytes) {
+  uint64_t bytes =
+      serialized_bytes > 0 ? serialized_bytes + 64 : TableBytes(table);
   if (bytes > byte_budget_) return;
   // Key layout is "<dataset>@v<version>\n<fingerprint>".
   std::string dataset = key.substr(0, key.find('@'));

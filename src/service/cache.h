@@ -92,8 +92,13 @@ class ResultCache {
   std::shared_ptr<const analytics::BindingTable> Get(const std::string& key);
 
   /// Inserts (or refreshes) `table` under `key`. A table larger than the
-  /// whole budget is not cached.
-  void Put(const std::string& key, analytics::BindingTable table);
+  /// whole budget is not cached. `serialized_bytes`, when non-zero, is the
+  /// table's serialized (d-representation) footprint and replaces the flat
+  /// NumRows x NumCols estimate in the LRU charge — tables served from
+  /// factorized artifacts are billed at the size they actually cost to
+  /// keep, not the row count they decompress to.
+  void Put(const std::string& key, analytics::BindingTable table,
+           uint64_t serialized_bytes = 0);
 
   /// What a wholesale invalidation actually dropped — surfaced in the
   /// service metrics so mutation cost is observable, not silent.

@@ -109,6 +109,20 @@ std::vector<uint64_t> ServiceMetrics::shard_output_bytes() const {
   return shard_output_bytes_;
 }
 
+void ServiceMetrics::RecordFactorization(uint64_t groups,
+                                         uint64_t flat_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factorized_groups_ += groups;
+  factorized_flat_rows_ += flat_rows;
+}
+
+double ServiceMetrics::factorization_factor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factorized_groups_ == 0) return 1.0;
+  return static_cast<double>(factorized_flat_rows_) /
+         static_cast<double>(factorized_groups_);
+}
+
 std::string ServiceMetrics::ToJson() const {
   std::string json = "{";
   {
@@ -129,6 +143,14 @@ std::string ServiceMetrics::ToJson() const {
     json += ",\"store_recomputes\":" + std::to_string(store_recomputes_);
     json += ",\"shuffle_local_bytes\":" + std::to_string(shuffle_local_bytes_);
     json += ",\"shuffle_cross_bytes\":" + std::to_string(shuffle_cross_bytes_);
+    json += ",\"factorized_groups\":" + std::to_string(factorized_groups_);
+    json +=
+        ",\"factorized_flat_rows\":" + std::to_string(factorized_flat_rows_);
+    json += ",\"factorization_factor\":" +
+            Num(factorized_groups_ == 0
+                    ? 1.0
+                    : static_cast<double>(factorized_flat_rows_) /
+                          static_cast<double>(factorized_groups_));
     json += ",\"shard_output_bytes\":[";
     for (size_t s = 0; s < shard_output_bytes_.size(); ++s) {
       if (s > 0) json += ",";

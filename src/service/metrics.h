@@ -61,6 +61,10 @@ class ServiceMetrics {
   /// shorter vectors extend the tracked width).
   void RecordShuffle(uint64_t local_bytes, uint64_t cross_bytes,
                      const std::vector<uint64_t>& per_shard_output_bytes);
+  /// Factorized (d-representation) intermediates of one finished workflow:
+  /// groups emitted and the flat rows those groups stand for
+  /// (WorkflowStats::TotalFactorizedGroups/-FlatRows).
+  void RecordFactorization(uint64_t groups, uint64_t flat_rows);
 
   uint64_t admitted() const { return Get(&admitted_); }
   uint64_t rejected() const { return Get(&rejected_); }
@@ -77,6 +81,12 @@ class ServiceMetrics {
   uint64_t store_recomputes() const { return Get(&store_recomputes_); }
   uint64_t shuffle_local_bytes() const { return Get(&shuffle_local_bytes_); }
   uint64_t shuffle_cross_bytes() const { return Get(&shuffle_cross_bytes_); }
+  uint64_t factorized_groups() const { return Get(&factorized_groups_); }
+  uint64_t factorized_flat_rows() const {
+    return Get(&factorized_flat_rows_);
+  }
+  /// flat rows / groups over everything recorded; 1.0 with no groups.
+  double factorization_factor() const;
   std::vector<uint64_t> shard_output_bytes() const;
   int max_queue_depth() const;
 
@@ -105,6 +115,8 @@ class ServiceMetrics {
   uint64_t store_recomputes_ = 0;
   uint64_t shuffle_local_bytes_ = 0;
   uint64_t shuffle_cross_bytes_ = 0;
+  uint64_t factorized_groups_ = 0;
+  uint64_t factorized_flat_rows_ = 0;
   std::vector<uint64_t> shard_output_bytes_;
   int max_queue_depth_ = 0;
   LatencyHistogram latency_;

@@ -25,15 +25,21 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 }
 
 /// Books one finished workflow's shuffle placement (local vs cross-shard
-/// bytes, per-shard output segments) into the service counters.
+/// bytes, per-shard output segments) and its factorized-intermediate
+/// counters (d-representation groups vs the flat rows they stand for)
+/// into the service counters.
 void RecordWorkflowShuffle(ServiceMetrics* metrics,
                            const std::vector<mr::JobStats>& jobs) {
   uint64_t local = 0;
   uint64_t cross = 0;
+  uint64_t fgroups = 0;
+  uint64_t frows = 0;
   std::vector<uint64_t> per_shard;
   for (const mr::JobStats& j : jobs) {
     local += j.shuffle_local_bytes;
     cross += j.shuffle_cross_bytes;
+    fgroups += j.factorized_groups;
+    frows += j.factorized_flat_rows;
     if (per_shard.size() < j.shard_output_bytes.size()) {
       per_shard.resize(j.shard_output_bytes.size(), 0);
     }
@@ -42,6 +48,7 @@ void RecordWorkflowShuffle(ServiceMetrics* metrics,
     }
   }
   metrics->RecordShuffle(local, cross, per_shard);
+  if (fgroups > 0) metrics->RecordFactorization(fgroups, frows);
 }
 
 /// Per-query cluster observer: cancels the workflow at the next phase
@@ -250,8 +257,7 @@ void QueryService::MaintainArtifacts(const std::string& name,
           entry.ok() ? store_->Get(meta.plan_fingerprint, old_hash)
                      : StatusOr<storage::Artifact>(entry.status());
       StatusOr<analytics::BindingTable> base =
-          art.ok() ? storage::DeserializeTable(art->rows, art->meta.columns,
-                                               &dataset->dict())
+          art.ok() ? storage::DeserializeArtifact(*art, &dataset->dict())
                    : StatusOr<analytics::BindingTable>(art.status());
       StatusOr<analytics::BindingTable> next =
           base.ok() ? storage::PatchResult(*entry->query, cls, *base, delta,
@@ -261,7 +267,13 @@ void QueryService::MaintainArtifacts(const std::string& name,
         storage::Artifact updated;
         updated.meta = meta;
         updated.meta.content_hash = new_hash;
-        updated.rows = storage::SerializeTable(*next, dataset->dict());
+        // The patch may break (or create) the cross-product shape, so the
+        // layout is re-decided from the patched rows, never inherited.
+        updated.meta.factorization.clear();
+        if (!storage::FactorizeTable(*next, dataset->dict(), &updated.rows,
+                                     &updated.meta.factorization)) {
+          updated.rows = storage::SerializeTable(*next, dataset->dict());
+        }
         if (store_->Put(updated).ok()) {
           patched = true;
           metrics_.IncrStorePatched();
@@ -364,8 +376,8 @@ bool QueryService::TryStore(Pending* p) {
   // and Unimplemented that it came from a future format — all three
   // degrade to recompute, never to a failed query.
   if (!art.ok()) return false;
-  StatusOr<analytics::BindingTable> table = storage::DeserializeTable(
-      art->rows, art->meta.columns, &dataset->dict());
+  StatusOr<analytics::BindingTable> table =
+      storage::DeserializeArtifact(*art, &dataset->dict());
   if (!table.ok()) return false;
   // Queries sharing a plan fingerprint differ only in variable names:
   // rename the stored canonical columns positionally to this query's own.
@@ -375,9 +387,18 @@ bool QueryService::TryStore(Pending* p) {
   renamed.mutable_rows() = std::move(table->mutable_rows());
 
   if (options_.enable_result_cache) {
+    // A factorized artifact's honest footprint is its serialized size;
+    // charging the decompressed row count would evict the exact entries
+    // factorization made cheap to keep.
+    uint64_t serialized_bytes = 0;
+    if (!art->meta.factorization.empty()) {
+      for (const auto& store : art->rows.columns) {
+        serialized_bytes += store->LogicalBytes();
+      }
+    }
     result_cache_.Put(
         ResultCache::Key(p->fingerprint, p->spec.dataset, dataset->version()),
-        analytics::BindingTable(renamed));
+        analytics::BindingTable(renamed), serialized_bytes);
   }
   metrics_.IncrStoreHit();
   // Zero MapReduce jobs: a store hit never touches the cluster, so its
@@ -402,7 +423,10 @@ void QueryService::PublishArtifact(Pending* p,
   art.meta.ivm_class =
       storage::IvmClassName(storage::ClassifyMaintainability(*p->plan).cls);
   art.meta.columns = table.vars();
-  art.rows = storage::SerializeTable(table, dataset->dict());
+  if (!storage::FactorizeTable(table, dataset->dict(), &art.rows,
+                               &art.meta.factorization)) {
+    art.rows = storage::SerializeTable(table, dataset->dict());
+  }
   Status st = store_->Put(art);
   if (!st.ok()) {
     RAPIDA_LOG(Warning) << "artifact publish failed for "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -43,6 +44,7 @@ std::string EncodeMeta(const ArtifactMeta& meta) {
   AppendStr(meta.ivm_class, &out);
   mr::AppendU32(static_cast<uint32_t>(meta.columns.size()), &out);
   for (const std::string& c : meta.columns) AppendStr(c, &out);
+  AppendStr(meta.factorization, &out);
   return out;
 }
 
@@ -64,6 +66,13 @@ Status DecodeMeta(std::string_view data, ArtifactMeta* meta) {
       return Status::DataLoss("artifact meta column list truncated");
     }
     meta->columns.push_back(std::move(c));
+  }
+  // Factorization spec: absent in pre-d-representation files (which then
+  // decode as flat), mandatory once any bytes follow the column list.
+  meta->factorization.clear();
+  if (offset < data.size() &&
+      !ReadStr(data, &offset, &meta->factorization)) {
+    return Status::DataLoss("artifact factorization spec truncated");
   }
   if (offset != data.size()) {
     return Status::DataLoss("artifact meta section has trailing bytes");
@@ -152,6 +161,68 @@ constexpr char kCellIri = 1;
 constexpr char kCellLiteral = 2;
 constexpr char kCellBlank = 3;
 
+void AppendCell(rdf::TermId id, const rdf::Dictionary& dict,
+                std::string* value) {
+  if (id == rdf::kInvalidTermId) {
+    value->push_back(kCellUnbound);
+    return;
+  }
+  const rdf::Term& term = dict.Get(id);
+  switch (term.kind) {
+    case rdf::TermKind::kIri:
+      value->push_back(kCellIri);
+      AppendStr(term.text, value);
+      break;
+    case rdf::TermKind::kLiteral:
+      value->push_back(kCellLiteral);
+      AppendStr(term.text, value);
+      AppendStr(term.datatype, value);
+      break;
+    case rdf::TermKind::kBlank:
+      value->push_back(kCellBlank);
+      AppendStr(term.text, value);
+      break;
+  }
+}
+
+Status DecodeCell(std::string_view value, size_t* offset,
+                  rdf::Dictionary* dict, rdf::TermId* out) {
+  if (*offset >= value.size()) {
+    return Status::DataLoss("artifact row cell truncated");
+  }
+  char kind = value[(*offset)++];
+  if (kind == kCellUnbound) {
+    *out = rdf::kInvalidTermId;
+    return Status::OK();
+  }
+  std::string text;
+  if (!ReadStr(value, offset, &text)) {
+    return Status::DataLoss("artifact row cell truncated");
+  }
+  rdf::Term term;
+  switch (kind) {
+    case kCellIri:
+      term = rdf::Term::Iri(std::move(text));
+      break;
+    case kCellBlank:
+      term = rdf::Term::Blank(std::move(text));
+      break;
+    case kCellLiteral: {
+      std::string datatype;
+      if (!ReadStr(value, offset, &datatype)) {
+        return Status::DataLoss("artifact row datatype truncated");
+      }
+      term = rdf::Term::Literal(std::move(text), std::move(datatype));
+      break;
+    }
+    default:
+      return Status::DataLoss("artifact row has unknown cell kind " +
+                              std::to_string(static_cast<int>(kind)));
+  }
+  *out = dict->Intern(term);
+  return Status::OK();
+}
+
 }  // namespace
 
 mr::RecordBatch SerializeTable(const analytics::BindingTable& table,
@@ -160,28 +231,7 @@ mr::RecordBatch SerializeTable(const analytics::BindingTable& table,
   std::string value;
   for (const std::vector<rdf::TermId>& row : table.rows()) {
     value.clear();
-    for (rdf::TermId id : row) {
-      if (id == rdf::kInvalidTermId) {
-        value.push_back(kCellUnbound);
-        continue;
-      }
-      const rdf::Term& term = dict.Get(id);
-      switch (term.kind) {
-        case rdf::TermKind::kIri:
-          value.push_back(kCellIri);
-          AppendStr(term.text, &value);
-          break;
-        case rdf::TermKind::kLiteral:
-          value.push_back(kCellLiteral);
-          AppendStr(term.text, &value);
-          AppendStr(term.datatype, &value);
-          break;
-        case rdf::TermKind::kBlank:
-          value.push_back(kCellBlank);
-          AppendStr(term.text, &value);
-          break;
-      }
-    }
+    for (rdf::TermId id : row) AppendCell(id, dict, &value);
     batch.Add(/*key=*/{}, value);
   }
   return batch;
@@ -198,36 +248,9 @@ StatusOr<analytics::BindingTable> DeserializeTable(
       std::vector<rdf::TermId> row;
       row.reserve(columns.size());
       while (offset < value.size()) {
-        char kind = value[offset++];
-        if (kind == kCellUnbound) {
-          row.push_back(rdf::kInvalidTermId);
-          continue;
-        }
-        std::string text;
-        if (!ReadStr(value, &offset, &text)) {
-          return Status::DataLoss("artifact row cell truncated");
-        }
-        rdf::Term term;
-        switch (kind) {
-          case kCellIri:
-            term = rdf::Term::Iri(std::move(text));
-            break;
-          case kCellBlank:
-            term = rdf::Term::Blank(std::move(text));
-            break;
-          case kCellLiteral: {
-            std::string datatype;
-            if (!ReadStr(value, &offset, &datatype)) {
-              return Status::DataLoss("artifact row datatype truncated");
-            }
-            term = rdf::Term::Literal(std::move(text), std::move(datatype));
-            break;
-          }
-          default:
-            return Status::DataLoss("artifact row has unknown cell kind " +
-                                    std::to_string(static_cast<int>(kind)));
-        }
-        row.push_back(dict->Intern(term));
+        rdf::TermId id = rdf::kInvalidTermId;
+        RAPIDA_RETURN_IF_ERROR(DecodeCell(value, &offset, dict, &id));
+        row.push_back(id);
       }
       if (row.size() != columns.size()) {
         return Status::DataLoss(
@@ -237,6 +260,248 @@ StatusOr<analytics::BindingTable> DeserializeTable(
       table.AddRow(std::move(row));
     }
   }
+  return table;
+}
+
+bool FactorizeTable(const analytics::BindingTable& table,
+                    const rdf::Dictionary& dict, mr::RecordBatch* rows,
+                    std::string* spec) {
+  const auto& data = table.rows();
+  const size_t ncols = table.NumCols();
+  if (ncols < 2 || data.empty()) return false;
+
+  // Cell-encoded byte length per distinct TermId, memoized — needed both
+  // to size the flat baseline and to cost the factor vectors.
+  std::map<rdf::TermId, uint64_t> cell_len;
+  std::string scratch;
+  auto len_of = [&](rdf::TermId id) {
+    auto it = cell_len.find(id);
+    if (it != cell_len.end()) return it->second;
+    scratch.clear();
+    AppendCell(id, dict, &scratch);
+    return cell_len.emplace(id, scratch.size()).first->second;
+  };
+
+  struct Group {
+    rdf::TermId base;
+    std::vector<std::vector<rdf::TermId>> factors;  // one per column 1..n-1
+  };
+  // Record::Bytes() = key + value + 2; flat rows have empty keys, group
+  // records carry "g" / "f<j>" keys.
+  uint64_t flat_bytes = 0, fact_bytes = 0;
+
+  for (size_t begin = 0; begin < data.size();) {
+    size_t end = begin;
+    while (end < data.size() && data[end][0] == data[begin][0]) ++end;
+    Group g;
+    g.base = data[begin][0];
+    g.factors.assign(ncols - 1, {});
+    uint64_t row_len = 0;
+    for (size_t c = 1; c < ncols; ++c) {
+      std::vector<rdf::TermId>& vals = g.factors[c - 1];
+      for (size_t r = begin; r < end; ++r) {
+        rdf::TermId id = data[r][c];
+        bool seen = false;
+        for (rdf::TermId v : vals) {
+          if (v == id) { seen = true; break; }
+        }
+        if (!seen) vals.push_back(id);
+      }
+    }
+    // The run must be the exact cross product of its factor vectors, in
+    // odometer order (last column innermost) — the order a factorized
+    // star-join output decompresses to. Anything else stays flat.
+    size_t product = 1;
+    for (const auto& vals : g.factors) product *= vals.size();
+    if (product != end - begin) return false;
+    for (size_t r = begin; r < end; ++r) {
+      size_t rel = r - begin, stride = product;
+      for (size_t c = 1; c < ncols; ++c) {
+        const std::vector<rdf::TermId>& vals = g.factors[c - 1];
+        stride /= vals.size();
+        if (data[r][c] != vals[(rel / stride) % vals.size()]) return false;
+      }
+      row_len = 0;
+      for (size_t c = 0; c < ncols; ++c) row_len += len_of(data[r][c]);
+      flat_bytes += row_len + 2;
+    }
+    fact_bytes += len_of(g.base) + 1 + 2;  // "g" record
+    for (size_t c = 1; c < ncols; ++c) {
+      uint64_t key = 1 + std::to_string(c - 1).size();  // "f<j>"
+      for (rdf::TermId v : g.factors[c - 1]) {
+        fact_bytes += len_of(v) + key + 2;
+      }
+    }
+    begin = end;
+  }
+  if (fact_bytes >= flat_bytes) return false;
+
+  mr::RecordBatch batch;
+  std::string value;
+  // Second pass emits the records (the first pass proved the shape and
+  // the byte win without holding every factor vector alive at once).
+  for (size_t begin = 0; begin < data.size();) {
+    size_t end = begin;
+    while (end < data.size() && data[end][0] == data[begin][0]) ++end;
+    value.clear();
+    AppendCell(data[begin][0], dict, &value);
+    batch.Add("g", value);
+    for (size_t c = 1; c < ncols; ++c) {
+      std::string key = "f" + std::to_string(c - 1);
+      std::vector<rdf::TermId> vals;
+      for (size_t r = begin; r < end; ++r) {
+        rdf::TermId id = data[r][c];
+        bool seen = false;
+        for (rdf::TermId v : vals) {
+          if (v == id) { seen = true; break; }
+        }
+        if (!seen) vals.push_back(id);
+      }
+      for (rdf::TermId v : vals) {
+        value.clear();
+        AppendCell(v, dict, &value);
+        batch.Add(key, value);
+      }
+    }
+    begin = end;
+  }
+  std::string out_spec = "b:0";
+  for (size_t c = 1; c < ncols; ++c) {
+    out_spec += "|f:" + std::to_string(c);
+  }
+  *rows = std::move(batch);
+  *spec = std::move(out_spec);
+  return true;
+}
+
+namespace {
+
+/// Parses "b:<col>|f:<col>|..." into the base column and one output-column
+/// index per factor. The spec must cover every output column exactly once.
+Status ParseFactorizationSpec(const std::string& spec, size_t ncols,
+                              size_t* base_col, std::vector<size_t>* factors) {
+  factors->clear();
+  std::vector<bool> covered(ncols, false);
+  bool have_base = false;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t bar = spec.find('|', pos);
+    std::string seg = spec.substr(pos, bar == std::string::npos
+                                           ? std::string::npos
+                                           : bar - pos);
+    pos = bar == std::string::npos ? spec.size() : bar + 1;
+    bool is_base = seg.rfind("b:", 0) == 0;
+    bool is_factor = seg.rfind("f:", 0) == 0;
+    if (!is_base && !is_factor) {
+      return Status::DataLoss("artifact factorization spec segment '" + seg +
+                              "' is neither b:<col> nor f:<col>");
+    }
+    char* endp = nullptr;
+    unsigned long col = std::strtoul(seg.c_str() + 2, &endp, 10);
+    if (endp == seg.c_str() + 2 || *endp != '\0' || col >= ncols ||
+        covered[col]) {
+      return Status::DataLoss("artifact factorization spec names column '" +
+                              seg + "' outside the result schema");
+    }
+    covered[col] = true;
+    if (is_base) {
+      if (have_base) {
+        return Status::DataLoss("artifact factorization spec has two bases");
+      }
+      have_base = true;
+      *base_col = col;
+    } else {
+      factors->push_back(col);
+    }
+  }
+  if (!have_base || factors->empty()) {
+    return Status::DataLoss(
+        "artifact factorization spec needs a base and >= 1 factor");
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    if (!covered[c]) {
+      return Status::DataLoss("artifact factorization spec misses column " +
+                              std::to_string(c));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<analytics::BindingTable> DeserializeArtifact(const Artifact& artifact,
+                                                      rdf::Dictionary* dict) {
+  if (artifact.meta.factorization.empty()) {
+    return DeserializeTable(artifact.rows, artifact.meta.columns, dict);
+  }
+  const size_t ncols = artifact.meta.columns.size();
+  size_t base_col = 0;
+  std::vector<size_t> factor_cols;
+  RAPIDA_RETURN_IF_ERROR(ParseFactorizationSpec(artifact.meta.factorization,
+                                                ncols, &base_col,
+                                                &factor_cols));
+  analytics::BindingTable table(artifact.meta.columns);
+
+  rdf::TermId base = rdf::kInvalidTermId;
+  std::vector<std::vector<rdf::TermId>> factors(factor_cols.size());
+  bool open = false;
+  auto flush = [&]() -> Status {
+    if (!open) return Status::OK();
+    size_t product = 1;
+    for (const auto& vals : factors) {
+      if (vals.empty()) {
+        return Status::DataLoss("factorized artifact group has an empty "
+                                "factor vector");
+      }
+      product *= vals.size();
+    }
+    // Odometer enumeration, factor 0 outermost — the encoder's order.
+    for (size_t rel = 0; rel < product; ++rel) {
+      std::vector<rdf::TermId> row(ncols, rdf::kInvalidTermId);
+      row[base_col] = base;
+      size_t stride = product;
+      for (size_t j = 0; j < factors.size(); ++j) {
+        stride /= factors[j].size();
+        row[factor_cols[j]] = factors[j][(rel / stride) % factors[j].size()];
+      }
+      table.AddRow(std::move(row));
+    }
+    for (auto& vals : factors) vals.clear();
+    return Status::OK();
+  };
+
+  for (const auto& store : artifact.rows.columns) {
+    for (size_t r = 0; r < store->size(); ++r) {
+      std::string_view key = store->key(r);
+      std::string_view value = store->value(r);
+      size_t offset = 0;
+      rdf::TermId id = rdf::kInvalidTermId;
+      RAPIDA_RETURN_IF_ERROR(DecodeCell(value, &offset, dict, &id));
+      if (offset != value.size()) {
+        return Status::DataLoss("factorized artifact record has trailing "
+                                "bytes after its cell");
+      }
+      if (key == "g") {
+        RAPIDA_RETURN_IF_ERROR(flush());
+        base = id;
+        open = true;
+        continue;
+      }
+      if (key.size() < 2 || key[0] != 'f' || !open) {
+        return Status::DataLoss("factorized artifact has record key '" +
+                                std::string(key) + "' outside any group");
+      }
+      char* endp = nullptr;
+      std::string idx(key.substr(1));
+      unsigned long j = std::strtoul(idx.c_str(), &endp, 10);
+      if (*endp != '\0' || j >= factors.size()) {
+        return Status::DataLoss("factorized artifact factor key '" +
+                                std::string(key) + "' out of range");
+      }
+      factors[j].push_back(id);
+    }
+  }
+  RAPIDA_RETURN_IF_ERROR(flush());
   return table;
 }
 
@@ -306,6 +571,7 @@ Status ArtifactStore::IndexDirLocked() {
     indexed.meta = std::move(meta);
     stats_.bytes_used += indexed.file_bytes;
     stats_.artifacts++;
+    if (!indexed.meta.factorization.empty()) stats_.factorized++;
     index_[name] = std::move(indexed);
     found.push_back({entry.last_write_time(ec), name});
   }
@@ -338,6 +604,7 @@ void ArtifactStore::QuarantineLocked(const std::string& name) {
   if (it != index_.end()) {
     stats_.bytes_used -= it->second.file_bytes;
     stats_.artifacts--;
+    if (!it->second.meta.factorization.empty()) stats_.factorized--;
     index_.erase(it);
   }
   lru_.remove(name);
@@ -405,6 +672,7 @@ Status ArtifactStore::Put(const Artifact& artifact) {
   auto it = index_.find(name);
   if (it != index_.end()) {
     stats_.bytes_used -= it->second.file_bytes;
+    if (!it->second.meta.factorization.empty()) stats_.factorized--;
   } else {
     stats_.artifacts++;
     it = index_.emplace(name, Indexed{}).first;
@@ -412,6 +680,7 @@ Status ArtifactStore::Put(const Artifact& artifact) {
   it->second.path = path.string();
   it->second.file_bytes = bytes.size();
   it->second.meta = artifact.meta;
+  if (!it->second.meta.factorization.empty()) stats_.factorized++;
   stats_.bytes_used += bytes.size();
   stats_.puts++;
   stats_.bytes_written += bytes.size();
@@ -441,6 +710,7 @@ void ArtifactStore::EvictToFitLocked(const std::string& keep) {
       fs::remove(it->second.path, ec);
       stats_.bytes_used -= it->second.file_bytes;
       stats_.artifacts--;
+      if (!it->second.meta.factorization.empty()) stats_.factorized--;
       index_.erase(it);
     }
     lru_.remove(victim);
@@ -458,6 +728,7 @@ void ArtifactStore::Remove(const std::string& plan_fingerprint,
   fs::remove(it->second.path, ec);
   stats_.bytes_used -= it->second.file_bytes;
   stats_.artifacts--;
+  if (!it->second.meta.factorization.empty()) stats_.factorized--;
   index_.erase(it);
   lru_.remove(name);
 }
@@ -490,6 +761,7 @@ std::string ArtifactStore::StatsJson() const {
          ",\"bytes_read\":" + std::to_string(s.bytes_read) +
          ",\"bytes_written\":" + std::to_string(s.bytes_written) +
          ",\"artifacts\":" + std::to_string(s.artifacts) +
+         ",\"factorized_artifacts\":" + std::to_string(s.factorized) +
          ",\"bytes_used\":" + std::to_string(s.bytes_used) +
          ",\"byte_budget\":" + std::to_string(options_.byte_budget) + "}";
 }

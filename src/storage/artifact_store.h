@@ -36,6 +36,14 @@ struct ArtifactMeta {
   std::string canonical_query;
   std::string ivm_class;  // IvmClassName() of the classification
   std::vector<std::string> columns;
+  /// Layout of the rows section. Empty = flat (one record per result row,
+  /// SerializeTable encoding). Non-empty = d-representation: a spec like
+  /// "b:0|f:1|f:2" naming which output columns are group-base cells vs
+  /// per-group factor vectors; the rows section then holds one "g" record
+  /// (base cells) per group followed by one "f<j>" record per factor-j
+  /// value. DeserializeArtifact re-enumerates the cross product, so
+  /// readers always see flat rows — only the bytes on disk shrink.
+  std::string factorization;
 };
 
 /// One artifact: meta + the result rows as a columnar record batch (one
@@ -58,6 +66,26 @@ mr::RecordBatch SerializeTable(const analytics::BindingTable& table,
 StatusOr<analytics::BindingTable> DeserializeTable(
     const mr::RecordBatch& rows, const std::vector<std::string>& columns,
     rdf::Dictionary* dict);
+
+/// Attempts to re-encode `table` as d-representation groups: maximal runs
+/// of equal column-0 values whose remaining columns form an exact cross
+/// product (the shape factorized star-join results decompress to). On
+/// success fills `rows` + `spec` (ArtifactMeta::factorization) and returns
+/// true — but only when the factorized serialization is strictly smaller
+/// than the flat one, so group-of-1 aggregate results never bloat. On any
+/// non-product run (or no byte win) returns false and leaves the outputs
+/// untouched; callers fall back to SerializeTable.
+bool FactorizeTable(const analytics::BindingTable& table,
+                    const rdf::Dictionary& dict, mr::RecordBatch* rows,
+                    std::string* spec);
+
+/// Decodes an artifact's rows section against its meta, dispatching on
+/// meta.factorization: flat artifacts go through DeserializeTable, and
+/// factorized ones re-enumerate every group's cross product (factor 0
+/// outermost) back into flat rows. Malformed specs or group records
+/// return DataLoss.
+StatusOr<analytics::BindingTable> DeserializeArtifact(const Artifact& artifact,
+                                                      rdf::Dictionary* dict);
 
 /// Disk-backed, content-addressed store of materialized query results.
 ///
@@ -99,6 +127,10 @@ class ArtifactStore {
     uint64_t bytes_written = 0; // artifact file bytes written by Put
     uint64_t artifacts = 0;     // currently indexed
     uint64_t bytes_used = 0;    // sum of indexed file sizes
+    /// Currently indexed artifacts stored in d-representation. Their
+    /// `bytes_used` contribution (and LRU charge) is the factorized file
+    /// size, not the flat row count they decompress to.
+    uint64_t factorized = 0;
   };
 
   /// Opens (creating `dir` if needed) and indexes every artifact in it.

@@ -43,7 +43,7 @@ FuzzCase MakeFuzzCase(uint64_t seed, const GenOptions& gen) {
   c.dataset = schemas[root.Uniform(schemas.size())].dataset;
   Random data_rng = root.Split(1);
   Random query_rng = root.Split(2);
-  rdf::Graph graph = GenerateFuzzGraph(c.dataset, &data_rng);
+  rdf::Graph graph = GenerateFuzzGraph(c.dataset, &data_rng, gen.multival);
   c.triples = DecodeGraph(graph);
   c.query = GenerateQuery(SchemaFor(c.dataset), &query_rng, gen);
   return c;

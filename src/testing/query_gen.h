@@ -27,6 +27,13 @@ struct GenOptions {
   /// constant-pinned, type, or fresh-variable triples to the required
   /// pattern.
   double union_bias = 0.15;
+  /// Multi-valued data bias (--grammar=multival): the generated dataset
+  /// draws every mean multi-valued fanout from [3, 10] objects per
+  /// predicate-subject pair (pubmed mesh/chemical/author/grant, bsbm
+  /// offers; chem boosts publications-per-gene, its reverse fanout), the
+  /// regime where flat star-join outputs are per-subject cross products
+  /// and the factorized path must still match byte for byte.
+  bool multival = false;
 };
 
 /// Generates one valid analytical query over `schema`, deterministically

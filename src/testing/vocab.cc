@@ -138,7 +138,11 @@ const VocabSchema& SchemaFor(const std::string& dataset) {
   return AllSchemas()[0];
 }
 
-rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng) {
+rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng,
+                             bool multival) {
+  // [3, 10] objects per predicate-subject pair, drawn independently per
+  // multi-valued predicate — the d-representation stress regime.
+  auto fanout = [rng] { return 3.0 + rng->NextDouble() * 7.0; };
   if (dataset == "chem") {
     workload::ChemConfig cfg;
     cfg.num_compounds = 20 + static_cast<int>(rng->Uniform(40));
@@ -151,6 +155,14 @@ rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng) {
     cfg.num_sider_records = 20 + static_cast<int>(rng->Uniform(60));
     cfg.num_targets = 10 + static_cast<int>(rng->Uniform(40));
     cfg.num_publications = 80 + static_cast<int>(rng->Uniform(250));
+    if (multival) {
+      // Chem's triples are single-valued per record; its fanout lives in
+      // the reverse direction (Medline records per gene / side effect).
+      // Pin 3-10 publications per gene.
+      cfg.num_genes = 8 + static_cast<int>(rng->Uniform(12));
+      cfg.num_publications =
+          static_cast<int>(static_cast<double>(cfg.num_genes) * fanout());
+    }
     cfg.seed = rng->Next();
     return workload::GenerateChem2Bio(cfg);
   }
@@ -169,6 +181,15 @@ rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng) {
     cfg.authors_per_publication = 1.0 + rng->NextDouble() * 1.5;
     cfg.grants_per_publication = 0.5 + rng->NextDouble();
     cfg.news_fraction = 0.05 + rng->NextDouble() * 0.25;
+    if (multival) {
+      // Fewer subjects (a star over all four multi-valued predicates
+      // flattens to fanout^4 rows per publication), each much wider.
+      cfg.num_publications = 20 + static_cast<int>(rng->Uniform(30));
+      cfg.mesh_per_publication = fanout();
+      cfg.chemicals_per_publication = fanout();
+      cfg.authors_per_publication = fanout();
+      cfg.grants_per_publication = fanout();
+    }
     cfg.seed = rng->Next();
     return workload::GeneratePubmed(cfg);
   }
@@ -180,6 +201,10 @@ rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng) {
   cfg.num_countries = 3 + static_cast<int>(rng->Uniform(4));
   cfg.offers_per_product = 1.0 + rng->NextDouble() * 2.0;
   cfg.optional_date_probability = rng->NextDouble() * 0.5;
+  if (multival) {
+    cfg.num_products = 15 + static_cast<int>(rng->Uniform(35));
+    cfg.offers_per_product = fanout();
+  }
   cfg.seed = rng->Next();
   return workload::GenerateBsbm(cfg);
 }

@@ -56,8 +56,13 @@ const VocabSchema& SchemaFor(const std::string& dataset);
 
 /// Generates a small randomized instance of the named workload: config
 /// sizes are drawn from `rng`, so every fuzz seed sees a different shape
-/// and scale (but the same seed always sees the same data).
-rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng);
+/// and scale (but the same seed always sees the same data). With
+/// `multival` every mean multi-valued fanout is drawn from [3, 10]
+/// objects per predicate-subject pair instead of the default [1, ~3]
+/// (GenOptions::multival; subject counts are trimmed so the flat
+/// cross products stay executable).
+rdf::Graph GenerateFuzzGraph(const std::string& dataset, Random* rng,
+                             bool multival = false);
 
 }  // namespace rapida::difftest
 

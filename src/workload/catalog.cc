@@ -295,6 +295,26 @@ std::vector<CatalogQuery> BuildCatalog() {
     } GROUP BY ?pty }
 })"});
 
+  // MG13F: the Table 4 footnote fixture. One publication star carrying
+  // THREE multi-valued predicates (mesh_heading x chemical x author) whose
+  // flat star-join output is the per-subject cross product — the shape
+  // whose materialization exhausted HDFS in the paper's naive-Hive MG13
+  // run. Under d-representation the star join stores one group per
+  // publication, so the same query survives a Dfs capacity limit the flat
+  // path overflows (pinned in factorize_test.cc).
+  q.push_back({"MG13F", "pubmed",
+               "MG13 flat-overflow variant: MeSH x chemical x author star",
+               std::string(kPubPrefix) + R"(SELECT ?pty ?perPT ?total {
+  { SELECT ?pty (COUNT(?m) AS ?perPT) {
+      ?p :pub_type ?pty . ?p :mesh_heading ?m . ?p :chemical ?ch .
+      ?p :author ?a . ?a :last_name ?ln .
+    } GROUP BY ?pty }
+  { SELECT (COUNT(?m1) AS ?total) {
+      ?p1 :pub_type ?pty1 . ?p1 :mesh_heading ?m1 . ?p1 :chemical ?ch1 .
+      ?p1 :author ?a1 . ?a1 :last_name ?ln1 .
+    } }
+})"});
+
   q.push_back({"MG14", "pubmed",
                "chemicals per author-pubType vs per pubType",
                std::string(kPubPrefix) + R"(SELECT ?a ?pty ?perAPT ?perPT {

@@ -108,7 +108,7 @@ TEST(CatalogTest, LookupAndListing) {
   // G1-4, MG1-4, MG-OPT, MG-UNION, AQ1, R1
   EXPECT_EQ(QueriesForDataset("bsbm").size(), 12u);
   EXPECT_EQ(QueriesForDataset("chem").size(), 10u);  // G5-9, MG6-10
-  EXPECT_EQ(QueriesForDataset("pubmed").size(), 9u); // MG11-18, R2
+  EXPECT_EQ(QueriesForDataset("pubmed").size(), 10u);  // MG11-18, MG13F, R2
 }
 
 TEST(CatalogTest, AllQueriesParseAndAnalyze) {

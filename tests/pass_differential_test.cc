@@ -84,6 +84,11 @@ std::vector<PassConfig> AllConfigs() {
     o.vectorized_kernels = false;
     configs.push_back({"no_vectorized_kernels", o});
   }
+  {
+    EngineOptions o;
+    o.factorized_intermediates = false;
+    configs.push_back({"no_factorize", o});
+  }
   return configs;
 }
 

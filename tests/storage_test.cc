@@ -131,6 +131,131 @@ TEST(SerializeTableTest, MalformedCellsAreDataLoss) {
 }
 
 // ---------------------------------------------------------------------------
+// Factorized (d-representation) artifact rows.
+
+/// subjects x (mesh cross chemical): the decompressed star-join shape
+/// FactorizeTable is built to recognize. 4 x 5 x 6 = 120 flat rows become
+/// 4 groups of 1 + 5 + 6 records.
+analytics::BindingTable CrossProductTable(rdf::Dictionary* dict) {
+  analytics::BindingTable table({"p", "mesh", "chem"});
+  for (int s = 0; s < 4; ++s) {
+    rdf::TermId subj = dict->InternIri("http://x/pub" + std::to_string(s));
+    std::vector<rdf::TermId> mesh, chem;
+    for (int m = 0; m < 5; ++m) {
+      mesh.push_back(dict->InternIri("http://x/mesh" + std::to_string(s) +
+                                     "_" + std::to_string(m)));
+    }
+    for (int c = 0; c < 6; ++c) {
+      chem.push_back(dict->InternIri("http://x/chem" + std::to_string(s) +
+                                     "_" + std::to_string(c)));
+    }
+    for (rdf::TermId m : mesh) {
+      for (rdf::TermId c : chem) table.AddRow({subj, m, c});
+    }
+  }
+  return table;
+}
+
+TEST(FactorizeTableTest, CrossProductRoundTripsSmaller) {
+  rdf::Dictionary dict;
+  analytics::BindingTable table = CrossProductTable(&dict);
+
+  Artifact art;
+  art.meta.columns = {"p", "mesh", "chem"};
+  ASSERT_TRUE(FactorizeTable(table, dict, &art.rows, &art.meta.factorization));
+  EXPECT_EQ(art.meta.factorization, "b:0|f:1|f:2");
+
+  // 4 groups x (1 base + 5 + 6 factor records) instead of 120 rows.
+  size_t records = 0;
+  for (const auto& store : art.rows.columns) records += store->size();
+  EXPECT_EQ(records, 4u * 12u);
+
+  uint64_t fact_bytes = 0, flat_bytes = 0;
+  for (const auto& store : art.rows.columns) {
+    fact_bytes += store->LogicalBytes();
+  }
+  for (const auto& store : SerializeTable(table, dict).columns) {
+    flat_bytes += store->LogicalBytes();
+  }
+  EXPECT_LT(fact_bytes * 5, flat_bytes);  // >= 5x smaller at this fanout
+
+  rdf::Dictionary fresh;
+  auto decoded = DeserializeArtifact(art, &fresh);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->NumRows(), table.NumRows());
+  // Byte-identical including row order, not just as a multiset.
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(fresh.Get(decoded->rows()[r][c]).text,
+                dict.Get(table.rows()[r][c]).text)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(FactorizeTableTest, NonProductTablesStayFlat) {
+  rdf::Dictionary dict;
+  // A ragged run: subject a has pairs (m0,c0) and (m1,c1) — two distinct
+  // values per column but only 2 rows, not the 4 a cross product needs.
+  analytics::BindingTable ragged({"p", "m", "c"});
+  rdf::TermId a = dict.InternIri("http://x/a");
+  ragged.AddRow({a, dict.InternIri("http://x/m0"), dict.InternIri("http://x/c0")});
+  ragged.AddRow({a, dict.InternIri("http://x/m1"), dict.InternIri("http://x/c1")});
+  mr::RecordBatch rows;
+  std::string spec;
+  EXPECT_FALSE(FactorizeTable(ragged, dict, &rows, &spec));
+
+  // A group-of-1 aggregate result factorizes trivially but saves nothing —
+  // the size guard keeps it flat.
+  analytics::BindingTable aggregates({"k", "n"});
+  for (int i = 0; i < 8; ++i) {
+    aggregates.AddRow({dict.InternIri("http://x/k" + std::to_string(i)),
+                       dict.InternInt(i)});
+  }
+  EXPECT_FALSE(FactorizeTable(aggregates, dict, &rows, &spec));
+
+  // Single-column tables have nothing to factor.
+  analytics::BindingTable narrow({"k"});
+  narrow.AddRow({dict.InternIri("http://x/k")});
+  EXPECT_FALSE(FactorizeTable(narrow, dict, &rows, &spec));
+}
+
+TEST(FactorizeTableTest, MalformedFactorizedArtifactsAreDataLoss) {
+  rdf::Dictionary dict;
+  Artifact art;
+  art.meta.columns = {"p", "m"};
+  art.meta.factorization = "b:0|f:1";
+
+  // A factor record before any group base.
+  art.rows = mr::RecordBatch();
+  {
+    std::string cell;
+    cell.push_back('\x01');  // IRI
+    cell += std::string(4, '\x00');  // empty text
+    art.rows.Add("f0", cell);
+  }
+  EXPECT_EQ(DeserializeArtifact(art, &dict).status().code(), Code::kDataLoss);
+
+  // A factor index outside the spec.
+  art.rows = mr::RecordBatch();
+  {
+    std::string cell;
+    cell.push_back('\x01');
+    cell += std::string(4, '\x00');
+    art.rows.Add("g", cell);
+    art.rows.Add("f7", cell);
+  }
+  EXPECT_EQ(DeserializeArtifact(art, &dict).status().code(), Code::kDataLoss);
+
+  // A spec that misses a column entirely.
+  Artifact bad_spec;
+  bad_spec.meta.columns = {"p", "m", "c"};
+  bad_spec.meta.factorization = "b:0|f:1";
+  EXPECT_EQ(DeserializeArtifact(bad_spec, &dict).status().code(),
+            Code::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
 // Artifact store: cold write / warm read, corruption, skew, eviction.
 
 Artifact MakeArtifact(const std::string& fp, uint64_t hash,
@@ -150,6 +275,41 @@ Artifact MakeArtifact(const std::string& fp, uint64_t hash,
   a.meta.columns = {"x", "y"};
   a.rows = SerializeTable(table, dict);
   return a;
+}
+
+TEST(ArtifactStoreTest, FactorizedArtifactsPersistAndCountInStats) {
+  rdf::Dictionary dict;
+  analytics::BindingTable table = CrossProductTable(&dict);
+  Artifact art = MakeArtifact("fact", 7, "pubmed");
+  art.meta.columns = {"p", "mesh", "chem"};
+  ASSERT_TRUE(FactorizeTable(table, dict, &art.rows, &art.meta.factorization));
+
+  ArtifactStore::Options opts;
+  opts.dir = TempDir("fact");
+  {
+    auto store = ArtifactStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(art).ok());
+    ASSERT_TRUE((*store)->Put(MakeArtifact("flat", 7, "pubmed")).ok());
+    EXPECT_EQ((*store)->stats().artifacts, 2u);
+    EXPECT_EQ((*store)->stats().factorized, 1u);
+    EXPECT_NE((*store)->StatsJson().find("\"factorized_artifacts\":1"),
+              std::string::npos);
+  }
+  // The spec (and the counter) survive a restart.
+  auto store = ArtifactStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->stats().factorized, 1u);
+  auto got = (*store)->Get("fact", 7);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->meta.factorization, "b:0|f:1|f:2");
+  rdf::Dictionary fresh;
+  auto decoded = DeserializeArtifact(*got, &fresh);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->NumRows(), 120u);
+  // The factorized file on disk is charged at its (small) serialized
+  // size: well under what 120 flat rows of IRIs would cost.
+  EXPECT_LT((*store)->stats().bytes_used, 4096u);
 }
 
 TEST(ArtifactStoreTest, ColdWriteWarmReadAcrossOpens) {
